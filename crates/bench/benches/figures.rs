@@ -1,0 +1,89 @@
+//! Smoke benchmarks covering **every paper table and figure**: each runs
+//! the real experiment driver at [`zygos_bench::Scale::smoke`] so that
+//! `cargo bench --workspace` exercises the complete reproduction pipeline.
+//!
+//! Full-resolution regeneration is done by the `fig*` binaries
+//! (`cargo run --release -p zygos-bench --bin fig06_latency_throughput`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use zygos_bench::{fig02, fig03, fig06, fig08, fig09, fig10, fig11, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig02_queueing_models", |b| {
+        b.iter(|| fig02::run(&scale));
+    });
+    g.bench_function("fig03_baseline_slo_panel", |b| {
+        b.iter(|| {
+            fig03::run_panel(
+                &scale,
+                "exponential",
+                &[10.0, 25.0],
+                &[
+                    zygos_sysim::SystemKind::Ix,
+                    zygos_sysim::SystemKind::LinuxFloating,
+                ],
+                true,
+            )
+        });
+    });
+    g.bench_function("fig06_latency_throughput_panel", |b| {
+        b.iter(|| fig06::run_panel(&scale, "exponential", 10.0));
+    });
+    g.bench_function("fig07_zygos_slo_panel", |b| {
+        b.iter(|| {
+            fig03::run_panel(
+                &scale,
+                "exponential",
+                &[10.0, 25.0],
+                &[zygos_sysim::SystemKind::Zygos],
+                false,
+            )
+        });
+    });
+    g.bench_function("fig08_steal_rate", |b| {
+        b.iter(|| fig08::run(&scale));
+    });
+    g.bench_function("fig09_memcached_usr", |b| {
+        b.iter(|| fig09::run_panel(&scale, zygos_kv::workload::WorkloadKind::Usr));
+    });
+    g.bench_function("fig11_slo_tradeoff", |b| {
+        b.iter(|| fig11::run(&scale));
+    });
+    g.finish();
+
+    // The Silo experiments share one loaded database (loading dominates,
+    // so it happens once here, not inside the timed iterations).
+    let mut g = c.benchmark_group("figures_silo");
+    g.sample_size(10);
+    let m = fig10::measure_service_times(&scale);
+    g.bench_function("fig10a_mix_transaction", |b| {
+        use zygos_silo::tpcc::{Tpcc, TpccConfig, TpccRng, TxnType};
+        let tpcc = Tpcc::load(TpccConfig {
+            warehouses: 1,
+            districts: 10,
+            customers_per_district: 300,
+            items: 2_000,
+            initial_orders: 300,
+            seed: 4,
+        });
+        let mut rng = TpccRng::new(6);
+        b.iter(|| {
+            let kind = TxnType::sample(&mut rng);
+            tpcc.run(kind, &mut rng)
+        });
+    });
+    g.bench_function("fig10b_latency_sweep", |b| {
+        b.iter(|| fig10::run_fig10b(&scale, m.mix_samples.clone()));
+    });
+    g.bench_function("table1_slo_table", |b| {
+        b.iter(|| fig10::run_table1(&scale, m.mix_samples.clone(), m.mix.p99_us()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the core data structures: the operations whose
+//! costs the paper's design trades against each other (shuffle-queue ops,
+//! steals, spinlocks, RSS hashing, framing, histogram recording).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bytes::Bytes;
+use zygos_core::shuffle::ShuffleLayer;
+use zygos_core::spinlock::SpinLock;
+use zygos_net::flow::FiveTuple;
+use zygos_net::packet::RpcMessage;
+use zygos_net::ring::SpscRing;
+use zygos_net::rss::Rss;
+use zygos_net::wire::Framer;
+use zygos_sim::stats::LatencyHistogram;
+use zygos_sim::time::SimDuration;
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shuffle");
+    g.bench_function("produce_dequeue_finish", |b| {
+        let mut layer = ShuffleLayer::new(2);
+        let conn = layer.register(0);
+        b.iter(|| {
+            layer.produce(conn, black_box(1u64));
+            let got = layer.dequeue_local(0).expect("ready");
+            let _ = layer.take_events(got, usize::MAX);
+            layer.finish(got);
+        });
+    });
+    g.bench_function("steal_path", |b| {
+        let mut layer = ShuffleLayer::new(2);
+        let conn = layer.register(0);
+        b.iter(|| {
+            layer.produce(conn, black_box(1u64));
+            let got = layer.try_steal(0).expect("stealable");
+            let _ = layer.take_events(got, usize::MAX);
+            layer.finish(got);
+        });
+    });
+    g.finish();
+}
+
+fn bench_spinlock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spinlock");
+    let lock = SpinLock::new(0u64);
+    g.bench_function("uncontended_lock", |b| {
+        b.iter(|| {
+            *lock.lock() += 1;
+        });
+    });
+    g.bench_function("try_lock", |b| {
+        b.iter(|| {
+            if let Some(mut v) = lock.try_lock() {
+                *v += 1;
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_rss(c: &mut Criterion) {
+    let rss = Rss::new(16);
+    let tuple = FiveTuple::synthetic(1234);
+    c.bench_function("rss_toeplitz_queue_for", |b| {
+        b.iter(|| rss.queue_for(black_box(&tuple)));
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let ring = SpscRing::with_capacity(1024);
+    c.bench_function("spsc_push_pop", |b| {
+        b.iter(|| {
+            ring.push(black_box(7u64)).expect("space");
+            ring.pop().expect("element");
+        });
+    });
+}
+
+fn bench_framer(c: &mut Criterion) {
+    let wire = RpcMessage::new(1, 7, Bytes::from_static(&[0u8; 64])).to_bytes();
+    c.bench_function("framer_feed_decode_80b", |b| {
+        let mut f = Framer::new();
+        b.iter(|| {
+            f.feed(black_box(&wire)).expect("clean stream");
+            f.next_message().expect("ok").expect("complete")
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut h = LatencyHistogram::new();
+    c.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(SimDuration::from_nanos(black_box(v % 10_000_000)));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_shuffle,
+    bench_spinlock,
+    bench_rss,
+    bench_ring,
+    bench_framer,
+    bench_histogram
+);
+criterion_main!(benches);

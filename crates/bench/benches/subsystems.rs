@@ -1,0 +1,62 @@
+//! Subsystem benchmarks: Silo transaction throughput, the KV store's
+//! GET/SET paths, and the discrete-event engine's event rate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use zygos_kv::proto::{encode_get, encode_set, KvServer};
+use zygos_silo::tpcc::{Tpcc, TpccConfig, TpccRng, TxnType};
+use zygos_sim::dist::ServiceDist;
+use zygos_sim::queueing::{simulate, Policy, QueueConfig};
+
+fn bench_silo(c: &mut Criterion) {
+    let tpcc = Tpcc::load(TpccConfig {
+        warehouses: 1,
+        districts: 10,
+        customers_per_district: 300,
+        items: 1_000,
+        initial_orders: 300,
+        seed: 1,
+    });
+    let mut g = c.benchmark_group("silo_tpcc");
+    g.sample_size(20);
+    let mut rng = TpccRng::new(5);
+    for kind in [TxnType::NewOrder, TxnType::Payment, TxnType::OrderStatus] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| tpcc.run(black_box(kind), &mut rng));
+        });
+    }
+    g.finish();
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let server = KvServer::new(64);
+    server.handle(&encode_set(0, b"bench-key-0123456789", b"xx"));
+    let get = encode_get(1, b"bench-key-0123456789");
+    let set = encode_set(2, b"bench-key-0123456789", b"yy");
+    let mut g = c.benchmark_group("kv");
+    g.bench_function("get_hit", |b| b.iter(|| server.handle(black_box(&get))));
+    g.bench_function("set", |b| b.iter(|| server.handle(black_box(&set))));
+    g.finish();
+}
+
+fn bench_des_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.sample_size(10);
+    g.bench_function("mg16_fcfs_10k_requests", |b| {
+        b.iter(|| {
+            simulate(&QueueConfig {
+                servers: 16,
+                load: 0.7,
+                service: ServiceDist::exponential_us(1.0),
+                policy: Policy::CentralFcfs,
+                requests: 10_000,
+                seed: 3,
+                warmup: 1_000,
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_silo, bench_kv, bench_des_engine);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Ablation studies of ZygOS's design choices (DESIGN.md §7) plus the
+//! bimodal-2 experiment the paper's system evaluation omits.
+//!
+//! 1. **Victim-order randomization** — §5 randomizes the order in which an
+//!    idle core polls victims. Sequential order biases stealing toward
+//!    low-numbered cores.
+//! 2. **IPI delivery latency** — the exit-less IPIs of §5 land in ~1µs;
+//!    how much of ZygOS's tail advantage survives slower delivery?
+//! 3. **Steal cost** — the remote cacheline transfers of a steal; at what
+//!    cost does work conservation stop paying for itself?
+//! 4. **Bimodal-2 at the system level** — §3.4 drops bimodal-2 because
+//!    partitioned FCFS is pathological; the work-conserving ZygOS is not.
+
+use zygos_sim::dist::ServiceDist;
+use zygos_sysim::{max_load_at_slo, run_system, SysConfig, SystemKind};
+
+use crate::Scale;
+
+/// One ablation result row.
+pub struct Row {
+    /// Ablation group.
+    pub group: &'static str,
+    /// Variant label.
+    pub variant: String,
+    /// Max load meeting the 10·S̄ SLO (exp, 10µs unless stated).
+    pub max_load: f64,
+    /// p99 at 70% load (µs).
+    pub p99_at_70: f64,
+}
+
+fn base_cfg(scale: &Scale) -> SysConfig {
+    let mut cfg = SysConfig::paper(
+        SystemKind::Zygos,
+        ServiceDist::exponential_us(10.0),
+        0.7,
+    );
+    cfg.requests = scale.requests;
+    cfg.warmup = scale.warmup;
+    cfg
+}
+
+fn evaluate(scale: &Scale, group: &'static str, variant: String, cfg: SysConfig) -> Row {
+    let p99_at_70 = run_system(&SysConfig { load: 0.7, ..cfg.clone() }).p99_us();
+    let max_load = max_load_at_slo(&cfg, 100.0, scale.resolution);
+    Row {
+        group,
+        variant,
+        max_load,
+        p99_at_70,
+    }
+}
+
+/// Runs all ablations.
+pub fn run(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // 1. Victim-order randomization.
+    for randomize in [true, false] {
+        let mut cfg = base_cfg(scale);
+        cfg.randomize_steal_order = randomize;
+        rows.push(evaluate(
+            scale,
+            "steal-order",
+            if randomize { "randomized" } else { "sequential" }.into(),
+            cfg,
+        ));
+    }
+
+    // 2. IPI delivery latency.
+    for delivery_ns in [300u64, 1_200, 5_000, 20_000] {
+        let mut cfg = base_cfg(scale);
+        cfg.cost.ipi_delivery_ns = delivery_ns;
+        rows.push(evaluate(
+            scale,
+            "ipi-delivery",
+            format!("{:.1}us", delivery_ns as f64 / 1_000.0),
+            cfg,
+        ));
+    }
+
+    // 3. Steal cost.
+    for steal_ns in [0u64, 350, 2_000, 8_000] {
+        let mut cfg = base_cfg(scale);
+        cfg.cost.steal_extra_ns = steal_ns;
+        rows.push(evaluate(
+            scale,
+            "steal-cost",
+            format!("{steal_ns}ns"),
+            cfg,
+        ));
+    }
+
+    // 4. Bimodal-2 at the system level (SLO 10·S̄ = 100µs; note the
+    // zero-load p99 of bimodal-2 is only 0.5·S̄, so the SLO is loose for
+    // the fast mode but catastrophic under head-of-line blocking).
+    for system in [SystemKind::Ix, SystemKind::Zygos, SystemKind::LinuxFloating] {
+        let mut cfg = base_cfg(scale);
+        cfg.system = system;
+        cfg.service = ServiceDist::bimodal2_us(10.0);
+        if system == SystemKind::Ix {
+            cfg.cost = zygos_net::cost::CostModel::ix();
+        } else if system == SystemKind::LinuxFloating {
+            cfg.cost = zygos_net::cost::CostModel::linux();
+        }
+        rows.push(evaluate(
+            scale,
+            "bimodal-2",
+            system.label().into(),
+            cfg,
+        ));
+    }
+
+    rows
+}
+
+/// Prints the ablation table.
+pub fn print(rows: &[Row]) {
+    println!("# ablations: ZygOS design choices (exp 10us unless noted; SLO p99<=100us)");
+    println!("{:<14} {:<28} {:>12} {:>12}", "group", "variant", "load@SLO", "p99@70%");
+    for r in rows {
+        println!(
+            "{:<14} {:<28} {:>12.2} {:>10.1}us",
+            r.group, r.variant, r.max_load, r.p99_at_70
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Ablation studies: steal-order randomization, IPI delivery latency,
+//! steal cost, and the bimodal-2 system experiment (DESIGN.md §7).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let rows = zygos_bench::ablation::run(&scale);
+    zygos_bench::ablation::print(&rows);
+}

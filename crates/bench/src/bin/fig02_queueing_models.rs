@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 (queueing-model tail latencies).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let curves = zygos_bench::fig02::run(&scale);
+    zygos_bench::fig02::print(&curves);
+}

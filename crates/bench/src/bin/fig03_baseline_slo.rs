@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (baseline max load @ SLO vs service time).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let curves = zygos_bench::fig03::run(&scale);
+    zygos_bench::fig03::print(&curves);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (p99 latency vs throughput, six panels).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let curves = zygos_bench::fig06::run(&scale);
+    zygos_bench::fig06::print(&curves);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (max load @ SLO vs service time, with ZygOS).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let curves = zygos_bench::fig07::run(&scale);
+    zygos_bench::fig07::print(&curves);
+}

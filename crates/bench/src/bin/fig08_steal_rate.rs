@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (steal rate vs throughput).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let curves = zygos_bench::fig08::run(&scale);
+    zygos_bench::fig08::print(&curves);
+}

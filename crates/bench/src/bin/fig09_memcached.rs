@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (memcached USR/ETC latency vs throughput).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let curves = zygos_bench::fig09::run(&scale);
+    zygos_bench::fig09::print(&curves);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 10a (TPC-C service-time CCDF, Silo local).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let m = zygos_bench::fig10::measure_service_times(&scale);
+    zygos_bench::fig10::print_fig10a(&m);
+}

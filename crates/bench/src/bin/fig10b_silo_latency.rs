@@ -1,0 +1,12 @@
+//! Regenerates Figure 10b (Silo/TPC-C p99 latency vs throughput).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let m = zygos_bench::fig10::measure_service_times(&scale);
+    println!(
+        "# measured service times: mean={:.1}us p99={:.1}us (paper: 33us / 203us)",
+        m.mix.mean_us(),
+        m.mix.p99_us()
+    );
+    let curves = zygos_bench::fig10::run_fig10b(&scale, m.mix_samples);
+    zygos_bench::fig10::print_fig10b(&curves);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11 (SLO choice: IX batching vs ZygOS).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let curves = zygos_bench::fig11::run(&scale);
+    zygos_bench::fig11::print(&curves);
+}

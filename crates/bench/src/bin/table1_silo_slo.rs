@@ -1,0 +1,8 @@
+//! Regenerates Table 1 (Silo/TPC-C max load @ SLO and tail latencies).
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let m = zygos_bench::fig10::measure_service_times(&scale);
+    let p99 = m.mix.p99_us();
+    let rows = zygos_bench::fig10::run_table1(&scale, m.mix_samples, p99);
+    zygos_bench::fig10::print_table1(&rows, p99);
+}

@@ -1,0 +1,69 @@
+//! Figure 2: p99 tail latency vs load for the four idealized queueing
+//! models × four service-time distributions (n = 16, S̄ = 1).
+
+use zygos_sim::dist::ServiceDist;
+use zygos_sim::queueing::{simulate, Policy, QueueConfig};
+
+use crate::Scale;
+
+/// One plotted curve.
+pub struct Curve {
+    /// Distribution panel (a–d).
+    pub dist: &'static str,
+    /// Model label (Kendall notation).
+    pub model: String,
+    /// `(load, p99 in units of S̄)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The four paper distributions at unit mean.
+pub fn distributions() -> Vec<(&'static str, ServiceDist)> {
+    vec![
+        ("deterministic", ServiceDist::deterministic_us(1.0)),
+        ("exponential", ServiceDist::exponential_us(1.0)),
+        ("bimodal-1", ServiceDist::bimodal1_us(1.0)),
+        ("bimodal-2", ServiceDist::bimodal2_us(1.0)),
+    ]
+}
+
+/// Runs the full figure.
+pub fn run(scale: &Scale) -> Vec<Curve> {
+    let mut curves = Vec::new();
+    for (dist_label, dist) in distributions() {
+        for policy in Policy::ALL {
+            let points = scale
+                .loads
+                .iter()
+                .map(|&load| {
+                    let out = simulate(&QueueConfig {
+                        servers: 16,
+                        load,
+                        service: dist.clone(),
+                        policy,
+                        requests: scale.requests,
+                        seed: 2,
+                        warmup: scale.warmup,
+                    });
+                    (load, out.p99_us())
+                })
+                .collect();
+            curves.push(Curve {
+                dist: dist_label,
+                model: policy.label(16),
+                points,
+            });
+        }
+    }
+    curves
+}
+
+/// Prints the figure in series layout.
+pub fn print(curves: &[Curve]) {
+    crate::print_header(
+        "fig02",
+        "99th-percentile latency vs load, 4 queueing models x 4 distributions (S=1)",
+    );
+    for c in curves {
+        crate::print_series("fig02", c.dist, &c.model, &c.points);
+    }
+}

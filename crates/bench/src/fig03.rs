@@ -1,0 +1,106 @@
+//! Figure 3: maximum load meeting the SLO (p99 ≤ 10·S̄) as a function of
+//! mean service time, for the three baseline systems plus the two
+//! zero-overhead theory bounds.
+
+use zygos_sim::dist::ServiceDist;
+use zygos_sim::queueing::Policy;
+use zygos_sysim::{max_load_at_slo, theory_max_load_at_slo, SysConfig, SystemKind};
+
+use crate::Scale;
+
+/// Distribution constructors used by Figures 3 and 7.
+pub fn dist_for(label: &str, mean_us: f64) -> ServiceDist {
+    match label {
+        "deterministic" => ServiceDist::deterministic_us(mean_us),
+        "exponential" => ServiceDist::exponential_us(mean_us),
+        "bimodal-1" => ServiceDist::bimodal1_us(mean_us),
+        other => panic!("unknown distribution {other}"),
+    }
+}
+
+/// One curve of the figure.
+pub struct Curve {
+    /// Distribution panel.
+    pub dist: &'static str,
+    /// System (or bound) label.
+    pub system: String,
+    /// `(mean service time µs, max load at SLO)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Runs one panel's curves over the given service-time grid.
+pub fn run_panel(
+    scale: &Scale,
+    dist_label: &'static str,
+    service_grid: &[f64],
+    systems: &[SystemKind],
+    include_bounds: bool,
+) -> Vec<Curve> {
+    let mut curves = Vec::new();
+    for &system in systems {
+        let points = service_grid
+            .iter()
+            .map(|&mean| {
+                let mut cfg =
+                    SysConfig::paper(system, dist_for(dist_label, mean), 0.5);
+                cfg.requests = scale.requests;
+                cfg.warmup = scale.warmup;
+                let load = max_load_at_slo(&cfg, 10.0 * mean, scale.resolution);
+                (mean, load)
+            })
+            .collect();
+        curves.push(Curve {
+            dist: dist_label,
+            system: system.label().to_string(),
+            points,
+        });
+    }
+    if include_bounds {
+        for (policy, label) in [
+            (Policy::CentralFcfs, "M/G/16/FCFS"),
+            (Policy::PartitionedFcfs, "16xM/G/1/FCFS"),
+        ] {
+            // The bound is scale-free in S̄: compute once at unit mean.
+            let bound = theory_max_load_at_slo(
+                &dist_for(dist_label, 1.0),
+                16,
+                policy,
+                10.0,
+                scale.theory_requests,
+                scale.resolution,
+            );
+            curves.push(Curve {
+                dist: dist_label,
+                system: label.to_string(),
+                points: service_grid.iter().map(|&m| (m, bound)).collect(),
+            });
+        }
+    }
+    curves
+}
+
+/// The full figure: three distributions, the Figure-3 service grid.
+pub fn run(scale: &Scale) -> Vec<Curve> {
+    let grid = [2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 90.0, 120.0, 160.0, 200.0];
+    let systems = [
+        SystemKind::LinuxPartitioned,
+        SystemKind::LinuxFloating,
+        SystemKind::Ix,
+    ];
+    let mut curves = Vec::new();
+    for dist in ["deterministic", "exponential", "bimodal-1"] {
+        curves.extend(run_panel(scale, dist, &grid, &systems, true));
+    }
+    curves
+}
+
+/// Prints the figure.
+pub fn print(curves: &[Curve]) {
+    crate::print_header(
+        "fig03",
+        "max load @ SLO (p99 <= 10*S) vs mean service time, baselines + bounds",
+    );
+    for c in curves {
+        crate::print_series("fig03", c.dist, &c.system, &c.points);
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 6: p99 latency vs throughput for {deterministic, exponential,
+//! bimodal-1} × {10µs, 25µs}, comparing Linux-floating, IX, ZygOS,
+//! ZygOS-no-interrupts, and the zero-overhead M/G/16/FCFS model.
+
+use zygos_sysim::{
+    latency_throughput_sweep, theory_central_p99_us, SysConfig, SystemKind,
+};
+
+use crate::fig03::dist_for;
+use crate::Scale;
+
+/// One curve of one panel.
+pub struct Curve {
+    /// Panel id, e.g. `"exponential/10us"`.
+    pub panel: String,
+    /// System label.
+    pub system: String,
+    /// `(throughput MRPS, p99 µs)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The systems plotted, in legend order.
+pub const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::LinuxFloating,
+    SystemKind::Ix,
+    SystemKind::ZygosNoInterrupts,
+    SystemKind::Zygos,
+];
+
+/// Runs one panel.
+pub fn run_panel(scale: &Scale, dist_label: &'static str, mean_us: f64) -> Vec<Curve> {
+    let panel = format!("{dist_label}/{mean_us}us");
+    let mut curves = Vec::new();
+    for system in SYSTEMS {
+        let mut cfg = SysConfig::paper(system, dist_for(dist_label, mean_us), 0.5);
+        cfg.requests = scale.requests;
+        cfg.warmup = scale.warmup;
+        let pts = latency_throughput_sweep(&cfg, &scale.loads);
+        curves.push(Curve {
+            panel: panel.clone(),
+            system: system.label().to_string(),
+            points: pts.iter().map(|p| (p.mrps, p.p99_us)).collect(),
+        });
+    }
+    // Zero-overhead centralized bound (the "Theoretical M/G/16/FCFS" line).
+    let service = dist_for(dist_label, mean_us);
+    let theory: Vec<(f64, f64)> = scale
+        .loads
+        .iter()
+        .map(|&load| {
+            let mrps = load * 16.0 / mean_us;
+            let p99 =
+                theory_central_p99_us(&service, 16, load, 4.0, scale.theory_requests, 5);
+            (mrps, p99)
+        })
+        .collect();
+    curves.push(Curve {
+        panel,
+        system: "Theoretical M/G/16/FCFS".to_string(),
+        points: theory,
+    });
+    curves
+}
+
+/// All six panels.
+pub fn run(scale: &Scale) -> Vec<Curve> {
+    let mut curves = Vec::new();
+    for dist in ["deterministic", "exponential", "bimodal-1"] {
+        for mean in [10.0, 25.0] {
+            curves.extend(run_panel(scale, dist, mean));
+        }
+    }
+    curves
+}
+
+/// Prints the figure.
+pub fn print(curves: &[Curve]) {
+    crate::print_header(
+        "fig06",
+        "p99 latency vs throughput, 3 distributions x {10us,25us}, 4 systems + bound",
+    );
+    for c in curves {
+        crate::print_series("fig06", &c.panel, &c.system, &c.points);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 8: normalized steal rate vs throughput for the exponential
+//! distribution with S̄ = 25µs, ZygOS with and without interrupts.
+
+use zygos_sim::dist::ServiceDist;
+use zygos_sysim::{latency_throughput_sweep, SysConfig, SystemKind};
+
+use crate::Scale;
+
+/// One curve: `(throughput MRPS, steals per event %)`.
+pub struct Curve {
+    /// System label.
+    pub system: String,
+    /// Points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Runs both curves.
+pub fn run(scale: &Scale) -> Vec<Curve> {
+    [SystemKind::Zygos, SystemKind::ZygosNoInterrupts]
+        .into_iter()
+        .map(|system| {
+            let mut cfg =
+                SysConfig::paper(system, ServiceDist::exponential_us(25.0), 0.5);
+            cfg.requests = scale.requests;
+            cfg.warmup = scale.warmup;
+            let pts = latency_throughput_sweep(&cfg, &scale.loads);
+            Curve {
+                system: system.label().to_string(),
+                points: pts
+                    .iter()
+                    .map(|p| (p.mrps, 100.0 * p.steal_fraction))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure.
+pub fn print(curves: &[Curve]) {
+    crate::print_header(
+        "fig08",
+        "steals per event (%) vs throughput, exponential S=25us",
+    );
+    for c in curves {
+        crate::print_series("fig08", "exp-25us", &c.system, &c.points);
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 9: memcached (USR and ETC) p99 latency vs throughput for Linux,
+//! IX B=1, IX B=64 and ZygOS; SLO 500µs.
+//!
+//! The memcached substitute is `zygos-kv`; its USR/ETC workload models
+//! produce an empirical service-time distribution (<2µs mean) that drives
+//! the system simulator.
+
+use zygos_kv::workload::{KvWorkload, WorkloadKind};
+use zygos_sysim::{latency_throughput_sweep, SysConfig, SystemKind};
+
+use crate::Scale;
+
+/// One curve of one panel.
+pub struct Curve {
+    /// Panel: `"USR"` or `"ETC"`.
+    pub panel: &'static str,
+    /// System label (IX annotated with its batch bound).
+    pub system: String,
+    /// `(throughput MRPS, p99 µs)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Runs one panel.
+pub fn run_panel(scale: &Scale, kind: WorkloadKind) -> Vec<Curve> {
+    let service = KvWorkload::new(kind).service_dist(50_000, 9);
+    let mut curves = Vec::new();
+    let configs = [
+        (SystemKind::LinuxFloating, 1u64, "Linux".to_string()),
+        (SystemKind::Ix, 1, "IX B=1".to_string()),
+        (SystemKind::Ix, 64, "IX B=64".to_string()),
+        (SystemKind::Zygos, 64, "ZygOS".to_string()),
+    ];
+    // Linux saturates at a small fraction of the dataplanes' ideal load
+    // (≈11µs kernel cost per ~1µs task), so extend the grid downward.
+    let mut loads: Vec<f64> = vec![0.01, 0.02, 0.03, 0.045, 0.06, 0.08];
+    loads.extend_from_slice(&scale.loads);
+    for (system, batch, label) in configs {
+        let mut cfg = SysConfig::paper(system, service.clone(), 0.5);
+        cfg.rx_batch = batch;
+        cfg.requests = scale.requests;
+        cfg.warmup = scale.warmup;
+        let pts = latency_throughput_sweep(&cfg, &loads);
+        curves.push(Curve {
+            panel: kind.label(),
+            system: label,
+            points: pts.iter().map(|p| (p.mrps, p.p99_us)).collect(),
+        });
+    }
+    curves
+}
+
+/// Both panels.
+pub fn run(scale: &Scale) -> Vec<Curve> {
+    let mut curves = run_panel(scale, WorkloadKind::Etc);
+    curves.extend(run_panel(scale, WorkloadKind::Usr));
+    curves
+}
+
+/// Prints the figure.
+pub fn print(curves: &[Curve]) {
+    crate::print_header(
+        "fig09",
+        "memcached USR/ETC: p99 vs throughput for Linux, IX B=1, IX B=64, ZygOS (SLO 500us)",
+    );
+    for c in curves {
+        crate::print_series("fig09", c.panel, &c.system, &c.points);
+    }
+}

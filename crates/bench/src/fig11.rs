@@ -1,0 +1,70 @@
+//! Figure 11: the impact of the SLO choice — IX (B=1 and B=64) vs ZygOS
+//! for 10µs deterministic tasks under a 100µs and a 1000µs SLO.
+
+use zygos_sim::dist::ServiceDist;
+use zygos_sysim::{latency_throughput_sweep, SysConfig, SystemKind};
+
+use crate::Scale;
+
+/// One curve (shared by both panels — the panels differ only in the SLO
+/// line and Y range).
+pub struct Curve {
+    /// System label.
+    pub system: String,
+    /// `(throughput MRPS, p99 µs)`.
+    pub points: Vec<(f64, f64)>,
+    /// Max throughput meeting the 100µs SLO (MRPS).
+    pub max_mrps_slo_100: f64,
+    /// Max throughput meeting the 1000µs SLO (MRPS).
+    pub max_mrps_slo_1000: f64,
+}
+
+/// Runs the figure.
+pub fn run(scale: &Scale) -> Vec<Curve> {
+    let service = ServiceDist::deterministic_us(10.0);
+    let configs = [
+        (SystemKind::Ix, 64u64, "IX B=64"),
+        (SystemKind::Ix, 1, "IX B=1"),
+        (SystemKind::Zygos, 64, "ZygOS"),
+    ];
+    configs
+        .into_iter()
+        .map(|(system, batch, label)| {
+            let mut cfg = SysConfig::paper(system, service.clone(), 0.5);
+            cfg.rx_batch = batch;
+            cfg.requests = scale.requests;
+            cfg.warmup = scale.warmup;
+            let pts = latency_throughput_sweep(&cfg, &scale.loads);
+            let max_under = |slo: f64| {
+                pts.iter()
+                    .filter(|p| p.p99_us <= slo)
+                    .map(|p| p.mrps)
+                    .fold(0.0, f64::max)
+            };
+            Curve {
+                system: label.to_string(),
+                points: pts.iter().map(|p| (p.mrps, p.p99_us)).collect(),
+                max_mrps_slo_100: max_under(100.0),
+                max_mrps_slo_1000: max_under(1_000.0),
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure and the two SLO verdicts.
+pub fn print(curves: &[Curve]) {
+    crate::print_header(
+        "fig11",
+        "SLO tradeoff: IX B=1/B=64 vs ZygOS, 10us deterministic, SLO 100us vs 1000us",
+    );
+    for c in curves {
+        crate::print_series("fig11", "det-10us", &c.system, &c.points);
+    }
+    println!("# max throughput meeting each SLO:");
+    for c in curves {
+        println!(
+            "# {:<8} @SLO=100us: {:.2} MRPS   @SLO=1000us: {:.2} MRPS",
+            c.system, c.max_mrps_slo_100, c.max_mrps_slo_1000
+        );
+    }
+}

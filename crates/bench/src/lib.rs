@@ -1,0 +1,101 @@
+//! Experiment drivers shared by the figure binaries and the Criterion
+//! smoke benchmarks.
+//!
+//! Every paper table/figure has a module here exposing `run(&Scale)` (the
+//! computation, returning structured rows) and `print(..)` (the binary's
+//! stdout rendering, shaped like the paper's series). The binaries run at
+//! [`Scale::from_env`] (set `ZYGOS_FAST=1` for a quick pass); `cargo bench`
+//! exercises each experiment at [`Scale::smoke`].
+
+pub mod ablation;
+pub mod fig02;
+pub mod fig03;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+
+/// Experiment sizing knobs.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Completions measured per simulation point.
+    pub requests: u64,
+    /// Warmup completions discarded per point.
+    pub warmup: u64,
+    /// Load grid for latency-throughput sweeps.
+    pub loads: Vec<f64>,
+    /// Grid resolution for max-load@SLO searches (steps of 1/resolution).
+    pub resolution: usize,
+    /// Completions per point for zero-overhead theory curves.
+    pub theory_requests: u64,
+    /// TPC-C transactions measured for the Silo experiments.
+    pub silo_txns: usize,
+    /// TPC-C warehouses loaded.
+    pub warehouses: u16,
+}
+
+impl Scale {
+    /// Full figure-quality scale.
+    pub fn full() -> Scale {
+        Scale {
+            requests: 50_000,
+            warmup: 10_000,
+            loads: (1..=19).map(|i| i as f64 * 0.05).collect(),
+            resolution: 40,
+            theory_requests: 80_000,
+            silo_txns: 20_000,
+            warehouses: 2,
+        }
+    }
+
+    /// Reduced scale for quick verification runs.
+    pub fn fast() -> Scale {
+        Scale {
+            requests: 12_000,
+            warmup: 3_000,
+            loads: (1..=9).map(|i| i as f64 * 0.1).collect(),
+            resolution: 20,
+            theory_requests: 30_000,
+            silo_txns: 4_000,
+            warehouses: 1,
+        }
+    }
+
+    /// Tiny scale used by the Criterion smoke benchmarks.
+    pub fn smoke() -> Scale {
+        Scale {
+            requests: 2_000,
+            warmup: 500,
+            loads: vec![0.3, 0.6, 0.9],
+            resolution: 8,
+            theory_requests: 5_000,
+            silo_txns: 300,
+            warehouses: 1,
+        }
+    }
+
+    /// [`Scale::full`] unless `ZYGOS_FAST=1` is set in the environment.
+    pub fn from_env() -> Scale {
+        if std::env::var("ZYGOS_FAST").is_ok_and(|v| v == "1") {
+            Scale::fast()
+        } else {
+            Scale::full()
+        }
+    }
+}
+
+/// Prints one labelled `(x, y)` series in a grep-friendly layout:
+/// `<figure>\t<panel>\t<series>\t<x>\t<y>`.
+pub fn print_series(figure: &str, panel: &str, series: &str, points: &[(f64, f64)]) {
+    for (x, y) in points {
+        println!("{figure}\t{panel}\t{series}\t{x:.4}\t{y:.3}");
+    }
+}
+
+/// Prints a figure header with the paper reference.
+pub fn print_header(figure: &str, description: &str) {
+    println!("# {figure}: {description}");
+    println!("# columns: figure\tpanel\tseries\tx\ty");
+}

@@ -1,0 +1,40 @@
+//! The ZygOS scheduling machinery (paper §4–§5).
+//!
+//! This crate implements the paper's contribution as reusable, real
+//! concurrent data structures:
+//!
+//! * [`spinlock`] — a TATAS spinlock with `try_lock` (remote cores must
+//!   never block on a steal attempt; §5 "Remote cores rely on trylock").
+//! * [`shuffle`] — the **shuffle layer**: one single-producer /
+//!   multi-consumer shuffle queue per core holding *ready connections*,
+//!   plus the per-connection `idle → ready → busy` state machine that
+//!   provides exclusive socket ownership and therefore per-connection
+//!   ordering under stealing (§4.3, §4.4, Figure 5).
+//! * [`syscall`] — batched system calls and the remote-syscall channel that
+//!   ships a stealing core's syscalls back to the home core (§4.2 step b).
+//! * [`idle`] — the idle-loop polling policy: own NIC ring first, then
+//!   randomized sweeps of remote shuffle queues, software queues and NIC
+//!   rings (§5 "Idle loop polling logic").
+//! * [`doorbell`] — the IPI substitute for the live runtime: an atomic
+//!   doorbell with reason bits plus an unpark hook (§4.5; delivery is a
+//!   *hint*, tolerated to be lost or late, exactly like the paper's
+//!   exit-less IPIs).
+//! * [`stats`] — steal/IPI/event counters aggregated across cores
+//!   (Figure 8's "steals per event" metric).
+//!
+//! The live runtime (`zygos-runtime`) drives these structures with real
+//! threads; the system simulator (`zygos-sysim`) models their costs on a
+//! virtual 16-core machine.
+
+pub mod doorbell;
+pub mod idle;
+pub mod shuffle;
+pub mod spinlock;
+pub mod stats;
+pub mod syscall;
+
+pub use doorbell::{Doorbell, IpiReason};
+pub use shuffle::{ConnState, FinishOutcome, ShuffleLayer};
+pub use spinlock::SpinLock;
+pub use stats::{CoreStats, StatsSnapshot};
+pub use syscall::{BatchedSyscall, RemoteSyscallChannel};

@@ -1,0 +1,207 @@
+//! A TATAS spinlock with `try_lock`.
+//!
+//! The paper's shuffle layer uses "one spinlock per core which protects the
+//! shuffle queue of that core as well as the state machine transitions for
+//! sockets that call that core home", and "remote cores rely on `trylock`
+//! for their steal attempts to further reduce contention" (§5). The
+//! critical sections are a handful of pointer operations, which is what
+//! makes a spinlock (rather than a parking mutex) the right tool.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A test-and-test-and-set spinlock protecting a `T`.
+pub struct SpinLock<T: ?Sized> {
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: The lock provides mutual exclusion: `data` is only reachable
+// through a `SpinGuard`, which exists only while `locked` is held. `T: Send`
+// is required because the value may be accessed (and dropped) from whichever
+// thread holds the lock.
+unsafe impl<T: ?Sized + Send> Send for SpinLock<T> {}
+// SAFETY: See above; sharing `&SpinLock<T>` across threads only hands out
+// exclusive guards, so `T: Send` suffices (as with `std::sync::Mutex`).
+unsafe impl<T: ?Sized + Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Creates an unlocked spinlock.
+    pub const fn new(value: T) -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> SpinLock<T> {
+    /// Acquires the lock, spinning until available.
+    ///
+    /// Home cores use this on their own queue: the critical sections are
+    /// tens of nanoseconds, so spinning beats parking by orders of
+    /// magnitude at this scale.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        loop {
+            // Test-and-test-and-set: spin on a plain load first so the
+            // cacheline stays shared until the lock looks free.
+            while self.locked.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+        }
+    }
+
+    /// Attempts to acquire without spinning (steal attempts; §5).
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self.locked.load(Ordering::Relaxed) {
+            return None;
+        }
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// True if currently held (racy; diagnostics only).
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+
+    /// Mutable access without locking (requires `&mut self`, hence safe).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// RAII guard; releases the lock on drop.
+pub struct SpinGuard<'a, T: ?Sized> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T: ?Sized> Deref for SpinGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: The guard's existence proves the lock is held, so access
+        // is exclusive.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: As above — exclusive while the guard lives.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_mutual_access() {
+        let l = SpinLock::new(5);
+        {
+            let mut g = l.lock();
+            *g += 1;
+        }
+        assert_eq!(*l.lock(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let l = SpinLock::new(());
+        let g = l.lock();
+        assert!(l.is_locked());
+        assert!(l.try_lock().is_none());
+        drop(g);
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let l = SpinLock::new(0u32);
+        drop(l.lock());
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn get_mut_bypasses_lock() {
+        let mut l = SpinLock::new(1);
+        *l.get_mut() = 7;
+        assert_eq!(*l.lock(), 7);
+    }
+
+    #[test]
+    fn contended_counter_is_exact() {
+        let l = Arc::new(SpinLock::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..50_000 {
+                        *l.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*l.lock(), 200_000);
+    }
+
+    #[test]
+    fn try_lock_under_contention_never_corrupts() {
+        let l = Arc::new(SpinLock::new((0u64, 0u64)));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    let mut acquired = 0;
+                    while acquired < 10_000 {
+                        if let Some(mut g) = l.try_lock() {
+                            // Both halves must always move together.
+                            g.0 += 1;
+                            g.1 += 1;
+                            acquired += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let g = l.lock();
+        assert_eq!(g.0, g.1);
+        assert_eq!(g.0, 40_000);
+    }
+}

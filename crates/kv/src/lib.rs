@@ -1,0 +1,21 @@
+//! A memcached-like in-memory key-value store (paper §6.2).
+//!
+//! The paper uses memcached with the Facebook **USR** and **ETC** workloads
+//! (Atikoglu et al., SIGMETRICS'12) as a near-worst case for ZygOS: tiny
+//! (<2µs) tasks with low dispersion. This crate provides:
+//!
+//! * [`store`] — a sharded hash table with per-shard locks and optional
+//!   LRU-ish capacity eviction (memcached's slab eviction simplified to the
+//!   behaviour that matters here: bounded memory, hit/miss accounting).
+//! * [`proto`] — GET/SET request handlers speaking the repository's framed
+//!   RPC format, directly usable as a `zygos-runtime` application.
+//! * [`workload`] — USR/ETC key/value-size and operation-mix models and a
+//!   service-time model used by the Figure 9 simulator harness.
+
+pub mod proto;
+pub mod store;
+pub mod workload;
+
+pub use proto::{KvOp, KvServer};
+pub use store::KvStore;
+pub use workload::{KvWorkload, WorkloadKind};

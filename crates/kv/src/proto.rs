@@ -1,0 +1,183 @@
+//! The KV wire protocol: GET/SET/DELETE over the framed RPC format.
+//!
+//! Body layouts (little-endian lengths):
+//!
+//! * GET request: `[klen: u16][key]` — response: `[found: u8][value]`
+//! * SET request: `[klen: u16][key][value]` — response: `[existed: u8]`
+//! * DELETE request: `[klen: u16][key]` — response: `[existed: u8]`
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use zygos_net::packet::RpcMessage;
+
+use crate::store::KvStore;
+
+/// Opcodes in the RPC header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read a key.
+    Get = 1,
+    /// Write a key.
+    Set = 2,
+    /// Remove a key.
+    Delete = 3,
+}
+
+impl KvOp {
+    /// Decodes an opcode.
+    pub fn from_u16(v: u16) -> Option<KvOp> {
+        match v {
+            1 => Some(KvOp::Get),
+            2 => Some(KvOp::Set),
+            3 => Some(KvOp::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a GET request message.
+pub fn encode_get(req_id: u64, key: &[u8]) -> RpcMessage {
+    let mut b = BytesMut::with_capacity(2 + key.len());
+    b.put_u16_le(key.len() as u16);
+    b.extend_from_slice(key);
+    RpcMessage::new(KvOp::Get as u16, req_id, b.freeze())
+}
+
+/// Builds a SET request message.
+pub fn encode_set(req_id: u64, key: &[u8], value: &[u8]) -> RpcMessage {
+    let mut b = BytesMut::with_capacity(2 + key.len() + value.len());
+    b.put_u16_le(key.len() as u16);
+    b.extend_from_slice(key);
+    b.extend_from_slice(value);
+    RpcMessage::new(KvOp::Set as u16, req_id, b.freeze())
+}
+
+/// Builds a DELETE request message.
+pub fn encode_delete(req_id: u64, key: &[u8]) -> RpcMessage {
+    let mut b = BytesMut::with_capacity(2 + key.len());
+    b.put_u16_le(key.len() as u16);
+    b.extend_from_slice(key);
+    RpcMessage::new(KvOp::Delete as u16, req_id, b.freeze())
+}
+
+/// The server-side request handler — plug this into the runtime as the
+/// application layer.
+pub struct KvServer {
+    store: KvStore,
+}
+
+impl KvServer {
+    /// Creates a server over a store with the given shard count.
+    pub fn new(shards: usize) -> Self {
+        KvServer {
+            store: KvStore::new(shards),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Handles one request, producing the response message.
+    ///
+    /// Unknown opcodes or malformed bodies produce an error response with
+    /// opcode `0xFFFF` (never a panic — the network is untrusted input).
+    pub fn handle(&self, req: &RpcMessage) -> RpcMessage {
+        let error = || RpcMessage::new(0xFFFF, req.header.req_id, Bytes::new());
+        let Some(op) = KvOp::from_u16(req.header.opcode) else {
+            return error();
+        };
+        let mut body = &req.body[..];
+        if body.len() < 2 {
+            return error();
+        }
+        let klen = body.get_u16_le() as usize;
+        if body.len() < klen {
+            return error();
+        }
+        let key = Bytes::copy_from_slice(&body[..klen]);
+        body.advance(klen);
+        match op {
+            KvOp::Get => {
+                let mut out = BytesMut::new();
+                match self.store.get(&key) {
+                    Some(v) => {
+                        out.put_u8(1);
+                        out.extend_from_slice(&v);
+                    }
+                    None => out.put_u8(0),
+                }
+                RpcMessage::new(KvOp::Get as u16, req.header.req_id, out.freeze())
+            }
+            KvOp::Set => {
+                let existed = self.store.set(key, Bytes::copy_from_slice(body));
+                RpcMessage::new(
+                    KvOp::Set as u16,
+                    req.header.req_id,
+                    Bytes::copy_from_slice(&[existed as u8]),
+                )
+            }
+            KvOp::Delete => {
+                let existed = self.store.delete(&key);
+                RpcMessage::new(
+                    KvOp::Delete as u16,
+                    req.header.req_id,
+                    Bytes::copy_from_slice(&[existed as u8]),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_get_roundtrip() {
+        let s = KvServer::new(4);
+        let r1 = s.handle(&encode_set(1, b"key", b"value"));
+        assert_eq!(r1.header.req_id, 1);
+        assert_eq!(&r1.body[..], &[0], "did not exist before");
+        let r2 = s.handle(&encode_get(2, b"key"));
+        assert_eq!(r2.body[0], 1);
+        assert_eq!(&r2.body[1..], b"value");
+    }
+
+    #[test]
+    fn get_miss() {
+        let s = KvServer::new(4);
+        let r = s.handle(&encode_get(1, b"nope"));
+        assert_eq!(&r.body[..], &[0]);
+    }
+
+    #[test]
+    fn delete_semantics() {
+        let s = KvServer::new(4);
+        s.handle(&encode_set(1, b"k", b"v"));
+        assert_eq!(s.handle(&encode_delete(2, b"k")).body[0], 1);
+        assert_eq!(s.handle(&encode_delete(3, b"k")).body[0], 0);
+    }
+
+    #[test]
+    fn malformed_requests_get_error_response() {
+        let s = KvServer::new(4);
+        // Unknown opcode.
+        let bad = RpcMessage::new(99, 7, Bytes::from_static(b"\x03\x00abc"));
+        assert_eq!(s.handle(&bad).header.opcode, 0xFFFF);
+        // Truncated body.
+        let short = RpcMessage::new(KvOp::Get as u16, 8, Bytes::from_static(b"\xff"));
+        assert_eq!(s.handle(&short).header.opcode, 0xFFFF);
+        // Key length exceeding body.
+        let lying = RpcMessage::new(KvOp::Get as u16, 9, Bytes::from_static(b"\xff\x00a"));
+        assert_eq!(s.handle(&lying).header.opcode, 0xFFFF);
+    }
+
+    #[test]
+    fn response_echoes_request_id() {
+        let s = KvServer::new(1);
+        for id in [0u64, 42, u64::MAX] {
+            assert_eq!(s.handle(&encode_get(id, b"x")).header.req_id, id);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The sharded hash table with optional capacity eviction.
+//!
+//! memcached evicts via per-slab LRU when memory fills. We reproduce the
+//! behaviour that matters at the workload level — bounded residency with
+//! approximately-LRU victim choice — with a CLOCK (second-chance) sweep
+//! per shard: cheap on the hit path (one relaxed flag store, no list
+//! manipulation), which is what makes it usable inside µs-scale handlers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+struct Entry {
+    value: Bytes,
+    /// CLOCK reference bit: set on access, cleared by the sweep hand.
+    referenced: bool,
+}
+
+struct ShardState {
+    map: HashMap<Bytes, Entry>,
+    /// Keys in insertion order for the CLOCK sweep (tombstoned lazily).
+    ring: Vec<Bytes>,
+    hand: usize,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+}
+
+/// A sharded, thread-safe KV store with hit/miss accounting and optional
+/// per-shard capacity eviction (CLOCK).
+pub struct KvStore {
+    shards: Vec<Shard>,
+    /// Maximum resident keys per shard; `usize::MAX` = unbounded.
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// FNV-1a.
+fn hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl KvStore {
+    /// Creates an unbounded store with `shards` shards (rounded up to a
+    /// power of two).
+    pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, usize::MAX)
+    }
+
+    /// Creates a store bounded to `total_capacity` resident keys
+    /// (approximately; the bound is enforced per shard).
+    pub fn with_capacity(shards: usize, total_capacity: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard_capacity = if total_capacity == usize::MAX {
+            usize::MAX
+        } else {
+            (total_capacity / n).max(1)
+        };
+        KvStore {
+            shards: (0..n)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        map: HashMap::new(),
+                        ring: Vec::new(),
+                        hand: 0,
+                    }),
+                })
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Shard {
+        &self.shards[(hash(key) as usize) & (self.shards.len() - 1)]
+    }
+
+    /// GET.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let mut state = self.shard(key).state.lock();
+        let got = match state.map.get_mut(key) {
+            Some(entry) => {
+                entry.referenced = true;
+                Some(entry.value.clone())
+            }
+            None => None,
+        };
+        drop(state);
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Runs the CLOCK hand until one victim is evicted.
+    ///
+    /// Caller holds the shard lock and guarantees the map is non-empty.
+    fn evict_one(&self, state: &mut ShardState) {
+        loop {
+            if state.ring.is_empty() {
+                return;
+            }
+            let idx = state.hand % state.ring.len();
+            let key = state.ring[idx].clone();
+            match state.map.get_mut(&key) {
+                None => {
+                    // Lazily compact tombstones (deleted keys).
+                    state.ring.swap_remove(idx);
+                    continue;
+                }
+                Some(entry) if entry.referenced => {
+                    // Second chance.
+                    entry.referenced = false;
+                    state.hand = state.hand.wrapping_add(1);
+                }
+                Some(_) => {
+                    state.map.remove(&key);
+                    state.ring.swap_remove(idx);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// SET; returns `true` if the key existed before. May evict one
+    /// resident key when the shard is at capacity.
+    pub fn set(&self, key: Bytes, value: Bytes) -> bool {
+        let mut state = self.shard(&key).state.lock();
+        if let Some(entry) = state.map.get_mut(&key) {
+            entry.value = value;
+            entry.referenced = true;
+            return true;
+        }
+        if state.map.len() >= self.per_shard_capacity {
+            self.evict_one(&mut state);
+        }
+        state.ring.push(key.clone());
+        state.map.insert(
+            key,
+            Entry {
+                value,
+                referenced: false,
+            },
+        );
+        false
+    }
+
+    /// DELETE; returns `true` if the key existed. The CLOCK ring entry is
+    /// tombstoned and reclaimed lazily by the sweep.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.shard(key).state.lock().map.remove(key).is_some()
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.state.lock().map.len()).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of capacity evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_set_delete() {
+        let s = KvStore::new(8);
+        assert!(s.get(b"k").is_none());
+        assert!(!s.set(Bytes::from_static(b"k"), Bytes::from_static(b"v")));
+        assert_eq!(s.get(b"k").unwrap(), Bytes::from_static(b"v"));
+        assert!(s.set(Bytes::from_static(b"k"), Bytes::from_static(b"v2")));
+        assert_eq!(s.get(b"k").unwrap(), Bytes::from_static(b"v2"));
+        assert!(s.delete(b"k"));
+        assert!(!s.delete(b"k"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let s = KvStore::new(2);
+        s.set(Bytes::from_static(b"a"), Bytes::from_static(b"1"));
+        s.get(b"a");
+        s.get(b"b");
+        s.get(b"a");
+        assert_eq!(s.stats(), (2, 1));
+    }
+
+    #[test]
+    fn many_keys_spread_over_shards() {
+        let s = KvStore::new(16);
+        for i in 0..10_000u32 {
+            s.set(
+                Bytes::copy_from_slice(&i.to_le_bytes()),
+                Bytes::from_static(b"v"),
+            );
+        }
+        assert_eq!(s.len(), 10_000);
+        let per_shard: Vec<usize> = s
+            .shards
+            .iter()
+            .map(|sh| sh.state.lock().map.len())
+            .collect();
+        assert!(per_shard.iter().all(|&n| n > 300), "shards balanced: {per_shard:?}");
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let s = KvStore::with_capacity(1, 100);
+        for i in 0..1_000u32 {
+            s.set(
+                Bytes::copy_from_slice(&i.to_le_bytes()),
+                Bytes::from_static(b"v"),
+            );
+        }
+        assert!(s.len() <= 100, "resident = {}", s.len());
+        assert_eq!(s.evictions(), 900);
+    }
+
+    #[test]
+    fn clock_keeps_hot_keys() {
+        let s = KvStore::with_capacity(1, 64);
+        let hot = Bytes::from_static(b"hot-key");
+        s.set(hot.clone(), Bytes::from_static(b"h"));
+        // Keep touching the hot key while churning cold keys through.
+        for i in 0..2_000u32 {
+            s.set(
+                Bytes::copy_from_slice(&i.to_le_bytes()),
+                Bytes::from_static(b"c"),
+            );
+            s.get(&hot);
+        }
+        assert!(s.get(&hot).is_some(), "hot key survived the churn");
+    }
+
+    #[test]
+    fn eviction_interacts_with_delete_tombstones() {
+        let s = KvStore::with_capacity(1, 8);
+        for i in 0..8u32 {
+            s.set(
+                Bytes::copy_from_slice(&i.to_le_bytes()),
+                Bytes::from_static(b"v"),
+            );
+        }
+        // Delete half; the CLOCK ring holds tombstones until swept.
+        for i in 0..4u32 {
+            assert!(s.delete(&i.to_le_bytes()));
+        }
+        assert_eq!(s.len(), 4);
+        // Refill past capacity: sweeping must skip tombstones correctly.
+        for i in 100..120u32 {
+            s.set(
+                Bytes::copy_from_slice(&i.to_le_bytes()),
+                Bytes::from_static(b"v"),
+            );
+        }
+        assert!(s.len() <= 8);
+    }
+
+    #[test]
+    fn update_at_capacity_does_not_evict() {
+        let s = KvStore::with_capacity(1, 4);
+        for i in 0..4u32 {
+            s.set(
+                Bytes::copy_from_slice(&i.to_le_bytes()),
+                Bytes::from_static(b"v"),
+            );
+        }
+        // Overwriting an existing key is not an insertion.
+        s.set(
+            Bytes::copy_from_slice(&0u32.to_le_bytes()),
+            Bytes::from_static(b"v2"),
+        );
+        assert_eq!(s.evictions(), 0);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let s = Arc::new(KvStore::new(16));
+        let writers: Vec<_> = (0..4u32)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u32 {
+                        let key = (t * 1_000_000 + i).to_le_bytes();
+                        s.set(Bytes::copy_from_slice(&key), Bytes::copy_from_slice(&key));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(s.len(), 20_000);
+        // Every stored value equals its key.
+        for t in 0..4u32 {
+            for i in (0..5_000u32).step_by(997) {
+                let key = (t * 1_000_000 + i).to_le_bytes();
+                assert_eq!(&s.get(&key).unwrap()[..], &key);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The USR and ETC workload models (Atikoglu et al., SIGMETRICS'12), as
+//! approximated by mutilate and used in the paper's Figure 9.
+//!
+//! * **USR**: tiny fixed-size records (~20B keys, 2B values), ≈99.8% GET —
+//!   the highest-rate, smallest-task workload in the paper.
+//! * **ETC**: the general-purpose pool: 20–45B keys, value sizes spread
+//!   from a few bytes to ~1KiB (approximated with a generalized-Pareto
+//!   body), ≈90% GET.
+//!
+//! [`KvWorkload::service_dist`] converts a workload into an empirical
+//! service-time distribution for the system simulator: a base per-request
+//! cost (hash + lookup) plus a per-byte copy cost. Mean task sizes come out
+//! at ~1µs (USR) and ~2µs (ETC), matching the paper's "<2µs mean" (§6.2).
+
+use zygos_sim::dist::ServiceDist;
+use zygos_sim::rng::Xoshiro256;
+
+/// Which trace model to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Facebook USR: user-account lookups.
+    Usr,
+    /// Facebook ETC: the general cache pool.
+    Etc,
+}
+
+impl WorkloadKind {
+    /// Figure-9 panel label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Usr => "USR",
+            WorkloadKind::Etc => "ETC",
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Clone, Debug)]
+pub struct KvOpSpec {
+    /// True for GET, false for SET.
+    pub is_get: bool,
+    /// Key index in `[0, keyspace)`.
+    pub key_index: u64,
+    /// Value size in bytes (for SETs, and the size returned by GET hits).
+    pub value_len: usize,
+}
+
+/// A workload generator.
+#[derive(Clone, Debug)]
+pub struct KvWorkload {
+    kind: WorkloadKind,
+    /// Number of distinct keys.
+    pub keyspace: u64,
+}
+
+impl KvWorkload {
+    /// Creates a generator with the workload's default keyspace.
+    pub fn new(kind: WorkloadKind) -> Self {
+        KvWorkload {
+            kind,
+            keyspace: match kind {
+                WorkloadKind::Usr => 1_000_000,
+                WorkloadKind::Etc => 1_000_000,
+            },
+        }
+    }
+
+    /// The GET fraction of the mix.
+    pub fn get_ratio(&self) -> f64 {
+        match self.kind {
+            WorkloadKind::Usr => 0.998,
+            WorkloadKind::Etc => 0.90,
+        }
+    }
+
+    /// Key length in bytes.
+    pub fn key_len(&self, rng: &mut Xoshiro256) -> usize {
+        match self.kind {
+            WorkloadKind::Usr => 19,
+            WorkloadKind::Etc => 20 + rng.next_bounded(26) as usize,
+        }
+    }
+
+    /// Value length in bytes.
+    pub fn value_len(&self, rng: &mut Xoshiro256) -> usize {
+        match self.kind {
+            WorkloadKind::Usr => 2,
+            WorkloadKind::Etc => {
+                // Generalized-Pareto-ish body capped at 1 KiB: most values
+                // are tens of bytes, with a heavy-ish tail.
+                let u = rng.next_f64_open();
+                let v = 20.0 * ((1.0 - u).powf(-0.35) - 1.0) / 0.35 + 2.0;
+                (v as usize).clamp(2, 1024)
+            }
+        }
+    }
+
+    /// Generates one operation (Zipf-less uniform popularity; popularity
+    /// skew does not change the scheduling behaviour Figure 9 studies).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> KvOpSpec {
+        let is_get = rng.next_f64() < self.get_ratio();
+        KvOpSpec {
+            is_get,
+            key_index: rng.next_bounded(self.keyspace),
+            value_len: self.value_len(rng),
+        }
+    }
+
+    /// Service time of one operation in microseconds: a base cost (hash,
+    /// shard lock, lookup) plus a per-byte copy cost.
+    pub fn service_us(&self, op: &KvOpSpec) -> f64 {
+        let base = if op.is_get { 0.9 } else { 1.1 };
+        base + op.value_len as f64 * 0.001
+    }
+
+    /// Builds an empirical service-time distribution by sampling `n` ops —
+    /// the input the Figure 9 harness feeds to the system simulator.
+    pub fn service_dist(&self, n: usize, seed: u64) -> ServiceDist {
+        let mut rng = Xoshiro256::new(seed);
+        let samples: Vec<f64> = (0..n)
+            .map(|_| {
+                let op = self.sample(&mut rng);
+                self.service_us(&op)
+            })
+            .collect();
+        ServiceDist::empirical_us(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usr_is_tiny_and_read_dominated() {
+        let w = KvWorkload::new(WorkloadKind::Usr);
+        let mut rng = Xoshiro256::new(1);
+        let n = 50_000;
+        let gets = (0..n).filter(|_| w.sample(&mut rng).is_get).count();
+        assert!(gets as f64 / n as f64 > 0.99);
+        assert_eq!(w.value_len(&mut rng), 2);
+        assert_eq!(w.key_len(&mut rng), 19);
+    }
+
+    #[test]
+    fn etc_values_are_spread() {
+        let w = KvWorkload::new(WorkloadKind::Etc);
+        let mut rng = Xoshiro256::new(2);
+        let lens: Vec<usize> = (0..20_000).map(|_| w.value_len(&mut rng)).collect();
+        let small = lens.iter().filter(|&&l| l < 64).count();
+        let large = lens.iter().filter(|&&l| l > 256).count();
+        assert!(small > 10_000, "mostly small values: {small}");
+        assert!(large > 50, "but a real tail: {large}");
+        assert!(lens.iter().all(|&l| (2..=1024).contains(&l)));
+    }
+
+    #[test]
+    fn mean_service_under_two_micros() {
+        // Paper §6.2: memcached has "<2µs mean task size".
+        for kind in [WorkloadKind::Usr, WorkloadKind::Etc] {
+            let w = KvWorkload::new(kind);
+            let d = w.service_dist(50_000, 3);
+            let mean = d.mean_us();
+            assert!(
+                (0.5..2.2).contains(&mean),
+                "{}: mean = {mean}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn usr_faster_than_etc() {
+        let usr = KvWorkload::new(WorkloadKind::Usr).service_dist(20_000, 4);
+        let etc = KvWorkload::new(WorkloadKind::Etc).service_dist(20_000, 4);
+        assert!(usr.mean_us() < etc.mean_us());
+    }
+
+    #[test]
+    fn key_indices_cover_keyspace() {
+        let w = KvWorkload::new(WorkloadKind::Usr);
+        let mut rng = Xoshiro256::new(5);
+        for _ in 0..10_000 {
+            assert!(w.sample(&mut rng).key_index < w.keyspace);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Robustness: the KV protocol handler must answer (not panic on) any
+//! syntactically framed but semantically malformed request.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use zygos_kv::proto::KvServer;
+use zygos_net::packet::RpcMessage;
+
+proptest! {
+    #[test]
+    fn handler_total_on_arbitrary_bodies(
+        opcode in any::<u16>(),
+        req_id in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let server = KvServer::new(8);
+        let req = RpcMessage::new(opcode, req_id, Bytes::from(body));
+        let resp = server.handle(&req);
+        // Every response echoes the request id, well- or mal-formed.
+        prop_assert_eq!(resp.header.req_id, req_id);
+    }
+}

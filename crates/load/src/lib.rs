@@ -1,0 +1,16 @@
+//! Open-loop load generation and SLO measurement (mutilate-style, §3.1).
+//!
+//! * [`schedule`] — Poisson arrival schedules over a set of connections:
+//!   the client-side discipline the paper uses ("incoming requests follow a
+//!   Poisson inter-arrival time on randomly-selected connections").
+//! * [`recorder`] — thread-safe latency recording for the live runtime
+//!   (per-thread histograms merged on demand).
+//! * [`slo`] — SLO specifications (`p99 ≤ k·S̄`) and evaluation.
+
+pub mod recorder;
+pub mod schedule;
+pub mod slo;
+
+pub use recorder::SharedRecorder;
+pub use schedule::ArrivalSchedule;
+pub use slo::Slo;

@@ -1,0 +1,78 @@
+//! Thread-safe latency recording for the live runtime.
+
+use std::sync::Mutex;
+
+use zygos_sim::stats::LatencyHistogram;
+use zygos_sim::time::SimDuration;
+
+/// A latency recorder shareable across client threads.
+///
+/// Internally a mutex over the log-bucketed histogram; recording is a few
+/// nanoseconds of bucket arithmetic, so contention is negligible at the
+/// request rates the live (single-machine) harness reaches.
+#[derive(Default)]
+pub struct SharedRecorder {
+    hist: Mutex<LatencyHistogram>,
+}
+
+impl SharedRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        SharedRecorder::default()
+    }
+
+    /// Records one latency.
+    pub fn record(&self, d: SimDuration) {
+        self.hist.lock().expect("recorder poisoned").record(d);
+    }
+
+    /// Records a latency from a `std::time::Duration`.
+    pub fn record_std(&self, d: std::time::Duration) {
+        self.record(SimDuration::from_nanos(d.as_nanos() as u64));
+    }
+
+    /// Takes a snapshot of the histogram.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.hist.lock().expect("recorder poisoned").clone()
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.hist.lock().expect("recorder poisoned").count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_and_snapshots() {
+        let r = SharedRecorder::new();
+        r.record(SimDuration::from_micros(10));
+        r.record_std(std::time::Duration::from_micros(20));
+        let h = r.snapshot();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_nanos(), 20_000);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let r = Arc::new(SharedRecorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        r.record(SimDuration::from_nanos(i + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.count(), 40_000);
+    }
+}

@@ -1,0 +1,134 @@
+//! Poisson arrival schedules.
+
+use zygos_sim::rng::Xoshiro256;
+use zygos_sim::time::{SimDuration, SimTime};
+
+/// One scheduled request: when to send it and on which connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Send time relative to the start of the run.
+    pub at: SimTime,
+    /// Connection index in `[0, conns)`.
+    pub conn: u32,
+}
+
+/// A pre-generated open-loop arrival schedule.
+///
+/// Pre-generating (rather than sampling on the fly) keeps the live runtime
+/// honest: the generator never slows down under load, which is the defining
+/// property of an open-loop client (Schroeder et al., NSDI'06, cited §3.1).
+#[derive(Clone, Debug)]
+pub struct ArrivalSchedule {
+    arrivals: Vec<Arrival>,
+}
+
+impl ArrivalSchedule {
+    /// Generates `n` arrivals at `rate_per_us` requests/µs over `conns`
+    /// uniformly random connections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_us` is not positive or `conns == 0`.
+    pub fn generate(rate_per_us: f64, n: usize, conns: u32, seed: u64) -> Self {
+        assert!(rate_per_us > 0.0, "rate must be positive");
+        assert!(conns > 0, "need at least one connection");
+        let mut rng = Xoshiro256::new(seed);
+        let mean_gap = 1.0 / rate_per_us;
+        let mut t = SimTime::ZERO;
+        let arrivals = (0..n)
+            .map(|_| {
+                t += SimDuration::from_micros_f64(rng.next_exp(mean_gap));
+                Arrival {
+                    at: t,
+                    conn: rng.next_bounded(conns as u64) as u32,
+                }
+            })
+            .collect();
+        ArrivalSchedule { arrivals }
+    }
+
+    /// The arrivals, in time order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Total span of the schedule.
+    pub fn span(&self) -> SimDuration {
+        match self.arrivals.last() {
+            Some(last) => last.at.duration_since(SimTime::ZERO),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Achieved offered rate in requests/µs.
+    pub fn rate_per_us(&self) -> f64 {
+        let span = self.span().as_micros_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.arrivals.len() as f64 / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_time_ordered() {
+        let s = ArrivalSchedule::generate(1.0, 10_000, 16, 1);
+        assert_eq!(s.len(), 10_000);
+        for w in s.arrivals().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn rate_matches_request() {
+        let s = ArrivalSchedule::generate(0.5, 100_000, 8, 2);
+        let rate = s.rate_per_us();
+        assert!((rate - 0.5).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn connections_are_covered() {
+        let s = ArrivalSchedule::generate(1.0, 10_000, 4, 3);
+        let mut seen = [false; 4];
+        for a in s.arrivals() {
+            seen[a.conn as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gaps_look_exponential() {
+        // Coefficient of variation of exponential gaps is 1.
+        let s = ArrivalSchedule::generate(1.0, 200_000, 16, 4);
+        let gaps: Vec<f64> = s
+            .arrivals()
+            .windows(2)
+            .map(|w| w[1].at.duration_since(w[0].at).as_micros_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv = {cv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalSchedule::generate(0.0, 1, 1, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Service-level objectives.
+//!
+//! The paper's SLOs are all of the form "the 99th percentile of end-to-end
+//! latency must not exceed a bound": `10·S̄` for the microbenchmarks
+//! (Figures 3, 6, 7), 500µs for memcached (Figure 9), 1000µs for
+//! Silo/TPC-C (Figure 10b, Table 1).
+
+use zygos_sim::stats::LatencyHistogram;
+
+/// An SLO: `quantile(percentile) ≤ bound_us`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slo {
+    /// The percentile checked, in `(0, 1)` (paper: 0.99).
+    pub percentile: f64,
+    /// The latency bound in microseconds.
+    pub bound_us: f64,
+}
+
+impl Slo {
+    /// The paper's microbenchmark SLO: p99 ≤ `multiple`·S̄.
+    pub fn multiple_of_mean(mean_service_us: f64, multiple: f64) -> Slo {
+        Slo {
+            percentile: 0.99,
+            bound_us: multiple * mean_service_us,
+        }
+    }
+
+    /// A fixed p99 bound (e.g. 500µs for memcached, 1000µs for Silo).
+    pub fn p99(bound_us: f64) -> Slo {
+        Slo {
+            percentile: 0.99,
+            bound_us,
+        }
+    }
+
+    /// True if the recorded latencies meet the SLO.
+    pub fn met_by(&self, hist: &LatencyHistogram) -> bool {
+        hist.quantile_us(self.percentile) <= self.bound_us
+    }
+
+    /// The measured margin: `bound − quantile` (negative = violated), µs.
+    pub fn margin_us(&self, hist: &LatencyHistogram) -> f64 {
+        self.bound_us - hist.quantile_us(self.percentile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_with(values_us: &[f64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &v in values_us {
+            h.record_micros_f64(v);
+        }
+        h
+    }
+
+    #[test]
+    fn slo_construction() {
+        let s = Slo::multiple_of_mean(10.0, 10.0);
+        assert_eq!(s.bound_us, 100.0);
+        assert_eq!(s.percentile, 0.99);
+        assert_eq!(Slo::p99(1000.0).bound_us, 1000.0);
+    }
+
+    #[test]
+    fn met_and_violated() {
+        let good = hist_with(&[10.0; 100]);
+        let slo = Slo::p99(50.0);
+        assert!(slo.met_by(&good));
+        assert!(slo.margin_us(&good) > 0.0);
+
+        let mut values = vec![10.0; 95];
+        values.extend_from_slice(&[500.0; 5]);
+        let bad = hist_with(&values);
+        assert!(!slo.met_by(&bad));
+        assert!(slo.margin_us(&bad) < 0.0);
+    }
+
+    #[test]
+    fn percentile_is_respected() {
+        // 2% slow requests violate a p99 SLO but meet a p95 SLO.
+        let mut values = vec![1.0; 98];
+        values.extend_from_slice(&[1_000.0, 1_000.0]);
+        let h = hist_with(&values);
+        assert!(!Slo::p99(100.0).met_by(&h));
+        let p95 = Slo {
+            percentile: 0.95,
+            bound_us: 100.0,
+        };
+        assert!(p95.met_by(&h));
+    }
+}

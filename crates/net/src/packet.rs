@@ -1,0 +1,227 @@
+//! Packets and the RPC wire format.
+//!
+//! Every workload in the repository (synthetic spinner, memcached-like KV,
+//! Silo/TPC-C) speaks the same framed RPC format over a byte stream:
+//!
+//! ```text
+//! +----------------+----------------+----------------+---------------+
+//! | magic (2B)     | opcode (2B)    | request id (8B)| body len (4B) |
+//! +----------------+----------------+----------------+---------------+
+//! | body (len bytes)...                                              |
+//! +------------------------------------------------------------------+
+//! ```
+//!
+//! All integers are little-endian. The header is 16 bytes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::flow::ConnId;
+
+/// Magic marker starting every RPC frame.
+pub const RPC_MAGIC: u16 = 0x5A47; // "ZG"
+
+/// Size of the fixed RPC header in bytes.
+pub const RPC_HEADER_LEN: usize = 16;
+
+/// Maximum body length accepted by the framer (1 MiB).
+pub const MAX_BODY_LEN: usize = 1 << 20;
+
+/// Errors produced when decoding an RPC header.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The magic field did not match [`RPC_MAGIC`] — stream desync.
+    BadMagic { found: u16 },
+    /// Body length exceeds [`MAX_BODY_LEN`].
+    Oversized { len: usize },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => write!(f, "bad frame magic {found:#06x}"),
+            FrameError::Oversized { len } => write!(f, "frame body too large: {len}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// The fixed RPC frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RpcHeader {
+    /// Application-defined operation code.
+    pub opcode: u16,
+    /// Request identifier echoed in the response (client latency matching).
+    pub req_id: u64,
+    /// Length of the body that follows.
+    pub body_len: u32,
+}
+
+impl RpcHeader {
+    /// Encodes the header (including magic) into `dst`.
+    pub fn encode(&self, dst: &mut BytesMut) {
+        dst.reserve(RPC_HEADER_LEN);
+        dst.put_u16_le(RPC_MAGIC);
+        dst.put_u16_le(self.opcode);
+        dst.put_u64_le(self.req_id);
+        dst.put_u32_le(self.body_len);
+    }
+
+    /// Decodes a header from the first [`RPC_HEADER_LEN`] bytes of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` holds fewer than [`RPC_HEADER_LEN`] bytes.
+    pub fn decode(src: &mut impl Buf) -> Result<RpcHeader, FrameError> {
+        assert!(src.remaining() >= RPC_HEADER_LEN, "short header");
+        let magic = src.get_u16_le();
+        if magic != RPC_MAGIC {
+            return Err(FrameError::BadMagic { found: magic });
+        }
+        let opcode = src.get_u16_le();
+        let req_id = src.get_u64_le();
+        let body_len = src.get_u32_le();
+        if body_len as usize > MAX_BODY_LEN {
+            return Err(FrameError::Oversized {
+                len: body_len as usize,
+            });
+        }
+        Ok(RpcHeader {
+            opcode,
+            req_id,
+            body_len,
+        })
+    }
+}
+
+/// A complete RPC message (header + body).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcMessage {
+    /// Decoded header.
+    pub header: RpcHeader,
+    /// Message body.
+    pub body: Bytes,
+}
+
+impl RpcMessage {
+    /// Builds a message, filling in `body_len`.
+    pub fn new(opcode: u16, req_id: u64, body: Bytes) -> Self {
+        RpcMessage {
+            header: RpcHeader {
+                opcode,
+                req_id,
+                body_len: body.len() as u32,
+            },
+            body,
+        }
+    }
+
+    /// Serializes header + body into a single buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(RPC_HEADER_LEN + self.body.len());
+        self.header.encode(&mut buf);
+        buf.extend_from_slice(&self.body);
+        buf.freeze()
+    }
+
+    /// Total wire length of the message.
+    pub fn wire_len(&self) -> usize {
+        RPC_HEADER_LEN + self.body.len()
+    }
+}
+
+/// A raw packet as delivered by the (simulated) NIC: a segment of a
+/// connection's byte stream.
+///
+/// The driver layer sees packets; only the per-connection framer reassembles
+/// them into [`RpcMessage`]s — exactly the boundary-blindness that produces
+/// ZygOS's implicit per-flow batching in §6.2.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Connection this segment belongs to.
+    pub conn: ConnId,
+    /// Payload bytes (a segment of the stream, not necessarily aligned to
+    /// message boundaries).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(conn: ConnId, payload: Bytes) -> Self {
+        Packet { conn, payload }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty (pure ACK in a real stack).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = RpcHeader {
+            opcode: 7,
+            req_id: 0xDEAD_BEEF_0123,
+            body_len: 42,
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), RPC_HEADER_LEN);
+        let mut rd = buf.freeze();
+        assert_eq!(RpcHeader::decode(&mut rd), Ok(h));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(0x1234);
+        buf.put_bytes(0, RPC_HEADER_LEN - 2);
+        let mut rd = buf.freeze();
+        assert_eq!(
+            RpcHeader::decode(&mut rd),
+            Err(FrameError::BadMagic { found: 0x1234 })
+        );
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let h = RpcHeader {
+            opcode: 0,
+            req_id: 0,
+            body_len: (MAX_BODY_LEN + 1) as u32,
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let mut rd = buf.freeze();
+        assert!(matches!(
+            RpcHeader::decode(&mut rd),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn message_serialization() {
+        let m = RpcMessage::new(3, 99, Bytes::from_static(b"hello"));
+        assert_eq!(m.header.body_len, 5);
+        let wire = m.to_bytes();
+        assert_eq!(wire.len(), m.wire_len());
+        assert_eq!(&wire[RPC_HEADER_LEN..], b"hello");
+    }
+
+    #[test]
+    fn packet_basics() {
+        let p = Packet::new(ConnId(1), Bytes::from_static(b"abc"));
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(Packet::new(ConnId(1), Bytes::new()).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! A minimal TCP-like protocol layer, as seen by the scheduler.
+//!
+//! The scheduler's contract with the transport (paper §4.2, layer 1) is:
+//!
+//! * RX: the per-core stack turns raw packets into *events* on a
+//!   per-connection protocol control block ([`Pcb`]) — here, complete RPC
+//!   messages reassembled by the framer.
+//! * TX: responses are queued on the PCB and flushed by the **home core
+//!   only** (remote/stolen executions ship their syscalls home), keeping
+//!   the output path coherency-free.
+//!
+//! Congestion control, retransmission and SACK are irrelevant to the
+//! scheduling questions the paper studies (loss-free datacenter fabric,
+//! short messages) and are intentionally absent; DESIGN.md records this
+//! substitution.
+
+use bytes::Bytes;
+
+use crate::flow::{ConnId, FiveTuple};
+use crate::packet::{FrameError, Packet, RpcMessage};
+use crate::wire::Framer;
+
+/// Per-connection transport state: the receive framer, transmit queue and
+/// byte/message counters.
+pub struct Pcb {
+    /// Connection identity.
+    pub conn: ConnId,
+    /// The five-tuple (determines the RSS home core).
+    pub tuple: FiveTuple,
+    framer: Framer,
+    tx: Vec<Bytes>,
+    rx_bytes: u64,
+    tx_bytes: u64,
+    rx_msgs: u64,
+    tx_msgs: u64,
+}
+
+impl Pcb {
+    /// Creates a PCB for an accepted connection.
+    pub fn new(conn: ConnId, tuple: FiveTuple) -> Self {
+        Pcb {
+            conn,
+            tuple,
+            framer: Framer::new(),
+            tx: Vec::new(),
+            rx_bytes: 0,
+            tx_bytes: 0,
+            rx_msgs: 0,
+            tx_msgs: 0,
+        }
+    }
+
+    /// RX path: ingests one packet's payload, returning the complete
+    /// messages it unlocked (possibly zero, possibly several).
+    pub fn receive(&mut self, pkt: &Packet) -> Result<Vec<RpcMessage>, FrameError> {
+        debug_assert_eq!(pkt.conn, self.conn, "packet routed to wrong PCB");
+        self.rx_bytes += pkt.len() as u64;
+        self.framer.feed(&pkt.payload)?;
+        let msgs = self.framer.drain()?;
+        self.rx_msgs += msgs.len() as u64;
+        Ok(msgs)
+    }
+
+    /// TX path: queues a response for transmission by the home core.
+    pub fn send(&mut self, msg: &RpcMessage) {
+        let wire = msg.to_bytes();
+        self.tx_bytes += wire.len() as u64;
+        self.tx_msgs += 1;
+        self.tx.push(wire);
+    }
+
+    /// Flushes the transmit queue, returning the wire buffers in order.
+    pub fn flush_tx(&mut self) -> Vec<Bytes> {
+        std::mem::take(&mut self.tx)
+    }
+
+    /// Number of responses queued but not yet flushed.
+    pub fn tx_pending(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Lifetime counters: `(rx_bytes, tx_bytes, rx_msgs, tx_msgs)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.rx_bytes, self.tx_bytes, self.rx_msgs, self.tx_msgs)
+    }
+}
+
+/// The connection table of one ZygOS instance: dense `ConnId → Pcb`.
+#[derive(Default)]
+pub struct ConnTable {
+    pcbs: Vec<Pcb>,
+}
+
+impl ConnTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ConnTable::default()
+    }
+
+    /// Accepts a connection, assigning the next dense [`ConnId`].
+    pub fn accept(&mut self, tuple: FiveTuple) -> ConnId {
+        let id = ConnId(self.pcbs.len() as u32);
+        self.pcbs.push(Pcb::new(id, tuple));
+        id
+    }
+
+    /// Number of open connections.
+    pub fn len(&self) -> usize {
+        self.pcbs.len()
+    }
+
+    /// True if no connections are open.
+    pub fn is_empty(&self) -> bool {
+        self.pcbs.is_empty()
+    }
+
+    /// Looks up a PCB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`ConnTable::accept`].
+    pub fn pcb_mut(&mut self, id: ConnId) -> &mut Pcb {
+        &mut self.pcbs[id.index()]
+    }
+
+    /// Shared lookup.
+    pub fn pcb(&self, id: ConnId) -> &Pcb {
+        &self.pcbs[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RpcMessage;
+
+    fn mk_table() -> (ConnTable, ConnId) {
+        let mut t = ConnTable::new();
+        let id = t.accept(FiveTuple::synthetic(0));
+        (t, id)
+    }
+
+    #[test]
+    fn accept_assigns_dense_ids() {
+        let mut t = ConnTable::new();
+        for i in 0..10 {
+            assert_eq!(t.accept(FiveTuple::synthetic(i)), ConnId(i));
+        }
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn rx_reassembles_across_packets() {
+        let (mut t, id) = mk_table();
+        let wire = RpcMessage::new(1, 42, Bytes::from_static(b"payload")).to_bytes();
+        let (a, b) = wire.split_at(9);
+        let p1 = Packet::new(id, Bytes::copy_from_slice(a));
+        let p2 = Packet::new(id, Bytes::copy_from_slice(b));
+        assert!(t.pcb_mut(id).receive(&p1).unwrap().is_empty());
+        let msgs = t.pcb_mut(id).receive(&p2).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].header.req_id, 42);
+    }
+
+    #[test]
+    fn tx_queue_flushes_in_order() {
+        let (mut t, id) = mk_table();
+        let pcb = t.pcb_mut(id);
+        pcb.send(&RpcMessage::new(1, 1, Bytes::new()));
+        pcb.send(&RpcMessage::new(1, 2, Bytes::new()));
+        assert_eq!(pcb.tx_pending(), 2);
+        let out = pcb.flush_tx();
+        assert_eq!(out.len(), 2);
+        assert_eq!(pcb.tx_pending(), 0);
+        // req_id sits at offset 4..12 of the header.
+        assert_eq!(u64::from_le_bytes(out[0][4..12].try_into().unwrap()), 1);
+        assert_eq!(u64::from_le_bytes(out[1][4..12].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (mut t, id) = mk_table();
+        let wire = RpcMessage::new(1, 7, Bytes::from_static(b"abc")).to_bytes();
+        let n = wire.len() as u64;
+        t.pcb_mut(id)
+            .receive(&Packet::new(id, wire.clone()))
+            .unwrap();
+        t.pcb_mut(id).send(&RpcMessage::new(1, 7, Bytes::new()));
+        let (rxb, txb, rxm, txm) = t.pcb(id).counters();
+        assert_eq!(rxb, n);
+        assert_eq!(rxm, 1);
+        assert_eq!(txm, 1);
+        assert!(txb >= 16);
+    }
+}

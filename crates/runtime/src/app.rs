@@ -1,0 +1,89 @@
+//! The application interface (the paper's execution layer, §4.2).
+
+use zygos_net::flow::ConnId;
+use zygos_net::packet::RpcMessage;
+
+/// An RPC application: one request in, one response out.
+///
+/// Handlers run on whichever core dequeued (or stole) the connection, so
+/// they must be `Send + Sync`; the shuffle layer guarantees that at most
+/// one core executes events of a given connection at a time, and in
+/// arrival order (§4.3) — the handler needs no per-connection locking.
+pub trait RpcApp: Send + Sync + 'static {
+    /// Handles one request, returning the response.
+    fn handle(&self, conn: ConnId, req: &RpcMessage) -> RpcMessage;
+}
+
+impl<F> RpcApp for F
+where
+    F: Fn(ConnId, &RpcMessage) -> RpcMessage + Send + Sync + 'static,
+{
+    fn handle(&self, conn: ConnId, req: &RpcMessage) -> RpcMessage {
+        self(conn, req)
+    }
+}
+
+/// An app that echoes the request body back (testing / latency floors).
+pub struct EchoApp;
+
+impl RpcApp for EchoApp {
+    fn handle(&self, _conn: ConnId, req: &RpcMessage) -> RpcMessage {
+        RpcMessage::new(req.header.opcode, req.header.req_id, req.body.clone())
+    }
+}
+
+/// An app that spins for the number of nanoseconds given in the first 8
+/// body bytes — the synthetic service-time benchmark of §3.1.
+pub struct SpinApp;
+
+impl RpcApp for SpinApp {
+    fn handle(&self, _conn: ConnId, req: &RpcMessage) -> RpcMessage {
+        let ns = req
+            .body
+            .get(..8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .unwrap_or(0);
+        let start = std::time::Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::spin_loop();
+        }
+        RpcMessage::new(req.header.opcode, req.header.req_id, bytes::Bytes::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn echo_round_trips() {
+        let app = EchoApp;
+        let req = RpcMessage::new(5, 7, Bytes::from_static(b"ping"));
+        let resp = app.handle(ConnId(0), &req);
+        assert_eq!(resp.header.req_id, 7);
+        assert_eq!(&resp.body[..], b"ping");
+    }
+
+    #[test]
+    fn closure_apps_work() {
+        let app = |_c: ConnId, req: &RpcMessage| {
+            RpcMessage::new(0, req.header.req_id, Bytes::from_static(b"ok"))
+        };
+        let resp = app.handle(ConnId(1), &RpcMessage::new(1, 2, Bytes::new()));
+        assert_eq!(&resp.body[..], b"ok");
+    }
+
+    #[test]
+    fn spin_app_spins_requested_time() {
+        let app = SpinApp;
+        let req = RpcMessage::new(
+            0,
+            1,
+            Bytes::copy_from_slice(&200_000u64.to_le_bytes()), // 200µs.
+        );
+        let start = std::time::Instant::now();
+        app.handle(ConnId(0), &req);
+        assert!(start.elapsed().as_micros() >= 200);
+    }
+}

@@ -1,0 +1,125 @@
+//! The loopback client port (stands in for the NIC + client cluster).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+
+use zygos_core::doorbell::IpiReason;
+use zygos_net::flow::ConnId;
+use zygos_net::packet::{Packet, RpcHeader, RpcMessage, RPC_HEADER_LEN};
+
+use crate::server::Shared;
+
+/// Sends request frames into the server's per-core ingress rings (applying
+/// the connection's RSS home) and receives response frames.
+pub struct ClientPort {
+    shared: Arc<Shared>,
+    resp_rx: Receiver<(ConnId, Bytes)>,
+}
+
+impl ClientPort {
+    pub(crate) fn new(shared: Arc<Shared>, resp_rx: Receiver<(ConnId, Bytes)>) -> Self {
+        ClientPort { shared, resp_rx }
+    }
+
+    /// Number of usable connections.
+    pub fn conns(&self) -> u32 {
+        self.shared.cfg.conns
+    }
+
+    /// Sends one request message on `conn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range.
+    pub fn send(&self, conn: ConnId, msg: &RpcMessage) {
+        self.send_bytes(conn, msg.to_bytes());
+    }
+
+    /// Sends raw stream bytes on `conn` (may be a partial frame or several
+    /// frames — the server's framer reassembles, like TCP).
+    pub fn send_bytes(&self, conn: ConnId, payload: Bytes) {
+        let home = self.shared.conn_home[conn.index()] as usize;
+        let mut pkt = Packet::new(conn, payload);
+        loop {
+            match self.shared.rings[home].push(pkt) {
+                Ok(()) => break,
+                Err(back) => {
+                    pkt = back;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        // Kick the home core if it is parked (the NIC's interrupt).
+        self.shared.doorbells[home].ring(IpiReason::PendingPackets);
+    }
+
+    /// Receives the next response, decoding its frame.
+    ///
+    /// Returns `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(ConnId, RpcMessage)> {
+        let (conn, wire) = self.resp_rx.recv_timeout(timeout).ok()?;
+        debug_assert!(wire.len() >= RPC_HEADER_LEN, "short response frame");
+        let mut buf = wire.clone();
+        let header = RpcHeader::decode(&mut buf).expect("well-formed response");
+        let body = buf.slice(..header.body_len as usize);
+        Some((conn, RpcMessage { header, body }))
+    }
+
+    /// Number of responses currently queued.
+    pub fn pending_responses(&self) -> usize {
+        self.resp_rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EchoApp;
+    use crate::config::RuntimeConfig;
+    use crate::server::Server;
+
+    #[test]
+    fn partial_frames_reassemble_like_tcp() {
+        let (server, client) = Server::start(RuntimeConfig::zygos(2, 4), Arc::new(EchoApp));
+        let msg = RpcMessage::new(1, 9, Bytes::from_static(b"fragmented"));
+        let wire = msg.to_bytes();
+        // Send the frame in three segments.
+        client.send_bytes(ConnId(1), wire.slice(..5));
+        client.send_bytes(ConnId(1), wire.slice(5..12));
+        client.send_bytes(ConnId(1), wire.slice(12..));
+        let (_, resp) = client
+            .recv_timeout(Duration::from_secs(5))
+            .expect("reassembled response");
+        assert_eq!(resp.header.req_id, 9);
+        assert_eq!(&resp.body[..], b"fragmented");
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_frames_in_one_packet() {
+        let (server, client) = Server::start(RuntimeConfig::zygos(2, 4), Arc::new(EchoApp));
+        let mut burst = Vec::new();
+        for id in 0..4u64 {
+            burst.extend_from_slice(&RpcMessage::new(1, id, Bytes::new()).to_bytes());
+        }
+        client.send_bytes(ConnId(2), Bytes::from(burst));
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            let (_, resp) = client.recv_timeout(Duration::from_secs(5)).expect("resp");
+            ids.push(resp.header.req_id);
+        }
+        // Same connection ⇒ strictly in order (§4.3).
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn conns_accessor() {
+        let (server, client) = Server::start(RuntimeConfig::zygos(1, 7), Arc::new(EchoApp));
+        assert_eq!(client.conns(), 7);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,78 @@
+//! Runtime configuration.
+
+/// Which scheduling discipline the workers run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The ZygOS design. With `steal: false` every connection is served
+    /// exclusively by its home core (partitioned run-to-completion — the
+    /// IX shape, useful for live A/B comparisons).
+    Zygos {
+        /// Enable work stealing between cores.
+        steal: bool,
+    },
+    /// A shared ready-queue with no connection ownership (Linux-floating).
+    /// Per-connection ordering is **not** guaranteed — see crate docs.
+    Floating,
+}
+
+/// Configuration of a [`crate::Server`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of worker threads ("cores").
+    pub cores: usize,
+    /// Number of pre-registered client connections.
+    pub conns: u32,
+    /// Scheduling discipline.
+    pub scheduler: SchedulerKind,
+    /// Capacity of each per-core ingress ring.
+    pub ring_capacity: usize,
+    /// Maximum events taken from one connection per dequeue (the implicit
+    /// per-flow batch bound; `usize::MAX` = all pending, the paper's
+    /// behaviour).
+    pub conn_batch: usize,
+}
+
+impl RuntimeConfig {
+    /// A sensible default: ZygOS scheduling with stealing enabled.
+    pub fn zygos(cores: usize, conns: u32) -> Self {
+        RuntimeConfig {
+            cores,
+            conns,
+            scheduler: SchedulerKind::Zygos { steal: true },
+            ring_capacity: 4096,
+            conn_batch: usize::MAX,
+        }
+    }
+
+    /// Partitioned run-to-completion (stealing disabled).
+    pub fn partitioned(cores: usize, conns: u32) -> Self {
+        RuntimeConfig {
+            scheduler: SchedulerKind::Zygos { steal: false },
+            ..RuntimeConfig::zygos(cores, conns)
+        }
+    }
+
+    /// Linux-floating-style shared queue.
+    pub fn floating(cores: usize, conns: u32) -> Self {
+        RuntimeConfig {
+            scheduler: SchedulerKind::Floating,
+            ..RuntimeConfig::zygos(cores, conns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let z = RuntimeConfig::zygos(4, 64);
+        assert_eq!(z.scheduler, SchedulerKind::Zygos { steal: true });
+        let p = RuntimeConfig::partitioned(4, 64);
+        assert_eq!(p.scheduler, SchedulerKind::Zygos { steal: false });
+        let f = RuntimeConfig::floating(2, 8);
+        assert_eq!(f.scheduler, SchedulerKind::Floating);
+        assert_eq!(f.cores, 2);
+    }
+}

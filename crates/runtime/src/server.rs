@@ -1,0 +1,464 @@
+//! The server: worker threads running the scheduling loop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+
+use zygos_core::doorbell::{Doorbell, IpiReason};
+use zygos_core::idle::{IdlePolicy, PollTarget};
+use zygos_core::shuffle::ShuffleLayer;
+use zygos_core::spinlock::SpinLock;
+use zygos_core::stats::{CoreStats, StatsSnapshot};
+use zygos_core::syscall::{BatchedSyscall, RemoteSyscallChannel};
+use zygos_net::flow::{ConnId, FiveTuple};
+use zygos_net::packet::{Packet, RpcMessage};
+use zygos_net::ring::MpscRing;
+use zygos_net::rss::Rss;
+use zygos_net::wire::Framer;
+
+use crate::app::RpcApp;
+use crate::client::ClientPort;
+use crate::config::{RuntimeConfig, SchedulerKind};
+
+pub(crate) struct Shared {
+    pub(crate) cfg: RuntimeConfig,
+    pub(crate) shuffle: ShuffleLayer<RpcMessage>,
+    /// Per-core ingress rings (the "NIC").
+    pub(crate) rings: Vec<MpscRing<Packet>>,
+    /// Per-core remote-syscall channels.
+    remote_sys: Vec<RemoteSyscallChannel>,
+    pub(crate) doorbells: Vec<Doorbell>,
+    stats: Vec<CoreStats>,
+    /// Floating mode: the shared ready queue.
+    floating_q: SpinLock<VecDeque<(ConnId, RpcMessage)>>,
+    resp_tx: Sender<(ConnId, Bytes)>,
+    stop: AtomicBool,
+    /// Connection → home core (RSS).
+    pub(crate) conn_home: Vec<u16>,
+}
+
+/// A running server instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the connection table (via real RSS), spawns the workers, and
+    /// returns the server plus the client port.
+    pub fn start(cfg: RuntimeConfig, app: Arc<dyn RpcApp>) -> (Server, ClientPort) {
+        assert!(cfg.cores > 0, "need at least one core");
+        assert!(cfg.conns > 0, "need at least one connection");
+        let rss = Rss::new(cfg.cores);
+        let mut shuffle = ShuffleLayer::new(cfg.cores);
+        let mut conn_home = Vec::with_capacity(cfg.conns as usize);
+        for i in 0..cfg.conns {
+            let home = rss.queue_for(&FiveTuple::synthetic(i)) as u16;
+            let id = shuffle.register(home as usize);
+            debug_assert_eq!(id.0, i);
+            conn_home.push(home);
+        }
+        let (resp_tx, resp_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            rings: (0..cfg.cores)
+                .map(|_| MpscRing::with_capacity(cfg.ring_capacity))
+                .collect(),
+            remote_sys: (0..cfg.cores)
+                .map(|_| RemoteSyscallChannel::with_capacity(cfg.ring_capacity))
+                .collect(),
+            doorbells: (0..cfg.cores).map(|_| Doorbell::new()).collect(),
+            stats: (0..cfg.cores).map(|_| CoreStats::new()).collect(),
+            floating_q: SpinLock::new(VecDeque::new()),
+            resp_tx,
+            stop: AtomicBool::new(false),
+            conn_home,
+            shuffle,
+            cfg: cfg.clone(),
+        });
+        let workers = (0..cfg.cores)
+            .map(|core| {
+                let shared = Arc::clone(&shared);
+                let app = Arc::clone(&app);
+                std::thread::Builder::new()
+                    .name(format!("zygos-core-{core}"))
+                    .spawn(move || worker_loop(core, shared, app))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let port = ClientPort::new(Arc::clone(&shared), resp_rx);
+        (Server { shared, workers }, port)
+    }
+
+    /// Aggregated scheduler statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::collect(self.shared.stats.iter())
+    }
+
+    /// The home core of a connection (RSS).
+    pub fn home_of(&self, conn: ConnId) -> usize {
+        self.shared.conn_home[conn.index()] as usize
+    }
+
+    /// Stops the workers and joins them.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for d in &self.shared.doorbells {
+            d.ring(IpiReason::PendingPackets);
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+    }
+}
+
+impl Shared {
+    pub(crate) fn respond(&self, conn: ConnId, wire: Bytes) {
+        // The receiver may already be gone during shutdown; that is fine.
+        let _ = self.resp_tx.send((conn, wire));
+    }
+}
+
+/// One worker's private state: the framers of the connections homed here.
+struct HomeState {
+    framers: Vec<Framer>,
+}
+
+fn worker_loop(core: usize, shared: Arc<Shared>, app: Arc<dyn RpcApp>) {
+    shared.doorbells[core].register_target(std::thread::current());
+    let mut home = HomeState {
+        framers: (0..shared.cfg.conns).map(|_| Framer::new()).collect(),
+    };
+    let mut policy = IdlePolicy::new(core, shared.cfg.cores);
+    // Cheap xorshift for victim-order randomization.
+    let mut rng_state: u64 = 0x9E37_79B9 ^ (core as u64 + 1);
+    let mut rand = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let did_work = match shared.cfg.scheduler {
+            SchedulerKind::Zygos { steal } => {
+                zygos_step(core, &shared, &app, &mut home, &mut policy, &mut rand, steal)
+            }
+            SchedulerKind::Floating => floating_step(core, &shared, &app, &mut home),
+        };
+        if !did_work {
+            // Idle: park briefly; doorbells unpark us immediately.
+            std::thread::park_timeout(Duration::from_micros(100));
+        }
+    }
+}
+
+/// RX path: drain this core's ingress ring through the framers into the
+/// shuffle layer (or the floating queue). Home core only.
+fn tcp_in(
+    core: usize,
+    shared: &Shared,
+    home: &mut HomeState,
+    floating: bool,
+    max_pkts: usize,
+) -> usize {
+    let mut processed = 0;
+    while processed < max_pkts {
+        let Some(pkt) = shared.rings[core].pop() else {
+            break;
+        };
+        processed += 1;
+        let conn = pkt.conn;
+        debug_assert_eq!(shared.conn_home[conn.index()] as usize, core);
+        let framer = &mut home.framers[conn.index()];
+        if framer.feed(&pkt.payload).is_err() {
+            continue; // Poisoned stream: drop (a real stack would RST).
+        }
+        loop {
+            match framer.next_message() {
+                Ok(Some(msg)) => {
+                    if floating {
+                        shared.floating_q.lock().push_back((conn, msg));
+                    } else {
+                        shared.shuffle.produce(conn, msg);
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+    processed
+}
+
+/// Executes all taken events of a connection, following the paper's
+/// home/remote syscall discipline, then finishes it.
+fn exec_conn(
+    core: usize,
+    shared: &Shared,
+    app: &Arc<dyn RpcApp>,
+    conn: ConnId,
+    stolen: bool,
+) {
+    let home_core = shared.conn_home[conn.index()] as usize;
+    let events = shared.shuffle.take_events(conn, shared.cfg.conn_batch);
+    let mut shipped = Vec::new();
+    for msg in &events {
+        let resp = app.handle(conn, msg);
+        let wire = resp.to_bytes();
+        if stolen {
+            shipped.push(BatchedSyscall::SendMsg { conn, wire });
+            shared.stats[core].count_stolen_event();
+        } else {
+            // Home execution transmits eagerly (§6.2).
+            shared.respond(conn, wire);
+            shared.stats[core].count_local_event();
+        }
+    }
+    if stolen && !shipped.is_empty() {
+        shared.remote_sys[home_core].ship(shipped);
+        if shared.doorbells[home_core].ring(IpiReason::RemoteSyscalls) {
+            shared.stats[core].count_ipi_sent();
+        }
+    }
+    shared.shuffle.finish(conn);
+}
+
+/// One iteration of the ZygOS priority loop. Returns `true` if any work
+/// was found.
+#[allow(clippy::too_many_arguments)]
+fn zygos_step(
+    core: usize,
+    shared: &Shared,
+    app: &Arc<dyn RpcApp>,
+    home: &mut HomeState,
+    policy: &mut IdlePolicy,
+    rand: &mut impl FnMut() -> u64,
+    steal: bool,
+) -> bool {
+    // 0. Doorbell (the "IPI handler"): clear pending reasons; the duties
+    // are performed by the priority steps below.
+    for _reason in shared.doorbells[core].take() {
+        shared.stats[core].count_ipi_handled();
+    }
+
+    // 1. Remote syscalls: transmit responses for stolen executions.
+    let remote = shared.remote_sys[core].drain(64);
+    if !remote.is_empty() {
+        for sc in remote {
+            shared.stats[core].count_remote_syscall();
+            match sc {
+                BatchedSyscall::SendMsg { conn, wire } => shared.respond(conn, wire),
+                BatchedSyscall::Close { .. } | BatchedSyscall::Nop { .. } => {}
+            }
+        }
+        return true;
+    }
+
+    // 2. Own shuffle queue.
+    if let Some(conn) = shared.shuffle.dequeue_local(core) {
+        shared.stats[core].count_local_dequeue();
+        exec_conn(core, shared, app, conn, false);
+        return true;
+    }
+
+    // 3. Own ingress ring → network stack (bounded batch).
+    if tcp_in(core, shared, home, false, 64) > 0 {
+        return true;
+    }
+
+    if !steal {
+        return false;
+    }
+
+    // 4.–5. The idle sweep: steal from remote shuffle queues, then check
+    // remote rings and ring the home core's doorbell (the IPI).
+    let sweep = policy.sweep(|victims| {
+        // Fisher–Yates with the worker-local generator.
+        for i in (1..victims.len()).rev() {
+            let j = (rand() % (i as u64 + 1)) as usize;
+            victims.swap(i, j);
+        }
+    });
+    for target in sweep {
+        match target {
+            PollTarget::OwnHwRing => {
+                // Re-check: a packet may have landed since step 3.
+                if tcp_in(core, shared, home, false, 64) > 0 {
+                    return true;
+                }
+            }
+            PollTarget::RemoteShuffle(v) => {
+                if let Some(conn) = shared.shuffle.try_steal(v) {
+                    shared.stats[core].count_steal();
+                    exec_conn(core, shared, app, conn, true);
+                    return true;
+                }
+                shared.stats[core].count_failed_steal();
+            }
+            PollTarget::RemoteSwQueue(v) | PollTarget::RemoteHwRing(v) => {
+                // Pending packets on a remote core's ring: only its home
+                // core may run the stack — send the "IPI".
+                if !shared.rings[v].is_empty()
+                    && shared.doorbells[v].ring(IpiReason::PendingPackets)
+                {
+                    shared.stats[core].count_ipi_sent();
+                }
+            }
+        }
+    }
+    false
+}
+
+/// One iteration of the floating (shared-queue) loop.
+fn floating_step(
+    core: usize,
+    shared: &Shared,
+    app: &Arc<dyn RpcApp>,
+    home: &mut HomeState,
+) -> bool {
+    // RX on the home core feeds the shared queue.
+    let moved = tcp_in(core, shared, home, true, 64);
+    // Claim one ready event from the shared pool — any worker may.
+    let claimed = shared.floating_q.lock().pop_front();
+    if let Some((conn, msg)) = claimed {
+        let resp = app.handle(conn, &msg);
+        shared.respond(conn, resp.to_bytes());
+        shared.stats[core].count_local_event();
+        return true;
+    }
+    moved > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EchoApp;
+    use bytes::Bytes;
+    use std::collections::HashMap;
+
+    fn echo_server(cfg: RuntimeConfig) -> (Server, ClientPort) {
+        Server::start(cfg, Arc::new(EchoApp))
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let (server, client) = echo_server(RuntimeConfig::zygos(2, 8));
+        let conn = ConnId(3);
+        client.send(conn, &RpcMessage::new(1, 42, Bytes::from_static(b"hi")));
+        let (rconn, resp) = client.recv_timeout(Duration::from_secs(5)).expect("response");
+        assert_eq!(rconn, conn);
+        assert_eq!(resp.header.req_id, 42);
+        assert_eq!(&resp.body[..], b"hi");
+        server.shutdown();
+    }
+
+    #[test]
+    fn thousands_of_requests_complete_exactly_once() {
+        let (server, client) = echo_server(RuntimeConfig::zygos(4, 64));
+        let n = 5_000u64;
+        for id in 0..n {
+            let conn = ConnId((id % 64) as u32);
+            client.send(conn, &RpcMessage::new(1, id, Bytes::new()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let (_, resp) = client.recv_timeout(Duration::from_secs(10)).expect("response");
+            assert!(seen.insert(resp.header.req_id), "duplicate response");
+        }
+        assert_eq!(seen.len(), n as usize);
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_connection_order_is_preserved_under_zygos() {
+        // The §4.3 guarantee: pipelined requests on one socket answer in
+        // order even with stealing enabled.
+        let (server, client) = echo_server(RuntimeConfig::zygos(4, 16));
+        let depth = 200u64;
+        for conn in 0..16u32 {
+            for seq in 0..depth {
+                client.send(
+                    ConnId(conn),
+                    &RpcMessage::new(1, (conn as u64) << 32 | seq, Bytes::new()),
+                );
+            }
+        }
+        let mut next: HashMap<u32, u64> = HashMap::new();
+        for _ in 0..(16 * depth) {
+            let (conn, resp) = client.recv_timeout(Duration::from_secs(10)).expect("resp");
+            let seq = resp.header.req_id & 0xFFFF_FFFF;
+            let expect = next.entry(conn.0).or_insert(0);
+            assert_eq!(seq, *expect, "conn {} out of order", conn.0);
+            *expect += 1;
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn partitioned_mode_never_steals() {
+        let (server, client) = echo_server(RuntimeConfig::partitioned(4, 32));
+        for id in 0..2_000u64 {
+            client.send(ConnId((id % 32) as u32), &RpcMessage::new(1, id, Bytes::new()));
+        }
+        for _ in 0..2_000 {
+            client.recv_timeout(Duration::from_secs(10)).expect("resp");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.stolen_events, 0);
+        assert_eq!(stats.local_events, 2_000);
+        server.shutdown();
+    }
+
+    #[test]
+    fn floating_mode_completes_everything() {
+        let (server, client) = echo_server(RuntimeConfig::floating(4, 32));
+        for id in 0..2_000u64 {
+            client.send(ConnId((id % 32) as u32), &RpcMessage::new(1, id, Bytes::new()));
+        }
+        let mut got = 0;
+        for _ in 0..2_000 {
+            client.recv_timeout(Duration::from_secs(10)).expect("resp");
+            got += 1;
+        }
+        assert_eq!(got, 2_000);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stealing_happens_when_one_core_is_loaded() {
+        // All connections homed wherever RSS puts them; a burst on one
+        // connection's core gives other cores steal opportunities when
+        // handlers are slow. Use a handler with a real delay.
+        let slow = |_c: ConnId, req: &RpcMessage| {
+            std::thread::sleep(Duration::from_micros(200));
+            RpcMessage::new(0, req.header.req_id, Bytes::new())
+        };
+        let (server, client) = Server::start(RuntimeConfig::zygos(4, 64), Arc::new(slow));
+        for id in 0..400u64 {
+            client.send(ConnId((id % 64) as u32), &RpcMessage::new(1, id, Bytes::new()));
+        }
+        for _ in 0..400 {
+            client.recv_timeout(Duration::from_secs(30)).expect("resp");
+        }
+        let stats = server.stats();
+        assert!(
+            stats.steals > 0,
+            "expected steals under load imbalance: {stats:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let (server, _client) = echo_server(RuntimeConfig::zygos(2, 4));
+        server.shutdown();
+    }
+}

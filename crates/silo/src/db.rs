@@ -1,0 +1,160 @@
+//! The database: a named-table catalog plus the epoch manager.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::epoch::EpochManager;
+use crate::gc::GcQueue;
+use crate::table::Table;
+use crate::txn::Transaction;
+
+/// Default number of leading key bytes used for shard selection.
+///
+/// All key encodings in this repository place the coarsest partitioning
+/// component (e.g. the TPC-C warehouse + district) in the first four bytes,
+/// so ranges that are scanned together always share a shard.
+pub const DEFAULT_SHARD_PREFIX: usize = 4;
+
+/// An in-memory OCC database.
+pub struct Database {
+    tables: RwLock<HashMap<String, Table>>,
+    epochs: Arc<EpochManager>,
+    gc: GcQueue,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates an empty database at epoch 1 with GC disabled.
+    pub fn new() -> Self {
+        Database {
+            tables: RwLock::new(HashMap::new()),
+            epochs: Arc::new(EpochManager::new()),
+            gc: GcQueue::new(),
+        }
+    }
+
+    /// Creates (or returns the existing) table `name` with `shards` shards.
+    pub fn create_table(&self, name: &str, shards: usize) -> Table {
+        let mut tables = self.tables.write();
+        tables
+            .entry(name.to_string())
+            .or_insert_with(|| Table::new(name, shards, DEFAULT_SHARD_PREFIX))
+            .clone()
+    }
+
+    /// Creates a table with an explicit shard-prefix length (tables whose
+    /// keys are never range-scanned can shard on the full key for better
+    /// spread, e.g. TPC-C `item` and `stock`).
+    pub fn create_table_with_prefix(&self, name: &str, shards: usize, prefix_len: usize) -> Table {
+        let mut tables = self.tables.write();
+        tables
+            .entry(name.to_string())
+            .or_insert_with(|| Table::new(name, shards, prefix_len))
+            .clone()
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<Table> {
+        self.tables.read().get(name).cloned()
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> Transaction<'_> {
+        Transaction::new(self)
+    }
+
+    /// The epoch manager (group commit / GC control).
+    pub fn epochs(&self) -> &Arc<EpochManager> {
+        &self.epochs
+    }
+
+    /// The garbage-collection queue (candidates deferred for quiescence).
+    pub fn gc(&self) -> &GcQueue {
+        &self.gc
+    }
+
+    /// Reclaims quiesced deleted records; returns the number of index
+    /// entries removed. A no-op unless `epochs().set_gc(true)` was called
+    /// (the paper's evaluation keeps GC off, §6.3.1).
+    pub fn collect_garbage(&self) -> usize {
+        if !self.epochs.gc_enabled() {
+            return 0;
+        }
+        self.gc.collect(self.epochs.current())
+    }
+
+    /// Runs `body` in a retry loop until it commits, returning the result
+    /// and the number of aborts. `body` must be idempotent.
+    pub fn run<T>(
+        &self,
+        mut body: impl FnMut(&mut Transaction<'_>) -> Result<T, crate::txn::CommitError>,
+    ) -> (T, u32) {
+        let mut aborts = 0;
+        loop {
+            let mut txn = self.begin();
+            match body(&mut txn) {
+                Ok(v) => match txn.commit() {
+                    Ok(_) => return (v, aborts),
+                    Err(_) => aborts += 1,
+                },
+                Err(_) => aborts += 1,
+            }
+            if aborts > 10_000 {
+                panic!("transaction livelock: {aborts} aborts");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_is_idempotent() {
+        let db = Database::new();
+        let a = db.create_table("x", 4);
+        let b = db.create_table("x", 8);
+        assert_eq!(a.id(), b.id(), "same table returned");
+        assert_eq!(db.table_names(), vec!["x"]);
+    }
+
+    #[test]
+    fn table_lookup() {
+        let db = Database::new();
+        assert!(db.table("nope").is_none());
+        db.create_table("t1", 1);
+        assert!(db.table("t1").is_some());
+    }
+
+    #[test]
+    fn run_retries_until_commit() {
+        let db = Database::new();
+        let t = db.create_table("t", 1);
+        let mut setup = db.begin();
+        setup.insert(&t, b"aa-k".to_vec(), vec![0]);
+        setup.commit().unwrap();
+
+        let (v, aborts) = db.run(|txn| {
+            let cur = txn.read(&t, b"aa-k")?.expect("seeded");
+            txn.update(&t, b"aa-k".to_vec(), vec![cur[0] + 1]);
+            Ok(cur[0])
+        });
+        assert_eq!(v, 0);
+        assert_eq!(aborts, 0);
+    }
+}

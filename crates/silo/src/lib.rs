@@ -1,0 +1,59 @@
+//! A Silo-style in-memory transactional database (Tu et al., SOSP 2013).
+//!
+//! The paper evaluates ZygOS with "Silo, a state-of-the-art in-memory
+//! transactional database prototype" running TPC-C (§6.3). Silo's C++
+//! implementation is not usable from Rust, so this crate reimplements its
+//! essential machinery from the Silo paper:
+//!
+//! * [`tid`] — 64-bit TID words: `[status | epoch | sequence]` with a lock
+//!   bit, enabling optimistic record reads without shared-memory writes.
+//! * [`record`] — versioned records: an atomic TID word plus the row bytes,
+//!   read with a seqlock-style retry loop and written only while locked.
+//! * [`table`] — sharded ordered indexes (BTree per shard) with per-shard
+//!   structure versions for coarse phantom detection on range scans.
+//! * [`txn`] — OCC transactions: read set, write set, and Silo's 3-phase
+//!   commit (lock writes in canonical order → validate reads → install
+//!   with a fresh TID in the current epoch).
+//! * [`epoch`] — the epoch manager behind Silo's group commit. The paper
+//!   disables Silo's GC for the evaluation; [`epoch::EpochManager`] makes
+//!   that a switch.
+//! * [`tpcc`] — the complete TPC-C workload: all nine tables, the
+//!   standard-compliant loader, NURand parameter generation, and all five
+//!   transactions in the standard mix (45/43/4/4/4).
+//!
+//! # Example
+//!
+//! ```
+//! use zygos_silo::db::Database;
+//!
+//! let db = Database::new();
+//! let accounts = db.create_table("accounts", 4);
+//!
+//! // Seed two accounts.
+//! let mut setup = db.begin();
+//! setup.insert(&accounts, b"alice".to_vec(), 100u64.to_le_bytes().to_vec());
+//! setup.insert(&accounts, b"bob".to_vec(), 0u64.to_le_bytes().to_vec());
+//! setup.commit().unwrap();
+//!
+//! // Transfer 40 from alice to bob, transactionally.
+//! let mut t = db.begin();
+//! let a = u64::from_le_bytes(t.read(&accounts, b"alice").unwrap().unwrap()[..8].try_into().unwrap());
+//! let b = u64::from_le_bytes(t.read(&accounts, b"bob").unwrap().unwrap()[..8].try_into().unwrap());
+//! t.update(&accounts, b"alice".to_vec(), (a - 40).to_le_bytes().to_vec());
+//! t.update(&accounts, b"bob".to_vec(), (b + 40).to_le_bytes().to_vec());
+//! t.commit().unwrap();
+//! ```
+
+pub mod db;
+pub mod epoch;
+pub mod gc;
+pub mod record;
+pub mod table;
+pub mod tid;
+pub mod tpcc;
+pub mod txn;
+
+pub use db::Database;
+pub use epoch::EpochManager;
+pub use tid::TidWord;
+pub use txn::{CommitError, Transaction};

@@ -1,0 +1,212 @@
+//! Versioned records (Silo §4.2).
+//!
+//! A record is an atomic TID word plus the row bytes. Readers never write
+//! shared memory: they snapshot the TID, copy the data, and re-check the
+//! TID (a seqlock). Writers hold the TID's lock bit while mutating.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::tid::TidWord;
+
+/// One record version in the store.
+pub struct Record {
+    tid: AtomicU64,
+    /// Row bytes. The RwLock is *not* the concurrency-control mechanism —
+    /// OCC is — it only makes the byte copy itself race-free so the crate
+    /// contains no `unsafe`. Writers hold the TID lock bit *and* this
+    /// write lock; readers validate the TID around the read.
+    data: RwLock<Vec<u8>>,
+}
+
+impl Record {
+    /// Creates a present record with the given initial TID and contents.
+    pub fn new(tid: TidWord, data: Vec<u8>) -> Self {
+        Record {
+            tid: AtomicU64::new(tid.0),
+            data: RwLock::new(data),
+        }
+    }
+
+    /// Creates an absent placeholder (used by inserts before commit).
+    pub fn absent(tid: TidWord) -> Self {
+        Record {
+            tid: AtomicU64::new(tid.with_absent(true).0),
+            data: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Current TID word.
+    pub fn tid(&self) -> TidWord {
+        TidWord(self.tid.load(Ordering::Acquire))
+    }
+
+    /// Optimistically reads the record.
+    ///
+    /// Returns `(observed_tid, data)`; the data is `None` if the record is
+    /// logically absent. Spins while the record is locked by a writer.
+    pub fn read(&self) -> (TidWord, Option<Vec<u8>>) {
+        loop {
+            let t1 = self.tid();
+            if t1.is_locked() {
+                std::hint::spin_loop();
+                continue;
+            }
+            let data = if t1.is_absent() {
+                None
+            } else {
+                Some(self.data.read().clone())
+            };
+            let t2 = self.tid();
+            if t1 == t2 {
+                return (t1, data);
+            }
+            // A writer intervened; retry.
+        }
+    }
+
+    /// Attempts to acquire the record's write lock (phase 1 of commit).
+    pub fn try_lock(&self) -> bool {
+        let cur = self.tid.load(Ordering::Relaxed);
+        if TidWord(cur).is_locked() {
+            return false;
+        }
+        self.tid
+            .compare_exchange(
+                cur,
+                TidWord(cur).locked().0,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Spins until the write lock is acquired.
+    pub fn lock(&self) {
+        while !self.try_lock() {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Releases the lock without changing the version (aborted commit).
+    pub fn unlock(&self) {
+        let cur = TidWord(self.tid.load(Ordering::Relaxed));
+        debug_assert!(cur.is_locked());
+        self.tid.store(cur.unlocked().0, Ordering::Release);
+    }
+
+    /// Installs new contents and releases the lock with `new_tid`
+    /// (phase 3 of commit). Passing `None` marks the record absent.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the caller does not hold the lock or if `new_tid`
+    /// still carries the lock bit.
+    pub fn install(&self, new_tid: TidWord, data: Option<Vec<u8>>) {
+        debug_assert!(self.tid().is_locked(), "install requires the lock");
+        debug_assert!(!new_tid.is_locked(), "new tid must be unlocked");
+        let absent = data.is_none();
+        {
+            let mut d = self.data.write();
+            *d = data.unwrap_or_default();
+        }
+        self.tid
+            .store(new_tid.with_absent(absent).0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_returns_data_and_tid() {
+        let r = Record::new(TidWord::new(1, 1), vec![1, 2, 3]);
+        let (tid, data) = r.read();
+        assert_eq!(tid, TidWord::new(1, 1));
+        assert_eq!(data, Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn absent_record_reads_none() {
+        let r = Record::absent(TidWord::ZERO);
+        let (tid, data) = r.read();
+        assert!(tid.is_absent());
+        assert_eq!(data, None);
+    }
+
+    #[test]
+    fn lock_install_unlock_cycle() {
+        let r = Record::new(TidWord::new(1, 1), vec![0]);
+        assert!(r.try_lock());
+        assert!(!r.try_lock(), "no double lock");
+        r.install(TidWord::new(1, 2), Some(vec![9]));
+        let (tid, data) = r.read();
+        assert_eq!(tid, TidWord::new(1, 2));
+        assert_eq!(data, Some(vec![9]));
+    }
+
+    #[test]
+    fn unlock_preserves_version() {
+        let r = Record::new(TidWord::new(3, 7), vec![1]);
+        r.lock();
+        r.unlock();
+        assert_eq!(r.tid(), TidWord::new(3, 7));
+    }
+
+    #[test]
+    fn install_none_marks_absent() {
+        let r = Record::new(TidWord::new(1, 1), vec![1]);
+        r.lock();
+        r.install(TidWord::new(1, 2), None);
+        let (tid, data) = r.read();
+        assert!(tid.is_absent());
+        assert_eq!(data, None);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_writes() {
+        // Writers alternate between two self-consistent images; readers
+        // must only ever observe one of them in full.
+        let r = Arc::new(Record::new(TidWord::new(0, 1), vec![0u8; 64]));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let r = Arc::clone(&r);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seq = 2u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let fill = (seq & 0xFF) as u8;
+                    r.lock();
+                    r.install(TidWord::new(0, seq), Some(vec![fill; 64]));
+                    seq += 1;
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let (_tid, data) = r.read();
+                        let data = data.expect("present");
+                        let first = data[0];
+                        assert!(
+                            data.iter().all(|&b| b == first),
+                            "torn read observed"
+                        );
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        for h in readers {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Transaction-ID words (Silo §4.1).
+//!
+//! Every record carries a 64-bit TID word combining the commit identity of
+//! its last writer with status bits:
+//!
+//! ```text
+//!  63            35 34            3  2       1        0
+//! +----------------+----------------+--------+--------+--------+
+//! | epoch (29 bits)| seq (32 bits)  | absent | latest | lock   |
+//! +----------------+----------------+--------+--------+--------+
+//! ```
+//!
+//! TIDs order totally within an epoch and across epochs; the lock bit
+//! doubles as the record's write lock, set by phase 1 of the commit
+//! protocol.
+
+/// A decoded TID word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TidWord(pub u64);
+
+const LOCK_BIT: u64 = 1;
+const LATEST_BIT: u64 = 1 << 1;
+const ABSENT_BIT: u64 = 1 << 2;
+const STATUS_MASK: u64 = 0b111;
+const SEQ_SHIFT: u32 = 3;
+const SEQ_BITS: u32 = 32;
+const SEQ_MASK: u64 = ((1u64 << SEQ_BITS) - 1) << SEQ_SHIFT;
+const EPOCH_SHIFT: u32 = SEQ_SHIFT + SEQ_BITS;
+
+impl TidWord {
+    /// The zero TID: epoch 0, sequence 0, unlocked, latest, present.
+    pub const ZERO: TidWord = TidWord(LATEST_BIT);
+
+    /// Builds a TID from an epoch and sequence number.
+    pub fn new(epoch: u64, seq: u64) -> TidWord {
+        debug_assert!(epoch < (1 << 29), "epoch overflow");
+        debug_assert!(seq < (1 << SEQ_BITS), "sequence overflow");
+        TidWord((epoch << EPOCH_SHIFT) | (seq << SEQ_SHIFT) | LATEST_BIT)
+    }
+
+    /// The epoch component.
+    pub fn epoch(self) -> u64 {
+        self.0 >> EPOCH_SHIFT
+    }
+
+    /// The sequence component.
+    pub fn seq(self) -> u64 {
+        (self.0 & SEQ_MASK) >> SEQ_SHIFT
+    }
+
+    /// True if the lock bit is set.
+    pub fn is_locked(self) -> bool {
+        self.0 & LOCK_BIT != 0
+    }
+
+    /// True if the record is logically absent (deleted placeholder).
+    pub fn is_absent(self) -> bool {
+        self.0 & ABSENT_BIT != 0
+    }
+
+    /// Returns the word with the lock bit set.
+    pub fn locked(self) -> TidWord {
+        TidWord(self.0 | LOCK_BIT)
+    }
+
+    /// Returns the word with the lock bit clear.
+    pub fn unlocked(self) -> TidWord {
+        TidWord(self.0 & !LOCK_BIT)
+    }
+
+    /// Returns the word with the absent bit set/cleared.
+    pub fn with_absent(self, absent: bool) -> TidWord {
+        if absent {
+            TidWord(self.0 | ABSENT_BIT)
+        } else {
+            TidWord(self.0 & !ABSENT_BIT)
+        }
+    }
+
+    /// The commit identity (epoch, seq) ignoring status bits — what read
+    /// validation compares.
+    pub fn commit_id(self) -> u64 {
+        self.0 & !STATUS_MASK
+    }
+
+    /// Next sequence number within the same epoch, wrapping into a new
+    /// epoch is the caller's concern.
+    pub fn next_seq(self) -> TidWord {
+        TidWord::new(self.epoch(), self.seq() + 1).with_absent(self.is_absent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_epoch_seq() {
+        let t = TidWord::new(123, 456_789);
+        assert_eq!(t.epoch(), 123);
+        assert_eq!(t.seq(), 456_789);
+        assert!(!t.is_locked());
+        assert!(!t.is_absent());
+    }
+
+    #[test]
+    fn lock_bit_toggles() {
+        let t = TidWord::new(1, 1);
+        let l = t.locked();
+        assert!(l.is_locked());
+        assert_eq!(l.unlocked(), t);
+        // Commit identity is unaffected by status bits.
+        assert_eq!(l.commit_id(), t.commit_id());
+    }
+
+    #[test]
+    fn absent_bit() {
+        let t = TidWord::new(2, 3).with_absent(true);
+        assert!(t.is_absent());
+        assert!(!t.with_absent(false).is_absent());
+    }
+
+    #[test]
+    fn tids_order_across_epochs() {
+        let a = TidWord::new(1, u32::MAX as u64);
+        let b = TidWord::new(2, 0);
+        assert!(b.commit_id() > a.commit_id());
+    }
+
+    #[test]
+    fn next_seq_increments() {
+        let t = TidWord::new(5, 10);
+        let n = t.next_seq();
+        assert_eq!(n.epoch(), 5);
+        assert_eq!(n.seq(), 11);
+    }
+}

@@ -1,0 +1,192 @@
+//! TPC-C random input generation (TPC-C spec clause 2 & 4.3).
+//!
+//! Implements the spec's `NURand` non-uniform distribution, last-name
+//! syllable construction, and random string/number helpers, on a local
+//! xorshift generator (no external dependencies, deterministic).
+
+/// Deterministic generator for workload inputs.
+#[derive(Clone, Debug)]
+pub struct TpccRng {
+    state: u64,
+    /// C constant for NURand(1023, ..) (customer last name).
+    pub c_last: u64,
+    /// C constant for NURand(8191, ..) (item id).
+    pub c_id: u64,
+}
+
+impl TpccRng {
+    /// Creates a generator; the NURand C constants derive from the seed as
+    /// the spec allows (any value in range).
+    pub fn new(seed: u64) -> Self {
+        let mut r = TpccRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            c_last: 0,
+            c_id: 0,
+        };
+        if r.state == 0 {
+            r.state = 1;
+        }
+        r.c_last = r.uniform(0, 255);
+        r.c_id = r.uniform(0, 1023);
+        r
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    }
+
+    /// The spec's non-uniform random: `NURand(A, x, y)`.
+    pub fn nurand(&mut self, a: u64, x: u64, y: u64) -> u64 {
+        let c = match a {
+            255 => self.c_last,
+            1023 => self.c_id,
+            8191 => self.c_id,
+            _ => 0,
+        };
+        (((self.uniform(0, a) | self.uniform(x, y)) + c) % (y - x + 1)) + x
+    }
+
+    /// Customer id: NURand(1023, 1, 3000).
+    pub fn customer_id(&mut self) -> u32 {
+        self.nurand(1023, 1, 3000) as u32
+    }
+
+    /// Item id: NURand(8191, 1, 100000).
+    pub fn item_id(&mut self) -> u32 {
+        self.nurand(8191, 1, 100_000) as u32
+    }
+
+    /// Last-name index for running transactions: NURand(255, 0, 999).
+    pub fn last_name_index(&mut self) -> u64 {
+        self.nurand(255, 0, 999)
+    }
+
+    /// Random alphanumeric string of length in `[lo, hi]`.
+    pub fn a_string(&mut self, lo: u64, hi: u64) -> String {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        let len = self.uniform(lo, hi) as usize;
+        (0..len)
+            .map(|_| CHARS[self.uniform(0, CHARS.len() as u64 - 1) as usize] as char)
+            .collect()
+    }
+
+    /// Random numeric string of length in `[lo, hi]`.
+    pub fn n_string(&mut self, lo: u64, hi: u64) -> String {
+        let len = self.uniform(lo, hi) as usize;
+        (0..len)
+            .map(|_| (b'0' + self.uniform(0, 9) as u8) as char)
+            .collect()
+    }
+
+    /// True with probability `pct`%.
+    pub fn chance(&mut self, pct: u64) -> bool {
+        self.uniform(1, 100) <= pct
+    }
+}
+
+/// The spec's last-name syllables (clause 4.3.2.3).
+pub const NAME_SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Builds a last name from a number in `[0, 999]`.
+pub fn last_name(num: u64) -> String {
+    debug_assert!(num < 1000);
+    format!(
+        "{}{}{}",
+        NAME_SYLLABLES[(num / 100) as usize],
+        NAME_SYLLABLES[((num / 10) % 10) as usize],
+        NAME_SYLLABLES[(num % 10) as usize]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = TpccRng::new(1);
+        for _ in 0..10_000 {
+            let v = r.uniform(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut r = TpccRng::new(2);
+        for _ in 0..10_000 {
+            let c = r.customer_id();
+            assert!((1..=3000).contains(&c));
+            let i = r.item_id();
+            assert!((1..=100_000).contains(&i));
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed() {
+        // NURand concentrates mass: the most popular decile should receive
+        // clearly more than 10% of draws.
+        let mut r = TpccRng::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = r.nurand(1023, 1, 3000);
+            counts[((v - 1) * 10 / 3000) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 13_000, "max decile = {max}: {counts:?}");
+    }
+
+    #[test]
+    fn last_names_match_spec_examples() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn strings_have_requested_lengths() {
+        let mut r = TpccRng::new(4);
+        for _ in 0..100 {
+            let s = r.a_string(8, 16);
+            assert!((8..=16).contains(&s.len()));
+            let n = r.n_string(4, 4);
+            assert_eq!(n.len(), 4);
+            assert!(n.bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut r = TpccRng::new(5);
+        let hits = (0..100_000).filter(|_| r.chance(40)).count();
+        assert!((38_000..42_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = TpccRng::new(9);
+        let mut b = TpccRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0, 1_000_000), b.uniform(0, 1_000_000));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Key encodings for the nine TPC-C tables.
+//!
+//! Every key begins with a 4-byte prefix `[w_id:u16 BE][d_id:u8][pad:0]`
+//! that both (a) sorts rows of one district contiguously and (b) selects
+//! the index shard (see `zygos_silo::table`): all TPC-C range scans are
+//! within one (warehouse, district), so they never cross shards.
+//! Order-significant integer components are big-endian.
+
+/// Builds the 4-byte shard prefix.
+fn prefix(w_id: u16, d_id: u8) -> [u8; 4] {
+    let w = w_id.to_be_bytes();
+    [w[0], w[1], d_id, 0]
+}
+
+/// warehouse — key: (w_id).
+pub fn warehouse(w_id: u16) -> Vec<u8> {
+    prefix(w_id, 0).to_vec()
+}
+
+/// district — key: (w_id, d_id).
+pub fn district(w_id: u16, d_id: u8) -> Vec<u8> {
+    prefix(w_id, d_id).to_vec()
+}
+
+/// customer — key: (w_id, d_id, c_id).
+pub fn customer(w_id: u16, d_id: u8, c_id: u32) -> Vec<u8> {
+    let mut k = prefix(w_id, d_id).to_vec();
+    k.extend_from_slice(&c_id.to_be_bytes());
+    k
+}
+
+/// customer-by-name index — key: (w_id, d_id, last_name padded to 16 bytes, c_id).
+pub fn customer_name(w_id: u16, d_id: u8, last: &str, c_id: u32) -> Vec<u8> {
+    let mut k = prefix(w_id, d_id).to_vec();
+    let mut name = [0u8; 16];
+    let bytes = last.as_bytes();
+    name[..bytes.len().min(16)].copy_from_slice(&bytes[..bytes.len().min(16)]);
+    k.extend_from_slice(&name);
+    k.extend_from_slice(&c_id.to_be_bytes());
+    k
+}
+
+/// Range covering every `customer_name` entry for one last name.
+pub fn customer_name_range(w_id: u16, d_id: u8, last: &str) -> (Vec<u8>, Vec<u8>) {
+    (
+        customer_name(w_id, d_id, last, 0),
+        customer_name(w_id, d_id, last, u32::MAX),
+    )
+}
+
+/// history — key: (w_id, d_id, seq). TPC-C's history table has no primary
+/// key; we append with a global sequence number.
+pub fn history(w_id: u16, d_id: u8, seq: u64) -> Vec<u8> {
+    let mut k = prefix(w_id, d_id).to_vec();
+    k.extend_from_slice(&seq.to_be_bytes());
+    k
+}
+
+/// new-order — key: (w_id, d_id, o_id); ascending scan finds the oldest.
+pub fn new_order(w_id: u16, d_id: u8, o_id: u32) -> Vec<u8> {
+    let mut k = prefix(w_id, d_id).to_vec();
+    k.extend_from_slice(&o_id.to_be_bytes());
+    k
+}
+
+/// oorder — key: (w_id, d_id, o_id).
+pub fn order(w_id: u16, d_id: u8, o_id: u32) -> Vec<u8> {
+    let mut k = prefix(w_id, d_id).to_vec();
+    k.extend_from_slice(&o_id.to_be_bytes());
+    k
+}
+
+/// order-by-customer index — key: (w_id, d_id, c_id, o_id); descending
+/// scan finds a customer's most recent order (OrderStatus).
+pub fn order_by_customer(w_id: u16, d_id: u8, c_id: u32, o_id: u32) -> Vec<u8> {
+    let mut k = prefix(w_id, d_id).to_vec();
+    k.extend_from_slice(&c_id.to_be_bytes());
+    k.extend_from_slice(&o_id.to_be_bytes());
+    k
+}
+
+/// Range covering all orders of one customer.
+pub fn order_by_customer_range(w_id: u16, d_id: u8, c_id: u32) -> (Vec<u8>, Vec<u8>) {
+    (
+        order_by_customer(w_id, d_id, c_id, 0),
+        order_by_customer(w_id, d_id, c_id, u32::MAX),
+    )
+}
+
+/// order-line — key: (w_id, d_id, o_id, ol_number).
+pub fn order_line(w_id: u16, d_id: u8, o_id: u32, ol_number: u8) -> Vec<u8> {
+    let mut k = prefix(w_id, d_id).to_vec();
+    k.extend_from_slice(&o_id.to_be_bytes());
+    k.push(ol_number);
+    k
+}
+
+/// Range covering all order lines of orders `[o_lo, o_hi]` in a district
+/// (StockLevel scans the lines of the last 20 orders).
+pub fn order_line_range(w_id: u16, d_id: u8, o_lo: u32, o_hi: u32) -> (Vec<u8>, Vec<u8>) {
+    (order_line(w_id, d_id, o_lo, 0), order_line(w_id, d_id, o_hi, u8::MAX))
+}
+
+/// item — key: (i_id). Items are warehouse-independent; the item table is
+/// created with full-key sharding, so no prefix discipline is needed.
+pub fn item(i_id: u32) -> Vec<u8> {
+    i_id.to_be_bytes().to_vec()
+}
+
+/// stock — key: (w_id, i_id).
+pub fn stock(w_id: u16, i_id: u32) -> Vec<u8> {
+    let mut k = prefix(w_id, 0).to_vec();
+    k.extend_from_slice(&i_id.to_be_bytes());
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_sort_by_component_order() {
+        assert!(order(1, 1, 5) < order(1, 1, 6));
+        assert!(order(1, 1, 255) < order(1, 1, 256), "big-endian ordering");
+        assert!(order_line(1, 2, 7, 1) < order_line(1, 2, 7, 2));
+        assert!(order_line(1, 2, 7, 15) < order_line(1, 2, 8, 1));
+    }
+
+    #[test]
+    fn district_rows_share_prefix() {
+        let a = new_order(3, 7, 1);
+        let b = new_order(3, 7, 9_999);
+        assert_eq!(a[..4], b[..4]);
+        let c = new_order(3, 8, 1);
+        assert_ne!(a[..4], c[..4]);
+    }
+
+    #[test]
+    fn name_range_covers_exact_name_only() {
+        let (lo, hi) = customer_name_range(1, 1, "SMITH");
+        let inside = customer_name(1, 1, "SMITH", 42);
+        let other = customer_name(1, 1, "SMITX", 42);
+        assert!(lo <= inside && inside <= hi);
+        assert!(!(lo <= other && other <= hi));
+    }
+
+    #[test]
+    fn long_names_truncate_safely() {
+        let k = customer_name(1, 1, "AVERYVERYLONGLASTNAME", 1);
+        assert_eq!(k.len(), 4 + 16 + 4);
+    }
+
+    #[test]
+    fn order_by_customer_range_brackets() {
+        let (lo, hi) = order_by_customer_range(2, 3, 77);
+        assert!(lo < order_by_customer(2, 3, 77, 1));
+        assert!(order_by_customer(2, 3, 77, 1_000_000) < hi || order_by_customer(2, 3, 77, 1_000_000) == hi);
+        assert!(!(lo <= order_by_customer(2, 3, 78, 0) && order_by_customer(2, 3, 78, 0) <= hi));
+    }
+}

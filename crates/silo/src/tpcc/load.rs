@@ -1,0 +1,300 @@
+//! The TPC-C initial-population loader (spec clause 4.3.3).
+//!
+//! Loads warehouses, districts, customers (with the last-name secondary
+//! index), the item catalog, per-warehouse stock, and the initial order
+//! history: `initial_orders` per district, the most recent third
+//! undelivered (present in NEW-ORDER with NULL carrier/delivery dates).
+
+use super::gen::{last_name, TpccRng};
+use super::rows::{
+    Customer, District, Item, NewOrderRow, Order, OrderLine, Row, Stock, Warehouse,
+};
+use super::{keys, Tpcc};
+
+/// Populates all nine tables.
+pub(super) fn populate(t: &Tpcc) {
+    let cfg = t.config;
+    let mut rng = TpccRng::new(cfg.seed);
+
+    load_items(t, &mut rng);
+    for w in 1..=cfg.warehouses {
+        load_warehouse(t, w, &mut rng);
+    }
+}
+
+fn load_items(t: &Tpcc, rng: &mut TpccRng) {
+    let mut txn = t.db.begin();
+    for i_id in 1..=t.config.items {
+        let data = if rng.chance(10) {
+            // 10% of items carry the "ORIGINAL" marker (clause 4.3.3.1).
+            format!("{}ORIGINAL{}", rng.a_string(4, 10), rng.a_string(4, 10))
+        } else {
+            rng.a_string(26, 50)
+        };
+        let item = Item {
+            i_id,
+            im_id: rng.uniform(1, 10_000) as u32,
+            name: rng.a_string(14, 24),
+            price: rng.uniform_f64(1.0, 100.0),
+            data,
+        };
+        txn.insert(&t.item, keys::item(i_id), item.encode());
+        // Commit in chunks to bound transaction size.
+        if i_id % 5_000 == 0 {
+            let done = std::mem::replace(&mut txn, t.db.begin());
+            done.commit().expect("loader commit");
+        }
+    }
+    txn.commit().expect("loader commit");
+}
+
+fn load_warehouse(t: &Tpcc, w_id: u16, rng: &mut TpccRng) {
+    let mut txn = t.db.begin();
+    let w = Warehouse {
+        w_id,
+        name: rng.a_string(6, 10),
+        street1: rng.a_string(10, 20),
+        street2: rng.a_string(10, 20),
+        city: rng.a_string(10, 20),
+        state: rng.a_string(2, 2),
+        zip: format!("{}11111", rng.n_string(4, 4)),
+        tax: rng.uniform_f64(0.0, 0.2),
+        ytd: 300_000.0,
+    };
+    txn.insert(&t.warehouse, keys::warehouse(w_id), w.encode());
+    txn.commit().expect("loader commit");
+
+    // Stock for every item.
+    let mut txn = t.db.begin();
+    for i_id in 1..=t.config.items {
+        let dists: String = (0..10).map(|_| rng.a_string(24, 24)).collect();
+        let data = if rng.chance(10) {
+            format!("{}ORIGINAL{}", rng.a_string(4, 10), rng.a_string(4, 10))
+        } else {
+            rng.a_string(26, 50)
+        };
+        let s = Stock {
+            i_id,
+            w_id,
+            quantity: rng.uniform(10, 100) as i32,
+            dists,
+            ytd: 0.0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            data,
+        };
+        txn.insert(&t.stock, keys::stock(w_id, i_id), s.encode());
+        if i_id % 2_000 == 0 {
+            let done = std::mem::replace(&mut txn, t.db.begin());
+            done.commit().expect("loader commit");
+        }
+    }
+    txn.commit().expect("loader commit");
+
+    for d_id in 1..=t.config.districts {
+        load_district(t, w_id, d_id, rng);
+    }
+}
+
+fn load_district(t: &Tpcc, w_id: u16, d_id: u8, rng: &mut TpccRng) {
+    let n_cust = t.config.customers_per_district;
+    let n_orders = t.config.initial_orders.min(n_cust);
+
+    let mut txn = t.db.begin();
+    let d = District {
+        d_id,
+        w_id,
+        name: rng.a_string(6, 10),
+        street1: rng.a_string(10, 20),
+        street2: rng.a_string(10, 20),
+        city: rng.a_string(10, 20),
+        state: rng.a_string(2, 2),
+        zip: format!("{}11111", rng.n_string(4, 4)),
+        tax: rng.uniform_f64(0.0, 0.2),
+        ytd: 30_000.0,
+        next_o_id: n_orders + 1,
+    };
+    txn.insert(&t.district, keys::district(w_id, d_id), d.encode());
+    txn.commit().expect("loader commit");
+
+    // Customers. The first 1000 last names cycle through the syllable
+    // space; beyond that, NURand (clause 4.3.3.1).
+    let mut txn = t.db.begin();
+    for c_id in 1..=n_cust {
+        let lname = if c_id <= 1_000 {
+            last_name((c_id - 1) as u64)
+        } else {
+            last_name(rng.last_name_index())
+        };
+        let credit = if rng.chance(10) { "BC" } else { "GC" };
+        let c = Customer {
+            c_id,
+            d_id,
+            w_id,
+            first: rng.a_string(8, 16),
+            middle: "OE".into(),
+            last: lname.clone(),
+            street1: rng.a_string(10, 20),
+            city: rng.a_string(10, 20),
+            state: rng.a_string(2, 2),
+            zip: format!("{}11111", rng.n_string(4, 4)),
+            phone: rng.n_string(16, 16),
+            since: 1,
+            credit: credit.into(),
+            credit_lim: 50_000.0,
+            discount: rng.uniform_f64(0.0, 0.5),
+            balance: -10.0,
+            ytd_payment: 10.0,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            data: rng.a_string(300, 500),
+        };
+        txn.insert(&t.customer, keys::customer(w_id, d_id, c_id), c.encode());
+        txn.insert(
+            &t.customer_name,
+            keys::customer_name(w_id, d_id, &lname, c_id),
+            c_id.to_le_bytes().to_vec(),
+        );
+        if c_id % 500 == 0 {
+            let done = std::mem::replace(&mut txn, t.db.begin());
+            done.commit().expect("loader commit");
+        }
+    }
+    txn.commit().expect("loader commit");
+
+    // Initial orders: a random permutation of customers, one order each;
+    // the most recent third sit undelivered in NEW-ORDER.
+    let mut perm: Vec<u32> = (1..=n_cust).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.uniform(0, i as u64) as usize;
+        perm.swap(i, j);
+    }
+    let delivered_cutoff = n_orders - n_orders / 3;
+    let mut txn = t.db.begin();
+    for o_id in 1..=n_orders {
+        let c_id = perm[(o_id - 1) as usize];
+        let ol_cnt = rng.uniform(5, 15) as u8;
+        let delivered = o_id <= delivered_cutoff;
+        let o = Order {
+            o_id,
+            d_id,
+            w_id,
+            c_id,
+            entry_d: 1,
+            carrier_id: if delivered {
+                rng.uniform(1, 10) as u8
+            } else {
+                0
+            },
+            ol_cnt,
+            all_local: 1,
+        };
+        txn.insert(&t.order, keys::order(w_id, d_id, o_id), o.encode());
+        txn.insert(
+            &t.order_cust,
+            keys::order_by_customer(w_id, d_id, c_id, o_id),
+            o_id.to_le_bytes().to_vec(),
+        );
+        if !delivered {
+            let no = NewOrderRow { o_id, d_id, w_id };
+            txn.insert(&t.new_order, keys::new_order(w_id, d_id, o_id), no.encode());
+        }
+        for ol_number in 1..=ol_cnt {
+            let ol = OrderLine {
+                o_id,
+                d_id,
+                w_id,
+                ol_number,
+                i_id: rng.uniform(1, t.config.items as u64) as u32,
+                supply_w_id: w_id,
+                delivery_d: if delivered { 1 } else { 0 },
+                quantity: 5,
+                amount: if delivered {
+                    0.0
+                } else {
+                    rng.uniform_f64(0.01, 9_999.99)
+                },
+                dist_info: rng.a_string(24, 24),
+            };
+            txn.insert(
+                &t.order_line,
+                keys::order_line(w_id, d_id, o_id, ol_number),
+                ol.encode(),
+            );
+        }
+        if o_id % 200 == 0 {
+            let done = std::mem::replace(&mut txn, t.db.begin());
+            done.commit().expect("loader commit");
+        }
+    }
+    txn.commit().expect("loader commit");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Tpcc, TpccConfig};
+    use super::*;
+
+    fn tiny() -> Tpcc {
+        Tpcc::load(TpccConfig::tiny())
+    }
+
+    #[test]
+    fn row_counts_match_scale() {
+        let t = tiny();
+        let cfg = t.config;
+        assert_eq!(t.warehouse.len(), cfg.warehouses as usize);
+        assert_eq!(
+            t.district.len(),
+            (cfg.warehouses as usize) * cfg.districts as usize
+        );
+        assert_eq!(
+            t.customer.len(),
+            (cfg.warehouses as usize)
+                * cfg.districts as usize
+                * cfg.customers_per_district as usize
+        );
+        assert_eq!(t.item.len(), cfg.items as usize);
+        assert_eq!(
+            t.stock.len(),
+            cfg.warehouses as usize * cfg.items as usize
+        );
+    }
+
+    #[test]
+    fn a_third_of_orders_are_undelivered() {
+        let t = tiny();
+        let per_district = t.config.initial_orders as usize / 3;
+        let districts = t.config.warehouses as usize * t.config.districts as usize;
+        assert_eq!(t.new_order.len(), per_district * districts);
+    }
+
+    #[test]
+    fn district_next_o_id_is_consistent() {
+        let t = tiny();
+        let mut txn = t.db.begin();
+        let d = District::decode(
+            &txn.read(&t.district, &keys::district(1, 1))
+                .unwrap()
+                .expect("district exists"),
+        );
+        assert_eq!(d.next_o_id, t.config.initial_orders + 1);
+    }
+
+    #[test]
+    fn customer_name_index_resolves() {
+        let t = tiny();
+        let mut txn = t.db.begin();
+        // Customer 1 has last name BARBARBAR (index 0).
+        let (lo, hi) = keys::customer_name_range(1, 1, &last_name(0));
+        let hits = txn.scan(&t.customer_name, &lo, &hi, 100, false).unwrap();
+        assert!(!hits.is_empty());
+        let c_id = u32::from_le_bytes(hits[0].1[..4].try_into().unwrap());
+        let c = Customer::decode(
+            &txn.read(&t.customer, &keys::customer(1, 1, c_id))
+                .unwrap()
+                .expect("customer exists"),
+        );
+        assert_eq!(c.last, last_name(0));
+    }
+}

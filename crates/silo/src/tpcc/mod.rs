@@ -1,0 +1,230 @@
+//! TPC-C on the Silo-style engine (paper §6.3).
+//!
+//! All nine tables, the standard loader, NURand input generation, and the
+//! five transactions in the standard mix:
+//!
+//! | transaction | share | character |
+//! |---|---|---|
+//! | NewOrder    | 45% | medium read-write, 5–15 lines |
+//! | Payment     | 43% | small read-write |
+//! | OrderStatus | 4%  | read-only |
+//! | Delivery    | 4%  | large read-write (10 districts) |
+//! | StockLevel  | 4%  | large read-only (≈200 rows) |
+//!
+//! The resulting service-time distribution is strongly multimodal — the
+//! property Figure 10a exhibits and that makes TPC-C a stress test for
+//! head-of-line blocking.
+
+pub mod gen;
+pub mod keys;
+mod load;
+pub mod rows;
+mod txns;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::db::Database;
+use crate::table::Table;
+
+pub use gen::{last_name, TpccRng};
+pub use txns::TxnOutcome;
+
+/// Scale configuration. [`TpccConfig::spec`] matches the specification;
+/// smaller scales load faster for tests.
+#[derive(Clone, Copy, Debug)]
+pub struct TpccConfig {
+    /// Number of warehouses (the paper's Silo setup scales per thread).
+    pub warehouses: u16,
+    /// Districts per warehouse (spec: 10).
+    pub districts: u8,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u32,
+    /// Item catalog size (spec: 100_000).
+    pub items: u32,
+    /// Initial orders per district (spec: 3000; the last third are
+    /// undelivered).
+    pub initial_orders: u32,
+    /// Loader RNG seed.
+    pub seed: u64,
+}
+
+impl TpccConfig {
+    /// Specification-compliant scale for `warehouses` warehouses.
+    pub fn spec(warehouses: u16) -> Self {
+        TpccConfig {
+            warehouses,
+            districts: 10,
+            customers_per_district: 3000,
+            items: 100_000,
+            initial_orders: 3000,
+            seed: 42,
+        }
+    }
+
+    /// A miniature scale for fast unit tests.
+    pub fn tiny() -> Self {
+        TpccConfig {
+            warehouses: 1,
+            districts: 2,
+            customers_per_district: 30,
+            items: 100,
+            initial_orders: 30,
+            seed: 42,
+        }
+    }
+}
+
+/// One of the five TPC-C transaction types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxnType {
+    /// 45% of the mix.
+    NewOrder,
+    /// 43%.
+    Payment,
+    /// 4%, read-only.
+    OrderStatus,
+    /// 4%, batched read-write.
+    Delivery,
+    /// 4%, read-only.
+    StockLevel,
+}
+
+impl TxnType {
+    /// All five types in display order.
+    pub const ALL: [TxnType; 5] = [
+        TxnType::NewOrder,
+        TxnType::Payment,
+        TxnType::OrderStatus,
+        TxnType::Delivery,
+        TxnType::StockLevel,
+    ];
+
+    /// Samples the standard mix (45/43/4/4/4).
+    pub fn sample(rng: &mut TpccRng) -> TxnType {
+        match rng.uniform(1, 100) {
+            1..=45 => TxnType::NewOrder,
+            46..=88 => TxnType::Payment,
+            89..=92 => TxnType::OrderStatus,
+            93..=96 => TxnType::Delivery,
+            _ => TxnType::StockLevel,
+        }
+    }
+
+    /// Figure-10a label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TxnType::NewOrder => "NewOrder",
+            TxnType::Payment => "Payment",
+            TxnType::OrderStatus => "OrderStatus",
+            TxnType::Delivery => "Delivery",
+            TxnType::StockLevel => "StockLevel",
+        }
+    }
+}
+
+/// The loaded TPC-C database and its table handles.
+pub struct Tpcc {
+    /// The underlying OCC database.
+    pub db: Database,
+    /// Scale actually loaded.
+    pub config: TpccConfig,
+    pub(crate) warehouse: Table,
+    pub(crate) district: Table,
+    pub(crate) customer: Table,
+    pub(crate) customer_name: Table,
+    pub(crate) history: Table,
+    pub(crate) new_order: Table,
+    pub(crate) order: Table,
+    pub(crate) order_cust: Table,
+    pub(crate) order_line: Table,
+    pub(crate) item: Table,
+    pub(crate) stock: Table,
+    pub(crate) history_seq: AtomicU64,
+    /// Simulated wall clock for date fields.
+    pub(crate) clock: AtomicU64,
+}
+
+impl Tpcc {
+    /// Creates the schema and loads initial data.
+    pub fn load(config: TpccConfig) -> Self {
+        let db = Database::new();
+        let shards = 64;
+        let t = Tpcc {
+            warehouse: db.create_table("warehouse", shards),
+            district: db.create_table("district", shards),
+            customer: db.create_table("customer", shards),
+            customer_name: db.create_table("customer_name", shards),
+            history: db.create_table("history", shards),
+            new_order: db.create_table("new_order", shards),
+            order: db.create_table("oorder", shards),
+            order_cust: db.create_table("order_cust", shards),
+            order_line: db.create_table("order_line", shards),
+            item: db.create_table_with_prefix("item", 256, 8),
+            stock: db.create_table_with_prefix("stock", 256, 8),
+            db,
+            config,
+            history_seq: AtomicU64::new(0),
+            clock: AtomicU64::new(1),
+        };
+        load::populate(&t);
+        t
+    }
+
+    /// Advances and returns the simulated date.
+    pub(crate) fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn next_history_seq(&self) -> u64 {
+        self.history_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Executes one transaction of the given type with generated inputs,
+    /// retrying on OCC conflicts until it commits (or user-aborts, for the
+    /// 1% of NewOrder with an invalid item).
+    pub fn run(&self, kind: TxnType, rng: &mut TpccRng) -> TxnOutcome {
+        match kind {
+            TxnType::NewOrder => txns::new_order(self, rng),
+            TxnType::Payment => txns::payment(self, rng),
+            TxnType::OrderStatus => txns::order_status(self, rng),
+            TxnType::Delivery => txns::delivery(self, rng),
+            TxnType::StockLevel => txns::stock_level(self, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_fractions_match_spec() {
+        let mut rng = TpccRng::new(7);
+        let mut counts = std::collections::HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(TxnType::sample(&mut rng)).or_insert(0u32) += 1;
+        }
+        let frac = |t: TxnType| counts[&t] as f64 / n as f64;
+        assert!((frac(TxnType::NewOrder) - 0.45).abs() < 0.01);
+        assert!((frac(TxnType::Payment) - 0.43).abs() < 0.01);
+        assert!((frac(TxnType::OrderStatus) - 0.04).abs() < 0.005);
+        assert!((frac(TxnType::Delivery) - 0.04).abs() < 0.005);
+        assert!((frac(TxnType::StockLevel) - 0.04).abs() < 0.005);
+    }
+
+    #[test]
+    fn loads_and_runs_every_transaction_type() {
+        let t = Tpcc::load(TpccConfig::tiny());
+        let mut rng = TpccRng::new(11);
+        for kind in TxnType::ALL {
+            for _ in 0..20 {
+                let out = t.run(kind, &mut rng);
+                assert!(
+                    out.committed || (kind == TxnType::NewOrder && out.user_aborted),
+                    "{kind:?} failed: {out:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Row types and their byte codecs for the nine TPC-C tables.
+//!
+//! Rows serialize with a compact hand-rolled codec (little-endian integers,
+//! length-prefixed strings) — external serialization crates are outside the
+//! repository's dependency budget, and the codec doubles as a stable wire
+//! format for the networked Silo port.
+
+use bytes::{Buf, BufMut};
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> String {
+    let len = buf.get_u16_le() as usize;
+    let s = String::from_utf8_lossy(&buf[..len]).into_owned();
+    buf.advance(len);
+    s
+}
+
+/// A row that can encode/decode itself.
+pub trait Row: Sized {
+    /// Serializes the row.
+    fn encode(&self) -> Vec<u8>;
+    /// Deserializes a row; panics on malformed input (store-internal data).
+    fn decode(bytes: &[u8]) -> Self;
+}
+
+macro_rules! row {
+    ($(#[$meta:meta])* $name:ident { $($(#[$fmeta:meta])* $field:ident : $ty:tt),+ $(,)? }) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug, PartialEq)]
+        pub struct $name {
+            $( $(#[$fmeta])* pub $field: row!(@type $ty), )+
+        }
+
+        impl Row for $name {
+            fn encode(&self) -> Vec<u8> {
+                let mut buf = Vec::with_capacity(64);
+                $( row!(@enc buf, self.$field, $ty); )+
+                buf
+            }
+
+            fn decode(bytes: &[u8]) -> Self {
+                let mut b = bytes;
+                $( let $field = row!(@dec b, $ty); )+
+                $name { $( $field, )+ }
+            }
+        }
+    };
+    (@type str) => { String };
+    (@type $ty:ty) => { $ty };
+    (@enc $buf:ident, $v:expr, u8) => { $buf.put_u8($v) };
+    (@enc $buf:ident, $v:expr, u16) => { $buf.put_u16_le($v) };
+    (@enc $buf:ident, $v:expr, u32) => { $buf.put_u32_le($v) };
+    (@enc $buf:ident, $v:expr, u64) => { $buf.put_u64_le($v) };
+    (@enc $buf:ident, $v:expr, i32) => { $buf.put_i32_le($v) };
+    (@enc $buf:ident, $v:expr, f64) => { $buf.put_f64_le($v) };
+    (@enc $buf:ident, $v:expr, str) => { put_str(&mut $buf, &$v) };
+    (@dec $b:ident, u8) => { $b.get_u8() };
+    (@dec $b:ident, u16) => { $b.get_u16_le() };
+    (@dec $b:ident, u32) => { $b.get_u32_le() };
+    (@dec $b:ident, u64) => { $b.get_u64_le() };
+    (@dec $b:ident, i32) => { $b.get_i32_le() };
+    (@dec $b:ident, f64) => { $b.get_f64_le() };
+    (@dec $b:ident, str) => { get_str(&mut $b) };
+}
+
+row! {
+    /// WAREHOUSE.
+    Warehouse {
+        w_id: u16,
+        name: str,
+        street1: str,
+        street2: str,
+        city: str,
+        state: str,
+        zip: str,
+        tax: f64,
+        ytd: f64,
+    }
+}
+
+row! {
+    /// DISTRICT.
+    District {
+        d_id: u8,
+        w_id: u16,
+        name: str,
+        street1: str,
+        street2: str,
+        city: str,
+        state: str,
+        zip: str,
+        tax: f64,
+        ytd: f64,
+        next_o_id: u32,
+    }
+}
+
+row! {
+    /// CUSTOMER.
+    Customer {
+        c_id: u32,
+        d_id: u8,
+        w_id: u16,
+        first: str,
+        middle: str,
+        last: str,
+        street1: str,
+        city: str,
+        state: str,
+        zip: str,
+        phone: str,
+        since: u64,
+        credit: str,
+        credit_lim: f64,
+        discount: f64,
+        balance: f64,
+        ytd_payment: f64,
+        payment_cnt: u16,
+        delivery_cnt: u16,
+        data: str,
+    }
+}
+
+row! {
+    /// HISTORY.
+    History {
+        c_id: u32,
+        c_d_id: u8,
+        c_w_id: u16,
+        d_id: u8,
+        w_id: u16,
+        date: u64,
+        amount: f64,
+        data: str,
+    }
+}
+
+row! {
+    /// NEW-ORDER.
+    NewOrderRow {
+        o_id: u32,
+        d_id: u8,
+        w_id: u16,
+    }
+}
+
+row! {
+    /// OORDER. `carrier_id == 0` encodes SQL NULL.
+    Order {
+        o_id: u32,
+        d_id: u8,
+        w_id: u16,
+        c_id: u32,
+        entry_d: u64,
+        carrier_id: u8,
+        ol_cnt: u8,
+        all_local: u8,
+    }
+}
+
+row! {
+    /// ORDER-LINE. `delivery_d == 0` encodes SQL NULL.
+    OrderLine {
+        o_id: u32,
+        d_id: u8,
+        w_id: u16,
+        ol_number: u8,
+        i_id: u32,
+        supply_w_id: u16,
+        delivery_d: u64,
+        quantity: u8,
+        amount: f64,
+        dist_info: str,
+    }
+}
+
+row! {
+    /// ITEM.
+    Item {
+        i_id: u32,
+        im_id: u32,
+        name: str,
+        price: f64,
+        data: str,
+    }
+}
+
+row! {
+    /// STOCK. The ten `s_dist_xx` strings are concatenated in `dists`
+    /// (24 bytes each, in district order).
+    Stock {
+        i_id: u32,
+        w_id: u16,
+        quantity: i32,
+        dists: str,
+        ytd: f64,
+        order_cnt: u16,
+        remote_cnt: u16,
+        data: str,
+    }
+}
+
+impl Stock {
+    /// The 24-char `s_dist` string for district `d` (1-based).
+    pub fn dist_for(&self, d: u8) -> &str {
+        let start = (d as usize - 1) * 24;
+        &self.dists[start..start + 24]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warehouse_roundtrip() {
+        let w = Warehouse {
+            w_id: 3,
+            name: "wh-3".into(),
+            street1: "1 Main".into(),
+            street2: "Suite 2".into(),
+            city: "Lausanne".into(),
+            state: "VD".into(),
+            zip: "101111".into(),
+            tax: 0.125,
+            ytd: 300_000.0,
+        };
+        assert_eq!(Warehouse::decode(&w.encode()), w);
+    }
+
+    #[test]
+    fn customer_roundtrip_with_unicode_safe_strings() {
+        let c = Customer {
+            c_id: 42,
+            d_id: 9,
+            w_id: 1,
+            first: "Ada".into(),
+            middle: "OE".into(),
+            last: "BARBARBAR".into(),
+            street1: "x".into(),
+            city: "y".into(),
+            state: "zz".into(),
+            zip: "123456789".into(),
+            phone: "0000000000000000".into(),
+            since: 12345,
+            credit: "GC".into(),
+            credit_lim: 50_000.0,
+            discount: 0.3,
+            balance: -10.0,
+            ytd_payment: 10.0,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            data: "d".repeat(300),
+        };
+        assert_eq!(Customer::decode(&c.encode()), c);
+    }
+
+    #[test]
+    fn order_null_conventions() {
+        let o = Order {
+            o_id: 1,
+            d_id: 1,
+            w_id: 1,
+            c_id: 5,
+            entry_d: 99,
+            carrier_id: 0,
+            ol_cnt: 11,
+            all_local: 1,
+        };
+        let d = Order::decode(&o.encode());
+        assert_eq!(d.carrier_id, 0, "0 = NULL carrier");
+    }
+
+    #[test]
+    fn stock_dist_accessor() {
+        let dists: String = (1..=10).map(|d| format!("{d:024}")).collect();
+        let s = Stock {
+            i_id: 1,
+            w_id: 1,
+            quantity: 50,
+            dists,
+            ytd: 0.0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            data: "x".into(),
+        };
+        assert_eq!(s.dist_for(1), &format!("{:024}", 1));
+        assert_eq!(s.dist_for(10), &format!("{:024}", 10));
+        assert_eq!(Stock::decode(&s.encode()), s);
+    }
+
+    #[test]
+    fn all_rows_roundtrip() {
+        let ol = OrderLine {
+            o_id: 7,
+            d_id: 2,
+            w_id: 1,
+            ol_number: 3,
+            i_id: 1234,
+            supply_w_id: 1,
+            delivery_d: 0,
+            quantity: 5,
+            amount: 123.45,
+            dist_info: "D".repeat(24),
+        };
+        assert_eq!(OrderLine::decode(&ol.encode()), ol);
+        let h = History {
+            c_id: 1,
+            c_d_id: 1,
+            c_w_id: 1,
+            d_id: 1,
+            w_id: 1,
+            date: 5,
+            amount: 10.0,
+            data: "hist".into(),
+        };
+        assert_eq!(History::decode(&h.encode()), h);
+        let no = NewOrderRow {
+            o_id: 9,
+            d_id: 8,
+            w_id: 7,
+        };
+        assert_eq!(NewOrderRow::decode(&no.encode()), no);
+        let i = Item {
+            i_id: 3,
+            im_id: 4,
+            name: "widget".into(),
+            price: 9.99,
+            data: "ORIGINAL".into(),
+        };
+        assert_eq!(Item::decode(&i.encode()), i);
+    }
+}

@@ -1,0 +1,545 @@
+//! The five TPC-C transactions (spec clause 2), implemented against the
+//! OCC engine with per-transaction retry on validation failure.
+
+use super::gen::{last_name, TpccRng};
+use super::keys;
+use super::rows::{
+    Customer, District, History, Item, NewOrderRow, Order, OrderLine, Row, Stock, Warehouse,
+};
+use super::Tpcc;
+use crate::txn::{CommitError, Transaction};
+
+/// Result of one logical transaction execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TxnOutcome {
+    /// The transaction committed.
+    pub committed: bool,
+    /// NewOrder's 1% intentional rollback (invalid item) — counted as a
+    /// successful execution by the spec, but nothing commits.
+    pub user_aborted: bool,
+    /// OCC validation retries before success.
+    pub retries: u32,
+    /// Rows read or written (a rough size measure).
+    pub rows_touched: u32,
+}
+
+const MAX_RETRIES: u32 = 10_000;
+
+fn retry_loop(
+    t: &Tpcc,
+    mut body: impl FnMut(&mut Transaction<'_>) -> Result<(u32, bool), CommitError>,
+) -> TxnOutcome {
+    let mut retries = 0;
+    loop {
+        let mut txn = t.db.begin();
+        match body(&mut txn) {
+            Ok((rows, user_abort)) => {
+                if user_abort {
+                    // Intentional rollback: drop the txn uncommitted.
+                    return TxnOutcome {
+                        committed: false,
+                        user_aborted: true,
+                        retries,
+                        rows_touched: rows,
+                    };
+                }
+                match txn.commit() {
+                    Ok(_) => {
+                        return TxnOutcome {
+                            committed: true,
+                            user_aborted: false,
+                            retries,
+                            rows_touched: rows,
+                        }
+                    }
+                    Err(_) => retries += 1,
+                }
+            }
+            Err(_) => retries += 1,
+        }
+        assert!(retries < MAX_RETRIES, "transaction livelock");
+    }
+}
+
+/// Resolves a customer 60%-by-last-name / 40%-by-id (clauses 2.5.1.2,
+/// 2.6.1.2). Returns (c_id, decoded customer).
+fn select_customer(
+    t: &Tpcc,
+    txn: &mut Transaction<'_>,
+    rng_byname: bool,
+    name_idx: u64,
+    c_id_direct: u32,
+    w: u16,
+    d: u8,
+) -> Result<Option<(u32, Customer)>, CommitError> {
+    let c_id = if rng_byname {
+        let (lo, hi) = keys::customer_name_range(w, d, &last_name(name_idx));
+        let hits = txn.scan(&t.customer_name, &lo, &hi, 100, false)?;
+        if hits.is_empty() {
+            // Sub-spec scales may miss a last name entirely; fall back to
+            // the direct id (spec scale always has ≥1 match per name).
+            c_id_direct
+        } else {
+            // Position n/2 rounded up (clause 2.5.2.2).
+            let pos = hits.len().div_ceil(2) - 1;
+            u32::from_le_bytes(hits[pos].1[..4].try_into().expect("c_id payload"))
+        }
+    } else {
+        c_id_direct
+    };
+    let bytes = txn
+        .read(&t.customer, &keys::customer(w, d, c_id))?
+        .expect("customer must exist");
+    Ok(Some((c_id, Customer::decode(&bytes))))
+}
+
+/// NewOrder (clause 2.4): 45% of the mix.
+pub(super) fn new_order(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
+    let cfg = t.config;
+    let w = rng.uniform(1, cfg.warehouses as u64) as u16;
+    let d = rng.uniform(1, cfg.districts as u64) as u8;
+    let c = (rng.customer_id() % cfg.customers_per_district).max(1);
+    let ol_cnt = rng.uniform(5, 15) as u8;
+    let rollback = rng.chance(1);
+    let lines: Vec<(u32, u16, u8)> = (0..ol_cnt)
+        .map(|i| {
+            let invalid = rollback && i == ol_cnt - 1;
+            let i_id = if invalid {
+                u32::MAX // Unused item number → user abort.
+            } else {
+                (rng.item_id() % cfg.items).max(1)
+            };
+            let supply_w = if cfg.warehouses > 1 && rng.chance(1) {
+                // 1% remote supply warehouse.
+                let mut o = rng.uniform(1, cfg.warehouses as u64) as u16;
+                if o == w {
+                    o = o % cfg.warehouses + 1;
+                }
+                o
+            } else {
+                w
+            };
+            (i_id, supply_w, rng.uniform(1, 10) as u8)
+        })
+        .collect();
+    let entry_d = t.now();
+
+    retry_loop(t, |txn| {
+        let mut rows = 3;
+        let wrow = Warehouse::decode(
+            &txn.read(&t.warehouse, &keys::warehouse(w))?.expect("warehouse"),
+        );
+        let mut drow = District::decode(
+            &txn.read(&t.district, &keys::district(w, d))?.expect("district"),
+        );
+        let o_id = drow.next_o_id;
+        drow.next_o_id += 1;
+        txn.update(&t.district, keys::district(w, d), drow.encode());
+        let crow = Customer::decode(
+            &txn.read(&t.customer, &keys::customer(w, d, c))?.expect("customer"),
+        );
+
+        let all_local = lines.iter().all(|&(_, sw, _)| sw == w);
+        let order = Order {
+            o_id,
+            d_id: d,
+            w_id: w,
+            c_id: c,
+            entry_d,
+            carrier_id: 0,
+            ol_cnt,
+            all_local: all_local as u8,
+        };
+        txn.insert(&t.order, keys::order(w, d, o_id), order.encode());
+        txn.insert(
+            &t.order_cust,
+            keys::order_by_customer(w, d, c, o_id),
+            o_id.to_le_bytes().to_vec(),
+        );
+        txn.insert(
+            &t.new_order,
+            keys::new_order(w, d, o_id),
+            NewOrderRow { o_id, d_id: d, w_id: w }.encode(),
+        );
+
+        let mut total = 0.0;
+        for (ol_number, &(i_id, supply_w, qty)) in lines.iter().enumerate() {
+            let Some(item_bytes) = txn.read(&t.item, &keys::item(i_id))? else {
+                // Unused item number: the spec's 1% rollback case.
+                return Ok((rows, true));
+            };
+            let item = Item::decode(&item_bytes);
+            let mut stock = Stock::decode(
+                &txn.read(&t.stock, &keys::stock(supply_w, i_id))?.expect("stock"),
+            );
+            stock.quantity = if stock.quantity >= qty as i32 + 10 {
+                stock.quantity - qty as i32
+            } else {
+                stock.quantity - qty as i32 + 91
+            };
+            stock.ytd += qty as f64;
+            stock.order_cnt += 1;
+            if supply_w != w {
+                stock.remote_cnt += 1;
+            }
+            let dist_info = stock.dist_for(d).to_string();
+            txn.update(&t.stock, keys::stock(supply_w, i_id), stock.encode());
+            let amount = qty as f64 * item.price;
+            total += amount;
+            let ol = OrderLine {
+                o_id,
+                d_id: d,
+                w_id: w,
+                ol_number: ol_number as u8 + 1,
+                i_id,
+                supply_w_id: supply_w,
+                delivery_d: 0,
+                quantity: qty,
+                amount,
+                dist_info,
+            };
+            txn.insert(
+                &t.order_line,
+                keys::order_line(w, d, o_id, ol_number as u8 + 1),
+                ol.encode(),
+            );
+            rows += 3;
+        }
+        // The spec computes the total with taxes and discount.
+        let _ = total * (1.0 - crow.discount) * (1.0 + wrow.tax + drow.tax);
+        Ok((rows, false))
+    })
+}
+
+/// Payment (clause 2.5): 43% of the mix.
+pub(super) fn payment(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
+    let cfg = t.config;
+    let w = rng.uniform(1, cfg.warehouses as u64) as u16;
+    let d = rng.uniform(1, cfg.districts as u64) as u8;
+    // 85% home customer, 15% remote (clause 2.5.1.2).
+    let (c_w, c_d) = if cfg.warehouses > 1 && rng.chance(15) {
+        let mut o = rng.uniform(1, cfg.warehouses as u64) as u16;
+        if o == w {
+            o = o % cfg.warehouses + 1;
+        }
+        (o, rng.uniform(1, cfg.districts as u64) as u8)
+    } else {
+        (w, d)
+    };
+    let by_name = rng.chance(60);
+    let name_idx = rng.last_name_index() % 1000;
+    let c_id_direct = (rng.customer_id() % cfg.customers_per_district).max(1);
+    let amount = rng.uniform_f64(1.0, 5_000.0);
+    let date = t.now();
+    let h_seq = t.next_history_seq();
+
+    retry_loop(t, |txn| {
+        let mut wrow = Warehouse::decode(
+            &txn.read(&t.warehouse, &keys::warehouse(w))?.expect("warehouse"),
+        );
+        wrow.ytd += amount;
+        let w_name = wrow.name.clone();
+        txn.update(&t.warehouse, keys::warehouse(w), wrow.encode());
+
+        let mut drow = District::decode(
+            &txn.read(&t.district, &keys::district(w, d))?.expect("district"),
+        );
+        drow.ytd += amount;
+        let d_name = drow.name.clone();
+        txn.update(&t.district, keys::district(w, d), drow.encode());
+
+        let Some((c_id, mut crow)) =
+            select_customer(t, txn, by_name, name_idx, c_id_direct, c_w, c_d)?
+        else {
+            // No customer with that name at this scale: fall back to id.
+            return Ok((0, true));
+        };
+        crow.balance -= amount;
+        crow.ytd_payment += amount;
+        crow.payment_cnt += 1;
+        if crow.credit == "BC" {
+            // Bad credit: prepend payment info to C_DATA, cap 500 chars.
+            let mut data = format!("{c_id},{c_d},{c_w},{d},{w},{amount:.2}|{}", crow.data);
+            data.truncate(500);
+            crow.data = data;
+        }
+        txn.update(&t.customer, keys::customer(c_w, c_d, c_id), crow.encode());
+
+        let h = History {
+            c_id,
+            c_d_id: c_d,
+            c_w_id: c_w,
+            d_id: d,
+            w_id: w,
+            date,
+            amount,
+            data: format!("{w_name}    {d_name}"),
+        };
+        txn.insert(&t.history, keys::history(w, d, h_seq), h.encode());
+        Ok((5, false))
+    })
+}
+
+/// OrderStatus (clause 2.6): 4% of the mix, read-only.
+pub(super) fn order_status(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
+    let cfg = t.config;
+    let w = rng.uniform(1, cfg.warehouses as u64) as u16;
+    let d = rng.uniform(1, cfg.districts as u64) as u8;
+    let by_name = rng.chance(60);
+    let name_idx = rng.last_name_index() % 1000;
+    let c_id_direct = (rng.customer_id() % cfg.customers_per_district).max(1);
+
+    retry_loop(t, |txn| {
+        let Some((c_id, _crow)) =
+            select_customer(t, txn, by_name, name_idx, c_id_direct, w, d)?
+        else {
+            return Ok((0, true));
+        };
+        // Most recent order of this customer.
+        let (lo, hi) = keys::order_by_customer_range(w, d, c_id);
+        let latest = txn.scan(&t.order_cust, &lo, &hi, 1, true)?;
+        let mut rows = 2;
+        if let Some((_, o_bytes)) = latest.first() {
+            let o_id = u32::from_le_bytes(o_bytes[..4].try_into().expect("o_id"));
+            let order = Order::decode(
+                &txn.read(&t.order, &keys::order(w, d, o_id))?.expect("order"),
+            );
+            let (ol_lo, ol_hi) = keys::order_line_range(w, d, o_id, o_id);
+            let ols = txn.scan(&t.order_line, &ol_lo, &ol_hi, 20, false)?;
+            debug_assert_eq!(ols.len(), order.ol_cnt as usize);
+            rows += 1 + ols.len() as u32;
+        }
+        Ok((rows, false))
+    })
+}
+
+/// Delivery (clause 2.7): 4% of the mix; processes every district.
+pub(super) fn delivery(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
+    let cfg = t.config;
+    let w = rng.uniform(1, cfg.warehouses as u64) as u16;
+    let carrier = rng.uniform(1, 10) as u8;
+    let date = t.now();
+
+    retry_loop(t, |txn| {
+        let mut rows = 0;
+        for d in 1..=cfg.districts {
+            // Oldest undelivered order in this district.
+            let (lo, hi) = (keys::new_order(w, d, 0), keys::new_order(w, d, u32::MAX));
+            let oldest = txn.scan(&t.new_order, &lo, &hi, 1, false)?;
+            let Some((no_key, no_bytes)) = oldest.into_iter().next() else {
+                continue; // Nothing pending in this district.
+            };
+            let no = NewOrderRow::decode(&no_bytes);
+            txn.delete(&t.new_order, no_key);
+
+            let mut order = Order::decode(
+                &txn.read(&t.order, &keys::order(w, d, no.o_id))?.expect("order"),
+            );
+            order.carrier_id = carrier;
+            let c_id = order.c_id;
+            txn.update(&t.order, keys::order(w, d, no.o_id), order.encode());
+
+            let (ol_lo, ol_hi) = keys::order_line_range(w, d, no.o_id, no.o_id);
+            let ols = txn.scan(&t.order_line, &ol_lo, &ol_hi, 20, false)?;
+            let mut amount_sum = 0.0;
+            for (k, v) in ols {
+                let mut ol = OrderLine::decode(&v);
+                amount_sum += ol.amount;
+                ol.delivery_d = date;
+                txn.update(&t.order_line, k, ol.encode());
+                rows += 1;
+            }
+
+            let mut crow = Customer::decode(
+                &txn.read(&t.customer, &keys::customer(w, d, c_id))?.expect("customer"),
+            );
+            crow.balance += amount_sum;
+            crow.delivery_cnt += 1;
+            txn.update(&t.customer, keys::customer(w, d, c_id), crow.encode());
+            rows += 4;
+        }
+        Ok((rows, false))
+    })
+}
+
+/// StockLevel (clause 2.8): 4% of the mix, read-only, large scan.
+pub(super) fn stock_level(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
+    let cfg = t.config;
+    let w = rng.uniform(1, cfg.warehouses as u64) as u16;
+    let d = rng.uniform(1, cfg.districts as u64) as u8;
+    let threshold = rng.uniform(10, 20) as i32;
+
+    retry_loop(t, |txn| {
+        let drow = District::decode(
+            &txn.read(&t.district, &keys::district(w, d))?.expect("district"),
+        );
+        let next = drow.next_o_id;
+        let lo_order = next.saturating_sub(20).max(1);
+        let (ol_lo, ol_hi) = keys::order_line_range(w, d, lo_order, next.saturating_sub(1));
+        let ols = txn.scan(&t.order_line, &ol_lo, &ol_hi, 400, false)?;
+        let mut item_ids: Vec<u32> = ols
+            .iter()
+            .map(|(_, v)| OrderLine::decode(v).i_id)
+            .collect();
+        item_ids.sort_unstable();
+        item_ids.dedup();
+        let mut low = 0u32;
+        let rows = 1 + ols.len() as u32 + item_ids.len() as u32;
+        for i_id in item_ids {
+            let stock = Stock::decode(
+                &txn.read(&t.stock, &keys::stock(w, i_id))?.expect("stock"),
+            );
+            if stock.quantity < threshold {
+                low += 1;
+            }
+        }
+        let _ = low;
+        Ok((rows, false))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Tpcc, TpccConfig, TxnType};
+    use super::*;
+
+    fn tiny() -> (Tpcc, TpccRng) {
+        (Tpcc::load(TpccConfig::tiny()), TpccRng::new(123))
+    }
+
+    #[test]
+    fn new_order_advances_district_counter() {
+        let (t, mut rng) = tiny();
+        let before = District::decode(
+            &t.db
+                .begin()
+                .read(&t.district, &keys::district(1, 1))
+                .unwrap()
+                .unwrap(),
+        )
+        .next_o_id;
+        // Run enough NewOrders that district 1 certainly got one.
+        let mut committed = 0;
+        for _ in 0..40 {
+            if new_order(&t, &mut rng).committed {
+                committed += 1;
+            }
+        }
+        assert!(committed > 0);
+        let after_d1 = District::decode(
+            &t.db
+                .begin()
+                .read(&t.district, &keys::district(1, 1))
+                .unwrap()
+                .unwrap(),
+        )
+        .next_o_id;
+        let after_d2 = District::decode(
+            &t.db
+                .begin()
+                .read(&t.district, &keys::district(1, 2))
+                .unwrap()
+                .unwrap(),
+        )
+        .next_o_id;
+        assert!(
+            after_d1 + after_d2 >= before * 2 + committed,
+            "district counters advanced by total committed orders"
+        );
+    }
+
+    #[test]
+    fn new_order_rollback_rate_near_one_percent() {
+        let (t, mut rng) = tiny();
+        let n = 2_000;
+        let aborts = (0..n)
+            .filter(|_| new_order(&t, &mut rng).user_aborted)
+            .count();
+        let rate = aborts as f64 / n as f64;
+        assert!((0.002..0.03).contains(&rate), "rollback rate {rate}");
+    }
+
+    #[test]
+    fn payment_moves_money() {
+        let (t, mut rng) = tiny();
+        let w_before = Warehouse::decode(
+            &t.db
+                .begin()
+                .read(&t.warehouse, &keys::warehouse(1))
+                .unwrap()
+                .unwrap(),
+        )
+        .ytd;
+        let mut paid = 0;
+        for _ in 0..20 {
+            if payment(&t, &mut rng).committed {
+                paid += 1;
+            }
+        }
+        assert!(paid > 0);
+        let w_after = Warehouse::decode(
+            &t.db
+                .begin()
+                .read(&t.warehouse, &keys::warehouse(1))
+                .unwrap()
+                .unwrap(),
+        )
+        .ytd;
+        assert!(w_after > w_before, "warehouse YTD grew");
+    }
+
+    #[test]
+    fn delivery_drains_new_orders() {
+        let (t, mut rng) = tiny();
+        let before = t.new_order.len();
+        assert!(before > 0);
+        let out = delivery(&t, &mut rng);
+        assert!(out.committed);
+        // Deletion marks records absent; a fresh scan finds fewer rows.
+        let mut txn = t.db.begin();
+        let (lo, hi) = (keys::new_order(1, 1, 0), keys::new_order(1, 1, u32::MAX));
+        let left = txn.scan(&t.new_order, &lo, &hi, 1_000, false).unwrap().len();
+        assert!(
+            left < before,
+            "district 1 pending dropped: {left} < {before}"
+        );
+    }
+
+    #[test]
+    fn order_status_reads_consistent_order() {
+        let (t, mut rng) = tiny();
+        for _ in 0..30 {
+            let out = order_status(&t, &mut rng);
+            assert!(out.committed || out.user_aborted);
+        }
+    }
+
+    #[test]
+    fn stock_level_touches_many_rows() {
+        let (t, mut rng) = tiny();
+        let out = stock_level(&t, &mut rng);
+        assert!(out.committed);
+        assert!(out.rows_touched > 20, "rows = {}", out.rows_touched);
+    }
+
+    #[test]
+    fn service_times_are_multimodal() {
+        // Delivery and StockLevel must be significantly heavier than
+        // Payment — the root of Figure 10a's multimodality.
+        let (t, mut rng) = tiny();
+        // Few iterations: at tiny scale Delivery drains the NEW-ORDER
+        // backlog quickly, shrinking its footprint.
+        let avg_rows = |kind: TxnType, rng: &mut TpccRng, t: &Tpcc| {
+            let mut total = 0u64;
+            for _ in 0..5 {
+                total += t.run(kind, rng).rows_touched as u64;
+            }
+            total / 5
+        };
+        let pay = avg_rows(TxnType::Payment, &mut rng, &t);
+        let del = avg_rows(TxnType::Delivery, &mut rng, &t);
+        let stk = avg_rows(TxnType::StockLevel, &mut rng, &t);
+        assert!(del > 2 * pay, "delivery {del} vs payment {pay}");
+        assert!(stk > 2 * pay, "stock-level {stk} vs payment {pay}");
+    }
+}

@@ -1,0 +1,534 @@
+//! OCC transactions with Silo's three-phase commit (Silo §4.2).
+//!
+//! During execution a transaction tracks:
+//!
+//! * a **read set** — every record read, with the TID observed;
+//! * a **write set** — inserts, updates and deletes, buffered locally
+//!   (reads see the transaction's own writes);
+//! * a **scan set** — for every range scanned (and every lookup miss), the
+//!   shard and structure version observed, for phantom detection.
+//!
+//! Commit:
+//!
+//! 1. **Lock** every written record, in canonical (address) order — the
+//!    global order makes deadlock impossible.
+//! 2. **Validate** the read set (TID unchanged, not locked by others) and
+//!    the scan set (shard versions unchanged except for our own inserts).
+//! 3. **Install** the writes with a fresh TID in the current epoch and
+//!    release the locks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::db::Database;
+use crate::record::Record;
+use crate::table::Table;
+use crate::tid::TidWord;
+
+/// Why a commit failed. Callers normally retry the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitError {
+    /// A read-set record changed or was locked by a concurrent writer.
+    ReadValidation,
+    /// A scanned shard changed structurally (possible phantom).
+    PhantomValidation,
+    /// An update or delete targeted a key that does not exist.
+    MissingKey,
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::ReadValidation => write!(f, "read validation failed"),
+            CommitError::PhantomValidation => write!(f, "phantom detected in scanned range"),
+            CommitError::MissingKey => write!(f, "update/delete of missing key"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+enum WriteKind {
+    Insert,
+    Update,
+    Delete,
+}
+
+struct WriteOp {
+    table: Table,
+    key: Vec<u8>,
+    value: Option<Vec<u8>>,
+    kind: WriteKind,
+}
+
+/// Rows returned by [`Transaction::scan`]: `(key, value)` pairs in scan
+/// order.
+pub type ScanRows = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// An in-flight transaction.
+pub struct Transaction<'db> {
+    db: &'db Database,
+    reads: Vec<(Arc<Record>, TidWord)>,
+    writes: Vec<WriteOp>,
+    /// (table id, shard) → version observed at first scan.
+    scans: HashMap<(usize, usize), (Table, u64)>,
+    /// Read-your-writes buffer: (table id, key) → value (None = deleted).
+    local: HashMap<(usize, Vec<u8>), Option<Vec<u8>>>,
+    /// Retries/aborts observed so far (telemetry for the harness).
+    aborted: bool,
+}
+
+impl<'db> Transaction<'db> {
+    pub(crate) fn new(db: &'db Database) -> Self {
+        Transaction {
+            db,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            scans: HashMap::new(),
+            local: HashMap::new(),
+            aborted: false,
+        }
+    }
+
+    /// Reads `key` from `table`.
+    ///
+    /// Returns `Ok(None)` if the key does not exist (the miss is recorded
+    /// for phantom validation). Sees the transaction's own writes.
+    pub fn read(&mut self, table: &Table, key: &[u8]) -> Result<Option<Vec<u8>>, CommitError> {
+        if let Some(v) = self.local.get(&(table.id(), key.to_vec())) {
+            return Ok(v.clone());
+        }
+        match table.get(key) {
+            Some(rec) => {
+                let (tid, data) = rec.read();
+                self.reads.push((rec, tid));
+                Ok(data)
+            }
+            None => {
+                // Key miss: a later insert of this key is a phantom; track
+                // the shard version.
+                self.note_scan(table, table.shard_of(key));
+                Ok(None)
+            }
+        }
+    }
+
+    /// Scans `[start, end]` (ascending unless `rev`), up to `limit` present
+    /// rows, with read-set and phantom tracking. Sees own writes for keys
+    /// in range.
+    pub fn scan(
+        &mut self,
+        table: &Table,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+        rev: bool,
+    ) -> Result<ScanRows, CommitError> {
+        let (hits, shard, version) = table.scan(start, end, limit.saturating_mul(2).max(16), rev);
+        self.note_scan_version(table, shard, version);
+        let mut out = Vec::new();
+        for (key, rec) in hits {
+            if out.len() >= limit {
+                break;
+            }
+            if let Some(v) = self.local.get(&(table.id(), key.clone())) {
+                // Own write shadows the stored version.
+                if let Some(v) = v {
+                    out.push((key, v.clone()));
+                }
+                continue;
+            }
+            let (tid, data) = rec.read();
+            self.reads.push((rec, tid));
+            if let Some(data) = data {
+                out.push((key, data));
+            }
+        }
+        // Own inserts within the range that the index does not yet hold.
+        let mut own: Vec<(Vec<u8>, Vec<u8>)> = self
+            .local
+            .iter()
+            .filter(|((tid_, k), v)| {
+                *tid_ == table.id()
+                    && v.is_some()
+                    && k.as_slice() >= start
+                    && k.as_slice() <= end
+                    && !out.iter().any(|(ok, _)| ok == k)
+            })
+            .map(|((_, k), v)| (k.clone(), v.clone().expect("filtered Some")))
+            .collect();
+        if !own.is_empty() {
+            out.append(&mut own);
+            if rev {
+                out.sort_by(|a, b| b.0.cmp(&a.0));
+            } else {
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            out.truncate(limit);
+        }
+        Ok(out)
+    }
+
+    fn note_scan(&mut self, table: &Table, shard: usize) {
+        let version = table.shard_version(shard);
+        self.note_scan_version(table, shard, version);
+    }
+
+    fn note_scan_version(&mut self, table: &Table, shard: usize, version: u64) {
+        self.scans
+            .entry((table.id(), shard))
+            .or_insert_with(|| (table.clone(), version));
+    }
+
+    /// Buffers an insert.
+    pub fn insert(&mut self, table: &Table, key: Vec<u8>, value: Vec<u8>) {
+        self.local
+            .insert((table.id(), key.clone()), Some(value.clone()));
+        self.writes.push(WriteOp {
+            table: table.clone(),
+            key,
+            value: Some(value),
+            kind: WriteKind::Insert,
+        });
+    }
+
+    /// Buffers an update of an existing key.
+    pub fn update(&mut self, table: &Table, key: Vec<u8>, value: Vec<u8>) {
+        self.local
+            .insert((table.id(), key.clone()), Some(value.clone()));
+        self.writes.push(WriteOp {
+            table: table.clone(),
+            key,
+            value: Some(value),
+            kind: WriteKind::Update,
+        });
+    }
+
+    /// Buffers a delete of an existing key.
+    pub fn delete(&mut self, table: &Table, key: Vec<u8>) {
+        self.local.insert((table.id(), key.clone()), None);
+        self.writes.push(WriteOp {
+            table: table.clone(),
+            key,
+            value: None,
+            kind: WriteKind::Delete,
+        });
+    }
+
+    /// True if this transaction performed no writes.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Attempts to commit; on error the transaction rolled back (no writes
+    /// are visible) and the caller may retry with a fresh transaction.
+    pub fn commit(mut self) -> Result<TidWord, CommitError> {
+        // Read-only transactions validate reads but skip locking entirely
+        // (Silo's read-only fast path).
+        if self.writes.is_empty() {
+            for (rec, tid) in &self.reads {
+                let cur = rec.tid();
+                if cur.commit_id() != tid.commit_id() || cur.is_locked() {
+                    return Err(CommitError::ReadValidation);
+                }
+            }
+            // Scan validation for read-only txns: versions must be intact.
+            for ((_, shard), (table, version)) in &self.scans {
+                if table.shard_version(*shard) != *version {
+                    return Err(CommitError::PhantomValidation);
+                }
+            }
+            return Ok(TidWord::new(self.db.epochs().current(), 0));
+        }
+
+        // Merge repeated writes to one key: the *first* op decides whether
+        // this is an insert (a later update of an own insert is still an
+        // insert); the *last* op's value wins.
+        struct Merged {
+            table: Table,
+            key: Vec<u8>,
+            insert: bool,
+            value: Option<Vec<u8>>,
+        }
+        let mut merged: Vec<Merged> = Vec::with_capacity(self.writes.len());
+        let mut index: HashMap<(usize, Vec<u8>), usize> = HashMap::new();
+        for w in &self.writes {
+            match index.get(&(w.table.id(), w.key.clone())) {
+                Some(&i) => merged[i].value = w.value.clone(),
+                None => {
+                    index.insert((w.table.id(), w.key.clone()), merged.len());
+                    merged.push(Merged {
+                        table: w.table.clone(),
+                        key: w.key.clone(),
+                        insert: matches!(w.kind, WriteKind::Insert),
+                        value: w.value.clone(),
+                    });
+                }
+            }
+        }
+
+        // Resolve write targets to records; count our own structural
+        // inserts per shard so scan validation can discount them.
+        let mut own_bumps: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut resolved: Vec<(Arc<Record>, &Merged)> = Vec::with_capacity(merged.len());
+        for w in &merged {
+            let rec = if w.insert {
+                let (rec, created) = w.table.get_or_insert_absent(&w.key);
+                if created {
+                    *own_bumps
+                        .entry((w.table.id(), w.table.shard_of(&w.key)))
+                        .or_insert(0) += 1;
+                }
+                rec
+            } else {
+                match w.table.get(&w.key) {
+                    Some(rec) => rec,
+                    None => {
+                        self.aborted = true;
+                        return Err(CommitError::MissingKey);
+                    }
+                }
+            };
+            resolved.push((rec, w));
+        }
+
+        // Phase 1: lock the write set in canonical (address) order.
+        resolved.sort_by_key(|(rec, _)| Arc::as_ptr(rec) as usize);
+        let mut locked: Vec<&Arc<Record>> = Vec::with_capacity(resolved.len());
+        for (rec, _) in &resolved {
+            rec.lock();
+            locked.push(rec);
+        }
+        let unlock_all = |locked: &[&Arc<Record>]| {
+            for rec in locked {
+                rec.unlock();
+            }
+        };
+
+        // Phase 2a: validate the read set.
+        let in_write_set =
+            |rec: &Arc<Record>| resolved.iter().any(|(w, _)| Arc::ptr_eq(w, rec));
+        let mut max_seq = 0u64;
+        for (rec, tid) in &self.reads {
+            let cur = rec.tid();
+            if cur.commit_id() != tid.commit_id() {
+                unlock_all(&locked);
+                return Err(CommitError::ReadValidation);
+            }
+            if cur.is_locked() && !in_write_set(rec) {
+                unlock_all(&locked);
+                return Err(CommitError::ReadValidation);
+            }
+            max_seq = max_seq.max(tid.seq());
+        }
+        // Phase 2b: validate scan sets, discounting our own inserts.
+        for ((tid_, shard), (table, version)) in &self.scans {
+            let bump = own_bumps.get(&(*tid_, *shard)).copied().unwrap_or(0);
+            if table.shard_version(*shard) != *version + bump {
+                unlock_all(&locked);
+                return Err(CommitError::PhantomValidation);
+            }
+        }
+
+        // Phase 3: install with a TID greater than everything observed, in
+        // the current epoch.
+        for (rec, _) in &resolved {
+            max_seq = max_seq.max(rec.tid().seq());
+        }
+        let epoch = self.db.epochs().current();
+        let new_tid = TidWord::new(epoch, (max_seq + 1) & ((1 << 32) - 1));
+        let gc_on = self.db.epochs().gc_enabled();
+        for (rec, w) in &resolved {
+            rec.install(new_tid, w.value.clone());
+            if gc_on && w.value.is_none() {
+                // Deleted records reclaim once the epoch quiesces.
+                self.db.gc().note_absent(&w.table, w.key.clone(), epoch);
+            }
+        }
+        Ok(new_tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+
+    fn db_with_table() -> (Database, Table) {
+        let db = Database::new();
+        let t = db.create_table("t", 2);
+        (db, t)
+    }
+
+    fn seed(db: &Database, t: &Table, key: &[u8], val: &[u8]) {
+        let mut txn = db.begin();
+        txn.insert(t, key.to_vec(), val.to_vec());
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn insert_then_read_back() {
+        let (db, t) = db_with_table();
+        seed(&db, &t, b"aa-k", b"v1");
+        let mut txn = db.begin();
+        assert_eq!(txn.read(&t, b"aa-k").unwrap(), Some(b"v1".to_vec()));
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let (db, t) = db_with_table();
+        let mut txn = db.begin();
+        txn.insert(&t, b"aa-x".to_vec(), b"mine".to_vec());
+        assert_eq!(txn.read(&t, b"aa-x").unwrap(), Some(b"mine".to_vec()));
+        txn.delete(&t, b"aa-x".to_vec());
+        assert_eq!(txn.read(&t, b"aa-x").unwrap(), None);
+    }
+
+    #[test]
+    fn update_of_missing_key_fails() {
+        let (db, t) = db_with_table();
+        let mut txn = db.begin();
+        txn.update(&t, b"aa-miss".to_vec(), b"v".to_vec());
+        assert_eq!(txn.commit(), Err(CommitError::MissingKey));
+    }
+
+    #[test]
+    fn write_write_conflict_aborts_one() {
+        let (db, t) = db_with_table();
+        seed(&db, &t, b"aa-k", b"0");
+        // T1 reads then T2 commits a write; T1's read validation fails.
+        let mut t1 = db.begin();
+        let _ = t1.read(&t, b"aa-k").unwrap();
+        let mut t2 = db.begin();
+        t2.update(&t, b"aa-k".to_vec(), b"2".to_vec());
+        t2.commit().unwrap();
+        t1.update(&t, b"aa-k".to_vec(), b"1".to_vec());
+        assert_eq!(t1.commit(), Err(CommitError::ReadValidation));
+        // The store holds T2's value.
+        let mut check = db.begin();
+        assert_eq!(check.read(&t, b"aa-k").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn blind_writes_do_not_conflict_with_stale_reads() {
+        let (db, t) = db_with_table();
+        seed(&db, &t, b"aa-k", b"0");
+        // A pure (blind) write commits regardless of other readers.
+        let mut w = db.begin();
+        w.update(&t, b"aa-k".to_vec(), b"9".to_vec());
+        assert!(w.commit().is_ok());
+    }
+
+    #[test]
+    fn phantom_detected_on_miss_then_insert() {
+        let (db, t) = db_with_table();
+        let mut t1 = db.begin();
+        assert_eq!(t1.read(&t, b"aa-ghost").unwrap(), None);
+        // T2 inserts the key T1 decided was absent.
+        let mut t2 = db.begin();
+        t2.insert(&t, b"aa-ghost".to_vec(), b"boo".to_vec());
+        t2.commit().unwrap();
+        // T1 writes something else based on the miss — must abort.
+        t1.insert(&t, b"aa-other".to_vec(), b"v".to_vec());
+        let r = t1.commit();
+        assert!(
+            matches!(r, Err(CommitError::PhantomValidation)) || r.is_err(),
+            "phantom must abort: {r:?}"
+        );
+    }
+
+    #[test]
+    fn scan_sees_committed_rows_in_order() {
+        let (db, t) = db_with_table();
+        for i in 0..5u8 {
+            seed(&db, &t, &[b'a', b'a', b'a', b'a', i], &[i]);
+        }
+        let mut txn = db.begin();
+        let rows = txn.scan(&t, &[b'a', b'a', b'a', b'a', 0], &[b'a', b'a', b'a', b'a', 9], 10, false).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn scan_includes_own_inserts() {
+        let (db, t) = db_with_table();
+        seed(&db, &t, b"aaaa2", b"x");
+        let mut txn = db.begin();
+        txn.insert(&t, b"aaaa1".to_vec(), b"own".to_vec());
+        let rows = txn.scan(&t, b"aaaa0", b"aaaa9", 10, false).unwrap();
+        let keys: Vec<&[u8]> = rows.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"aaaa1".as_slice(), b"aaaa2".as_slice()]);
+    }
+
+    #[test]
+    fn deleted_rows_disappear() {
+        let (db, t) = db_with_table();
+        seed(&db, &t, b"aa-k", b"v");
+        let mut d = db.begin();
+        d.delete(&t, b"aa-k".to_vec());
+        d.commit().unwrap();
+        let mut check = db.begin();
+        assert_eq!(check.read(&t, b"aa-k").unwrap(), None);
+    }
+
+    #[test]
+    fn last_write_wins_within_txn() {
+        let (db, t) = db_with_table();
+        let mut txn = db.begin();
+        txn.insert(&t, b"aa-k".to_vec(), b"v1".to_vec());
+        txn.update(&t, b"aa-k".to_vec(), b"v2".to_vec());
+        txn.commit().unwrap();
+        let mut check = db.begin();
+        assert_eq!(check.read(&t, b"aa-k").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn tid_epoch_tracks_manager() {
+        let (db, t) = db_with_table();
+        db.epochs().advance();
+        db.epochs().advance();
+        let mut txn = db.begin();
+        txn.insert(&t, b"aa-k".to_vec(), b"v".to_vec());
+        let tid = txn.commit().unwrap();
+        assert_eq!(tid.epoch(), 3);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_serialize() {
+        use std::sync::Arc;
+        let db = Arc::new(Database::new());
+        let t = db.create_table("ctr", 1);
+        seed(&db, &t, b"aa-c", &0u64.to_le_bytes());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        loop {
+                            let mut txn = db.begin();
+                            let cur = u64::from_le_bytes(
+                                txn.read(&t, b"aa-c").unwrap().unwrap()[..8]
+                                    .try_into()
+                                    .unwrap(),
+                            );
+                            txn.update(&t, b"aa-c".to_vec(), (cur + 1).to_le_bytes().to_vec());
+                            if txn.commit().is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let mut check = db.begin();
+        let v = u64::from_le_bytes(
+            check.read(&t, b"aa-c").unwrap().unwrap()[..8].try_into().unwrap(),
+        );
+        assert_eq!(v, 2_000, "lost update detected");
+    }
+}

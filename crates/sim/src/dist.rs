@@ -1,0 +1,328 @@
+//! Service-time distributions.
+//!
+//! The paper studies four distributions (§2.3), all normalized to the same
+//! mean `S̄`:
+//!
+//! * **deterministic** — `P[X = S̄] = 1`
+//! * **exponential** — mean `S̄`
+//! * **bimodal-1** — `P[X = S̄/2] = 0.9`, `P[X = 5.5·S̄] = 0.1`
+//! * **bimodal-2** — `P[X = S̄/2] = 0.999`, `P[X = 500.5·S̄] = 0.001`
+//!
+//! In addition we support **empirical** distributions (used to feed measured
+//! Silo/TPC-C service times into the system simulator for Figure 10b and
+//! Table 1) and **log-normal** (used by ablation experiments).
+
+use crate::rng::Xoshiro256;
+use crate::time::SimDuration;
+
+/// A service-time distribution over positive durations, in microseconds.
+#[derive(Clone, Debug)]
+pub enum ServiceDist {
+    /// Every task takes exactly `us` microseconds.
+    Deterministic { us: f64 },
+    /// Exponentially distributed with the given mean (microseconds).
+    Exponential { mean_us: f64 },
+    /// Two-point distribution: `fast_us` with probability `p_fast`,
+    /// otherwise `slow_us`.
+    TwoPoint {
+        fast_us: f64,
+        slow_us: f64,
+        p_fast: f64,
+    },
+    /// Log-normal with the given mean and squared coefficient of variation.
+    LogNormal { mean_us: f64, cv2: f64 },
+    /// Empirical distribution: samples uniformly from recorded values.
+    ///
+    /// The vector must be non-empty; values are microseconds.
+    Empirical { samples: std::sync::Arc<Vec<f64>> },
+}
+
+impl ServiceDist {
+    /// Deterministic service time of `mean_us` microseconds.
+    pub fn deterministic_us(mean_us: f64) -> Self {
+        ServiceDist::Deterministic { us: mean_us }
+    }
+
+    /// Exponential service time with mean `mean_us` microseconds.
+    pub fn exponential_us(mean_us: f64) -> Self {
+        ServiceDist::Exponential { mean_us }
+    }
+
+    /// The paper's **bimodal-1**: `P[X = S̄/2] = 0.9`, `P[X = 5.5·S̄] = 0.1`.
+    pub fn bimodal1_us(mean_us: f64) -> Self {
+        ServiceDist::TwoPoint {
+            fast_us: 0.5 * mean_us,
+            slow_us: 5.5 * mean_us,
+            p_fast: 0.9,
+        }
+    }
+
+    /// The paper's **bimodal-2**: `P[X = S̄/2] = 0.999`,
+    /// `P[X = 500.5·S̄] = 0.001`.
+    pub fn bimodal2_us(mean_us: f64) -> Self {
+        ServiceDist::TwoPoint {
+            fast_us: 0.5 * mean_us,
+            slow_us: 500.5 * mean_us,
+            p_fast: 0.999,
+        }
+    }
+
+    /// Log-normal with mean `mean_us` and squared coefficient of variation
+    /// `cv2` (variance / mean²).
+    pub fn lognormal_us(mean_us: f64, cv2: f64) -> Self {
+        ServiceDist::LogNormal { mean_us, cv2 }
+    }
+
+    /// Builds an empirical distribution from measured samples (microseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn empirical_us(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "empirical distribution needs samples");
+        ServiceDist::Empirical {
+            samples: std::sync::Arc::new(samples),
+        }
+    }
+
+    /// The theoretical mean of the distribution, in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        match self {
+            ServiceDist::Deterministic { us } => *us,
+            ServiceDist::Exponential { mean_us } => *mean_us,
+            ServiceDist::TwoPoint {
+                fast_us,
+                slow_us,
+                p_fast,
+            } => p_fast * fast_us + (1.0 - p_fast) * slow_us,
+            ServiceDist::LogNormal { mean_us, .. } => *mean_us,
+            ServiceDist::Empirical { samples } => {
+                samples.iter().sum::<f64>() / samples.len() as f64
+            }
+        }
+    }
+
+    /// Draws one service time in microseconds.
+    pub fn sample_us(&self, rng: &mut Xoshiro256) -> f64 {
+        match self {
+            ServiceDist::Deterministic { us } => *us,
+            ServiceDist::Exponential { mean_us } => rng.next_exp(*mean_us),
+            ServiceDist::TwoPoint {
+                fast_us,
+                slow_us,
+                p_fast,
+            } => {
+                if rng.next_f64() < *p_fast {
+                    *fast_us
+                } else {
+                    *slow_us
+                }
+            }
+            ServiceDist::LogNormal { mean_us, cv2 } => {
+                // mean = exp(mu + sigma^2/2); cv2 = exp(sigma^2) - 1.
+                let sigma2 = (1.0 + cv2).ln();
+                let mu = mean_us.ln() - sigma2 / 2.0;
+                let z = gaussian(rng);
+                (mu + sigma2.sqrt() * z).exp()
+            }
+            ServiceDist::Empirical { samples } => {
+                samples[rng.next_bounded(samples.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// Draws one service time as a [`SimDuration`].
+    pub fn sample(&self, rng: &mut Xoshiro256) -> SimDuration {
+        SimDuration::from_micros_f64(self.sample_us(rng))
+    }
+
+    /// The exact quantile where a closed form exists, `None` otherwise.
+    ///
+    /// `q` is in `[0, 1]`; the result is in microseconds. Useful for the
+    /// zero-load asymptotes of the paper's Figure 2 (e.g. the p99 of the
+    /// exponential is `ln(100) · S̄ ≈ 4.6·S̄`).
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        match self {
+            ServiceDist::Deterministic { us } => Some(*us),
+            ServiceDist::Exponential { mean_us } => Some(-mean_us * (1.0 - q).ln()),
+            ServiceDist::TwoPoint {
+                fast_us,
+                slow_us,
+                p_fast,
+            } => Some(if q < *p_fast { *fast_us } else { *slow_us }),
+            ServiceDist::LogNormal { .. } => None,
+            ServiceDist::Empirical { samples } => {
+                let mut sorted: Vec<f64> = samples.as_ref().clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+                let idx = ((q * (sorted.len() - 1) as f64).round() as usize)
+                    .min(sorted.len() - 1);
+                Some(sorted[idx])
+            }
+        }
+    }
+
+    /// Squared coefficient of variation (variance / mean²), where known.
+    pub fn cv2(&self) -> Option<f64> {
+        match self {
+            ServiceDist::Deterministic { .. } => Some(0.0),
+            ServiceDist::Exponential { .. } => Some(1.0),
+            ServiceDist::TwoPoint {
+                fast_us,
+                slow_us,
+                p_fast,
+            } => {
+                let m = self.mean_us();
+                let m2 = p_fast * fast_us * fast_us + (1.0 - p_fast) * slow_us * slow_us;
+                Some((m2 - m * m) / (m * m))
+            }
+            ServiceDist::LogNormal { cv2, .. } => Some(*cv2),
+            ServiceDist::Empirical { samples } => {
+                let m = self.mean_us();
+                let m2 =
+                    samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64;
+                Some((m2 - m * m) / (m * m))
+            }
+        }
+    }
+
+    /// A short human-readable name used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceDist::Deterministic { .. } => "deterministic",
+            ServiceDist::Exponential { .. } => "exponential",
+            ServiceDist::TwoPoint { p_fast, .. } => {
+                if *p_fast > 0.99 {
+                    "bimodal-2"
+                } else {
+                    "bimodal-1"
+                }
+            }
+            ServiceDist::LogNormal { .. } => "lognormal",
+            ServiceDist::Empirical { .. } => "empirical",
+        }
+    }
+}
+
+/// Standard normal deviate via Marsaglia's polar method.
+fn gaussian(rng: &mut Xoshiro256) -> f64 {
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(dist: &ServiceDist, n: usize, seed: u64) -> f64 {
+        let mut rng = Xoshiro256::new(seed);
+        (0..n).map(|_| dist.sample_us(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn all_paper_distributions_have_unit_mean() {
+        for d in [
+            ServiceDist::deterministic_us(1.0),
+            ServiceDist::exponential_us(1.0),
+            ServiceDist::bimodal1_us(1.0),
+            ServiceDist::bimodal2_us(1.0),
+        ] {
+            assert!(
+                (d.mean_us() - 1.0).abs() < 1e-12,
+                "{} mean = {}",
+                d.label(),
+                d.mean_us()
+            );
+        }
+    }
+
+    #[test]
+    fn sample_means_match_theory() {
+        for d in [
+            ServiceDist::deterministic_us(10.0),
+            ServiceDist::exponential_us(10.0),
+            ServiceDist::bimodal1_us(10.0),
+            ServiceDist::lognormal_us(10.0, 4.0),
+        ] {
+            let m = empirical_mean(&d, 300_000, 77);
+            assert!(
+                (m - 10.0).abs() / 10.0 < 0.05,
+                "{}: sample mean {m}",
+                d.label()
+            );
+        }
+    }
+
+    #[test]
+    fn bimodal1_point_masses() {
+        let d = ServiceDist::bimodal1_us(10.0);
+        let mut rng = Xoshiro256::new(1);
+        let mut fast = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            let x = d.sample_us(&mut rng);
+            assert!(x == 5.0 || x == 55.0);
+            if x == 5.0 {
+                fast += 1;
+            }
+        }
+        let p = fast as f64 / n as f64;
+        assert!((p - 0.9).abs() < 0.01, "p_fast = {p}");
+    }
+
+    #[test]
+    fn quantiles_match_paper_figure2_asymptotes() {
+        // Figure 2's zero-load p99 values for S̄ = 1.
+        assert!((ServiceDist::deterministic_us(1.0).quantile_us(0.99).unwrap() - 1.0).abs() < 1e-12);
+        let exp99 = ServiceDist::exponential_us(1.0).quantile_us(0.99).unwrap();
+        assert!((exp99 - 100f64.ln()).abs() < 1e-9, "{exp99}");
+        assert_eq!(ServiceDist::bimodal1_us(1.0).quantile_us(0.99), Some(5.5));
+        assert_eq!(ServiceDist::bimodal2_us(1.0).quantile_us(0.99), Some(0.5));
+    }
+
+    #[test]
+    fn cv2_values() {
+        assert_eq!(ServiceDist::deterministic_us(5.0).cv2(), Some(0.0));
+        assert_eq!(ServiceDist::exponential_us(5.0).cv2(), Some(1.0));
+        // Bimodal-2 has enormous dispersion — that is the point of the paper's
+        // "PS wins under high dispersion" observation.
+        assert!(ServiceDist::bimodal2_us(1.0).cv2().unwrap() > 100.0);
+    }
+
+    #[test]
+    fn empirical_distribution_samples_from_input() {
+        let d = ServiceDist::empirical_us(vec![1.0, 2.0, 3.0]);
+        let mut rng = Xoshiro256::new(4);
+        for _ in 0..1000 {
+            let x = d.sample_us(&mut rng);
+            assert!(x == 1.0 || x == 2.0 || x == 3.0);
+        }
+        assert!((d.mean_us() - 2.0).abs() < 1e-12);
+        assert_eq!(d.quantile_us(0.0), Some(1.0));
+        assert_eq!(d.quantile_us(1.0), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_empirical_panics() {
+        ServiceDist::empirical_us(vec![]);
+    }
+
+    #[test]
+    fn lognormal_dispersion_tracks_cv2() {
+        let d = ServiceDist::lognormal_us(10.0, 9.0);
+        let mut rng = Xoshiro256::new(6);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample_us(&mut rng)).collect();
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        let cv2 = var / (m * m);
+        assert!((cv2 - 9.0).abs() < 1.0, "cv2 = {cv2}");
+    }
+}

@@ -1,0 +1,313 @@
+//! A generic discrete-event simulation engine.
+//!
+//! The engine owns a model `M` and a time-ordered event queue of `M::Event`
+//! values. Events scheduled for the same instant fire in FIFO order (stable
+//! tie-breaking by sequence number), which keeps simulations deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use zygos_sim::engine::{Engine, Model, Scheduler};
+//! use zygos_sim::time::{SimDuration, SimTime};
+//!
+//! struct Counter {
+//!     fired: u32,
+//! }
+//!
+//! enum Ev {
+//!     Tick,
+//! }
+//!
+//! impl Model for Counter {
+//!     type Event = Ev;
+//!     fn handle(&mut self, _now: SimTime, _ev: Ev, sched: &mut Scheduler<Ev>) {
+//!         self.fired += 1;
+//!         if self.fired < 10 {
+//!             sched.after(SimDuration::from_micros(1), Ev::Tick);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Counter { fired: 0 });
+//! engine.schedule(SimTime::ZERO, Ev::Tick);
+//! engine.run();
+//! assert_eq!(engine.model().fired, 10);
+//! assert_eq!(engine.now(), SimTime::from_micros(9));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: application state plus an event handler.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handles one event at simulated time `now`, possibly scheduling more
+    /// events through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Interface handed to event handlers for scheduling follow-up events.
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+    stopped: bool,
+}
+
+impl<E> Scheduler<E> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Times in the past are clamped to `now` (the event fires immediately
+    /// after the current one).
+    pub fn at(&mut self, at: SimTime, event: E) {
+        let t = at.max(self.now);
+        self.pending.push((t, event));
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Requests the run loop to stop after the current event completes.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event engine: an event heap plus the model under simulation.
+pub struct Engine<M: Model> {
+    heap: BinaryHeap<Entry<M::Event>>,
+    seq: u64,
+    now: SimTime,
+    model: M,
+    processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at time zero with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            model,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an event at an absolute time (clamped to the current time).
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) {
+        let at = at.max(self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// The current simulated time (time of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handled so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for setup between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Runs until the event queue is empty or a handler calls
+    /// [`Scheduler::stop`]. Returns the number of events processed.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue empties, a handler stops the run, or the next
+    /// event would fire strictly after `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.processed;
+        while let Some(top) = self.heap.peek() {
+            if top.at > deadline {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry must pop");
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            let mut sched = Scheduler {
+                now: self.now,
+                pending: Vec::new(),
+                stopped: false,
+            };
+            self.model.handle(self.now, entry.event, &mut sched);
+            self.processed += 1;
+            let stopped = sched.stopped;
+            for (at, ev) in sched.pending {
+                self.heap.push(Entry {
+                    at,
+                    seq: self.seq,
+                    event: ev,
+                });
+                self.seq += 1;
+            }
+            if stopped {
+                break;
+            }
+        }
+        self.processed - start
+    }
+
+    /// True if no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        order: Vec<(u64, u32)>,
+    }
+
+    enum Ev {
+        Tag(u32),
+        Chain(u32),
+        StopNow,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+            match ev {
+                Ev::Tag(id) => self.order.push((now.as_nanos(), id)),
+                Ev::Chain(n) => {
+                    self.order.push((now.as_nanos(), n));
+                    if n > 0 {
+                        sched.after(SimDuration::from_nanos(10), Ev::Chain(n - 1));
+                    }
+                }
+                Ev::StopNow => sched.stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule(SimTime::from_nanos(30), Ev::Tag(3));
+        e.schedule(SimTime::from_nanos(10), Ev::Tag(1));
+        e.schedule(SimTime::from_nanos(20), Ev::Tag(2));
+        e.run();
+        assert_eq!(e.model().order, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut e = Engine::new(Recorder::default());
+        for id in 0..100 {
+            e.schedule(SimTime::from_nanos(5), Ev::Tag(id));
+        }
+        e.run();
+        let ids: Vec<u32> = e.model().order.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule(SimTime::ZERO, Ev::Chain(4));
+        let n = e.run();
+        assert_eq!(n, 5);
+        assert_eq!(e.now(), SimTime::from_nanos(40));
+    }
+
+    #[test]
+    fn run_until_respects_deadline_inclusive() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule(SimTime::from_nanos(10), Ev::Tag(1));
+        e.schedule(SimTime::from_nanos(20), Ev::Tag(2));
+        e.schedule(SimTime::from_nanos(21), Ev::Tag(3));
+        e.run_until(SimTime::from_nanos(20));
+        assert_eq!(e.model().order.len(), 2);
+        assert!(!e.is_idle());
+        e.run();
+        assert_eq!(e.model().order.len(), 3);
+    }
+
+    #[test]
+    fn stop_halts_the_loop() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule(SimTime::from_nanos(1), Ev::StopNow);
+        e.schedule(SimTime::from_nanos(2), Ev::Tag(9));
+        e.run();
+        assert!(e.model().order.is_empty());
+        assert!(!e.is_idle());
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule(SimTime::from_nanos(50), Ev::Tag(1));
+        e.run();
+        // Scheduling "at 10" after time reached 50 clamps to 50.
+        e.schedule(SimTime::from_nanos(10), Ev::Tag(2));
+        e.run();
+        assert_eq!(e.model().order, vec![(50, 1), (50, 2)]);
+    }
+}

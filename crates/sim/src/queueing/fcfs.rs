@@ -1,0 +1,222 @@
+//! FCFS queueing models: `M/G/n/FCFS` and `n×M/G/1/FCFS`.
+//!
+//! Both are expressed as one model on the generic engine: the centralized
+//! variant has a single logical queue that any idle server may serve; the
+//! partitioned variant assigns each arrival to a uniformly random queue,
+//! idealizing RSS hashing of a large connection count (paper §2.3).
+
+use std::collections::VecDeque;
+
+use crate::dist::ServiceDist;
+use crate::engine::{Engine, Model, Scheduler};
+use crate::rng::Xoshiro256;
+use crate::stats::LatencyHistogram;
+use crate::time::{SimDuration, SimTime};
+
+use super::{Policy, QueueConfig, SimOutput};
+
+enum Ev {
+    /// A new request enters the system (open-loop Poisson source).
+    Arrival,
+    /// The request running on `server` completes.
+    Departure { server: usize },
+}
+
+struct Job {
+    arrived: SimTime,
+    service: SimDuration,
+}
+
+struct Fcfs {
+    queues: Vec<VecDeque<Job>>,
+    /// `None` if the server is idle, else the arrival time of the job in
+    /// service (service completion is carried by the event).
+    busy: Vec<bool>,
+    central: bool,
+    rng: Xoshiro256,
+    service: ServiceDist,
+    inter_mean_us: f64,
+    latency: LatencyHistogram,
+    completed: u64,
+    warmup: u64,
+    target: u64,
+    done: bool,
+}
+
+impl Fcfs {
+    /// Picks the queue an arrival joins.
+    fn arrival_queue(&mut self) -> usize {
+        if self.central {
+            0
+        } else {
+            self.rng.next_bounded(self.queues.len() as u64) as usize
+        }
+    }
+
+    /// The queue a given server drains.
+    fn server_queue(&self, server: usize) -> usize {
+        if self.central {
+            0
+        } else {
+            server
+        }
+    }
+
+    /// Starts `job` on `server`, returning the completion delay.
+    fn start(&mut self, server: usize, job: &Job, now: SimTime, sched: &mut Scheduler<Ev>) {
+        debug_assert!(!self.busy[server]);
+        self.busy[server] = true;
+        let response = (now + job.service).duration_since(job.arrived);
+        self.record(response);
+        let _ = now;
+        sched.after(job.service, Ev::Departure { server });
+    }
+
+    fn record(&mut self, response: SimDuration) {
+        self.completed += 1;
+        if self.completed > self.warmup {
+            self.latency.record(response);
+            if self.completed - self.warmup >= self.target {
+                self.done = true;
+            }
+        }
+    }
+}
+
+impl Model for Fcfs {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Arrival => {
+                // Open loop: schedule the next arrival regardless of state.
+                let gap = SimDuration::from_micros_f64(self.rng.next_exp(self.inter_mean_us));
+                sched.after(gap, Ev::Arrival);
+
+                let q = self.arrival_queue();
+                let job = Job {
+                    arrived: now,
+                    service: self.service.sample(&mut self.rng),
+                };
+                // An idle server attached to this queue starts it at once.
+                let idle = if self.central {
+                    (0..self.busy.len()).find(|&s| !self.busy[s])
+                } else if !self.busy[q] {
+                    Some(q)
+                } else {
+                    None
+                };
+                match idle {
+                    Some(server) => self.start(server, &job, now, sched),
+                    None => self.queues[q].push_back(job),
+                }
+            }
+            Ev::Departure { server } => {
+                self.busy[server] = false;
+                if self.done {
+                    sched.stop();
+                    return;
+                }
+                let q = self.server_queue(server);
+                if let Some(job) = self.queues[q].pop_front() {
+                    self.start(server, &job, now, sched);
+                }
+            }
+        }
+    }
+}
+
+/// Runs an FCFS model to completion.
+pub(super) fn run(cfg: &QueueConfig) -> SimOutput {
+    let central = cfg.policy == Policy::CentralFcfs;
+    let n = cfg.servers;
+    let model = Fcfs {
+        queues: (0..if central { 1 } else { n })
+            .map(|_| VecDeque::new())
+            .collect(),
+        busy: vec![false; n],
+        central,
+        rng: Xoshiro256::new(cfg.seed),
+        service: cfg.service.clone(),
+        inter_mean_us: 1.0 / cfg.lambda_per_us(),
+        latency: LatencyHistogram::new(),
+        completed: 0,
+        warmup: cfg.warmup,
+        target: cfg.requests,
+        done: false,
+    };
+    let mut engine = Engine::new(model);
+    engine.schedule(SimTime::ZERO, Ev::Arrival);
+    engine.run();
+    let now = engine.now();
+    let model = engine.into_model();
+    SimOutput {
+        latency: model.latency,
+        sim_time_us: now.as_micros_f64(),
+        completed: model.completed.saturating_sub(model.warmup),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(policy: Policy) -> QueueConfig {
+        QueueConfig {
+            servers: 4,
+            load: 0.5,
+            service: ServiceDist::deterministic_us(1.0),
+            policy,
+            requests: 20_000,
+            seed: 5,
+            warmup: 2_000,
+        }
+    }
+
+    #[test]
+    fn completes_requested_count() {
+        let out = run(&base(Policy::CentralFcfs));
+        assert!(out.completed >= 20_000);
+        assert_eq!(out.latency.count(), out.completed);
+    }
+
+    #[test]
+    fn deterministic_min_latency_is_service_time() {
+        let out = run(&base(Policy::CentralFcfs));
+        // Every response takes at least one service time.
+        assert!(out.latency.min_nanos() >= 1_000);
+    }
+
+    #[test]
+    fn throughput_matches_offered_load() {
+        let cfg = base(Policy::PartitionedFcfs);
+        let out = run(&cfg);
+        // Offered rate = 0.5 * 4 servers / 1µs = 2 req/µs. The simulated
+        // time span covers warmup completions too, so count them back in.
+        let rate = (out.completed + cfg.warmup) as f64 / out.sim_time_us;
+        assert!((rate - 2.0).abs() < 0.1, "rate = {rate}");
+    }
+
+    #[test]
+    fn single_server_fcfs_lindley_check() {
+        // For D/D/1-like (deterministic service, Poisson arrivals at low
+        // load) latency must stay close to the bare service time.
+        let mut cfg = base(Policy::PartitionedFcfs);
+        cfg.servers = 1;
+        cfg.load = 0.1;
+        let out = run(&cfg);
+        assert!(out.p99_us() < 2.5, "p99 = {}", out.p99_us());
+    }
+
+    #[test]
+    fn utilization_scales_with_load() {
+        // At load 0.9 with deterministic service the system must stay stable
+        // (bounded p99) but clearly above the no-queueing floor.
+        let mut cfg = base(Policy::CentralFcfs);
+        cfg.load = 0.9;
+        cfg.requests = 50_000;
+        let out = run(&cfg);
+        assert!(out.p99_us() > 1.0);
+        assert!(out.p99_us() < 50.0, "p99 = {}", out.p99_us());
+    }
+}

@@ -1,0 +1,261 @@
+//! Idealized queueing models (paper §2.3, Figure 2).
+//!
+//! Four open-loop models with Poisson arrivals, in Kendall notation:
+//!
+//! * `M/G/n/FCFS` — **centralized FCFS**: one global queue, any idle server
+//!   takes the head. Idealizes floating connections / ZygOS.
+//! * `n×M/G/1/FCFS` — **partitioned FCFS**: arrivals are assigned uniformly
+//!   at random to one of `n` private queues. Idealizes RSS-partitioned
+//!   dataplanes (IX, Linux-partitioned).
+//! * `M/G/n/PS` — centralized processor sharing (thread-per-connection on a
+//!   rebalancing OS).
+//! * `n×M/G/1/PS` — partitioned processor sharing.
+//!
+//! All models are zero-overhead: no network stack, no scheduling cost. They
+//! are the grey upper-bound lines in the paper's Figures 3 and 7 and the
+//! four curves of Figure 2.
+
+mod fcfs;
+mod ps;
+pub mod theory;
+
+use crate::dist::ServiceDist;
+use crate::stats::LatencyHistogram;
+
+/// Which of the four idealized models to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// `M/G/n/FCFS` — single queue, first-come first-served.
+    CentralFcfs,
+    /// `n×M/G/1/FCFS` — random assignment to per-server FIFO queues.
+    PartitionedFcfs,
+    /// `M/G/n/PS` — egalitarian processor sharing over `n` processors.
+    CentralPs,
+    /// `n×M/G/1/PS` — random assignment to per-server PS queues.
+    PartitionedPs,
+}
+
+impl Policy {
+    /// All four policies, in the order plotted by Figure 2.
+    pub const ALL: [Policy; 4] = [
+        Policy::PartitionedPs,
+        Policy::PartitionedFcfs,
+        Policy::CentralFcfs,
+        Policy::CentralPs,
+    ];
+
+    /// Kendall-style label, e.g. `M/G/16/FCFS`.
+    pub fn label(&self, n: usize) -> String {
+        match self {
+            Policy::CentralFcfs => format!("M/G/{n}/FCFS"),
+            Policy::PartitionedFcfs => format!("{n}xM/G/1/FCFS"),
+            Policy::CentralPs => format!("M/G/{n}/PS"),
+            Policy::PartitionedPs => format!("{n}xM/G/1/PS"),
+        }
+    }
+}
+
+/// Configuration for one queueing-model run.
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Number of servers `n` (the paper uses 16).
+    pub servers: usize,
+    /// Offered load `ρ = λ·S̄ / n`, in `(0, 1)`.
+    pub load: f64,
+    /// Service-time distribution.
+    pub service: ServiceDist,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Number of completed requests to measure (after warmup).
+    pub requests: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Completions to discard before measuring (reach steady state).
+    pub warmup: u64,
+}
+
+impl QueueConfig {
+    /// Arrival rate λ in requests per microsecond.
+    pub fn lambda_per_us(&self) -> f64 {
+        self.load * self.servers as f64 / self.service.mean_us()
+    }
+}
+
+/// Measured output of a queueing-model run.
+pub struct SimOutput {
+    /// Response-time (sojourn) histogram over measured completions.
+    pub latency: LatencyHistogram,
+    /// Total simulated time in microseconds.
+    pub sim_time_us: f64,
+    /// Completions measured (excludes warmup).
+    pub completed: u64,
+}
+
+impl SimOutput {
+    /// 99th-percentile response time in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.latency.p99_us()
+    }
+
+    /// Mean response time in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.latency.mean_us()
+    }
+}
+
+/// Runs one queueing-model simulation.
+///
+/// # Panics
+///
+/// Panics if `load` is not in `(0, 1)` or `servers == 0`.
+pub fn simulate(cfg: &QueueConfig) -> SimOutput {
+    assert!(cfg.servers > 0, "need at least one server");
+    assert!(
+        cfg.load > 0.0 && cfg.load < 1.0,
+        "load must be in (0,1), got {}",
+        cfg.load
+    );
+    match cfg.policy {
+        Policy::CentralFcfs | Policy::PartitionedFcfs => fcfs::run(cfg),
+        Policy::CentralPs | Policy::PartitionedPs => ps::run(cfg),
+    }
+}
+
+/// Finds the maximum load whose p99 response time meets `slo_us`.
+///
+/// `p99_of_load` maps a load in `(0, 1)` to a measured p99; the function is
+/// assumed monotone non-decreasing in load (true of every system studied).
+/// Returns a load on a grid of `1 / resolution` steps.
+///
+/// This implements the paper's "maximum load @ SLO" metric (§3.1) used by
+/// Figures 3 and 7 and Table 1.
+pub fn max_load_at_slo(
+    mut p99_of_load: impl FnMut(f64) -> f64,
+    slo_us: f64,
+    resolution: usize,
+) -> f64 {
+    // Binary search on the load grid [1, resolution-1] / resolution.
+    let mut hi = resolution; // Lowest grid point known to violate it.
+    // Check the smallest load first: if even that violates, return 0.
+    if p99_of_load(1.0 / resolution as f64) > slo_us {
+        return 0.0;
+    }
+    let mut lo = 1usize; // Highest grid point known to meet the SLO.
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let load = mid as f64 / resolution as f64;
+        if p99_of_load(load) <= slo_us {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as f64 / resolution as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: Policy, load: f64, service: ServiceDist) -> QueueConfig {
+        QueueConfig {
+            servers: 16,
+            load,
+            service,
+            policy,
+            requests: 60_000,
+            seed: 99,
+            warmup: 6_000,
+        }
+    }
+
+    #[test]
+    fn low_load_latency_approaches_service_quantile() {
+        // At 5% load queueing is negligible: p99 ≈ service p99.
+        for (service, expect) in [
+            (ServiceDist::deterministic_us(1.0), 1.0),
+            (ServiceDist::exponential_us(1.0), 100f64.ln()),
+            (ServiceDist::bimodal1_us(1.0), 5.5),
+            (ServiceDist::bimodal2_us(1.0), 0.5),
+        ] {
+            let out = simulate(&cfg(Policy::CentralFcfs, 0.05, service.clone()));
+            let p99 = out.p99_us();
+            assert!(
+                (p99 - expect).abs() / expect < 0.25,
+                "{}: p99 {p99} vs {expect}",
+                service.label()
+            );
+        }
+    }
+
+    #[test]
+    fn central_fcfs_beats_partitioned_fcfs() {
+        // Paper Observation 1: single-queue beats multi-queue.
+        let service = ServiceDist::exponential_us(1.0);
+        let central = simulate(&cfg(Policy::CentralFcfs, 0.7, service.clone())).p99_us();
+        let part = simulate(&cfg(Policy::PartitionedFcfs, 0.7, service)).p99_us();
+        assert!(
+            central < part * 0.8,
+            "central {central} should beat partitioned {part}"
+        );
+    }
+
+    #[test]
+    fn fcfs_beats_ps_for_low_dispersion() {
+        // Paper Observation 2 (first half): FCFS wins for exponential.
+        let service = ServiceDist::exponential_us(1.0);
+        let fcfs = simulate(&cfg(Policy::CentralFcfs, 0.8, service.clone())).p99_us();
+        let ps = simulate(&cfg(Policy::CentralPs, 0.8, service)).p99_us();
+        assert!(fcfs < ps, "fcfs {fcfs} should beat ps {ps}");
+    }
+
+    #[test]
+    fn ps_beats_fcfs_for_bimodal2() {
+        // Paper Observation 2 (second half): PS wins under high dispersion.
+        let service = ServiceDist::bimodal2_us(1.0);
+        let mut c = cfg(Policy::CentralFcfs, 0.6, service.clone());
+        c.requests = 200_000;
+        let fcfs = simulate(&c).p99_us();
+        c.policy = Policy::CentralPs;
+        let ps = simulate(&c).p99_us();
+        assert!(ps < fcfs, "ps {ps} should beat fcfs {fcfs} for bimodal-2");
+    }
+
+    #[test]
+    fn mm1_partitioned_matches_theory() {
+        // Each partition of 16×M/G/1 with exponential service is an M/M/1
+        // queue; sojourn time is Exp(µ−λ), so p99 = ln(100)/(1−ρ)·S̄.
+        let mut c = cfg(Policy::PartitionedFcfs, 0.5, ServiceDist::exponential_us(1.0));
+        c.requests = 400_000;
+        let got = simulate(&c).p99_us();
+        let expect = 100f64.ln() / 0.5;
+        assert!(
+            (got - expect).abs() / expect < 0.08,
+            "p99 {got} vs theory {expect}"
+        );
+    }
+
+    #[test]
+    fn max_load_search_brackets_slo() {
+        // Synthetic monotone p99 curve: p99(ρ) = 1/(1−ρ).
+        let f = |rho: f64| 1.0 / (1.0 - rho);
+        let load = max_load_at_slo(f, 10.0, 200);
+        // True answer: ρ = 0.9.
+        assert!((load - 0.9).abs() <= 0.01, "load = {load}");
+    }
+
+    #[test]
+    fn max_load_zero_when_unachievable() {
+        // SLO below the no-load latency is never met.
+        let load = max_load_at_slo(|_| 100.0, 10.0, 100);
+        assert_eq!(load, 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Policy::CentralFcfs.label(16), "M/G/16/FCFS");
+        assert_eq!(Policy::PartitionedFcfs.label(16), "16xM/G/1/FCFS");
+        assert_eq!(Policy::CentralPs.label(16), "M/G/16/PS");
+        assert_eq!(Policy::PartitionedPs.label(16), "16xM/G/1/PS");
+    }
+}

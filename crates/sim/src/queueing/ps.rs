@@ -1,0 +1,254 @@
+//! Processor-sharing queueing models: `M/G/n/PS` and `n×M/G/1/PS`.
+//!
+//! Egalitarian processor sharing: `k` resident jobs share the processors
+//! equally, each progressing at rate `min(1, n/k)` (in units of work per
+//! unit time). These models idealize thread-per-connection designs on
+//! time-sharing operating systems (paper §2.3).
+//!
+//! Because service rates change at every arrival/departure, completions are
+//! scheduled speculatively and invalidated by an epoch counter whenever the
+//! job set of a queue changes.
+
+use crate::dist::ServiceDist;
+use crate::engine::{Engine, Model, Scheduler};
+use crate::rng::Xoshiro256;
+use crate::stats::LatencyHistogram;
+use crate::time::{SimDuration, SimTime};
+
+use super::{Policy, QueueConfig, SimOutput};
+
+enum Ev {
+    Arrival,
+    /// Speculative completion for `queue`; stale if `epoch` mismatches.
+    Completion { queue: usize, epoch: u64 },
+}
+
+struct PsJob {
+    arrived: SimTime,
+    /// Remaining work in microseconds (at rate 1.0).
+    remaining_us: f64,
+}
+
+struct PsQueue {
+    jobs: Vec<PsJob>,
+    epoch: u64,
+    last_update: SimTime,
+    /// Processors dedicated to this queue (n for central, 1 per partition).
+    processors: f64,
+}
+
+impl PsQueue {
+    /// Current per-job service rate.
+    fn rate(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            (self.processors / self.jobs.len() as f64).min(1.0)
+        }
+    }
+
+    /// Advances all resident jobs to `now` at the current shared rate.
+    fn advance(&mut self, now: SimTime) {
+        let elapsed_us = now.duration_since(self.last_update).as_micros_f64();
+        self.last_update = now;
+        if elapsed_us <= 0.0 || self.jobs.is_empty() {
+            return;
+        }
+        let work = elapsed_us * self.rate();
+        for j in &mut self.jobs {
+            j.remaining_us = (j.remaining_us - work).max(0.0);
+        }
+    }
+
+    /// Schedules the next speculative completion, bumping the epoch.
+    fn reschedule(&mut self, queue_idx: usize, sched: &mut Scheduler<Ev>) {
+        self.epoch += 1;
+        if self.jobs.is_empty() {
+            return;
+        }
+        let min_rem = self
+            .jobs
+            .iter()
+            .map(|j| j.remaining_us)
+            .fold(f64::INFINITY, f64::min);
+        let dt_us = min_rem / self.rate();
+        sched.after(
+            SimDuration::from_micros_f64(dt_us),
+            Ev::Completion {
+                queue: queue_idx,
+                epoch: self.epoch,
+            },
+        );
+    }
+}
+
+struct Ps {
+    queues: Vec<PsQueue>,
+    central: bool,
+    rng: Xoshiro256,
+    service: ServiceDist,
+    inter_mean_us: f64,
+    latency: LatencyHistogram,
+    completed: u64,
+    warmup: u64,
+    target: u64,
+    done: bool,
+}
+
+impl Model for Ps {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Arrival => {
+                let gap = SimDuration::from_micros_f64(self.rng.next_exp(self.inter_mean_us));
+                sched.after(gap, Ev::Arrival);
+                if self.done {
+                    sched.stop();
+                    return;
+                }
+                let q = if self.central {
+                    0
+                } else {
+                    self.rng.next_bounded(self.queues.len() as u64) as usize
+                };
+                let service_us = self.service.sample_us(&mut self.rng).max(1e-6);
+                let queue = &mut self.queues[q];
+                queue.advance(now);
+                queue.jobs.push(PsJob {
+                    arrived: now,
+                    remaining_us: service_us,
+                });
+                queue.reschedule(q, sched);
+            }
+            Ev::Completion { queue, epoch } => {
+                if self.queues[queue].epoch != epoch {
+                    return; // Stale speculative completion.
+                }
+                let qref = &mut self.queues[queue];
+                qref.advance(now);
+                // The minimum-remaining job completes; floating-point noise
+                // means it may be slightly above zero.
+                let (idx, _) = qref
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.remaining_us
+                            .partial_cmp(&b.1.remaining_us)
+                            .expect("remaining work is never NaN")
+                    })
+                    .expect("completion fired on empty queue");
+                let job = qref.jobs.swap_remove(idx);
+                qref.reschedule(queue, sched);
+                let response = now.duration_since(job.arrived);
+                self.completed += 1;
+                if self.completed > self.warmup {
+                    self.latency.record(response);
+                    if self.completed - self.warmup >= self.target {
+                        self.done = true;
+                        sched.stop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs a PS model to completion.
+pub(super) fn run(cfg: &QueueConfig) -> SimOutput {
+    let central = cfg.policy == Policy::CentralPs;
+    let n = cfg.servers;
+    let queue_count = if central { 1 } else { n };
+    let processors = if central { n as f64 } else { 1.0 };
+    let model = Ps {
+        queues: (0..queue_count)
+            .map(|_| PsQueue {
+                jobs: Vec::new(),
+                epoch: 0,
+                last_update: SimTime::ZERO,
+                processors,
+            })
+            .collect(),
+        central,
+        rng: Xoshiro256::new(cfg.seed),
+        service: cfg.service.clone(),
+        inter_mean_us: 1.0 / cfg.lambda_per_us(),
+        latency: LatencyHistogram::new(),
+        completed: 0,
+        warmup: cfg.warmup,
+        target: cfg.requests,
+        done: false,
+    };
+    let mut engine = Engine::new(model);
+    engine.schedule(SimTime::ZERO, Ev::Arrival);
+    engine.run();
+    let now = engine.now();
+    let model = engine.into_model();
+    SimOutput {
+        latency: model.latency,
+        sim_time_us: now.as_micros_f64(),
+        completed: model.completed.saturating_sub(model.warmup),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(policy: Policy, load: f64) -> QueueConfig {
+        QueueConfig {
+            servers: 4,
+            load,
+            service: ServiceDist::exponential_us(1.0),
+            policy,
+            requests: 30_000,
+            seed: 17,
+            warmup: 3_000,
+        }
+    }
+
+    #[test]
+    fn low_load_ps_latency_is_service_time() {
+        // A lone job runs at full rate: response == service.
+        let out = run(&base(Policy::CentralPs, 0.02));
+        let expect = 100f64.ln();
+        let got = out.p99_us();
+        assert!((got - expect).abs() / expect < 0.3, "p99 = {got}");
+    }
+
+    #[test]
+    fn mm1_ps_mean_matches_theory() {
+        // M/M/1/PS mean sojourn = S̄ / (1−ρ), same as FCFS.
+        let mut cfg = base(Policy::PartitionedPs, 0.5);
+        cfg.servers = 1;
+        cfg.requests = 200_000;
+        let out = run(&cfg);
+        let mean = out.mean_us();
+        assert!((mean - 2.0).abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn ps_is_stable_below_saturation() {
+        let out = run(&base(Policy::CentralPs, 0.85));
+        assert!(out.p99_us() < 200.0, "p99 = {}", out.p99_us());
+    }
+
+    #[test]
+    fn short_jobs_unaffected_by_long_jobs() {
+        // Under bimodal-2 the 99th percentile of PS stays near the short
+        // task size — long jobs do not block short ones.
+        let mut cfg = base(Policy::CentralPs, 0.5);
+        cfg.servers = 16;
+        cfg.service = ServiceDist::bimodal2_us(1.0);
+        cfg.requests = 100_000;
+        let out = run(&cfg);
+        assert!(out.p99_us() < 20.0, "p99 = {}", out.p99_us());
+    }
+
+    #[test]
+    fn completion_count_is_exact() {
+        let out = run(&base(Policy::CentralPs, 0.4));
+        assert_eq!(out.latency.count(), 30_000);
+    }
+}

@@ -1,0 +1,171 @@
+//! Closed-form queueing-theory references.
+//!
+//! These formulas anchor the simulators: where theory has an exact answer,
+//! tests require the simulation to match it. They also provide the paper's
+//! cited operating points (e.g. "for the exponential distribution a load of
+//! 53.7% for the partitioned-FCFS model" at SLO = 10·S̄, §3.1).
+
+/// Mean sojourn time of an M/M/1 queue (FCFS or PS), in units of `S̄`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ ρ < 1`.
+pub fn mm1_mean_sojourn(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "rho out of range");
+    1.0 / (1.0 - rho)
+}
+
+/// Quantile `q` of the M/M/1-FCFS sojourn time, in units of `S̄`.
+///
+/// The sojourn time of M/M/1-FCFS is exponential with rate `µ − λ`, so the
+/// `q`-quantile is `−ln(1−q) / (1−ρ)`.
+pub fn mm1_sojourn_quantile(rho: f64, q: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "rho out of range");
+    assert!((0.0..1.0).contains(&q), "q out of range");
+    -(1.0 - q).ln() / (1.0 - rho)
+}
+
+/// Maximum load of an M/M/1-FCFS queue meeting `p99 ≤ slo_multiple · S̄`.
+///
+/// Solving `ln(100)/(1−ρ) = slo_multiple` for ρ. For the paper's SLO of
+/// 10·S̄ this gives ρ ≈ 0.5396 — the "53.7%" the paper quotes for the
+/// partitioned-FCFS exponential model.
+pub fn mm1_max_load_at_p99_slo(slo_multiple: f64) -> f64 {
+    (1.0 - 100f64.ln() / slo_multiple).max(0.0)
+}
+
+/// Erlang-C probability that an arrival to an M/M/n queue must wait.
+pub fn erlang_c(n: usize, offered_load: f64) -> f64 {
+    assert!(n > 0);
+    let a = offered_load * n as f64; // Offered traffic in Erlangs.
+    assert!(a < n as f64, "system must be stable");
+    // Compute iteratively to avoid factorial overflow.
+    let mut inv_b = 1.0; // Erlang-B recurrence: B(0, a) = 1.
+    for k in 1..=n {
+        inv_b = 1.0 + inv_b * k as f64 / a;
+    }
+    let b = 1.0 / inv_b;
+    let rho = offered_load;
+    b / (1.0 - rho + rho * b)
+}
+
+/// Quantile `q` of the M/M/n-FCFS sojourn time, in units of `S̄`.
+///
+/// Conditional on waiting, the wait is exponential with rate `n·µ − λ`; the
+/// sojourn is wait + service. We evaluate the sojourn CCDF numerically and
+/// invert by bisection (the distribution is a mixture, so no simple closed
+/// form for quantiles of wait+service).
+pub fn mmn_sojourn_quantile(n: usize, rho: f64, q: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho));
+    let pw = erlang_c(n, rho);
+    let theta = n as f64 * (1.0 - rho); // Rate of the conditional wait, in 1/S̄.
+    // CCDF of sojourn T = W + S with W = 0 w.p. 1−pw, Exp(theta) w.p. pw,
+    // S = Exp(1) independent:
+    //   P[T > t] = (1−pw)·e^{−t} + pw · (theta·e^{−t} − e^{−theta·t}) / (theta − 1)
+    // (for theta ≠ 1).
+    let ccdf = |t: f64| -> f64 {
+        let s = (-t).exp();
+        if (theta - 1.0).abs() < 1e-9 {
+            (1.0 - pw) * s + pw * s * (1.0 + t)
+        } else {
+            (1.0 - pw) * s + pw * (theta * s - (-theta * t).exp()) / (theta - 1.0)
+        }
+    };
+    let target = 1.0 - q;
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    while ccdf(hi) > target {
+        hi *= 2.0;
+        if hi > 1e9 {
+            return f64::INFINITY;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if ccdf(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Maximum load of M/M/n-FCFS meeting `p99 ≤ slo_multiple · S̄`, by bisection.
+pub fn mmn_max_load_at_p99_slo(n: usize, slo_multiple: f64) -> f64 {
+    if mmn_sojourn_quantile(n, 1e-6, 0.99) > slo_multiple {
+        return 0.0;
+    }
+    let mut lo = 1e-6;
+    let mut hi = 1.0 - 1e-6;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if mmn_sojourn_quantile(n, mid, 0.99) <= slo_multiple {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_mean() {
+        assert_eq!(mm1_mean_sojourn(0.0), 1.0);
+        assert_eq!(mm1_mean_sojourn(0.5), 2.0);
+        assert!((mm1_mean_sojourn(0.9) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_p99_at_half_load() {
+        let p99 = mm1_sojourn_quantile(0.5, 0.99);
+        assert!((p99 - 2.0 * 100f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_quoted_partitioned_load() {
+        // §3.1: "a load of 53.7% for the partitioned-FCFS model".
+        let rho = mm1_max_load_at_p99_slo(10.0);
+        assert!((rho - 0.5396).abs() < 0.001, "rho = {rho}");
+    }
+
+    #[test]
+    fn paper_quoted_centralized_load() {
+        // §3.1: "96.3% for centralized-FCFS" (M/M/16, SLO 10·S̄ at p99).
+        let rho = mmn_max_load_at_p99_slo(16, 10.0);
+        assert!((rho - 0.963).abs() < 0.005, "rho = {rho}");
+    }
+
+    #[test]
+    fn erlang_c_sanity() {
+        // Single server: delay probability equals utilization.
+        assert!((erlang_c(1, 0.5) - 0.5).abs() < 1e-9);
+        // Many servers at low load: almost never wait.
+        assert!(erlang_c(16, 0.1) < 1e-6);
+        // High load: waits become likely.
+        assert!(erlang_c(16, 0.95) > 0.5);
+    }
+
+    #[test]
+    fn mmn_quantile_limits() {
+        // With n=1 the numeric inversion must match the closed form.
+        let num = mmn_sojourn_quantile(1, 0.5, 0.99);
+        let exact = mm1_sojourn_quantile(0.5, 0.99);
+        assert!((num - exact).abs() < 1e-6, "num {num} vs exact {exact}");
+        // At vanishing load the sojourn is just the service: p99 → ln(100).
+        let low = mmn_sojourn_quantile(16, 1e-9, 0.99);
+        assert!((low - 100f64.ln()).abs() < 1e-3, "low = {low}");
+    }
+
+    #[test]
+    fn mmn_beats_mm1_pooling_gain() {
+        // Pooling 16 servers massively raises the achievable load.
+        let single = mm1_max_load_at_p99_slo(10.0);
+        let pooled = mmn_max_load_at_p99_slo(16, 10.0);
+        assert!(pooled > single + 0.3);
+    }
+}

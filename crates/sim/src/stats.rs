@@ -1,0 +1,362 @@
+//! Latency recording and percentile statistics.
+//!
+//! [`LatencyHistogram`] is a log-linear (HDR-style) histogram over
+//! nanosecond durations: values are bucketed with ~0.1% relative precision
+//! (1024 sub-buckets per power of two), covering the full `u64` range in
+//! constant memory. All figure harnesses report percentiles through it, and
+//! Figure 10a's CCDF is exported from it.
+
+use crate::time::SimDuration;
+
+const SUB_BUCKET_HALF_COUNT_BITS: u32 = 10;
+const SUB_BUCKET_HALF_COUNT: usize = 1 << SUB_BUCKET_HALF_COUNT_BITS; // 1024
+const SUB_BUCKET_COUNT: usize = SUB_BUCKET_HALF_COUNT * 2; // 2048
+const SUB_BUCKET_MASK: u64 = (SUB_BUCKET_COUNT - 1) as u64;
+// Number of logarithmic buckets needed to cover u64 with 2048-wide bucket 0.
+const BUCKET_COUNT: usize = 64 - (SUB_BUCKET_HALF_COUNT_BITS as usize + 1) + 1; // 54
+const COUNTS_LEN: usize = (BUCKET_COUNT + 1) * SUB_BUCKET_HALF_COUNT;
+
+/// A log-linear histogram of durations with ~0.1% value precision.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; COUNTS_LEN],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        // Index of the highest set bit at or above the sub-bucket range.
+        let pow2 = 63 - (value | SUB_BUCKET_MASK).leading_zeros() as usize;
+        pow2 - SUB_BUCKET_HALF_COUNT_BITS as usize
+    }
+
+    fn counts_index(value: u64) -> usize {
+        let bucket = Self::bucket_index(value);
+        let sub = (value >> bucket) as usize;
+        debug_assert!((SUB_BUCKET_HALF_COUNT..SUB_BUCKET_COUNT).contains(&sub) || bucket == 0);
+        // Bucket 0 owns indices [0, 2048) (its sub spans the full range);
+        // bucket b ≥ 1 owns [(b+1)·1024, (b+2)·1024) with sub ∈ [1024, 2048).
+        // Both collapse to `b·1024 + sub` without underflow.
+        bucket * SUB_BUCKET_HALF_COUNT + sub
+    }
+
+    /// Highest value that maps to the same bucket as `value`.
+    fn highest_equivalent(value: u64) -> u64 {
+        let bucket = Self::bucket_index(value);
+        let sub = value >> bucket;
+        ((sub + 1) << bucket) - 1
+    }
+
+    /// Records one duration expressed in nanoseconds.
+    pub fn record_nanos(&mut self, ns: u64) {
+        // Map zero to the first bucket; counts_index handles it naturally.
+        let idx = Self::counts_index(ns);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+        self.sum += ns as u128;
+    }
+
+    /// Records one [`SimDuration`].
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_nanos(d.as_nanos());
+    }
+
+    /// Records a duration expressed in (fractional) microseconds.
+    pub fn record_micros_f64(&mut self, us: f64) {
+        self.record(SimDuration::from_micros_f64(us));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact minimum recorded value (nanoseconds), or 0 when empty.
+    pub fn min_nanos(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (nanoseconds), or 0 when empty.
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean of recorded values (nanoseconds).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_nanos() / 1_000.0
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`, in nanoseconds.
+    ///
+    /// Returns the highest value equivalent to the bucket containing the
+    /// `ceil(q · count)`-th recorded value (so the reported percentile is
+    /// never an underestimate beyond bucket precision). Returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                let bucket = idx / SUB_BUCKET_HALF_COUNT;
+                let sub = idx % SUB_BUCKET_HALF_COUNT;
+                let (b, s) = if bucket == 0 {
+                    (0, sub)
+                } else {
+                    (bucket - 1, sub + SUB_BUCKET_HALF_COUNT)
+                };
+                let lowest = (s as u64) << b;
+                return Self::highest_equivalent(lowest).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Value at quantile `q`, in microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.value_at_quantile(q) as f64 / 1_000.0
+    }
+
+    /// The 99th percentile in microseconds — the paper's headline metric.
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Median in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Iterates the complementary CDF as `(value_us, fraction_greater_equal)`
+    /// pairs over non-empty buckets, in increasing value order.
+    ///
+    /// Used to export Figure 10a's per-transaction CCDF curves.
+    pub fn ccdf_us(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut remaining = self.total;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bucket = idx / SUB_BUCKET_HALF_COUNT;
+            let sub = idx % SUB_BUCKET_HALF_COUNT;
+            let (b, s) = if bucket == 0 {
+                (0, sub)
+            } else {
+                (bucket - 1, sub + SUB_BUCKET_HALF_COUNT)
+            };
+            let lowest = (s as u64) << b;
+            out.push((lowest as f64 / 1_000.0, remaining as f64 / self.total as f64));
+            remaining -= c;
+        }
+        out
+    }
+
+    /// A compact one-line summary (count, mean, p50/p99/p999, max) in µs.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.2}us p50={:.2}us p99={:.2}us p99.9={:.2}us max={:.2}us",
+            self.total,
+            self.mean_us(),
+            self.p50_us(),
+            self.p99_us(),
+            self.quantile_us(0.999),
+            self.max_nanos() as f64 / 1_000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.min_nanos(), 0);
+        assert_eq!(h.mean_nanos(), 0.0);
+        assert!(h.ccdf_us().is_empty());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..2048u64 {
+            h.record_nanos(v);
+        }
+        // Values below 2048 land in dedicated unit-width buckets.
+        assert_eq!(h.value_at_quantile(0.0), 0);
+        assert_eq!(h.count(), 2048);
+        assert_eq!(h.min_nanos(), 0);
+        assert_eq!(h.max_nanos(), 2047);
+        let mid = h.value_at_quantile(0.5);
+        assert!((1023..=1024).contains(&mid), "mid = {mid}");
+    }
+
+    #[test]
+    fn large_values_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        let v = 1_234_567_890u64;
+        h.record_nanos(v);
+        let q = h.value_at_quantile(1.0);
+        assert!(q >= v);
+        assert!((q - v) as f64 / (v as f64) < 0.002, "q = {q}");
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record_nanos(v);
+        }
+        let p99 = h.value_at_quantile(0.99);
+        assert!(
+            (98_900..=99_200).contains(&p99),
+            "p99 = {p99}"
+        );
+        let p50 = h.value_at_quantile(0.5);
+        assert!((49_900..=50_100).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record_nanos(v);
+        }
+        assert_eq!(h.mean_nanos(), 25.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut rng = Xoshiro256::new(3);
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..10_000 {
+            let v = rng.next_bounded(10_000_000) + 1;
+            if i % 2 == 0 {
+                a.record_nanos(v);
+            } else {
+                b.record_nanos(v);
+            }
+            all.record_nanos(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max_nanos(), all.max_nanos());
+        assert_eq!(a.min_nanos(), all.min_nanos());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.value_at_quantile(q), all.value_at_quantile(q));
+        }
+    }
+
+    #[test]
+    fn ccdf_is_monotone() {
+        let mut rng = Xoshiro256::new(8);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..5_000 {
+            h.record_nanos(rng.next_bounded(1_000_000));
+        }
+        let ccdf = h.ccdf_us();
+        assert!((ccdf[0].1 - 1.0).abs() < 1e-12);
+        for w in ccdf.windows(2) {
+            assert!(w[0].0 < w[1].0, "values increase");
+            assert!(w[0].1 >= w[1].1, "ccdf decreases");
+        }
+    }
+
+    #[test]
+    fn quantile_never_underestimates_true_rank_value() {
+        let mut rng = Xoshiro256::new(13);
+        let mut values: Vec<u64> = (0..20_000).map(|_| rng.next_bounded(1 << 40)).collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_nanos(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = values[rank];
+            let est = h.value_at_quantile(q);
+            assert!(est >= truth, "q={q}: est {est} < truth {truth}");
+            assert!(
+                est as f64 <= truth as f64 * 1.002 + 2.0,
+                "q={q}: est {est} way above truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_micros_f64_scales() {
+        let mut h = LatencyHistogram::new();
+        h.record_micros_f64(12.5);
+        assert_eq!(h.max_nanos(), 12_500);
+        assert!((h.p99_us() - 12.5).abs() / 12.5 < 0.002);
+    }
+}

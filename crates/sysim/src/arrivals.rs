@@ -1,0 +1,226 @@
+//! Open-loop client source and completion recording.
+//!
+//! The clients approximate mutilate's open-loop mode (§3.1): request
+//! arrivals form a Poisson process; each request is issued on a uniformly
+//! random connection out of the configured 2752. Connections are mapped to
+//! home cores by the *real* RSS implementation (`zygos-net`), i.e. the same
+//! Toeplitz hash + indirection table a multi-queue NIC would apply.
+
+use zygos_net::flow::FiveTuple;
+use zygos_net::rss::Rss;
+use zygos_sim::dist::ServiceDist;
+use zygos_sim::rng::Xoshiro256;
+use zygos_sim::stats::LatencyHistogram;
+use zygos_sim::time::{SimDuration, SimTime};
+
+use crate::config::SysConfig;
+
+/// One in-flight request.
+#[derive(Clone, Copy, Debug)]
+pub struct Req {
+    /// Connection index.
+    pub conn: u32,
+    /// Home core of the connection (RSS).
+    pub home: u16,
+    /// Client send timestamp.
+    pub send: SimTime,
+    /// Sampled application service time.
+    pub service: SimDuration,
+}
+
+/// The Poisson request source.
+pub struct Source {
+    rng: Xoshiro256,
+    conn_home: Vec<u16>,
+    service: ServiceDist,
+    inter_mean_us: f64,
+    /// One-way wire latency (half the configured RTT).
+    pub half_rtt: SimDuration,
+}
+
+impl Source {
+    /// Builds the source (and the RSS connection→core map) for a config.
+    pub fn new(cfg: &SysConfig) -> Self {
+        let rss = Rss::new(cfg.cores);
+        let conn_home = (0..cfg.conns)
+            .map(|i| rss.queue_for(&FiveTuple::synthetic(i)) as u16)
+            .collect();
+        Source {
+            rng: Xoshiro256::new(cfg.seed),
+            conn_home,
+            service: cfg.service.clone(),
+            inter_mean_us: 1.0 / cfg.lambda_per_us(),
+            half_rtt: SimDuration::from_nanos(cfg.cost.network_rtt_ns / 2),
+        }
+    }
+
+    /// Home core of connection `conn`.
+    pub fn home_of(&self, conn: u32) -> u16 {
+        self.conn_home[conn as usize]
+    }
+
+    /// Time until the next arrival.
+    pub fn next_gap(&mut self) -> SimDuration {
+        SimDuration::from_micros_f64(self.rng.next_exp(self.inter_mean_us))
+    }
+
+    /// Generates the next request, stamped with send time `now`.
+    pub fn next_req(&mut self, now: SimTime) -> Req {
+        let conn = self.rng.next_bounded(self.conn_home.len() as u64) as u32;
+        Req {
+            conn,
+            home: self.conn_home[conn as usize],
+            send: now,
+            service: self.service.sample(&mut self.rng),
+        }
+    }
+
+    /// Borrow of the internal RNG (victim-order shuffles etc.).
+    pub fn rng_mut(&mut self) -> &mut Xoshiro256 {
+        &mut self.rng
+    }
+}
+
+/// Completion recorder with warmup handling and a measurement window.
+pub struct Recorder {
+    /// End-to-end latency histogram (measured completions only).
+    pub latency: LatencyHistogram,
+    half_rtt: SimDuration,
+    completed: u64,
+    warmup: u64,
+    target: u64,
+    meas_start: SimTime,
+    meas_end: SimTime,
+    done: bool,
+}
+
+impl Recorder {
+    /// Creates a recorder for `cfg`.
+    pub fn new(cfg: &SysConfig, half_rtt: SimDuration) -> Self {
+        Recorder {
+            latency: LatencyHistogram::new(),
+            half_rtt,
+            completed: 0,
+            warmup: cfg.warmup,
+            target: cfg.requests,
+            meas_start: SimTime::ZERO,
+            meas_end: SimTime::ZERO,
+            done: false,
+        }
+    }
+
+    /// Records that `req`'s response left the server at `tx_time`.
+    ///
+    /// The client observes it half an RTT later.
+    pub fn complete(&mut self, req: &Req, tx_time: SimTime) {
+        if self.done {
+            return;
+        }
+        self.completed += 1;
+        if self.completed == self.warmup {
+            self.meas_start = tx_time;
+        }
+        if self.completed > self.warmup {
+            let client_rx = tx_time + self.half_rtt;
+            self.latency.record(client_rx.duration_since(req.send));
+            if self.completed - self.warmup >= self.target {
+                self.done = true;
+                self.meas_end = tx_time;
+            }
+        }
+    }
+
+    /// True once the target completion count is reached.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Measured completions (excluding warmup).
+    pub fn measured(&self) -> u64 {
+        self.completed.saturating_sub(self.warmup)
+    }
+
+    /// Length of the measurement window in microseconds.
+    pub fn window_us(&self) -> f64 {
+        self.meas_end.duration_since(self.meas_start).as_micros_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SysConfig, SystemKind};
+
+    fn cfg() -> SysConfig {
+        SysConfig::paper(
+            SystemKind::Zygos,
+            ServiceDist::exponential_us(10.0),
+            0.5,
+        )
+    }
+
+    #[test]
+    fn rss_maps_all_cores() {
+        let s = Source::new(&cfg());
+        let homes: std::collections::HashSet<u16> =
+            (0..2752).map(|c| s.home_of(c)).collect();
+        assert_eq!(homes.len(), 16, "all 16 cores should own flow groups");
+    }
+
+    #[test]
+    fn arrival_rate_matches_load() {
+        let c = cfg();
+        let mut s = Source::new(&c);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| s.next_gap().as_micros_f64()).sum();
+        let rate = n as f64 / total;
+        // load 0.5 × 16 cores / 10µs = 0.8 req/µs.
+        assert!((rate - 0.8).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn recorder_warmup_and_window() {
+        let c = SysConfig {
+            warmup: 2,
+            requests: 3,
+            ..cfg()
+        };
+        let mut r = Recorder::new(&c, SimDuration::from_micros(2));
+        let req = Req {
+            conn: 0,
+            home: 0,
+            send: SimTime::ZERO,
+            service: SimDuration::from_micros(1),
+        };
+        for i in 1..=5u64 {
+            assert!(!r.is_done());
+            r.complete(&req, SimTime::from_micros(10 * i));
+        }
+        assert!(r.is_done());
+        assert_eq!(r.measured(), 3);
+        assert_eq!(r.latency.count(), 3);
+        // Window spans completion 2 (warmup end) to completion 5.
+        assert!((r.window_us() - 30.0).abs() < 1e-9);
+        // Latency includes the return half-RTT: 30µs + 2µs for the 3rd.
+        assert_eq!(r.latency.min_nanos(), 32_000);
+    }
+
+    #[test]
+    fn recorder_ignores_after_done() {
+        let c = SysConfig {
+            warmup: 0,
+            requests: 1,
+            ..cfg()
+        };
+        let mut r = Recorder::new(&c, SimDuration::ZERO);
+        let req = Req {
+            conn: 0,
+            home: 0,
+            send: SimTime::ZERO,
+            service: SimDuration::from_micros(1),
+        };
+        r.complete(&req, SimTime::from_micros(1));
+        r.complete(&req, SimTime::from_micros(2));
+        assert_eq!(r.latency.count(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Experiment configuration and output types.
+
+use zygos_net::cost::CostModel;
+use zygos_sim::dist::ServiceDist;
+use zygos_sim::stats::LatencyHistogram;
+
+/// Which system model to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// ZygOS with work stealing and IPIs.
+    Zygos,
+    /// ZygOS in purely cooperative mode (no IPIs) — the
+    /// `ZygOS (no interrupts)` curve of Figure 6.
+    ZygosNoInterrupts,
+    /// IX: shared-nothing run-to-completion with bounded batching.
+    Ix,
+    /// Linux, connections partitioned across epoll sets.
+    LinuxPartitioned,
+    /// Linux, one shared (floating) epoll set behind a lock.
+    LinuxFloating,
+}
+
+impl SystemKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::Zygos => "ZygOS",
+            SystemKind::ZygosNoInterrupts => "ZygOS (no interrupts)",
+            SystemKind::Ix => "IX",
+            SystemKind::LinuxPartitioned => "Linux (partitioned connections)",
+            SystemKind::LinuxFloating => "Linux (floating connections)",
+        }
+    }
+}
+
+/// Full configuration of one system-simulation run.
+#[derive(Clone, Debug)]
+pub struct SysConfig {
+    /// System model under test.
+    pub system: SystemKind,
+    /// Number of server cores (paper: 16 hyperthreads).
+    pub cores: usize,
+    /// Number of client connections (paper: 2752).
+    pub conns: u32,
+    /// Offered load as a fraction of ideal saturation
+    /// (`λ = load · cores / S̄`).
+    pub load: f64,
+    /// Application service-time distribution.
+    pub service: ServiceDist,
+    /// Per-operation cost model.
+    pub cost: CostModel,
+    /// Receive batch bound `B` (IX adaptive bounded batching; ZygOS RX
+    /// path). `1` disables batching.
+    pub rx_batch: u64,
+    /// Completions to measure after warmup.
+    pub requests: u64,
+    /// Completions to discard first.
+    pub warmup: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Randomize the victim order of steal sweeps (§5; `false` scans
+    /// victims in core order — an ablation knob, see
+    /// `ablation_steal_ipi`).
+    pub randomize_steal_order: bool,
+}
+
+impl SysConfig {
+    /// A 16-core, 2752-connection configuration matching the paper's
+    /// testbed, with defaults suitable for figure regeneration.
+    pub fn paper(system: SystemKind, service: ServiceDist, load: f64) -> Self {
+        let cost = match system {
+            SystemKind::Zygos | SystemKind::ZygosNoInterrupts => CostModel::zygos(),
+            SystemKind::Ix => CostModel::ix(),
+            SystemKind::LinuxPartitioned | SystemKind::LinuxFloating => CostModel::linux(),
+        };
+        let rx_batch = match system {
+            // IX is evaluated with batching disabled unless stated (§3.3).
+            SystemKind::Ix => 1,
+            // ZygOS batches adaptively on the RX path only (§6.2).
+            SystemKind::Zygos | SystemKind::ZygosNoInterrupts => 64,
+            _ => 1,
+        };
+        SysConfig {
+            system,
+            cores: 16,
+            conns: 2752,
+            load,
+            service,
+            cost,
+            rx_batch,
+            requests: 60_000,
+            warmup: 10_000,
+            seed: 0x5A47,
+            randomize_steal_order: true,
+        }
+    }
+
+    /// Arrival rate in requests per microsecond.
+    pub fn lambda_per_us(&self) -> f64 {
+        self.load * self.cores as f64 / self.service.mean_us()
+    }
+}
+
+/// Measured output of a system-simulation run.
+#[derive(Clone)]
+pub struct SysOutput {
+    /// End-to-end (client-observed) latency histogram.
+    pub latency: LatencyHistogram,
+    /// Completions measured (excludes warmup).
+    pub completed: u64,
+    /// Simulated duration in microseconds (measurement window).
+    pub sim_time_us: f64,
+    /// Events executed on their home core.
+    pub local_events: u64,
+    /// Events executed on a stealing core.
+    pub stolen_events: u64,
+    /// IPIs delivered.
+    pub ipis: u64,
+}
+
+impl SysOutput {
+    /// 99th-percentile end-to-end latency in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.latency.p99_us()
+    }
+
+    /// Measured throughput in requests per microsecond (≈ MRPS).
+    pub fn throughput_mrps(&self) -> f64 {
+        if self.sim_time_us == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.sim_time_us
+        }
+    }
+
+    /// Figure 8's metric: fraction of events executed by a non-home core.
+    pub fn steal_fraction(&self) -> f64 {
+        let total = self.local_events + self.stolen_events;
+        if total == 0 {
+            0.0
+        } else {
+            self.stolen_events as f64 / total as f64
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Experiment drivers: run one system, sweep load, or search max-load@SLO.
+//!
+//! These functions are the building blocks of every figure binary in
+//! `zygos-bench`.
+
+use zygos_sim::dist::ServiceDist;
+use zygos_sim::queueing::{self, Policy, QueueConfig};
+
+use crate::config::{SysConfig, SysOutput, SystemKind};
+use crate::{ix, linux, zygos};
+
+/// Runs one system-simulation experiment.
+pub fn run_system(cfg: &SysConfig) -> SysOutput {
+    match cfg.system {
+        SystemKind::Zygos | SystemKind::ZygosNoInterrupts => zygos::run(cfg),
+        SystemKind::Ix => ix::run(cfg),
+        SystemKind::LinuxPartitioned | SystemKind::LinuxFloating => linux::run(cfg),
+    }
+}
+
+/// One point of a latency-vs-throughput sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Offered load (fraction of ideal saturation).
+    pub load: f64,
+    /// Measured throughput in MRPS.
+    pub mrps: f64,
+    /// 99th-percentile end-to-end latency (µs).
+    pub p99_us: f64,
+    /// Fraction of events executed by non-home cores (ZygOS only).
+    pub steal_fraction: f64,
+    /// IPIs delivered per measured request.
+    pub ipis_per_req: f64,
+}
+
+/// Sweeps offered load and reports `(throughput, p99)` points — the raw
+/// data behind Figures 6, 8, 9, 10b and 11.
+pub fn latency_throughput_sweep(
+    base: &SysConfig,
+    loads: &[f64],
+) -> Vec<SweepPoint> {
+    loads
+        .iter()
+        .map(|&load| {
+            let cfg = SysConfig {
+                load,
+                ..base.clone()
+            };
+            let out = run_system(&cfg);
+            SweepPoint {
+                load,
+                mrps: out.throughput_mrps(),
+                p99_us: out.p99_us(),
+                steal_fraction: out.steal_fraction(),
+                ipis_per_req: if out.completed == 0 {
+                    0.0
+                } else {
+                    out.ipis as f64 / out.completed as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Finds the maximum load at which a system meets `p99 ≤ slo_us` —
+/// the paper's Figures 3 and 7 metric.
+///
+/// `resolution` is the load grid (50 ⇒ 2% steps, the figures' visual
+/// granularity).
+pub fn max_load_at_slo(base: &SysConfig, slo_us: f64, resolution: usize) -> f64 {
+    queueing::max_load_at_slo(
+        |load| {
+            let cfg = SysConfig {
+                load,
+                ..base.clone()
+            };
+            run_system(&cfg).p99_us()
+        },
+        slo_us,
+        resolution,
+    )
+}
+
+/// p99 of the zero-overhead **centralized** FCFS bound (M/G/n/FCFS) at a
+/// given load, including the wire RTT — the grey theory curves.
+pub fn theory_central_p99_us(
+    service: &ServiceDist,
+    cores: usize,
+    load: f64,
+    rtt_us: f64,
+    requests: u64,
+    seed: u64,
+) -> f64 {
+    let out = queueing::simulate(&QueueConfig {
+        servers: cores,
+        load,
+        service: service.clone(),
+        policy: Policy::CentralFcfs,
+        requests,
+        seed,
+        warmup: requests / 5,
+    });
+    out.p99_us() + rtt_us
+}
+
+/// Max-load@SLO of a zero-overhead queueing bound (centralized or
+/// partitioned FCFS), for the grey horizontal lines of Figures 3 and 7.
+pub fn theory_max_load_at_slo(
+    service: &ServiceDist,
+    cores: usize,
+    policy: Policy,
+    slo_multiple: f64,
+    requests: u64,
+    resolution: usize,
+) -> f64 {
+    let slo_us = slo_multiple * service.mean_us();
+    queueing::max_load_at_slo(
+        |load| {
+            queueing::simulate(&QueueConfig {
+                servers: cores,
+                load,
+                service: service.clone(),
+                policy,
+                requests,
+                seed: 7,
+                warmup: requests / 5,
+            })
+            .p99_us()
+        },
+        slo_us,
+        resolution,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(system: SystemKind, mean_us: f64) -> SysConfig {
+        let mut cfg = SysConfig::paper(system, ServiceDist::exponential_us(mean_us), 0.5);
+        cfg.requests = 15_000;
+        cfg.warmup = 3_000;
+        cfg
+    }
+
+    #[test]
+    fn sweep_monotone_p99() {
+        let pts = latency_throughput_sweep(&small(SystemKind::Zygos, 10.0), &[0.2, 0.5, 0.8]);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].p99_us < pts[2].p99_us, "p99 grows with load");
+        assert!(pts[2].mrps > pts[0].mrps, "throughput grows with load");
+    }
+
+    #[test]
+    fn paper_headline_zygos_beats_ix_at_10us_slo() {
+        // The central claim (§6.1): for an SLO of 10×S̄ at p99, ZygOS
+        // sustains much higher load than IX for 10µs exponential tasks.
+        let slo = 100.0;
+        let zygos = max_load_at_slo(&small(SystemKind::Zygos, 10.0), slo, 20);
+        let ix = max_load_at_slo(&small(SystemKind::Ix, 10.0), slo, 20);
+        assert!(
+            zygos > ix + 0.10,
+            "ZygOS load@SLO {zygos} should clearly beat IX {ix}"
+        );
+    }
+
+    #[test]
+    fn theory_bounds_bracket_systems() {
+        let service = ServiceDist::exponential_us(10.0);
+        let central =
+            theory_max_load_at_slo(&service, 16, Policy::CentralFcfs, 10.0, 40_000, 20);
+        let part =
+            theory_max_load_at_slo(&service, 16, Policy::PartitionedFcfs, 10.0, 40_000, 20);
+        // Known theory: ~0.96 and ~0.54.
+        assert!(central > 0.85, "central bound = {central}");
+        assert!((0.40..0.70).contains(&part), "partitioned bound = {part}");
+        // Systems fall below their bound.
+        let zygos = max_load_at_slo(&small(SystemKind::Zygos, 10.0), 100.0, 20);
+        assert!(zygos < central + 0.05);
+    }
+
+    #[test]
+    fn theory_central_curve_is_sane() {
+        let service = ServiceDist::exponential_us(10.0);
+        let p99 = theory_central_p99_us(&service, 16, 0.3, 4.0, 30_000, 3);
+        // ≈ 46µs service p99 + 4µs RTT, with a little queueing.
+        assert!((48.0..62.0).contains(&p99), "p99 = {p99}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Full-system discrete-event simulation of the paper's testbed.
+//!
+//! A 16-core server behind a multi-queue NIC (real RSS mapping from
+//! `zygos-net`), 2752 client connections, open-loop Poisson arrivals, and
+//! four system models:
+//!
+//! * [`config::SystemKind::Zygos`] — the paper's system: per-core network
+//!   stacks, shuffle queues with connection-granularity work stealing,
+//!   remote batched syscalls, and IPIs ([`SystemKind::ZygosNoInterrupts`]
+//!   disables the IPIs for the cooperative ablation).
+//! * [`config::SystemKind::Ix`] — shared-nothing run-to-completion with
+//!   adaptive bounded batching (`rx_batch` = the paper's `B`).
+//! * [`config::SystemKind::LinuxPartitioned`] / [`SystemKind::LinuxFloating`]
+//!   — the epoll baselines with Linux's per-request kernel cost.
+//!
+//! Why a simulator: the original evaluation needs a 16-hyperthread Xeon,
+//! Intel 82599 NICs and an 11-machine client cluster. This environment has
+//! one CPU. Every result in the paper is a function of the arrival process,
+//! the service-time distribution, the per-operation costs and the
+//! scheduling policy — all of which the simulator reproduces exactly and
+//! deterministically (the paper itself validates its steal rates against a
+//! discrete-event simulation of the shuffle queue, §6.1). The per-operation
+//! costs come from the calibrated [`zygos_net::cost::CostModel`].
+//!
+//! # Example
+//!
+//! ```
+//! use zygos_sysim::{SysConfig, SystemKind, run_system};
+//! use zygos_sim::dist::ServiceDist;
+//!
+//! let mut cfg = SysConfig::paper(
+//!     SystemKind::Zygos,
+//!     ServiceDist::exponential_us(10.0),
+//!     0.6,
+//! );
+//! cfg.requests = 5_000;
+//! cfg.warmup = 1_000;
+//! let out = run_system(&cfg);
+//! assert!(out.p99_us() > 46.0); // At least the service-time p99.
+//! assert!(out.steal_fraction() > 0.0); // Work stealing is active.
+//! ```
+
+mod arrivals;
+pub mod config;
+pub mod driver;
+mod ix;
+mod linux;
+mod zygos;
+
+pub use config::{SysConfig, SysOutput, SystemKind};
+pub use driver::{
+    latency_throughput_sweep, max_load_at_slo, run_system, theory_central_p99_us,
+    theory_max_load_at_slo, SweepPoint,
+};

@@ -1,0 +1,224 @@
+//! The Linux baselines (paper §3.3).
+//!
+//! * **Linux-partitioned**: each thread (pinned one per core) owns the
+//!   connections RSS steers to it and epolls over that private set.
+//!   Idealized by `n×M/G/1/FCFS` with Linux's per-request kernel cost.
+//! * **Linux-floating**: all connections live in one shared pool from which
+//!   every thread may poll; claiming a ready socket requires a serializing
+//!   lock (the paper's implementation uses "a simple locking protocol to
+//!   serialize access to the same socket"). Idealized by `M/G/n/FCFS` plus
+//!   the lock's serialization and the same per-request kernel cost.
+//!
+//! Both models charge `linux_per_req_ns` of kernel time per request
+//! (softirq RX, `epoll_wait`, `read`, `write`, scheduler wakeups), the
+//! overhead that makes Linux converge to its ideal bound only for tasks of
+//! ~100µs and up (Figure 3).
+
+use std::collections::VecDeque;
+
+use zygos_sim::engine::{Engine, Model, Scheduler};
+use zygos_sim::time::{SimDuration, SimTime};
+
+use crate::arrivals::{Recorder, Req, Source};
+use crate::config::{SysConfig, SysOutput, SystemKind};
+
+enum Ev {
+    Gen,
+    Packet(Req),
+    Run(usize),
+    Done { core: usize, req: Req },
+}
+
+struct LinuxModel {
+    cfg: SysConfig,
+    source: Source,
+    rec: Recorder,
+    /// One queue per core (partitioned) or a single queue (floating).
+    queues: Vec<VecDeque<Req>>,
+    busy: Vec<bool>,
+    floating: bool,
+    /// Floating only: time at which the shared-pool lock frees up.
+    lock_free_at: SimTime,
+    events_done: u64,
+}
+
+impl LinuxModel {
+    fn new(cfg: SysConfig) -> Self {
+        let floating = cfg.system == SystemKind::LinuxFloating;
+        let source = Source::new(&cfg);
+        let rec = Recorder::new(&cfg, source.half_rtt);
+        LinuxModel {
+            queues: vec![VecDeque::new(); if floating { 1 } else { cfg.cores }],
+            busy: vec![false; cfg.cores],
+            floating,
+            lock_free_at: SimTime::ZERO,
+            source,
+            rec,
+            cfg,
+            events_done: 0,
+        }
+    }
+
+    fn queue_of(&self, core: usize) -> usize {
+        if self.floating {
+            0
+        } else {
+            core
+        }
+    }
+
+    fn run_core(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.busy[core] {
+            return;
+        }
+        let q = self.queue_of(core);
+        let Some(req) = self.queues[q].pop_front() else {
+            return;
+        };
+        self.busy[core] = true;
+        let cost = &self.cfg.cost;
+        let mut start = now;
+        if self.floating {
+            // Serialize on the shared-pool lock: wait for it, hold it for
+            // the claim, then proceed.
+            let acquire = now.max(self.lock_free_at);
+            self.lock_free_at = acquire + SimDuration::from_nanos(cost.linux_float_lock_ns);
+            start = self.lock_free_at;
+        }
+        let end = start
+            + SimDuration::from_nanos(cost.linux_per_req_ns)
+            + req.service;
+        sched.at(end, Ev::Done { core, req });
+    }
+
+    fn wake_for_queue(&mut self, q: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.floating {
+            // EPOLLEXCLUSIVE semantics: wake one idle thread.
+            if let Some(core) = (0..self.cfg.cores).find(|&c| !self.busy[c]) {
+                sched.at(now, Ev::Run(core));
+            }
+        } else {
+            sched.at(now, Ev::Run(q));
+        }
+    }
+}
+
+impl Model for LinuxModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.rec.is_done() {
+            sched.stop();
+            return;
+        }
+        match ev {
+            Ev::Gen => {
+                let req = self.source.next_req(now);
+                sched.after(self.source.half_rtt, Ev::Packet(req));
+                let gap = self.source.next_gap();
+                sched.after(gap, Ev::Gen);
+            }
+            Ev::Packet(req) => {
+                let q = if self.floating {
+                    0
+                } else {
+                    req.home as usize
+                };
+                self.queues[q].push_back(req);
+                self.wake_for_queue(q, now, sched);
+            }
+            Ev::Run(core) => self.run_core(core, now, sched),
+            Ev::Done { core, req } => {
+                self.rec.complete(&req, now);
+                self.events_done += 1;
+                self.busy[core] = false;
+                self.run_core(core, now, sched);
+            }
+        }
+    }
+}
+
+/// Runs a Linux system simulation (partitioned or floating).
+pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
+    debug_assert!(matches!(
+        cfg.system,
+        SystemKind::LinuxPartitioned | SystemKind::LinuxFloating
+    ));
+    let mut engine = Engine::new(LinuxModel::new(cfg.clone()));
+    engine.schedule(SimTime::ZERO, Ev::Gen);
+    engine.run();
+    let now = engine.now();
+    let model = engine.into_model();
+    let window = model.rec.window_us();
+    SysOutput {
+        latency: model.rec.latency.clone(),
+        completed: model.rec.measured(),
+        sim_time_us: if window > 0.0 {
+            window
+        } else {
+            now.as_micros_f64()
+        },
+        local_events: model.events_done,
+        stolen_events: 0,
+        ipis: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zygos_sim::dist::ServiceDist;
+
+    fn quick(system: SystemKind, load: f64, mean_us: f64) -> SysOutput {
+        let mut cfg = SysConfig::paper(system, ServiceDist::exponential_us(mean_us), load);
+        cfg.requests = 20_000;
+        cfg.warmup = 4_000;
+        run(&cfg)
+    }
+
+    #[test]
+    fn both_variants_complete() {
+        for s in [SystemKind::LinuxPartitioned, SystemKind::LinuxFloating] {
+            let out = quick(s, 0.3, 25.0);
+            assert_eq!(out.completed, 20_000, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn floating_beats_partitioned_tail_for_medium_tasks() {
+        // The paper's Figure 3(b): the centralized (floating) model
+        // rebalances and wins for larger tasks despite the lock.
+        let part = quick(SystemKind::LinuxPartitioned, 0.6, 50.0);
+        let float = quick(SystemKind::LinuxFloating, 0.6, 50.0);
+        assert!(
+            float.p99_us() < part.p99_us(),
+            "floating {} vs partitioned {}",
+            float.p99_us(),
+            part.p99_us()
+        );
+    }
+
+    #[test]
+    fn linux_overhead_visible_at_small_tasks() {
+        // With 5µs tasks and ~11µs of kernel cost per request, latency is
+        // dominated by overhead: p99 well above the bare service p99.
+        let out = quick(SystemKind::LinuxPartitioned, 0.2, 5.0);
+        let bare = 5.0 * 100f64.ln();
+        assert!(out.p99_us() > bare + 8.0, "p99 = {}", out.p99_us());
+    }
+
+    #[test]
+    fn floating_lock_serializes_at_extreme_rates() {
+        // Offered dequeue rate above 1/lock_ns must saturate: p99 explodes.
+        let mut cfg = SysConfig::paper(
+            SystemKind::LinuxFloating,
+            ServiceDist::deterministic_us(1.0),
+            0.95,
+        );
+        cfg.requests = 10_000;
+        cfg.warmup = 1_000;
+        // 0.95 × 16/1µs = 15.2 req/µs offered, lock supports ~2.2/µs.
+        let out = run(&cfg);
+        assert!(out.p99_us() > 100.0, "p99 = {}", out.p99_us());
+    }
+}

@@ -1,0 +1,603 @@
+//! The ZygOS system model (paper §4–§5) on the discrete-event engine.
+//!
+//! Each simulated core owns a NIC ring (RSS-fed), a shuffle queue of ready
+//! connections, and a remote-syscall queue. Cores run a priority loop:
+//!
+//! 1. execute pending **remote syscalls** (TX for stolen executions),
+//! 2. dequeue the next ready connection from the **own shuffle queue**,
+//! 3. run the **network stack** over a bounded batch from the own NIC ring,
+//! 4. **steal** a ready connection from a random other core,
+//! 5. if IPIs are enabled, scan other cores' NIC rings and **send an IPI**
+//!    to a home core that sits in application code with undrained packets,
+//! 6. go idle (woken by any state change it could act on).
+//!
+//! IPIs interrupt *application* execution only: the handler replenishes the
+//! shuffle queue from the NIC ring and flushes remote syscalls, extending
+//! the interrupted event's completion by the handler cost — exactly the
+//! preemption a real exit-less IPI performs, which the live runtime cannot
+//! do (see DESIGN.md §6) and the simulator can.
+//!
+//! The `ZygosNoInterrupts` variant disables step 5 and the IPI on remote
+//! syscall shipping: the cooperative mode whose head-of-line blocking the
+//! paper's Figure 6 quantifies.
+
+use std::collections::VecDeque;
+
+use zygos_sim::engine::{Engine, Model, Scheduler};
+use zygos_sim::time::{SimDuration, SimTime};
+
+use crate::arrivals::{Recorder, Req, Source};
+use crate::config::{SysConfig, SysOutput, SystemKind};
+
+pub(crate) enum Ev {
+    /// Generate the next client request.
+    Gen,
+    /// A request packet reaches its home core's NIC ring.
+    Packet(Req),
+    /// Core scheduling-loop entry.
+    Run(usize),
+    /// The core's current work chunk completes (stale if epoch mismatches).
+    WorkDone { core: usize, epoch: u64 },
+    /// An IPI arrives at a core.
+    Ipi(usize),
+}
+
+enum Work {
+    /// Running the network stack over an RX batch.
+    Net { batch: Vec<Req> },
+    /// Executing one application event; the rest of the connection's batch
+    /// follows.
+    App {
+        conn: u32,
+        cur: Req,
+        rest: VecDeque<Req>,
+        stolen: bool,
+    },
+    /// Executing remote batched syscalls (TX for stolen events).
+    RemoteTx { batch: Vec<Req> },
+}
+
+struct Core {
+    ring: VecDeque<Req>,
+    shuffle: VecDeque<u32>,
+    remote_sys: Vec<Req>,
+    work: Option<Work>,
+    /// Completion time of the current work chunk (valid when `work` is set).
+    end: SimTime,
+    /// Epoch guard: bumping it invalidates the scheduled `WorkDone`.
+    epoch: u64,
+    ipi_pending: bool,
+}
+
+impl Core {
+    fn is_idle(&self) -> bool {
+        self.work.is_none()
+    }
+
+    fn in_app(&self) -> bool {
+        matches!(self.work, Some(Work::App { .. }))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnSt {
+    Idle,
+    Ready,
+    Busy,
+}
+
+struct Conn {
+    st: ConnSt,
+    pending: VecDeque<Req>,
+}
+
+/// Shorthand for nanosecond durations.
+fn ns(v: u64) -> SimDuration {
+    SimDuration::from_nanos(v)
+}
+
+pub(crate) struct ZygosModel {
+    cfg: SysConfig,
+    source: Source,
+    rec: Recorder,
+    cores: Vec<Core>,
+    conns: Vec<Conn>,
+    /// Scratch buffer for randomized victim order.
+    victims: Vec<usize>,
+    ipis_enabled: bool,
+    // Telemetry.
+    local_events: u64,
+    stolen_events: u64,
+    ipis_delivered: u64,
+}
+
+impl ZygosModel {
+    pub(crate) fn new(cfg: SysConfig) -> Self {
+        let source = Source::new(&cfg);
+        let rec = Recorder::new(&cfg, source.half_rtt);
+        let ipis_enabled = cfg.system == SystemKind::Zygos;
+        ZygosModel {
+            cores: (0..cfg.cores)
+                .map(|_| Core {
+                    ring: VecDeque::new(),
+                    shuffle: VecDeque::new(),
+                    remote_sys: Vec::new(),
+                    work: None,
+                    end: SimTime::ZERO,
+                    epoch: 0,
+                    ipi_pending: false,
+                })
+                .collect(),
+            conns: (0..cfg.conns)
+                .map(|_| Conn {
+                    st: ConnSt::Idle,
+                    pending: VecDeque::new(),
+                })
+                .collect(),
+            victims: (0..cfg.cores).collect(),
+            source,
+            rec,
+            ipis_enabled,
+            cfg,
+            local_events: 0,
+            stolen_events: 0,
+            ipis_delivered: 0,
+        }
+    }
+
+    /// Wakes every idle core (something steal-able appeared).
+    fn wake_idle(&self, sched: &mut Scheduler<Ev>) {
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.is_idle() {
+                sched.at(sched.now(), Ev::Run(i));
+            }
+        }
+    }
+
+    /// Wakes one core if idle.
+    fn wake(&self, core: usize, sched: &mut Scheduler<Ev>) {
+        if self.cores[core].is_idle() {
+            sched.at(sched.now(), Ev::Run(core));
+        }
+    }
+
+    /// Sends an IPI to `target` if one is not already in flight.
+    fn send_ipi(&mut self, target: usize, sched: &mut Scheduler<Ev>) {
+        if !self.cores[target].ipi_pending {
+            self.cores[target].ipi_pending = true;
+            sched.after(ns(self.cfg.cost.ipi_delivery_ns), Ev::Ipi(target));
+        }
+    }
+
+    /// Applies RX-batch effects: packets join their connections' event
+    /// queues; idle connections become ready on this core's shuffle queue.
+    fn apply_net_batch(&mut self, core: usize, batch: Vec<Req>, sched: &mut Scheduler<Ev>) {
+        let mut newly_ready = false;
+        for req in batch {
+            let conn = &mut self.conns[req.conn as usize];
+            conn.pending.push_back(req);
+            if conn.st == ConnSt::Idle {
+                conn.st = ConnSt::Ready;
+                self.cores[core].shuffle.push_back(req.conn);
+                newly_ready = true;
+            }
+        }
+        if newly_ready {
+            // Ready connections are steal-able: every idle core may act.
+            self.wake_idle(sched);
+        }
+    }
+
+    /// Begins executing an application event batch for `conn` on `core`.
+    fn begin_app(
+        &mut self,
+        core: usize,
+        conn: u32,
+        extra_ns: u64,
+        stolen: bool,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let c = &mut self.conns[conn as usize];
+        debug_assert_eq!(c.st, ConnSt::Busy);
+        let mut events = std::mem::take(&mut c.pending);
+        debug_assert!(!events.is_empty(), "ready connection without events");
+        let cur = events.pop_front().expect("non-empty");
+        let dur = self.event_exec_ns(&cur, stolen) + extra_ns;
+        let core_ref = &mut self.cores[core];
+        core_ref.work = Some(Work::App {
+            conn,
+            cur,
+            rest: events,
+            stolen,
+        });
+        core_ref.epoch += 1;
+        core_ref.end = now + ns(dur);
+        sched.at(
+            core_ref.end,
+            Ev::WorkDone {
+                core,
+                epoch: core_ref.epoch,
+            },
+        );
+    }
+
+    /// CPU time of one application event on its execution core.
+    ///
+    /// Home execution transmits inline (eager TX, §6.2); stolen execution
+    /// ships its syscalls home instead (the shipping enqueue is folded into
+    /// the home core's `remote_syscall_ns`).
+    fn event_exec_ns(&self, req: &Req, stolen: bool) -> u64 {
+        let c = &self.cfg.cost;
+        let mut ns = c.event_dispatch_ns + req.service.as_nanos() + c.syscall_batch_ns;
+        if !stolen {
+            ns += c.stack_tx_per_msg_ns;
+        }
+        ns
+    }
+
+    /// The core scheduling loop (priorities 1–6 of the module docs).
+    fn run_core(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.cores[core].work.is_some() {
+            return; // Busy; it will rerun at WorkDone.
+        }
+        let cost = self.cfg.cost.clone();
+
+        // 1. Remote syscalls (TX for stolen executions) — highest priority:
+        // they hold finished responses.
+        if !self.cores[core].remote_sys.is_empty() {
+            let batch = std::mem::take(&mut self.cores[core].remote_sys);
+            let dur = (cost.remote_syscall_ns + cost.stack_tx_per_msg_ns) * batch.len() as u64;
+            let c = &mut self.cores[core];
+            c.work = Some(Work::RemoteTx { batch });
+            c.epoch += 1;
+            c.end = now + ns(dur);
+            sched.at(
+                c.end,
+                Ev::WorkDone {
+                    core,
+                    epoch: c.epoch,
+                },
+            );
+            return;
+        }
+
+        // 2. Own shuffle queue.
+        if let Some(conn) = self.cores[core].shuffle.pop_front() {
+            debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
+            self.conns[conn as usize].st = ConnSt::Busy;
+            self.begin_app(core, conn, cost.shuffle_op_ns, false, now, sched);
+            return;
+        }
+
+        // 3. Own NIC ring: run the network stack over a bounded batch.
+        if !self.cores[core].ring.is_empty() {
+            let k = (self.cores[core].ring.len() as u64).min(self.cfg.rx_batch.max(1));
+            let batch: Vec<Req> = (0..k)
+                .map(|_| self.cores[core].ring.pop_front().expect("non-empty ring"))
+                .collect();
+            let dur = cost.driver_batch_fixed_ns
+                + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
+            let c = &mut self.cores[core];
+            c.work = Some(Work::Net { batch });
+            c.epoch += 1;
+            c.end = now + ns(dur);
+            sched.at(
+                c.end,
+                Ev::WorkDone {
+                    core,
+                    epoch: c.epoch,
+                },
+            );
+            return;
+        }
+
+        // 4. Steal from another core's shuffle queue (randomized order,
+        // unless the ablation knob disables it).
+        let mut victims = std::mem::take(&mut self.victims);
+        if self.cfg.randomize_steal_order {
+            self.source.rng_mut().shuffle(&mut victims);
+        }
+        let mut stolen_conn = None;
+        for &v in &victims {
+            if v == core {
+                continue;
+            }
+            if let Some(conn) = self.cores[v].shuffle.pop_front() {
+                stolen_conn = Some(conn);
+                break;
+            }
+        }
+        if let Some(conn) = stolen_conn {
+            self.victims = victims;
+            debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
+            self.conns[conn as usize].st = ConnSt::Busy;
+            self.begin_app(
+                core,
+                conn,
+                cost.shuffle_op_ns + cost.steal_extra_ns,
+                true,
+                now,
+                sched,
+            );
+            return;
+        }
+
+        // 5. Scan remote NIC rings; IPI home cores stuck in application
+        // code ("aggressively sends interrupts as soon as a remote core
+        // detects a pending packet in the hardware queue and the home core
+        // is executing at user-level", §5).
+        if self.ipis_enabled {
+            let mut target = None;
+            for &v in &victims {
+                if v == core {
+                    continue;
+                }
+                if !self.cores[v].ring.is_empty()
+                    && self.cores[v].in_app()
+                    && !self.cores[v].ipi_pending
+                {
+                    target = Some(v);
+                    break;
+                }
+            }
+            if let Some(v) = target {
+                self.send_ipi(v, sched);
+            }
+        }
+        self.victims = victims;
+
+        // 6. Idle. Woken by wake()/wake_idle() on any actionable change.
+    }
+
+    fn work_done(&mut self, core: usize, epoch: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.cores[core].epoch != epoch {
+            return; // Invalidated by an IPI extension.
+        }
+        let work = self.cores[core].work.take().expect("work present at WorkDone");
+        match work {
+            Work::Net { batch } => {
+                self.apply_net_batch(core, batch, sched);
+            }
+            Work::RemoteTx { batch } => {
+                for req in &batch {
+                    self.rec.complete(req, now);
+                }
+            }
+            Work::App {
+                conn,
+                cur,
+                mut rest,
+                stolen,
+            } => {
+                if stolen {
+                    self.stolen_events += 1;
+                    // Ship the response home; the home core transmits.
+                    let home = cur.home as usize;
+                    self.cores[home].remote_sys.push(cur);
+                    if self.cores[home].is_idle() {
+                        self.wake(home, sched);
+                    } else if self.ipis_enabled && self.cores[home].in_app() {
+                        self.send_ipi(home, sched);
+                    }
+                } else {
+                    self.local_events += 1;
+                    self.rec.complete(&cur, now);
+                }
+                if let Some(next) = rest.pop_front() {
+                    // Continue the connection's event batch (implicit
+                    // per-flow batching, §6.2).
+                    let dur = ns(self.event_exec_ns(&next, stolen));
+                    let c = &mut self.cores[core];
+                    c.work = Some(Work::App {
+                        conn,
+                        cur: next,
+                        rest,
+                        stolen,
+                    });
+                    c.epoch += 1;
+                    c.end = now + dur;
+                    sched.at(
+                        c.end,
+                        Ev::WorkDone {
+                            core,
+                            epoch: c.epoch,
+                        },
+                    );
+                    return;
+                }
+                // Batch finished: Figure 5 transition out of busy.
+                let connref = &mut self.conns[conn as usize];
+                if connref.pending.is_empty() {
+                    connref.st = ConnSt::Idle;
+                } else {
+                    connref.st = ConnSt::Ready;
+                    let home = self.source.home_of(conn) as usize;
+                    self.cores[home].shuffle.push_back(conn);
+                    self.wake_idle(sched);
+                }
+            }
+        }
+        // Re-enter the scheduling loop.
+        self.run_core(core, now, sched);
+    }
+
+    fn ipi(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.cores[core].ipi_pending = false;
+        self.ipis_delivered += 1;
+        if !self.cores[core].in_app() {
+            // Not in user code: the loop will find the work itself.
+            self.wake(core, sched);
+            return;
+        }
+        let cost = self.cfg.cost.clone();
+        let mut ext_ns = cost.ipi_handler_ns;
+        // Handler duty 1: replenish the shuffle queue if it ran dry.
+        if self.cores[core].shuffle.is_empty() && !self.cores[core].ring.is_empty() {
+            let k = (self.cores[core].ring.len() as u64).min(self.cfg.rx_batch.max(1));
+            let batch: Vec<Req> = (0..k)
+                .map(|_| self.cores[core].ring.pop_front().expect("non-empty"))
+                .collect();
+            ext_ns += cost.driver_batch_fixed_ns
+                + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
+            self.apply_net_batch(core, batch, sched);
+        }
+        // Handler duty 2: flush remote syscalls / transmit.
+        if !self.cores[core].remote_sys.is_empty() {
+            let batch = std::mem::take(&mut self.cores[core].remote_sys);
+            ext_ns += (cost.remote_syscall_ns + cost.stack_tx_per_msg_ns) * batch.len() as u64;
+            let tx_at = now + ns(cost.ipi_handler_ns);
+            for req in &batch {
+                self.rec.complete(req, tx_at);
+            }
+        }
+        // The interrupted application event finishes later by the handler's
+        // execution time: invalidate and reschedule its completion.
+        let ext = ns(ext_ns);
+        let c = &mut self.cores[core];
+        c.end += ext;
+        c.epoch += 1;
+        let (end, epoch) = (c.end, c.epoch);
+        sched.at(end, Ev::WorkDone { core, epoch });
+    }
+
+    pub(crate) fn into_output(self, final_time: SimTime) -> SysOutput {
+        let sim_time_us = if self.rec.window_us() > 0.0 {
+            self.rec.window_us()
+        } else {
+            final_time.as_micros_f64()
+        };
+        SysOutput {
+            latency: self.rec.latency.clone(),
+            completed: self.rec.measured(),
+            sim_time_us,
+            local_events: self.local_events,
+            stolen_events: self.stolen_events,
+            ipis: self.ipis_delivered,
+        }
+    }
+}
+
+impl Model for ZygosModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.rec.is_done() {
+            sched.stop();
+            return;
+        }
+        match ev {
+            Ev::Gen => {
+                let req = self.source.next_req(now);
+                sched.after(self.source.half_rtt, Ev::Packet(req));
+                let gap = self.source.next_gap();
+                sched.after(gap, Ev::Gen);
+            }
+            Ev::Packet(req) => {
+                let home = req.home as usize;
+                self.cores[home].ring.push_back(req);
+                if self.cores[home].is_idle() {
+                    self.wake(home, sched);
+                } else if self.ipis_enabled
+                    && self.cores[home].in_app()
+                    && self.cores.iter().any(|c| c.is_idle())
+                {
+                    // An idle core's poll sweep (steps c–d) would spot this
+                    // packet almost immediately and interrupt the home core.
+                    self.send_ipi(home, sched);
+                }
+            }
+            Ev::Run(core) => self.run_core(core, now, sched),
+            Ev::WorkDone { core, epoch } => self.work_done(core, epoch, now, sched),
+            Ev::Ipi(core) => self.ipi(core, now, sched),
+        }
+    }
+}
+
+/// Runs the ZygOS (or ZygOS-no-interrupts) system simulation.
+pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
+    debug_assert!(matches!(
+        cfg.system,
+        SystemKind::Zygos | SystemKind::ZygosNoInterrupts
+    ));
+    let mut engine = Engine::new(ZygosModel::new(cfg.clone()));
+    engine.schedule(SimTime::ZERO, Ev::Gen);
+    engine.run();
+    let now = engine.now();
+    engine.into_model().into_output(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zygos_sim::dist::ServiceDist;
+
+    fn quick(system: SystemKind, load: f64, mean_us: f64) -> SysOutput {
+        let mut cfg = SysConfig::paper(system, ServiceDist::exponential_us(mean_us), load);
+        cfg.requests = 20_000;
+        cfg.warmup = 4_000;
+        run(&cfg)
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let out = quick(SystemKind::Zygos, 0.5, 10.0);
+        assert_eq!(out.completed, 20_000);
+        assert_eq!(out.latency.count(), 20_000);
+    }
+
+    #[test]
+    fn low_load_latency_near_service_plus_overheads() {
+        let out = quick(SystemKind::Zygos, 0.05, 10.0);
+        // p99 of Exp(10µs) is 46µs; add RTT (4µs) and ~2µs of overheads.
+        let p99 = out.p99_us();
+        assert!((46.0..60.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load() {
+        let out = quick(SystemKind::Zygos, 0.6, 10.0);
+        // Offered: 0.6 × 16/10µs = 0.96 MRPS.
+        let thr = out.throughput_mrps();
+        assert!((thr - 0.96).abs() < 0.06, "throughput = {thr}");
+    }
+
+    #[test]
+    fn steals_occur_at_moderate_load() {
+        let out = quick(SystemKind::Zygos, 0.5, 10.0);
+        assert!(
+            out.steal_fraction() > 0.05,
+            "steal fraction = {}",
+            out.steal_fraction()
+        );
+        assert!(out.ipis > 0, "IPIs should fire");
+    }
+
+    #[test]
+    fn no_interrupt_mode_sends_no_ipis() {
+        let out = quick(SystemKind::ZygosNoInterrupts, 0.5, 10.0);
+        assert_eq!(out.ipis, 0);
+        assert!(out.steal_fraction() > 0.0, "stealing still happens");
+    }
+
+    #[test]
+    fn interrupts_help_tail_latency_at_high_load() {
+        let with = quick(SystemKind::Zygos, 0.75, 10.0);
+        let without = quick(SystemKind::ZygosNoInterrupts, 0.75, 10.0);
+        assert!(
+            with.p99_us() <= without.p99_us() * 1.05,
+            "with {} vs without {}",
+            with.p99_us(),
+            without.p99_us()
+        );
+    }
+
+    #[test]
+    fn stable_near_saturation_point() {
+        // At 85% of ideal saturation ZygOS must still complete (overheads
+        // shave a few percent, so this sits below its real saturation).
+        let out = quick(SystemKind::Zygos, 0.85, 25.0);
+        assert_eq!(out.completed, 20_000);
+        assert!(out.p99_us() < 2_000.0, "p99 = {}", out.p99_us());
+    }
+}

@@ -1,0 +1,111 @@
+//! A memcached-style KV server on the ZygOS runtime, driven by the USR
+//! workload model (paper §6.2 in miniature).
+//!
+//! ```text
+//! cargo run --release --example kvstore
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zygos::kv::proto::{encode_get, encode_set, KvServer};
+use zygos::kv::workload::{KvWorkload, WorkloadKind};
+use zygos::load::SharedRecorder;
+use zygos::net::flow::ConnId;
+use zygos::net::packet::RpcMessage;
+use zygos::runtime::{RpcApp, RuntimeConfig, Server};
+use zygos::sim::rng::Xoshiro256;
+
+struct KvApp(KvServer);
+
+impl RpcApp for KvApp {
+    fn handle(&self, _conn: ConnId, req: &RpcMessage) -> RpcMessage {
+        self.0.handle(req)
+    }
+}
+
+fn key_bytes(index: u64) -> Vec<u8> {
+    // Fixed-width keys in the USR style.
+    format!("usr:{index:016}").into_bytes()
+}
+
+fn main() {
+    let app = Arc::new(KvApp(KvServer::new(256)));
+    let (server, client) = Server::start(RuntimeConfig::zygos(4, 64), Arc::clone(&app) as _);
+
+    let workload = KvWorkload::new(WorkloadKind::Usr);
+    let mut rng = Xoshiro256::new(42);
+
+    // Preload a slice of the keyspace.
+    println!("preloading 50k keys...");
+    let preload = 50_000u64;
+    for i in 0..preload {
+        let op = workload.sample(&mut rng);
+        let key = key_bytes(op.key_index % preload);
+        client.send(
+            ConnId((i % 64) as u32),
+            &encode_set(u64::MAX - i, &key, &vec![0xAB; op.value_len]),
+        );
+        if i % 512 == 511 {
+            for _ in 0..512 {
+                client.recv_timeout(Duration::from_secs(10));
+            }
+        }
+    }
+    while client.pending_responses() > 0 {
+        client.recv_timeout(Duration::from_millis(100));
+    }
+
+    println!("running USR mix...");
+    let recorder = SharedRecorder::new();
+    let requests = 30_000u64;
+    let mut sent = Vec::with_capacity(requests as usize);
+    let mut hits = 0u64;
+    for id in 0..requests {
+        let op = workload.sample(&mut rng);
+        let key = key_bytes(op.key_index % preload);
+        let msg = if op.is_get {
+            encode_get(id, &key)
+        } else {
+            encode_set(id, &key, &vec![0xCD; op.value_len])
+        };
+        sent.push(Instant::now());
+        client.send(ConnId((id % 64) as u32), &msg);
+        if id % 64 == 63 {
+            for _ in 0..64 {
+                if let Some((_, resp)) = client.recv_timeout(Duration::from_secs(10)) {
+                    if resp.header.req_id < requests {
+                        recorder.record_std(sent[resp.header.req_id as usize].elapsed());
+                        if resp.header.opcode == 1 && resp.body.first() == Some(&1) {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    while recorder.count() < requests {
+        match client.recv_timeout(Duration::from_secs(5)) {
+            Some((_, resp)) if resp.header.req_id < requests => {
+                recorder.record_std(sent[resp.header.req_id as usize].elapsed());
+                if resp.header.opcode == 1 && resp.body.first() == Some(&1) {
+                    hits += 1;
+                }
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+
+    let hist = recorder.snapshot();
+    let (store_hits, store_misses) = app.0.store().stats();
+    println!("latency: {}", hist.summary());
+    println!("GET hits observed by client: {hits}; store counters: {store_hits} hits / {store_misses} misses");
+    let stats = server.stats();
+    println!(
+        "scheduler: steal rate {:.1}%, {} IPIs",
+        100.0 * stats.steal_fraction(),
+        stats.ipis_sent
+    );
+    server.shutdown();
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run a ZygOS server on a few worker cores, fire a burst of
+//! echo RPCs at it over the loopback port, and print latency + scheduler
+//! statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zygos::core::stats::StatsSnapshot;
+use zygos::load::SharedRecorder;
+use zygos::net::flow::ConnId;
+use zygos::net::packet::RpcMessage;
+use zygos::runtime::{app::EchoApp, RuntimeConfig, Server};
+
+fn main() {
+    let cores = 4;
+    let conns = 64;
+    let requests: u64 = 20_000;
+
+    println!("starting ZygOS runtime: {cores} cores, {conns} connections");
+    let (server, client) = Server::start(RuntimeConfig::zygos(cores, conns), Arc::new(EchoApp));
+
+    let recorder = SharedRecorder::new();
+    let started = Instant::now();
+    let mut sent_at = vec![Instant::now(); requests as usize];
+    for id in 0..requests {
+        sent_at[id as usize] = Instant::now();
+        let conn = ConnId((id % conns as u64) as u32);
+        client.send(conn, &RpcMessage::new(1, id, bytes::Bytes::from_static(b"ping")));
+        // A small pipelining window keeps the server busy without flooding.
+        if id % 64 == 63 {
+            for _ in 0..64 {
+                if let Some((_, resp)) = client.recv_timeout(Duration::from_secs(10)) {
+                    recorder.record_std(sent_at[resp.header.req_id as usize].elapsed());
+                }
+            }
+        }
+    }
+    while recorder.count() < requests {
+        match client.recv_timeout(Duration::from_secs(10)) {
+            Some((_, resp)) => {
+                recorder.record_std(sent_at[resp.header.req_id as usize].elapsed())
+            }
+            None => break,
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let hist = recorder.snapshot();
+    let stats: StatsSnapshot = server.stats();
+    println!("completed {} echo RPCs in {elapsed:?}", hist.count());
+    println!("latency: {}", hist.summary());
+    println!(
+        "scheduler: {} local events, {} stolen ({:.1}% steal rate), {} IPIs sent",
+        stats.local_events,
+        stats.stolen_events,
+        100.0 * stats.steal_fraction(),
+        stats.ipis_sent,
+    );
+    server.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,121 @@
+//! A networked Silo serving TPC-C over the live ZygOS runtime — the
+//! paper's §6.3 setup in miniature: each RPC carries a transaction type;
+//! the handler executes it against the shared OCC database.
+//!
+//! ```text
+//! cargo run --release --example silo_tpcc
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zygos::core::spinlock::SpinLock;
+use zygos::load::SharedRecorder;
+use zygos::net::flow::ConnId;
+use zygos::net::packet::RpcMessage;
+use zygos::runtime::{RpcApp, RuntimeConfig, Server};
+use zygos::silo::tpcc::{Tpcc, TpccConfig, TpccRng, TxnType};
+
+/// The networked Silo application: opcode selects the transaction type.
+struct SiloApp {
+    tpcc: Tpcc,
+    /// Input generation is serialized; transaction execution is fully
+    /// concurrent (OCC).
+    rng: SpinLock<TpccRng>,
+}
+
+impl RpcApp for SiloApp {
+    fn handle(&self, _conn: ConnId, req: &RpcMessage) -> RpcMessage {
+        let kind = match req.header.opcode {
+            0 => TxnType::NewOrder,
+            1 => TxnType::Payment,
+            2 => TxnType::OrderStatus,
+            3 => TxnType::Delivery,
+            _ => TxnType::StockLevel,
+        };
+        let mut rng = {
+            // Clone a forked generator so the lock is not held during
+            // transaction execution.
+            let mut shared = self.rng.lock();
+            
+            TpccRng::new(shared.uniform(0, u64::MAX - 1))
+        };
+        let out = self.tpcc.run(kind, &mut rng);
+        let body = bytes::Bytes::copy_from_slice(&[
+            out.committed as u8,
+            out.user_aborted as u8,
+            out.retries.min(255) as u8,
+        ]);
+        RpcMessage::new(req.header.opcode, req.header.req_id, body)
+    }
+}
+
+fn main() {
+    println!("loading TPC-C (1 warehouse, reduced scale for the example)...");
+    let tpcc = Tpcc::load(TpccConfig {
+        warehouses: 1,
+        districts: 10,
+        customers_per_district: 300,
+        items: 5_000,
+        initial_orders: 300,
+        seed: 7,
+    });
+    let app = Arc::new(SiloApp {
+        tpcc,
+        rng: SpinLock::new(TpccRng::new(99)),
+    });
+
+    let cores = 4;
+    let (server, client) = Server::start(RuntimeConfig::zygos(cores, 32), app);
+    println!("serving TPC-C on {cores} ZygOS cores");
+
+    let mut mix_rng = TpccRng::new(5);
+    let recorder = SharedRecorder::new();
+    let requests = 3_000u64;
+    let mut committed = 0u64;
+    let mut sent = Vec::with_capacity(requests as usize);
+    let window = 16;
+    let mut outstanding = 0;
+    let mut next_id = 0u64;
+    let mut received = 0u64;
+    while received < requests {
+        while outstanding < window && next_id < requests {
+            let opcode = match TxnType::sample(&mut mix_rng) {
+                TxnType::NewOrder => 0,
+                TxnType::Payment => 1,
+                TxnType::OrderStatus => 2,
+                TxnType::Delivery => 3,
+                TxnType::StockLevel => 4,
+            };
+            sent.push(Instant::now());
+            client.send(
+                ConnId((next_id % 32) as u32),
+                &RpcMessage::new(opcode, next_id, bytes::Bytes::new()),
+            );
+            next_id += 1;
+            outstanding += 1;
+        }
+        if let Some((_, resp)) = client.recv_timeout(Duration::from_secs(30)) {
+            recorder.record_std(sent[resp.header.req_id as usize].elapsed());
+            if resp.body.first() == Some(&1) {
+                committed += 1;
+            }
+            received += 1;
+            outstanding -= 1;
+        } else {
+            eprintln!("timed out waiting for responses");
+            break;
+        }
+    }
+
+    let hist = recorder.snapshot();
+    let stats = server.stats();
+    println!("completed {received} transactions ({committed} committed)");
+    println!("end-to-end latency: {}", hist.summary());
+    println!(
+        "scheduler: steal rate {:.1}%, {} IPIs",
+        100.0 * stats.steal_fraction(),
+        stats.ipis_sent
+    );
+    server.shutdown();
+}

@@ -1,0 +1,51 @@
+//! The paper's synthetic microbenchmark in miniature (Figure 6 shape):
+//! sweep offered load for 10µs exponential tasks on the 16-core system
+//! simulator and print p99 latency vs throughput for all four systems.
+//!
+//! ```text
+//! cargo run --release --example synthetic_latency
+//! ```
+
+use zygos::sim::dist::ServiceDist;
+use zygos::sysim::{latency_throughput_sweep, SysConfig, SystemKind};
+
+fn main() {
+    let systems = [
+        SystemKind::LinuxFloating,
+        SystemKind::Ix,
+        SystemKind::ZygosNoInterrupts,
+        SystemKind::Zygos,
+    ];
+    let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
+    println!("synthetic RPC benchmark: 16 cores, exponential S = 10us, SLO = 100us (10x S)");
+    println!("{:<28} {:>10} {:>12} {:>10}", "system", "MRPS", "p99 (us)", "steals %");
+    for system in systems {
+        let mut cfg = SysConfig::paper(system, ServiceDist::exponential_us(10.0), 0.5);
+        cfg.requests = 30_000;
+        cfg.warmup = 6_000;
+        let points = latency_throughput_sweep(&cfg, &loads);
+        // Report the highest load whose p99 meets the 100µs SLO.
+        let best = points
+            .iter()
+            .filter(|p| p.p99_us <= 100.0)
+            .max_by(|a, b| a.mrps.total_cmp(&b.mrps));
+        match best {
+            Some(p) => println!(
+                "{:<28} {:>10.2} {:>12.1} {:>10.1}",
+                system.label(),
+                p.mrps,
+                p.p99_us,
+                100.0 * p.steal_fraction
+            ),
+            None => println!("{:<28} never meets the SLO", system.label()),
+        }
+    }
+    println!();
+    println!("full sweep for ZygOS (throughput MRPS -> p99 us):");
+    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.5);
+    cfg.requests = 30_000;
+    cfg.warmup = 6_000;
+    for p in latency_throughput_sweep(&cfg, &loads) {
+        println!("  {:>6.3} MRPS -> {:>8.1} us (steals {:>4.1}%)", p.mrps, p.p99_us, 100.0 * p.steal_fraction);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ZygOS — work-conserving scheduling for µs-scale networked tasks
+//!
+//! A from-scratch Rust reproduction of *ZygOS: Achieving Low Tail Latency
+//! for Microsecond-scale Networked Tasks* (Prekas, Kogias, Bugnion —
+//! SOSP 2017).
+//!
+//! This facade crate re-exports every subsystem of the workspace:
+//!
+//! * [`sim`] — discrete-event simulation kernel, distributions and the four
+//!   idealized queueing models of the paper's §2.3.
+//! * [`net`] — the network substrate: packets, RSS, NIC descriptor rings,
+//!   TCP-like framing, and the calibrated cost model.
+//! * [`core`] — the paper's contribution as reusable machinery: shuffle
+//!   queues, per-connection state machines, idle-loop policy, IPI doorbells.
+//! * [`sysim`] — the full-system simulator with the ZygOS, IX and Linux
+//!   system models used to regenerate every figure.
+//! * [`silo`] — a Silo-style OCC in-memory transactional database with a
+//!   complete TPC-C implementation.
+//! * [`kv`] — a memcached-like key-value store with USR/ETC workloads.
+//! * [`load`] — open-loop Poisson load generation and SLO tooling.
+//! * [`runtime`] — a live multithreaded implementation of the ZygOS
+//!   scheduler (plus IX / Linux baselines) over a loopback transport.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use zygos_core as core;
+pub use zygos_kv as kv;
+pub use zygos_load as load;
+pub use zygos_net as net;
+pub use zygos_runtime as runtime;
+pub use zygos_silo as silo;
+pub use zygos_sim as sim;
+pub use zygos_sysim as sysim;
