@@ -29,18 +29,18 @@ pub struct Row {
 }
 
 fn base_cfg(scale: &Scale) -> SysConfig {
-    let mut cfg = SysConfig::paper(
-        SystemKind::Zygos,
-        ServiceDist::exponential_us(10.0),
-        0.7,
-    );
+    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.7);
     cfg.requests = scale.requests;
     cfg.warmup = scale.warmup;
     cfg
 }
 
 fn evaluate(scale: &Scale, group: &'static str, variant: String, cfg: SysConfig) -> Row {
-    let p99_at_70 = run_system(&SysConfig { load: 0.7, ..cfg.clone() }).p99_us();
+    let p99_at_70 = run_system(&SysConfig {
+        load: 0.7,
+        ..cfg.clone()
+    })
+    .p99_us();
     let max_load = max_load_at_slo(&cfg, 100.0, scale.resolution);
     Row {
         group,
@@ -61,7 +61,12 @@ pub fn run(scale: &Scale) -> Vec<Row> {
         rows.push(evaluate(
             scale,
             "steal-order",
-            if randomize { "randomized" } else { "sequential" }.into(),
+            if randomize {
+                "randomized"
+            } else {
+                "sequential"
+            }
+            .into(),
             cfg,
         ));
     }
@@ -82,12 +87,7 @@ pub fn run(scale: &Scale) -> Vec<Row> {
     for steal_ns in [0u64, 350, 2_000, 8_000] {
         let mut cfg = base_cfg(scale);
         cfg.cost.steal_extra_ns = steal_ns;
-        rows.push(evaluate(
-            scale,
-            "steal-cost",
-            format!("{steal_ns}ns"),
-            cfg,
-        ));
+        rows.push(evaluate(scale, "steal-cost", format!("{steal_ns}ns"), cfg));
     }
 
     // 4. Bimodal-2 at the system level (SLO 10·S̄ = 100µs; note the
@@ -102,12 +102,7 @@ pub fn run(scale: &Scale) -> Vec<Row> {
         } else if system == SystemKind::LinuxFloating {
             cfg.cost = zygos_net::cost::CostModel::linux();
         }
-        rows.push(evaluate(
-            scale,
-            "bimodal-2",
-            system.label().into(),
-            cfg,
-        ));
+        rows.push(evaluate(scale, "bimodal-2", system.label().into(), cfg));
     }
 
     rows
@@ -116,7 +111,10 @@ pub fn run(scale: &Scale) -> Vec<Row> {
 /// Prints the ablation table.
 pub fn print(rows: &[Row]) {
     println!("# ablations: ZygOS design choices (exp 10us unless noted; SLO p99<=100us)");
-    println!("{:<14} {:<28} {:>12} {:>12}", "group", "variant", "load@SLO", "p99@70%");
+    println!(
+        "{:<14} {:<28} {:>12} {:>12}",
+        "group", "variant", "load@SLO", "p99@70%"
+    );
     for r in rows {
         println!(
             "{:<14} {:<28} {:>12.2} {:>10.1}us",

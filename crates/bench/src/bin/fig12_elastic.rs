@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (extension): elastic cores + preemptive quantum.
+fn main() {
+    let scale = zygos_bench::Scale::from_env();
+    let curves = zygos_bench::fig12_elastic::run(&scale);
+    zygos_bench::fig12_elastic::print(&curves);
+}

@@ -41,8 +41,7 @@ pub fn run_panel(
         let points = service_grid
             .iter()
             .map(|&mean| {
-                let mut cfg =
-                    SysConfig::paper(system, dist_for(dist_label, mean), 0.5);
+                let mut cfg = SysConfig::paper(system, dist_for(dist_label, mean), 0.5);
                 cfg.requests = scale.requests;
                 cfg.warmup = scale.warmup;
                 let load = max_load_at_slo(&cfg, 10.0 * mean, scale.resolution);

@@ -2,9 +2,7 @@
 //! bimodal-1} × {10µs, 25µs}, comparing Linux-floating, IX, ZygOS,
 //! ZygOS-no-interrupts, and the zero-overhead M/G/16/FCFS model.
 
-use zygos_sysim::{
-    latency_throughput_sweep, theory_central_p99_us, SysConfig, SystemKind,
-};
+use zygos_sysim::{latency_throughput_sweep, theory_central_p99_us, SysConfig, SystemKind};
 
 use crate::fig03::dist_for;
 use crate::Scale;
@@ -49,8 +47,7 @@ pub fn run_panel(scale: &Scale, dist_label: &'static str, mean_us: f64) -> Vec<C
         .iter()
         .map(|&load| {
             let mrps = load * 16.0 / mean_us;
-            let p99 =
-                theory_central_p99_us(&service, 16, load, 4.0, scale.theory_requests, 5);
+            let p99 = theory_central_p99_us(&service, 16, load, 4.0, scale.theory_requests, 5);
             (mrps, p99)
         })
         .collect();

@@ -19,8 +19,7 @@ pub fn run(scale: &Scale) -> Vec<Curve> {
     [SystemKind::Zygos, SystemKind::ZygosNoInterrupts]
         .into_iter()
         .map(|system| {
-            let mut cfg =
-                SysConfig::paper(system, ServiceDist::exponential_us(25.0), 0.5);
+            let mut cfg = SysConfig::paper(system, ServiceDist::exponential_us(25.0), 0.5);
             cfg.requests = scale.requests;
             cfg.warmup = scale.warmup;
             let pts = latency_throughput_sweep(&cfg, &scale.loads);

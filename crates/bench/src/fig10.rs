@@ -14,9 +14,7 @@ use std::time::Instant;
 use zygos_silo::tpcc::{Tpcc, TpccConfig, TpccRng, TxnType};
 use zygos_sim::dist::ServiceDist;
 use zygos_sim::stats::LatencyHistogram;
-use zygos_sysim::{
-    latency_throughput_sweep, max_load_at_slo, run_system, SysConfig, SystemKind,
-};
+use zygos_sysim::{latency_throughput_sweep, max_load_at_slo, run_system, SysConfig, SystemKind};
 
 use crate::Scale;
 
@@ -58,8 +56,7 @@ pub fn measure_service_times(scale: &Scale) -> SiloMeasurement {
         mix.record_micros_f64(us);
         mix_samples.push(us);
     }
-    let closed_loop_ktps =
-        scale.silo_txns as f64 / wall.elapsed().as_secs_f64() / 1_000.0;
+    let closed_loop_ktps = scale.silo_txns as f64 / wall.elapsed().as_secs_f64() / 1_000.0;
     SiloMeasurement {
         per_type,
         mix,
@@ -126,10 +123,7 @@ pub fn run_fig10b(scale: &Scale, mix_samples: Vec<f64>) -> Vec<Curve> {
             let pts = latency_throughput_sweep(&cfg, &scale.loads);
             Curve {
                 system: label,
-                points: pts
-                    .iter()
-                    .map(|p| (p.mrps * 1_000.0, p.p99_us))
-                    .collect(),
+                points: pts.iter().map(|p| (p.mrps * 1_000.0, p.p99_us)).collect(),
             }
         })
         .collect()
@@ -206,9 +200,8 @@ pub fn print_table1(rows: &[Table1Row], service_p99_us: f64) {
         "System", "MaxLoad@SLO", "Speedup", "TailLat@50%", "TailLat@75%", "TailLat@90%"
     );
     for r in rows {
-        let cell = |(p99, ratio, ktps): (f64, f64, f64)| {
-            format!("{p99:.0}us ({ratio:.1}x) @{ktps:.0}K")
-        };
+        let cell =
+            |(p99, ratio, ktps): (f64, f64, f64)| format!("{p99:.0}us ({ratio:.1}x) @{ktps:.0}K");
         println!(
             "{:<8} {:>9.0} KTPS {:>7.2}x  {:>26} {:>26} {:>26}",
             r.system,

@@ -1,0 +1,141 @@
+//! Figure 12 (extension, not in the paper): elastic core allocation and
+//! preemptive-quantum scheduling vs. the statically provisioned systems.
+//!
+//! Two panels sweep offered load:
+//!
+//! * **exponential/10µs** — the paper's headline distribution, where the
+//!   elastic win is core-seconds at low load;
+//! * **bimodal-99.5/0.5** (99.5% × 0.5µs, 0.5% × 500µs) — a dispersive
+//!   mix beyond the paper's bimodal-2, where the preemptive quantum bounds
+//!   head-of-line blocking that connection-granularity stealing alone
+//!   cannot (the §6/Figure 6 weakness).
+//!
+//! Each curve reports p99 **and** time-averaged granted cores, making the
+//! latency/core-seconds trade-off the figure's subject.
+
+use zygos_sim::dist::ServiceDist;
+use zygos_sysim::{latency_throughput_sweep, SweepPoint, SysConfig, SystemKind};
+
+use crate::Scale;
+
+/// Preemption quantum used by the elastic curves (µs). Small enough to
+/// bound a 500µs outlier to 5% of its run time, large enough that the
+/// per-slice interrupt cost (~1µs) stays a few percent of the slice.
+pub const QUANTUM_US: f64 = 25.0;
+
+/// One system's curve in one panel.
+pub struct Curve {
+    /// Panel id, e.g. `"bimodal-99.5-0.5"`.
+    pub panel: String,
+    /// System label.
+    pub system: String,
+    /// Per-load measurements.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The dispersive service-time mix of the second panel.
+pub fn bimodal_99_5() -> ServiceDist {
+    ServiceDist::TwoPoint {
+        fast_us: 0.5,
+        slow_us: 500.0,
+        p_fast: 0.995,
+    }
+}
+
+fn sweep(
+    scale: &Scale,
+    system: SystemKind,
+    service: ServiceDist,
+    quantum_us: f64,
+) -> Vec<SweepPoint> {
+    let mut cfg = SysConfig::paper(system, service, 0.5);
+    cfg.requests = scale.requests;
+    cfg.warmup = scale.warmup;
+    cfg.preemption_quantum_us = quantum_us;
+    latency_throughput_sweep(&cfg, &scale.loads)
+}
+
+/// Runs one panel: static ZygOS, static IX, and elastic ZygOS with the
+/// preemptive quantum.
+pub fn run_panel(scale: &Scale, panel: &str, service: ServiceDist) -> Vec<Curve> {
+    let mut curves = Vec::new();
+    for (system, quantum, label) in [
+        (SystemKind::Zygos, 0.0, "ZygOS (static)".to_string()),
+        (SystemKind::Ix, 0.0, "IX (static)".to_string()),
+        (
+            SystemKind::Elastic { min_cores: 2 },
+            QUANTUM_US,
+            format!("ZygOS (elastic, q={QUANTUM_US}us)"),
+        ),
+    ] {
+        curves.push(Curve {
+            panel: panel.to_string(),
+            system: label,
+            points: sweep(scale, system, service.clone(), quantum),
+        });
+    }
+    curves
+}
+
+/// Both panels.
+pub fn run(scale: &Scale) -> Vec<Curve> {
+    let mut curves = run_panel(scale, "exponential/10us", ServiceDist::exponential_us(10.0));
+    curves.extend(run_panel(scale, "bimodal-99.5-0.5", bimodal_99_5()));
+    curves
+}
+
+/// Prints the figure: a `p99` series and a `cores` series per system.
+pub fn print(curves: &[Curve]) {
+    crate::print_header(
+        "fig12",
+        "elastic cores + preemptive quantum: p99 and granted cores vs load, 2 panels",
+    );
+    for c in curves {
+        let p99: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.p99_us)).collect();
+        let cores: Vec<(f64, f64)> = c
+            .points
+            .iter()
+            .map(|p| (p.load, p.avg_active_cores))
+            .collect();
+        crate::print_series("fig12", &c.panel, &format!("{}/p99", c.system), &p99);
+        crate::print_series("fig12", &c.panel, &format!("{}/cores", c.system), &cores);
+    }
+    headline(curves);
+}
+
+/// Prints the acceptance summary: the elastic system's p99 vs static ZygOS
+/// at high load and its core-seconds saving at low load, on the bimodal
+/// panel.
+pub fn headline(curves: &[Curve]) {
+    let find = |sys_prefix: &str| {
+        curves
+            .iter()
+            .find(|c| c.panel == "bimodal-99.5-0.5" && c.system.starts_with(sys_prefix))
+    };
+    let (Some(stat), Some(elastic)) = (find("ZygOS (static)"), find("ZygOS (elastic")) else {
+        return;
+    };
+    for (s, e) in stat.points.iter().zip(&elastic.points) {
+        if s.load >= 0.69 {
+            println!(
+                "# fig12 headline: load {:.2}: elastic p99 {:.0}us vs static {:.0}us ({})",
+                s.load,
+                e.p99_us,
+                s.p99_us,
+                if e.p99_us < s.p99_us {
+                    "elastic wins"
+                } else {
+                    "static wins"
+                }
+            );
+        }
+        if s.load <= 0.31 {
+            println!(
+                "# fig12 headline: load {:.2}: elastic uses {:.2} cores vs static 16 ({:.0}% core-seconds saved)",
+                s.load,
+                e.avg_active_cores,
+                100.0 * (1.0 - e.avg_active_cores / 16.0)
+            );
+        }
+    }
+}

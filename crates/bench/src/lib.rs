@@ -16,6 +16,7 @@ pub mod fig08;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod fig12_elastic;
 
 /// Experiment sizing knobs.
 #[derive(Clone, Debug)]

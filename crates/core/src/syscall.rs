@@ -129,7 +129,11 @@ mod tests {
     #[test]
     fn drain_respects_max() {
         let ch = RemoteSyscallChannel::with_capacity(16);
-        ch.ship((0..10).map(|i| BatchedSyscall::Nop { conn: ConnId(i) }).collect());
+        ch.ship(
+            (0..10)
+                .map(|i| BatchedSyscall::Nop { conn: ConnId(i) })
+                .collect(),
+        );
         assert_eq!(ch.drain(4).len(), 4);
         assert_eq!(ch.len(), 6);
         assert_eq!(ch.drain(usize::MAX).len(), 6);

@@ -232,7 +232,10 @@ mod tests {
             .iter()
             .map(|sh| sh.state.lock().map.len())
             .collect();
-        assert!(per_shard.iter().all(|&n| n > 300), "shards balanced: {per_shard:?}");
+        assert!(
+            per_shard.iter().all(|&n| n > 300),
+            "shards balanced: {per_shard:?}"
+        );
     }
 
     #[test]

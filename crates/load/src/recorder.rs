@@ -58,6 +58,26 @@ mod tests {
     }
 
     #[test]
+    fn small_sample_p99_is_conservative() {
+        // The SLO tooling reads p99 from snapshots that may hold very few
+        // samples (short phases, per-connection recorders). Audit result:
+        // below 100 samples the histogram reports the max — an SLO
+        // "met" verdict can then never rest on a rank that excluded the
+        // worst observation.
+        let r = SharedRecorder::new();
+        for us in [10u64, 20, 30, 500] {
+            r.record(SimDuration::from_micros(us));
+        }
+        let h = r.snapshot();
+        assert_eq!(h.count(), 4);
+        assert!(
+            (h.p99_us() - 500.0).abs() / 500.0 < 0.002,
+            "p99 = {}",
+            h.p99_us()
+        );
+    }
+
+    #[test]
     fn concurrent_recording_is_lossless() {
         let r = Arc::new(SharedRecorder::new());
         let handles: Vec<_> = (0..4)

@@ -15,13 +15,16 @@
 //!   remote-syscall shipping and IPIs — and loses IX's TX batching because
 //!   it transmits eagerly to avoid head-of-line blocking (§6.2).
 
-use serde::{Deserialize, Serialize};
-
 /// Nanosecond costs for every primitive the system simulator models.
 ///
 /// All fields are in nanoseconds of simulated CPU time (or latency, for
 /// `ipi_delivery_ns` and `network_rtt_ns`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// The upstream version derived `serde::{Serialize, Deserialize}`; this
+/// workspace builds in an offline container where serde is unresolvable,
+/// so the derives are dropped rather than left behind an uncompilable
+/// feature (see ROADMAP "Offline deps").
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// Fixed cost of one driver poll that dequeues a batch from the NIC
     /// hardware ring (amortized over the batch).
@@ -171,7 +174,10 @@ mod tests {
         let b1 = c.ix_per_request_ns(1);
         let b64 = c.ix_per_request_ns(64);
         assert!(b64 < b1);
-        assert_eq!(b1 - b64, c.driver_batch_fixed_ns - c.driver_batch_fixed_ns / 64);
+        assert_eq!(
+            b1 - b64,
+            c.driver_batch_fixed_ns - c.driver_batch_fixed_ns / 64
+        );
     }
 
     #[test]
@@ -198,7 +204,10 @@ mod tests {
         // Linux ≈90% efficient at 120µs.
         let l = CostModel::linux();
         let eff_l = 120_000.0 / (120_000.0 + l.linux_per_req_ns as f64);
-        assert!((0.88..0.95).contains(&eff_l), "Linux eff at 120us = {eff_l}");
+        assert!(
+            (0.88..0.95).contains(&eff_l),
+            "Linux eff at 120us = {eff_l}"
+        );
     }
 
     #[test]

@@ -12,9 +12,9 @@ use crate::flow::FiveTuple;
 /// The default 40-byte RSS secret key used by many drivers (and the
 /// Microsoft RSS verification suite).
 pub const DEFAULT_RSS_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// Number of indirection-table entries (82599 uses 128).
@@ -120,9 +120,27 @@ mod tests {
     fn microsoft_test_vectors() {
         let cases = [
             // (src ip, src port, dst ip, dst port, expected hash)
-            ((66u8, 9u8, 149u8, 187u8), 2794u16, (161u8, 142u8, 100u8, 80u8), 1766u16, 0x51cc_c178u32),
-            ((199, 92, 111, 2), 14230, (65, 69, 140, 83), 4739, 0xc626_b0ea),
-            ((24, 19, 198, 95), 12898, (12, 22, 207, 184), 38024, 0x5c2b_394a),
+            (
+                (66u8, 9u8, 149u8, 187u8),
+                2794u16,
+                (161u8, 142u8, 100u8, 80u8),
+                1766u16,
+                0x51cc_c178u32,
+            ),
+            (
+                (199, 92, 111, 2),
+                14230,
+                (65, 69, 140, 83),
+                4739,
+                0xc626_b0ea,
+            ),
+            (
+                (24, 19, 198, 95),
+                12898,
+                (12, 22, 207, 184),
+                38024,
+                0x5c2b_394a,
+            ),
         ];
         for (src, sport, dst, dport, expect) in cases {
             let t = FiveTuple::tcp(

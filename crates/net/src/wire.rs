@@ -152,7 +152,8 @@ mod tests {
     #[test]
     fn empty_body_messages() {
         let mut f = Framer::new();
-        f.feed(&RpcMessage::new(2, 5, Bytes::new()).to_bytes()).unwrap();
+        f.feed(&RpcMessage::new(2, 5, Bytes::new()).to_bytes())
+            .unwrap();
         let m = f.next_message().unwrap().unwrap();
         assert_eq!(m.header.body_len, 0);
         assert!(m.body.is_empty());

@@ -13,6 +13,27 @@ pub enum SchedulerKind {
     /// A shared ready-queue with no connection ownership (Linux-floating).
     /// Per-connection ordering is **not** guaranteed — see crate docs.
     Floating,
+    /// The ZygOS design under the `zygos-sched` elastic control plane —
+    /// the live, best-effort analogue of the simulator's
+    /// `SystemKind::Elastic` + preemption quantum:
+    ///
+    /// * **cooperative yield**: at most `quantum_events` events are taken
+    ///   from one connection per dequeue, so a deep pipeline cannot hold
+    ///   its core indefinitely (true preemption of a Rust closure is
+    ///   impossible in user space; the simulator models that part);
+    /// * **core gating**: a controller (piggybacked on worker 0) feeds
+    ///   queue-depth signals to a `CoreAllocator`; workers above the
+    ///   granted count stop stealing and park an order of magnitude longer
+    ///   when idle, freeing CPU on an oversubscribed host. Parked workers
+    ///   still drain their own ingress rings — RSS cannot be reprogrammed
+    ///   on the loopback port, so home duties remain.
+    Elastic {
+        /// Enable work stealing between granted cores.
+        steal: bool,
+        /// Max events taken from one connection per dequeue (the
+        /// cooperative quantum; must be ≥ 1).
+        quantum_events: usize,
+    },
 }
 
 /// Configuration of a [`crate::Server`].
@@ -59,6 +80,18 @@ impl RuntimeConfig {
             ..RuntimeConfig::zygos(cores, conns)
         }
     }
+
+    /// Elastic ZygOS: stealing plus core gating with a 64-event
+    /// cooperative quantum.
+    pub fn elastic(cores: usize, conns: u32) -> Self {
+        RuntimeConfig {
+            scheduler: SchedulerKind::Elastic {
+                steal: true,
+                quantum_events: 64,
+            },
+            ..RuntimeConfig::zygos(cores, conns)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -74,5 +107,13 @@ mod tests {
         let f = RuntimeConfig::floating(2, 8);
         assert_eq!(f.scheduler, SchedulerKind::Floating);
         assert_eq!(f.cores, 2);
+        let e = RuntimeConfig::elastic(4, 64);
+        assert_eq!(
+            e.scheduler,
+            SchedulerKind::Elastic {
+                steal: true,
+                quantum_events: 64
+            }
+        );
     }
 }

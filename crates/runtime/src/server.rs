@@ -1,12 +1,13 @@
 //! The server: worker threads running the scheduling loop.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
+use zygos_sched::{AllocatorConfig, CoreAllocator, ElasticGate, LoadSignal};
 
 use zygos_core::doorbell::{Doorbell, IpiReason};
 use zygos_core::idle::{IdlePolicy, PollTarget};
@@ -39,7 +40,26 @@ pub(crate) struct Shared {
     stop: AtomicBool,
     /// Connection → home core (RSS).
     pub(crate) conn_home: Vec<u16>,
+    /// Elastic mode: published granted-core count plus the controller
+    /// (driven by worker 0; the mutex is uncontended).
+    elastic: Option<ElasticCtl>,
 }
+
+struct ElasticCtl {
+    gate: ElasticGate,
+    allocator: SpinLock<CoreAllocator>,
+    last_tick: SpinLock<std::time::Instant>,
+    /// Per-core nanoseconds spent doing work since the last controller
+    /// read. A duty-cycle fraction, not a did-anything flag: under a
+    /// steady trickle every worker does *something* each period, and a
+    /// boolean would read as full utilization and never let the
+    /// controller park anything.
+    busy_ns: Vec<AtomicU64>,
+}
+
+/// Controller tick period for the live runtime (coarser than the
+/// simulator's 25µs: wall-clock queue signals on a shared host are noisy).
+const CTL_PERIOD: Duration = Duration::from_millis(1);
 
 /// A running server instance.
 pub struct Server {
@@ -63,6 +83,19 @@ impl Server {
             conn_home.push(home);
         }
         let (resp_tx, resp_rx) = unbounded();
+        let elastic = match cfg.scheduler {
+            SchedulerKind::Elastic { quantum_events, .. } => {
+                assert!(quantum_events >= 1, "quantum_events must be positive");
+                let alloc_cfg = AllocatorConfig::paper(cfg.cores);
+                Some(ElasticCtl {
+                    gate: ElasticGate::new(alloc_cfg.min_cores, cfg.cores),
+                    allocator: SpinLock::new(CoreAllocator::new(alloc_cfg)),
+                    last_tick: SpinLock::new(std::time::Instant::now()),
+                    busy_ns: (0..cfg.cores).map(|_| AtomicU64::new(0)).collect(),
+                })
+            }
+            _ => None,
+        };
         let shared = Arc::new(Shared {
             rings: (0..cfg.cores)
                 .map(|_| MpscRing::with_capacity(cfg.ring_capacity))
@@ -77,6 +110,7 @@ impl Server {
             stop: AtomicBool::new(false),
             conn_home,
             shuffle,
+            elastic,
             cfg: cfg.clone(),
         });
         let workers = (0..cfg.cores)
@@ -96,6 +130,12 @@ impl Server {
     /// Aggregated scheduler statistics.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot::collect(self.shared.stats.iter())
+    }
+
+    /// Currently granted worker count (`None` unless running
+    /// [`SchedulerKind::Elastic`]).
+    pub fn active_cores(&self) -> Option<usize> {
+        self.shared.elastic.as_ref().map(|e| e.gate.active())
     }
 
     /// The home core of a connection (RSS).
@@ -146,15 +186,96 @@ fn worker_loop(core: usize, shared: Arc<Shared>, app: Arc<dyn RpcApp>) {
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
+        let mut parked = false;
         let did_work = match shared.cfg.scheduler {
             SchedulerKind::Zygos { steal } => {
-                zygos_step(core, &shared, &app, &mut home, &mut policy, &mut rand, steal)
+                let batch = shared.cfg.conn_batch;
+                zygos_step(
+                    core,
+                    &shared,
+                    &app,
+                    &mut home,
+                    &mut policy,
+                    &mut rand,
+                    steal,
+                    batch,
+                )
             }
             SchedulerKind::Floating => floating_step(core, &shared, &app, &mut home),
+            SchedulerKind::Elastic {
+                steal,
+                quantum_events,
+            } => {
+                let ctl = shared.elastic.as_ref().expect("elastic state present");
+                if core == 0 {
+                    elastic_control(&shared, ctl);
+                }
+                parked = !ctl.gate.is_active(core);
+                let batch = shared.cfg.conn_batch.min(quantum_events);
+                let t0 = std::time::Instant::now();
+                let did = zygos_step(
+                    core,
+                    &shared,
+                    &app,
+                    &mut home,
+                    &mut policy,
+                    &mut rand,
+                    steal && !parked,
+                    batch,
+                );
+                if did {
+                    ctl.busy_ns[core].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+                did
+            }
         };
         if !did_work {
-            // Idle: park briefly; doorbells unpark us immediately.
-            std::thread::park_timeout(Duration::from_micros(100));
+            // Idle: park briefly; doorbells unpark us immediately. Parked
+            // (revoked) elastic workers sleep an order of magnitude longer
+            // — that, plus not stealing, is what frees their CPU.
+            let nap = if parked {
+                Duration::from_millis(1)
+            } else {
+                Duration::from_micros(100)
+            };
+            std::thread::park_timeout(nap);
+        }
+    }
+}
+
+/// Worker 0's controller duty: every [`CTL_PERIOD`], feed queue-depth and
+/// duty-cycle signals to the allocator and publish the new grant.
+fn elastic_control(shared: &Shared, ctl: &ElasticCtl) {
+    let mut last = ctl.last_tick.lock();
+    let elapsed = last.elapsed();
+    if elapsed < CTL_PERIOD {
+        return;
+    }
+    *last = std::time::Instant::now();
+    drop(last);
+    let backlog: usize = (0..shared.cfg.cores)
+        .map(|c| shared.shuffle.queue_len(c) + shared.rings[c].len())
+        .sum();
+    // Busy cores = summed duty cycle over the period.
+    let busy_ns: u64 = ctl
+        .busy_ns
+        .iter()
+        .map(|b| b.swap(0, Ordering::Relaxed))
+        .sum();
+    let busy = (busy_ns as f64 / elapsed.as_nanos().max(1) as f64).min(shared.cfg.cores as f64);
+    let mut alloc = ctl.allocator.lock();
+    alloc.observe(LoadSignal {
+        busy_cores: busy,
+        backlog,
+    });
+    let target = alloc.active();
+    drop(alloc);
+    let before = ctl.gate.active();
+    ctl.gate.set_active(target);
+    // Re-granted workers may be deep in a long park: unpark them.
+    if target > before {
+        for d in &shared.doorbells[before..target] {
+            d.ring(IpiReason::PendingPackets);
         }
     }
 }
@@ -205,9 +326,10 @@ fn exec_conn(
     app: &Arc<dyn RpcApp>,
     conn: ConnId,
     stolen: bool,
+    batch: usize,
 ) {
     let home_core = shared.conn_home[conn.index()] as usize;
-    let events = shared.shuffle.take_events(conn, shared.cfg.conn_batch);
+    let events = shared.shuffle.take_events(conn, batch);
     let mut shipped = Vec::new();
     for msg in &events {
         let resp = app.handle(conn, msg);
@@ -241,6 +363,7 @@ fn zygos_step(
     policy: &mut IdlePolicy,
     rand: &mut impl FnMut() -> u64,
     steal: bool,
+    batch: usize,
 ) -> bool {
     // 0. Doorbell (the "IPI handler"): clear pending reasons; the duties
     // are performed by the priority steps below.
@@ -264,7 +387,7 @@ fn zygos_step(
     // 2. Own shuffle queue.
     if let Some(conn) = shared.shuffle.dequeue_local(core) {
         shared.stats[core].count_local_dequeue();
-        exec_conn(core, shared, app, conn, false);
+        exec_conn(core, shared, app, conn, false, batch);
         return true;
     }
 
@@ -297,7 +420,7 @@ fn zygos_step(
             PollTarget::RemoteShuffle(v) => {
                 if let Some(conn) = shared.shuffle.try_steal(v) {
                     shared.stats[core].count_steal();
-                    exec_conn(core, shared, app, conn, true);
+                    exec_conn(core, shared, app, conn, true, batch);
                     return true;
                 }
                 shared.stats[core].count_failed_steal();
@@ -352,7 +475,9 @@ mod tests {
         let (server, client) = echo_server(RuntimeConfig::zygos(2, 8));
         let conn = ConnId(3);
         client.send(conn, &RpcMessage::new(1, 42, Bytes::from_static(b"hi")));
-        let (rconn, resp) = client.recv_timeout(Duration::from_secs(5)).expect("response");
+        let (rconn, resp) = client
+            .recv_timeout(Duration::from_secs(5))
+            .expect("response");
         assert_eq!(rconn, conn);
         assert_eq!(resp.header.req_id, 42);
         assert_eq!(&resp.body[..], b"hi");
@@ -369,7 +494,9 @@ mod tests {
         }
         let mut seen = std::collections::HashSet::new();
         for _ in 0..n {
-            let (_, resp) = client.recv_timeout(Duration::from_secs(10)).expect("response");
+            let (_, resp) = client
+                .recv_timeout(Duration::from_secs(10))
+                .expect("response");
             assert!(seen.insert(resp.header.req_id), "duplicate response");
         }
         assert_eq!(seen.len(), n as usize);
@@ -405,7 +532,10 @@ mod tests {
     fn partitioned_mode_never_steals() {
         let (server, client) = echo_server(RuntimeConfig::partitioned(4, 32));
         for id in 0..2_000u64 {
-            client.send(ConnId((id % 32) as u32), &RpcMessage::new(1, id, Bytes::new()));
+            client.send(
+                ConnId((id % 32) as u32),
+                &RpcMessage::new(1, id, Bytes::new()),
+            );
         }
         for _ in 0..2_000 {
             client.recv_timeout(Duration::from_secs(10)).expect("resp");
@@ -421,7 +551,10 @@ mod tests {
     fn floating_mode_completes_everything() {
         let (server, client) = echo_server(RuntimeConfig::floating(4, 32));
         for id in 0..2_000u64 {
-            client.send(ConnId((id % 32) as u32), &RpcMessage::new(1, id, Bytes::new()));
+            client.send(
+                ConnId((id % 32) as u32),
+                &RpcMessage::new(1, id, Bytes::new()),
+            );
         }
         let mut got = 0;
         for _ in 0..2_000 {
@@ -443,7 +576,10 @@ mod tests {
         };
         let (server, client) = Server::start(RuntimeConfig::zygos(4, 64), Arc::new(slow));
         for id in 0..400u64 {
-            client.send(ConnId((id % 64) as u32), &RpcMessage::new(1, id, Bytes::new()));
+            client.send(
+                ConnId((id % 64) as u32),
+                &RpcMessage::new(1, id, Bytes::new()),
+            );
         }
         for _ in 0..400 {
             client.recv_timeout(Duration::from_secs(30)).expect("resp");
@@ -459,6 +595,66 @@ mod tests {
     #[test]
     fn shutdown_joins_cleanly() {
         let (server, _client) = echo_server(RuntimeConfig::zygos(2, 4));
+        server.shutdown();
+    }
+
+    #[test]
+    fn elastic_mode_completes_everything_exactly_once() {
+        let (server, client) = echo_server(RuntimeConfig::elastic(4, 32));
+        assert_eq!(server.active_cores(), Some(4), "starts fully granted");
+        let n = 3_000u64;
+        for id in 0..n {
+            client.send(
+                ConnId((id % 32) as u32),
+                &RpcMessage::new(1, id, Bytes::new()),
+            );
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let (_, resp) = client.recv_timeout(Duration::from_secs(10)).expect("resp");
+            assert!(seen.insert(resp.header.req_id), "duplicate response");
+        }
+        let granted = server.active_cores().expect("elastic gauge");
+        assert!((1..=4).contains(&granted));
+        server.shutdown();
+    }
+
+    #[test]
+    fn elastic_mode_preserves_per_connection_order() {
+        // The cooperative quantum (here: 1 event per dequeue, the most
+        // yield-happy setting) must not break the §4.3 ordering guarantee.
+        let cfg = RuntimeConfig {
+            scheduler: SchedulerKind::Elastic {
+                steal: true,
+                quantum_events: 1,
+            },
+            ..RuntimeConfig::zygos(4, 8)
+        };
+        let (server, client) = echo_server(cfg);
+        let depth = 200u64;
+        for conn in 0..8u32 {
+            for seq in 0..depth {
+                client.send(
+                    ConnId(conn),
+                    &RpcMessage::new(1, (conn as u64) << 32 | seq, Bytes::new()),
+                );
+            }
+        }
+        let mut next: HashMap<u32, u64> = HashMap::new();
+        for _ in 0..(8 * depth) {
+            let (conn, resp) = client.recv_timeout(Duration::from_secs(10)).expect("resp");
+            let seq = resp.header.req_id & 0xFFFF_FFFF;
+            let expect = next.entry(conn.0).or_insert(0);
+            assert_eq!(seq, *expect, "conn {} out of order", conn.0);
+            *expect += 1;
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_elastic_modes_have_no_core_gauge() {
+        let (server, _client) = echo_server(RuntimeConfig::zygos(2, 4));
+        assert_eq!(server.active_cores(), None);
         server.shutdown();
     }
 }

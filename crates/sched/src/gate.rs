@@ -1,0 +1,76 @@
+//! The active-core gate for the live runtime.
+//!
+//! The simulator can park a virtual core outright; a runtime worker thread
+//! can only be throttled cooperatively. [`ElasticGate`] publishes the
+//! allocator's granted-core count through one atomic: workers with index
+//! `>= active()` are *parked* — they keep serving their home duties (their
+//! ingress ring must drain somewhere, since RSS cannot be reprogrammed on
+//! the loopback port) but stop stealing and sleep for much longer when
+//! idle, which is what frees the CPU on an oversubscribed host.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Lock-free published core allocation for worker threads.
+#[derive(Debug)]
+pub struct ElasticGate {
+    active: AtomicUsize,
+    min: usize,
+    max: usize,
+}
+
+impl ElasticGate {
+    /// Creates a gate over `max` workers with a floor of `min`, starting
+    /// fully granted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or exceeds `max`.
+    pub fn new(min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max, "bad gate bounds {min}..{max}");
+        ElasticGate {
+            active: AtomicUsize::new(max),
+            min,
+            max,
+        }
+    }
+
+    /// Currently granted workers.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Publishes a new allocation, clamped to `[min, max]`.
+    pub fn set_active(&self, n: usize) {
+        self.active
+            .store(n.clamp(self.min, self.max), Ordering::Release);
+    }
+
+    /// True when worker `core` is granted.
+    pub fn is_active(&self, core: usize) -> bool {
+        core < self.active()
+    }
+
+    /// The gate's bounds.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_clamps_and_publishes() {
+        let g = ElasticGate::new(2, 8);
+        assert_eq!(g.active(), 8);
+        g.set_active(0);
+        assert_eq!(g.active(), 2, "clamped to the floor");
+        g.set_active(100);
+        assert_eq!(g.active(), 8, "clamped to the ceiling");
+        g.set_active(5);
+        assert!(g.is_active(4));
+        assert!(!g.is_active(5));
+        assert_eq!(g.bounds(), (2, 8));
+    }
+}

@@ -1,0 +1,38 @@
+//! Elastic core allocation and preemptive-quantum scheduling (`zygos-sched`).
+//!
+//! ZygOS (SOSP'17) is statically provisioned: 16 cores busy-poll whether
+//! the offered load needs them or not, and a long request holds its core
+//! until completion — the head-of-line blocking its §6/Figure 6 ablation
+//! quantifies for dispersive service-time distributions. This crate adds
+//! the two control-plane policies the post-ZygOS literature converged on:
+//!
+//! * [`alloc`] — a **core allocator** in the spirit of Shenango's core
+//!   controller: a periodic observer of queue backlog and busy-core counts
+//!   that grants and revokes cores with hysteresis (consecutive-signal
+//!   thresholds plus a post-change cooldown), and a [`alloc::CoreSecondsMeter`]
+//!   that makes parked-core count and core-seconds-used first-class
+//!   outputs.
+//! * [`quantum`] — a **preemptive time-slice policy** in the spirit of
+//!   Shinjuku's microsecond preemption: a configurable quantum after which
+//!   an in-flight application chunk is interrupted and its remainder
+//!   requeued, bounding how long one dispersive request can block a core.
+//! * [`gate`] — a lock-free **active-core gate** for the live runtime,
+//!   where cores are threads that can only be throttled cooperatively.
+//!
+//! The policies are pure (no clocks, no threads): the system simulator
+//! (`zygos-sysim`, `SystemKind::Elastic` + `preemption_quantum_us`) drives
+//! them from virtual time, and the live runtime (`zygos-runtime`,
+//! `SchedulerKind::Elastic`) drives them from wall-clock ticks. Keeping
+//! them host-agnostic is what lets the property tests in
+//! `tests/proptest_sched.rs` model-check hysteresis and conservation
+//! without either host.
+
+pub mod alloc;
+pub mod gate;
+pub mod quantum;
+
+pub use alloc::{
+    AllocatorConfig, AllocatorTuning, CoreAllocator, CoreSecondsMeter, Decision, LoadSignal,
+};
+pub use gate::ElasticGate;
+pub use quantum::QuantumPolicy;

@@ -1,0 +1,129 @@
+//! The preemptive-quantum policy.
+//!
+//! ZygOS's shuffle layer removes head-of-line blocking *between*
+//! connections on the same core, but a single long request still owns its
+//! core run-to-completion: under the paper's bimodal-2 distribution
+//! (0.1% × 500·S̄) a handful of requests can occupy most cores at once and
+//! every short request queued meanwhile eats the full residual service
+//! time. A preemptive quantum (Shinjuku's insight, at microsecond scale)
+//! bounds that residual: after `quantum` of application execution the core
+//! takes a timer interrupt, requeues the remainder of the request, and
+//! returns to the scheduling loop where short requests win.
+//!
+//! This module is the pure policy: given a chunk of work, decide whether
+//! and where to slice it. The simulator charges the interrupt cost from its
+//! calibrated cost model; the live runtime applies the cooperative
+//! analogue (bounded per-connection event batches) since user-space Rust
+//! cannot interrupt a handler.
+
+/// A time-slice policy over nanosecond work chunks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuantumPolicy {
+    /// Slice length in nanoseconds; `0` disables preemption.
+    quantum_ns: u64,
+}
+
+/// How much of a chunk to run now, and what remains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slice {
+    /// Nanoseconds to execute before the preemption point.
+    pub run_ns: u64,
+    /// Nanoseconds requeued for a later slice (always > 0).
+    pub remaining_ns: u64,
+}
+
+impl QuantumPolicy {
+    /// Run-to-completion (no preemption).
+    pub const fn disabled() -> Self {
+        QuantumPolicy { quantum_ns: 0 }
+    }
+
+    /// A quantum of `us` microseconds; non-positive disables preemption.
+    pub fn from_us(us: f64) -> Self {
+        if !us.is_finite() || us <= 0.0 {
+            return QuantumPolicy::disabled();
+        }
+        QuantumPolicy {
+            quantum_ns: (us * 1_000.0).round() as u64,
+        }
+    }
+
+    /// True when preemption is in force.
+    pub fn is_enabled(&self) -> bool {
+        self.quantum_ns > 0
+    }
+
+    /// The quantum in nanoseconds (0 when disabled).
+    pub fn quantum_ns(&self) -> u64 {
+        self.quantum_ns
+    }
+
+    /// Decides whether to slice a `chunk_ns` chunk of application work.
+    ///
+    /// Returns `None` to run to completion. A chunk is only sliced when it
+    /// overshoots the quantum by more than 25%: preempting to reclaim a few
+    /// nanoseconds costs a full interrupt + re-dispatch, so near-quantum
+    /// chunks run through (the same guard a real timer tick's granularity
+    /// imposes).
+    pub fn slice(&self, chunk_ns: u64) -> Option<Slice> {
+        if self.quantum_ns == 0 || chunk_ns <= self.quantum_ns + self.quantum_ns / 4 {
+            return None;
+        }
+        Some(Slice {
+            run_ns: self.quantum_ns,
+            remaining_ns: chunk_ns - self.quantum_ns,
+        })
+    }
+}
+
+impl Default for QuantumPolicy {
+    fn default() -> Self {
+        QuantumPolicy::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_slices() {
+        let q = QuantumPolicy::disabled();
+        assert!(!q.is_enabled());
+        assert_eq!(q.slice(u64::MAX), None);
+        assert_eq!(QuantumPolicy::from_us(0.0), QuantumPolicy::disabled());
+        assert_eq!(QuantumPolicy::from_us(-1.0), QuantumPolicy::disabled());
+    }
+
+    #[test]
+    fn short_chunks_run_through() {
+        let q = QuantumPolicy::from_us(5.0);
+        assert_eq!(q.slice(4_000), None);
+        assert_eq!(q.slice(5_000), None);
+        // Within the 25% slack: not worth an interrupt.
+        assert_eq!(q.slice(6_000), None);
+    }
+
+    #[test]
+    fn long_chunks_are_sliced_at_the_quantum() {
+        let q = QuantumPolicy::from_us(5.0);
+        let s = q.slice(500_000).expect("slice");
+        assert_eq!(s.run_ns, 5_000);
+        assert_eq!(s.remaining_ns, 495_000);
+        assert_eq!(s.run_ns + s.remaining_ns, 500_000);
+    }
+
+    #[test]
+    fn repeated_slicing_terminates() {
+        let q = QuantumPolicy::from_us(5.0);
+        let mut remaining = 500_000u64;
+        let mut slices = 0;
+        while let Some(s) = q.slice(remaining) {
+            remaining = s.remaining_ns;
+            slices += 1;
+            assert!(slices <= 100, "runaway slicing");
+        }
+        assert!(remaining > 0 && remaining <= 6_250);
+        assert_eq!(slices, 99);
+    }
+}

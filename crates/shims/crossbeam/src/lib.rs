@@ -1,0 +1,311 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the subset this workspace uses — `queue::ArrayQueue`,
+//! `utils::CachePadded`, and `channel::{unbounded, Sender, Receiver}` —
+//! with the same observable semantics (bounded MPMC FIFO, cacheline-aligned
+//! wrapper, cloneable unbounded MPMC channel). The implementations favor
+//! simplicity over lock-freedom: correctness tests, not throughput, are
+//! what the workspace exercises through these types, and the hot SPSC path
+//! in `zygos-net` is hand-written rather than delegated here.
+
+/// Bounded queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded MPMC FIFO queue.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue with the given capacity.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `cap == 0`.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be positive");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+            }
+        }
+
+        /// Attempts to enqueue; returns `Err(value)` when full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            if q.len() >= self.cap {
+                Err(value)
+            } else {
+                q.push_back(value);
+                Ok(())
+            }
+        }
+
+        /// Dequeues the oldest element.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
+        }
+
+        /// Current length (racy).
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+
+        /// True when empty (racy).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Maximum capacity.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+}
+
+/// Utility types.
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Aligns the wrapped value to a cache line to prevent false sharing.
+    #[derive(Default, Debug)]
+    #[repr(align(128))]
+    pub struct CachePadded<T>(T);
+
+    impl<T> CachePadded<T> {
+        /// Wraps a value.
+        pub const fn new(value: T) -> Self {
+            CachePadded(value)
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+}
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Chan<T> {
+        queue: Mutex<ChanState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChanState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders are gone and the queue is empty.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(ChanState {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only when every receiver has dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, waiting up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _t) = self
+                    .0
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .items
+                .pop_front()
+        }
+
+        /// Number of queued messages (racy).
+        pub fn len(&self) -> usize {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .items
+                .len()
+        }
+
+        /// True when no messages are queued (racy).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .receivers -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use super::queue::ArrayQueue;
+    use std::time::Duration;
+
+    #[test]
+    fn array_queue_bounded_fifo() {
+        let q = ArrayQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn channel_roundtrip_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn channel_cross_thread() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..1000u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..1000u32 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(i));
+        }
+        h.join().unwrap();
+    }
+}

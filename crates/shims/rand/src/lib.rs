@@ -1,0 +1,57 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace implements its own generator (`zygos_sim::rng::Xoshiro256`)
+//! and only uses `rand` for the `RngCore`/`SeedableRng` trait vocabulary, so
+//! that the generator can drive any `rand`-ecosystem distribution when the
+//! real crate is present. This shim provides just those traits (rand 0.8
+//! shapes), since the build container has no crates.io access.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by this
+/// workspace's infallible generators).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator interface (rand 0.8).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// A generator constructible from a fixed-size seed (rand 0.8).
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` by splatting it into the seed.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (chunk, byte) in seed
+            .as_mut()
+            .chunks_mut(8)
+            .zip(std::iter::repeat(state.to_le_bytes()))
+        {
+            let n = chunk.len();
+            chunk.copy_from_slice(&byte[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -78,8 +78,7 @@ impl GcQueue {
                     // A transaction still holds the record; try next cycle.
                     requeue.push(c);
                 }
-                crate::table::RemoveOutcome::NotAbsent
-                | crate::table::RemoveOutcome::Missing => {}
+                crate::table::RemoveOutcome::NotAbsent | crate::table::RemoveOutcome::Missing => {}
             }
         }
         let mut q = self.pending.lock();

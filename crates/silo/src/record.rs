@@ -194,10 +194,7 @@ mod tests {
                         let (_tid, data) = r.read();
                         let data = data.expect("present");
                         let first = data[0];
-                        assert!(
-                            data.iter().all(|&b| b == first),
-                            "torn read observed"
-                        );
+                        assert!(data.iter().all(|&b| b == first), "torn read observed");
                     }
                 })
             })

@@ -217,7 +217,10 @@ mod tests {
     use super::*;
 
     fn present(tid_seq: u64, data: &[u8]) -> Arc<Record> {
-        Arc::new(Record::new(crate::tid::TidWord::new(0, tid_seq), data.to_vec()))
+        Arc::new(Record::new(
+            crate::tid::TidWord::new(0, tid_seq),
+            data.to_vec(),
+        ))
     }
 
     fn put(t: &Table, key: &[u8], data: &[u8]) {

@@ -98,7 +98,10 @@ pub fn order_line(w_id: u16, d_id: u8, o_id: u32, ol_number: u8) -> Vec<u8> {
 /// Range covering all order lines of orders `[o_lo, o_hi]` in a district
 /// (StockLevel scans the lines of the last 20 orders).
 pub fn order_line_range(w_id: u16, d_id: u8, o_lo: u32, o_hi: u32) -> (Vec<u8>, Vec<u8>) {
-    (order_line(w_id, d_id, o_lo, 0), order_line(w_id, d_id, o_hi, u8::MAX))
+    (
+        order_line(w_id, d_id, o_lo, 0),
+        order_line(w_id, d_id, o_hi, u8::MAX),
+    )
 }
 
 /// item — key: (i_id). Items are warehouse-independent; the item table is
@@ -154,7 +157,10 @@ mod tests {
     fn order_by_customer_range_brackets() {
         let (lo, hi) = order_by_customer_range(2, 3, 77);
         assert!(lo < order_by_customer(2, 3, 77, 1));
-        assert!(order_by_customer(2, 3, 77, 1_000_000) < hi || order_by_customer(2, 3, 77, 1_000_000) == hi);
+        assert!(
+            order_by_customer(2, 3, 77, 1_000_000) < hi
+                || order_by_customer(2, 3, 77, 1_000_000) == hi
+        );
         assert!(!(lo <= order_by_customer(2, 3, 78, 0) && order_by_customer(2, 3, 78, 0) <= hi));
     }
 }

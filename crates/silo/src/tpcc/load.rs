@@ -6,9 +6,7 @@
 //! undelivered (present in NEW-ORDER with NULL carrier/delivery dates).
 
 use super::gen::{last_name, TpccRng};
-use super::rows::{
-    Customer, District, Item, NewOrderRow, Order, OrderLine, Row, Stock, Warehouse,
-};
+use super::rows::{Customer, District, Item, NewOrderRow, Order, OrderLine, Row, Stock, Warehouse};
 use super::{keys, Tpcc};
 
 /// Populates all nine tables.
@@ -255,10 +253,7 @@ mod tests {
                 * cfg.customers_per_district as usize
         );
         assert_eq!(t.item.len(), cfg.items as usize);
-        assert_eq!(
-            t.stock.len(),
-            cfg.warehouses as usize * cfg.items as usize
-        );
+        assert_eq!(t.stock.len(), cfg.warehouses as usize * cfg.items as usize);
     }
 
     #[test]

@@ -127,16 +127,19 @@ pub(super) fn new_order(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
     retry_loop(t, |txn| {
         let mut rows = 3;
         let wrow = Warehouse::decode(
-            &txn.read(&t.warehouse, &keys::warehouse(w))?.expect("warehouse"),
+            &txn.read(&t.warehouse, &keys::warehouse(w))?
+                .expect("warehouse"),
         );
         let mut drow = District::decode(
-            &txn.read(&t.district, &keys::district(w, d))?.expect("district"),
+            &txn.read(&t.district, &keys::district(w, d))?
+                .expect("district"),
         );
         let o_id = drow.next_o_id;
         drow.next_o_id += 1;
         txn.update(&t.district, keys::district(w, d), drow.encode());
         let crow = Customer::decode(
-            &txn.read(&t.customer, &keys::customer(w, d, c))?.expect("customer"),
+            &txn.read(&t.customer, &keys::customer(w, d, c))?
+                .expect("customer"),
         );
 
         let all_local = lines.iter().all(|&(_, sw, _)| sw == w);
@@ -159,7 +162,12 @@ pub(super) fn new_order(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
         txn.insert(
             &t.new_order,
             keys::new_order(w, d, o_id),
-            NewOrderRow { o_id, d_id: d, w_id: w }.encode(),
+            NewOrderRow {
+                o_id,
+                d_id: d,
+                w_id: w,
+            }
+            .encode(),
         );
 
         let mut total = 0.0;
@@ -170,7 +178,8 @@ pub(super) fn new_order(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
             };
             let item = Item::decode(&item_bytes);
             let mut stock = Stock::decode(
-                &txn.read(&t.stock, &keys::stock(supply_w, i_id))?.expect("stock"),
+                &txn.read(&t.stock, &keys::stock(supply_w, i_id))?
+                    .expect("stock"),
             );
             stock.quantity = if stock.quantity >= qty as i32 + 10 {
                 stock.quantity - qty as i32
@@ -235,14 +244,16 @@ pub(super) fn payment(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
 
     retry_loop(t, |txn| {
         let mut wrow = Warehouse::decode(
-            &txn.read(&t.warehouse, &keys::warehouse(w))?.expect("warehouse"),
+            &txn.read(&t.warehouse, &keys::warehouse(w))?
+                .expect("warehouse"),
         );
         wrow.ytd += amount;
         let w_name = wrow.name.clone();
         txn.update(&t.warehouse, keys::warehouse(w), wrow.encode());
 
         let mut drow = District::decode(
-            &txn.read(&t.district, &keys::district(w, d))?.expect("district"),
+            &txn.read(&t.district, &keys::district(w, d))?
+                .expect("district"),
         );
         drow.ytd += amount;
         let d_name = drow.name.clone();
@@ -290,8 +301,7 @@ pub(super) fn order_status(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
     let c_id_direct = (rng.customer_id() % cfg.customers_per_district).max(1);
 
     retry_loop(t, |txn| {
-        let Some((c_id, _crow)) =
-            select_customer(t, txn, by_name, name_idx, c_id_direct, w, d)?
+        let Some((c_id, _crow)) = select_customer(t, txn, by_name, name_idx, c_id_direct, w, d)?
         else {
             return Ok((0, true));
         };
@@ -302,7 +312,8 @@ pub(super) fn order_status(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
         if let Some((_, o_bytes)) = latest.first() {
             let o_id = u32::from_le_bytes(o_bytes[..4].try_into().expect("o_id"));
             let order = Order::decode(
-                &txn.read(&t.order, &keys::order(w, d, o_id))?.expect("order"),
+                &txn.read(&t.order, &keys::order(w, d, o_id))?
+                    .expect("order"),
             );
             let (ol_lo, ol_hi) = keys::order_line_range(w, d, o_id, o_id);
             let ols = txn.scan(&t.order_line, &ol_lo, &ol_hi, 20, false)?;
@@ -333,7 +344,8 @@ pub(super) fn delivery(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
             txn.delete(&t.new_order, no_key);
 
             let mut order = Order::decode(
-                &txn.read(&t.order, &keys::order(w, d, no.o_id))?.expect("order"),
+                &txn.read(&t.order, &keys::order(w, d, no.o_id))?
+                    .expect("order"),
             );
             order.carrier_id = carrier;
             let c_id = order.c_id;
@@ -351,7 +363,8 @@ pub(super) fn delivery(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
             }
 
             let mut crow = Customer::decode(
-                &txn.read(&t.customer, &keys::customer(w, d, c_id))?.expect("customer"),
+                &txn.read(&t.customer, &keys::customer(w, d, c_id))?
+                    .expect("customer"),
             );
             crow.balance += amount_sum;
             crow.delivery_cnt += 1;
@@ -371,24 +384,20 @@ pub(super) fn stock_level(t: &Tpcc, rng: &mut TpccRng) -> TxnOutcome {
 
     retry_loop(t, |txn| {
         let drow = District::decode(
-            &txn.read(&t.district, &keys::district(w, d))?.expect("district"),
+            &txn.read(&t.district, &keys::district(w, d))?
+                .expect("district"),
         );
         let next = drow.next_o_id;
         let lo_order = next.saturating_sub(20).max(1);
         let (ol_lo, ol_hi) = keys::order_line_range(w, d, lo_order, next.saturating_sub(1));
         let ols = txn.scan(&t.order_line, &ol_lo, &ol_hi, 400, false)?;
-        let mut item_ids: Vec<u32> = ols
-            .iter()
-            .map(|(_, v)| OrderLine::decode(v).i_id)
-            .collect();
+        let mut item_ids: Vec<u32> = ols.iter().map(|(_, v)| OrderLine::decode(v).i_id).collect();
         item_ids.sort_unstable();
         item_ids.dedup();
         let mut low = 0u32;
         let rows = 1 + ols.len() as u32 + item_ids.len() as u32;
         for i_id in item_ids {
-            let stock = Stock::decode(
-                &txn.read(&t.stock, &keys::stock(w, i_id))?.expect("stock"),
-            );
+            let stock = Stock::decode(&txn.read(&t.stock, &keys::stock(w, i_id))?.expect("stock"));
             if stock.quantity < threshold {
                 low += 1;
             }
@@ -498,7 +507,10 @@ mod tests {
         // Deletion marks records absent; a fresh scan finds fewer rows.
         let mut txn = t.db.begin();
         let (lo, hi) = (keys::new_order(1, 1, 0), keys::new_order(1, 1, u32::MAX));
-        let left = txn.scan(&t.new_order, &lo, &hi, 1_000, false).unwrap().len();
+        let left = txn
+            .scan(&t.new_order, &lo, &hi, 1_000, false)
+            .unwrap()
+            .len();
         assert!(
             left < before,
             "district 1 pending dropped: {left} < {before}"

@@ -306,8 +306,7 @@ impl<'db> Transaction<'db> {
         };
 
         // Phase 2a: validate the read set.
-        let in_write_set =
-            |rec: &Arc<Record>| resolved.iter().any(|(w, _)| Arc::ptr_eq(w, rec));
+        let in_write_set = |rec: &Arc<Record>| resolved.iter().any(|(w, _)| Arc::ptr_eq(w, rec));
         let mut max_seq = 0u64;
         for (rec, tid) in &self.reads {
             let cur = rec.tid();
@@ -445,7 +444,15 @@ mod tests {
             seed(&db, &t, &[b'a', b'a', b'a', b'a', i], &[i]);
         }
         let mut txn = db.begin();
-        let rows = txn.scan(&t, &[b'a', b'a', b'a', b'a', 0], &[b'a', b'a', b'a', b'a', 9], 10, false).unwrap();
+        let rows = txn
+            .scan(
+                &t,
+                &[b'a', b'a', b'a', b'a', 0],
+                &[b'a', b'a', b'a', b'a', 9],
+                10,
+                false,
+            )
+            .unwrap();
         assert_eq!(rows.len(), 5);
         assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
     }
@@ -527,7 +534,9 @@ mod tests {
         }
         let mut check = db.begin();
         let v = u64::from_le_bytes(
-            check.read(&t, b"aa-c").unwrap().unwrap()[..8].try_into().unwrap(),
+            check.read(&t, b"aa-c").unwrap().unwrap()[..8]
+                .try_into()
+                .unwrap(),
         );
         assert_eq!(v, 2_000, "lost update detected");
     }

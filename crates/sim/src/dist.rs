@@ -155,8 +155,7 @@ impl ServiceDist {
             ServiceDist::Empirical { samples } => {
                 let mut sorted: Vec<f64> = samples.as_ref().clone();
                 sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-                let idx = ((q * (sorted.len() - 1) as f64).round() as usize)
-                    .min(sorted.len() - 1);
+                let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
                 Some(sorted[idx])
             }
         }
@@ -179,8 +178,7 @@ impl ServiceDist {
             ServiceDist::LogNormal { cv2, .. } => Some(*cv2),
             ServiceDist::Empirical { samples } => {
                 let m = self.mean_us();
-                let m2 =
-                    samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64;
+                let m2 = samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64;
                 Some((m2 - m * m) / (m * m))
             }
         }
@@ -279,7 +277,14 @@ mod tests {
     #[test]
     fn quantiles_match_paper_figure2_asymptotes() {
         // Figure 2's zero-load p99 values for S̄ = 1.
-        assert!((ServiceDist::deterministic_us(1.0).quantile_us(0.99).unwrap() - 1.0).abs() < 1e-12);
+        assert!(
+            (ServiceDist::deterministic_us(1.0)
+                .quantile_us(0.99)
+                .unwrap()
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
         let exp99 = ServiceDist::exponential_us(1.0).quantile_us(0.99).unwrap();
         assert!((exp99 - 100f64.ln()).abs() < 1e-9, "{exp99}");
         assert_eq!(ServiceDist::bimodal1_us(1.0).quantile_us(0.99), Some(5.5));

@@ -136,7 +136,7 @@ pub fn max_load_at_slo(
 ) -> f64 {
     // Binary search on the load grid [1, resolution-1] / resolution.
     let mut hi = resolution; // Lowest grid point known to violate it.
-    // Check the smallest load first: if even that violates, return 0.
+                             // Check the smallest load first: if even that violates, return 0.
     if p99_of_load(1.0 / resolution as f64) > slo_us {
         return 0.0;
     }
@@ -225,7 +225,11 @@ mod tests {
     fn mm1_partitioned_matches_theory() {
         // Each partition of 16×M/G/1 with exponential service is an M/M/1
         // queue; sojourn time is Exp(µ−λ), so p99 = ln(100)/(1−ρ)·S̄.
-        let mut c = cfg(Policy::PartitionedFcfs, 0.5, ServiceDist::exponential_us(1.0));
+        let mut c = cfg(
+            Policy::PartitionedFcfs,
+            0.5,
+            ServiceDist::exponential_us(1.0),
+        );
         c.requests = 400_000;
         let got = simulate(&c).p99_us();
         let expect = 100f64.ln() / 0.5;

@@ -20,7 +20,10 @@ use super::{Policy, QueueConfig, SimOutput};
 enum Ev {
     Arrival,
     /// Speculative completion for `queue`; stale if `epoch` mismatches.
-    Completion { queue: usize, epoch: u64 },
+    Completion {
+        queue: usize,
+        epoch: u64,
+    },
 }
 
 struct PsJob {

@@ -59,10 +59,10 @@ pub fn mmn_sojourn_quantile(n: usize, rho: f64, q: f64) -> f64 {
     assert!((0.0..1.0).contains(&rho));
     let pw = erlang_c(n, rho);
     let theta = n as f64 * (1.0 - rho); // Rate of the conditional wait, in 1/S̄.
-    // CCDF of sojourn T = W + S with W = 0 w.p. 1−pw, Exp(theta) w.p. pw,
-    // S = Exp(1) independent:
-    //   P[T > t] = (1−pw)·e^{−t} + pw · (theta·e^{−t} − e^{−theta·t}) / (theta − 1)
-    // (for theta ≠ 1).
+                                        // CCDF of sojourn T = W + S with W = 0 w.p. 1−pw, Exp(theta) w.p. pw,
+                                        // S = Exp(1) independent:
+                                        //   P[T > t] = (1−pw)·e^{−t} + pw · (theta·e^{−t} − e^{−theta·t}) / (theta − 1)
+                                        // (for theta ≠ 1).
     let ccdf = |t: f64| -> f64 {
         let s = (-t).exp();
         if (theta - 1.0).abs() < 1e-9 {

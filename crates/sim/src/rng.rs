@@ -46,10 +46,7 @@ impl Xoshiro256 {
     /// Returns the next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -178,7 +175,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = Xoshiro256::new(1);
         let mut b = Xoshiro256::new(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert!(same < 4);
     }
 
@@ -238,7 +237,9 @@ mod tests {
         let mut root = Xoshiro256::new(1234);
         let mut a = root.fork(0);
         let mut b = root.fork(1);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert!(same < 4);
     }
 

@@ -131,6 +131,13 @@ impl LatencyHistogram {
     /// Returns the highest value equivalent to the bucket containing the
     /// `ceil(q · count)`-th recorded value (so the reported percentile is
     /// never an underestimate beyond bucket precision). Returns 0 when empty.
+    ///
+    /// Small-sample semantics (audited for off-by-one): the rank is
+    /// `ceil(q·n)` clamped to `[1, n]`, so for `n < 100` the p99 rank is
+    /// `n` and the **maximum** is reported — the conservative choice for
+    /// an SLO check (a tail estimate from 50 samples that ignored the
+    /// worst sample would be an underestimate). At exactly `n = 100`,
+    /// `ceil(99.0) = 99` selects the 99th order statistic, not the 100th.
     pub fn value_at_quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.total == 0 {
@@ -208,7 +215,10 @@ impl LatencyHistogram {
                 (bucket - 1, sub + SUB_BUCKET_HALF_COUNT)
             };
             let lowest = (s as u64) << b;
-            out.push((lowest as f64 / 1_000.0, remaining as f64 / self.total as f64));
+            out.push((
+                lowest as f64 / 1_000.0,
+                remaining as f64 / self.total as f64,
+            ));
             remaining -= c;
         }
         out
@@ -275,10 +285,7 @@ mod tests {
             h.record_nanos(v);
         }
         let p99 = h.value_at_quantile(0.99);
-        assert!(
-            (98_900..=99_200).contains(&p99),
-            "p99 = {p99}"
-        );
+        assert!((98_900..=99_200).contains(&p99), "p99 = {p99}");
         let p50 = h.value_at_quantile(0.5);
         assert!((49_900..=50_100).contains(&p50), "p50 = {p50}");
     }
@@ -350,6 +357,42 @@ mod tests {
                 "q={q}: est {est} way above truth {truth}"
             );
         }
+    }
+
+    #[test]
+    fn p99_of_fewer_than_100_samples_is_the_max() {
+        // Regression for the small-sample rank arithmetic: for n < 100,
+        // ceil(0.99·n) = n, so p99 must report the maximum — not the
+        // (n−1)-th order statistic an off-by-one would select.
+        for n in [1u64, 2, 10, 50, 99] {
+            let mut h = LatencyHistogram::new();
+            for v in 1..=n {
+                h.record_nanos(v);
+            }
+            assert_eq!(h.value_at_quantile(0.99), n, "p99 of {n} distinct samples");
+        }
+    }
+
+    #[test]
+    fn p99_of_exactly_100_samples_is_the_99th_order_statistic() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record_nanos(v);
+        }
+        // ceil(0.99·100) = 99 ⇒ the 99th smallest, not the max.
+        assert_eq!(h.value_at_quantile(0.99), 99);
+        assert_eq!(h.value_at_quantile(1.0), 100);
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_min_and_max_buckets() {
+        let mut h = LatencyHistogram::new();
+        for v in [7u64, 13, 1_000] {
+            h.record_nanos(v);
+        }
+        // Rank clamps to [1, n]: q=0 selects the first recorded bucket.
+        assert_eq!(h.value_at_quantile(0.0), 7);
+        assert_eq!(h.value_at_quantile(1.0), 1_000);
     }
 
     #[test]

@@ -135,6 +135,11 @@ impl Recorder {
         self.done
     }
 
+    /// True once warmup has completed and the measurement window is open.
+    pub fn measurement_started(&self) -> bool {
+        self.completed >= self.warmup
+    }
+
     /// Measured completions (excluding warmup).
     pub fn measured(&self) -> u64 {
         self.completed.saturating_sub(self.warmup)
@@ -142,7 +147,9 @@ impl Recorder {
 
     /// Length of the measurement window in microseconds.
     pub fn window_us(&self) -> f64 {
-        self.meas_end.duration_since(self.meas_start).as_micros_f64()
+        self.meas_end
+            .duration_since(self.meas_start)
+            .as_micros_f64()
     }
 }
 
@@ -152,18 +159,13 @@ mod tests {
     use crate::config::{SysConfig, SystemKind};
 
     fn cfg() -> SysConfig {
-        SysConfig::paper(
-            SystemKind::Zygos,
-            ServiceDist::exponential_us(10.0),
-            0.5,
-        )
+        SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.5)
     }
 
     #[test]
     fn rss_maps_all_cores() {
         let s = Source::new(&cfg());
-        let homes: std::collections::HashSet<u16> =
-            (0..2752).map(|c| s.home_of(c)).collect();
+        let homes: std::collections::HashSet<u16> = (0..2752).map(|c| s.home_of(c)).collect();
         assert_eq!(homes.len(), 16, "all 16 cores should own flow groups");
     }
 

@@ -12,6 +12,15 @@ pub enum SystemKind {
     /// ZygOS in purely cooperative mode (no IPIs) — the
     /// `ZygOS (no interrupts)` curve of Figure 6.
     ZygosNoInterrupts,
+    /// ZygOS with the `zygos-sched` elastic control plane: a periodic
+    /// controller grants/revokes cores with hysteresis, parked cores hand
+    /// their RSS queues to active ones, and (with a nonzero
+    /// [`SysConfig::preemption_quantum_us`]) long application chunks are
+    /// preempted at quantum expiry and requeued.
+    Elastic {
+        /// Floor on granted cores (the controller never parks below this).
+        min_cores: usize,
+    },
     /// IX: shared-nothing run-to-completion with bounded batching.
     Ix,
     /// Linux, connections partitioned across epoll sets.
@@ -26,9 +35,30 @@ impl SystemKind {
         match self {
             SystemKind::Zygos => "ZygOS",
             SystemKind::ZygosNoInterrupts => "ZygOS (no interrupts)",
+            SystemKind::Elastic { .. } => "ZygOS (elastic)",
             SystemKind::Ix => "IX",
             SystemKind::LinuxPartitioned => "Linux (partitioned connections)",
             SystemKind::LinuxFloating => "Linux (floating connections)",
+        }
+    }
+}
+
+/// Control-plane knobs for [`SystemKind::Elastic`]: the controller's tick
+/// period plus the allocator's shared decision-rule tuning (see
+/// [`zygos_sched::AllocatorTuning`] for each knob's meaning).
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticKnobs {
+    /// Controller tick period in microseconds.
+    pub control_period_us: f64,
+    /// Allocator decision-rule knobs.
+    pub tuning: zygos_sched::AllocatorTuning,
+}
+
+impl Default for ElasticKnobs {
+    fn default() -> Self {
+        ElasticKnobs {
+            control_period_us: 25.0,
+            tuning: zygos_sched::AllocatorTuning::default(),
         }
     }
 }
@@ -62,6 +92,17 @@ pub struct SysConfig {
     /// victims in core order — an ablation knob, see
     /// `ablation_steal_ipi`).
     pub randomize_steal_order: bool,
+    /// Preemptive time-slice for application execution in the ZygOS-family
+    /// models, in microseconds; `0.0` (the paper's behaviour) runs every
+    /// request to completion. At quantum expiry the simulator interrupts
+    /// the in-flight chunk (reusing the IPI/epoch machinery), charges the
+    /// IPI-handler cost, and moves the remainder to a low-priority
+    /// background queue that runs only in idle gaps (approximate SJF;
+    /// aging promotes entries after ~20 quanta so sustained overload
+    /// cannot starve them).
+    pub preemption_quantum_us: f64,
+    /// Controller knobs; consulted only by [`SystemKind::Elastic`].
+    pub elastic: ElasticKnobs,
 }
 
 impl SysConfig {
@@ -69,7 +110,9 @@ impl SysConfig {
     /// testbed, with defaults suitable for figure regeneration.
     pub fn paper(system: SystemKind, service: ServiceDist, load: f64) -> Self {
         let cost = match system {
-            SystemKind::Zygos | SystemKind::ZygosNoInterrupts => CostModel::zygos(),
+            SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. } => {
+                CostModel::zygos()
+            }
             SystemKind::Ix => CostModel::ix(),
             SystemKind::LinuxPartitioned | SystemKind::LinuxFloating => CostModel::linux(),
         };
@@ -77,7 +120,7 @@ impl SysConfig {
             // IX is evaluated with batching disabled unless stated (§3.3).
             SystemKind::Ix => 1,
             // ZygOS batches adaptively on the RX path only (§6.2).
-            SystemKind::Zygos | SystemKind::ZygosNoInterrupts => 64,
+            SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. } => 64,
             _ => 1,
         };
         SysConfig {
@@ -92,6 +135,8 @@ impl SysConfig {
             warmup: 10_000,
             seed: 0x5A47,
             randomize_steal_order: true,
+            preemption_quantum_us: 0.0,
+            elastic: ElasticKnobs::default(),
         }
     }
 
@@ -116,6 +161,12 @@ pub struct SysOutput {
     pub stolen_events: u64,
     /// IPIs delivered.
     pub ipis: u64,
+    /// Quantum-expiry preemptions (0 unless `preemption_quantum_us` > 0).
+    pub preemptions: u64,
+    /// Time-averaged granted cores over the run. Equals the configured core
+    /// count for statically provisioned systems; below it when
+    /// [`SystemKind::Elastic`] parks cores.
+    pub avg_active_cores: f64,
 }
 
 impl SysOutput {
@@ -140,6 +191,22 @@ impl SysOutput {
             0.0
         } else {
             self.stolen_events as f64 / total as f64
+        }
+    }
+
+    /// Core-seconds consumed over the measurement window — the elastic
+    /// controller's cost metric (granted cores × wall time, whether busy
+    /// or polling: a granted core burns its CPU either way).
+    pub fn core_seconds_used(&self) -> f64 {
+        self.avg_active_cores * self.sim_time_us / 1_000_000.0
+    }
+
+    /// Preemptions per measured request.
+    pub fn preemptions_per_req(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.preemptions as f64 / self.completed as f64
         }
     }
 }

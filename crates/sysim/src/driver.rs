@@ -12,7 +12,9 @@ use crate::{ix, linux, zygos};
 /// Runs one system-simulation experiment.
 pub fn run_system(cfg: &SysConfig) -> SysOutput {
     match cfg.system {
-        SystemKind::Zygos | SystemKind::ZygosNoInterrupts => zygos::run(cfg),
+        SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. } => {
+            zygos::run(cfg)
+        }
         SystemKind::Ix => ix::run(cfg),
         SystemKind::LinuxPartitioned | SystemKind::LinuxFloating => linux::run(cfg),
     }
@@ -31,14 +33,14 @@ pub struct SweepPoint {
     pub steal_fraction: f64,
     /// IPIs delivered per measured request.
     pub ipis_per_req: f64,
+    /// Time-averaged granted cores (== configured cores for static
+    /// systems; lower when `SystemKind::Elastic` parks cores).
+    pub avg_active_cores: f64,
 }
 
 /// Sweeps offered load and reports `(throughput, p99)` points — the raw
 /// data behind Figures 6, 8, 9, 10b and 11.
-pub fn latency_throughput_sweep(
-    base: &SysConfig,
-    loads: &[f64],
-) -> Vec<SweepPoint> {
+pub fn latency_throughput_sweep(base: &SysConfig, loads: &[f64]) -> Vec<SweepPoint> {
     loads
         .iter()
         .map(|&load| {
@@ -57,6 +59,7 @@ pub fn latency_throughput_sweep(
                 } else {
                     out.ipis as f64 / out.completed as f64
                 },
+                avg_active_cores: out.avg_active_cores,
             }
         })
         .collect()
@@ -167,10 +170,8 @@ mod tests {
     #[test]
     fn theory_bounds_bracket_systems() {
         let service = ServiceDist::exponential_us(10.0);
-        let central =
-            theory_max_load_at_slo(&service, 16, Policy::CentralFcfs, 10.0, 40_000, 20);
-        let part =
-            theory_max_load_at_slo(&service, 16, Policy::PartitionedFcfs, 10.0, 40_000, 20);
+        let central = theory_max_load_at_slo(&service, 16, Policy::CentralFcfs, 10.0, 40_000, 20);
+        let part = theory_max_load_at_slo(&service, 16, Policy::PartitionedFcfs, 10.0, 40_000, 20);
         // Known theory: ~0.96 and ~0.54.
         assert!(central > 0.85, "central bound = {central}");
         assert!((0.40..0.70).contains(&part), "partitioned bound = {part}");

@@ -21,9 +21,15 @@ enum Ev {
     Gen,
     Packet(Req),
     /// Network processing of a batch finished.
-    NetDone { core: usize, batch: Vec<Req> },
+    NetDone {
+        core: usize,
+        batch: Vec<Req>,
+    },
     /// One application event of the current batch finished.
-    AppDone { core: usize, rest: VecDeque<Req> },
+    AppDone {
+        core: usize,
+        rest: VecDeque<Req>,
+    },
 }
 
 struct Core {
@@ -72,8 +78,8 @@ impl IxModel {
             .map(|_| self.cores[core].ring.pop_front().expect("non-empty"))
             .collect();
         let cost = &self.cfg.cost;
-        let dur = cost.driver_batch_fixed_ns
-            + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
+        let dur =
+            cost.driver_batch_fixed_ns + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
         self.cores[core].busy = true;
         sched.after(Self::ns(dur), Ev::NetDone { core, batch });
     }
@@ -159,6 +165,8 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         local_events: model.events_done,
         stolen_events: 0,
         ipis: 0,
+        preemptions: 0,
+        avg_active_cores: cfg.cores as f64,
     }
 }
 
@@ -210,11 +218,7 @@ mod tests {
     fn run_to_completion_head_of_line_blocking() {
         // Bimodal-1 at moderate load: the p99 reflects short requests stuck
         // behind 55µs ones on the same core — well above the 55µs mode.
-        let mut cfg = SysConfig::paper(
-            SystemKind::Ix,
-            ServiceDist::bimodal1_us(10.0),
-            0.5,
-        );
+        let mut cfg = SysConfig::paper(SystemKind::Ix, ServiceDist::bimodal1_us(10.0), 0.5);
         cfg.requests = 30_000;
         cfg.warmup = 5_000;
         let out = run(&cfg);

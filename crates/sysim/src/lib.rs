@@ -12,6 +12,16 @@
 //!   adaptive bounded batching (`rx_batch` = the paper's `B`).
 //! * [`config::SystemKind::LinuxPartitioned`] / [`SystemKind::LinuxFloating`]
 //!   — the epoll baselines with Linux's per-request kernel cost.
+//! * [`config::SystemKind::Elastic`] — ZygOS under the `zygos-sched`
+//!   control plane: a periodic controller grants/revokes cores with
+//!   hysteresis and square-root staffing (parked cores redirect their RSS
+//!   queues and stop polling; [`SysOutput::avg_active_cores`] reports the
+//!   grant), and a nonzero [`SysConfig::preemption_quantum_us`] arms
+//!   Shinjuku-style quantum preemption: over-quantum application chunks
+//!   are interrupted and their remainders continue from a low-priority
+//!   (aged) background queue, bounding head-of-line blocking under
+//!   dispersive service times. `fig12_elastic` sweeps both against the
+//!   static systems.
 //!
 //! Why a simulator: the original evaluation needs a 16-hyperthread Xeon,
 //! Intel 82599 NICs and an 11-machine client cluster. This environment has

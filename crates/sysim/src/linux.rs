@@ -85,9 +85,7 @@ impl LinuxModel {
             self.lock_free_at = acquire + SimDuration::from_nanos(cost.linux_float_lock_ns);
             start = self.lock_free_at;
         }
-        let end = start
-            + SimDuration::from_nanos(cost.linux_per_req_ns)
-            + req.service;
+        let end = start + SimDuration::from_nanos(cost.linux_per_req_ns) + req.service;
         sched.at(end, Ev::Done { core, req });
     }
 
@@ -119,11 +117,7 @@ impl Model for LinuxModel {
                 sched.after(gap, Ev::Gen);
             }
             Ev::Packet(req) => {
-                let q = if self.floating {
-                    0
-                } else {
-                    req.home as usize
-                };
+                let q = if self.floating { 0 } else { req.home as usize };
                 self.queues[q].push_back(req);
                 self.wake_for_queue(q, now, sched);
             }
@@ -161,6 +155,8 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         local_events: model.events_done,
         stolen_events: 0,
         ipis: 0,
+        preemptions: 0,
+        avg_active_cores: cfg.cores as f64,
     }
 }
 

@@ -20,9 +20,27 @@
 //! The `ZygosNoInterrupts` variant disables step 5 and the IPI on remote
 //! syscall shipping: the cooperative mode whose head-of-line blocking the
 //! paper's Figure 6 quantifies.
+//!
+//! # Elastic mode and preemptive quanta
+//!
+//! [`SystemKind::Elastic`] layers the `zygos-sched` control plane on this
+//! model. A periodic `Control` event feeds busy-core and backlog counts to
+//! a `CoreAllocator`; revoked cores drain their queues into an active core
+//! and stop participating (their RSS queues are redirected, modeling
+//! indirection-table reprogramming), granted cores rejoin and steal
+//! immediately. A nonzero [`SysConfig::preemption_quantum_us`] arms a
+//! per-chunk timer: application chunks longer than the quantum end in a
+//! `Preempt` event (same epoch-guard machinery as IPIs) that charges the
+//! IPI-handler cost and moves the remainder to a **background queue**
+//! below all fresh work (approximate SJF, with aging after
+//! `BG_AGING_QUANTA` quanta as the starvation bound), bounding
+//! head-of-line blocking under dispersive service times.
 
 use std::collections::VecDeque;
 
+use zygos_sched::{
+    AllocatorConfig, CoreAllocator, CoreSecondsMeter, Decision, LoadSignal, QuantumPolicy,
+};
 use zygos_sim::engine::{Engine, Model, Scheduler};
 use zygos_sim::time::{SimDuration, SimTime};
 
@@ -40,6 +58,11 @@ pub(crate) enum Ev {
     WorkDone { core: usize, epoch: u64 },
     /// An IPI arrives at a core.
     Ipi(usize),
+    /// The quantum timer fires on a core mid-chunk (stale if epoch
+    /// mismatches).
+    Preempt { core: usize, epoch: u64 },
+    /// Elastic-controller tick.
+    Control,
 }
 
 enum Work {
@@ -52,6 +75,10 @@ enum Work {
         cur: Req,
         rest: VecDeque<Req>,
         stolen: bool,
+        /// Chunk came from the background (preempted) queue: it fills idle
+        /// capacity by policy and is excluded from the controller's
+        /// foreground-utilization signal.
+        bg: bool,
     },
     /// Executing remote batched syscalls (TX for stolen events).
     RemoteTx { batch: Vec<Req> },
@@ -60,6 +87,15 @@ enum Work {
 struct Core {
     ring: VecDeque<Req>,
     shuffle: VecDeque<u32>,
+    /// Preempted connections (Shinjuku-style second-level queue), each
+    /// stamped with its enqueue time: a quantum-expired remainder is
+    /// *known long*, so it only runs when no fresh work is visible
+    /// anywhere — approximate shortest-job-first, which is what bounds the
+    /// dispersive tail. Entries older than [`BG_AGING_QUANTA`] quanta are
+    /// promoted ahead of fresh work: without aging, sustained overload
+    /// starves preempted connections — and with them every later request
+    /// pipelined on the same socket (§4.3 ordering holds per connection).
+    bg: VecDeque<(u32, SimTime)>,
     remote_sys: Vec<Req>,
     work: Option<Work>,
     /// Completion time of the current work chunk (valid when `work` is set).
@@ -67,6 +103,12 @@ struct Core {
     /// Epoch guard: bumping it invalidates the scheduled `WorkDone`.
     epoch: u64,
     ipi_pending: bool,
+    /// Service nanoseconds of the current app chunk still unexecuted at its
+    /// scheduled `Preempt`; `0` when the chunk runs to completion.
+    slice_remaining_ns: u64,
+    /// Elastic mode: whether this core is granted (always `true` for the
+    /// static systems).
+    active: bool,
 }
 
 impl Core {
@@ -96,6 +138,31 @@ fn ns(v: u64) -> SimDuration {
     SimDuration::from_nanos(v)
 }
 
+/// Background-queue aging bound, in preemption quanta: a preempted
+/// connection waits at most this many quanta before it outranks fresh
+/// work (multilevel-feedback starvation avoidance).
+const BG_AGING_QUANTA: u64 = 20;
+
+/// Elastic-mode control-plane state.
+struct Elastic {
+    allocator: CoreAllocator,
+    meter: CoreSecondsMeter,
+    /// RSS redirection: home core → serving core (identity while active).
+    redirect: Vec<usize>,
+    period: SimDuration,
+    /// Busy-core integral at the previous control tick (for time-averaged
+    /// utilization between ticks).
+    last_ctl_busy_integral: u128,
+    last_ctl_ns: u64,
+    /// Granted-core integral snapshot taken when the measurement window
+    /// opened, so reported core-seconds exclude the warmup (during which
+    /// the fleet starts fully granted).
+    meas_snapshot: Option<(u64, u128)>,
+    /// `ZYGOS_ELASTIC_TRACE` read once at construction (the env lookup is
+    /// too expensive for a 25µs-period tick path).
+    trace: bool,
+}
+
 pub(crate) struct ZygosModel {
     cfg: SysConfig,
     source: Source,
@@ -105,27 +172,74 @@ pub(crate) struct ZygosModel {
     /// Scratch buffer for randomized victim order.
     victims: Vec<usize>,
     ipis_enabled: bool,
+    quantum: QuantumPolicy,
+    elastic: Option<Elastic>,
     // Telemetry.
     local_events: u64,
     stolen_events: u64,
     ipis_delivered: u64,
+    preemptions: u64,
+    /// All cores with work installed (telemetry).
+    busy: BusyMeter,
+    /// Cores running *foreground* work — everything except background
+    /// (preempted) application chunks, which fill idle capacity by policy
+    /// and must not read as demand to the elastic controller.
+    fg_busy: BusyMeter,
+}
+
+/// Integrates a core-count signal over simulated time.
+#[derive(Default)]
+struct BusyMeter {
+    count: usize,
+    integral_ns: u128,
+    last_ns: u64,
+}
+
+impl BusyMeter {
+    /// Flushes the integral to `ns` and applies `delta` to the count.
+    fn update(&mut self, ns: u64, delta: i64) {
+        self.integral_ns += ns.saturating_sub(self.last_ns) as u128 * self.count as u128;
+        self.last_ns = self.last_ns.max(ns);
+        self.count = (self.count as i64 + delta) as usize;
+    }
 }
 
 impl ZygosModel {
     pub(crate) fn new(cfg: SysConfig) -> Self {
         let source = Source::new(&cfg);
         let rec = Recorder::new(&cfg, source.half_rtt);
-        let ipis_enabled = cfg.system == SystemKind::Zygos;
+        let ipis_enabled = matches!(cfg.system, SystemKind::Zygos | SystemKind::Elastic { .. });
+        let quantum = QuantumPolicy::from_us(cfg.preemption_quantum_us);
+        let elastic = match cfg.system {
+            SystemKind::Elastic { min_cores } => Some(Elastic {
+                allocator: CoreAllocator::new(AllocatorConfig {
+                    min_cores: min_cores.clamp(1, cfg.cores),
+                    max_cores: cfg.cores,
+                    tuning: cfg.elastic.tuning,
+                }),
+                meter: CoreSecondsMeter::new(0, cfg.cores),
+                redirect: (0..cfg.cores).collect(),
+                period: SimDuration::from_micros_f64(cfg.elastic.control_period_us.max(1.0)),
+                last_ctl_busy_integral: 0,
+                last_ctl_ns: 0,
+                meas_snapshot: None,
+                trace: std::env::var_os("ZYGOS_ELASTIC_TRACE").is_some(),
+            }),
+            _ => None,
+        };
         ZygosModel {
             cores: (0..cfg.cores)
                 .map(|_| Core {
                     ring: VecDeque::new(),
                     shuffle: VecDeque::new(),
+                    bg: VecDeque::new(),
                     remote_sys: Vec::new(),
                     work: None,
                     end: SimTime::ZERO,
                     epoch: 0,
                     ipi_pending: false,
+                    slice_remaining_ns: 0,
+                    active: true,
                 })
                 .collect(),
             conns: (0..cfg.conns)
@@ -138,25 +252,53 @@ impl ZygosModel {
             source,
             rec,
             ipis_enabled,
+            quantum,
+            elastic,
             cfg,
             local_events: 0,
             stolen_events: 0,
             ipis_delivered: 0,
+            preemptions: 0,
+            busy: BusyMeter::default(),
+            fg_busy: BusyMeter::default(),
         }
     }
 
-    /// Wakes every idle core (something steal-able appeared).
+    /// Accounts a `Core::work` presence transition at `now` (`delta` is +1
+    /// for install, −1 for removal, 0 to flush the integrals; `fg` is
+    /// false only for background application chunks).
+    fn note_busy(&mut self, now: SimTime, delta: i64, fg: bool) {
+        self.busy.update(now.as_nanos(), delta);
+        self.fg_busy
+            .update(now.as_nanos(), if fg { delta } else { 0 });
+    }
+
+    /// True when the model runs the elastic control plane.
+    fn is_elastic(&self) -> bool {
+        self.elastic.is_some()
+    }
+
+    /// The core that serves packets homed on `home` (identity unless the
+    /// home core is parked and its RSS queue was redirected).
+    fn serving_core(&self, home: usize) -> usize {
+        match &self.elastic {
+            Some(e) => e.redirect[home],
+            None => home,
+        }
+    }
+
+    /// Wakes every idle granted core (something steal-able appeared).
     fn wake_idle(&self, sched: &mut Scheduler<Ev>) {
         for (i, c) in self.cores.iter().enumerate() {
-            if c.is_idle() {
+            if c.active && c.is_idle() {
                 sched.at(sched.now(), Ev::Run(i));
             }
         }
     }
 
-    /// Wakes one core if idle.
+    /// Wakes one core if granted and idle.
     fn wake(&self, core: usize, sched: &mut Scheduler<Ev>) {
-        if self.cores[core].is_idle() {
+        if self.cores[core].active && self.cores[core].is_idle() {
             sched.at(sched.now(), Ev::Run(core));
         }
     }
@@ -172,13 +314,18 @@ impl ZygosModel {
     /// Applies RX-batch effects: packets join their connections' event
     /// queues; idle connections become ready on this core's shuffle queue.
     fn apply_net_batch(&mut self, core: usize, batch: Vec<Req>, sched: &mut Scheduler<Ev>) {
+        // In elastic mode the executing core may have been parked while
+        // this net chunk was in flight (apply_allocation drains queues
+        // only on the transition): enqueue on its serving core, or the
+        // ready connections would be stranded on a queue nothing scans.
+        let dst = self.serving_core(core);
         let mut newly_ready = false;
         for req in batch {
             let conn = &mut self.conns[req.conn as usize];
             conn.pending.push_back(req);
             if conn.st == ConnSt::Idle {
                 conn.st = ConnSt::Ready;
-                self.cores[core].shuffle.push_back(req.conn);
+                self.cores[dst].shuffle.push_back(req.conn);
                 newly_ready = true;
             }
         }
@@ -189,12 +336,14 @@ impl ZygosModel {
     }
 
     /// Begins executing an application event batch for `conn` on `core`.
+    #[allow(clippy::too_many_arguments)]
     fn begin_app(
         &mut self,
         core: usize,
         conn: u32,
         extra_ns: u64,
         stolen: bool,
+        bg: bool,
         now: SimTime,
         sched: &mut Scheduler<Ev>,
     ) {
@@ -203,23 +352,68 @@ impl ZygosModel {
         let mut events = std::mem::take(&mut c.pending);
         debug_assert!(!events.is_empty(), "ready connection without events");
         let cur = events.pop_front().expect("non-empty");
-        let dur = self.event_exec_ns(&cur, stolen) + extra_ns;
+        self.schedule_app_chunk(core, conn, cur, events, stolen, bg, extra_ns, now, sched);
+    }
+
+    /// Installs one application chunk on `core` and schedules its end event
+    /// — `WorkDone` at completion, or `Preempt` at quantum expiry when the
+    /// chunk's service time overshoots the quantum.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_app_chunk(
+        &mut self,
+        core: usize,
+        conn: u32,
+        mut cur: Req,
+        rest: VecDeque<Req>,
+        stolen: bool,
+        bg: bool,
+        extra_ns: u64,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        self.note_busy(now, 1, !bg);
+        let slice = self.quantum.slice(cur.service.as_nanos());
         let core_ref = &mut self.cores[core];
-        core_ref.work = Some(Work::App {
-            conn,
-            cur,
-            rest: events,
-            stolen,
-        });
         core_ref.epoch += 1;
-        core_ref.end = now + ns(dur);
-        sched.at(
-            core_ref.end,
-            Ev::WorkDone {
-                core,
-                epoch: core_ref.epoch,
-            },
-        );
+        let epoch = core_ref.epoch;
+        match slice {
+            Some(s) => {
+                // Run one quantum of service, then take the timer interrupt
+                // (charged at the handler's cost) and requeue the rest. The
+                // completion syscalls are not issued by a preempted slice,
+                // so only the dispatch cost applies on this chunk.
+                cur.service = SimDuration::from_nanos(s.run_ns);
+                let dur = self.cfg.cost.event_dispatch_ns
+                    + s.run_ns
+                    + self.cfg.cost.ipi_handler_ns
+                    + extra_ns;
+                let core_ref = &mut self.cores[core];
+                core_ref.slice_remaining_ns = s.remaining_ns;
+                core_ref.work = Some(Work::App {
+                    conn,
+                    cur,
+                    rest,
+                    stolen,
+                    bg,
+                });
+                core_ref.end = now + ns(dur);
+                sched.at(core_ref.end, Ev::Preempt { core, epoch });
+            }
+            None => {
+                let dur = self.event_exec_ns(&cur, stolen) + extra_ns;
+                let core_ref = &mut self.cores[core];
+                core_ref.slice_remaining_ns = 0;
+                core_ref.work = Some(Work::App {
+                    conn,
+                    cur,
+                    rest,
+                    stolen,
+                    bg,
+                });
+                core_ref.end = now + ns(dur);
+                sched.at(core_ref.end, Ev::WorkDone { core, epoch });
+            }
+        }
     }
 
     /// CPU time of one application event on its execution core.
@@ -238,6 +432,9 @@ impl ZygosModel {
 
     /// The core scheduling loop (priorities 1–6 of the module docs).
     fn run_core(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if !self.cores[core].active {
+            return; // Parked by the elastic controller; queues were drained.
+        }
         if self.cores[core].work.is_some() {
             return; // Busy; it will rerun at WorkDone.
         }
@@ -248,6 +445,7 @@ impl ZygosModel {
         if !self.cores[core].remote_sys.is_empty() {
             let batch = std::mem::take(&mut self.cores[core].remote_sys);
             let dur = (cost.remote_syscall_ns + cost.stack_tx_per_msg_ns) * batch.len() as u64;
+            self.note_busy(now, 1, true);
             let c = &mut self.cores[core];
             c.work = Some(Work::RemoteTx { batch });
             c.epoch += 1;
@@ -262,11 +460,25 @@ impl ZygosModel {
             return;
         }
 
+        // 1b. Aged background connection: a preempted remainder that has
+        // waited ≥ BG_AGING_QUANTA quanta outranks fresh work.
+        if let Some(&(conn, since)) = self.cores[core].bg.front() {
+            let age_bound = ns(self.quantum.quantum_ns().saturating_mul(BG_AGING_QUANTA));
+            if now.duration_since(since) >= age_bound {
+                self.cores[core].bg.pop_front();
+                debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
+                self.conns[conn as usize].st = ConnSt::Busy;
+                // Promoted by aging: overdue work is foreground demand.
+                self.begin_app(core, conn, cost.shuffle_op_ns, false, false, now, sched);
+                return;
+            }
+        }
+
         // 2. Own shuffle queue.
         if let Some(conn) = self.cores[core].shuffle.pop_front() {
             debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
             self.conns[conn as usize].st = ConnSt::Busy;
-            self.begin_app(core, conn, cost.shuffle_op_ns, false, now, sched);
+            self.begin_app(core, conn, cost.shuffle_op_ns, false, false, now, sched);
             return;
         }
 
@@ -278,6 +490,7 @@ impl ZygosModel {
                 .collect();
             let dur = cost.driver_batch_fixed_ns
                 + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
+            self.note_busy(now, 1, true);
             let c = &mut self.cores[core];
             c.work = Some(Work::Net { batch });
             c.epoch += 1;
@@ -300,7 +513,7 @@ impl ZygosModel {
         }
         let mut stolen_conn = None;
         for &v in &victims {
-            if v == core {
+            if v == core || !self.cores[v].active {
                 continue;
             }
             if let Some(conn) = self.cores[v].shuffle.pop_front() {
@@ -317,9 +530,39 @@ impl ZygosModel {
                 conn,
                 cost.shuffle_op_ns + cost.steal_extra_ns,
                 true,
+                false,
                 now,
                 sched,
             );
+            return;
+        }
+
+        // 4b. Background (preempted) connections — own queue, then steal.
+        // They run only when no fresh work is visible anywhere: a
+        // quantum-expired request is known long, and deferring it behind
+        // everything short is the approximate-SJF move that bounds the
+        // dispersive tail (Shinjuku's main/preempted two-level queue).
+        let mut bg_conn = None;
+        let mut bg_extra = cost.shuffle_op_ns;
+        if let Some((conn, _)) = self.cores[core].bg.pop_front() {
+            bg_conn = Some((conn, false));
+        } else {
+            for &v in &victims {
+                if v == core || !self.cores[v].active {
+                    continue;
+                }
+                if let Some((conn, _)) = self.cores[v].bg.pop_front() {
+                    bg_conn = Some((conn, true));
+                    bg_extra += cost.steal_extra_ns;
+                    break;
+                }
+            }
+        }
+        if let Some((conn, stolen)) = bg_conn {
+            self.victims = victims;
+            debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
+            self.conns[conn as usize].st = ConnSt::Busy;
+            self.begin_app(core, conn, bg_extra, stolen, true, now, sched);
             return;
         }
 
@@ -330,7 +573,7 @@ impl ZygosModel {
         if self.ipis_enabled {
             let mut target = None;
             for &v in &victims {
-                if v == core {
+                if v == core || !self.cores[v].active {
                     continue;
                 }
                 if !self.cores[v].ring.is_empty()
@@ -354,7 +597,12 @@ impl ZygosModel {
         if self.cores[core].epoch != epoch {
             return; // Invalidated by an IPI extension.
         }
-        let work = self.cores[core].work.take().expect("work present at WorkDone");
+        let work = self.cores[core]
+            .work
+            .take()
+            .expect("work present at WorkDone");
+        let was_bg = matches!(work, Work::App { bg: true, .. });
+        self.note_busy(now, -1, !was_bg);
         match work {
             Work::Net { batch } => {
                 self.apply_net_batch(core, batch, sched);
@@ -369,11 +617,14 @@ impl ZygosModel {
                 cur,
                 mut rest,
                 stolen,
+                bg,
             } => {
                 if stolen {
                     self.stolen_events += 1;
-                    // Ship the response home; the home core transmits.
-                    let home = cur.home as usize;
+                    // Ship the response home; the home core (or, in
+                    // elastic mode, whichever core serves its queues)
+                    // transmits.
+                    let home = self.serving_core(cur.home as usize);
                     self.cores[home].remote_sys.push(cur);
                     if self.cores[home].is_idle() {
                         self.wake(home, sched);
@@ -387,23 +638,7 @@ impl ZygosModel {
                 if let Some(next) = rest.pop_front() {
                     // Continue the connection's event batch (implicit
                     // per-flow batching, §6.2).
-                    let dur = ns(self.event_exec_ns(&next, stolen));
-                    let c = &mut self.cores[core];
-                    c.work = Some(Work::App {
-                        conn,
-                        cur: next,
-                        rest,
-                        stolen,
-                    });
-                    c.epoch += 1;
-                    c.end = now + dur;
-                    sched.at(
-                        c.end,
-                        Ev::WorkDone {
-                            core,
-                            epoch: c.epoch,
-                        },
-                    );
+                    self.schedule_app_chunk(core, conn, next, rest, stolen, bg, 0, now, sched);
                     return;
                 }
                 // Batch finished: Figure 5 transition out of busy.
@@ -412,7 +647,7 @@ impl ZygosModel {
                     connref.st = ConnSt::Idle;
                 } else {
                     connref.st = ConnSt::Ready;
-                    let home = self.source.home_of(conn) as usize;
+                    let home = self.serving_core(self.source.home_of(conn) as usize);
                     self.cores[home].shuffle.push_back(conn);
                     self.wake_idle(sched);
                 }
@@ -420,6 +655,138 @@ impl ZygosModel {
         }
         // Re-enter the scheduling loop.
         self.run_core(core, now, sched);
+    }
+
+    /// Quantum expiry: requeue the remainder of the interrupted request at
+    /// the back of its serving core's shuffle queue, behind any shorter
+    /// requests that arrived meanwhile — the anti-head-of-line move.
+    fn preempt(&mut self, core: usize, epoch: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.cores[core].epoch != epoch {
+            return; // Invalidated (e.g. an IPI extended the chunk).
+        }
+        let remaining = self.cores[core].slice_remaining_ns;
+        self.cores[core].slice_remaining_ns = 0;
+        let work = self.cores[core]
+            .work
+            .take()
+            .expect("work present at Preempt");
+        let was_bg = matches!(work, Work::App { bg: true, .. });
+        self.note_busy(now, -1, !was_bg);
+        let Work::App {
+            conn,
+            mut cur,
+            rest,
+            ..
+        } = work
+        else {
+            unreachable!("only application chunks are sliced");
+        };
+        debug_assert!(remaining > 0, "preempted chunk must have a remainder");
+        self.preemptions += 1;
+        cur.service = SimDuration::from_nanos(remaining);
+        // Requeue: the remainder stays the connection's oldest event (so
+        // per-connection ordering holds), followed by the rest of the taken
+        // batch, then anything that arrived during the slice.
+        let connref = &mut self.conns[conn as usize];
+        debug_assert_eq!(connref.st, ConnSt::Busy);
+        let arrived = std::mem::take(&mut connref.pending);
+        connref.pending.push_back(cur);
+        connref.pending.extend(rest);
+        connref.pending.extend(arrived);
+        connref.st = ConnSt::Ready;
+        let home = self.serving_core(self.source.home_of(conn) as usize);
+        self.cores[home].bg.push_back((conn, now));
+        self.wake_idle(sched);
+        // The interrupted core re-enters its scheduling loop (the handler
+        // cost was charged inside the chunk).
+        self.run_core(core, now, sched);
+    }
+
+    /// Elastic-controller tick: observe load, apply the allocator's
+    /// decision, reschedule.
+    fn control(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.note_busy(now, 0, true); // Flush the busy integrals up to `now`.
+        let busy_integral = self.fg_busy.integral_ns;
+        let Some(elastic) = &mut self.elastic else {
+            return;
+        };
+        // Utilization, time-averaged since the previous tick: instantaneous
+        // busy-core counts swing wildly under bursty Poisson arrivals.
+        let dt = now.as_nanos() - elastic.last_ctl_ns;
+        let busy = if dt == 0 {
+            self.fg_busy.count as f64
+        } else {
+            (busy_integral - elastic.last_ctl_busy_integral) as f64 / dt as f64
+        };
+        elastic.last_ctl_busy_integral = busy_integral;
+        elastic.last_ctl_ns = now.as_nanos();
+        // Backlog = work waiting involuntarily. Un-aged background entries
+        // are deferred *by policy* (they run in idle gaps) and would
+        // otherwise read as queue pressure that blocks parking at low
+        // load; only overdue (aged) entries count.
+        let age_bound = ns(self.quantum.quantum_ns().saturating_mul(BG_AGING_QUANTA));
+        let mut backlog = 0;
+        for c in &self.cores {
+            if c.active {
+                backlog += c.ring.len() + c.shuffle.len() + c.remote_sys.len();
+                backlog +=
+                    c.bg.iter()
+                        .filter(|&&(_, since)| now.duration_since(since) >= age_bound)
+                        .count();
+            }
+        }
+        let decision = elastic.allocator.observe(LoadSignal {
+            busy_cores: busy,
+            backlog,
+        });
+        if elastic.trace {
+            eprintln!(
+                "ctl t={:.0}us busy={busy:.2} backlog={backlog} util~{:.2} press~{:.2} active={} -> {decision:?}",
+                now.as_micros_f64(),
+                elastic.allocator.util_ewma(),
+                elastic.allocator.press_ewma(),
+                elastic.allocator.active(),
+            );
+        }
+        let target = elastic.allocator.active();
+        let period = elastic.period;
+        if decision != Decision::Hold {
+            self.apply_allocation(target, now, sched);
+        }
+        sched.after(period, Ev::Control);
+    }
+
+    /// Reconfigures the data plane to `target` granted cores: cores
+    /// `[0, target)` are active, the rest park after draining their queues
+    /// into an active core (modeling RSS indirection-table reprogramming
+    /// plus queue migration — both controller-side, off the data path).
+    fn apply_allocation(&mut self, target: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let n = self.cores.len();
+        for i in 0..n {
+            let was = self.cores[i].active;
+            self.cores[i].active = i < target;
+            if was && !self.cores[i].active {
+                // Drain a newly parked core into its redirect target.
+                let dst = i % target;
+                let ring: Vec<Req> = self.cores[i].ring.drain(..).collect();
+                let shuffle: Vec<u32> = self.cores[i].shuffle.drain(..).collect();
+                let bg: Vec<(u32, SimTime)> = self.cores[i].bg.drain(..).collect();
+                let remote: Vec<Req> = self.cores[i].remote_sys.drain(..).collect();
+                self.cores[dst].ring.extend(ring);
+                self.cores[dst].shuffle.extend(shuffle);
+                self.cores[dst].bg.extend(bg);
+                self.cores[dst].remote_sys.extend(remote);
+                self.wake(dst, sched);
+            } else if !was && self.cores[i].active {
+                self.wake(i, sched);
+            }
+        }
+        if let Some(e) = &mut self.elastic {
+            for (home, slot) in e.redirect.iter_mut().enumerate() {
+                *slot = if home < target { home } else { home % target };
+            }
+            e.meter.set_active(now.as_nanos(), target);
+        }
     }
 
     fn ipi(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
@@ -452,20 +819,46 @@ impl ZygosModel {
             }
         }
         // The interrupted application event finishes later by the handler's
-        // execution time: invalidate and reschedule its completion.
+        // execution time: invalidate and reschedule its completion (or its
+        // quantum expiry, if the chunk is a preemption slice).
         let ext = ns(ext_ns);
         let c = &mut self.cores[core];
         c.end += ext;
         c.epoch += 1;
         let (end, epoch) = (c.end, c.epoch);
-        sched.at(end, Ev::WorkDone { core, epoch });
+        if c.slice_remaining_ns > 0 {
+            sched.at(end, Ev::Preempt { core, epoch });
+        } else {
+            sched.at(end, Ev::WorkDone { core, epoch });
+        }
     }
 
-    pub(crate) fn into_output(self, final_time: SimTime) -> SysOutput {
+    pub(crate) fn into_output(mut self, final_time: SimTime) -> SysOutput {
+        self.note_busy(final_time, 0, true);
+        if std::env::var_os("ZYGOS_ELASTIC_TRACE").is_some() {
+            eprintln!(
+                "run avg_busy={:.2} (fg {:.2}) over {:.0}us",
+                self.busy.integral_ns as f64 / final_time.as_nanos().max(1) as f64,
+                self.fg_busy.integral_ns as f64 / final_time.as_nanos().max(1) as f64,
+                final_time.as_micros_f64()
+            );
+        }
         let sim_time_us = if self.rec.window_us() > 0.0 {
             self.rec.window_us()
         } else {
             final_time.as_micros_f64()
+        };
+        let avg_active_cores = match &self.elastic {
+            // Average over the measurement window when we have its start
+            // snapshot; otherwise over the whole run.
+            Some(e) => match e.meas_snapshot {
+                Some((t0, core_ns0)) if final_time.as_nanos() > t0 => {
+                    (e.meter.core_ns(final_time.as_nanos()) - core_ns0) as f64
+                        / (final_time.as_nanos() - t0) as f64
+                }
+                _ => e.meter.avg_cores(final_time.as_nanos(), 0),
+            },
+            None => self.cfg.cores as f64,
         };
         SysOutput {
             latency: self.rec.latency.clone(),
@@ -474,6 +867,8 @@ impl ZygosModel {
             local_events: self.local_events,
             stolen_events: self.stolen_events,
             ipis: self.ipis_delivered,
+            preemptions: self.preemptions,
+            avg_active_cores,
         }
     }
 }
@@ -486,6 +881,11 @@ impl Model for ZygosModel {
             sched.stop();
             return;
         }
+        if let Some(e) = &mut self.elastic {
+            if e.meas_snapshot.is_none() && self.rec.measurement_started() {
+                e.meas_snapshot = Some((now.as_nanos(), e.meter.core_ns(now.as_nanos())));
+            }
+        }
         match ev {
             Ev::Gen => {
                 let req = self.source.next_req(now);
@@ -494,13 +894,13 @@ impl Model for ZygosModel {
                 sched.after(gap, Ev::Gen);
             }
             Ev::Packet(req) => {
-                let home = req.home as usize;
+                let home = self.serving_core(req.home as usize);
                 self.cores[home].ring.push_back(req);
                 if self.cores[home].is_idle() {
                     self.wake(home, sched);
                 } else if self.ipis_enabled
                     && self.cores[home].in_app()
-                    && self.cores.iter().any(|c| c.is_idle())
+                    && self.cores.iter().any(|c| c.active && c.is_idle())
                 {
                     // An idle core's poll sweep (steps c–d) would spot this
                     // packet almost immediately and interrupt the home core.
@@ -510,18 +910,26 @@ impl Model for ZygosModel {
             Ev::Run(core) => self.run_core(core, now, sched),
             Ev::WorkDone { core, epoch } => self.work_done(core, epoch, now, sched),
             Ev::Ipi(core) => self.ipi(core, now, sched),
+            Ev::Preempt { core, epoch } => self.preempt(core, epoch, now, sched),
+            Ev::Control => self.control(now, sched),
         }
     }
 }
 
-/// Runs the ZygOS (or ZygOS-no-interrupts) system simulation.
+/// Runs the ZygOS-family system simulation (static, no-interrupts, or
+/// elastic).
 pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
     debug_assert!(matches!(
         cfg.system,
-        SystemKind::Zygos | SystemKind::ZygosNoInterrupts
+        SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. }
     ));
-    let mut engine = Engine::new(ZygosModel::new(cfg.clone()));
+    let model = ZygosModel::new(cfg.clone());
+    let elastic = model.is_elastic();
+    let mut engine = Engine::new(model);
     engine.schedule(SimTime::ZERO, Ev::Gen);
+    if elastic {
+        engine.schedule(SimTime::ZERO, Ev::Control);
+    }
     engine.run();
     let now = engine.now();
     engine.into_model().into_output(now)

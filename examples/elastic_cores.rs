@@ -1,0 +1,63 @@
+//! Elastic core allocation over a diurnal load schedule.
+//!
+//! Drives `SystemKind::Elastic` (with the preemptive quantum) through a
+//! day-shaped sequence of load phases — trough, ramp, peak, ramp-down —
+//! and prints, per phase, the p99 and the cores actually granted, plus the
+//! core-seconds saved against a static 16-core allocation.
+//!
+//! ```text
+//! cargo run --release --example elastic_cores
+//! ```
+
+use zygos::sim::dist::ServiceDist;
+use zygos::sysim::{run_system, SysConfig, SystemKind};
+
+fn main() {
+    // A scaled day: each phase is one simulation at that phase's load.
+    let phases: &[(&str, f64)] = &[
+        ("night trough", 0.10),
+        ("morning ramp", 0.30),
+        ("midday", 0.50),
+        ("evening peak", 0.65),
+        ("wind-down", 0.30),
+        ("late night", 0.15),
+    ];
+    let service = ServiceDist::exponential_us(10.0);
+
+    println!("diurnal schedule over exponential(10us), 16-core server");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>10} {:>10}",
+        "phase", "load", "static p99", "elastic p99", "cores", "saved"
+    );
+    let mut static_core_secs = 0.0;
+    let mut elastic_core_secs = 0.0;
+    for &(name, load) in phases {
+        let mut stat = SysConfig::paper(SystemKind::Zygos, service.clone(), load);
+        stat.requests = 30_000;
+        stat.warmup = 5_000;
+        let s = run_system(&stat);
+
+        let mut cfg = SysConfig::paper(SystemKind::Elastic { min_cores: 2 }, service.clone(), load);
+        cfg.requests = 30_000;
+        cfg.warmup = 5_000;
+        cfg.preemption_quantum_us = 25.0;
+        let e = run_system(&cfg);
+
+        static_core_secs += s.core_seconds_used();
+        elastic_core_secs += e.core_seconds_used();
+        println!(
+            "{:<14} {:>6.2} {:>10.1}us {:>10.1}us {:>10.2} {:>9.0}%",
+            name,
+            load,
+            s.p99_us(),
+            e.p99_us(),
+            e.avg_active_cores,
+            100.0 * (1.0 - e.avg_active_cores / 16.0),
+        );
+    }
+    println!(
+        "\ntotal core-seconds: static {static_core_secs:.3}, elastic {elastic_core_secs:.3} \
+         ({:.0}% saved over the day)",
+        100.0 * (1.0 - elastic_core_secs / static_core_secs)
+    );
+}

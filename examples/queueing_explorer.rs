@@ -31,7 +31,10 @@ fn main() {
     };
 
     println!("n = 16 servers, S = 1, {dist_name} service times, load = {load:.2}");
-    println!("{:<18} {:>10} {:>10} {:>10}", "model", "mean", "p99", "p99.9");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "model", "mean", "p99", "p99.9"
+    );
     for policy in Policy::ALL {
         let out = simulate(&QueueConfig {
             servers: 16,

@@ -29,7 +29,10 @@ fn main() {
     for id in 0..requests {
         sent_at[id as usize] = Instant::now();
         let conn = ConnId((id % conns as u64) as u32);
-        client.send(conn, &RpcMessage::new(1, id, bytes::Bytes::from_static(b"ping")));
+        client.send(
+            conn,
+            &RpcMessage::new(1, id, bytes::Bytes::from_static(b"ping")),
+        );
         // A small pipelining window keeps the server busy without flooding.
         if id % 64 == 63 {
             for _ in 0..64 {
@@ -41,9 +44,7 @@ fn main() {
     }
     while recorder.count() < requests {
         match client.recv_timeout(Duration::from_secs(10)) {
-            Some((_, resp)) => {
-                recorder.record_std(sent_at[resp.header.req_id as usize].elapsed())
-            }
+            Some((_, resp)) => recorder.record_std(sent_at[resp.header.req_id as usize].elapsed()),
             None => break,
         }
     }

@@ -37,7 +37,7 @@ impl RpcApp for SiloApp {
             // Clone a forked generator so the lock is not held during
             // transaction execution.
             let mut shared = self.rng.lock();
-            
+
             TpccRng::new(shared.uniform(0, u64::MAX - 1))
         };
         let out = self.tpcc.run(kind, &mut rng);

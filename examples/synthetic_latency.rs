@@ -18,7 +18,10 @@ fn main() {
     ];
     let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
     println!("synthetic RPC benchmark: 16 cores, exponential S = 10us, SLO = 100us (10x S)");
-    println!("{:<28} {:>10} {:>12} {:>10}", "system", "MRPS", "p99 (us)", "steals %");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "system", "MRPS", "p99 (us)", "steals %"
+    );
     for system in systems {
         let mut cfg = SysConfig::paper(system, ServiceDist::exponential_us(10.0), 0.5);
         cfg.requests = 30_000;
@@ -46,6 +49,11 @@ fn main() {
     cfg.requests = 30_000;
     cfg.warmup = 6_000;
     for p in latency_throughput_sweep(&cfg, &loads) {
-        println!("  {:>6.3} MRPS -> {:>8.1} us (steals {:>4.1}%)", p.mrps, p.p99_us, 100.0 * p.steal_fraction);
+        println!(
+            "  {:>6.3} MRPS -> {:>8.1} us (steals {:>4.1}%)",
+            p.mrps,
+            p.p99_us,
+            100.0 * p.steal_fraction
+        );
     }
 }

@@ -13,7 +13,16 @@
 //! * [`core`] — the paper's contribution as reusable machinery: shuffle
 //!   queues, per-connection state machines, idle-loop policy, IPI doorbells.
 //! * [`sysim`] — the full-system simulator with the ZygOS, IX and Linux
-//!   system models used to regenerate every figure.
+//!   system models used to regenerate every figure, plus the
+//!   `SystemKind::Elastic` model combining them with the `sched` control
+//!   plane.
+//! * [`sched`] — the elastic control plane grown beyond the paper:
+//!   a hysteretic core allocator with square-root staffing (Shenango-style
+//!   core reallocation), a preemptive quantum policy with a two-level
+//!   preempted queue (Shinjuku-style microsecond preemption), and the
+//!   core gate the live runtime uses to park workers. Knobs:
+//!   `SysConfig::preemption_quantum_us`, `ElasticKnobs`, and
+//!   `SchedulerKind::Elastic { steal, quantum_events }`.
 //! * [`silo`] — a Silo-style OCC in-memory transactional database with a
 //!   complete TPC-C implementation.
 //! * [`kv`] — a memcached-like key-value store with USR/ETC workloads.
@@ -29,6 +38,7 @@ pub use zygos_kv as kv;
 pub use zygos_load as load;
 pub use zygos_net as net;
 pub use zygos_runtime as runtime;
+pub use zygos_sched as sched;
 pub use zygos_silo as silo;
 pub use zygos_sim as sim;
 pub use zygos_sysim as sysim;

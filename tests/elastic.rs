@@ -1,0 +1,118 @@
+//! Acceptance tests for the elastic-scheduling subsystem (`zygos-sched` +
+//! `SystemKind::Elastic` + `preemption_quantum_us`).
+//!
+//! The headline claims, asserted on the bimodal(99.5% × 0.5µs,
+//! 0.5% × 500µs) mix reported by `fig12_elastic`:
+//!
+//! * at high load (≥ 0.7), elastic ZygOS with a nonzero preemption quantum
+//!   achieves **lower p99** than static ZygOS — the quantum bounds the
+//!   head-of-line blocking that connection-granularity stealing cannot
+//!   remove once every core holds a 500µs request;
+//! * at low load (≤ 0.3), it uses **fewer core-seconds** than the static
+//!   16-core allocation.
+//!
+//! The simulator is deterministic (fixed seeds, integer time), so these
+//! comparisons are exact regressions, not statistical ones.
+
+use zygos::sim::dist::ServiceDist;
+use zygos::sysim::{run_system, SysConfig, SystemKind};
+// The same mix and quantum the figure sweeps — imported, not duplicated,
+// so this test always certifies what fig12 reports.
+use zygos_bench::fig12_elastic::{bimodal_99_5, QUANTUM_US};
+
+fn cfg(system: SystemKind, load: f64, quantum_us: f64) -> SysConfig {
+    let mut c = SysConfig::paper(system, bimodal_99_5(), load);
+    c.requests = 25_000;
+    c.warmup = 4_000;
+    c.preemption_quantum_us = quantum_us;
+    c
+}
+
+const ELASTIC: SystemKind = SystemKind::Elastic { min_cores: 2 };
+
+#[test]
+fn preemptive_quantum_beats_static_zygos_p99_at_high_load() {
+    for load in [0.7, 0.75] {
+        let stat = run_system(&cfg(SystemKind::Zygos, load, 0.0));
+        let elastic = run_system(&cfg(ELASTIC, load, QUANTUM_US));
+        assert!(elastic.preemptions > 0, "quantum must fire at load {load}");
+        assert!(
+            elastic.p99_us() < stat.p99_us(),
+            "load {load}: elastic p99 {} must beat static {}",
+            elastic.p99_us(),
+            stat.p99_us()
+        );
+    }
+}
+
+#[test]
+fn elastic_uses_fewer_core_seconds_at_low_load() {
+    let load = 0.3;
+    let stat = run_system(&cfg(SystemKind::Zygos, load, 0.0));
+    let elastic = run_system(&cfg(ELASTIC, load, QUANTUM_US));
+    // Static burns all 16 cores (busy-polling) for the whole window.
+    assert_eq!(stat.avg_active_cores, 16.0);
+    assert!(
+        elastic.avg_active_cores < 0.9 * 16.0,
+        "elastic must park cores at low load: {:.2} granted on average",
+        elastic.avg_active_cores
+    );
+    assert!(
+        elastic.core_seconds_used() < stat.core_seconds_used(),
+        "elastic core-seconds {:.4} vs static {:.4}",
+        elastic.core_seconds_used(),
+        stat.core_seconds_used()
+    );
+    // The latency cost of parking stays within an order of magnitude of
+    // the (excellent) static tail.
+    assert!(
+        elastic.p99_us() < 10.0 * stat.p99_us(),
+        "parked-mode p99 {} vs static {}",
+        elastic.p99_us(),
+        stat.p99_us()
+    );
+}
+
+#[test]
+fn elastic_parks_deeply_on_low_dispersion_low_load() {
+    // Exponential 10µs at 20% load: most of the fleet is parked.
+    let mut c = SysConfig::paper(ELASTIC, ServiceDist::exponential_us(10.0), 0.2);
+    c.requests = 25_000;
+    c.warmup = 4_000;
+    c.preemption_quantum_us = QUANTUM_US;
+    let out = run_system(&c);
+    assert_eq!(out.completed, 25_000);
+    assert!(
+        out.avg_active_cores < 10.0,
+        "expected deep parking, got {:.2} cores",
+        out.avg_active_cores
+    );
+    assert!(out.p99_us() < 200.0, "p99 = {}", out.p99_us());
+}
+
+#[test]
+fn zero_quantum_never_preempts_and_full_grant_matches_static_shape() {
+    let out = run_system(&cfg(ELASTIC, 0.75, 0.0));
+    assert_eq!(out.preemptions, 0);
+    // At sustained overload the controller keeps (nearly) everything
+    // granted: parking under pressure would be a controller bug.
+    assert!(
+        out.avg_active_cores > 15.0,
+        "overload must keep the fleet granted: {:.2}",
+        out.avg_active_cores
+    );
+}
+
+#[test]
+fn static_systems_report_static_core_usage() {
+    let out = run_system(&cfg(SystemKind::Zygos, 0.5, 0.0));
+    assert_eq!(out.avg_active_cores, 16.0);
+    assert_eq!(out.preemptions, 0);
+    let ix = run_system(&{
+        let mut c = SysConfig::paper(SystemKind::Ix, ServiceDist::exponential_us(10.0), 0.4);
+        c.requests = 10_000;
+        c.warmup = 2_000;
+        c
+    });
+    assert_eq!(ix.avg_active_cores, 16.0);
+}

@@ -28,18 +28,28 @@ fn kv_store_served_by_zygos_runtime() {
     // Write then read back 500 keys across all connections.
     for i in 0..500u64 {
         let key = format!("key-{i:04}");
-        client.send(ConnId((i % 16) as u32), &encode_set(i, key.as_bytes(), &i.to_le_bytes()));
+        client.send(
+            ConnId((i % 16) as u32),
+            &encode_set(i, key.as_bytes(), &i.to_le_bytes()),
+        );
     }
     for _ in 0..500 {
-        let (_, resp) = client.recv_timeout(Duration::from_secs(10)).expect("set resp");
+        let (_, resp) = client
+            .recv_timeout(Duration::from_secs(10))
+            .expect("set resp");
         assert_eq!(resp.header.opcode, 2);
     }
     for i in 0..500u64 {
         let key = format!("key-{i:04}");
-        client.send(ConnId((i % 16) as u32), &encode_get(1_000 + i, key.as_bytes()));
+        client.send(
+            ConnId((i % 16) as u32),
+            &encode_get(1_000 + i, key.as_bytes()),
+        );
     }
     for _ in 0..500 {
-        let (_, resp) = client.recv_timeout(Duration::from_secs(10)).expect("get resp");
+        let (_, resp) = client
+            .recv_timeout(Duration::from_secs(10))
+            .expect("get resp");
         assert_eq!(resp.body[0], 1, "hit expected");
         let i = resp.header.req_id - 1_000;
         assert_eq!(&resp.body[1..], &i.to_le_bytes(), "value matches key");
@@ -84,7 +94,10 @@ fn silo_tpcc_served_by_zygos_runtime() {
     let n = 300u64;
     for id in 0..n {
         let opcode = mix.uniform(0, 4) as u16;
-        client.send(ConnId((id % 8) as u32), &RpcMessage::new(opcode, id, bytes::Bytes::new()));
+        client.send(
+            ConnId((id % 8) as u32),
+            &RpcMessage::new(opcode, id, bytes::Bytes::new()),
+        );
     }
     let mut ok = 0;
     for _ in 0..n {
@@ -112,7 +125,10 @@ fn open_loop_schedule_drives_runtime_within_slo() {
             std::thread::sleep(wait);
         }
         sent.push(std::time::Instant::now());
-        client.send(ConnId(a.conn), &RpcMessage::new(1, i as u64, bytes::Bytes::new()));
+        client.send(
+            ConnId(a.conn),
+            &RpcMessage::new(1, i as u64, bytes::Bytes::new()),
+        );
         // Drain whatever has arrived.
         while let Some((_, resp)) = client.recv_timeout(Duration::from_micros(10)) {
             recorder.record_std(sent[resp.header.req_id as usize].elapsed());
@@ -120,9 +136,7 @@ fn open_loop_schedule_drives_runtime_within_slo() {
     }
     while recorder.count() < schedule.len() as u64 {
         match client.recv_timeout(Duration::from_secs(5)) {
-            Some((_, resp)) => {
-                recorder.record_std(sent[resp.header.req_id as usize].elapsed())
-            }
+            Some((_, resp)) => recorder.record_std(sent[resp.header.req_id as usize].elapsed()),
             None => break,
         }
     }
@@ -130,16 +144,17 @@ fn open_loop_schedule_drives_runtime_within_slo() {
     assert_eq!(hist.count(), schedule.len() as u64);
     // Loose sanity SLO: echo at 10 KRPS on idle cores stays under 50ms p99
     // even on a heavily shared 1-CPU host.
-    assert!(Slo::p99(50_000.0).met_by(&hist), "p99 = {}us", hist.p99_us());
+    assert!(
+        Slo::p99(50_000.0).met_by(&hist),
+        "p99 = {}us",
+        hist.p99_us()
+    );
     server.shutdown();
 }
 
 #[test]
 fn ordering_preserved_across_all_scheduler_modes() {
-    for cfg in [
-        RuntimeConfig::zygos(4, 4),
-        RuntimeConfig::partitioned(4, 4),
-    ] {
+    for cfg in [RuntimeConfig::zygos(4, 4), RuntimeConfig::partitioned(4, 4)] {
         let (server, client) = Server::start(cfg.clone(), Arc::new(EchoApp));
         let per_conn = 100u64;
         for seq in 0..per_conn {
@@ -155,7 +170,8 @@ fn ordering_preserved_across_all_scheduler_modes() {
             let (conn, resp) = client.recv_timeout(Duration::from_secs(20)).expect("resp");
             let seq = resp.header.req_id & 0xFFFF_FFFF;
             assert_eq!(
-                seq, next[conn.index()],
+                seq,
+                next[conn.index()],
                 "ordering violated in {:?}",
                 cfg.scheduler
             );

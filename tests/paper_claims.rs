@@ -138,7 +138,10 @@ fn fig10a_multimodal_service_times() {
         delivery > 1.5 * payment,
         "delivery {delivery}us vs payment {payment}us"
     );
-    assert!(stock > 1.5 * payment, "stock {stock}us vs payment {payment}us");
+    assert!(
+        stock > 1.5 * payment,
+        "stock {stock}us vs payment {payment}us"
+    );
 }
 
 /// Table 1's ordering: serving the measured TPC-C mix, ZygOS sustains more
@@ -150,11 +153,11 @@ fn table1_system_ordering() {
     let service = ServiceDist::empirical_us(
         (0..10_000)
             .map(|i| match i % 100 {
-                0..=44 => 25.0,  // NewOrder-ish.
-                45..=87 => 12.0, // Payment-ish.
-                88..=91 => 20.0, // OrderStatus-ish.
+                0..=44 => 25.0,   // NewOrder-ish.
+                45..=87 => 12.0,  // Payment-ish.
+                88..=91 => 20.0,  // OrderStatus-ish.
                 92..=95 => 220.0, // Delivery-ish.
-                _ => 120.0,      // StockLevel-ish.
+                _ => 120.0,       // StockLevel-ish.
             })
             .collect(),
     );

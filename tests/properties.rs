@@ -128,8 +128,7 @@ fn shuffle_layer_matches_reference_model() {
         Busy,
     }
     let mut mstate = [MState::Idle; CONNS];
-    let mut mqueues: Vec<std::collections::VecDeque<usize>> =
-        vec![Default::default(); CORES];
+    let mut mqueues: Vec<std::collections::VecDeque<usize>> = vec![Default::default(); CORES];
     let mut mevents = vec![std::collections::VecDeque::new(); CONNS];
     let mut owned: Vec<usize> = Vec::new();
 
@@ -174,8 +173,8 @@ fn shuffle_layer_matches_reference_model() {
             }
             _ => {
                 // take events + finish an owned connection.
-                if let Some(pos) = (!owned.is_empty())
-                    .then(|| rng.next_bounded(owned.len() as u64) as usize)
+                if let Some(pos) =
+                    (!owned.is_empty()).then(|| rng.next_bounded(owned.len() as u64) as usize)
                 {
                     let c = owned.swap_remove(pos);
                     let events = layer.take_events(conns[c], usize::MAX);

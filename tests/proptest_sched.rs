@@ -1,0 +1,106 @@
+//! Property-based tests of the elastic core allocator (`zygos-sched`):
+//! conservation, bounds, and hysteresis under adversarial and sinusoidal
+//! load traces.
+
+use proptest::prelude::*;
+
+use zygos::sched::{AllocatorConfig, CoreAllocator, Decision, LoadSignal};
+
+fn cfg(max_cores: usize, min_cores: usize) -> AllocatorConfig {
+    AllocatorConfig {
+        min_cores,
+        max_cores,
+        ..AllocatorConfig::paper(max_cores)
+    }
+}
+
+proptest! {
+    /// Core-count conservation: every decision's size equals the change in
+    /// `active()`, and `active()` never leaves `[min_cores, max_cores]`,
+    /// for arbitrary signal sequences.
+    #[test]
+    fn core_count_is_conserved_and_bounded(
+        max in 2usize..64,
+        min_raw in 1usize..64,
+        trace in proptest::collection::vec((0u8..65, 0u16..2_000), 1..400),
+    ) {
+        let min = min_raw.min(max);
+        let mut a = CoreAllocator::new(cfg(max, min));
+        prop_assert_eq!(a.active(), max, "starts fully granted");
+        for (busy, backlog) in trace {
+            let before = a.active();
+            let d = a.observe(LoadSignal {
+                busy_cores: (busy as f64).min(before as f64),
+                backlog: backlog as usize,
+            });
+            let after = a.active();
+            match d {
+                Decision::Grant(k) => {
+                    prop_assert!(k > 0);
+                    prop_assert_eq!(after, before + k);
+                }
+                Decision::Revoke(k) => {
+                    prop_assert!(k > 0);
+                    prop_assert_eq!(after, before - k);
+                }
+                Decision::Hold => prop_assert_eq!(after, before),
+            }
+            prop_assert!((min..=max).contains(&after), "active {} outside [{min}, {max}]", after);
+            prop_assert_eq!(a.parked(), max - after);
+        }
+    }
+
+    /// Hysteresis bounds reallocation frequency: over any trace of `n`
+    /// ticks the allocator changes its grant at most
+    /// `n / (cooldown + min(grant_after, revoke_after)) + 1` times — even
+    /// under a sinusoidal load that crosses the thresholds every period.
+    #[test]
+    fn sinusoidal_load_cannot_thrash(
+        max in 4usize..33,
+        period_ticks in 4u32..200,
+        amplitude in 0.5f64..1.0,
+        phase in 0.0f64..6.25,
+        n in 100u32..1_500,
+    ) {
+        let c = cfg(max, 1);
+        let mut a = CoreAllocator::new(c);
+        let mut changes = 0u32;
+        for t in 0..n {
+            let x = phase + t as f64 / period_ticks as f64 * std::f64::consts::TAU;
+            // Demand swings between ~0 and ~amplitude·max cores.
+            let demand = amplitude * max as f64 * 0.5 * (1.0 + x.sin());
+            let busy = demand.min(a.active() as f64);
+            let backlog = (demand - busy).max(0.0) as usize;
+            if a.observe(LoadSignal { busy_cores: busy, backlog }) != Decision::Hold {
+                changes += 1;
+            }
+        }
+        let min_gap = c.tuning.cooldown + c.tuning.grant_after.min(c.tuning.revoke_after);
+        let bound = n / min_gap + 1;
+        prop_assert!(
+            changes <= bound,
+            "{changes} changes over {n} ticks exceeds hysteresis bound {bound}"
+        );
+    }
+
+    /// Sustained constant load converges: after enough ticks at a fixed
+    /// signal the allocator stops changing its mind (no limit cycles on a
+    /// flat input).
+    #[test]
+    fn constant_load_settles(
+        max in 4usize..33,
+        busy_frac in 0.0f64..1.0,
+    ) {
+        let mut a = CoreAllocator::new(cfg(max, 1));
+        let busy = busy_frac * max as f64;
+        for _ in 0..200 {
+            a.observe(LoadSignal { busy_cores: busy.min(a.active() as f64), backlog: 0 });
+        }
+        let settled = a.active();
+        for _ in 0..100 {
+            let d = a.observe(LoadSignal { busy_cores: busy.min(a.active() as f64), backlog: 0 });
+            prop_assert_eq!(d, Decision::Hold, "still changing after 200 warm ticks");
+        }
+        prop_assert_eq!(a.active(), settled);
+    }
+}
