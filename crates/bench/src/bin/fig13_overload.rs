@@ -1,0 +1,45 @@
+//! Regenerates Figure 13 (extension): overload behavior with and without
+//! credit-based admission control.
+//!
+//! Flags:
+//!
+//! * `--smoke` — reduced duration/arrival count and a 3-point load grid
+//!   (what CI runs);
+//! * `--check` — exit nonzero unless the acceptance claim holds: admitted
+//!   p99 within 2× the SLO at offered load ≥ 1.2 while the uncontrolled
+//!   policies diverge.
+//!
+//! `ZYGOS_FAST=1` also selects the reduced grid at the standard fast
+//! scale.
+
+use zygos_bench::{fig13, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let (scale, fast) = if smoke {
+        // Small enough for CI, large enough for the AIMD loop to settle
+        // (~50 control windows inside the warmup alone).
+        let scale = Scale {
+            requests: 8_000,
+            warmup: 2_000,
+            ..Scale::smoke()
+        };
+        (scale, true)
+    } else {
+        let fast = std::env::var("ZYGOS_FAST").is_ok_and(|v| v == "1");
+        (Scale::from_env(), fast)
+    };
+    let curves = fig13::run(&scale, fast);
+    fig13::print(&curves);
+    if check {
+        match fig13::check(&curves) {
+            Ok(()) => println!("# fig13 check OK"),
+            Err(e) => {
+                eprintln!("fig13 check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -12,7 +12,20 @@
 //!
 //! Each curve reports p99 **and** time-averaged granted cores, making the
 //! latency/core-seconds trade-off the figure's subject.
+//!
+//! The elastic system runs under both background-queue orders
+//! (`BackgroundOrder::{Fcfs, Srpt}`). Measured outcome on this mix:
+//! **FCFS-with-aging wins at p99** (e.g. 40µs vs 94µs at load 0.7).
+//! With a two-point distribution every preempted remainder starts from
+//! the same 500µs class, so SRPT's only effect is to run nearly-finished
+//! remainders first — which keeps *older, longer* remainders in the queue
+//! until they cross the aging bound and promote ahead of fresh short
+//! requests, exactly the head-of-line blocking the background queue
+//! exists to avoid. SRPT would need a service mix where remainders
+//! genuinely differ at preemption time (e.g. heavy-tailed, not
+//! two-point) to pay off; the knob stays for that regime.
 
+use zygos_sched::BackgroundOrder;
 use zygos_sim::dist::ServiceDist;
 use zygos_sysim::{latency_throughput_sweep, SweepPoint, SysConfig, SystemKind};
 
@@ -47,31 +60,53 @@ fn sweep(
     system: SystemKind,
     service: ServiceDist,
     quantum_us: f64,
+    bg_order: BackgroundOrder,
 ) -> Vec<SweepPoint> {
     let mut cfg = SysConfig::paper(system, service, 0.5);
     cfg.requests = scale.requests;
     cfg.warmup = scale.warmup;
     cfg.preemption_quantum_us = quantum_us;
+    cfg.background_order = bg_order;
     latency_throughput_sweep(&cfg, &scale.loads)
 }
 
 /// Runs one panel: static ZygOS, static IX, and elastic ZygOS with the
-/// preemptive quantum.
+/// preemptive quantum — the latter under both background-queue orders
+/// (FCFS-with-aging vs SRPT on the remaining-time stamps), which is the
+/// satellite comparison this figure carries.
 pub fn run_panel(scale: &Scale, panel: &str, service: ServiceDist) -> Vec<Curve> {
     let mut curves = Vec::new();
-    for (system, quantum, label) in [
-        (SystemKind::Zygos, 0.0, "ZygOS (static)".to_string()),
-        (SystemKind::Ix, 0.0, "IX (static)".to_string()),
+    const ELASTIC: SystemKind = SystemKind::Elastic { min_cores: 2 };
+    for (system, quantum, bg, label) in [
         (
-            SystemKind::Elastic { min_cores: 2 },
+            SystemKind::Zygos,
+            0.0,
+            BackgroundOrder::Fcfs,
+            "ZygOS (static)".to_string(),
+        ),
+        (
+            SystemKind::Ix,
+            0.0,
+            BackgroundOrder::Fcfs,
+            "IX (static)".to_string(),
+        ),
+        (
+            ELASTIC,
             QUANTUM_US,
+            BackgroundOrder::Fcfs,
             format!("ZygOS (elastic, q={QUANTUM_US}us)"),
+        ),
+        (
+            ELASTIC,
+            QUANTUM_US,
+            BackgroundOrder::Srpt,
+            format!("ZygOS (elastic, q={QUANTUM_US}us, srpt)"),
         ),
     ] {
         curves.push(Curve {
             panel: panel.to_string(),
             system: label,
-            points: sweep(scale, system, service.clone(), quantum),
+            points: sweep(scale, system, service.clone(), quantum, bg),
         });
     }
     curves
@@ -115,6 +150,23 @@ pub fn headline(curves: &[Curve]) {
     let (Some(stat), Some(elastic)) = (find("ZygOS (static)"), find("ZygOS (elastic")) else {
         return;
     };
+    // The SRPT-vs-FCFS background-order comparison on the dispersive mix.
+    if let Some(srpt) = curves
+        .iter()
+        .find(|c| c.panel == "bimodal-99.5-0.5" && c.system.contains("srpt"))
+    {
+        for (f, s) in elastic.points.iter().zip(&srpt.points) {
+            if f.load >= 0.69 {
+                println!(
+                    "# fig12 headline: load {:.2}: bg-queue SRPT p99 {:.0}us vs FCFS-with-aging {:.0}us ({})",
+                    f.load,
+                    s.p99_us,
+                    f.p99_us,
+                    if s.p99_us <= f.p99_us { "srpt wins" } else { "fcfs wins" }
+                );
+            }
+        }
+    }
     for (s, e) in stat.points.iter().zip(&elastic.points) {
         if s.load >= 0.69 {
             println!(

@@ -1,0 +1,194 @@
+//! Figure 13 (extension, not in the paper): overload behavior with and
+//! without credit-based admission control.
+//!
+//! Sweeps offered load **through and past saturation** (up to 1.5× the
+//! ideal capacity) on the paper's headline exponential/10µs workload:
+//!
+//! * **ZygOS (static)** and **ZygOS (elastic, q=25µs)** — the PR-1
+//!   policies: with no admission control, sustained `util > 1` grows the
+//!   queue without bound and every dispatch discipline's p99 diverges
+//!   together (the window keeps most of the divergence off-screen; it
+//!   grows with measurement length).
+//! * **ZygOS (credits)** — the same dispatch plane behind a
+//!   Breakwater-style [`zygos_sched::CreditPool`]: admitted in-flight
+//!   requests are bounded by AIMD-resized credits steering the window
+//!   tail to [`CREDIT_TARGET_US`], and the surplus is shed at the server
+//!   edge with explicit rejects.
+//!
+//! The claim the `--check` mode (and `tests/overload.rs`) enforces: at
+//! offered load ≥ 1.2, the credit system's **admitted-request p99 stays
+//! within 2× the SLO** while the uncontrolled policies blow through it.
+//! Each curve also reports goodput (admitted MRPS) and shed fraction —
+//! the price of the bounded tail, paid in explicit rejects rather than
+//! unbounded queueing.
+
+use zygos_sched::CreditConfig;
+use zygos_sim::dist::ServiceDist;
+use zygos_sysim::{latency_throughput_sweep, SweepPoint, SysConfig, SystemKind};
+
+use crate::fig12_elastic::QUANTUM_US;
+use crate::Scale;
+
+/// The SLO this figure is judged against: the paper's microbenchmark
+/// `10·S̄` at p99 for the exponential/10µs workload.
+pub const SLO_US: f64 = 100.0;
+
+/// The AIMD loop's window-tail target. Below the SLO by design: the
+/// controller must start shedding *before* the tail reaches the bound,
+/// and the window p99 is a noisy (small-sample) estimator.
+pub const CREDIT_TARGET_US: f64 = 70.0;
+
+/// Admitted-tail acceptance bound: within 2× the SLO at overload.
+pub const BOUND_US: f64 = 2.0 * SLO_US;
+
+/// The overload-focused load grid (fractions of ideal saturation).
+pub fn loads(fast: bool) -> Vec<f64> {
+    if fast {
+        vec![0.8, 1.2, 1.4]
+    } else {
+        vec![0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.35, 1.5]
+    }
+}
+
+/// The credit-gate configuration the figure (and the acceptance tests)
+/// use for a `cores`-wide plane.
+pub fn credit_config(cores: usize) -> CreditConfig {
+    CreditConfig::for_cores(cores, CREDIT_TARGET_US)
+}
+
+/// One system's overload curve.
+pub struct Curve {
+    /// System label.
+    pub system: String,
+    /// Per-load measurements.
+    pub points: Vec<SweepPoint>,
+}
+
+fn base(scale: &Scale) -> SysConfig {
+    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.5);
+    cfg.requests = scale.requests;
+    cfg.warmup = scale.warmup;
+    cfg
+}
+
+/// Runs the three curves over the overload grid.
+pub fn run(scale: &Scale, fast: bool) -> Vec<Curve> {
+    let grid = loads(fast);
+    let mut curves = Vec::new();
+
+    let stat = base(scale);
+    curves.push(Curve {
+        system: "ZygOS (static)".to_string(),
+        points: latency_throughput_sweep(&stat, &grid),
+    });
+
+    let mut elastic = base(scale);
+    elastic.system = SystemKind::Elastic { min_cores: 2 };
+    elastic.preemption_quantum_us = QUANTUM_US;
+    curves.push(Curve {
+        system: format!("ZygOS (elastic, q={QUANTUM_US}us)"),
+        points: latency_throughput_sweep(&elastic, &grid),
+    });
+
+    let mut credits = base(scale);
+    credits.admission = Some(credit_config(credits.cores));
+    curves.push(Curve {
+        system: "ZygOS (credits)".to_string(),
+        points: latency_throughput_sweep(&credits, &grid),
+    });
+
+    curves
+}
+
+/// Prints the figure: `p99`, `goodput` and `shed` series per system.
+pub fn print(curves: &[Curve]) {
+    crate::print_header(
+        "fig13",
+        "overload: admitted p99, goodput and shed fraction vs offered load (SLO 100us)",
+    );
+    for c in curves {
+        let p99: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.p99_us)).collect();
+        let goodput: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.mrps)).collect();
+        let shed: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.shed_fraction)).collect();
+        crate::print_series("fig13", "exp-10us", &format!("{}/p99", c.system), &p99);
+        crate::print_series(
+            "fig13",
+            "exp-10us",
+            &format!("{}/goodput", c.system),
+            &goodput,
+        );
+        crate::print_series("fig13", "exp-10us", &format!("{}/shed", c.system), &shed);
+    }
+    headline(curves);
+}
+
+fn find<'a>(curves: &'a [Curve], prefix: &str) -> Option<&'a Curve> {
+    curves.iter().find(|c| c.system.starts_with(prefix))
+}
+
+/// Prints the acceptance summary at overload points.
+pub fn headline(curves: &[Curve]) {
+    let (Some(stat), Some(credits)) = (
+        find(curves, "ZygOS (static)"),
+        find(curves, "ZygOS (credits)"),
+    ) else {
+        return;
+    };
+    for (s, c) in stat.points.iter().zip(&credits.points) {
+        if s.load >= 1.19 {
+            println!(
+                "# fig13 headline: load {:.2}: credits p99 {:.0}us (shed {:.0}%) vs static {:.0}us — bound 2xSLO = {:.0}us ({})",
+                s.load,
+                c.p99_us,
+                100.0 * c.shed_fraction,
+                s.p99_us,
+                BOUND_US,
+                if c.p99_us <= BOUND_US { "bounded" } else { "VIOLATED" }
+            );
+        }
+    }
+}
+
+/// CI gate: at every offered load ≥ 1.2 the credit system's admitted p99
+/// must sit within 2× the SLO while the uncontrolled PR-1 policies
+/// diverge past it. Returns a description of the first violation.
+pub fn check(curves: &[Curve]) -> Result<(), String> {
+    let stat = find(curves, "ZygOS (static)").ok_or("missing static curve")?;
+    let elastic = find(curves, "ZygOS (elastic").ok_or("missing elastic curve")?;
+    let credits = find(curves, "ZygOS (credits)").ok_or("missing credits curve")?;
+    let mut checked = 0;
+    for ((s, e), c) in stat.points.iter().zip(&elastic.points).zip(&credits.points) {
+        if s.load < 1.19 {
+            continue;
+        }
+        checked += 1;
+        if c.p99_us > BOUND_US {
+            return Err(format!(
+                "load {:.2}: credits p99 {:.0}us exceeds the 2xSLO bound {:.0}us",
+                c.load, c.p99_us, BOUND_US
+            ));
+        }
+        if c.shed_fraction <= 0.0 {
+            return Err(format!(
+                "load {:.2}: overload must shed, got shed fraction {}",
+                c.load, c.shed_fraction
+            ));
+        }
+        if s.p99_us <= BOUND_US {
+            return Err(format!(
+                "load {:.2}: static p99 {:.0}us should diverge past {:.0}us — overload too weak?",
+                s.load, s.p99_us, BOUND_US
+            ));
+        }
+        if e.p99_us <= BOUND_US {
+            return Err(format!(
+                "load {:.2}: elastic p99 {:.0}us should diverge past {:.0}us — overload too weak?",
+                e.load, e.p99_us, BOUND_US
+            ));
+        }
+    }
+    if checked == 0 {
+        return Err("no overload points (load >= 1.2) in the grid".to_string());
+    }
+    Ok(())
+}

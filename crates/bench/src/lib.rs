@@ -17,6 +17,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12_elastic;
+pub mod fig13;
 
 /// Experiment sizing knobs.
 #[derive(Clone, Debug)]

@@ -4,6 +4,14 @@
 //! latency must not exceed a bound": `10·S̄` for the microbenchmarks
 //! (Figures 3, 6, 7), 500µs for memcached (Figure 9), 1000µs for
 //! Silo/TPC-C (Figure 10b, Table 1).
+//!
+//! Beyond the paper, [`TenantSlos`] models a multi-tenant deployment where
+//! connections belong to named SLO classes with different bounds (e.g. an
+//! interactive class at `10·S̄` next to a batch class at `100·S̄`). The
+//! SLO-driven allocation policy (`zygos_sched::SloController`) staffs on
+//! the **worst relative margin** across classes — the maximum of
+//! `p99 / bound` — so one violated tenant is enough to hold or grant
+//! cores.
 
 use zygos_sim::stats::LatencyHistogram;
 
@@ -44,6 +52,98 @@ impl Slo {
     }
 }
 
+/// One named SLO class in a multi-tenant deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloClass {
+    /// Operator-facing class name (e.g. `"interactive"`, `"batch"`).
+    pub name: String,
+    /// The class's objective.
+    pub slo: Slo,
+}
+
+impl SloClass {
+    /// Creates a class.
+    pub fn new(name: impl Into<String>, slo: Slo) -> Self {
+        SloClass {
+            name: name.into(),
+            slo,
+        }
+    }
+}
+
+/// Per-tenant SLO classes: tenants (connections) are assigned to classes
+/// round-robin by id, which spreads every class across all home cores —
+/// the interesting regime, since a violated class then cannot be fixed by
+/// repartitioning alone.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSlos {
+    classes: Vec<SloClass>,
+}
+
+impl TenantSlos {
+    /// Builds a registry from at least one class.
+    pub fn new(classes: Vec<SloClass>) -> Self {
+        assert!(!classes.is_empty(), "need at least one SLO class");
+        TenantSlos { classes }
+    }
+
+    /// A single uniform class covering every tenant.
+    pub fn uniform(slo: Slo) -> Self {
+        TenantSlos::new(vec![SloClass::new("default", slo)])
+    }
+
+    /// The classes, in assignment order.
+    pub fn classes(&self) -> &[SloClass] {
+        &self.classes
+    }
+
+    /// The class index a tenant id maps to (round-robin).
+    pub fn class_of(&self, tenant: u32) -> usize {
+        tenant as usize % self.classes.len()
+    }
+
+    /// The strictest (lowest-bound) objective across classes — what a
+    /// single-histogram host must meet to satisfy every tenant.
+    pub fn strictest(&self) -> Slo {
+        self.classes
+            .iter()
+            .map(|c| c.slo)
+            .min_by(|a, b| a.bound_us.total_cmp(&b.bound_us))
+            .expect("non-empty")
+    }
+
+    /// The worst relative margin across classes:
+    /// `max(quantile_i(percentile_i) / bound_i)` over classes whose
+    /// latency window (nanosecond samples, one `Vec` per class, sorted in
+    /// place) holds at least `min_samples` entries. `> 1.0` means some
+    /// tenant's SLO is violated; `None` when no class has enough samples
+    /// to judge. This is the signal `zygos_sched::SloController` staffs
+    /// on — the simulator's control tick calls it per window.
+    pub fn worst_ratio(&self, per_class: &mut [Vec<u64>], min_samples: usize) -> Option<f64> {
+        assert_eq!(per_class.len(), self.classes.len(), "one window per class");
+        let mut worst: Option<f64> = None;
+        for (c, samples) in self.classes.iter().zip(per_class) {
+            if samples.len() >= min_samples.max(1) {
+                let q = exact_quantile_us(samples, c.slo.percentile);
+                let r = q / c.slo.bound_us;
+                worst = Some(worst.map_or(r, |w: f64| w.max(r)));
+            }
+        }
+        worst
+    }
+}
+
+/// Exact quantile of an (unsorted) window of nanosecond latencies, in µs.
+/// Sorts in place — meant for small control-tick windows, where the
+/// histogram machinery would be allocation-heavy and its ~0.1% bucketing
+/// pointless.
+pub fn exact_quantile_us(samples: &mut [u64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of an empty window");
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * q).ceil() as usize;
+    samples[idx.min(samples.len() - 1)] as f64 / 1_000.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +176,51 @@ mod tests {
         let bad = hist_with(&values);
         assert!(!slo.met_by(&bad));
         assert!(slo.margin_us(&bad) < 0.0);
+    }
+
+    #[test]
+    fn tenant_classes_assign_and_rank() {
+        let t = TenantSlos::new(vec![
+            SloClass::new("interactive", Slo::p99(100.0)),
+            SloClass::new("batch", Slo::p99(1000.0)),
+        ]);
+        assert_eq!(t.class_of(0), 0);
+        assert_eq!(t.class_of(1), 1);
+        assert_eq!(t.class_of(2), 0);
+        assert_eq!(t.strictest().bound_us, 100.0);
+
+        // interactive p99 ≈ 50 (ratio 0.5), batch p99 ≈ 900 (ratio 0.9):
+        // the worst ratio is batch's even though its bound is looser.
+        let mut windows = vec![vec![50_000u64; 100], vec![900_000u64; 100]];
+        let r = t
+            .worst_ratio(&mut windows, 10)
+            .expect("both classes sampled");
+        assert!((r - 0.9).abs() < 0.05, "ratio = {r}");
+
+        // Too few samples in every class → no judgement.
+        let mut empty: Vec<Vec<u64>> = vec![Vec::new(), Vec::new()];
+        assert_eq!(t.worst_ratio(&mut empty, 1), None);
+    }
+
+    #[test]
+    fn exact_quantile_on_small_windows() {
+        let mut w: Vec<u64> = (1..=100).rev().map(|v| v * 1_000).collect();
+        // Ceil indexing: the quantile never under-reports a small window
+        // (p99 of 100 samples is the max, p90 is the 91st value).
+        assert_eq!(exact_quantile_us(&mut w, 0.99), 100.0);
+        assert_eq!(exact_quantile_us(&mut w, 0.9), 91.0);
+        assert_eq!(exact_quantile_us(&mut w, 0.0), 1.0);
+        assert_eq!(exact_quantile_us(&mut w, 1.0), 100.0);
+        let mut one = vec![7_000u64];
+        assert_eq!(exact_quantile_us(&mut one, 0.99), 7.0);
+    }
+
+    #[test]
+    fn uniform_registry_is_single_class() {
+        let t = TenantSlos::uniform(Slo::p99(500.0));
+        assert_eq!(t.classes().len(), 1);
+        assert_eq!(t.class_of(1234), 0);
+        assert_eq!(t.strictest(), Slo::p99(500.0));
     }
 
     #[test]

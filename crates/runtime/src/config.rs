@@ -1,5 +1,7 @@
 //! Runtime configuration.
 
+use zygos_sched::CreditConfig;
+
 /// Which scheduling discipline the workers run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchedulerKind {
@@ -51,6 +53,14 @@ pub struct RuntimeConfig {
     /// per-flow batch bound; `usize::MAX` = all pending, the paper's
     /// behaviour).
     pub conn_batch: usize,
+    /// Credit-based admission control (Breakwater-style) at the RX edge:
+    /// a framed request without a credit is answered immediately with a
+    /// [`crate::server::REJECT_OPCODE`] reply instead of being queued, and
+    /// worker 0 resizes the pool by AIMD on the aggregate queue depth
+    /// ([`CreditConfig::target`] is a queue-depth target here — the live
+    /// runtime has no per-request latency stamps). `None` admits
+    /// everything.
+    pub admission: Option<CreditConfig>,
 }
 
 impl RuntimeConfig {
@@ -62,7 +72,14 @@ impl RuntimeConfig {
             scheduler: SchedulerKind::Zygos { steal: true },
             ring_capacity: 4096,
             conn_batch: usize::MAX,
+            admission: None,
         }
+    }
+
+    /// Arms the credit gate on any base configuration.
+    pub fn with_admission(mut self, credits: CreditConfig) -> Self {
+        self.admission = Some(credits);
+        self
     }
 
     /// Partitioned run-to-completion (stealing disabled).

@@ -1,4 +1,15 @@
 //! The server: worker threads running the scheduling loop.
+//!
+//! The *order* in which a worker serves its queues is not written here: it
+//! comes from the shared `zygos_sched` policy plane. Every worker walks
+//! the [`DispatchPolicy`] ladder its [`SchedulerKind`] maps to (the same
+//! `ZygosPolicy`/`FcfsPolicy` objects the simulator drives), this file
+//! binds each rung to the live mechanism — MPSC rings, the shuffle layer,
+//! doorbells, the idle sweep. The elastic controller likewise consumes an
+//! [`AllocPolicy`] trait object, and the optional credit gate is the
+//! lock-free [`CreditGate`] sibling of the simulator's `CreditPool` (same
+//! AIMD rule and invariants), updated here on aggregate queue depth (the
+//! live runtime has no per-request latency stamps).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -7,7 +18,10 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
-use zygos_sched::{AllocatorConfig, CoreAllocator, ElasticGate, LoadSignal};
+use zygos_sched::{
+    AllocPolicy, AllocatorConfig, BackgroundOrder, CoreAllocator, CreditGate, DispatchPolicy,
+    ElasticGate, FcfsPolicy, PolicySignal, QuantumPolicy, Rung, UtilizationPolicy, ZygosPolicy,
+};
 
 use zygos_core::doorbell::{Doorbell, IpiReason};
 use zygos_core::idle::{IdlePolicy, PollTarget};
@@ -25,6 +39,10 @@ use crate::app::RpcApp;
 use crate::client::ClientPort;
 use crate::config::{RuntimeConfig, SchedulerKind};
 
+/// Opcode of the reply sent for a request shed by the credit gate: the
+/// client-visible backpressure signal (Breakwater's explicit reject).
+pub const REJECT_OPCODE: u16 = 0xFFFF;
+
 pub(crate) struct Shared {
     pub(crate) cfg: RuntimeConfig,
     pub(crate) shuffle: ShuffleLayer<RpcMessage>,
@@ -40,14 +58,21 @@ pub(crate) struct Shared {
     stop: AtomicBool,
     /// Connection → home core (RSS).
     pub(crate) conn_home: Vec<u16>,
+    /// The dispatch policy every worker's loop walks (rung order, steal
+    /// gating) — shared with the simulator by construction.
+    dispatch: Box<dyn DispatchPolicy>,
     /// Elastic mode: published granted-core count plus the controller
     /// (driven by worker 0; the mutex is uncontended).
     elastic: Option<ElasticCtl>,
+    /// Credit gate (any scheduler kind).
+    credits: Option<AdmissionCtl>,
 }
 
 struct ElasticCtl {
     gate: ElasticGate,
-    allocator: SpinLock<CoreAllocator>,
+    /// The allocation policy behind the trait: the same object family the
+    /// simulator's control tick drives.
+    policy: SpinLock<Box<dyn AllocPolicy>>,
     last_tick: SpinLock<std::time::Instant>,
     /// Per-core nanoseconds spent doing work since the last controller
     /// read. A duty-cycle fraction, not a did-anything flag: under a
@@ -55,6 +80,13 @@ struct ElasticCtl {
     /// boolean would read as full utilization and never let the
     /// controller park anything.
     busy_ns: Vec<AtomicU64>,
+}
+
+struct AdmissionCtl {
+    /// Lock-free: RX admits and completion releases are atomic ops, never
+    /// a cross-core lock on the dispatch fast path.
+    gate: CreditGate,
+    last_tick: SpinLock<std::time::Instant>,
 }
 
 /// Controller tick period for the live runtime (coarser than the
@@ -65,6 +97,26 @@ const CTL_PERIOD: Duration = Duration::from_millis(1);
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Builds the dispatch policy a scheduler kind runs. The live runtime has
+/// no preemptive quantum (a Rust closure cannot be interrupted; the
+/// cooperative `quantum_events` bound stands in), so the quantum is always
+/// disabled here and the background rungs never appear.
+fn dispatch_for(kind: SchedulerKind) -> Box<dyn DispatchPolicy> {
+    match kind {
+        SchedulerKind::Zygos { steal } | SchedulerKind::Elastic { steal, .. } => Box::new(
+            // The idle sweep both steals and IPIs, so the paper's two
+            // ablation knobs collapse to one here.
+            ZygosPolicy::new(
+                steal,
+                steal,
+                QuantumPolicy::disabled(),
+                BackgroundOrder::Fcfs,
+            ),
+        ),
+        SchedulerKind::Floating => Box::new(FcfsPolicy),
+    }
 }
 
 impl Server {
@@ -87,15 +139,21 @@ impl Server {
             SchedulerKind::Elastic { quantum_events, .. } => {
                 assert!(quantum_events >= 1, "quantum_events must be positive");
                 let alloc_cfg = AllocatorConfig::paper(cfg.cores);
+                let policy: Box<dyn AllocPolicy> =
+                    Box::new(UtilizationPolicy::new(CoreAllocator::new(alloc_cfg)));
                 Some(ElasticCtl {
                     gate: ElasticGate::new(alloc_cfg.min_cores, cfg.cores),
-                    allocator: SpinLock::new(CoreAllocator::new(alloc_cfg)),
+                    policy: SpinLock::new(policy),
                     last_tick: SpinLock::new(std::time::Instant::now()),
                     busy_ns: (0..cfg.cores).map(|_| AtomicU64::new(0)).collect(),
                 })
             }
             _ => None,
         };
+        let credits = cfg.admission.map(|c| AdmissionCtl {
+            gate: CreditGate::new(c),
+            last_tick: SpinLock::new(std::time::Instant::now()),
+        });
         let shared = Arc::new(Shared {
             rings: (0..cfg.cores)
                 .map(|_| MpscRing::with_capacity(cfg.ring_capacity))
@@ -110,7 +168,9 @@ impl Server {
             stop: AtomicBool::new(false),
             conn_home,
             shuffle,
+            dispatch: dispatch_for(cfg.scheduler),
             elastic,
+            credits,
             cfg: cfg.clone(),
         });
         let workers = (0..cfg.cores)
@@ -136,6 +196,15 @@ impl Server {
     /// [`SchedulerKind::Elastic`]).
     pub fn active_cores(&self) -> Option<usize> {
         self.shared.elastic.as_ref().map(|e| e.gate.active())
+    }
+
+    /// Credit-gate counters `(admitted, rejected, capacity)`; `None` when
+    /// admission is off.
+    pub fn admission_stats(&self) -> Option<(u64, u64, u32)> {
+        self.shared
+            .credits
+            .as_ref()
+            .map(|c| (c.gate.admitted(), c.gate.rejected(), c.gate.capacity()))
     }
 
     /// The home core of a connection (RSS).
@@ -181,46 +250,37 @@ fn worker_loop(core: usize, shared: Arc<Shared>, app: Arc<dyn RpcApp>) {
         rng_state ^= rng_state << 17;
         rng_state
     };
+    let batch = match shared.cfg.scheduler {
+        SchedulerKind::Elastic { quantum_events, .. } => shared.cfg.conn_batch.min(quantum_events),
+        _ => shared.cfg.conn_batch,
+    };
 
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
-        let mut parked = false;
-        let did_work = match shared.cfg.scheduler {
-            SchedulerKind::Zygos { steal } => {
-                let batch = shared.cfg.conn_batch;
-                zygos_step(
-                    core,
-                    &shared,
-                    &app,
-                    &mut home,
-                    &mut policy,
-                    &mut rand,
-                    steal,
-                    batch,
-                )
+        // Worker 0 moonlights as the control plane.
+        if core == 0 {
+            if let Some(ctl) = &shared.elastic {
+                elastic_control(&shared, ctl);
             }
-            SchedulerKind::Floating => floating_step(core, &shared, &app, &mut home),
-            SchedulerKind::Elastic {
-                steal,
-                quantum_events,
-            } => {
-                let ctl = shared.elastic.as_ref().expect("elastic state present");
-                if core == 0 {
-                    elastic_control(&shared, ctl);
-                }
+            if let Some(gate) = &shared.credits {
+                admission_control(&shared, gate);
+            }
+        }
+        let mut parked = false;
+        let did_work = match &shared.elastic {
+            Some(ctl) => {
                 parked = !ctl.gate.is_active(core);
-                let batch = shared.cfg.conn_batch.min(quantum_events);
                 let t0 = std::time::Instant::now();
-                let did = zygos_step(
+                let did = dispatch_step(
                     core,
                     &shared,
                     &app,
                     &mut home,
                     &mut policy,
                     &mut rand,
-                    steal && !parked,
+                    !parked,
                     batch,
                 );
                 if did {
@@ -228,6 +288,16 @@ fn worker_loop(core: usize, shared: Arc<Shared>, app: Arc<dyn RpcApp>) {
                 }
                 did
             }
+            None => dispatch_step(
+                core,
+                &shared,
+                &app,
+                &mut home,
+                &mut policy,
+                &mut rand,
+                true,
+                batch,
+            ),
         };
         if !did_work {
             // Idle: park briefly; doorbells unpark us immediately. Parked
@@ -244,7 +314,7 @@ fn worker_loop(core: usize, shared: Arc<Shared>, app: Arc<dyn RpcApp>) {
 }
 
 /// Worker 0's controller duty: every [`CTL_PERIOD`], feed queue-depth and
-/// duty-cycle signals to the allocator and publish the new grant.
+/// duty-cycle signals to the allocation policy and publish the new grant.
 fn elastic_control(shared: &Shared, ctl: &ElasticCtl) {
     let mut last = ctl.last_tick.lock();
     let elapsed = last.elapsed();
@@ -263,10 +333,13 @@ fn elastic_control(shared: &Shared, ctl: &ElasticCtl) {
         .map(|b| b.swap(0, Ordering::Relaxed))
         .sum();
     let busy = (busy_ns as f64 / elapsed.as_nanos().max(1) as f64).min(shared.cfg.cores as f64);
-    let mut alloc = ctl.allocator.lock();
-    alloc.observe(LoadSignal {
+    let mut alloc = ctl.policy.lock();
+    alloc.observe(&PolicySignal {
         busy_cores: busy,
         backlog,
+        // No per-request latency stamps on the loopback wire: the SLO
+        // signal is the simulator's; the live policy runs utilization-only.
+        slo_ratio: None,
     });
     let target = alloc.active();
     drop(alloc);
@@ -280,8 +353,25 @@ fn elastic_control(shared: &Shared, ctl: &ElasticCtl) {
     }
 }
 
+/// Worker 0's admission duty: every [`CTL_PERIOD`], AIMD the credit pool
+/// on the aggregate queue depth (the runtime's congestion proxy).
+fn admission_control(shared: &Shared, gate: &AdmissionCtl) {
+    let mut last = gate.last_tick.lock();
+    if last.elapsed() < CTL_PERIOD {
+        return;
+    }
+    *last = std::time::Instant::now();
+    drop(last);
+    let backlog: usize = (0..shared.cfg.cores)
+        .map(|c| shared.shuffle.queue_len(c) + shared.rings[c].len())
+        .sum::<usize>()
+        + shared.floating_q.lock().len();
+    gate.gate.update(backlog as f64);
+}
+
 /// RX path: drain this core's ingress ring through the framers into the
-/// shuffle layer (or the floating queue). Home core only.
+/// shuffle layer (or the floating queue), shedding creditless requests at
+/// the edge. Home core only.
 fn tcp_in(
     core: usize,
     shared: &Shared,
@@ -304,6 +394,15 @@ fn tcp_in(
         loop {
             match framer.next_message() {
                 Ok(Some(msg)) => {
+                    if let Some(gate) = &shared.credits {
+                        if !gate.gate.try_admit() {
+                            // Shed: explicit reject, nothing queued.
+                            let reject =
+                                RpcMessage::new(REJECT_OPCODE, msg.header.req_id, Bytes::new());
+                            shared.respond(conn, reject.to_bytes());
+                            continue;
+                        }
+                    }
                     if floating {
                         shared.floating_q.lock().push_back((conn, msg));
                     } else {
@@ -316,6 +415,13 @@ fn tcp_in(
         }
     }
     processed
+}
+
+/// Returns an admitted request's credit after its response is produced.
+fn release_credit(shared: &Shared) {
+    if let Some(gate) = &shared.credits {
+        gate.gate.release();
+    }
 }
 
 /// Executes all taken events of a connection, following the paper's
@@ -334,6 +440,7 @@ fn exec_conn(
     for msg in &events {
         let resp = app.handle(conn, msg);
         let wire = resp.to_bytes();
+        release_credit(shared);
         if stolen {
             shipped.push(BatchedSyscall::SendMsg { conn, wire });
             shared.stats[core].count_stolen_event();
@@ -352,56 +459,106 @@ fn exec_conn(
     shared.shuffle.finish(conn);
 }
 
-/// One iteration of the ZygOS priority loop. Returns `true` if any work
-/// was found.
+/// One iteration of a worker's scheduling loop: walk the shared dispatch
+/// ladder, binding each rung to its live mechanism, and take the first
+/// that yields work. Returns `true` if any work was found.
 #[allow(clippy::too_many_arguments)]
-fn zygos_step(
+fn dispatch_step(
     core: usize,
     shared: &Shared,
     app: &Arc<dyn RpcApp>,
     home: &mut HomeState,
     policy: &mut IdlePolicy,
     rand: &mut impl FnMut() -> u64,
-    steal: bool,
+    core_active: bool,
     batch: usize,
 ) -> bool {
-    // 0. Doorbell (the "IPI handler"): clear pending reasons; the duties
-    // are performed by the priority steps below.
+    // Doorbell (the "IPI handler") precedes the ladder: clear pending
+    // reasons; the duties are performed by the rungs below.
     for _reason in shared.doorbells[core].take() {
         shared.stats[core].count_ipi_handled();
     }
-
-    // 1. Remote syscalls: transmit responses for stolen executions.
-    let remote = shared.remote_sys[core].drain(64);
-    if !remote.is_empty() {
-        for sc in remote {
-            shared.stats[core].count_remote_syscall();
-            match sc {
-                BatchedSyscall::SendMsg { conn, wire } => shared.respond(conn, wire),
-                BatchedSyscall::Close { .. } | BatchedSyscall::Nop { .. } => {}
+    let floating = matches!(shared.cfg.scheduler, SchedulerKind::Floating);
+    for &rung in shared.dispatch.ladder() {
+        let took = match rung {
+            Rung::RemoteSyscalls => rung_remote_syscalls(core, shared),
+            Rung::LocalReady => {
+                if floating {
+                    rung_floating_claim(core, shared, app)
+                } else {
+                    rung_local_ready(core, shared, app, batch)
+                }
             }
+            Rung::LocalNet => tcp_in(core, shared, home, floating, 64) > 0,
+            Rung::StealReady => {
+                shared.dispatch.may_steal(core_active)
+                    && rung_idle_sweep(core, shared, app, home, policy, rand, batch)
+            }
+            // The runtime's idle sweep performs the IPI scan (its doorbell
+            // ring) as part of StealReady; a cooperative runtime has no
+            // preempted-remainder queues for the background rungs.
+            Rung::IpiScan
+            | Rung::AgedBackground
+            | Rung::LocalBackground
+            | Rung::StealBackground => false,
+        };
+        if took {
+            return true;
         }
-        return true;
     }
+    false
+}
 
-    // 2. Own shuffle queue.
-    if let Some(conn) = shared.shuffle.dequeue_local(core) {
-        shared.stats[core].count_local_dequeue();
-        exec_conn(core, shared, app, conn, false, batch);
-        return true;
-    }
-
-    // 3. Own ingress ring → network stack (bounded batch).
-    if tcp_in(core, shared, home, false, 64) > 0 {
-        return true;
-    }
-
-    if !steal {
+/// Remote syscalls: transmit responses for stolen executions.
+fn rung_remote_syscalls(core: usize, shared: &Shared) -> bool {
+    let remote = shared.remote_sys[core].drain(64);
+    if remote.is_empty() {
         return false;
     }
+    for sc in remote {
+        shared.stats[core].count_remote_syscall();
+        match sc {
+            BatchedSyscall::SendMsg { conn, wire } => shared.respond(conn, wire),
+            BatchedSyscall::Close { .. } | BatchedSyscall::Nop { .. } => {}
+        }
+    }
+    true
+}
 
-    // 4.–5. The idle sweep: steal from remote shuffle queues, then check
-    // remote rings and ring the home core's doorbell (the IPI).
+/// Own shuffle queue.
+fn rung_local_ready(core: usize, shared: &Shared, app: &Arc<dyn RpcApp>, batch: usize) -> bool {
+    let Some(conn) = shared.shuffle.dequeue_local(core) else {
+        return false;
+    };
+    shared.stats[core].count_local_dequeue();
+    exec_conn(core, shared, app, conn, false, batch);
+    true
+}
+
+/// Floating mode: claim one ready event from the shared pool.
+fn rung_floating_claim(core: usize, shared: &Shared, app: &Arc<dyn RpcApp>) -> bool {
+    let claimed = shared.floating_q.lock().pop_front();
+    let Some((conn, msg)) = claimed else {
+        return false;
+    };
+    let resp = app.handle(conn, &msg);
+    release_credit(shared);
+    shared.respond(conn, resp.to_bytes());
+    shared.stats[core].count_local_event();
+    true
+}
+
+/// The idle sweep: steal from remote shuffle queues, then check remote
+/// rings and ring the home core's doorbell (the IPI).
+fn rung_idle_sweep(
+    core: usize,
+    shared: &Shared,
+    app: &Arc<dyn RpcApp>,
+    home: &mut HomeState,
+    policy: &mut IdlePolicy,
+    rand: &mut impl FnMut() -> u64,
+    batch: usize,
+) -> bool {
     let sweep = policy.sweep(|victims| {
         // Fisher–Yates with the worker-local generator.
         for i in (1..victims.len()).rev() {
@@ -412,7 +569,7 @@ fn zygos_step(
     for target in sweep {
         match target {
             PollTarget::OwnHwRing => {
-                // Re-check: a packet may have landed since step 3.
+                // Re-check: a packet may have landed since the net rung.
                 if tcp_in(core, shared, home, false, 64) > 0 {
                     return true;
                 }
@@ -439,32 +596,13 @@ fn zygos_step(
     false
 }
 
-/// One iteration of the floating (shared-queue) loop.
-fn floating_step(
-    core: usize,
-    shared: &Shared,
-    app: &Arc<dyn RpcApp>,
-    home: &mut HomeState,
-) -> bool {
-    // RX on the home core feeds the shared queue.
-    let moved = tcp_in(core, shared, home, true, 64);
-    // Claim one ready event from the shared pool — any worker may.
-    let claimed = shared.floating_q.lock().pop_front();
-    if let Some((conn, msg)) = claimed {
-        let resp = app.handle(conn, &msg);
-        shared.respond(conn, resp.to_bytes());
-        shared.stats[core].count_local_event();
-        return true;
-    }
-    moved > 0
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::app::EchoApp;
     use bytes::Bytes;
     use std::collections::HashMap;
+    use zygos_sched::CreditConfig;
 
     fn echo_server(cfg: RuntimeConfig) -> (Server, ClientPort) {
         Server::start(cfg, Arc::new(EchoApp))
@@ -655,6 +793,55 @@ mod tests {
     fn non_elastic_modes_have_no_core_gauge() {
         let (server, _client) = echo_server(RuntimeConfig::zygos(2, 4));
         assert_eq!(server.active_cores(), None);
+        assert_eq!(server.admission_stats(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn credit_gate_sheds_with_explicit_rejects_and_never_hangs() {
+        // A tiny fixed pool (min == max == 8) against a 2000-request burst
+        // of slow handlers: most requests must be shed with REJECT_OPCODE
+        // replies, every admitted one must complete, and every request
+        // must be answered one way or the other.
+        let slow = |_c: ConnId, req: &RpcMessage| {
+            std::thread::sleep(Duration::from_micros(50));
+            RpcMessage::new(0, req.header.req_id, Bytes::new())
+        };
+        let cfg = RuntimeConfig::zygos(2, 16).with_admission(CreditConfig {
+            min_credits: 8,
+            max_credits: 8,
+            initial_credits: 8,
+            additive: 1,
+            md_factor: 0.3,
+            target: 1.0,
+        });
+        let (server, client) = Server::start(cfg, Arc::new(slow));
+        let n = 2_000u64;
+        for id in 0..n {
+            client.send(
+                ConnId((id % 16) as u32),
+                &RpcMessage::new(1, id, Bytes::new()),
+            );
+        }
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..n {
+            let (_, resp) = client
+                .recv_timeout(Duration::from_secs(30))
+                .expect("every request gets an answer");
+            if resp.header.opcode == REJECT_OPCODE {
+                shed += 1;
+            } else {
+                served += 1;
+            }
+        }
+        assert_eq!(served + shed, n);
+        assert!(shed > 0, "an 8-credit pool must shed under a 2000 burst");
+        assert!(served > 0, "the gate must keep admitting as credits return");
+        let (admitted, rejected, capacity) = server.admission_stats().expect("gate on");
+        assert_eq!(admitted, served);
+        assert_eq!(rejected, shed);
+        assert_eq!(capacity, 8);
         server.shutdown();
     }
 }

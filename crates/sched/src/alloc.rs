@@ -250,6 +250,17 @@ impl CoreAllocator {
         Decision::Hold
     }
 
+    /// Forces the grant to `target` (clamped to the configured bounds),
+    /// resetting the hysteresis counters and arming the cooldown exactly as
+    /// an organic decision would. This is the hook a wrapping policy (e.g.
+    /// the SLO controller) uses to override or undo a decision while
+    /// keeping the combined controller inside the reallocation-frequency
+    /// bound.
+    pub fn force_active(&mut self, target: usize) {
+        self.active = target.clamp(self.cfg.min_cores, self.cfg.max_cores);
+        self.changed();
+    }
+
     fn changed(&mut self) {
         self.pressure = 0;
         self.relief = 0;

@@ -1,0 +1,427 @@
+//! Credit-based admission control (Breakwater-style overload protection).
+//!
+//! In sustained overload (`util > 1`) every dispatch policy's p99 diverges:
+//! the queue grows without bound and so does every admitted request's
+//! sojourn. The only fix is to stop admitting. [`CreditPool`] implements
+//! the server side of a Breakwater-style credit scheme:
+//!
+//! * the server holds a pool of **credits** bounding the requests admitted
+//!   and not yet completed (in-flight = executing + queued);
+//! * an arriving request **spends** a credit ([`CreditPool::try_admit`]);
+//!   none available → the request is shed at the network edge, before it
+//!   costs any application work (the client gets an explicit reject, which
+//!   is client-visible backpressure rather than a silent timeout);
+//! * a completion **returns** its credit ([`CreditPool::release`]);
+//! * a periodic controller resizes the pool by **AIMD** on a congestion
+//!   signal ([`CreditPool::update`]): additive increase while the measured
+//!   delay sits below target, multiplicative decrease proportional to the
+//!   overshoot when it doesn't — Breakwater's `C = C + a` /
+//!   `C·(1 − β·overshoot)` rule with the sender-side credit laundering
+//!   elided (our clients are simulated/loopback).
+//!
+//! Invariants, model-checked in `tests/proptest_policy.rs`:
+//!
+//! * in-flight never exceeds capacity (no over-admission);
+//! * capacity never drops below [`CreditConfig::min_credits`] ≥ 1, so the
+//!   pool cannot deadlock at zero credits: after every admitted request
+//!   completes, at least one credit is always grantable.
+
+/// Configuration of a [`CreditPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct CreditConfig {
+    /// Floor on pool capacity (≥ 1 — the no-deadlock guarantee).
+    pub min_credits: u32,
+    /// Ceiling on pool capacity.
+    pub max_credits: u32,
+    /// Starting capacity.
+    pub initial_credits: u32,
+    /// Additive increase per underloaded control tick.
+    pub additive: u32,
+    /// Multiplicative-decrease aggressiveness `β`: on an overshoot the
+    /// capacity shrinks by `β · min(1, overshoot)` of itself.
+    pub md_factor: f64,
+    /// Congestion target the AIMD loop steers the measured delay signal
+    /// to, in the host's unit (the simulator feeds window tail latency in
+    /// µs; the live runtime feeds queue depth).
+    pub target: f64,
+}
+
+impl CreditConfig {
+    /// A pool for a `cores`-wide data plane steering tail latency to
+    /// `target`: capacity starts at 8 credits per core (enough to keep
+    /// every core busy with head-room for queueing), floor of one credit
+    /// per core, generous ceiling for underload.
+    pub fn for_cores(cores: usize, target: f64) -> Self {
+        let cores = cores.max(1) as u32;
+        CreditConfig {
+            min_credits: cores,
+            max_credits: cores * 64,
+            initial_credits: cores * 8,
+            additive: cores.div_ceil(4),
+            md_factor: 0.3,
+            target,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.min_credits >= 1, "zero-credit pools deadlock");
+        assert!(self.min_credits <= self.max_credits);
+        assert!((0.0..1.0).contains(&self.md_factor));
+        assert!(self.target > 0.0);
+    }
+
+    fn clamp(&self, capacity: u32) -> u32 {
+        capacity.clamp(self.min_credits, self.max_credits)
+    }
+
+    /// One AIMD step: the capacity that follows `current` after observing
+    /// `measured` (same unit as [`CreditConfig::target`]). Non-finite
+    /// `measured` (no signal this window) holds the capacity. The single
+    /// AIMD rule shared by [`CreditPool`] and [`CreditGate`].
+    pub fn next_capacity(&self, current: u32, measured: f64) -> u32 {
+        if !measured.is_finite() {
+            return current;
+        }
+        if measured <= self.target {
+            self.clamp(current.saturating_add(self.additive))
+        } else {
+            let overshoot = ((measured - self.target) / self.target).min(1.0);
+            let kept = current as f64 * (1.0 - self.md_factor * overshoot);
+            self.clamp(kept.floor() as u32)
+        }
+    }
+}
+
+/// The server-side credit pool (see module docs).
+#[derive(Clone, Debug)]
+pub struct CreditPool {
+    cfg: CreditConfig,
+    capacity: u32,
+    in_flight: u32,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl CreditPool {
+    /// Creates a pool at [`CreditConfig::initial_credits`].
+    pub fn new(cfg: CreditConfig) -> Self {
+        cfg.validate();
+        CreditPool {
+            capacity: cfg.clamp(cfg.initial_credits),
+            cfg,
+            in_flight: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Spends a credit for an arriving request. `false` sheds the request
+    /// (no credit held; do not call [`CreditPool::release`] for it).
+    pub fn try_admit(&mut self) -> bool {
+        if self.in_flight < self.capacity {
+            self.in_flight += 1;
+            self.admitted += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Returns the credit of a completed (admitted) request.
+    pub fn release(&mut self) {
+        debug_assert!(self.in_flight > 0, "release without matching admit");
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// One AIMD control tick: `measured` is the congestion signal in the
+    /// same unit as [`CreditConfig::target`]. `NaN` (no signal this
+    /// window) holds the capacity.
+    pub fn update(&mut self, measured: f64) {
+        self.capacity = self.cfg.next_capacity(self.capacity, measured);
+    }
+
+    /// Current capacity (total credits).
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Credits currently held by in-flight requests.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Total requests shed so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CreditConfig {
+        &self.cfg
+    }
+}
+
+/// The lock-free sibling of [`CreditPool`] for multithreaded hosts: the
+/// admit/release fast path is a CAS on one cache line, so the live
+/// runtime's RX and completion paths never serialize on a lock for
+/// admission. The AIMD `update` expects a **single writer** (the
+/// controller core); `try_admit`/`release` may race it freely.
+///
+/// Semantics match [`CreditPool`] (same [`CreditConfig::next_capacity`]
+/// rule, same invariants); the split exists because the discrete-event
+/// simulator wants a plain `&mut` state machine and the runtime wants
+/// shared atomics — not two admission policies.
+#[derive(Debug)]
+pub struct CreditGate {
+    cfg: CreditConfig,
+    capacity: std::sync::atomic::AtomicU32,
+    in_flight: std::sync::atomic::AtomicU32,
+    admitted: std::sync::atomic::AtomicU64,
+    rejected: std::sync::atomic::AtomicU64,
+}
+
+impl CreditGate {
+    /// Creates a gate at [`CreditConfig::initial_credits`].
+    pub fn new(cfg: CreditConfig) -> Self {
+        use std::sync::atomic::{AtomicU32, AtomicU64};
+        cfg.validate();
+        CreditGate {
+            capacity: AtomicU32::new(cfg.clamp(cfg.initial_credits)),
+            cfg,
+            in_flight: AtomicU32::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Spends a credit for an arriving request (lock-free). `false` sheds
+    /// the request (no credit held; do not call [`CreditGate::release`]).
+    pub fn try_admit(&self) -> bool {
+        use std::sync::atomic::Ordering::{Acquire, Relaxed};
+        let mut cur = self.in_flight.load(Relaxed);
+        loop {
+            if cur >= self.capacity.load(Acquire) {
+                self.rejected.fetch_add(1, Relaxed);
+                return false;
+            }
+            match self
+                .in_flight
+                .compare_exchange_weak(cur, cur + 1, Relaxed, Relaxed)
+            {
+                Ok(_) => {
+                    self.admitted.fetch_add(1, Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns the credit of a completed (admitted) request.
+    pub fn release(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let prev = self.in_flight.fetch_sub(1, Relaxed);
+        debug_assert!(prev > 0, "release without matching admit");
+    }
+
+    /// One AIMD control tick (single writer — the controller core).
+    pub fn update(&self, measured: f64) {
+        use std::sync::atomic::Ordering::{Acquire, Release};
+        let next = self
+            .cfg
+            .next_capacity(self.capacity.load(Acquire), measured);
+        self.capacity.store(next, Release);
+    }
+
+    /// Current capacity (total credits).
+    pub fn capacity(&self) -> u32 {
+        self.capacity.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Credits currently held by in-flight requests.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total requests shed so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(capacity: u32) -> CreditPool {
+        CreditPool::new(CreditConfig {
+            min_credits: 1,
+            max_credits: 1024,
+            initial_credits: capacity,
+            additive: 2,
+            md_factor: 0.3,
+            target: 100.0,
+        })
+    }
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let mut p = pool(3);
+        assert!(p.try_admit());
+        assert!(p.try_admit());
+        assert!(p.try_admit());
+        assert!(!p.try_admit(), "no credit left");
+        assert_eq!(p.in_flight(), 3);
+        assert_eq!(p.admitted(), 3);
+        assert_eq!(p.rejected(), 1);
+        p.release();
+        assert!(p.try_admit(), "released credit is grantable again");
+    }
+
+    #[test]
+    fn aimd_grows_below_target_and_shrinks_above() {
+        let mut p = pool(100);
+        p.update(50.0);
+        assert_eq!(p.capacity(), 102, "additive increase");
+        p.update(200.0); // overshoot (200-100)/100 = 1.0 → shrink by 30%.
+        assert_eq!(p.capacity(), 71);
+        p.update(150.0); // overshoot 0.5 → shrink by 15%.
+        assert_eq!(p.capacity(), 60);
+        p.update(f64::NAN);
+        assert_eq!(p.capacity(), 60, "no signal holds capacity");
+    }
+
+    #[test]
+    fn capacity_never_leaves_bounds() {
+        let mut p = pool(4);
+        for _ in 0..200 {
+            p.update(1e12);
+        }
+        assert_eq!(p.capacity(), 1, "md floor");
+        assert!(p.try_admit(), "floor keeps the pool live");
+        for _ in 0..2_000 {
+            p.update(0.0);
+        }
+        assert_eq!(p.capacity(), 1024, "ai ceiling");
+    }
+
+    #[test]
+    fn gate_matches_pool_semantics() {
+        // The atomic gate and the plain pool share the AIMD rule and the
+        // admit/release invariants: drive both through the same script.
+        let cfg = credit_cfg_for_parity();
+        let mut pool = CreditPool::new(cfg);
+        let gate = CreditGate::new(cfg);
+        let script: &[(u8, f64)] = &[
+            (0, 0.0),
+            (0, 0.0),
+            (0, 0.0),
+            (0, 0.0),
+            (2, 250.0),
+            (0, 0.0),
+            (1, 0.0),
+            (0, 0.0),
+            (2, 40.0),
+            (0, 0.0),
+            (2, 1e9),
+            (1, 0.0),
+            (1, 0.0),
+            (0, 0.0),
+        ];
+        for &(op, arg) in script {
+            match op {
+                0 => assert_eq!(pool.try_admit(), gate.try_admit()),
+                1 => {
+                    if pool.in_flight() > 0 {
+                        pool.release();
+                        gate.release();
+                    }
+                }
+                _ => {
+                    pool.update(arg);
+                    gate.update(arg);
+                }
+            }
+            assert_eq!(pool.capacity(), gate.capacity());
+            assert_eq!(pool.in_flight(), gate.in_flight());
+            assert_eq!(pool.admitted(), gate.admitted());
+            assert_eq!(pool.rejected(), gate.rejected());
+        }
+    }
+
+    fn credit_cfg_for_parity() -> CreditConfig {
+        CreditConfig {
+            min_credits: 1,
+            max_credits: 16,
+            initial_credits: 3,
+            additive: 1,
+            md_factor: 0.3,
+            target: 100.0,
+        }
+    }
+
+    #[test]
+    fn gate_admits_concurrently_within_capacity() {
+        let gate = std::sync::Arc::new(CreditGate::new(CreditConfig {
+            min_credits: 1,
+            max_credits: 64,
+            initial_credits: 64,
+            additive: 1,
+            md_factor: 0.3,
+            target: 100.0,
+        }));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let g = std::sync::Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    let mut mine = 0u32;
+                    for _ in 0..1_000 {
+                        if g.try_admit() {
+                            mine += 1;
+                            if mine.is_multiple_of(2) {
+                                g.release();
+                            }
+                        }
+                    }
+                    // Release what we still hold.
+                    for _ in 0..mine.div_ceil(2) {
+                        g.release();
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let total: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(gate.admitted(), total as u64);
+        assert!(gate.admitted() + gate.rejected() == 4_000);
+    }
+
+    #[test]
+    fn shrink_below_in_flight_stops_admission_until_drain() {
+        let mut p = pool(10);
+        for _ in 0..10 {
+            assert!(p.try_admit());
+        }
+        for _ in 0..20 {
+            p.update(1e9);
+        }
+        assert_eq!(p.capacity(), 1);
+        assert!(!p.try_admit(), "over-committed pool admits nothing");
+        for _ in 0..10 {
+            p.release();
+        }
+        assert!(p.try_admit(), "drained pool admits again");
+    }
+}

@@ -1,38 +1,84 @@
-//! Elastic core allocation and preemptive-quantum scheduling (`zygos-sched`).
+//! The scheduling policy plane (`zygos-sched`).
 //!
-//! ZygOS (SOSP'17) is statically provisioned: 16 cores busy-poll whether
-//! the offered load needs them or not, and a long request holds its core
-//! until completion — the head-of-line blocking its §6/Figure 6 ablation
-//! quantifies for dispersive service-time distributions. This crate adds
-//! the two control-plane policies the post-ZygOS literature converged on:
+//! ZygOS (SOSP'17) argues that tail latency is decided by the dispatch
+//! discipline. This crate is where every dispatch and allocation decision
+//! in the workspace lives — written **once**, driven by two hosts: the
+//! discrete-event system simulator (`zygos-sysim`) from virtual time, and
+//! the live multithreaded runtime (`zygos-runtime`) from wall-clock ticks.
+//! The policies are pure (no clocks, no threads, no I/O), which is what
+//! lets `tests/proptest_policy.rs` model-check them without either host.
 //!
-//! * [`alloc`] — a **core allocator** in the spirit of Shenango's core
-//!   controller: a periodic observer of queue backlog and busy-core counts
-//!   that grants and revokes cores with hysteresis (consecutive-signal
-//!   thresholds plus a post-change cooldown), and a [`alloc::CoreSecondsMeter`]
-//!   that makes parked-core count and core-seconds-used first-class
-//!   outputs.
-//! * [`quantum`] — a **preemptive time-slice policy** in the spirit of
-//!   Shinjuku's microsecond preemption: a configurable quantum after which
-//!   an in-flight application chunk is interrupted and its remainder
-//!   requeued, bounding how long one dispersive request can block a core.
-//! * [`gate`] — a lock-free **active-core gate** for the live runtime,
-//!   where cores are threads that can only be throttled cooperatively.
+//! # Architecture: who owns which decision
 //!
-//! The policies are pure (no clocks, no threads): the system simulator
-//! (`zygos-sysim`, `SystemKind::Elastic` + `preemption_quantum_us`) drives
-//! them from virtual time, and the live runtime (`zygos-runtime`,
-//! `SchedulerKind::Elastic`) drives them from wall-clock ticks. Keeping
-//! them host-agnostic is what lets the property tests in
-//! `tests/proptest_sched.rs` model-check hysteresis and conservation
-//! without either host.
+//! ```text
+//!                      ┌────────────────────────────────────────────┐
+//!                      │            zygos-sched (policy)            │
+//!                      │                                            │
+//!   what runs next?    │  DispatchPolicy ── ladder of Rungs,        │
+//!                      │    ├ FcfsPolicy      steal / preempt /     │
+//!                      │    ├ RtcPolicy       background order      │
+//!                      │    └ ZygosPolicy ──── QuantumPolicy        │
+//!                      │                                            │
+//!   how many cores?    │  AllocPolicy ── PolicySignal → Decision    │
+//!                      │    ├ UtilizationPolicy ── CoreAllocator    │
+//!                      │    └ SloController  (p99-vs-SLO margin)    │
+//!                      │                                            │
+//!   admit or shed?     │  CreditPool ── AIMD credits (Breakwater)   │
+//!                      └───────▲──────────────────────────▲─────────┘
+//!                              │                          │
+//!                  ┌───────────┴─────────┐   ┌────────────┴──────────┐
+//!                  │ zygos-sysim         │   │ zygos-runtime         │
+//!                  │ (mechanisms: rings, │   │ (mechanisms: MPSC     │
+//!                  │  shuffle queues,    │   │  rings, shuffle layer,│
+//!                  │  virtual IPIs)      │   │  doorbells, threads)  │
+//!                  └─────────────────────┘   └───────────────────────┘
+//! ```
+//!
+//! * [`policy`] — the **dispatch plane**. [`DispatchPolicy`] expresses a
+//!   core's scheduling loop as an ordered ladder of [`policy::Rung`]s over
+//!   an abstract per-core queue view; hosts own the queue *mechanisms* and
+//!   consult the policy for the *order*, the steal decisions, the
+//!   preemption (`slice`) decision and the background-queue discipline
+//!   ([`policy::BackgroundOrder::Fcfs`] or SRPT). `FcfsPolicy` (Linux
+//!   baselines / floating), `RtcPolicy` (IX) and `ZygosPolicy` (the
+//!   paper's priority loop, with the elastic/preemptive extensions) cover
+//!   every system model in the workspace.
+//! * [`policy::AllocPolicy`] — the **allocation plane**. One
+//!   [`PolicySignal`] per control tick (time-averaged busy cores, queue
+//!   backlog, and the measured tail-latency-to-SLO ratio), one
+//!   [`Decision`] out. [`UtilizationPolicy`] is the PR-1 `util + β·√util`
+//!   rule; [`SloController`] (the default for elastic hosts) staffs from
+//!   the p99-vs-SLO margin and degrades to the utilization rule when no
+//!   SLO signal exists.
+//! * [`credit`] — the **admission plane**. [`CreditPool`] bounds admitted
+//!   in-flight requests with AIMD-resized Breakwater-style credits so that
+//!   under sustained overload (`util > 1`) admitted requests keep a
+//!   bounded tail while the surplus is shed with explicit, client-visible
+//!   rejects (`fig13` sweeps this).
+//! * [`alloc`] — the hysteretic [`CoreAllocator`] (demand estimation,
+//!   square-root staffing, consecutive-signal thresholds, cooldown) and
+//!   the [`CoreSecondsMeter`]; the building block both allocation policies
+//!   share.
+//! * [`quantum`] — the preemptive time-slice policy ([`QuantumPolicy`]),
+//!   Shinjuku-style microsecond preemption.
+//! * [`gate`] — the lock-free [`ElasticGate`] the live runtime uses to
+//!   park worker threads cooperatively.
 
 pub mod alloc;
+pub mod credit;
 pub mod gate;
+pub mod policy;
 pub mod quantum;
+pub mod slo_ctl;
 
 pub use alloc::{
     AllocatorConfig, AllocatorTuning, CoreAllocator, CoreSecondsMeter, Decision, LoadSignal,
 };
+pub use credit::{CreditConfig, CreditGate, CreditPool};
 pub use gate::ElasticGate;
+pub use policy::{
+    AllocPolicy, BackgroundOrder, DispatchPolicy, FcfsPolicy, PolicySignal, RtcPolicy, Rung,
+    UtilizationPolicy, ZygosPolicy,
+};
 pub use quantum::QuantumPolicy;
+pub use slo_ctl::{SloController, SloTuning};

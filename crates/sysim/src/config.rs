@@ -1,6 +1,8 @@
 //! Experiment configuration and output types.
 
+use zygos_load::slo::TenantSlos;
 use zygos_net::cost::CostModel;
+use zygos_sched::{BackgroundOrder, CreditConfig};
 use zygos_sim::dist::ServiceDist;
 use zygos_sim::stats::LatencyHistogram;
 
@@ -43,6 +45,19 @@ impl SystemKind {
     }
 }
 
+/// Which [`zygos_sched::AllocPolicy`] the elastic controller runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AllocKind {
+    /// The PR-1 `util + β·√util` rule ([`zygos_sched::UtilizationPolicy`]).
+    Utilization,
+    /// The SLO-margin controller ([`zygos_sched::SloController`]) — the
+    /// default. Without a configured [`SysConfig::slo`] it receives no
+    /// latency signal and degrades to exactly the utilization rule, so the
+    /// default is safe for SLO-less experiments.
+    #[default]
+    SloDriven,
+}
+
 /// Control-plane knobs for [`SystemKind::Elastic`]: the controller's tick
 /// period plus the allocator's shared decision-rule tuning (see
 /// [`zygos_sched::AllocatorTuning`] for each knob's meaning).
@@ -52,6 +67,8 @@ pub struct ElasticKnobs {
     pub control_period_us: f64,
     /// Allocator decision-rule knobs.
     pub tuning: zygos_sched::AllocatorTuning,
+    /// Which allocation policy staffs the data plane.
+    pub alloc: AllocKind,
 }
 
 impl Default for ElasticKnobs {
@@ -59,6 +76,7 @@ impl Default for ElasticKnobs {
         ElasticKnobs {
             control_period_us: 25.0,
             tuning: zygos_sched::AllocatorTuning::default(),
+            alloc: AllocKind::default(),
         }
     }
 }
@@ -101,8 +119,20 @@ pub struct SysConfig {
     /// aging promotes entries after ~20 quanta so sustained overload
     /// cannot starve them).
     pub preemption_quantum_us: f64,
+    /// Ordering of the background (preempted) queue — FCFS-with-aging or
+    /// SRPT on the remaining-time stamps a preempted request carries.
+    pub background_order: BackgroundOrder,
     /// Controller knobs; consulted only by [`SystemKind::Elastic`].
     pub elastic: ElasticKnobs,
+    /// Credit-based admission control (Breakwater-style) at the server
+    /// edge of the ZygOS-family models: arrivals without a credit are shed
+    /// before any processing, and an AIMD controller resizes the pool from
+    /// the measured window tail latency ([`CreditConfig::target`] is in
+    /// µs here). `None` admits everything — the paper's behaviour.
+    pub admission: Option<CreditConfig>,
+    /// Per-tenant SLO classes (connection → class round-robin). Feeds the
+    /// worst p99-vs-bound ratio to the [`AllocKind::SloDriven`] controller.
+    pub slo: Option<TenantSlos>,
 }
 
 impl SysConfig {
@@ -136,7 +166,10 @@ impl SysConfig {
             seed: 0x5A47,
             randomize_steal_order: true,
             preemption_quantum_us: 0.0,
+            background_order: BackgroundOrder::Fcfs,
             elastic: ElasticKnobs::default(),
+            admission: None,
+            slo: None,
         }
     }
 
@@ -167,6 +200,10 @@ pub struct SysOutput {
     /// count for statically provisioned systems; below it when
     /// [`SystemKind::Elastic`] parks cores.
     pub avg_active_cores: f64,
+    /// Requests admitted past the credit gate (0 when admission is off).
+    pub admitted: u64,
+    /// Requests shed by the credit gate (0 when admission is off).
+    pub rejected: u64,
 }
 
 impl SysOutput {
@@ -199,6 +236,18 @@ impl SysOutput {
     /// or polling: a granted core burns its CPU either way).
     pub fn core_seconds_used(&self) -> f64 {
         self.avg_active_cores * self.sim_time_us / 1_000_000.0
+    }
+
+    /// Fraction of arrivals shed by the credit gate (0 with admission
+    /// off). The complement of the paper's "goodput" view: admitted
+    /// requests keep a bounded tail; this is what the surplus paid.
+    pub fn shed_fraction(&self) -> f64 {
+        let offered = self.admitted + self.rejected;
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / offered as f64
+        }
     }
 
     /// Preemptions per measured request.

@@ -36,6 +36,9 @@ pub struct SweepPoint {
     /// Time-averaged granted cores (== configured cores for static
     /// systems; lower when `SystemKind::Elastic` parks cores).
     pub avg_active_cores: f64,
+    /// Fraction of arrivals shed by the credit gate (0 with admission
+    /// off).
+    pub shed_fraction: f64,
 }
 
 /// Sweeps offered load and reports `(throughput, p99)` points — the raw
@@ -60,6 +63,7 @@ pub fn latency_throughput_sweep(base: &SysConfig, loads: &[f64]) -> Vec<SweepPoi
                     out.ipis as f64 / out.completed as f64
                 },
                 avg_active_cores: out.avg_active_cores,
+                shed_fraction: out.shed_fraction(),
             }
         })
         .collect()

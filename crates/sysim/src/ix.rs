@@ -8,9 +8,16 @@
 //! Nothing is ever rebalanced: an overloaded core queues while its
 //! neighbours idle — the head-of-line blocking and temporary imbalance that
 //! ZygOS removes.
+//!
+//! Dispatch order comes from the shared policy plane: the [`RtcPolicy`]
+//! ladder is "serve the own NIC ring, nothing else" — no ready-queue rung
+//! (run-to-completion executes a whole batch inline after network
+//! processing), no steal rungs. This file owns only the IX mechanisms: the
+//! per-core ring and the batched net/app alternation.
 
 use std::collections::VecDeque;
 
+use zygos_sched::{DispatchPolicy, RtcPolicy, Rung};
 use zygos_sim::engine::{Engine, Model, Scheduler};
 use zygos_sim::time::{SimDuration, SimTime};
 
@@ -42,6 +49,8 @@ struct IxModel {
     source: Source,
     rec: Recorder,
     cores: Vec<Core>,
+    /// The shared dispatch policy: own-ring only, never steal.
+    dispatch: RtcPolicy,
     events_done: u64,
 }
 
@@ -59,6 +68,7 @@ impl IxModel {
             source,
             rec,
             cfg,
+            dispatch: RtcPolicy,
             events_done: 0,
         }
     }
@@ -67,10 +77,29 @@ impl IxModel {
         SimDuration::from_nanos(v)
     }
 
-    /// Starts the next work chunk on an idle core, if any.
-    fn run_core(&mut self, core: usize, _now: SimTime, sched: &mut Scheduler<Ev>) {
-        if self.cores[core].busy || self.cores[core].ring.is_empty() {
+    /// The core loop: walk the policy's dispatch ladder (for IX, the only
+    /// rung is the own NIC ring; application execution runs to completion
+    /// inline after network processing, so there is no ready-queue rung).
+    fn run_core(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.cores[core].busy {
             return;
+        }
+        let policy = self.dispatch;
+        for &rung in policy.ladder() {
+            let took = match rung {
+                Rung::LocalNet => self.rung_local_net(core, now, sched),
+                _ => false,
+            };
+            if took {
+                return;
+            }
+        }
+    }
+
+    /// Network processing over a bounded batch from the own ring.
+    fn rung_local_net(&mut self, core: usize, _now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+        if self.cores[core].ring.is_empty() {
+            return false;
         }
         // Adaptive bounded batching: take min(B, available) — never wait.
         let k = (self.cores[core].ring.len() as u64).min(self.cfg.rx_batch.max(1));
@@ -82,6 +111,7 @@ impl IxModel {
             cost.driver_batch_fixed_ns + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
         self.cores[core].busy = true;
         sched.after(Self::ns(dur), Ev::NetDone { core, batch });
+        true
     }
 
     /// Begins executing the next application event of a batch.
@@ -167,6 +197,8 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         ipis: 0,
         preemptions: 0,
         avg_active_cores: cfg.cores as f64,
+        admitted: 0,
+        rejected: 0,
     }
 }
 

@@ -13,15 +13,25 @@
 //! * [`config::SystemKind::LinuxPartitioned`] / [`SystemKind::LinuxFloating`]
 //!   — the epoll baselines with Linux's per-request kernel cost.
 //! * [`config::SystemKind::Elastic`] — ZygOS under the `zygos-sched`
-//!   control plane: a periodic controller grants/revokes cores with
-//!   hysteresis and square-root staffing (parked cores redirect their RSS
-//!   queues and stop polling; [`SysOutput::avg_active_cores`] reports the
+//!   control plane: a periodic controller grants/revokes cores (by
+//!   default the SLO-margin `SloController`, fed per-tenant classes via
+//!   [`SysConfig::slo`]; [`config::AllocKind::Utilization`] selects the
+//!   PR-1 `util + β·√util` rule), parked cores redirect their RSS queues
+//!   and stop polling ([`SysOutput::avg_active_cores`] reports the
 //!   grant), and a nonzero [`SysConfig::preemption_quantum_us`] arms
 //!   Shinjuku-style quantum preemption: over-quantum application chunks
-//!   are interrupted and their remainders continue from a low-priority
-//!   (aged) background queue, bounding head-of-line blocking under
-//!   dispersive service times. `fig12_elastic` sweeps both against the
-//!   static systems.
+//!   are interrupted and their remainders continue from a background
+//!   queue ordered FCFS-with-aging or SRPT
+//!   ([`SysConfig::background_order`]). `fig12_elastic` sweeps both
+//!   against the static systems.
+//!
+//! Every model routes its queue-pick decisions through the shared
+//! `zygos_sched::DispatchPolicy` ladder (the same objects the live
+//! runtime's workers walk) — this crate owns mechanisms, not order. A
+//! [`SysConfig::admission`] credit gate (Breakwater-style AIMD credits)
+//! sheds arrivals at the server edge under overload; `fig13` sweeps
+//! offered load past saturation to show the admitted tail staying within
+//! 2× the SLO while ungated policies diverge.
 //!
 //! Why a simulator: the original evaluation needs a 16-hyperthread Xeon,
 //! Intel 82599 NICs and an 11-machine client cluster. This environment has

@@ -13,9 +13,16 @@
 //! (softirq RX, `epoll_wait`, `read`, `write`, scheduler wakeups), the
 //! overhead that makes Linux converge to its ideal bound only for tasks of
 //! ~100µs and up (Figure 3).
+//!
+//! Dispatch order comes from the shared policy plane: both variants run
+//! the [`FcfsPolicy`] ladder (serve the ready queue, never steal —
+//! rebalancing, where it exists, comes from the queue being shared), so
+//! this file owns only the Linux *mechanisms*: the per-core/shared queues,
+//! the kernel cost and the floating-pool lock.
 
 use std::collections::VecDeque;
 
+use zygos_sched::{DispatchPolicy, FcfsPolicy, Rung};
 use zygos_sim::engine::{Engine, Model, Scheduler};
 use zygos_sim::time::{SimDuration, SimTime};
 
@@ -37,6 +44,8 @@ struct LinuxModel {
     queues: Vec<VecDeque<Req>>,
     busy: Vec<bool>,
     floating: bool,
+    /// The shared dispatch policy: FCFS, no stealing.
+    dispatch: FcfsPolicy,
     /// Floating only: time at which the shared-pool lock frees up.
     lock_free_at: SimTime,
     events_done: u64,
@@ -51,6 +60,7 @@ impl LinuxModel {
             queues: vec![VecDeque::new(); if floating { 1 } else { cfg.cores }],
             busy: vec![false; cfg.cores],
             floating,
+            dispatch: FcfsPolicy,
             lock_free_at: SimTime::ZERO,
             source,
             rec,
@@ -67,13 +77,33 @@ impl LinuxModel {
         }
     }
 
+    /// The core loop: walk the policy's dispatch ladder. The Linux models
+    /// have no separate network stage (the kernel cost is charged per
+    /// request), so only the ready-queue rung binds to a mechanism here.
     fn run_core(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
         if self.busy[core] {
             return;
         }
+        let policy = self.dispatch;
+        for &rung in policy.ladder() {
+            let took = match rung {
+                Rung::LocalReady => self.rung_local_ready(core, now, sched),
+                // No per-rung mechanism in this model; in particular the
+                // steal rungs never appear (FCFS policies do not steal).
+                _ => false,
+            };
+            if took {
+                return;
+            }
+        }
+    }
+
+    /// Serve the next request of this core's FCFS queue (the shared pool
+    /// when floating, behind its serializing lock).
+    fn rung_local_ready(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
         let q = self.queue_of(core);
         let Some(req) = self.queues[q].pop_front() else {
-            return;
+            return false;
         };
         self.busy[core] = true;
         let cost = &self.cfg.cost;
@@ -87,6 +117,7 @@ impl LinuxModel {
         }
         let end = start + SimDuration::from_nanos(cost.linux_per_req_ns) + req.service;
         sched.at(end, Ev::Done { core, req });
+        true
     }
 
     fn wake_for_queue(&mut self, q: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
@@ -157,6 +188,8 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         ipis: 0,
         preemptions: 0,
         avg_active_cores: cfg.cores as f64,
+        admitted: 0,
+        rejected: 0,
     }
 }
 

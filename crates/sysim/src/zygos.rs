@@ -1,7 +1,11 @@
 //! The ZygOS system model (paper §4–§5) on the discrete-event engine.
 //!
 //! Each simulated core owns a NIC ring (RSS-fed), a shuffle queue of ready
-//! connections, and a remote-syscall queue. Cores run a priority loop:
+//! connections, and a remote-syscall queue. The *order* in which a core
+//! serves those queues is no longer written here: it comes from the shared
+//! [`zygos_sched::DispatchPolicy`] ladder (the same object the live
+//! runtime's worker loop consults), built as a [`ZygosPolicy`] whose rungs
+//! for the paper's system are:
 //!
 //! 1. execute pending **remote syscalls** (TX for stolen executions),
 //! 2. dequeue the next ready connection from the **own shuffle queue**,
@@ -17,35 +21,48 @@
 //! preemption a real exit-less IPI performs, which the live runtime cannot
 //! do (see DESIGN.md §6) and the simulator can.
 //!
-//! The `ZygosNoInterrupts` variant disables step 5 and the IPI on remote
-//! syscall shipping: the cooperative mode whose head-of-line blocking the
-//! paper's Figure 6 quantifies.
+//! The `ZygosNoInterrupts` variant drops the IPI rung from the ladder: the
+//! cooperative mode whose head-of-line blocking the paper's Figure 6
+//! quantifies.
 //!
 //! # Elastic mode and preemptive quanta
 //!
 //! [`SystemKind::Elastic`] layers the `zygos-sched` control plane on this
-//! model. A periodic `Control` event feeds busy-core and backlog counts to
-//! a `CoreAllocator`; revoked cores drain their queues into an active core
-//! and stop participating (their RSS queues are redirected, modeling
-//! indirection-table reprogramming), granted cores rejoin and steal
-//! immediately. A nonzero [`SysConfig::preemption_quantum_us`] arms a
-//! per-chunk timer: application chunks longer than the quantum end in a
+//! model. A periodic `Control` event feeds a [`PolicySignal`] (busy-core
+//! and backlog counts plus, when [`SysConfig::slo`] is set, the measured
+//! worst p99-vs-SLO ratio of the last window) to an [`AllocPolicy`] — the
+//! SLO-margin [`SloController`] by default, or the PR-1 utilization rule
+//! via [`AllocKind::Utilization`]. Revoked cores drain their queues into
+//! an active core and stop participating (their RSS queues are redirected,
+//! modeling indirection-table reprogramming); granted cores rejoin and
+//! steal immediately. A nonzero [`SysConfig::preemption_quantum_us`] arms
+//! a per-chunk timer: application chunks longer than the quantum end in a
 //! `Preempt` event (same epoch-guard machinery as IPIs) that charges the
-//! IPI-handler cost and moves the remainder to a **background queue**
-//! below all fresh work (approximate SJF, with aging after
-//! `BG_AGING_QUANTA` quanta as the starvation bound), bounding
+//! context save/restore cost and moves the remainder to a **background
+//! queue** below all fresh work — FCFS-with-aging or SRPT on the
+//! remaining-time stamps, per [`SysConfig::background_order`] — bounding
 //! head-of-line blocking under dispersive service times.
+//!
+//! # Admission control
+//!
+//! With [`SysConfig::admission`] set, arrivals pass a Breakwater-style
+//! [`CreditPool`] at the server edge: no credit → the request is shed
+//! before it costs anything, and an AIMD loop on the `Control` tick
+//! resizes the pool from the measured window tail. This is what keeps the
+//! *admitted* tail bounded under sustained overload (`fig13`).
 
 use std::collections::VecDeque;
 
 use zygos_sched::{
-    AllocatorConfig, CoreAllocator, CoreSecondsMeter, Decision, LoadSignal, QuantumPolicy,
+    AllocPolicy, AllocatorConfig, BackgroundOrder, CoreAllocator, CoreSecondsMeter, CreditPool,
+    Decision, DispatchPolicy, PolicySignal, QuantumPolicy, Rung, SloController, SloTuning,
+    UtilizationPolicy, ZygosPolicy,
 };
 use zygos_sim::engine::{Engine, Model, Scheduler};
 use zygos_sim::time::{SimDuration, SimTime};
 
 use crate::arrivals::{Recorder, Req, Source};
-use crate::config::{SysConfig, SysOutput, SystemKind};
+use crate::config::{AllocKind, SysConfig, SysOutput, SystemKind};
 
 pub(crate) enum Ev {
     /// Generate the next client request.
@@ -61,7 +78,7 @@ pub(crate) enum Ev {
     /// The quantum timer fires on a core mid-chunk (stale if epoch
     /// mismatches).
     Preempt { core: usize, epoch: u64 },
-    /// Elastic-controller tick.
+    /// Control-plane tick (elastic allocation and/or credit AIMD).
     Control,
 }
 
@@ -84,18 +101,30 @@ enum Work {
     RemoteTx { batch: Vec<Req> },
 }
 
+/// One background (preempted) queue entry. A quantum-expired remainder is
+/// *known long*, so it only runs when no fresh work is visible anywhere —
+/// and it carries its remaining-time stamp, which is what makes SRPT
+/// ordering free.
+struct BgEntry {
+    conn: u32,
+    /// Enqueue time, for the aging promotion.
+    since: SimTime,
+    /// Remaining service of the connection's interrupted event (the SRPT
+    /// key).
+    remaining_ns: u64,
+}
+
 struct Core {
     ring: VecDeque<Req>,
     shuffle: VecDeque<u32>,
-    /// Preempted connections (Shinjuku-style second-level queue), each
-    /// stamped with its enqueue time: a quantum-expired remainder is
-    /// *known long*, so it only runs when no fresh work is visible
-    /// anywhere — approximate shortest-job-first, which is what bounds the
-    /// dispersive tail. Entries older than [`BG_AGING_QUANTA`] quanta are
-    /// promoted ahead of fresh work: without aging, sustained overload
-    /// starves preempted connections — and with them every later request
-    /// pipelined on the same socket (§4.3 ordering holds per connection).
-    bg: VecDeque<(u32, SimTime)>,
+    /// Preempted connections (Shinjuku-style second-level queue), ordered
+    /// per [`DispatchPolicy::background_order`]: FCFS keeps arrival order,
+    /// SRPT keeps the least-remaining entry at the front. Entries older
+    /// than the policy's aging bound are promoted ahead of fresh work:
+    /// without aging, sustained overload starves preempted connections —
+    /// and with them every later request pipelined on the same socket
+    /// (§4.3 ordering holds per connection).
+    bg: VecDeque<BgEntry>,
     remote_sys: Vec<Req>,
     work: Option<Work>,
     /// Completion time of the current work chunk (valid when `work` is set).
@@ -138,18 +167,17 @@ fn ns(v: u64) -> SimDuration {
     SimDuration::from_nanos(v)
 }
 
-/// Background-queue aging bound, in preemption quanta: a preempted
-/// connection waits at most this many quanta before it outranks fresh
-/// work (multilevel-feedback starvation avoidance).
-const BG_AGING_QUANTA: u64 = 20;
+/// Minimum completions in a control window before its tail is trusted as a
+/// signal (smaller windows make the p99 of the window the max — too noisy
+/// to staff or shed on).
+const MIN_WINDOW_SAMPLES: usize = 8;
 
 /// Elastic-mode control-plane state.
 struct Elastic {
-    allocator: CoreAllocator,
+    allocator: Box<dyn AllocPolicy>,
     meter: CoreSecondsMeter,
     /// RSS redirection: home core → serving core (identity while active).
     redirect: Vec<usize>,
-    period: SimDuration,
     /// Busy-core integral at the previous control tick (for time-averaged
     /// utilization between ticks).
     last_ctl_busy_integral: u128,
@@ -171,9 +199,23 @@ pub(crate) struct ZygosModel {
     conns: Vec<Conn>,
     /// Scratch buffer for randomized victim order.
     victims: Vec<usize>,
-    ipis_enabled: bool,
-    quantum: QuantumPolicy,
+    /// The shared dispatch policy: rung order, steal/preempt decisions,
+    /// background discipline. The model owns the queues; this owns the
+    /// choices.
+    dispatch: Box<dyn DispatchPolicy>,
+    /// Copy of the policy's ladder (iterating it while mutating the model
+    /// must not borrow the policy).
+    ladder: Vec<Rung>,
     elastic: Option<Elastic>,
+    /// Control tick period (armed when elastic or admission is on).
+    ctl_period: SimDuration,
+    /// Credit-based admission gate.
+    admission: Option<CreditPool>,
+    /// Per-SLO-class latency samples (ns) of the current control window.
+    /// Single class when no tenant SLOs are configured.
+    win: Vec<Vec<u64>>,
+    /// Whether completions are sampled into `win` at all.
+    collect_window: bool,
     // Telemetry.
     local_events: u64,
     stolen_events: u64,
@@ -210,23 +252,41 @@ impl ZygosModel {
         let rec = Recorder::new(&cfg, source.half_rtt);
         let ipis_enabled = matches!(cfg.system, SystemKind::Zygos | SystemKind::Elastic { .. });
         let quantum = QuantumPolicy::from_us(cfg.preemption_quantum_us);
+        let dispatch: Box<dyn DispatchPolicy> = Box::new(
+            ZygosPolicy::new(true, ipis_enabled, quantum, cfg.background_order)
+                .with_randomized_victims(cfg.randomize_steal_order),
+        );
+        let ladder = dispatch.ladder().to_vec();
         let elastic = match cfg.system {
-            SystemKind::Elastic { min_cores } => Some(Elastic {
-                allocator: CoreAllocator::new(AllocatorConfig {
+            SystemKind::Elastic { min_cores } => {
+                let alloc_cfg = AllocatorConfig {
                     min_cores: min_cores.clamp(1, cfg.cores),
                     max_cores: cfg.cores,
                     tuning: cfg.elastic.tuning,
-                }),
-                meter: CoreSecondsMeter::new(0, cfg.cores),
-                redirect: (0..cfg.cores).collect(),
-                period: SimDuration::from_micros_f64(cfg.elastic.control_period_us.max(1.0)),
-                last_ctl_busy_integral: 0,
-                last_ctl_ns: 0,
-                meas_snapshot: None,
-                trace: std::env::var_os("ZYGOS_ELASTIC_TRACE").is_some(),
-            }),
+                };
+                let allocator: Box<dyn AllocPolicy> = match cfg.elastic.alloc {
+                    AllocKind::Utilization => {
+                        Box::new(UtilizationPolicy::new(CoreAllocator::new(alloc_cfg)))
+                    }
+                    AllocKind::SloDriven => {
+                        Box::new(SloController::new(alloc_cfg, SloTuning::default()))
+                    }
+                };
+                Some(Elastic {
+                    allocator,
+                    meter: CoreSecondsMeter::new(0, cfg.cores),
+                    redirect: (0..cfg.cores).collect(),
+                    last_ctl_busy_integral: 0,
+                    last_ctl_ns: 0,
+                    meas_snapshot: None,
+                    trace: std::env::var_os("ZYGOS_ELASTIC_TRACE").is_some(),
+                })
+            }
             _ => None,
         };
+        let admission = cfg.admission.map(CreditPool::new);
+        let classes = cfg.slo.as_ref().map_or(1, |t| t.classes().len());
+        let collect_window = admission.is_some() || cfg.slo.is_some();
         ZygosModel {
             cores: (0..cfg.cores)
                 .map(|_| Core {
@@ -251,9 +311,13 @@ impl ZygosModel {
             victims: (0..cfg.cores).collect(),
             source,
             rec,
-            ipis_enabled,
-            quantum,
+            dispatch,
+            ladder,
             elastic,
+            ctl_period: SimDuration::from_micros_f64(cfg.elastic.control_period_us.max(1.0)),
+            admission,
+            win: (0..classes).map(|_| Vec::new()).collect(),
+            collect_window,
             cfg,
             local_events: 0,
             stolen_events: 0,
@@ -262,6 +326,11 @@ impl ZygosModel {
             busy: BusyMeter::default(),
             fg_busy: BusyMeter::default(),
         }
+    }
+
+    /// True when the model arms the periodic `Control` tick.
+    pub(crate) fn has_control_plane(&self) -> bool {
+        self.elastic.is_some() || self.admission.is_some()
     }
 
     /// Accounts a `Core::work` presence transition at `now` (`delta` is +1
@@ -273,17 +342,27 @@ impl ZygosModel {
             .update(now.as_nanos(), if fg { delta } else { 0 });
     }
 
-    /// True when the model runs the elastic control plane.
-    fn is_elastic(&self) -> bool {
-        self.elastic.is_some()
-    }
-
     /// The core that serves packets homed on `home` (identity unless the
     /// home core is parked and its RSS queue was redirected).
     fn serving_core(&self, home: usize) -> usize {
         match &self.elastic {
             Some(e) => e.redirect[home],
             None => home,
+        }
+    }
+
+    /// Records a completed request: recorder, credit return, and the
+    /// control window's per-class latency sample.
+    fn complete_req(&mut self, req: &Req, tx_time: SimTime) {
+        self.rec.complete(req, tx_time);
+        if let Some(pool) = &mut self.admission {
+            pool.release();
+        }
+        if self.collect_window {
+            let client_rx = tx_time + self.source.half_rtt;
+            let lat_ns = client_rx.duration_since(req.send).as_nanos();
+            let class = self.cfg.slo.as_ref().map_or(0, |t| t.class_of(req.conn));
+            self.win[class].push(lat_ns);
         }
     }
 
@@ -308,6 +387,26 @@ impl ZygosModel {
         if !self.cores[target].ipi_pending {
             self.cores[target].ipi_pending = true;
             sched.after(ns(self.cfg.cost.ipi_delivery_ns), Ev::Ipi(target));
+        }
+    }
+
+    /// Whether the ladder includes the IPI-scan rung.
+    fn ipis_enabled(&self) -> bool {
+        self.ladder.contains(&Rung::IpiScan)
+    }
+
+    /// Enqueues a preempted remainder on `home`'s background queue per the
+    /// policy's ordering discipline.
+    fn bg_enqueue(&mut self, home: usize, entry: BgEntry) {
+        let q = &mut self.cores[home].bg;
+        match self.dispatch.background_order() {
+            BackgroundOrder::Fcfs => q.push_back(entry),
+            BackgroundOrder::Srpt => {
+                // Keep the least-remaining entry at the front. Stable on
+                // ties (insert after equal keys) to preserve arrival order.
+                let at = q.partition_point(|e| e.remaining_ns <= entry.remaining_ns);
+                q.insert(at, entry);
+            }
         }
     }
 
@@ -357,7 +456,7 @@ impl ZygosModel {
 
     /// Installs one application chunk on `core` and schedules its end event
     /// — `WorkDone` at completion, or `Preempt` at quantum expiry when the
-    /// chunk's service time overshoots the quantum.
+    /// policy decides to slice the chunk.
     #[allow(clippy::too_many_arguments)]
     fn schedule_app_chunk(
         &mut self,
@@ -372,20 +471,21 @@ impl ZygosModel {
         sched: &mut Scheduler<Ev>,
     ) {
         self.note_busy(now, 1, !bg);
-        let slice = self.quantum.slice(cur.service.as_nanos());
+        let slice = self.dispatch.slice(cur.service.as_nanos());
         let core_ref = &mut self.cores[core];
         core_ref.epoch += 1;
         let epoch = core_ref.epoch;
         match slice {
             Some(s) => {
                 // Run one quantum of service, then take the timer interrupt
-                // (charged at the handler's cost) and requeue the rest. The
-                // completion syscalls are not issued by a preempted slice,
-                // so only the dispatch cost applies on this chunk.
+                // (charged at the calibrated context save/restore cost) and
+                // requeue the rest. The completion syscalls are not issued
+                // by a preempted slice, so only the dispatch cost applies
+                // on this chunk.
                 cur.service = SimDuration::from_nanos(s.run_ns);
                 let dur = self.cfg.cost.event_dispatch_ns
                     + s.run_ns
-                    + self.cfg.cost.ipi_handler_ns
+                    + self.cfg.cost.ctx_save_restore_ns
                     + extra_ns;
                 let core_ref = &mut self.cores[core];
                 core_ref.slice_remaining_ns = s.remaining_ns;
@@ -430,7 +530,8 @@ impl ZygosModel {
         ns
     }
 
-    /// The core scheduling loop (priorities 1–6 of the module docs).
+    /// The core scheduling loop: tries each rung of the shared dispatch
+    /// ladder in policy order and takes the first that yields work.
     fn run_core(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
         if !self.cores[core].active {
             return; // Parked by the elastic controller; queues were drained.
@@ -438,81 +539,152 @@ impl ZygosModel {
         if self.cores[core].work.is_some() {
             return; // Busy; it will rerun at WorkDone.
         }
-        let cost = self.cfg.cost.clone();
-
-        // 1. Remote syscalls (TX for stolen executions) — highest priority:
-        // they hold finished responses.
-        if !self.cores[core].remote_sys.is_empty() {
-            let batch = std::mem::take(&mut self.cores[core].remote_sys);
-            let dur = (cost.remote_syscall_ns + cost.stack_tx_per_msg_ns) * batch.len() as u64;
-            self.note_busy(now, 1, true);
-            let c = &mut self.cores[core];
-            c.work = Some(Work::RemoteTx { batch });
-            c.epoch += 1;
-            c.end = now + ns(dur);
-            sched.at(
-                c.end,
-                Ev::WorkDone {
-                    core,
-                    epoch: c.epoch,
-                },
-            );
-            return;
-        }
-
-        // 1b. Aged background connection: a preempted remainder that has
-        // waited ≥ BG_AGING_QUANTA quanta outranks fresh work.
-        if let Some(&(conn, since)) = self.cores[core].bg.front() {
-            let age_bound = ns(self.quantum.quantum_ns().saturating_mul(BG_AGING_QUANTA));
-            if now.duration_since(since) >= age_bound {
-                self.cores[core].bg.pop_front();
-                debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
-                self.conns[conn as usize].st = ConnSt::Busy;
-                // Promoted by aging: overdue work is foreground demand.
-                self.begin_app(core, conn, cost.shuffle_op_ns, false, false, now, sched);
+        // Victim order is (re)shuffled at most once per loop entry, by the
+        // first rung that scans other cores, and shared by the rest.
+        let mut victims_ready = false;
+        for i in 0..self.ladder.len() {
+            let took = match self.ladder[i] {
+                Rung::RemoteSyscalls => self.rung_remote_tx(core, now, sched),
+                Rung::AgedBackground => self.rung_aged_bg(core, now, sched),
+                Rung::LocalReady => self.rung_local_ready(core, now, sched),
+                Rung::LocalNet => self.rung_local_net(core, now, sched),
+                Rung::StealReady => {
+                    self.prepare_victims(&mut victims_ready);
+                    self.rung_steal_ready(core, now, sched)
+                }
+                Rung::LocalBackground => self.rung_local_bg(core, now, sched),
+                Rung::StealBackground => {
+                    self.prepare_victims(&mut victims_ready);
+                    self.rung_steal_bg(core, now, sched)
+                }
+                Rung::IpiScan => {
+                    self.prepare_victims(&mut victims_ready);
+                    self.rung_ipi_scan(core, sched);
+                    false // The scan kicks another core; this one stays idle.
+                }
+            };
+            if took {
                 return;
             }
         }
+        // Idle. Woken by wake()/wake_idle() on any actionable change.
+    }
 
-        // 2. Own shuffle queue.
-        if let Some(conn) = self.cores[core].shuffle.pop_front() {
-            debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
-            self.conns[conn as usize].st = ConnSt::Busy;
-            self.begin_app(core, conn, cost.shuffle_op_ns, false, false, now, sched);
-            return;
+    /// Shuffles the victim scan order once per scheduling-loop entry (when
+    /// the policy asks for randomization).
+    fn prepare_victims(&mut self, ready: &mut bool) {
+        if !*ready {
+            if self.dispatch.randomize_victims() {
+                let mut v = std::mem::take(&mut self.victims);
+                self.source.rng_mut().shuffle(&mut v);
+                self.victims = v;
+            }
+            *ready = true;
         }
+    }
 
-        // 3. Own NIC ring: run the network stack over a bounded batch.
-        if !self.cores[core].ring.is_empty() {
-            let k = (self.cores[core].ring.len() as u64).min(self.cfg.rx_batch.max(1));
-            let batch: Vec<Req> = (0..k)
-                .map(|_| self.cores[core].ring.pop_front().expect("non-empty ring"))
-                .collect();
-            let dur = cost.driver_batch_fixed_ns
-                + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
-            self.note_busy(now, 1, true);
-            let c = &mut self.cores[core];
-            c.work = Some(Work::Net { batch });
-            c.epoch += 1;
-            c.end = now + ns(dur);
-            sched.at(
-                c.end,
-                Ev::WorkDone {
-                    core,
-                    epoch: c.epoch,
-                },
-            );
-            return;
+    /// Remote syscalls (TX for stolen executions): they hold finished
+    /// responses.
+    fn rung_remote_tx(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+        if self.cores[core].remote_sys.is_empty() {
+            return false;
         }
+        let per_msg = self.cfg.cost.remote_syscall_ns + self.cfg.cost.stack_tx_per_msg_ns;
+        let batch = std::mem::take(&mut self.cores[core].remote_sys);
+        let dur = per_msg * batch.len() as u64;
+        self.note_busy(now, 1, true);
+        let c = &mut self.cores[core];
+        c.work = Some(Work::RemoteTx { batch });
+        c.epoch += 1;
+        c.end = now + ns(dur);
+        sched.at(
+            c.end,
+            Ev::WorkDone {
+                core,
+                epoch: c.epoch,
+            },
+        );
+        true
+    }
 
-        // 4. Steal from another core's shuffle queue (randomized order,
-        // unless the ablation knob disables it).
-        let mut victims = std::mem::take(&mut self.victims);
-        if self.cfg.randomize_steal_order {
-            self.source.rng_mut().shuffle(&mut victims);
+    /// Aged background connection: a preempted remainder past the policy's
+    /// aging bound outranks fresh work.
+    fn rung_aged_bg(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+        let age_bound = self.dispatch.background_aging_ns();
+        if age_bound == u64::MAX {
+            return false;
+        }
+        let bound = ns(age_bound);
+        // Promote the oldest aged entry. Even under FCFS the front is not
+        // guaranteed oldest: apply_allocation's park-time drain appends a
+        // parked core's entries behind the target's regardless of age, and
+        // SRPT orders by remaining time — so scan (queues are short).
+        let idx = self.cores[core]
+            .bg
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| now.duration_since(e.since) >= bound)
+            .min_by_key(|(_, e)| e.since)
+            .map(|(i, _)| i);
+        let Some(idx) = idx else {
+            return false;
+        };
+        let entry = self.cores[core].bg.remove(idx).expect("index valid");
+        debug_assert_eq!(self.conns[entry.conn as usize].st, ConnSt::Ready);
+        self.conns[entry.conn as usize].st = ConnSt::Busy;
+        // Promoted by aging: overdue work is foreground demand.
+        let extra = self.cfg.cost.shuffle_op_ns;
+        self.begin_app(core, entry.conn, extra, false, false, now, sched);
+        true
+    }
+
+    /// Own shuffle queue.
+    fn rung_local_ready(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+        let Some(conn) = self.cores[core].shuffle.pop_front() else {
+            return false;
+        };
+        debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
+        self.conns[conn as usize].st = ConnSt::Busy;
+        let extra = self.cfg.cost.shuffle_op_ns;
+        self.begin_app(core, conn, extra, false, false, now, sched);
+        true
+    }
+
+    /// Own NIC ring: run the network stack over a bounded batch.
+    fn rung_local_net(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+        if self.cores[core].ring.is_empty() {
+            return false;
+        }
+        let fixed = self.cfg.cost.driver_batch_fixed_ns;
+        let per_pkt = self.cfg.cost.driver_per_pkt_ns + self.cfg.cost.stack_rx_per_pkt_ns;
+        let k = (self.cores[core].ring.len() as u64).min(self.cfg.rx_batch.max(1));
+        let batch: Vec<Req> = (0..k)
+            .map(|_| self.cores[core].ring.pop_front().expect("non-empty ring"))
+            .collect();
+        let dur = fixed + k * per_pkt;
+        self.note_busy(now, 1, true);
+        let c = &mut self.cores[core];
+        c.work = Some(Work::Net { batch });
+        c.epoch += 1;
+        c.end = now + ns(dur);
+        sched.at(
+            c.end,
+            Ev::WorkDone {
+                core,
+                epoch: c.epoch,
+            },
+        );
+        true
+    }
+
+    /// Steal a ready connection from another core's shuffle queue.
+    fn rung_steal_ready(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+        if !self.dispatch.may_steal(true) {
+            return false;
         }
         let mut stolen_conn = None;
-        for &v in &victims {
+        for idx in 0..self.victims.len() {
+            let v = self.victims[idx];
             if v == core || !self.cores[v].active {
                 continue;
             }
@@ -521,76 +693,79 @@ impl ZygosModel {
                 break;
             }
         }
-        if let Some(conn) = stolen_conn {
-            self.victims = victims;
-            debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
-            self.conns[conn as usize].st = ConnSt::Busy;
-            self.begin_app(
-                core,
-                conn,
-                cost.shuffle_op_ns + cost.steal_extra_ns,
-                true,
-                false,
-                now,
-                sched,
-            );
-            return;
-        }
+        let Some(conn) = stolen_conn else {
+            return false;
+        };
+        debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
+        self.conns[conn as usize].st = ConnSt::Busy;
+        let extra = self.cfg.cost.shuffle_op_ns + self.cfg.cost.steal_extra_ns;
+        self.begin_app(core, conn, extra, true, false, now, sched);
+        true
+    }
 
-        // 4b. Background (preempted) connections — own queue, then steal.
-        // They run only when no fresh work is visible anywhere: a
-        // quantum-expired request is known long, and deferring it behind
-        // everything short is the approximate-SJF move that bounds the
-        // dispersive tail (Shinjuku's main/preempted two-level queue).
-        let mut bg_conn = None;
-        let mut bg_extra = cost.shuffle_op_ns;
-        if let Some((conn, _)) = self.cores[core].bg.pop_front() {
-            bg_conn = Some((conn, false));
-        } else {
-            for &v in &victims {
-                if v == core || !self.cores[v].active {
-                    continue;
-                }
-                if let Some((conn, _)) = self.cores[v].bg.pop_front() {
-                    bg_conn = Some((conn, true));
-                    bg_extra += cost.steal_extra_ns;
-                    break;
-                }
+    /// Own background (preempted) queue. It runs only when no fresh work
+    /// is visible anywhere: a quantum-expired request is known long, and
+    /// deferring it behind everything short is the approximate-SJF move
+    /// that bounds the dispersive tail (Shinjuku's two-level queue).
+    fn rung_local_bg(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+        let Some(entry) = self.cores[core].bg.pop_front() else {
+            return false;
+        };
+        debug_assert_eq!(self.conns[entry.conn as usize].st, ConnSt::Ready);
+        self.conns[entry.conn as usize].st = ConnSt::Busy;
+        let extra = self.cfg.cost.shuffle_op_ns;
+        self.begin_app(core, entry.conn, extra, false, true, now, sched);
+        true
+    }
+
+    /// Steal a background entry from another core.
+    fn rung_steal_bg(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+        if !self.dispatch.may_steal(true) {
+            return false;
+        }
+        let mut found = None;
+        for idx in 0..self.victims.len() {
+            let v = self.victims[idx];
+            if v == core || !self.cores[v].active {
+                continue;
+            }
+            if let Some(entry) = self.cores[v].bg.pop_front() {
+                found = Some(entry);
+                break;
             }
         }
-        if let Some((conn, stolen)) = bg_conn {
-            self.victims = victims;
-            debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
-            self.conns[conn as usize].st = ConnSt::Busy;
-            self.begin_app(core, conn, bg_extra, stolen, true, now, sched);
-            return;
-        }
+        let Some(entry) = found else {
+            return false;
+        };
+        debug_assert_eq!(self.conns[entry.conn as usize].st, ConnSt::Ready);
+        self.conns[entry.conn as usize].st = ConnSt::Busy;
+        let extra = self.cfg.cost.shuffle_op_ns + self.cfg.cost.steal_extra_ns;
+        self.begin_app(core, entry.conn, extra, true, true, now, sched);
+        true
+    }
 
-        // 5. Scan remote NIC rings; IPI home cores stuck in application
-        // code ("aggressively sends interrupts as soon as a remote core
-        // detects a pending packet in the hardware queue and the home core
-        // is executing at user-level", §5).
-        if self.ipis_enabled {
-            let mut target = None;
-            for &v in &victims {
-                if v == core || !self.cores[v].active {
-                    continue;
-                }
-                if !self.cores[v].ring.is_empty()
-                    && self.cores[v].in_app()
-                    && !self.cores[v].ipi_pending
-                {
-                    target = Some(v);
-                    break;
-                }
+    /// Scan remote NIC rings; IPI home cores stuck in application code
+    /// ("aggressively sends interrupts as soon as a remote core detects a
+    /// pending packet in the hardware queue and the home core is executing
+    /// at user-level", §5).
+    fn rung_ipi_scan(&mut self, core: usize, sched: &mut Scheduler<Ev>) {
+        let mut target = None;
+        for idx in 0..self.victims.len() {
+            let v = self.victims[idx];
+            if v == core || !self.cores[v].active {
+                continue;
             }
-            if let Some(v) = target {
-                self.send_ipi(v, sched);
+            if !self.cores[v].ring.is_empty()
+                && self.cores[v].in_app()
+                && !self.cores[v].ipi_pending
+            {
+                target = Some(v);
+                break;
             }
         }
-        self.victims = victims;
-
-        // 6. Idle. Woken by wake()/wake_idle() on any actionable change.
+        if let Some(v) = target {
+            self.send_ipi(v, sched);
+        }
     }
 
     fn work_done(&mut self, core: usize, epoch: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
@@ -608,8 +783,8 @@ impl ZygosModel {
                 self.apply_net_batch(core, batch, sched);
             }
             Work::RemoteTx { batch } => {
-                for req in &batch {
-                    self.rec.complete(req, now);
+                for req in batch {
+                    self.complete_req(&req, now);
                 }
             }
             Work::App {
@@ -628,12 +803,12 @@ impl ZygosModel {
                     self.cores[home].remote_sys.push(cur);
                     if self.cores[home].is_idle() {
                         self.wake(home, sched);
-                    } else if self.ipis_enabled && self.cores[home].in_app() {
+                    } else if self.ipis_enabled() && self.cores[home].in_app() {
                         self.send_ipi(home, sched);
                     }
                 } else {
                     self.local_events += 1;
-                    self.rec.complete(&cur, now);
+                    self.complete_req(&cur, now);
                 }
                 if let Some(next) = rest.pop_front() {
                     // Continue the connection's event batch (implicit
@@ -657,9 +832,9 @@ impl ZygosModel {
         self.run_core(core, now, sched);
     }
 
-    /// Quantum expiry: requeue the remainder of the interrupted request at
-    /// the back of its serving core's shuffle queue, behind any shorter
-    /// requests that arrived meanwhile — the anti-head-of-line move.
+    /// Quantum expiry: requeue the remainder of the interrupted request on
+    /// its serving core's background queue, behind any shorter requests
+    /// that arrived meanwhile — the anti-head-of-line move.
     fn preempt(&mut self, core: usize, epoch: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
         if self.cores[core].epoch != epoch {
             return; // Invalidated (e.g. an IPI extended the chunk).
@@ -695,65 +870,106 @@ impl ZygosModel {
         connref.pending.extend(arrived);
         connref.st = ConnSt::Ready;
         let home = self.serving_core(self.source.home_of(conn) as usize);
-        self.cores[home].bg.push_back((conn, now));
+        self.bg_enqueue(
+            home,
+            BgEntry {
+                conn,
+                since: now,
+                remaining_ns: remaining,
+            },
+        );
         self.wake_idle(sched);
         // The interrupted core re-enters its scheduling loop (the handler
         // cost was charged inside the chunk).
         self.run_core(core, now, sched);
     }
 
-    /// Elastic-controller tick: observe load, apply the allocator's
-    /// decision, reschedule.
+    /// Harvests the control window: the worst per-class p99-vs-SLO ratio
+    /// (for the SLO-driven allocator) and the overall window tail in µs
+    /// (for the credit AIMD; `NaN` when the window is too thin).
+    fn window_signal(&mut self) -> (Option<f64>, f64) {
+        let ratio = self
+            .cfg
+            .slo
+            .as_ref()
+            .and_then(|slo| slo.worst_ratio(&mut self.win, MIN_WINDOW_SAMPLES));
+        let mut all: Vec<u64> = self.win.iter().flatten().copied().collect();
+        let tail_us = if all.len() >= MIN_WINDOW_SAMPLES {
+            zygos_load::slo::exact_quantile_us(&mut all, 0.99)
+        } else {
+            f64::NAN
+        };
+        for w in &mut self.win {
+            w.clear();
+        }
+        (ratio, tail_us)
+    }
+
+    /// Control tick: harvest the window, drive the allocation policy (if
+    /// elastic) and the credit AIMD (if admitting), reschedule.
     fn control(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let (slo_ratio, tail_us) = self.window_signal();
+        if let Some(pool) = &mut self.admission {
+            pool.update(tail_us);
+        }
         self.note_busy(now, 0, true); // Flush the busy integrals up to `now`.
         let busy_integral = self.fg_busy.integral_ns;
-        let Some(elastic) = &mut self.elastic else {
-            return;
-        };
-        // Utilization, time-averaged since the previous tick: instantaneous
-        // busy-core counts swing wildly under bursty Poisson arrivals.
-        let dt = now.as_nanos() - elastic.last_ctl_ns;
-        let busy = if dt == 0 {
-            self.fg_busy.count as f64
-        } else {
-            (busy_integral - elastic.last_ctl_busy_integral) as f64 / dt as f64
-        };
-        elastic.last_ctl_busy_integral = busy_integral;
-        elastic.last_ctl_ns = now.as_nanos();
-        // Backlog = work waiting involuntarily. Un-aged background entries
-        // are deferred *by policy* (they run in idle gaps) and would
-        // otherwise read as queue pressure that blocks parking at low
-        // load; only overdue (aged) entries count.
-        let age_bound = ns(self.quantum.quantum_ns().saturating_mul(BG_AGING_QUANTA));
-        let mut backlog = 0;
-        for c in &self.cores {
-            if c.active {
-                backlog += c.ring.len() + c.shuffle.len() + c.remote_sys.len();
-                backlog +=
-                    c.bg.iter()
-                        .filter(|&&(_, since)| now.duration_since(since) >= age_bound)
-                        .count();
+        let fg_count = self.fg_busy.count;
+        if self.elastic.is_some() {
+            // Utilization, time-averaged since the previous tick:
+            // instantaneous busy-core counts swing wildly under bursty
+            // Poisson arrivals.
+            let elastic = self.elastic.as_mut().expect("checked");
+            let dt = now.as_nanos() - elastic.last_ctl_ns;
+            let busy = if dt == 0 {
+                fg_count as f64
+            } else {
+                (busy_integral - elastic.last_ctl_busy_integral) as f64 / dt as f64
+            };
+            elastic.last_ctl_busy_integral = busy_integral;
+            elastic.last_ctl_ns = now.as_nanos();
+            // Backlog = work waiting involuntarily. Un-aged background
+            // entries are deferred *by policy* (they run in idle gaps) and
+            // would otherwise read as queue pressure that blocks parking at
+            // low load; only overdue (aged) entries count.
+            let age_bound = self.dispatch.background_aging_ns();
+            let bound = if age_bound == u64::MAX {
+                None
+            } else {
+                Some(ns(age_bound))
+            };
+            let mut backlog = 0;
+            for c in &self.cores {
+                if c.active {
+                    backlog += c.ring.len() + c.shuffle.len() + c.remote_sys.len();
+                    if let Some(b) = bound {
+                        backlog +=
+                            c.bg.iter()
+                                .filter(|e| now.duration_since(e.since) >= b)
+                                .count();
+                    }
+                }
+            }
+            let elastic = self.elastic.as_mut().expect("checked");
+            let decision = elastic.allocator.observe(&PolicySignal {
+                busy_cores: busy,
+                backlog,
+                slo_ratio,
+            });
+            if elastic.trace {
+                eprintln!(
+                    "ctl t={:.0}us busy={busy:.2} backlog={backlog} ratio={slo_ratio:?} [{}] active={} -> {decision:?}",
+                    now.as_micros_f64(),
+                    elastic.allocator.describe(),
+                    elastic.allocator.active(),
+                );
+            }
+            let target = elastic.allocator.active();
+            if decision != Decision::Hold {
+                self.apply_allocation(target, now, sched);
             }
         }
-        let decision = elastic.allocator.observe(LoadSignal {
-            busy_cores: busy,
-            backlog,
-        });
-        if elastic.trace {
-            eprintln!(
-                "ctl t={:.0}us busy={busy:.2} backlog={backlog} util~{:.2} press~{:.2} active={} -> {decision:?}",
-                now.as_micros_f64(),
-                elastic.allocator.util_ewma(),
-                elastic.allocator.press_ewma(),
-                elastic.allocator.active(),
-            );
-        }
-        let target = elastic.allocator.active();
-        let period = elastic.period;
-        if decision != Decision::Hold {
-            self.apply_allocation(target, now, sched);
-        }
-        sched.after(period, Ev::Control);
+        sched.after(self.ctl_period, Ev::Control);
     }
 
     /// Reconfigures the data plane to `target` granted cores: cores
@@ -770,11 +986,13 @@ impl ZygosModel {
                 let dst = i % target;
                 let ring: Vec<Req> = self.cores[i].ring.drain(..).collect();
                 let shuffle: Vec<u32> = self.cores[i].shuffle.drain(..).collect();
-                let bg: Vec<(u32, SimTime)> = self.cores[i].bg.drain(..).collect();
+                let bg: Vec<BgEntry> = self.cores[i].bg.drain(..).collect();
                 let remote: Vec<Req> = self.cores[i].remote_sys.drain(..).collect();
                 self.cores[dst].ring.extend(ring);
                 self.cores[dst].shuffle.extend(shuffle);
-                self.cores[dst].bg.extend(bg);
+                for entry in bg {
+                    self.bg_enqueue(dst, entry);
+                }
                 self.cores[dst].remote_sys.extend(remote);
                 self.wake(dst, sched);
             } else if !was && self.cores[i].active {
@@ -814,8 +1032,8 @@ impl ZygosModel {
             let batch = std::mem::take(&mut self.cores[core].remote_sys);
             ext_ns += (cost.remote_syscall_ns + cost.stack_tx_per_msg_ns) * batch.len() as u64;
             let tx_at = now + ns(cost.ipi_handler_ns);
-            for req in &batch {
-                self.rec.complete(req, tx_at);
+            for req in batch {
+                self.complete_req(&req, tx_at);
             }
         }
         // The interrupted application event finishes later by the handler's
@@ -860,6 +1078,10 @@ impl ZygosModel {
             },
             None => self.cfg.cores as f64,
         };
+        let (admitted, rejected) = self
+            .admission
+            .as_ref()
+            .map_or((0, 0), |p| (p.admitted(), p.rejected()));
         SysOutput {
             latency: self.rec.latency.clone(),
             completed: self.rec.measured(),
@@ -869,6 +1091,8 @@ impl ZygosModel {
             ipis: self.ipis_delivered,
             preemptions: self.preemptions,
             avg_active_cores,
+            admitted,
+            rejected,
         }
     }
 }
@@ -894,11 +1118,18 @@ impl Model for ZygosModel {
                 sched.after(gap, Ev::Gen);
             }
             Ev::Packet(req) => {
+                // The credit gate sits at the server edge: a shed request
+                // never touches a ring, a queue, or a core.
+                if let Some(pool) = &mut self.admission {
+                    if !pool.try_admit() {
+                        return;
+                    }
+                }
                 let home = self.serving_core(req.home as usize);
                 self.cores[home].ring.push_back(req);
                 if self.cores[home].is_idle() {
                     self.wake(home, sched);
-                } else if self.ipis_enabled
+                } else if self.ipis_enabled()
                     && self.cores[home].in_app()
                     && self.cores.iter().any(|c| c.active && c.is_idle())
                 {
@@ -917,17 +1148,17 @@ impl Model for ZygosModel {
 }
 
 /// Runs the ZygOS-family system simulation (static, no-interrupts, or
-/// elastic).
+/// elastic; with or without the credit gate).
 pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
     debug_assert!(matches!(
         cfg.system,
         SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. }
     ));
     let model = ZygosModel::new(cfg.clone());
-    let elastic = model.is_elastic();
+    let control = model.has_control_plane();
     let mut engine = Engine::new(model);
     engine.schedule(SimTime::ZERO, Ev::Gen);
-    if elastic {
+    if control {
         engine.schedule(SimTime::ZERO, Ev::Control);
     }
     engine.run();
@@ -938,6 +1169,8 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zygos_load::slo::{Slo, TenantSlos};
+    use zygos_sched::CreditConfig;
     use zygos_sim::dist::ServiceDist;
 
     fn quick(system: SystemKind, load: f64, mean_us: f64) -> SysOutput {
@@ -1007,5 +1240,81 @@ mod tests {
         let out = quick(SystemKind::Zygos, 0.85, 25.0);
         assert_eq!(out.completed, 20_000);
         assert!(out.p99_us() < 2_000.0, "p99 = {}", out.p99_us());
+    }
+
+    #[test]
+    fn no_admission_reports_no_gate_counts() {
+        let out = quick(SystemKind::Zygos, 0.5, 10.0);
+        assert_eq!(out.admitted, 0);
+        assert_eq!(out.rejected, 0);
+        assert_eq!(out.shed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn credit_gate_sheds_under_overload_and_bounds_admitted_tail() {
+        let mut cfg = SysConfig::paper(
+            SystemKind::Zygos,
+            ServiceDist::exponential_us(10.0),
+            1.3, // 30% past saturation: unbounded queues without a gate.
+        );
+        cfg.requests = 15_000;
+        cfg.warmup = 3_000;
+        cfg.admission = Some(CreditConfig::for_cores(cfg.cores, 80.0));
+        let out = run(&cfg);
+        assert_eq!(out.completed, 15_000);
+        assert!(out.rejected > 0, "overload must shed");
+        assert!(
+            out.shed_fraction() > 0.1,
+            "shed fraction = {}",
+            out.shed_fraction()
+        );
+        assert!(
+            out.p99_us() < 400.0,
+            "admitted p99 must stay bounded, got {}",
+            out.p99_us()
+        );
+    }
+
+    #[test]
+    fn srpt_background_order_runs_and_completes() {
+        let mut cfg = SysConfig::paper(
+            SystemKind::Zygos,
+            ServiceDist::TwoPoint {
+                fast_us: 0.5,
+                slow_us: 500.0,
+                p_fast: 0.995,
+            },
+            0.6,
+        );
+        cfg.requests = 15_000;
+        cfg.warmup = 3_000;
+        cfg.preemption_quantum_us = 25.0;
+        cfg.background_order = BackgroundOrder::Srpt;
+        let out = run(&cfg);
+        assert_eq!(out.completed, 15_000);
+        assert!(out.preemptions > 0, "quantum must fire");
+    }
+
+    #[test]
+    fn tenant_slo_classes_drive_the_elastic_controller() {
+        // A strict interactive class forces the SLO-driven allocator to
+        // hold more cores than the utilization rule would at low load.
+        let mut cfg = SysConfig::paper(
+            SystemKind::Elastic { min_cores: 2 },
+            ServiceDist::exponential_us(10.0),
+            0.2,
+        );
+        cfg.requests = 20_000;
+        cfg.warmup = 4_000;
+        cfg.slo = Some(TenantSlos::uniform(Slo::p99(55.0))); // barely above the no-load p99
+        let strict = run(&cfg);
+        cfg.slo = None;
+        let unconstrained = run(&cfg);
+        assert!(
+            strict.avg_active_cores >= unconstrained.avg_active_cores,
+            "strict SLO {:.2} cores vs unconstrained {:.2}",
+            strict.avg_active_cores,
+            unconstrained.avg_active_cores
+        );
     }
 }

@@ -16,13 +16,17 @@
 //!   system models used to regenerate every figure, plus the
 //!   `SystemKind::Elastic` model combining them with the `sched` control
 //!   plane.
-//! * [`sched`] — the elastic control plane grown beyond the paper:
-//!   a hysteretic core allocator with square-root staffing (Shenango-style
-//!   core reallocation), a preemptive quantum policy with a two-level
-//!   preempted queue (Shinjuku-style microsecond preemption), and the
-//!   core gate the live runtime uses to park workers. Knobs:
-//!   `SysConfig::preemption_quantum_us`, `ElasticKnobs`, and
-//!   `SchedulerKind::Elastic { steal, quantum_events }`.
+//! * [`sched`] — the **policy plane**: every dispatch and allocation
+//!   decision in the workspace, written once. A `DispatchPolicy` trait
+//!   (rung-ladder dispatch, steal/preempt/background-order decisions)
+//!   drives both the simulator's system models and the live runtime's
+//!   workers; an `AllocPolicy` trait (SLO-margin `SloController` by
+//!   default, the `util + β·√util` rule as `UtilizationPolicy`) staffs
+//!   the elastic data plane; a Breakwater-style `CreditPool` sheds load
+//!   at the edge under overload. Knobs:
+//!   `SysConfig::{preemption_quantum_us, background_order, admission,
+//!   slo}`, `ElasticKnobs`, `SchedulerKind::Elastic` and
+//!   `RuntimeConfig::admission`.
 //! * [`silo`] — a Silo-style OCC in-memory transactional database with a
 //!   complete TPC-C implementation.
 //! * [`kv`] — a memcached-like key-value store with USR/ETC workloads.

@@ -1,0 +1,89 @@
+//! Acceptance tests for credit-based admission control (`fig13`): in
+//! sustained overload the credit gate keeps the *admitted* tail bounded
+//! while every PR-1 policy diverges.
+//!
+//! The simulator is deterministic (fixed seeds, integer time), so these
+//! are exact regressions, not statistical ones. The same configuration and
+//! bound constants as the figure are imported, so the test certifies what
+//! `fig13_overload` reports.
+
+use zygos::sim::dist::ServiceDist;
+use zygos::sysim::{run_system, SysConfig, SystemKind};
+use zygos_bench::fig12_elastic::QUANTUM_US;
+use zygos_bench::fig13::{credit_config, BOUND_US, SLO_US};
+
+fn cfg(load: f64) -> SysConfig {
+    let mut c = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), load);
+    c.requests = 20_000;
+    c.warmup = 4_000;
+    c
+}
+
+#[test]
+fn credit_gate_bounds_admitted_p99_where_pr1_policies_diverge() {
+    for load in [1.2, 1.4] {
+        let stat = run_system(&cfg(load));
+        let mut ecfg = cfg(load);
+        ecfg.system = SystemKind::Elastic { min_cores: 2 };
+        ecfg.preemption_quantum_us = QUANTUM_US;
+        let elastic = run_system(&ecfg);
+        let mut ccfg = cfg(load);
+        ccfg.admission = Some(credit_config(ccfg.cores));
+        let credits = run_system(&ccfg);
+
+        assert!(
+            credits.p99_us() <= BOUND_US,
+            "load {load}: admitted p99 {} exceeds 2xSLO bound {BOUND_US}",
+            credits.p99_us()
+        );
+        assert!(
+            credits.rejected > 0 && credits.shed_fraction() > 0.1,
+            "load {load}: overload must shed (got {})",
+            credits.shed_fraction()
+        );
+        assert!(
+            stat.p99_us() > 2.0 * BOUND_US,
+            "load {load}: static p99 {} should diverge",
+            stat.p99_us()
+        );
+        assert!(
+            elastic.p99_us() > 2.0 * BOUND_US,
+            "load {load}: elastic p99 {} should diverge",
+            elastic.p99_us()
+        );
+    }
+}
+
+#[test]
+fn credit_gate_is_nearly_transparent_below_saturation() {
+    // At 60% load the gate must not get in the way: negligible shedding
+    // and an SLO-met tail.
+    let mut c = cfg(0.6);
+    c.admission = Some(credit_config(c.cores));
+    let out = run_system(&c);
+    assert!(
+        out.shed_fraction() < 0.01,
+        "shed {} at load 0.6",
+        out.shed_fraction()
+    );
+    assert!(
+        out.p99_us() <= SLO_US,
+        "p99 {} should meet the SLO under normal load",
+        out.p99_us()
+    );
+}
+
+#[test]
+fn goodput_holds_near_capacity_under_overload() {
+    // The point of shedding: what *is* admitted completes at a rate near
+    // the machine's capacity (1.6 MRPS ideal for 16 cores @ 10µs), instead
+    // of everything timing out together.
+    let mut c = cfg(1.4);
+    c.admission = Some(credit_config(c.cores));
+    let out = run_system(&c);
+    let goodput = out.throughput_mrps();
+    assert!(
+        goodput > 1.1,
+        "admitted goodput {goodput} MRPS collapsed under overload"
+    );
+}
