@@ -1,4 +1,4 @@
-//! Ablation studies of ZygOS's design choices (DESIGN.md §7) plus the
+//! Ablation studies of ZygOS's design choices plus the
 //! bimodal-2 experiment the paper's system evaluation omits.
 //!
 //! 1. **Victim-order randomization** — §5 randomizes the order in which an

@@ -1,5 +1,5 @@
 //! Ablation studies: steal-order randomization, IPI delivery latency,
-//! steal cost, and the bimodal-2 system experiment (DESIGN.md §7).
+//! steal cost, and the bimodal-2 system experiment.
 fn main() {
     let scale = zygos_bench::Scale::from_env();
     let rows = zygos_bench::ablation::run(&scale);

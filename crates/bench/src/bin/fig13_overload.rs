@@ -1,16 +1,19 @@
 //! Regenerates Figure 13 (extension): overload behavior with and without
-//! credit-based admission control.
+//! credit-based admission control — server-edge vs client-side credits,
+//! plus the two-tenant weighted-fair-shedding panel.
 //!
 //! Flags:
 //!
 //! * `--smoke` — reduced duration/arrival count and a 3-point load grid
 //!   (what CI runs);
-//! * `--check` — exit nonzero unless the acceptance claim holds: admitted
+//! * `--check` — exit nonzero unless the acceptance claims hold: admitted
 //!   p99 within 2× the SLO at offered load ≥ 1.2 while the uncontrolled
-//!   policies diverge.
+//!   policies diverge, client-side credits strictly below server-edge
+//!   wasted wire time, and the loosest tenant class shedding first.
 //!
 //! `ZYGOS_FAST=1` also selects the reduced grid at the standard fast
-//! scale.
+//! scale. See `docs/FIGURES.md` for expected headline numbers and what a
+//! regression here means.
 
 use zygos_bench::{fig13, Scale};
 
@@ -32,9 +35,11 @@ fn main() {
         (Scale::from_env(), fast)
     };
     let curves = fig13::run(&scale, fast);
-    fig13::print(&curves);
+    let tenants = fig13::run_tenant_shed(&scale, fast);
+    fig13::print(&curves, &tenants);
     if check {
-        match fig13::check(&curves) {
+        let result = fig13::check(&curves).and_then(|()| fig13::check_tenants(&tenants));
+        match result {
             Ok(()) => println!("# fig13 check OK"),
             Err(e) => {
                 eprintln!("fig13 check FAILED: {e}");

@@ -10,21 +10,42 @@
 //!   together (the window keeps most of the divergence off-screen; it
 //!   grows with measurement length).
 //! * **ZygOS (credits)** — the same dispatch plane behind a
-//!   Breakwater-style [`zygos_sched::CreditPool`]: admitted in-flight
-//!   requests are bounded by AIMD-resized credits steering the window
-//!   tail to [`CREDIT_TARGET_US`], and the surplus is shed at the server
-//!   edge with explicit rejects.
+//!   Breakwater-style [`zygos_sched::CreditPool`] shedding at the
+//!   **server edge**: admitted in-flight requests are bounded by
+//!   AIMD-resized credits steering the window tail to
+//!   [`CREDIT_TARGET_US`], and the surplus is shed with explicit rejects
+//!   — each of which has already burned a full wire RTT (request there,
+//!   reject back).
+//! * **ZygOS (client credits)** — the same pool consulted at the
+//!   **sender** ([`AdmissionMode::ClientSide`]): a creditless request is
+//!   never sent, so every shed costs zero wire time. Identical admitted
+//!   tail, identical goodput — the wasted-wire column is the entire
+//!   difference, and it is what Breakwater's credit distribution buys.
 //!
-//! The claim the `--check` mode (and `tests/overload.rs`) enforces: at
-//! offered load ≥ 1.2, the credit system's **admitted-request p99 stays
-//! within 2× the SLO** while the uncontrolled policies blow through it.
-//! Each curve also reports goodput (admitted MRPS) and shed fraction —
-//! the price of the bounded tail, paid in explicit rejects rather than
-//! unbounded queueing.
+//! A second panel sweeps a **two-tenant** configuration (interactive
+//! p99 ≤ 100µs next to batch p99 ≤ 1000µs) through the same overload:
+//! with [`SysConfig::slo`] set, the AIMD target is derived per class from
+//! the bounds and shedding is weighted-fair — the batch class, capped at
+//! half the pool, absorbs the overload first
+//! ([`run_tenant_shed`] / [`check_tenants`]).
+//!
+//! The claims the `--check` mode (and `tests/overload.rs`) enforce at
+//! offered load ≥ 1.2:
+//!
+//! 1. both credit systems' **admitted p99 stays within 2× the SLO** while
+//!    the uncontrolled policies blow through it;
+//! 2. client-side credits **strictly reduce wasted wire RTT** versus
+//!    server-edge shedding (which burns one RTT per reject);
+//! 3. the **loosest tenant class sheds first** under weighted fair
+//!    shedding.
 
+use zygos_load::slo::{Slo, SloClass, TenantSlos};
 use zygos_sched::CreditConfig;
 use zygos_sim::dist::ServiceDist;
-use zygos_sysim::{latency_throughput_sweep, SweepPoint, SysConfig, SystemKind};
+use zygos_sysim::{
+    latency_throughput_sweep, run_system, AdmissionMode, SweepPoint, SysConfig, SystemKind,
+    CREDIT_HEADROOM,
+};
 
 use crate::fig12_elastic::QUANTUM_US;
 use crate::Scale;
@@ -35,8 +56,10 @@ pub const SLO_US: f64 = 100.0;
 
 /// The AIMD loop's window-tail target. Below the SLO by design: the
 /// controller must start shedding *before* the tail reaches the bound,
-/// and the window p99 is a noisy (small-sample) estimator.
-pub const CREDIT_TARGET_US: f64 = 70.0;
+/// and the window p99 is a noisy (small-sample) estimator. Equals
+/// `CREDIT_HEADROOM × SLO_US` — the single-tenant special case of the
+/// per-class targets `TenantSlos::aimd_targets_us` derives.
+pub const CREDIT_TARGET_US: f64 = CREDIT_HEADROOM * SLO_US;
 
 /// Admitted-tail acceptance bound: within 2× the SLO at overload.
 pub const BOUND_US: f64 = 2.0 * SLO_US;
@@ -56,12 +79,37 @@ pub fn credit_config(cores: usize) -> CreditConfig {
     CreditConfig::for_cores(cores, CREDIT_TARGET_US)
 }
 
+/// The two-tenant registry of the weighted-fair-shedding panel:
+/// interactive (p99 ≤ [`SLO_US`]) next to batch (p99 ≤ 10×[`SLO_US`]).
+/// Round-robin assignment puts even connections in interactive, odd in
+/// batch.
+pub fn tenant_slos() -> TenantSlos {
+    TenantSlos::new(vec![
+        SloClass::new("interactive", Slo::p99(SLO_US)),
+        SloClass::new("batch", Slo::p99(10.0 * SLO_US)),
+    ])
+}
+
 /// One system's overload curve.
 pub struct Curve {
     /// System label.
     pub system: String,
     /// Per-load measurements.
     pub points: Vec<SweepPoint>,
+}
+
+/// One load point of the two-tenant weighted-fair-shedding sweep.
+pub struct TenantShedPoint {
+    /// Offered load (fraction of ideal saturation).
+    pub load: f64,
+    /// Overall shed fraction.
+    pub shed_fraction: f64,
+    /// Share of all sheds falling on the strict (interactive) class.
+    pub strict_shed_share: f64,
+    /// Share of all sheds falling on the loose (batch) class.
+    pub loose_shed_share: f64,
+    /// Admitted p99 (µs).
+    pub p99_us: f64,
 }
 
 fn base(scale: &Scale) -> SysConfig {
@@ -71,7 +119,7 @@ fn base(scale: &Scale) -> SysConfig {
     cfg
 }
 
-/// Runs the three curves over the overload grid.
+/// Runs the four curves over the overload grid.
 pub fn run(scale: &Scale, fast: bool) -> Vec<Curve> {
     let grid = loads(fast);
     let mut curves = Vec::new();
@@ -97,19 +145,56 @@ pub fn run(scale: &Scale, fast: bool) -> Vec<Curve> {
         points: latency_throughput_sweep(&credits, &grid),
     });
 
+    let mut client = base(scale);
+    client.admission = Some(credit_config(client.cores));
+    client.admission_mode = AdmissionMode::ClientSide;
+    curves.push(Curve {
+        system: "ZygOS (client credits)".to_string(),
+        points: latency_throughput_sweep(&client, &grid),
+    });
+
     curves
 }
 
-/// Prints the figure: `p99`, `goodput` and `shed` series per system.
-pub fn print(curves: &[Curve]) {
+/// Runs the two-tenant weighted-fair-shedding sweep at the overload
+/// points of the grid.
+pub fn run_tenant_shed(scale: &Scale, fast: bool) -> Vec<TenantShedPoint> {
+    loads(fast)
+        .into_iter()
+        .filter(|&l| l >= 1.19)
+        .map(|load| {
+            let mut cfg = base(scale);
+            cfg.load = load;
+            cfg.admission = Some(credit_config(cfg.cores));
+            cfg.slo = Some(tenant_slos());
+            let out = run_system(&cfg);
+            TenantShedPoint {
+                load,
+                shed_fraction: out.shed_fraction(),
+                strict_shed_share: out.shed_share_of_class(0),
+                loose_shed_share: out.shed_share_of_class(1),
+                p99_us: out.p99_us(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure: `p99`, `goodput`, `shed` and `wire-waste` series
+/// per system, plus the two-tenant shed-share panel.
+pub fn print(curves: &[Curve], tenants: &[TenantShedPoint]) {
     crate::print_header(
         "fig13",
-        "overload: admitted p99, goodput and shed fraction vs offered load (SLO 100us)",
+        "overload: admitted p99, goodput, shed fraction and wasted wire vs offered load (SLO 100us)",
     );
     for c in curves {
         let p99: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.p99_us)).collect();
         let goodput: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.mrps)).collect();
         let shed: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.shed_fraction)).collect();
+        let waste: Vec<(f64, f64)> = c
+            .points
+            .iter()
+            .map(|p| (p.load, p.wasted_wire_us))
+            .collect();
         crate::print_series("fig13", "exp-10us", &format!("{}/p99", c.system), &p99);
         crate::print_series(
             "fig13",
@@ -118,6 +203,22 @@ pub fn print(curves: &[Curve]) {
             &goodput,
         );
         crate::print_series("fig13", "exp-10us", &format!("{}/shed", c.system), &shed);
+        crate::print_series(
+            "fig13",
+            "exp-10us",
+            &format!("{}/wire-waste-us", c.system),
+            &waste,
+        );
+    }
+    for t in tenants {
+        println!(
+            "# fig13 tenants: load {:.2}: shed {:.0}% (interactive share {:.0}%, batch share {:.0}%), admitted p99 {:.0}us",
+            t.load,
+            100.0 * t.shed_fraction,
+            100.0 * t.strict_shed_share,
+            100.0 * t.loose_shed_share,
+            t.p99_us
+        );
     }
     headline(curves);
 }
@@ -128,51 +229,69 @@ fn find<'a>(curves: &'a [Curve], prefix: &str) -> Option<&'a Curve> {
 
 /// Prints the acceptance summary at overload points.
 pub fn headline(curves: &[Curve]) {
-    let (Some(stat), Some(credits)) = (
+    let (Some(stat), Some(credits), Some(client)) = (
         find(curves, "ZygOS (static)"),
         find(curves, "ZygOS (credits)"),
+        find(curves, "ZygOS (client credits)"),
     ) else {
         return;
     };
-    for (s, c) in stat.points.iter().zip(&credits.points) {
+    for ((s, c), k) in stat.points.iter().zip(&credits.points).zip(&client.points) {
         if s.load >= 1.19 {
             println!(
-                "# fig13 headline: load {:.2}: credits p99 {:.0}us (shed {:.0}%) vs static {:.0}us — bound 2xSLO = {:.0}us ({})",
+                "# fig13 headline: load {:.2}: credits p99 {:.0}us (shed {:.0}%, wire waste {:.0}us) vs client-side waste {:.0}us vs static p99 {:.0}us — bound 2xSLO = {:.0}us ({})",
                 s.load,
                 c.p99_us,
                 100.0 * c.shed_fraction,
+                c.wasted_wire_us,
+                k.wasted_wire_us,
                 s.p99_us,
                 BOUND_US,
-                if c.p99_us <= BOUND_US { "bounded" } else { "VIOLATED" }
+                if c.p99_us <= BOUND_US && k.p99_us <= BOUND_US {
+                    "bounded"
+                } else {
+                    "VIOLATED"
+                }
             );
         }
     }
 }
 
-/// CI gate: at every offered load ≥ 1.2 the credit system's admitted p99
-/// must sit within 2× the SLO while the uncontrolled PR-1 policies
-/// diverge past it. Returns a description of the first violation.
+/// CI gate over the four curves: at every offered load ≥ 1.2 both credit
+/// systems' admitted p99 must sit within 2× the SLO while the
+/// uncontrolled PR-1 policies diverge past it, and client-side credits
+/// must strictly reduce wasted wire time versus server-edge shedding.
+/// Returns a description of the first violation.
 pub fn check(curves: &[Curve]) -> Result<(), String> {
     let stat = find(curves, "ZygOS (static)").ok_or("missing static curve")?;
     let elastic = find(curves, "ZygOS (elastic").ok_or("missing elastic curve")?;
     let credits = find(curves, "ZygOS (credits)").ok_or("missing credits curve")?;
+    let client = find(curves, "ZygOS (client credits)").ok_or("missing client-credits curve")?;
     let mut checked = 0;
-    for ((s, e), c) in stat.points.iter().zip(&elastic.points).zip(&credits.points) {
+    for (((s, e), c), k) in stat
+        .points
+        .iter()
+        .zip(&elastic.points)
+        .zip(&credits.points)
+        .zip(&client.points)
+    {
         if s.load < 1.19 {
             continue;
         }
         checked += 1;
-        if c.p99_us > BOUND_US {
-            return Err(format!(
-                "load {:.2}: credits p99 {:.0}us exceeds the 2xSLO bound {:.0}us",
-                c.load, c.p99_us, BOUND_US
-            ));
-        }
-        if c.shed_fraction <= 0.0 {
-            return Err(format!(
-                "load {:.2}: overload must shed, got shed fraction {}",
-                c.load, c.shed_fraction
-            ));
+        for (label, pt) in [("credits", c), ("client credits", k)] {
+            if pt.p99_us > BOUND_US {
+                return Err(format!(
+                    "load {:.2}: {label} p99 {:.0}us exceeds the 2xSLO bound {:.0}us",
+                    pt.load, pt.p99_us, BOUND_US
+                ));
+            }
+            if pt.shed_fraction <= 0.0 {
+                return Err(format!(
+                    "load {:.2}: {label} must shed at overload, got {}",
+                    pt.load, pt.shed_fraction
+                ));
+            }
         }
         if s.p99_us <= BOUND_US {
             return Err(format!(
@@ -186,9 +305,50 @@ pub fn check(curves: &[Curve]) -> Result<(), String> {
                 e.load, e.p99_us, BOUND_US
             ));
         }
+        if c.wasted_wire_us <= 0.0 {
+            return Err(format!(
+                "load {:.2}: server-edge shedding must burn wire RTT, got {}us",
+                c.load, c.wasted_wire_us
+            ));
+        }
+        if k.wasted_wire_us >= c.wasted_wire_us {
+            return Err(format!(
+                "load {:.2}: client-side waste {:.0}us must be strictly below server-edge {:.0}us",
+                k.load, k.wasted_wire_us, c.wasted_wire_us
+            ));
+        }
     }
     if checked == 0 {
         return Err("no overload points (load >= 1.2) in the grid".to_string());
+    }
+    Ok(())
+}
+
+/// CI gate over the two-tenant sweep: at every overload point the loose
+/// (batch) class must carry strictly more of the sheds than the strict
+/// (interactive) class, and the admitted tail must stay bounded
+/// (≤ [`BOUND_US`], judged against the strict class's SLO — the batch
+/// class's own bound is 10× looser).
+pub fn check_tenants(points: &[TenantShedPoint]) -> Result<(), String> {
+    if points.is_empty() {
+        return Err("no tenant overload points".to_string());
+    }
+    for t in points {
+        if t.shed_fraction <= 0.0 {
+            return Err(format!("load {:.2}: tenants must shed at overload", t.load));
+        }
+        if t.loose_shed_share <= t.strict_shed_share {
+            return Err(format!(
+                "load {:.2}: loose class must shed first (loose {:.2} vs strict {:.2})",
+                t.load, t.loose_shed_share, t.strict_shed_share
+            ));
+        }
+        if t.p99_us > BOUND_US {
+            return Err(format!(
+                "load {:.2}: multi-tenant admitted p99 {:.0}us exceeds the 2xSLO bound {:.0}us",
+                t.load, t.p99_us, BOUND_US
+            ));
+        }
     }
     Ok(())
 }

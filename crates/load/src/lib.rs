@@ -4,13 +4,25 @@
 //!   the client-side discipline the paper uses ("incoming requests follow a
 //!   Poisson inter-arrival time on randomly-selected connections").
 //! * [`recorder`] — thread-safe latency recording for the live runtime
-//!   (per-thread histograms merged on demand).
-//! * [`slo`] — SLO specifications (`p99 ≤ k·S̄`) and evaluation.
+//!   (a shared log-bucketed histogram behind a mutex).
+//! * [`slo`] — SLO specifications (`p99 ≤ k·S̄`), multi-tenant SLO classes
+//!   ([`slo::TenantSlos`]: the source of the allocation ratio, the
+//!   per-class credit-AIMD targets, and the weighted-fair shed order),
+//!   and the exact small-window quantile both hosts' control ticks use.
+//! * [`retry`] — reject-aware retry policies ([`retry::RetryPolicy`]:
+//!   drop / exponential backoff / hedge-to-deadline) for clients facing a
+//!   credit-gated server.
+//!
+//! Everything here is host-agnostic: the live runtime, the discrete-event
+//! simulator and the tests consume the same schedules, SLO arithmetic and
+//! retry decisions.
 
 pub mod recorder;
+pub mod retry;
 pub mod schedule;
 pub mod slo;
 
 pub use recorder::SharedRecorder;
+pub use retry::{RetryDecision, RetryPolicy};
 pub use schedule::ArrivalSchedule;
 pub use slo::Slo;

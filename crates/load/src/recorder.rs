@@ -1,4 +1,25 @@
 //! Thread-safe latency recording for the live runtime.
+//!
+//! [`SharedRecorder`] is the measurement end of a live experiment: client
+//! threads record end-to-end latencies into one log-bucketed histogram,
+//! and SLO verdicts are taken on snapshots. A small-sample audit (see the
+//! tests) guarantees the histogram's p99 is conservative below 100
+//! samples — it reports the max, so an "SLO met" verdict can never rest
+//! on a rank that excluded the worst observation.
+//!
+//! ```
+//! use std::time::Duration;
+//! use zygos_load::{SharedRecorder, Slo};
+//!
+//! let r = SharedRecorder::new();
+//! for us in [10, 12, 15, 40] {
+//!     r.record_std(Duration::from_micros(us));
+//! }
+//! let hist = r.snapshot();
+//! assert_eq!(hist.count(), 4);
+//! assert!(Slo::p99(100.0).met_by(&hist));
+//! assert!(!Slo::p99(20.0).met_by(&hist)); // conservative small-n p99 = max
+//! ```
 
 use std::sync::Mutex;
 

@@ -1,0 +1,158 @@
+//! Reject-aware retry policies for open-loop clients.
+//!
+//! A client running against a credit-gated server sees two new events a
+//! plain open-loop generator never had to handle: a **local shed** (the
+//! sender-side credit balance is zero, the request was never transmitted)
+//! and an **explicit reject** (the server shed it at the edge). What to do
+//! next is a per-request *policy* decision, driven by how much latency
+//! budget the request has left:
+//!
+//! * [`RetryPolicy::Drop`] — count it and move on. Right for open-loop
+//!   measurement (a retried request is a different sample) and for
+//!   requests whose value expires immediately.
+//! * [`RetryPolicy::Backoff`] — retry after an exponentially growing
+//!   delay, up to an attempt cap. Right for fire-and-forget work that
+//!   must eventually land; the growing delay is what keeps a rejecting
+//!   server from being hammered by its own backpressure signal.
+//! * [`RetryPolicy::HedgeToDeadline`] — retry immediately as long as the
+//!   request can still meet its deadline, then give up. Right for
+//!   latency-budgeted interactive work: every microsecond spent backing
+//!   off is budget not spent queueing.
+//!
+//! The policy is pure — given the attempt number and the elapsed time it
+//! returns a [`RetryDecision`] — so hosts (the live load generator, tests,
+//! the simulator's clients) share one implementation and the decision
+//! table is trivially testable:
+//!
+//! ```
+//! use zygos_load::retry::{RetryDecision, RetryPolicy};
+//!
+//! // Exponential backoff: 100µs, 200µs, 400µs, then give up.
+//! let p = RetryPolicy::Backoff { base_us: 100, factor: 2.0, max_attempts: 3 };
+//! assert_eq!(p.on_shed(0, 0), RetryDecision::RetryAfterUs(100));
+//! assert_eq!(p.on_shed(1, 150), RetryDecision::RetryAfterUs(200));
+//! assert_eq!(p.on_shed(2, 400), RetryDecision::RetryAfterUs(400));
+//! assert_eq!(p.on_shed(3, 900), RetryDecision::GiveUp);
+//!
+//! // Hedging: retry at once while the 1ms deadline is alive.
+//! let h = RetryPolicy::HedgeToDeadline { deadline_us: 1_000 };
+//! assert_eq!(h.on_shed(0, 400), RetryDecision::RetryNow);
+//! assert_eq!(h.on_shed(1, 1_200), RetryDecision::GiveUp);
+//!
+//! // Drop never retries.
+//! assert_eq!(RetryPolicy::Drop.on_shed(0, 0), RetryDecision::GiveUp);
+//! ```
+
+/// What a client should do with a shed (locally refused or explicitly
+/// rejected) request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Abandon the request (count it as shed).
+    GiveUp,
+    /// Retry after waiting this many microseconds.
+    RetryAfterUs(u64),
+    /// Retry immediately (the latency budget is still alive).
+    RetryNow,
+}
+
+/// A reject-aware retry policy (see module docs for when to use which).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RetryPolicy {
+    /// Never retry: every shed is final.
+    Drop,
+    /// Exponential backoff: attempt `n` (0-based) waits
+    /// `base_us × factor^n` microseconds; after `max_attempts` retries the
+    /// request is abandoned.
+    Backoff {
+        /// Delay before the first retry, µs.
+        base_us: u64,
+        /// Multiplier applied per subsequent attempt (≥ 1.0).
+        factor: f64,
+        /// Retries attempted before giving up.
+        max_attempts: u32,
+    },
+    /// Immediate retries while the request can still meet its end-to-end
+    /// deadline; abandoned the moment the elapsed time crosses it.
+    HedgeToDeadline {
+        /// The request's end-to-end latency budget, µs.
+        deadline_us: u64,
+    },
+}
+
+impl RetryPolicy {
+    /// The decision for a request shed on its `attempt`-th try (0-based)
+    /// after `elapsed_us` microseconds since it was first issued.
+    pub fn on_shed(&self, attempt: u32, elapsed_us: u64) -> RetryDecision {
+        match *self {
+            RetryPolicy::Drop => RetryDecision::GiveUp,
+            RetryPolicy::Backoff {
+                base_us,
+                factor,
+                max_attempts,
+            } => {
+                if attempt >= max_attempts {
+                    RetryDecision::GiveUp
+                } else {
+                    let delay = base_us as f64 * factor.max(1.0).powi(attempt as i32);
+                    RetryDecision::RetryAfterUs(delay.min(u64::MAX as f64) as u64)
+                }
+            }
+            RetryPolicy::HedgeToDeadline { deadline_us } => {
+                if elapsed_us < deadline_us {
+                    RetryDecision::RetryNow
+                } else {
+                    RetryDecision::GiveUp
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_is_final() {
+        for attempt in 0..4 {
+            assert_eq!(RetryPolicy::Drop.on_shed(attempt, 0), RetryDecision::GiveUp);
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let p = RetryPolicy::Backoff {
+            base_us: 50,
+            factor: 2.0,
+            max_attempts: 4,
+        };
+        assert_eq!(p.on_shed(0, 0), RetryDecision::RetryAfterUs(50));
+        assert_eq!(p.on_shed(1, 0), RetryDecision::RetryAfterUs(100));
+        assert_eq!(p.on_shed(2, 0), RetryDecision::RetryAfterUs(200));
+        assert_eq!(p.on_shed(3, 0), RetryDecision::RetryAfterUs(400));
+        assert_eq!(p.on_shed(4, 0), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn backoff_factor_below_one_is_clamped_constant() {
+        let p = RetryPolicy::Backoff {
+            base_us: 10,
+            factor: 0.5,
+            max_attempts: 2,
+        };
+        assert_eq!(p.on_shed(0, 0), RetryDecision::RetryAfterUs(10));
+        assert_eq!(p.on_shed(1, 0), RetryDecision::RetryAfterUs(10));
+    }
+
+    #[test]
+    fn hedge_respects_the_deadline_exactly() {
+        let h = RetryPolicy::HedgeToDeadline { deadline_us: 500 };
+        assert_eq!(h.on_shed(0, 499), RetryDecision::RetryNow);
+        assert_eq!(h.on_shed(0, 500), RetryDecision::GiveUp);
+        assert_eq!(
+            h.on_shed(9, 0),
+            RetryDecision::RetryNow,
+            "attempts unbounded"
+        );
+    }
+}

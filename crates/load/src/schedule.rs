@@ -1,4 +1,22 @@
 //! Poisson arrival schedules.
+//!
+//! An [`ArrivalSchedule`] is pre-generated rather than sampled on the
+//! fly: the open-loop property the paper's methodology depends on
+//! (§3.1, citing Schroeder et al.) is exactly that the client never
+//! slows down when the server does, and a generator that samples
+//! inter-arrival gaps while also waiting on responses silently turns
+//! closed-loop under overload.
+//!
+//! ```
+//! use zygos_load::ArrivalSchedule;
+//!
+//! // 0.5 requests/µs over 16 connections, reproducible by seed.
+//! let s = ArrivalSchedule::generate(0.5, 10_000, 16, 42);
+//! assert_eq!(s.len(), 10_000);
+//! assert!((s.rate_per_us() - 0.5).abs() < 0.05);
+//! // Arrivals come pre-sorted in time.
+//! assert!(s.arrivals().windows(2).all(|w| w[0].at <= w[1].at));
+//! ```
 
 use zygos_sim::rng::Xoshiro256;
 use zygos_sim::time::{SimDuration, SimTime};

@@ -8,12 +8,54 @@
 //! Beyond the paper, [`TenantSlos`] models a multi-tenant deployment where
 //! connections belong to named SLO classes with different bounds (e.g. an
 //! interactive class at `10·S̄` next to a batch class at `100·S̄`). The
-//! SLO-driven allocation policy (`zygos_sched::SloController`) staffs on
-//! the **worst relative margin** across classes — the maximum of
-//! `p99 / bound` — so one violated tenant is enough to hold or grant
-//! cores.
+//! registry is the single source of truth for every per-tenant policy
+//! decision in the workspace:
+//!
+//! * the SLO-driven allocation policy (`zygos_sched::SloController`)
+//!   staffs on the **worst relative margin** across classes — the maximum
+//!   of `p99 / bound` returned by [`TenantSlos::worst_ratio`] — so one
+//!   violated tenant is enough to hold or grant cores;
+//! * the credit-admission AIMD loop steers to **per-class latency
+//!   targets** derived from the bounds ([`TenantSlos::aimd_targets_us`])
+//!   instead of a fixed µs constant, and compares the measured per-class
+//!   tails against them with [`TenantSlos::worst_credit_ratio`];
+//! * under overload, **weighted fair shedding** caps each class at a
+//!   fraction of the credit pool ([`TenantSlos::admit_fractions`]) such
+//!   that the *loosest* class (the one with the most latency headroom) is
+//!   shed first, rather than FIFO-blind rejection across all tenants.
+//!
+//! ```
+//! use zygos_load::slo::{Slo, SloClass, TenantSlos};
+//!
+//! let slos = TenantSlos::new(vec![
+//!     SloClass::new("interactive", Slo::p99(100.0)),
+//!     SloClass::new("batch", Slo::p99(1000.0)),
+//! ]);
+//! // Connections map to classes round-robin by id.
+//! assert_eq!(slos.class_of(0), 0);
+//! assert_eq!(slos.class_of(1), 1);
+//! // The AIMD loop targets 70% of each bound.
+//! assert_eq!(slos.aimd_targets_us(0.7), vec![70.0, 700.0]);
+//! // The batch class is capped at half the pool, so it sheds first.
+//! assert_eq!(slos.admit_fractions(), vec![1.0, 0.5]);
+//! ```
 
 use zygos_sim::stats::LatencyHistogram;
+
+/// Headroom factor applied to each tenant class's SLO bound to obtain its
+/// credit-AIMD latency target ([`TenantSlos::aimd_targets_us`]): the
+/// admission loop steers the measured per-class window tail to
+/// `CREDIT_HEADROOM × bound`, shedding *before* the bound is breached
+/// (the window tail is a noisy estimator and the AIMD reaction lags a
+/// control period). Defined here — next to the arithmetic that consumes
+/// it — so the simulator and the live runtime cannot drift apart.
+pub const CREDIT_HEADROOM: f64 = 0.7;
+
+/// Minimum completions in a control window before its tail is trusted as
+/// a policy signal: below this, the window p99 is the max of a handful
+/// of samples — too noisy to staff or shed on. Shared by both hosts'
+/// control ticks.
+pub const MIN_WINDOW_SAMPLES: usize = 8;
 
 /// An SLO: `quantile(percentile) ≤ bound_us`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -118,7 +160,8 @@ impl TenantSlos {
     /// place) holds at least `min_samples` entries. `> 1.0` means some
     /// tenant's SLO is violated; `None` when no class has enough samples
     /// to judge. This is the signal `zygos_sched::SloController` staffs
-    /// on — the simulator's control tick calls it per window.
+    /// on — both hosts' control ticks call it per window (the simulator
+    /// from virtual time, the live runtime from measured sojourns).
     pub fn worst_ratio(&self, per_class: &mut [Vec<u64>], min_samples: usize) -> Option<f64> {
         assert_eq!(per_class.len(), self.classes.len(), "one window per class");
         let mut worst: Option<f64> = None;
@@ -130,6 +173,102 @@ impl TenantSlos {
             }
         }
         worst
+    }
+
+    /// Per-class latency targets (µs) for the credit-admission AIMD loop:
+    /// `headroom × bound` for each class, in class order.
+    ///
+    /// The headroom sits below 1.0 by design — the admission controller
+    /// must start shedding *before* the measured tail reaches the bound,
+    /// because the window tail is a noisy small-sample estimator and the
+    /// AIMD reaction lags by a control period.
+    ///
+    /// ```
+    /// use zygos_load::slo::{Slo, TenantSlos};
+    /// let t = TenantSlos::uniform(Slo::p99(100.0));
+    /// assert_eq!(t.aimd_targets_us(0.7), vec![70.0]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `headroom` is in `(0, 1]`.
+    pub fn aimd_targets_us(&self, headroom: f64) -> Vec<f64> {
+        assert!(
+            headroom > 0.0 && headroom <= 1.0,
+            "headroom must be in (0, 1]"
+        );
+        self.classes
+            .iter()
+            .map(|c| headroom * c.slo.bound_us)
+            .collect()
+    }
+
+    /// The worst per-class congestion ratio for the credit AIMD loop:
+    /// `max(quantile_i(percentile_i) / target_i)` over classes with at
+    /// least `min_samples` window entries, where `targets_us` comes from
+    /// [`TenantSlos::aimd_targets_us`]. A ratio of 1.0 means "exactly at
+    /// target"; `None` means no class produced a trustworthy signal this
+    /// window (the AIMD loop should hold).
+    ///
+    /// Same shape as [`TenantSlos::worst_ratio`], but normalized against
+    /// the *admission* targets instead of the SLO bounds — the two loops
+    /// deliberately act at different points (shed before you breach).
+    pub fn worst_credit_ratio(
+        &self,
+        per_class: &mut [Vec<u64>],
+        targets_us: &[f64],
+        min_samples: usize,
+    ) -> Option<f64> {
+        assert_eq!(per_class.len(), self.classes.len(), "one window per class");
+        assert_eq!(targets_us.len(), self.classes.len(), "one target per class");
+        let mut worst: Option<f64> = None;
+        for ((c, samples), &target) in self.classes.iter().zip(per_class).zip(targets_us) {
+            if samples.len() >= min_samples.max(1) && target > 0.0 {
+                let q = exact_quantile_us(samples, c.slo.percentile);
+                let r = q / target;
+                worst = Some(worst.map_or(r, |w: f64| w.max(r)));
+            }
+        }
+        worst
+    }
+
+    /// Per-class admission fractions for weighted fair shedding: the share
+    /// of the credit pool each class may occupy, in class order.
+    ///
+    /// Classes are ranked by bound: the **strictest** class may use the
+    /// whole pool (fraction 1.0); each looser class is capped at a
+    /// progressively smaller share, so as the pool fills under overload
+    /// the loosest class hits its cap — and starts shedding — first. A
+    /// class with the most latency headroom is the one whose users suffer
+    /// least from a retry, which is exactly who should absorb the
+    /// overload. Ties in the bound share a rank (equal bounds shed
+    /// together).
+    ///
+    /// ```
+    /// use zygos_load::slo::{Slo, SloClass, TenantSlos};
+    /// let t = TenantSlos::new(vec![
+    ///     SloClass::new("batch", Slo::p99(1000.0)),
+    ///     SloClass::new("interactive", Slo::p99(100.0)),
+    ///     SloClass::new("background", Slo::p99(10_000.0)),
+    /// ]);
+    /// // Strictest (interactive) gets the full pool; looser classes are
+    /// // capped harder the more headroom their bound leaves them.
+    /// assert_eq!(t.admit_fractions(), vec![2.0 / 3.0, 1.0, 1.0 / 3.0]);
+    /// ```
+    pub fn admit_fractions(&self) -> Vec<f64> {
+        let k = self.classes.len();
+        self.classes
+            .iter()
+            .map(|c| {
+                // Rank = number of classes strictly stricter than this one.
+                let rank = self
+                    .classes
+                    .iter()
+                    .filter(|o| o.slo.bound_us < c.slo.bound_us)
+                    .count();
+                (k - rank) as f64 / k as f64
+            })
+            .collect()
     }
 }
 
@@ -213,6 +352,62 @@ mod tests {
         assert_eq!(exact_quantile_us(&mut w, 1.0), 100.0);
         let mut one = vec![7_000u64];
         assert_eq!(exact_quantile_us(&mut one, 0.99), 7.0);
+    }
+
+    #[test]
+    fn aimd_targets_scale_each_bound() {
+        let t = TenantSlos::new(vec![
+            SloClass::new("interactive", Slo::p99(100.0)),
+            SloClass::new("batch", Slo::p99(1000.0)),
+        ]);
+        assert_eq!(t.aimd_targets_us(0.7), vec![70.0, 700.0]);
+        assert_eq!(t.aimd_targets_us(1.0), vec![100.0, 1000.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn zero_headroom_rejected() {
+        TenantSlos::uniform(Slo::p99(100.0)).aimd_targets_us(0.0);
+    }
+
+    #[test]
+    fn credit_ratio_normalizes_against_targets() {
+        let t = TenantSlos::new(vec![
+            SloClass::new("interactive", Slo::p99(100.0)),
+            SloClass::new("batch", Slo::p99(1000.0)),
+        ]);
+        let targets = t.aimd_targets_us(0.7);
+        // Interactive tail at 140µs = 2× its 70µs target; batch at 350µs =
+        // 0.5× its 700µs target. The worst (interactive) drives the loop,
+        // even though *neither* SLO bound judges batch the worse class.
+        let mut windows = vec![vec![140_000u64; 100], vec![350_000u64; 100]];
+        let r = t
+            .worst_credit_ratio(&mut windows, &targets, 10)
+            .expect("both classes sampled");
+        assert!((r - 2.0).abs() < 0.01, "ratio = {r}");
+        // Thin windows give no signal.
+        let mut thin = vec![vec![1u64; 2], vec![]];
+        assert_eq!(t.worst_credit_ratio(&mut thin, &targets, 10), None);
+    }
+
+    #[test]
+    fn admit_fractions_shed_loosest_first() {
+        let t = TenantSlos::new(vec![
+            SloClass::new("interactive", Slo::p99(100.0)),
+            SloClass::new("batch", Slo::p99(1000.0)),
+        ]);
+        assert_eq!(t.admit_fractions(), vec![1.0, 0.5]);
+        // A single class is never capped.
+        assert_eq!(
+            TenantSlos::uniform(Slo::p99(500.0)).admit_fractions(),
+            vec![1.0]
+        );
+        // Equal bounds share a rank: nobody is singled out.
+        let even = TenantSlos::new(vec![
+            SloClass::new("a", Slo::p99(100.0)),
+            SloClass::new("b", Slo::p99(100.0)),
+        ]);
+        assert_eq!(even.admit_fractions(), vec![1.0, 1.0]);
     }
 
     #[test]

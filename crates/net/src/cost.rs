@@ -2,7 +2,9 @@
 //!
 //! The system simulator charges these per-operation costs instead of
 //! executing a real NIC/TCP stack. Values are calibrated **once** against
-//! the efficiencies the paper reports (DESIGN.md §5) and then shared by
+//! the efficiencies the paper reports (see the Fig 3 row of
+//! `docs/FIGURES.md`, whose regression meaning is exactly this
+//! calibration) and then shared by
 //! every experiment — they are not tuned per figure:
 //!
 //! * IX reaches ~90% of the partitioned-FCFS bound at `S̄ = 25µs` (§3.4)

@@ -8,7 +8,10 @@
 //! * [`flow`] — flows, five-tuples and connection identifiers.
 //! * [`rss`] — receive-side scaling: a faithful Toeplitz hash plus the
 //!   128-entry indirection table used to map flows to hardware queues.
-//! * [`packet`] — packets and the RPC wire format used by all workloads.
+//! * [`packet`] — packets and the RPC wire format used by all workloads
+//!   (20-byte header: magic, opcode, request id, body length, and the
+//!   credit grant servers piggyback on responses for sender-side
+//!   admission control).
 //! * [`ring`] — fixed-capacity descriptor rings: a lock-free SPSC ring (the
 //!   NIC↔core interface) and an MPSC injection ring (clients → NIC).
 //! * [`wire`] — byte-stream framing (the "TCP byte stream" of §6.2: the
@@ -16,8 +19,8 @@
 //! * [`tcp`] — a minimal TCP-like protocol control block: per-connection
 //!   receive reassembly and transmit queue, as seen by the scheduler.
 //! * [`cost`] — the calibrated cost model: every per-operation overhead the
-//!   system simulator charges (documented against the paper's reported
-//!   efficiencies in `DESIGN.md` §5).
+//!   system simulator charges, documented against the paper's reported
+//!   efficiencies (the Fig 3 calibration targets in `docs/FIGURES.md`).
 
 pub mod cost;
 pub mod flow;

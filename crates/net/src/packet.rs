@@ -4,14 +4,25 @@
 //! Silo/TPC-C) speaks the same framed RPC format over a byte stream:
 //!
 //! ```text
-//! +----------------+----------------+----------------+---------------+
-//! | magic (2B)     | opcode (2B)    | request id (8B)| body len (4B) |
-//! +----------------+----------------+----------------+---------------+
-//! | body (len bytes)...                                              |
-//! +------------------------------------------------------------------+
+//! +------------+------------+----------------+--------------+--------------+
+//! | magic (2B) | opcode (2B)| request id (8B)| body len (4B)| credits (4B) |
+//! +------------+------------+----------------+--------------+--------------+
+//! | body (len bytes)...                                                    |
+//! +------------------------------------------------------------------------+
 //! ```
 //!
-//! All integers are little-endian. The header is 16 bytes.
+//! All integers are little-endian. The header is 20 bytes.
+//!
+//! The **credits** field is the Breakwater-style sender-side credit grant,
+//! piggybacked on responses: a server running credit-based admission sets
+//! it to the number of send credits this reply returns to the client
+//! (0 = the pool is full, stop sending; see
+//! `zygos_sched::CreditGate::grant_for_response`). Requests, and servers
+//! with admission off, carry 0; clients not participating in sender-side
+//! credits ignore it. Keeping the grant in the fixed header — rather than
+//! a separate control message — means credit distribution costs no extra
+//! packets, which at µs scale is the difference between a control plane
+//! and a tax.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -21,7 +32,7 @@ use crate::flow::ConnId;
 pub const RPC_MAGIC: u16 = 0x5A47; // "ZG"
 
 /// Size of the fixed RPC header in bytes.
-pub const RPC_HEADER_LEN: usize = 16;
+pub const RPC_HEADER_LEN: usize = 20;
 
 /// Maximum body length accepted by the framer (1 MiB).
 pub const MAX_BODY_LEN: usize = 1 << 20;
@@ -55,6 +66,9 @@ pub struct RpcHeader {
     pub req_id: u64,
     /// Length of the body that follows.
     pub body_len: u32,
+    /// Credit grant piggybacked on responses (see module docs); 0 on
+    /// requests and when admission control is off.
+    pub credits: u32,
 }
 
 impl RpcHeader {
@@ -65,6 +79,7 @@ impl RpcHeader {
         dst.put_u16_le(self.opcode);
         dst.put_u64_le(self.req_id);
         dst.put_u32_le(self.body_len);
+        dst.put_u32_le(self.credits);
     }
 
     /// Decodes a header from the first [`RPC_HEADER_LEN`] bytes of `src`.
@@ -81,6 +96,7 @@ impl RpcHeader {
         let opcode = src.get_u16_le();
         let req_id = src.get_u64_le();
         let body_len = src.get_u32_le();
+        let credits = src.get_u32_le();
         if body_len as usize > MAX_BODY_LEN {
             return Err(FrameError::Oversized {
                 len: body_len as usize,
@@ -90,6 +106,7 @@ impl RpcHeader {
             opcode,
             req_id,
             body_len,
+            credits,
         })
     }
 }
@@ -104,16 +121,24 @@ pub struct RpcMessage {
 }
 
 impl RpcMessage {
-    /// Builds a message, filling in `body_len`.
+    /// Builds a message, filling in `body_len` (no credit grant).
     pub fn new(opcode: u16, req_id: u64, body: Bytes) -> Self {
         RpcMessage {
             header: RpcHeader {
                 opcode,
                 req_id,
                 body_len: body.len() as u32,
+                credits: 0,
             },
             body,
         }
+    }
+
+    /// Sets the piggybacked credit grant (responses from servers running
+    /// sender-side admission control).
+    pub fn with_credits(mut self, credits: u32) -> Self {
+        self.header.credits = credits;
+        self
     }
 
     /// Serializes header + body into a single buffer.
@@ -172,6 +197,7 @@ mod tests {
             opcode: 7,
             req_id: 0xDEAD_BEEF_0123,
             body_len: 42,
+            credits: 3,
         };
         let mut buf = BytesMut::new();
         h.encode(&mut buf);
@@ -198,6 +224,7 @@ mod tests {
             opcode: 0,
             req_id: 0,
             body_len: (MAX_BODY_LEN + 1) as u32,
+            credits: 0,
         };
         let mut buf = BytesMut::new();
         h.encode(&mut buf);
@@ -215,6 +242,18 @@ mod tests {
         let wire = m.to_bytes();
         assert_eq!(wire.len(), m.wire_len());
         assert_eq!(&wire[RPC_HEADER_LEN..], b"hello");
+    }
+
+    #[test]
+    fn credit_grant_roundtrips_and_defaults_to_zero() {
+        let plain = RpcMessage::new(1, 5, Bytes::new());
+        assert_eq!(plain.header.credits, 0);
+        let granted = RpcMessage::new(1, 5, Bytes::from_static(b"ok")).with_credits(2);
+        let wire = granted.to_bytes();
+        let mut rd = wire.clone();
+        let h = RpcHeader::decode(&mut rd).unwrap();
+        assert_eq!(h.credits, 2);
+        assert_eq!(h.req_id, 5);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!
 //! Congestion control, retransmission and SACK are irrelevant to the
 //! scheduling questions the paper studies (loss-free datacenter fabric,
-//! short messages) and are intentionally absent; DESIGN.md records this
-//! substitution.
+//! short messages) and are intentionally absent; `docs/ARCHITECTURE.md`
+//! records this substitution in the host-split table.
 
 use bytes::Bytes;
 

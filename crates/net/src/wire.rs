@@ -5,6 +5,27 @@
 //! segmented input — a message may span packets, and one packet may carry
 //! several messages (the §6.2 pipelining case: "up to four distinct
 //! memcached requests can be pipelined onto the same connection").
+//!
+//! The frame layout (including the credit-grant field that carries
+//! Breakwater-style sender-side admission grants on responses) is
+//! documented in [`crate::packet`]; the framer is layout-agnostic beyond
+//! the fixed header length and the `body_len` field.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use zygos_net::packet::RpcMessage;
+//! use zygos_net::wire::Framer;
+//!
+//! let wire = RpcMessage::new(1, 7, Bytes::from_static(b"hi")).to_bytes();
+//! let mut f = Framer::new();
+//! // Feed the frame in two arbitrary segments, like TCP would deliver it.
+//! f.feed(&wire[..9]).unwrap();
+//! assert!(f.next_message().unwrap().is_none()); // incomplete
+//! f.feed(&wire[9..]).unwrap();
+//! let msg = f.next_message().unwrap().unwrap();
+//! assert_eq!(msg.header.req_id, 7);
+//! assert_eq!(&msg.body[..], b"hi");
+//! ```
 
 use bytes::{Buf, Bytes, BytesMut};
 

@@ -1,5 +1,13 @@
 //! The loopback client port (stands in for the NIC + client cluster).
+//!
+//! With [`RuntimeConfig::client_credits`](crate::RuntimeConfig) armed, the
+//! port also runs the sender side of the Breakwater credit scheme: each
+//! connection holds a local credit balance, [`ClientPort::try_send`]
+//! refuses to transmit at zero balance (the shed request never touches
+//! the wire), and response headers replenish the balance with the grants
+//! the server piggybacks on them.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,16 +25,88 @@ use crate::server::Shared;
 pub struct ClientPort {
     shared: Arc<Shared>,
     resp_rx: Receiver<(ConnId, Bytes)>,
+    /// Sender-side credit balances, one per connection (`None` unless
+    /// client-side credits are armed).
+    credits: Option<Vec<AtomicU32>>,
+    /// Requests refused locally by [`ClientPort::try_send`]: sheds that
+    /// cost zero wire RTT.
+    local_sheds: AtomicU64,
 }
 
 impl ClientPort {
     pub(crate) fn new(shared: Arc<Shared>, resp_rx: Receiver<(ConnId, Bytes)>) -> Self {
-        ClientPort { shared, resp_rx }
+        let credits = (shared.cfg.client_credits && shared.cfg.admission.is_some()).then(|| {
+            // Split the initial pool across connections; every connection
+            // starts with at least one credit so no sender deadlocks
+            // before its first grant arrives.
+            let initial = shared
+                .cfg
+                .admission
+                .as_ref()
+                .map_or(1, |c| c.initial_credits);
+            let share = (initial / shared.cfg.conns.max(1)).max(1);
+            (0..shared.cfg.conns)
+                .map(|_| AtomicU32::new(share))
+                .collect()
+        });
+        ClientPort {
+            shared,
+            resp_rx,
+            credits,
+            local_sheds: AtomicU64::new(0),
+        }
     }
 
     /// Number of usable connections.
     pub fn conns(&self) -> u32 {
         self.shared.cfg.conns
+    }
+
+    /// `conn`'s current sender-side credit balance (`None` when
+    /// client-side credits are off).
+    pub fn credit_balance(&self, conn: ConnId) -> Option<u32> {
+        self.credits
+            .as_ref()
+            .map(|c| c[conn.index()].load(Ordering::Relaxed))
+    }
+
+    /// Requests refused locally for lack of credits — sheds that burned
+    /// no wire RTT (compare with the server gate's `rejected` counter,
+    /// which prices a full round trip per reject).
+    pub fn local_sheds(&self) -> u64 {
+        self.local_sheds.load(Ordering::Relaxed)
+    }
+
+    /// Sends `msg` on `conn` if the connection holds a send credit,
+    /// spending it; returns `false` (without touching the wire) when the
+    /// balance is zero. Always sends when client-side credits are off —
+    /// the caller can use this as its only send path.
+    ///
+    /// On `false`, the caller decides what the request's latency budget
+    /// allows: drop it, back off and retry, or hedge — see
+    /// `zygos_load::retry::RetryPolicy`.
+    pub fn try_send(&self, conn: ConnId, msg: &RpcMessage) -> bool {
+        if let Some(credits) = &self.credits {
+            let balance = &credits[conn.index()];
+            let mut cur = balance.load(Ordering::Relaxed);
+            loop {
+                if cur == 0 {
+                    self.local_sheds.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                match balance.compare_exchange_weak(
+                    cur,
+                    cur - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        self.send(conn, msg);
+        true
     }
 
     /// Sends one request message on `conn`.
@@ -56,7 +136,8 @@ impl ClientPort {
         self.shared.doorbells[home].ring(IpiReason::PendingPackets);
     }
 
-    /// Receives the next response, decoding its frame.
+    /// Receives the next response, decoding its frame and harvesting any
+    /// piggybacked credit grant into the connection's send balance.
     ///
     /// Returns `None` on timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<(ConnId, RpcMessage)> {
@@ -65,6 +146,11 @@ impl ClientPort {
         let mut buf = wire.clone();
         let header = RpcHeader::decode(&mut buf).expect("well-formed response");
         let body = buf.slice(..header.body_len as usize);
+        if let Some(credits) = &self.credits {
+            if header.credits > 0 {
+                credits[conn.index()].fetch_add(header.credits, Ordering::Relaxed);
+            }
+        }
         Some((conn, RpcMessage { header, body }))
     }
 

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use zygos_load::slo::TenantSlos;
 use zygos_sched::CreditConfig;
 
 /// Which scheduling discipline the workers run.
@@ -55,12 +56,28 @@ pub struct RuntimeConfig {
     pub conn_batch: usize,
     /// Credit-based admission control (Breakwater-style) at the RX edge:
     /// a framed request without a credit is answered immediately with a
-    /// [`crate::server::REJECT_OPCODE`] reply instead of being queued, and
-    /// worker 0 resizes the pool by AIMD on the aggregate queue depth
-    /// ([`CreditConfig::target`] is a queue-depth target here — the live
-    /// runtime has no per-request latency stamps). `None` admits
-    /// everything.
+    /// [`crate::server::REJECT_OPCODE`] reply instead of being queued.
+    /// Worker 0 resizes the pool by AIMD — on measured per-tenant sojourn
+    /// tails versus SLO-derived targets when [`RuntimeConfig::slo`] is
+    /// set (the same loop the simulator drives), or on the aggregate
+    /// queue depth otherwise ([`CreditConfig::target`] is then a
+    /// queue-depth target). `None` admits everything.
     pub admission: Option<CreditConfig>,
+    /// Per-tenant SLO classes (connection → class round-robin by id).
+    /// Arms the runtime's latency signal: ingress-stamped requests feed
+    /// per-class sojourn windows, the elastic controller becomes the
+    /// SLO-margin `SloController` (fed the measured worst p99-vs-bound
+    /// ratio), the credit AIMD steers to per-class targets, and shedding
+    /// becomes weighted-fair (loosest class first). `None` leaves the
+    /// PR-2 utilization-and-queue-depth behaviour.
+    pub slo: Option<TenantSlos>,
+    /// Distribute credits to the sender (Breakwater's client-side half):
+    /// responses piggyback a credit grant in the wire header and
+    /// [`crate::ClientPort::try_send`] refuses to send while the
+    /// connection's local balance is zero — a shed request then costs no
+    /// wire RTT at all. Only meaningful with
+    /// [`RuntimeConfig::admission`] set.
+    pub client_credits: bool,
 }
 
 impl RuntimeConfig {
@@ -73,12 +90,28 @@ impl RuntimeConfig {
             ring_capacity: 4096,
             conn_batch: usize::MAX,
             admission: None,
+            slo: None,
+            client_credits: false,
         }
     }
 
     /// Arms the credit gate on any base configuration.
     pub fn with_admission(mut self, credits: CreditConfig) -> Self {
         self.admission = Some(credits);
+        self
+    }
+
+    /// Arms the per-tenant latency signal (and with it the SLO-driven
+    /// allocation and admission loops) on any base configuration.
+    pub fn with_slo(mut self, slo: TenantSlos) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Switches the credit gate to sender-side distribution: grants ride
+    /// on response headers and the client stops sending at zero balance.
+    pub fn with_client_credits(mut self) -> Self {
+        self.client_credits = true;
         self
     }
 

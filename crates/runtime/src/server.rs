@@ -8,19 +8,47 @@
 //! doorbells, the idle sweep. The elastic controller likewise consumes an
 //! [`AllocPolicy`] trait object, and the optional credit gate is the
 //! lock-free [`CreditGate`] sibling of the simulator's `CreditPool` (same
-//! AIMD rule and invariants), updated here on aggregate queue depth (the
-//! live runtime has no per-request latency stamps).
+//! AIMD rule and invariants).
+//!
+//! # The live latency signal
+//!
+//! With [`RuntimeConfig::slo`](crate::RuntimeConfig::slo) set, every
+//! framed request is stamped at ingress and its **sojourn** (frame →
+//! response produced) lands in a per-core, per-tenant-class window.
+//! Worker 0's control tick harvests the windows and computes the same two
+//! signals the simulator's `Control` event computes:
+//!
+//! * the worst per-class p99-vs-SLO-bound ratio, fed to the SLO-margin
+//!   `SloController` as `PolicySignal::slo_ratio` — the live runtime and
+//!   the simulator now drive the *same* allocation policy object with a
+//!   *measured* signal (the PR-2 `slo_ratio: None` stub is gone);
+//! * the worst per-class tail-vs-credit-target ratio (targets derived
+//!   from the SLO bounds), fed to the [`CreditGate`]'s AIMD — per-tenant
+//!   SLO-driven admission instead of a queue-depth constant.
+//!
+//! The windows measure server sojourn rather than the simulator's
+//! client-observed latency (the loopback wire adds no modelled RTT); both
+//! are the quantity their host's SLO is written against.
+//!
+//! With [`RuntimeConfig::client_credits`](crate::RuntimeConfig::client_credits),
+//! responses additionally piggyback a credit grant
+//! ([`CreditGate::grant_for_response`]) in the wire header, and the
+//! [`ClientPort`] refuses to send while a connection's
+//! balance is zero — Breakwater's sender-side credit distribution, which
+//! turns every shed from a burned round-trip into a local, free decision.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
+use zygos_load::slo::{TenantSlos, CREDIT_HEADROOM, MIN_WINDOW_SAMPLES};
 use zygos_sched::{
     AllocPolicy, AllocatorConfig, BackgroundOrder, CoreAllocator, CreditGate, DispatchPolicy,
-    ElasticGate, FcfsPolicy, PolicySignal, QuantumPolicy, Rung, UtilizationPolicy, ZygosPolicy,
+    ElasticGate, FcfsPolicy, PolicySignal, QuantumPolicy, Rung, SloController, SloTuning,
+    UtilizationPolicy, ZygosPolicy,
 };
 
 use zygos_core::doorbell::{Doorbell, IpiReason};
@@ -43,9 +71,17 @@ use crate::config::{RuntimeConfig, SchedulerKind};
 /// client-visible backpressure signal (Breakwater's explicit reject).
 pub const REJECT_OPCODE: u16 = 0xFFFF;
 
+/// A framed request plus its ingress timestamp: the stamp is what turns
+/// the runtime from SLO-blind into a measured-latency host (sojourn =
+/// stamp → response produced).
+pub(crate) struct Stamped {
+    pub(crate) msg: RpcMessage,
+    pub(crate) ingress: Instant,
+}
+
 pub(crate) struct Shared {
     pub(crate) cfg: RuntimeConfig,
-    pub(crate) shuffle: ShuffleLayer<RpcMessage>,
+    pub(crate) shuffle: ShuffleLayer<Stamped>,
     /// Per-core ingress rings (the "NIC").
     pub(crate) rings: Vec<MpscRing<Packet>>,
     /// Per-core remote-syscall channels.
@@ -53,7 +89,7 @@ pub(crate) struct Shared {
     pub(crate) doorbells: Vec<Doorbell>,
     stats: Vec<CoreStats>,
     /// Floating mode: the shared ready queue.
-    floating_q: SpinLock<VecDeque<(ConnId, RpcMessage)>>,
+    floating_q: SpinLock<VecDeque<(ConnId, Stamped)>>,
     resp_tx: Sender<(ConnId, Bytes)>,
     stop: AtomicBool,
     /// Connection → home core (RSS).
@@ -66,14 +102,20 @@ pub(crate) struct Shared {
     elastic: Option<ElasticCtl>,
     /// Credit gate (any scheduler kind).
     credits: Option<AdmissionCtl>,
+    /// The live latency signal: per-tenant sojourn windows and the
+    /// SLO-derived policy inputs (present when `cfg.slo` is set).
+    slo: Option<SloSignal>,
+    /// Control-tick gate shared by all of worker 0's controller duties
+    /// (present when any controller is armed).
+    ctl_tick: Option<SpinLock<Instant>>,
 }
 
 struct ElasticCtl {
     gate: ElasticGate,
     /// The allocation policy behind the trait: the same object family the
-    /// simulator's control tick drives.
+    /// simulator's control tick drives ([`SloController`] when tenant
+    /// SLOs are configured, the PR-1 utilization rule otherwise).
     policy: SpinLock<Box<dyn AllocPolicy>>,
-    last_tick: SpinLock<std::time::Instant>,
     /// Per-core nanoseconds spent doing work since the last controller
     /// read. A duty-cycle fraction, not a did-anything flag: under a
     /// steady trickle every worker does *something* each period, and a
@@ -86,7 +128,86 @@ struct AdmissionCtl {
     /// Lock-free: RX admits and completion releases are atomic ops, never
     /// a cross-core lock on the dispatch fast path.
     gate: CreditGate,
-    last_tick: SpinLock<std::time::Instant>,
+}
+
+/// The measured per-tenant latency state (armed by `RuntimeConfig::slo`).
+struct SloSignal {
+    slos: TenantSlos,
+    /// Per-core, per-class sojourn windows (nanoseconds). Per-core locks
+    /// keep completion-path recording off any cross-core lock; worker 0
+    /// drains and merges them each control tick.
+    win: Vec<SpinLock<Vec<Vec<u64>>>>,
+    /// Per-class credit-AIMD targets (µs), `CREDIT_HEADROOM × bound`.
+    credit_targets_us: Vec<f64>,
+    /// Per-class pool fractions for weighted fair shedding.
+    admit_fractions: Vec<f64>,
+    /// Samples carried across ticks for classes that have not yet reached
+    /// [`MIN_WINDOW_SAMPLES`]: at live request rates a 1ms window can be
+    /// thin, and a thin window must stretch (not judge) — only worker 0
+    /// touches this, the lock is uncontended.
+    carry: SpinLock<Vec<Vec<u64>>>,
+    /// Bits of the last harvested worst p99-vs-bound ratio (`NaN` until
+    /// the first trustworthy window) — the observability gauge
+    /// [`Server::slo_ratio`] reads.
+    ratio_gauge: AtomicU64,
+}
+
+impl SloSignal {
+    fn new(slos: TenantSlos, cores: usize) -> Self {
+        let classes = slos.classes().len();
+        SloSignal {
+            credit_targets_us: slos.aimd_targets_us(CREDIT_HEADROOM),
+            admit_fractions: slos.admit_fractions(),
+            slos,
+            win: (0..cores)
+                .map(|_| SpinLock::new((0..classes).map(|_| Vec::new()).collect()))
+                .collect(),
+            carry: SpinLock::new((0..classes).map(|_| Vec::new()).collect()),
+            ratio_gauge: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Records one completed request's sojourn on the executing core.
+    fn record(&self, core: usize, conn: ConnId, sojourn_ns: u64) {
+        let class = self.slos.class_of(conn.0);
+        self.win[core].lock()[class].push(sojourn_ns);
+    }
+
+    /// The pool fraction of `conn`'s tenant class.
+    fn fraction_of(&self, conn: ConnId) -> f64 {
+        self.admit_fractions[self.slos.class_of(conn.0)]
+    }
+
+    /// Drains every core's windows into the per-class carry, computes the
+    /// two control signals — worst p99-vs-SLO-bound ratio (allocation)
+    /// and worst tail-vs-credit-target ratio (admission) — and clears
+    /// each class that held enough samples to be judged. Classes still
+    /// below [`MIN_WINDOW_SAMPLES`] keep accumulating: at live request
+    /// rates a 1ms window may be thin, and a thin window must stretch
+    /// rather than produce a max-of-three "tail". Publishes the measured
+    /// ratio to the gauge (held, not cleared, across thin windows).
+    fn harvest(&self) -> (Option<f64>, Option<f64>) {
+        let mut merged = self.carry.lock();
+        for core_win in &self.win {
+            let mut w = core_win.lock();
+            for (c, samples) in w.iter_mut().enumerate() {
+                merged[c].append(samples);
+            }
+        }
+        let ratio = self.slos.worst_ratio(&mut merged, MIN_WINDOW_SAMPLES);
+        let credit_ratio =
+            self.slos
+                .worst_credit_ratio(&mut merged, &self.credit_targets_us, MIN_WINDOW_SAMPLES);
+        for w in merged.iter_mut() {
+            if w.len() >= MIN_WINDOW_SAMPLES {
+                w.clear();
+            }
+        }
+        if let Some(r) = ratio {
+            self.ratio_gauge.store(r.to_bits(), Ordering::Relaxed);
+        }
+        (ratio, credit_ratio)
+    }
 }
 
 /// Controller tick period for the live runtime (coarser than the
@@ -139,12 +260,19 @@ impl Server {
             SchedulerKind::Elastic { quantum_events, .. } => {
                 assert!(quantum_events >= 1, "quantum_events must be positive");
                 let alloc_cfg = AllocatorConfig::paper(cfg.cores);
-                let policy: Box<dyn AllocPolicy> =
-                    Box::new(UtilizationPolicy::new(CoreAllocator::new(alloc_cfg)));
+                // With tenant SLOs configured the controller is the same
+                // SLO-margin object the simulator drives; without them
+                // there is no latency signal to staff on, and the PR-1
+                // utilization rule (to which the SloController degrades
+                // exactly) is used directly.
+                let policy: Box<dyn AllocPolicy> = if cfg.slo.is_some() {
+                    Box::new(SloController::new(alloc_cfg, SloTuning::default()))
+                } else {
+                    Box::new(UtilizationPolicy::new(CoreAllocator::new(alloc_cfg)))
+                };
                 Some(ElasticCtl {
                     gate: ElasticGate::new(alloc_cfg.min_cores, cfg.cores),
                     policy: SpinLock::new(policy),
-                    last_tick: SpinLock::new(std::time::Instant::now()),
                     busy_ns: (0..cfg.cores).map(|_| AtomicU64::new(0)).collect(),
                 })
             }
@@ -152,8 +280,10 @@ impl Server {
         };
         let credits = cfg.admission.map(|c| AdmissionCtl {
             gate: CreditGate::new(c),
-            last_tick: SpinLock::new(std::time::Instant::now()),
         });
+        let slo = cfg.slo.clone().map(|slos| SloSignal::new(slos, cfg.cores));
+        let ctl_tick = (elastic.is_some() || credits.is_some() || slo.is_some())
+            .then(|| SpinLock::new(Instant::now()));
         let shared = Arc::new(Shared {
             rings: (0..cfg.cores)
                 .map(|_| MpscRing::with_capacity(cfg.ring_capacity))
@@ -171,6 +301,8 @@ impl Server {
             dispatch: dispatch_for(cfg.scheduler),
             elastic,
             credits,
+            slo,
+            ctl_tick,
             cfg: cfg.clone(),
         });
         let workers = (0..cfg.cores)
@@ -205,6 +337,21 @@ impl Server {
             .credits
             .as_ref()
             .map(|c| (c.gate.admitted(), c.gate.rejected(), c.gate.capacity()))
+    }
+
+    /// The last harvested worst p99-vs-SLO-bound ratio — the measured
+    /// signal the SLO-driven controllers act on. `None` unless
+    /// [`RuntimeConfig::slo`](crate::RuntimeConfig::slo) is configured
+    /// and at least one control window held enough completions to judge.
+    pub fn slo_ratio(&self) -> Option<f64> {
+        let bits = self
+            .shared
+            .slo
+            .as_ref()?
+            .ratio_gauge
+            .load(Ordering::Relaxed);
+        let r = f64::from_bits(bits);
+        r.is_finite().then_some(r)
     }
 
     /// The home core of a connection (RSS).
@@ -261,12 +408,7 @@ fn worker_loop(core: usize, shared: Arc<Shared>, app: Arc<dyn RpcApp>) {
         }
         // Worker 0 moonlights as the control plane.
         if core == 0 {
-            if let Some(ctl) = &shared.elastic {
-                elastic_control(&shared, ctl);
-            }
-            if let Some(gate) = &shared.credits {
-                admission_control(&shared, gate);
-            }
+            control_tick(&shared);
         }
         let mut parked = false;
         let did_work = match &shared.elastic {
@@ -313,65 +455,76 @@ fn worker_loop(core: usize, shared: Arc<Shared>, app: Arc<dyn RpcApp>) {
     }
 }
 
-/// Worker 0's controller duty: every [`CTL_PERIOD`], feed queue-depth and
-/// duty-cycle signals to the allocation policy and publish the new grant.
-fn elastic_control(shared: &Shared, ctl: &ElasticCtl) {
-    let mut last = ctl.last_tick.lock();
-    let elapsed = last.elapsed();
-    if elapsed < CTL_PERIOD {
+/// Worker 0's control-plane duty: every [`CTL_PERIOD`], harvest the
+/// sojourn windows (when the latency signal is armed) and drive both
+/// policy loops — allocation ([`AllocPolicy::observe`], now fed the
+/// *measured* `slo_ratio`) and admission (credit AIMD on per-class
+/// tail-vs-target ratios, or on queue depth when no SLOs are configured).
+/// One tick, one harvest: both loops see the same window, exactly like
+/// the simulator's `Control` event.
+fn control_tick(shared: &Shared) {
+    let Some(tick) = &shared.ctl_tick else {
         return;
-    }
-    *last = std::time::Instant::now();
-    drop(last);
-    let backlog: usize = (0..shared.cfg.cores)
-        .map(|c| shared.shuffle.queue_len(c) + shared.rings[c].len())
-        .sum();
-    // Busy cores = summed duty cycle over the period.
-    let busy_ns: u64 = ctl
-        .busy_ns
-        .iter()
-        .map(|b| b.swap(0, Ordering::Relaxed))
-        .sum();
-    let busy = (busy_ns as f64 / elapsed.as_nanos().max(1) as f64).min(shared.cfg.cores as f64);
-    let mut alloc = ctl.policy.lock();
-    alloc.observe(&PolicySignal {
-        busy_cores: busy,
-        backlog,
-        // No per-request latency stamps on the loopback wire: the SLO
-        // signal is the simulator's; the live policy runs utilization-only.
-        slo_ratio: None,
-    });
-    let target = alloc.active();
-    drop(alloc);
-    let before = ctl.gate.active();
-    ctl.gate.set_active(target);
-    // Re-granted workers may be deep in a long park: unpark them.
-    if target > before {
-        for d in &shared.doorbells[before..target] {
-            d.ring(IpiReason::PendingPackets);
+    };
+    let elapsed = {
+        let mut last = tick.lock();
+        let elapsed = last.elapsed();
+        if elapsed < CTL_PERIOD {
+            return;
         }
-    }
-}
-
-/// Worker 0's admission duty: every [`CTL_PERIOD`], AIMD the credit pool
-/// on the aggregate queue depth (the runtime's congestion proxy).
-fn admission_control(shared: &Shared, gate: &AdmissionCtl) {
-    let mut last = gate.last_tick.lock();
-    if last.elapsed() < CTL_PERIOD {
-        return;
-    }
-    *last = std::time::Instant::now();
-    drop(last);
+        *last = Instant::now();
+        elapsed
+    };
+    let (slo_ratio, credit_ratio) = match &shared.slo {
+        Some(sig) => sig.harvest(),
+        None => (None, None),
+    };
     let backlog: usize = (0..shared.cfg.cores)
         .map(|c| shared.shuffle.queue_len(c) + shared.rings[c].len())
         .sum::<usize>()
         + shared.floating_q.lock().len();
-    gate.gate.update(backlog as f64);
+    if let Some(ctl) = &shared.elastic {
+        // Busy cores = summed duty cycle over the period.
+        let busy_ns: u64 = ctl
+            .busy_ns
+            .iter()
+            .map(|b| b.swap(0, Ordering::Relaxed))
+            .sum();
+        let busy = (busy_ns as f64 / elapsed.as_nanos().max(1) as f64).min(shared.cfg.cores as f64);
+        let mut alloc = ctl.policy.lock();
+        alloc.observe(&PolicySignal {
+            busy_cores: busy,
+            backlog,
+            slo_ratio,
+        });
+        let target = alloc.active();
+        drop(alloc);
+        let before = ctl.gate.active();
+        ctl.gate.set_active(target);
+        // Re-granted workers may be deep in a long park: unpark them.
+        if target > before {
+            for d in &shared.doorbells[before..target] {
+                d.ring(IpiReason::PendingPackets);
+            }
+        }
+    }
+    if let Some(gate) = &shared.credits {
+        match &shared.slo {
+            // SLO-driven: steer the worst per-class sojourn tail to its
+            // SLO-derived target; a thin window (None) holds capacity.
+            Some(_) => gate.gate.update_ratio(credit_ratio.unwrap_or(f64::NAN)),
+            // No latency signal configured: AIMD on aggregate queue depth
+            // (the PR-2 congestion proxy).
+            None => gate.gate.update(backlog as f64),
+        }
+    }
 }
 
 /// RX path: drain this core's ingress ring through the framers into the
-/// shuffle layer (or the floating queue), shedding creditless requests at
-/// the edge. Home core only.
+/// shuffle layer (or the floating queue), stamping each framed request's
+/// ingress time and shedding creditless requests at the edge (weighted by
+/// tenant class: the loosest SLO class is capped at the smallest pool
+/// share and sheds first). Home core only.
 fn tcp_in(
     core: usize,
     shared: &Shared,
@@ -380,6 +533,7 @@ fn tcp_in(
     max_pkts: usize,
 ) -> usize {
     let mut processed = 0;
+    let ingress = Instant::now();
     while processed < max_pkts {
         let Some(pkt) = shared.rings[core].pop() else {
             break;
@@ -395,18 +549,28 @@ fn tcp_in(
             match framer.next_message() {
                 Ok(Some(msg)) => {
                     if let Some(gate) = &shared.credits {
-                        if !gate.gate.try_admit() {
-                            // Shed: explicit reject, nothing queued.
+                        let fraction = shared.slo.as_ref().map_or(1.0, |s| s.fraction_of(conn));
+                        if !gate.gate.try_admit_weighted(fraction) {
+                            // Shed: explicit reject, nothing queued. The
+                            // reject must return at least the credit the
+                            // sender spent on it: grants ride only on
+                            // responses, so a 0-grant reject to a
+                            // connection with nothing else in flight
+                            // would strand its balance at zero forever.
+                            // A flat balance (spend 1, get 1) paces a
+                            // shed sender to one retry per round trip.
                             let reject =
                                 RpcMessage::new(REJECT_OPCODE, msg.header.req_id, Bytes::new());
+                            let reject = grant_min_one(shared, conn, reject);
                             shared.respond(conn, reject.to_bytes());
                             continue;
                         }
                     }
+                    let stamped = Stamped { msg, ingress };
                     if floating {
-                        shared.floating_q.lock().push_back((conn, msg));
+                        shared.floating_q.lock().push_back((conn, stamped));
                     } else {
-                        shared.shuffle.produce(conn, msg);
+                        shared.shuffle.produce(conn, stamped);
                     }
                 }
                 Ok(None) => break,
@@ -415,6 +579,32 @@ fn tcp_in(
         }
     }
     processed
+}
+
+/// Piggybacks the credit gate's sender-side grant on a response header
+/// (identity when client-side credits are off). The grant is judged
+/// against `conn`'s class threshold, not the whole pool: a capped class
+/// being shed must see its send window tighten, not grow.
+fn grant_credits(shared: &Shared, conn: ConnId, resp: RpcMessage) -> RpcMessage {
+    match &shared.credits {
+        Some(gate) if shared.cfg.client_credits => {
+            let fraction = shared.slo.as_ref().map_or(1.0, |s| s.fraction_of(conn));
+            resp.with_credits(gate.gate.grant_for_response_weighted(fraction))
+        }
+        _ => resp,
+    }
+}
+
+/// [`grant_credits`] with a floor of one credit: the reject path, where
+/// the grant returns the spent credit (liveness; see the call site).
+fn grant_min_one(shared: &Shared, conn: ConnId, resp: RpcMessage) -> RpcMessage {
+    match &shared.credits {
+        Some(gate) if shared.cfg.client_credits => {
+            let fraction = shared.slo.as_ref().map_or(1.0, |s| s.fraction_of(conn));
+            resp.with_credits(gate.gate.grant_for_response_weighted(fraction).max(1))
+        }
+        _ => resp,
+    }
 }
 
 /// Returns an admitted request's credit after its response is produced.
@@ -437,10 +627,19 @@ fn exec_conn(
     let home_core = shared.conn_home[conn.index()] as usize;
     let events = shared.shuffle.take_events(conn, batch);
     let mut shipped = Vec::new();
-    for msg in &events {
-        let resp = app.handle(conn, msg);
-        let wire = resp.to_bytes();
+    for ev in &events {
+        let resp = app.handle(conn, &ev.msg);
+        // Release before computing the grant: the completing request's own
+        // credit must not read as occupancy, or at full pool (capacity
+        // in-flight, the steady state under overload with a small pool)
+        // every response would grant 0 and sender-side clients would
+        // ratchet to zero balance and starve.
         release_credit(shared);
+        let wire = grant_credits(shared, conn, resp).to_bytes();
+        // The sojourn sample: framed at ingress, response produced now.
+        if let Some(sig) = &shared.slo {
+            sig.record(core, conn, ev.ingress.elapsed().as_nanos() as u64);
+        }
         if stolen {
             shipped.push(BatchedSyscall::SendMsg { conn, wire });
             shared.stats[core].count_stolen_event();
@@ -538,12 +737,15 @@ fn rung_local_ready(core: usize, shared: &Shared, app: &Arc<dyn RpcApp>, batch: 
 /// Floating mode: claim one ready event from the shared pool.
 fn rung_floating_claim(core: usize, shared: &Shared, app: &Arc<dyn RpcApp>) -> bool {
     let claimed = shared.floating_q.lock().pop_front();
-    let Some((conn, msg)) = claimed else {
+    let Some((conn, ev)) = claimed else {
         return false;
     };
-    let resp = app.handle(conn, &msg);
+    let resp = app.handle(conn, &ev.msg);
     release_credit(shared);
-    shared.respond(conn, resp.to_bytes());
+    if let Some(sig) = &shared.slo {
+        sig.record(core, conn, ev.ingress.elapsed().as_nanos() as u64);
+    }
+    shared.respond(conn, grant_credits(shared, conn, resp).to_bytes());
     shared.stats[core].count_local_event();
     true
 }
@@ -794,6 +996,138 @@ mod tests {
         let (server, _client) = echo_server(RuntimeConfig::zygos(2, 4));
         assert_eq!(server.active_cores(), None);
         assert_eq!(server.admission_stats(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slo_signal_measures_sojourns_and_publishes_a_ratio() {
+        use zygos_load::slo::{Slo, TenantSlos};
+        // A handler much slower than the 50µs bound: once enough sojourns
+        // land in a window, the published ratio must be well above 1.
+        let slow = |_c: ConnId, req: &RpcMessage| {
+            std::thread::sleep(Duration::from_micros(500));
+            RpcMessage::new(0, req.header.req_id, Bytes::new())
+        };
+        let cfg = RuntimeConfig::zygos(2, 8).with_slo(TenantSlos::uniform(Slo::p99(50.0)));
+        let (server, client) = Server::start(cfg, Arc::new(slow));
+        assert_eq!(server.slo_ratio(), None, "no window harvested yet");
+        for id in 0..64u64 {
+            client.send(
+                ConnId((id % 8) as u32),
+                &RpcMessage::new(1, id, Bytes::new()),
+            );
+        }
+        for _ in 0..64 {
+            client.recv_timeout(Duration::from_secs(10)).expect("resp");
+        }
+        // Worker 0 harvests on its next loop iterations; poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let ratio = loop {
+            if let Some(r) = server.slo_ratio() {
+                break r;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ratio never published"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(ratio > 1.0, "500µs sojourns against a 50µs bound: {ratio}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_credits_gate_sending_and_replenish_from_grants() {
+        use zygos_sched::CreditConfig;
+        let cfg = RuntimeConfig::zygos(2, 4)
+            .with_admission(CreditConfig {
+                min_credits: 4,
+                max_credits: 64,
+                initial_credits: 8,
+                additive: 1,
+                md_factor: 0.3,
+                target: 1000.0,
+            })
+            .with_client_credits();
+        let (server, client) = echo_server(cfg);
+        let conn = ConnId(1);
+        let start = client.credit_balance(conn).expect("credit state armed");
+        assert!(start >= 1, "every connection starts with a credit");
+        // Spend the whole balance without receiving.
+        for id in 0..start as u64 {
+            assert!(client.try_send(conn, &RpcMessage::new(1, id, Bytes::new())));
+        }
+        assert_eq!(client.credit_balance(conn), Some(0));
+        assert!(
+            !client.try_send(conn, &RpcMessage::new(1, 999, Bytes::new())),
+            "zero balance must refuse locally"
+        );
+        assert_eq!(client.local_sheds(), 1);
+        // Responses carry grants (an idle pool grants 2): the balance
+        // recovers and sending resumes.
+        for _ in 0..start {
+            client.recv_timeout(Duration::from_secs(10)).expect("resp");
+        }
+        let refilled = client.credit_balance(conn).expect("armed");
+        assert!(refilled >= start, "grants must at least return the spend");
+        assert!(client.try_send(conn, &RpcMessage::new(1, 1000, Bytes::new())));
+        client.recv_timeout(Duration::from_secs(10)).expect("resp");
+        server.shutdown();
+    }
+
+    #[test]
+    fn weighted_shedding_rejects_the_loose_class_harder() {
+        use zygos_load::slo::{Slo, SloClass, TenantSlos};
+        // Two classes (even conns strict, odd conns loose by round-robin),
+        // a fixed 8-credit pool, slow handlers, and a big synchronous
+        // burst: the loose class (capped at half the pool) must shed more.
+        let slow = |_c: ConnId, req: &RpcMessage| {
+            std::thread::sleep(Duration::from_micros(100));
+            RpcMessage::new(0, req.header.req_id, Bytes::new())
+        };
+        let slos = TenantSlos::new(vec![
+            SloClass::new("interactive", Slo::p99(200.0)),
+            SloClass::new("batch", Slo::p99(2000.0)),
+        ]);
+        let cfg = RuntimeConfig::zygos(2, 16)
+            .with_admission(CreditConfig {
+                min_credits: 8,
+                max_credits: 8,
+                initial_credits: 8,
+                additive: 1,
+                md_factor: 0.3,
+                target: 1.0,
+            })
+            .with_slo(slos);
+        let (server, client) = Server::start(cfg, Arc::new(slow));
+        let n = 4_000u64;
+        for id in 0..n {
+            client.send(
+                ConnId((id % 16) as u32),
+                &RpcMessage::new(1, id, Bytes::new()),
+            );
+        }
+        let mut shed = [0u64; 2];
+        let mut served = [0u64; 2];
+        for _ in 0..n {
+            let (conn, resp) = client
+                .recv_timeout(Duration::from_secs(30))
+                .expect("every request answered");
+            let class = (conn.0 % 2) as usize;
+            if resp.header.opcode == REJECT_OPCODE {
+                shed[class] += 1;
+            } else {
+                served[class] += 1;
+            }
+        }
+        assert_eq!(shed[0] + shed[1] + served[0] + served[1], n);
+        assert!(shed[1] > 0, "overload must shed the loose class");
+        assert!(
+            shed[1] > shed[0],
+            "loose class must shed more: strict {} vs loose {}",
+            shed[0],
+            shed[1]
+        );
         server.shutdown();
     }
 

@@ -12,12 +12,12 @@
 //! core-slot in addition to the ones currently occupied. Three knobs damp
 //! the response:
 //!
-//! * [`AllocatorConfig::grant_after`] consecutive overloaded ticks are
+//! * [`AllocatorTuning::grant_after`] consecutive overloaded ticks are
 //!   required before granting (absorbs one-tick bursts);
-//! * [`AllocatorConfig::revoke_after`] consecutive underloaded ticks are
+//! * [`AllocatorTuning::revoke_after`] consecutive underloaded ticks are
 //!   required before revoking (parking is much cheaper to delay than
 //!   queueing is to suffer, so the revoke side is slower by default);
-//! * after any change, [`AllocatorConfig::cooldown`] ticks must pass before
+//! * after any change, [`AllocatorTuning::cooldown`] ticks must pass before
 //!   the counters accumulate again.
 //!
 //! Together these give the bound checked by the property tests: the number

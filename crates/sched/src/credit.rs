@@ -25,6 +25,26 @@
 //! * capacity never drops below [`CreditConfig::min_credits`] ≥ 1, so the
 //!   pool cannot deadlock at zero credits: after every admitted request
 //!   completes, at least one credit is always grantable.
+//!
+//! # Per-tenant extensions
+//!
+//! Two host-driven extensions ride on the same pool:
+//!
+//! * **Weighted fair shedding** ([`CreditPool::try_admit_weighted`]):
+//!   each tenant class is admitted against a *threshold fraction* of the
+//!   pool (derived from
+//!   `zygos_load::slo::TenantSlos::admit_fractions` — the loosest SLO
+//!   class gets the smallest threshold), trunk-reservation style: a
+//!   class is shed while pool-wide occupancy sits above its threshold,
+//!   so under overload the class with the most latency headroom sheds
+//!   first instead of FIFO-blind rejection across all tenants. The
+//!   reservation is on *global* occupancy — strict traffic can occupy a
+//!   loose class's share outright (strict outranks loose by design).
+//! * **SLO-normalized AIMD** ([`CreditPool::update_ratio`]): hosts that
+//!   measure *per-class* tails against per-class targets feed the worst
+//!   `measured/target` ratio (1.0 = at target) instead of a raw latency,
+//!   which lets one AIMD rule serve tenants with µs-scale and ms-scale
+//!   bounds simultaneously.
 
 /// Configuration of a [`CreditPool`].
 #[derive(Clone, Copy, Debug)]
@@ -90,6 +110,25 @@ impl CreditConfig {
             self.clamp(kept.floor() as u32)
         }
     }
+
+    /// The admission threshold for a tenant class admitted at `fraction`
+    /// of a pool of `capacity` credits — trunk-reservation semantics: the
+    /// class is shed while **pool-wide** occupancy sits at or above its
+    /// threshold, which reserves the headroom above it for stricter
+    /// classes. A fraction of 1.0 (the strictest class) is the whole
+    /// pool. Note the comparison is against global in-flight, not the
+    /// class's own: under sustained strict-class load that pins occupancy
+    /// above a loose class's threshold, the loose class is shed entirely
+    /// — that *is* the intended priority order (strict traffic outranks
+    /// loose), not an accident. The `max(1)` floor only guarantees a
+    /// capped class can admit when the pool is (nearly) empty.
+    fn class_cap(&self, capacity: u32, fraction: f64) -> u32 {
+        if fraction >= 1.0 {
+            capacity
+        } else {
+            (((capacity as f64) * fraction.max(0.0)).floor() as u32).max(1)
+        }
+    }
 }
 
 /// The server-side credit pool (see module docs).
@@ -118,7 +157,14 @@ impl CreditPool {
     /// Spends a credit for an arriving request. `false` sheds the request
     /// (no credit held; do not call [`CreditPool::release`] for it).
     pub fn try_admit(&mut self) -> bool {
-        if self.in_flight < self.capacity {
+        self.try_admit_weighted(1.0)
+    }
+
+    /// Spends a credit for a request of a tenant class capped at
+    /// `fraction` of the pool (weighted fair shedding; see module docs).
+    /// `try_admit_weighted(1.0)` is exactly [`CreditPool::try_admit`].
+    pub fn try_admit_weighted(&mut self, fraction: f64) -> bool {
+        if self.in_flight < self.cfg.class_cap(self.capacity, fraction) {
             self.in_flight += 1;
             self.admitted += 1;
             true
@@ -139,6 +185,14 @@ impl CreditPool {
     /// window) holds the capacity.
     pub fn update(&mut self, measured: f64) {
         self.capacity = self.cfg.next_capacity(self.capacity, measured);
+    }
+
+    /// One AIMD control tick on a **normalized** congestion ratio: 1.0 is
+    /// "exactly at target" (hosts derive per-tenant-class targets from
+    /// their SLO bounds and feed the worst `measured/target`). `NaN`
+    /// holds the capacity. Same AIMD rule as [`CreditPool::update`].
+    pub fn update_ratio(&mut self, ratio: f64) {
+        self.update(ratio * self.cfg.target);
     }
 
     /// Current capacity (total credits).
@@ -203,10 +257,17 @@ impl CreditGate {
     /// Spends a credit for an arriving request (lock-free). `false` sheds
     /// the request (no credit held; do not call [`CreditGate::release`]).
     pub fn try_admit(&self) -> bool {
+        self.try_admit_weighted(1.0)
+    }
+
+    /// Spends a credit for a request of a tenant class capped at
+    /// `fraction` of the pool (lock-free weighted fair shedding; the
+    /// sibling of [`CreditPool::try_admit_weighted`]).
+    pub fn try_admit_weighted(&self, fraction: f64) -> bool {
         use std::sync::atomic::Ordering::{Acquire, Relaxed};
         let mut cur = self.in_flight.load(Relaxed);
         loop {
-            if cur >= self.capacity.load(Acquire) {
+            if cur >= self.cfg.class_cap(self.capacity.load(Acquire), fraction) {
                 self.rejected.fetch_add(1, Relaxed);
                 return false;
             }
@@ -237,6 +298,53 @@ impl CreditGate {
             .cfg
             .next_capacity(self.capacity.load(Acquire), measured);
         self.capacity.store(next, Release);
+    }
+
+    /// One AIMD control tick on a normalized congestion ratio (1.0 = at
+    /// target); the lock-free sibling of [`CreditPool::update_ratio`].
+    pub fn update_ratio(&self, ratio: f64) {
+        self.update(ratio * self.cfg.target);
+    }
+
+    /// The credit grant a response to this client should carry
+    /// (Breakwater's sender-side credit distribution, piggybacked on the
+    /// reply): 2 while the pool has ample headroom (grows the client's
+    /// send window), 1 at moderate occupancy (holds it — one credit spent,
+    /// one returned), 0 when the pool is full (shrinks it). A client that
+    /// only sends while its local balance is positive then converges to
+    /// its share of the pool without a dedicated control channel.
+    ///
+    /// Equivalent to [`CreditGate::grant_for_response_weighted`] at
+    /// fraction 1.0.
+    pub fn grant_for_response(&self) -> u32 {
+        self.grant_for_response_weighted(1.0)
+    }
+
+    /// The grant for a response to a tenant class admitted at `fraction`
+    /// of the pool: occupancy is judged against the **class threshold**
+    /// (the same one [`CreditGate::try_admit_weighted`] sheds against),
+    /// not the whole pool — otherwise a capped class being shed at
+    /// moderate global occupancy would keep receiving growth grants and
+    /// its send window would never tighten.
+    ///
+    /// Grants only ride on responses, so a reject must still return the
+    /// credit the sender spent on it (grant ≥ 1 at the caller): a
+    /// 0-grant reject to a connection with no other requests in flight
+    /// would strand its balance at zero forever, with no path to ever
+    /// receive another grant. The resulting steady state for a shed
+    /// sender is a flat balance — one slow retry per round trip, bounded
+    /// backpressure rather than either starvation or unbounded retry.
+    pub fn grant_for_response_weighted(&self, fraction: f64) -> u32 {
+        use std::sync::atomic::Ordering::{Acquire, Relaxed};
+        let cap = self.cfg.class_cap(self.capacity.load(Acquire), fraction);
+        let inf = self.in_flight.load(Relaxed);
+        if inf.saturating_mul(2) < cap {
+            2
+        } else if inf < cap {
+            1
+        } else {
+            0
+        }
     }
 
     /// Current capacity (total credits).
@@ -406,6 +514,86 @@ mod tests {
         assert_eq!(gate.in_flight(), 0);
         assert_eq!(gate.admitted(), total as u64);
         assert!(gate.admitted() + gate.rejected() == 4_000);
+    }
+
+    #[test]
+    fn weighted_admission_caps_loose_classes_first() {
+        // Pool of 10; a loose class capped at 0.5 sheds once 5 credits are
+        // out, while the strict class (1.0) keeps admitting to 10.
+        let mut p = pool(10);
+        for _ in 0..5 {
+            assert!(p.try_admit_weighted(0.5));
+        }
+        assert!(!p.try_admit_weighted(0.5), "loose class at its cap");
+        for _ in 0..5 {
+            assert!(p.try_admit_weighted(1.0), "strict class unaffected");
+        }
+        assert!(!p.try_admit_weighted(1.0), "pool exhausted");
+        // The threshold floor of 1: a capped class can admit from an
+        // empty pool even after the AIMD shrinks capacity to the minimum
+        // (with the pool occupied, trunk reservation sheds it — by
+        // design).
+        for _ in 0..10 {
+            p.release();
+        }
+        for _ in 0..50 {
+            p.update(1e9);
+        }
+        assert_eq!(p.capacity(), 1);
+        assert!(
+            p.try_admit_weighted(0.1),
+            "empty pool admits any class at the floor"
+        );
+    }
+
+    #[test]
+    fn gate_weighted_admission_matches_pool() {
+        let cfg = credit_cfg_for_parity();
+        let mut pool = CreditPool::new(cfg);
+        let gate = CreditGate::new(cfg);
+        for &f in &[1.0, 0.5, 0.5, 0.34, 1.0, 0.5, 0.1, 1.0] {
+            assert_eq!(pool.try_admit_weighted(f), gate.try_admit_weighted(f));
+            assert_eq!(pool.in_flight(), gate.in_flight());
+            assert_eq!(pool.rejected(), gate.rejected());
+        }
+    }
+
+    #[test]
+    fn ratio_update_matches_normalized_raw_update() {
+        // update_ratio(r) must equal update(r × target) for any target.
+        let mut a = pool(100);
+        let mut b = pool(100);
+        for &r in &[0.5, 2.0, 1.0, 0.1, 3.5, f64::NAN, 0.9] {
+            a.update_ratio(r);
+            b.update(r * b.config().target);
+            assert_eq!(a.capacity(), b.capacity());
+        }
+        let gate = CreditGate::new(*a.config());
+        gate.update_ratio(2.0);
+        let mut c = pool(100);
+        c.update_ratio(2.0);
+        assert_eq!(gate.capacity(), c.capacity());
+    }
+
+    #[test]
+    fn response_grant_tracks_pool_headroom() {
+        let gate = CreditGate::new(CreditConfig {
+            min_credits: 1,
+            max_credits: 64,
+            initial_credits: 8,
+            additive: 1,
+            md_factor: 0.3,
+            target: 100.0,
+        });
+        assert_eq!(gate.grant_for_response(), 2, "empty pool grows clients");
+        for _ in 0..4 {
+            assert!(gate.try_admit());
+        }
+        assert_eq!(gate.grant_for_response(), 1, "half-full holds");
+        for _ in 0..4 {
+            assert!(gate.try_admit());
+        }
+        assert_eq!(gate.grant_for_response(), 0, "full pool revokes");
     }
 
     #[test]

@@ -58,6 +58,25 @@ pub enum AllocKind {
     SloDriven,
 }
 
+pub use zygos_load::slo::CREDIT_HEADROOM;
+
+/// Where the credit gate sheds a request that finds no credit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// At the server edge: the request travels the wire, is rejected on
+    /// arrival, and the explicit reject travels back — a full RTT burned
+    /// per shed request (what PR 2 shipped).
+    #[default]
+    ServerEdge,
+    /// At the client: credits are distributed to senders (Breakwater's
+    /// sender-side scheme, piggybacked on response headers in the live
+    /// runtime's wire format), so a creditless request is never *sent* —
+    /// the shed costs zero wire RTT. The simulator models the converged
+    /// state of that distribution: the client consults the shared pool
+    /// before issuing the request.
+    ClientSide,
+}
+
 /// Control-plane knobs for [`SystemKind::Elastic`]: the controller's tick
 /// period plus the allocator's shared decision-rule tuning (see
 /// [`zygos_sched::AllocatorTuning`] for each knob's meaning).
@@ -124,14 +143,25 @@ pub struct SysConfig {
     pub background_order: BackgroundOrder,
     /// Controller knobs; consulted only by [`SystemKind::Elastic`].
     pub elastic: ElasticKnobs,
-    /// Credit-based admission control (Breakwater-style) at the server
-    /// edge of the ZygOS-family models: arrivals without a credit are shed
-    /// before any processing, and an AIMD controller resizes the pool from
-    /// the measured window tail latency ([`CreditConfig::target`] is in
-    /// µs here). `None` admits everything — the paper's behaviour.
+    /// Credit-based admission control (Breakwater-style) in the
+    /// ZygOS-family models: arrivals without a credit are shed before any
+    /// processing, and an AIMD controller resizes the pool from the
+    /// measured window tail latency ([`CreditConfig::target`] is in µs
+    /// here). With [`SysConfig::slo`] also set, the AIMD target is derived
+    /// *per tenant class* from the SLO bounds
+    /// ([`zygos_load::slo::TenantSlos::aimd_targets_us`] at
+    /// [`crate::CREDIT_HEADROOM`]) and shedding is weighted-fair: the
+    /// loosest class is capped at the smallest share of the pool and sheds
+    /// first. `None` admits everything — the paper's behaviour.
     pub admission: Option<CreditConfig>,
+    /// Whether the credit gate sheds at the server edge (burning an RTT
+    /// per reject) or at the client (creditless requests are never sent).
+    /// Ignored unless [`SysConfig::admission`] is set.
+    pub admission_mode: AdmissionMode,
     /// Per-tenant SLO classes (connection → class round-robin). Feeds the
-    /// worst p99-vs-bound ratio to the [`AllocKind::SloDriven`] controller.
+    /// worst p99-vs-bound ratio to the [`AllocKind::SloDriven`] controller
+    /// and, with [`SysConfig::admission`], the per-class credit targets
+    /// and weighted-fair shed order.
     pub slo: Option<TenantSlos>,
 }
 
@@ -169,6 +199,7 @@ impl SysConfig {
             background_order: BackgroundOrder::Fcfs,
             elastic: ElasticKnobs::default(),
             admission: None,
+            admission_mode: AdmissionMode::default(),
             slo: None,
         }
     }
@@ -204,6 +235,17 @@ pub struct SysOutput {
     pub admitted: u64,
     /// Requests shed by the credit gate (0 when admission is off).
     pub rejected: u64,
+    /// Shed requests that burned wire RTT (travelled to the server and
+    /// were rejected there). Every reject under
+    /// [`AdmissionMode::ServerEdge`]; zero under
+    /// [`AdmissionMode::ClientSide`], where creditless requests are never
+    /// sent.
+    pub wire_rejects: u64,
+    /// Round-trip wire latency (µs) charged per wire-travelling reject.
+    pub rtt_us: f64,
+    /// Requests shed per tenant SLO class (one slot per class; a single
+    /// slot when no [`SysConfig::slo`] is configured).
+    pub rejected_by_class: Vec<u64>,
 }
 
 impl SysOutput {
@@ -247,6 +289,31 @@ impl SysOutput {
             0.0
         } else {
             self.rejected as f64 / offered as f64
+        }
+    }
+
+    /// Total wire time (µs) burned by shed requests: requests that
+    /// travelled to the server only to be rejected, plus their reject
+    /// replies. The cost client-side credit distribution exists to
+    /// eliminate — creditless requests are dropped (or retried later) at
+    /// the sender for free.
+    pub fn wasted_wire_us(&self) -> f64 {
+        self.wire_rejects as f64 * self.rtt_us
+    }
+
+    /// The fraction of **all sheds** that fell on one tenant class:
+    /// `rejected_c / Σ rejected`. With round-robin class assignment every
+    /// class is offered (near-)equal load, so this share is the direct
+    /// reading of the weighted-fair claim: "the loosest class sheds
+    /// first" means its share approaches 1. Note it is *not* a per-class
+    /// shed rate (`rejected_c / offered_c`) — per-class admitted counts
+    /// are not tracked.
+    pub fn shed_share_of_class(&self, class: usize) -> f64 {
+        let total: u64 = self.rejected_by_class.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected_by_class[class] as f64 / total as f64
         }
     }
 

@@ -39,6 +39,10 @@ pub struct SweepPoint {
     /// Fraction of arrivals shed by the credit gate (0 with admission
     /// off).
     pub shed_fraction: f64,
+    /// Wire time (µs) burned by shed requests over the window: rejects
+    /// that travelled to the server and back. Zero under client-side
+    /// credit distribution, where creditless requests are never sent.
+    pub wasted_wire_us: f64,
 }
 
 /// Sweeps offered load and reports `(throughput, p99)` points — the raw
@@ -64,6 +68,7 @@ pub fn latency_throughput_sweep(base: &SysConfig, loads: &[f64]) -> Vec<SweepPoi
                 },
                 avg_active_cores: out.avg_active_cores,
                 shed_fraction: out.shed_fraction(),
+                wasted_wire_us: out.wasted_wire_us(),
             }
         })
         .collect()

@@ -199,6 +199,9 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         avg_active_cores: cfg.cores as f64,
         admitted: 0,
         rejected: 0,
+        wire_rejects: 0,
+        rtt_us: cfg.cost.network_rtt_ns as f64 / 1_000.0,
+        rejected_by_class: vec![0],
     }
 }
 

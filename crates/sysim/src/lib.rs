@@ -67,7 +67,7 @@ mod ix;
 mod linux;
 mod zygos;
 
-pub use config::{SysConfig, SysOutput, SystemKind};
+pub use config::{AdmissionMode, SysConfig, SysOutput, SystemKind, CREDIT_HEADROOM};
 pub use driver::{
     latency_throughput_sweep, max_load_at_slo, run_system, theory_central_p99_us,
     theory_max_load_at_slo, SweepPoint,

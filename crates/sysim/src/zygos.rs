@@ -19,7 +19,8 @@
 //! shuffle queue from the NIC ring and flushes remote syscalls, extending
 //! the interrupted event's completion by the handler cost — exactly the
 //! preemption a real exit-less IPI performs, which the live runtime cannot
-//! do (see DESIGN.md §6) and the simulator can.
+//! do (a Rust closure is uninterruptible; see the host-split table in
+//! `docs/ARCHITECTURE.md`) and the simulator can.
 //!
 //! The `ZygosNoInterrupts` variant drops the IPI rung from the ladder: the
 //! cooperative mode whose head-of-line blocking the paper's Figure 6
@@ -46,10 +47,28 @@
 //! # Admission control
 //!
 //! With [`SysConfig::admission`] set, arrivals pass a Breakwater-style
-//! [`CreditPool`] at the server edge: no credit → the request is shed
-//! before it costs anything, and an AIMD loop on the `Control` tick
-//! resizes the pool from the measured window tail. This is what keeps the
-//! *admitted* tail bounded under sustained overload (`fig13`).
+//! [`CreditPool`]: no credit → the request is shed before it costs any
+//! processing, and an AIMD loop on the `Control` tick resizes the pool
+//! from the measured window tail. This is what keeps the *admitted* tail
+//! bounded under sustained overload (`fig13`). Three refinements close
+//! the loop end-to-end:
+//!
+//! * [`AdmissionMode`] picks *where* the shed happens: at the server edge
+//!   (the reject burns a full wire RTT — request there, explicit reject
+//!   back) or at the client (sender-side credits; a creditless request is
+//!   never sent, so the shed is free on the wire). The simulator models
+//!   the converged state of Breakwater's credit distribution by letting
+//!   the source consult the shared pool at send time; the live runtime
+//!   implements the actual distribution by piggybacking grants on
+//!   response headers.
+//! * With [`SysConfig::slo`] set, the AIMD target is **per tenant class**
+//!   ([`zygos_load::slo::TenantSlos::aimd_targets_us`] at [`CREDIT_HEADROOM`]) and the
+//!   control tick feeds the worst per-class `tail/target` ratio — one
+//!   AIMD rule serving µs-scale and ms-scale tenants simultaneously.
+//! * Shedding is **weighted-fair** ([`zygos_load::slo::TenantSlos::admit_fractions`]):
+//!   each class is admitted against a fraction of the pool, smallest for
+//!   the loosest class, so the tenants with the most latency headroom
+//!   absorb the overload first.
 
 use std::collections::VecDeque;
 
@@ -62,7 +81,7 @@ use zygos_sim::engine::{Engine, Model, Scheduler};
 use zygos_sim::time::{SimDuration, SimTime};
 
 use crate::arrivals::{Recorder, Req, Source};
-use crate::config::{AllocKind, SysConfig, SysOutput, SystemKind};
+use crate::config::{AdmissionMode, AllocKind, SysConfig, SysOutput, SystemKind, CREDIT_HEADROOM};
 
 pub(crate) enum Ev {
     /// Generate the next client request.
@@ -167,10 +186,10 @@ fn ns(v: u64) -> SimDuration {
     SimDuration::from_nanos(v)
 }
 
-/// Minimum completions in a control window before its tail is trusted as a
-/// signal (smaller windows make the p99 of the window the max — too noisy
-/// to staff or shed on).
-const MIN_WINDOW_SAMPLES: usize = 8;
+/// Minimum completions in a control window before its tail is trusted as
+/// a signal — shared with the live runtime's control tick via
+/// `zygos-load` so the hosts cannot drift.
+use zygos_load::slo::MIN_WINDOW_SAMPLES;
 
 /// Elastic-mode control-plane state.
 struct Elastic {
@@ -211,6 +230,17 @@ pub(crate) struct ZygosModel {
     ctl_period: SimDuration,
     /// Credit-based admission gate.
     admission: Option<CreditPool>,
+    /// Per-class pool fractions for weighted fair shedding (all 1.0 when
+    /// no tenant SLOs are configured).
+    admit_fractions: Vec<f64>,
+    /// Per-class AIMD latency targets (µs), derived from the SLO bounds at
+    /// [`CREDIT_HEADROOM`]; empty when no tenant SLOs are configured (the
+    /// AIMD loop then steers the raw window tail to `CreditConfig::target`).
+    credit_targets_us: Vec<f64>,
+    /// Sheds per tenant class.
+    rejected_by_class: Vec<u64>,
+    /// Sheds that burned wire RTT (server-edge rejects).
+    wire_rejects: u64,
     /// Per-SLO-class latency samples (ns) of the current control window.
     /// Single class when no tenant SLOs are configured.
     win: Vec<Vec<u64>>,
@@ -287,6 +317,10 @@ impl ZygosModel {
         let admission = cfg.admission.map(CreditPool::new);
         let classes = cfg.slo.as_ref().map_or(1, |t| t.classes().len());
         let collect_window = admission.is_some() || cfg.slo.is_some();
+        let (admit_fractions, credit_targets_us) = match (&admission, &cfg.slo) {
+            (Some(_), Some(slo)) => (slo.admit_fractions(), slo.aimd_targets_us(CREDIT_HEADROOM)),
+            _ => (vec![1.0; classes], Vec::new()),
+        };
         ZygosModel {
             cores: (0..cfg.cores)
                 .map(|_| Core {
@@ -316,6 +350,10 @@ impl ZygosModel {
             elastic,
             ctl_period: SimDuration::from_micros_f64(cfg.elastic.control_period_us.max(1.0)),
             admission,
+            admit_fractions,
+            credit_targets_us,
+            rejected_by_class: vec![0; classes],
+            wire_rejects: 0,
             win: (0..classes).map(|_| Vec::new()).collect(),
             collect_window,
             cfg,
@@ -348,6 +386,23 @@ impl ZygosModel {
         match &self.elastic {
             Some(e) => e.redirect[home],
             None => home,
+        }
+    }
+
+    /// Spends a credit for an arriving request of `conn`'s tenant class
+    /// (weighted fair shedding: looser classes are capped at a smaller
+    /// pool share and shed first). `true` when admission is off or a
+    /// credit was granted.
+    fn gate_admit(&mut self, conn: u32) -> bool {
+        let Some(pool) = &mut self.admission else {
+            return true;
+        };
+        let class = self.cfg.slo.as_ref().map_or(0, |t| t.class_of(conn));
+        if pool.try_admit_weighted(self.admit_fractions[class]) {
+            true
+        } else {
+            self.rejected_by_class[class] += 1;
+            false
         }
     }
 
@@ -885,14 +940,26 @@ impl ZygosModel {
     }
 
     /// Harvests the control window: the worst per-class p99-vs-SLO ratio
-    /// (for the SLO-driven allocator) and the overall window tail in µs
-    /// (for the credit AIMD; `NaN` when the window is too thin).
-    fn window_signal(&mut self) -> (Option<f64>, f64) {
+    /// (for the SLO-driven allocator), the overall window tail in µs (for
+    /// the untargeted credit AIMD; `NaN` when the window is too thin), and
+    /// the worst per-class tail-vs-credit-target ratio (for the SLO-driven
+    /// credit AIMD; `NaN` likewise).
+    fn window_signal(&mut self) -> (Option<f64>, f64, f64) {
         let ratio = self
             .cfg
             .slo
             .as_ref()
             .and_then(|slo| slo.worst_ratio(&mut self.win, MIN_WINDOW_SAMPLES));
+        let credit_ratio = if self.credit_targets_us.is_empty() {
+            f64::NAN
+        } else {
+            self.cfg
+                .slo
+                .as_ref()
+                .expect("targets derive from slo")
+                .worst_credit_ratio(&mut self.win, &self.credit_targets_us, MIN_WINDOW_SAMPLES)
+                .unwrap_or(f64::NAN)
+        };
         let mut all: Vec<u64> = self.win.iter().flatten().copied().collect();
         let tail_us = if all.len() >= MIN_WINDOW_SAMPLES {
             zygos_load::slo::exact_quantile_us(&mut all, 0.99)
@@ -902,15 +969,22 @@ impl ZygosModel {
         for w in &mut self.win {
             w.clear();
         }
-        (ratio, tail_us)
+        (ratio, tail_us, credit_ratio)
     }
 
     /// Control tick: harvest the window, drive the allocation policy (if
     /// elastic) and the credit AIMD (if admitting), reschedule.
     fn control(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let (slo_ratio, tail_us) = self.window_signal();
+        let (slo_ratio, tail_us, credit_ratio) = self.window_signal();
+        let slo_targeted = !self.credit_targets_us.is_empty();
         if let Some(pool) = &mut self.admission {
-            pool.update(tail_us);
+            if slo_targeted {
+                // Per-tenant-class targets derived from the SLO bounds:
+                // 1.0 means the worst class sits exactly at its target.
+                pool.update_ratio(credit_ratio);
+            } else {
+                pool.update(tail_us);
+            }
         }
         self.note_busy(now, 0, true); // Flush the busy integrals up to `now`.
         let busy_integral = self.fg_busy.integral_ns;
@@ -1093,6 +1167,9 @@ impl ZygosModel {
             avg_active_cores,
             admitted,
             rejected,
+            wire_rejects: self.wire_rejects,
+            rtt_us: self.cfg.cost.network_rtt_ns as f64 / 1_000.0,
+            rejected_by_class: self.rejected_by_class,
         }
     }
 }
@@ -1113,17 +1190,27 @@ impl Model for ZygosModel {
         match ev {
             Ev::Gen => {
                 let req = self.source.next_req(now);
-                sched.after(self.source.half_rtt, Ev::Packet(req));
+                // Client-side credits: a creditless request is never sent —
+                // the shed costs zero wire RTT (the sender-side half of
+                // Breakwater, modelled at its converged state).
+                let send = self.cfg.admission_mode == AdmissionMode::ServerEdge
+                    || self.gate_admit(req.conn);
+                if send {
+                    sched.after(self.source.half_rtt, Ev::Packet(req));
+                }
                 let gap = self.source.next_gap();
                 sched.after(gap, Ev::Gen);
             }
             Ev::Packet(req) => {
-                // The credit gate sits at the server edge: a shed request
-                // never touches a ring, a queue, or a core.
-                if let Some(pool) = &mut self.admission {
-                    if !pool.try_admit() {
-                        return;
-                    }
+                // Server-edge credits: the shed request already burned half
+                // an RTT getting here, and its explicit reject burns the
+                // other half going back — but it never touches a ring, a
+                // queue, or a core.
+                if self.cfg.admission_mode == AdmissionMode::ServerEdge
+                    && !self.gate_admit(req.conn)
+                {
+                    self.wire_rejects += 1;
+                    return;
                 }
                 let home = self.serving_core(req.home as usize);
                 self.cores[home].ring.push_back(req);

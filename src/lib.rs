@@ -22,20 +22,29 @@
 //!   drives both the simulator's system models and the live runtime's
 //!   workers; an `AllocPolicy` trait (SLO-margin `SloController` by
 //!   default, the `util + β·√util` rule as `UtilizationPolicy`) staffs
-//!   the elastic data plane; a Breakwater-style `CreditPool` sheds load
-//!   at the edge under overload. Knobs:
-//!   `SysConfig::{preemption_quantum_us, background_order, admission,
-//!   slo}`, `ElasticKnobs`, `SchedulerKind::Elastic` and
-//!   `RuntimeConfig::admission`.
+//!   the elastic data plane; Breakwater-style credits
+//!   (`CreditPool`/`CreditGate`) shed load under overload — per-tenant
+//!   SLO-derived AIMD targets, weighted fair shedding (loosest class
+//!   first), and sender-side credit grants piggybacked on response
+//!   headers. Knobs: `SysConfig::{preemption_quantum_us,
+//!   background_order, admission, admission_mode, slo}`, `ElasticKnobs`,
+//!   `SchedulerKind::Elastic` and `RuntimeConfig::{admission, slo,
+//!   client_credits}`.
 //! * [`silo`] — a Silo-style OCC in-memory transactional database with a
 //!   complete TPC-C implementation.
 //! * [`kv`] — a memcached-like key-value store with USR/ETC workloads.
-//! * [`load`] — open-loop Poisson load generation and SLO tooling.
+//! * [`load`] — open-loop Poisson load generation, SLO tooling
+//!   (`TenantSlos`: per-class bounds, credit targets, shed order) and
+//!   reject-aware retry policies.
 //! * [`runtime`] — a live multithreaded implementation of the ZygOS
-//!   scheduler (plus IX / Linux baselines) over a loopback transport.
+//!   scheduler (plus IX / Linux baselines) over a loopback transport,
+//!   running the same closed SLO loop as the simulator from a measured
+//!   (ingress-stamped) latency signal.
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every table and figure.
+//! See `docs/ARCHITECTURE.md` for the crate map, the policy plane and
+//! the end-to-end SLO loop; `docs/FIGURES.md` maps every paper figure to
+//! its reproduction binary and expected numbers; `docs/OFFLINE_BUILDS.md`
+//! explains the offline dependency shims.
 
 pub use zygos_core as core;
 pub use zygos_kv as kv;

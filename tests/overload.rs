@@ -6,16 +6,30 @@
 //! are exact regressions, not statistical ones. The same configuration and
 //! bound constants as the figure are imported, so the test certifies what
 //! `fig13_overload` reports.
+//!
+//! The assertions are **invariants**, not pinned constants: admitted p99
+//! within 2× the SLO, shedding present and monotone in offered load,
+//! client-side credits strictly cheaper on the wire. The exact shed
+//! percentage is a function of the AIMD target derivation (now per tenant
+//! class via `TenantSlos`), and pinning it would turn every legitimate
+//! target change into a test failure.
 
 use zygos::sim::dist::ServiceDist;
-use zygos::sysim::{run_system, SysConfig, SystemKind};
+use zygos::sysim::{run_system, AdmissionMode, SysConfig, SystemKind};
 use zygos_bench::fig12_elastic::QUANTUM_US;
-use zygos_bench::fig13::{credit_config, BOUND_US, SLO_US};
+use zygos_bench::fig13::{credit_config, tenant_slos, BOUND_US, SLO_US};
 
 fn cfg(load: f64) -> SysConfig {
     let mut c = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), load);
     c.requests = 20_000;
     c.warmup = 4_000;
+    c
+}
+
+fn credit_cfg(load: f64, mode: AdmissionMode) -> SysConfig {
+    let mut c = cfg(load);
+    c.admission = Some(credit_config(c.cores));
+    c.admission_mode = mode;
     c
 }
 
@@ -27,9 +41,7 @@ fn credit_gate_bounds_admitted_p99_where_pr1_policies_diverge() {
         ecfg.system = SystemKind::Elastic { min_cores: 2 };
         ecfg.preemption_quantum_us = QUANTUM_US;
         let elastic = run_system(&ecfg);
-        let mut ccfg = cfg(load);
-        ccfg.admission = Some(credit_config(ccfg.cores));
-        let credits = run_system(&ccfg);
+        let credits = run_system(&credit_cfg(load, AdmissionMode::ServerEdge));
 
         assert!(
             credits.p99_us() <= BOUND_US,
@@ -37,9 +49,8 @@ fn credit_gate_bounds_admitted_p99_where_pr1_policies_diverge() {
             credits.p99_us()
         );
         assert!(
-            credits.rejected > 0 && credits.shed_fraction() > 0.1,
-            "load {load}: overload must shed (got {})",
-            credits.shed_fraction()
+            credits.rejected > 0,
+            "load {load}: sustained overload must shed"
         );
         assert!(
             stat.p99_us() > 2.0 * BOUND_US,
@@ -55,22 +66,87 @@ fn credit_gate_bounds_admitted_p99_where_pr1_policies_diverge() {
 }
 
 #[test]
+fn shed_fraction_is_monotone_in_offered_load() {
+    // The invariant behind any fixed-percentage intuition: more offered
+    // load past saturation means a larger (never smaller) shed fraction,
+    // for both shed locations.
+    for mode in [AdmissionMode::ServerEdge, AdmissionMode::ClientSide] {
+        let mut prev = 0.0;
+        for load in [1.0, 1.2, 1.4] {
+            let out = run_system(&credit_cfg(load, mode));
+            let shed = out.shed_fraction();
+            assert!(
+                shed + 1e-9 >= prev,
+                "{mode:?}: shed fraction fell from {prev} to {shed} at load {load}"
+            );
+            prev = shed;
+        }
+        assert!(prev > 0.0, "{mode:?}: no shedding at 1.4x overload");
+    }
+}
+
+#[test]
+fn client_side_credits_waste_no_wire_rtt() {
+    for load in [1.2, 1.4] {
+        let server = run_system(&credit_cfg(load, AdmissionMode::ServerEdge));
+        let client = run_system(&credit_cfg(load, AdmissionMode::ClientSide));
+        assert!(
+            server.wasted_wire_us() > 0.0,
+            "load {load}: server-edge rejects must burn RTT"
+        );
+        assert_eq!(
+            client.wasted_wire_us(),
+            0.0,
+            "load {load}: creditless requests must never be sent"
+        );
+        assert!(
+            client.p99_us() <= BOUND_US,
+            "load {load}: client-side admitted p99 {} must stay bounded",
+            client.p99_us()
+        );
+    }
+}
+
+#[test]
+fn weighted_fair_shedding_sheds_the_loosest_class_first() {
+    for load in [1.2, 1.4] {
+        let mut c = credit_cfg(load, AdmissionMode::ServerEdge);
+        c.slo = Some(tenant_slos());
+        let out = run_system(&c);
+        assert!(out.rejected > 0, "load {load}: overload must shed");
+        // Class 0 = interactive (strict), class 1 = batch (loose): the
+        // batch class must carry strictly more of the sheds.
+        assert!(
+            out.shed_share_of_class(1) > out.shed_share_of_class(0),
+            "load {load}: batch share {:.2} must exceed interactive {:.2}",
+            out.shed_share_of_class(1),
+            out.shed_share_of_class(0)
+        );
+        assert!(
+            out.p99_us() <= BOUND_US,
+            "load {load}: multi-tenant admitted p99 {} must stay bounded",
+            out.p99_us()
+        );
+    }
+}
+
+#[test]
 fn credit_gate_is_nearly_transparent_below_saturation() {
     // At 60% load the gate must not get in the way: negligible shedding
-    // and an SLO-met tail.
-    let mut c = cfg(0.6);
-    c.admission = Some(credit_config(c.cores));
-    let out = run_system(&c);
-    assert!(
-        out.shed_fraction() < 0.01,
-        "shed {} at load 0.6",
-        out.shed_fraction()
-    );
-    assert!(
-        out.p99_us() <= SLO_US,
-        "p99 {} should meet the SLO under normal load",
-        out.p99_us()
-    );
+    // and an SLO-met tail, wherever the shed happens.
+    for mode in [AdmissionMode::ServerEdge, AdmissionMode::ClientSide] {
+        let out = run_system(&credit_cfg(0.6, mode));
+        assert!(
+            out.shed_fraction() < 0.01,
+            "{mode:?}: shed {} at load 0.6",
+            out.shed_fraction()
+        );
+        assert!(
+            out.p99_us() <= SLO_US,
+            "{mode:?}: p99 {} should meet the SLO under normal load",
+            out.p99_us()
+        );
+    }
 }
 
 #[test]
@@ -78,9 +154,7 @@ fn goodput_holds_near_capacity_under_overload() {
     // The point of shedding: what *is* admitted completes at a rate near
     // the machine's capacity (1.6 MRPS ideal for 16 cores @ 10µs), instead
     // of everything timing out together.
-    let mut c = cfg(1.4);
-    c.admission = Some(credit_config(c.cores));
-    let out = run_system(&c);
+    let out = run_system(&credit_cfg(1.4, AdmissionMode::ServerEdge));
     let goodput = out.throughput_mrps();
     assert!(
         goodput > 1.1,
