@@ -22,10 +22,7 @@ fn bench_figures(c: &mut Criterion) {
                 &scale,
                 "exponential",
                 &[10.0, 25.0],
-                &[
-                    zygos_sysim::SystemKind::Ix,
-                    zygos_sysim::SystemKind::LinuxFloating,
-                ],
+                &[zygos_lab::SimHost::Ix, zygos_lab::SimHost::LinuxFloating],
                 true,
             )
         });
@@ -39,7 +36,7 @@ fn bench_figures(c: &mut Criterion) {
                 &scale,
                 "exponential",
                 &[10.0, 25.0],
-                &[zygos_sysim::SystemKind::Zygos],
+                &[zygos_lab::SimHost::Zygos],
                 false,
             )
         });

@@ -10,9 +10,13 @@
 //!    cost does work conservation stop paying for itself?
 //! 4. **Bimodal-2 at the system level** — §3.4 drops bimodal-2 because
 //!    partitioned FCFS is pathological; the work-conserving ZygOS is not.
+//!
+//! Every variant is a one-case scenario (the ablation knobs are ordinary
+//! [`zygos_lab::Case`] policy fields), evaluated at 70% load and through
+//! the max-load@SLO search.
 
+use zygos_lab::{Case, Scenario, SimHost};
 use zygos_sim::dist::ServiceDist;
-use zygos_sysim::{max_load_at_slo, run_system, SysConfig, SystemKind};
 
 use crate::Scale;
 
@@ -28,20 +32,24 @@ pub struct Row {
     pub p99_at_70: f64,
 }
 
-fn base_cfg(scale: &Scale) -> SysConfig {
-    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.7);
-    cfg.requests = scale.requests;
-    cfg.warmup = scale.warmup;
-    cfg
+/// Builds the one-case scenario of a variant (exp/10µs unless the case
+/// overrides the service via `service`).
+fn variant_scenario(scale: &Scale, service: ServiceDist, case: Case) -> Scenario {
+    crate::scenario("ablation", scale)
+        .service(service)
+        .loads(vec![0.7])
+        .case(case)
+        .build()
+        .expect("ablation scenario")
 }
 
-fn evaluate(scale: &Scale, group: &'static str, variant: String, cfg: SysConfig) -> Row {
-    let p99_at_70 = run_system(&SysConfig {
-        load: 0.7,
-        ..cfg.clone()
-    })
-    .p99_us();
-    let max_load = max_load_at_slo(&cfg, 100.0, scale.resolution);
+fn evaluate(scale: &Scale, group: &'static str, variant: String, sc: &Scenario) -> Row {
+    let label = sc.cases[0].label.clone();
+    let p99_at_70 = zygos_lab::run_point(sc, &sc.cases[0], 0.7, false)
+        .expect("runs")
+        .p99_us;
+    let max_load =
+        zygos_lab::max_load_at_slo(sc, &label, 100.0, scale.resolution, false).expect("sim host");
     Row {
         group,
         variant,
@@ -52,12 +60,16 @@ fn evaluate(scale: &Scale, group: &'static str, variant: String, cfg: SysConfig)
 
 /// Runs all ablations.
 pub fn run(scale: &Scale) -> Vec<Row> {
+    let exp10 = || ServiceDist::exponential_us(10.0);
     let mut rows = Vec::new();
 
     // 1. Victim-order randomization.
     for randomize in [true, false] {
-        let mut cfg = base_cfg(scale);
-        cfg.randomize_steal_order = randomize;
+        let mut case = Case::sim("zygos", SimHost::Zygos);
+        if !randomize {
+            case = case.sequential_steal();
+        }
+        let sc = variant_scenario(scale, exp10(), case);
         rows.push(evaluate(
             scale,
             "steal-order",
@@ -67,42 +79,51 @@ pub fn run(scale: &Scale) -> Vec<Row> {
                 "sequential"
             }
             .into(),
-            cfg,
+            &sc,
         ));
     }
 
     // 2. IPI delivery latency.
     for delivery_ns in [300u64, 1_200, 5_000, 20_000] {
-        let mut cfg = base_cfg(scale);
-        cfg.cost.ipi_delivery_ns = delivery_ns;
+        let sc = variant_scenario(
+            scale,
+            exp10(),
+            Case::sim("zygos", SimHost::Zygos).ipi_delivery_ns(delivery_ns),
+        );
         rows.push(evaluate(
             scale,
             "ipi-delivery",
             format!("{:.1}us", delivery_ns as f64 / 1_000.0),
-            cfg,
+            &sc,
         ));
     }
 
     // 3. Steal cost.
     for steal_ns in [0u64, 350, 2_000, 8_000] {
-        let mut cfg = base_cfg(scale);
-        cfg.cost.steal_extra_ns = steal_ns;
-        rows.push(evaluate(scale, "steal-cost", format!("{steal_ns}ns"), cfg));
+        let sc = variant_scenario(
+            scale,
+            exp10(),
+            Case::sim("zygos", SimHost::Zygos).steal_extra_ns(steal_ns),
+        );
+        rows.push(evaluate(scale, "steal-cost", format!("{steal_ns}ns"), &sc));
     }
 
     // 4. Bimodal-2 at the system level (SLO 10·S̄ = 100µs; note the
     // zero-load p99 of bimodal-2 is only 0.5·S̄, so the SLO is loose for
-    // the fast mode but catastrophic under head-of-line blocking).
-    for system in [SystemKind::Ix, SystemKind::Zygos, SystemKind::LinuxFloating] {
-        let mut cfg = base_cfg(scale);
-        cfg.system = system;
-        cfg.service = ServiceDist::bimodal2_us(10.0);
-        if system == SystemKind::Ix {
-            cfg.cost = zygos_net::cost::CostModel::ix();
-        } else if system == SystemKind::LinuxFloating {
-            cfg.cost = zygos_net::cost::CostModel::linux();
-        }
-        rows.push(evaluate(scale, "bimodal-2", system.label().into(), cfg));
+    // the fast mode but catastrophic under head-of-line blocking). Each
+    // host brings its own calibrated cost model.
+    for host in [SimHost::Ix, SimHost::Zygos, SimHost::LinuxFloating] {
+        let sc = variant_scenario(
+            scale,
+            ServiceDist::bimodal2_us(10.0),
+            Case::sim(crate::fig03::label_of(host), host),
+        );
+        rows.push(evaluate(
+            scale,
+            "bimodal-2",
+            crate::fig03::label_of(host).into(),
+            &sc,
+        ));
     }
 
     rows

@@ -2,14 +2,21 @@
 //! credit-based admission control — server-edge vs client-side credits,
 //! plus the two-tenant weighted-fair-shedding panel.
 //!
+//! The whole experiment is one `zygos_lab` scenario
+//! (`zygos_bench::fig13::scenario`, committed as
+//! `scenarios/fig13_overload.toml`); this binary is a thin wrapper that
+//! runs it and renders the paper-style series.
+//!
 //! Flags:
 //!
 //! * `--smoke` — reduced duration/arrival count and a 3-point load grid
-//!   (what CI runs);
+//!   (CI runs the equivalent through `lab run scenarios/fig13_overload.toml
+//!   --smoke --check`);
 //! * `--check` — exit nonzero unless the acceptance claims hold: admitted
 //!   p99 within 2× the SLO at offered load ≥ 1.2 while the uncontrolled
 //!   policies diverge, client-side credits strictly below server-edge
-//!   wasted wire time, and the loosest tenant class shedding first.
+//!   wasted wire time, and the loosest tenant class shedding first while
+//!   keeping its admission floor.
 //!
 //! `ZYGOS_FAST=1` also selects the reduced grid at the standard fast
 //! scale. See `docs/FIGURES.md` for expected headline numbers and what a
@@ -34,8 +41,7 @@ fn main() {
         let fast = std::env::var("ZYGOS_FAST").is_ok_and(|v| v == "1");
         (Scale::from_env(), fast)
     };
-    let curves = fig13::run(&scale, fast);
-    let tenants = fig13::run_tenant_shed(&scale, fast);
+    let (curves, tenants) = fig13::run(&scale, fast);
     fig13::print(&curves, &tenants);
     if check {
         let result = fig13::check(&curves).and_then(|()| fig13::check_tenants(&tenants));

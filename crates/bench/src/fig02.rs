@@ -1,8 +1,13 @@
 //! Figure 2: p99 tail latency vs load for the four idealized queueing
 //! models × four service-time distributions (n = 16, S̄ = 1).
+//!
+//! Expressed as one scenario per distribution panel, each with a
+//! queueing-model case per policy — the zero-overhead models are just
+//! another host of the scenario plane.
 
+use zygos_lab::Case;
 use zygos_sim::dist::ServiceDist;
-use zygos_sim::queueing::{simulate, Policy, QueueConfig};
+use zygos_sim::queueing::Policy;
 
 use crate::Scale;
 
@@ -30,27 +35,21 @@ pub fn distributions() -> Vec<(&'static str, ServiceDist)> {
 pub fn run(scale: &Scale) -> Vec<Curve> {
     let mut curves = Vec::new();
     for (dist_label, dist) in distributions() {
+        let mut builder = crate::scenario("fig02", scale)
+            .service(dist)
+            .cores(16)
+            .conns(16)
+            .loads(scale.loads.iter().copied().filter(|&l| l < 1.0).collect())
+            .seed(2);
         for policy in Policy::ALL {
-            let points = scale
-                .loads
-                .iter()
-                .map(|&load| {
-                    let out = simulate(&QueueConfig {
-                        servers: 16,
-                        load,
-                        service: dist.clone(),
-                        policy,
-                        requests: scale.requests,
-                        seed: 2,
-                        warmup: scale.warmup,
-                    });
-                    (load, out.p99_us())
-                })
-                .collect();
+            builder = builder.case(Case::model(policy.label(16), policy));
+        }
+        let sc = builder.build().expect("fig02 scenario");
+        for series in crate::run(&sc).series {
             curves.push(Curve {
                 dist: dist_label,
-                model: policy.label(16),
-                points,
+                model: series.label.clone(),
+                points: zygos_lab::xy(&series.points, |p| p.load, |p| p.p99_us),
             });
         }
     }

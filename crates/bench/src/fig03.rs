@@ -1,10 +1,14 @@
 //! Figure 3: maximum load meeting the SLO (p99 ≤ 10·S̄) as a function of
 //! mean service time, for the three baseline systems plus the two
 //! zero-overhead theory bounds.
+//!
+//! Each `(system, service time)` cell is a one-case scenario whose
+//! max-load@SLO search runs through the lab runner; the theory bounds
+//! are model-host scenarios over the same machinery.
 
+use zygos_lab::{Case, SimHost};
 use zygos_sim::dist::ServiceDist;
 use zygos_sim::queueing::Policy;
-use zygos_sysim::{max_load_at_slo, theory_max_load_at_slo, SysConfig, SystemKind};
 
 use crate::Scale;
 
@@ -28,29 +32,59 @@ pub struct Curve {
     pub points: Vec<(f64, f64)>,
 }
 
+/// Max load at `slo_us` for one simulator host on one service dist —
+/// a one-case scenario driven through the lab's search. The search grid
+/// spans (0, 1): these figures measure *below*-saturation capacity.
+fn max_load(scale: &Scale, host: SimHost, service: ServiceDist, slo_us: f64) -> f64 {
+    let sc = crate::scenario("fig03", scale)
+        .service(service)
+        // The search probes its own loads; the grid here only sizes the
+        // spec (validated non-empty).
+        .loads(vec![0.5])
+        .case(Case::sim("probe", host))
+        .build()
+        .expect("fig03 scenario");
+    zygos_lab::max_load_at_slo(&sc, "probe", slo_us, scale.resolution, false)
+        .expect("deterministic host")
+}
+
+/// Max load at the SLO for a zero-overhead queueing bound, scale-free in
+/// S̄ (computed at unit mean).
+fn theory_bound(scale: &Scale, dist_label: &str, policy: Policy, label: &str) -> f64 {
+    let sc = zygos_lab::Scenario::builder("fig03-bound")
+        .service(dist_for(dist_label, 1.0))
+        .cores(16)
+        .conns(16)
+        .loads(vec![0.5])
+        .requests(scale.theory_requests, scale.theory_requests / 5)
+        .smoke(scale.theory_requests, scale.theory_requests / 5)
+        .seed(7)
+        .case(Case::model(label, policy))
+        .build()
+        .expect("bound scenario");
+    zygos_lab::max_load_at_slo(&sc, label, 10.0, scale.resolution, false).expect("model host")
+}
+
 /// Runs one panel's curves over the given service-time grid.
 pub fn run_panel(
     scale: &Scale,
     dist_label: &'static str,
     service_grid: &[f64],
-    systems: &[SystemKind],
+    systems: &[SimHost],
     include_bounds: bool,
 ) -> Vec<Curve> {
     let mut curves = Vec::new();
-    for &system in systems {
+    for &host in systems {
         let points = service_grid
             .iter()
             .map(|&mean| {
-                let mut cfg = SysConfig::paper(system, dist_for(dist_label, mean), 0.5);
-                cfg.requests = scale.requests;
-                cfg.warmup = scale.warmup;
-                let load = max_load_at_slo(&cfg, 10.0 * mean, scale.resolution);
+                let load = max_load(scale, host, dist_for(dist_label, mean), 10.0 * mean);
                 (mean, load)
             })
             .collect();
         curves.push(Curve {
             dist: dist_label,
-            system: system.label().to_string(),
+            system: label_of(host).to_string(),
             points,
         });
     }
@@ -59,15 +93,7 @@ pub fn run_panel(
             (Policy::CentralFcfs, "M/G/16/FCFS"),
             (Policy::PartitionedFcfs, "16xM/G/1/FCFS"),
         ] {
-            // The bound is scale-free in S̄: compute once at unit mean.
-            let bound = theory_max_load_at_slo(
-                &dist_for(dist_label, 1.0),
-                16,
-                policy,
-                10.0,
-                scale.theory_requests,
-                scale.resolution,
-            );
+            let bound = theory_bound(scale, dist_label, policy, label);
             curves.push(Curve {
                 dist: dist_label,
                 system: label.to_string(),
@@ -78,13 +104,25 @@ pub fn run_panel(
     curves
 }
 
+/// Display label matching the paper's figure legends.
+pub fn label_of(host: SimHost) -> &'static str {
+    match host {
+        SimHost::Zygos => "ZygOS",
+        SimHost::ZygosNoInterrupts => "ZygOS (no interrupts)",
+        SimHost::Elastic => "ZygOS (elastic)",
+        SimHost::Ix => "IX",
+        SimHost::LinuxPartitioned => "Linux (partitioned connections)",
+        SimHost::LinuxFloating => "Linux (floating connections)",
+    }
+}
+
 /// The full figure: three distributions, the Figure-3 service grid.
 pub fn run(scale: &Scale) -> Vec<Curve> {
     let grid = [2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 90.0, 120.0, 160.0, 200.0];
     let systems = [
-        SystemKind::LinuxPartitioned,
-        SystemKind::LinuxFloating,
-        SystemKind::Ix,
+        SimHost::LinuxPartitioned,
+        SimHost::LinuxFloating,
+        SimHost::Ix,
     ];
     let mut curves = Vec::new();
     for dist in ["deterministic", "exponential", "bimodal-1"] {

@@ -1,10 +1,15 @@
 //! Figure 6: p99 latency vs throughput for {deterministic, exponential,
 //! bimodal-1} × {10µs, 25µs}, comparing Linux-floating, IX, ZygOS,
 //! ZygOS-no-interrupts, and the zero-overhead M/G/16/FCFS model.
+//!
+//! One scenario per panel: four simulator cases sweep the load grid; the
+//! theory line is computed separately (it carries the wire RTT the
+//! models do not know about).
 
-use zygos_sysim::{latency_throughput_sweep, theory_central_p99_us, SysConfig, SystemKind};
+use zygos_lab::{Case, SimHost};
+use zygos_sysim::theory_central_p99_us;
 
-use crate::fig03::dist_for;
+use crate::fig03::{dist_for, label_of};
 use crate::Scale;
 
 /// One curve of one panel.
@@ -18,33 +23,38 @@ pub struct Curve {
 }
 
 /// The systems plotted, in legend order.
-pub const SYSTEMS: [SystemKind; 4] = [
-    SystemKind::LinuxFloating,
-    SystemKind::Ix,
-    SystemKind::ZygosNoInterrupts,
-    SystemKind::Zygos,
+pub const SYSTEMS: [SimHost; 4] = [
+    SimHost::LinuxFloating,
+    SimHost::Ix,
+    SimHost::ZygosNoInterrupts,
+    SimHost::Zygos,
 ];
 
 /// Runs one panel.
 pub fn run_panel(scale: &Scale, dist_label: &'static str, mean_us: f64) -> Vec<Curve> {
     let panel = format!("{dist_label}/{mean_us}us");
-    let mut curves = Vec::new();
-    for system in SYSTEMS {
-        let mut cfg = SysConfig::paper(system, dist_for(dist_label, mean_us), 0.5);
-        cfg.requests = scale.requests;
-        cfg.warmup = scale.warmup;
-        let pts = latency_throughput_sweep(&cfg, &scale.loads);
-        curves.push(Curve {
-            panel: panel.clone(),
-            system: system.label().to_string(),
-            points: pts.iter().map(|p| (p.mrps, p.p99_us)).collect(),
-        });
+    let mut builder = crate::scenario("fig06", scale)
+        .service(dist_for(dist_label, mean_us))
+        .loads(scale.loads.clone());
+    for host in SYSTEMS {
+        builder = builder.case(Case::sim(label_of(host), host));
     }
+    let sc = builder.build().expect("fig06 scenario");
+    let mut curves: Vec<Curve> = crate::run(&sc)
+        .series
+        .into_iter()
+        .map(|series| Curve {
+            panel: panel.clone(),
+            system: series.label.clone(),
+            points: zygos_lab::xy(&series.points, |p| p.mrps, |p| p.p99_us),
+        })
+        .collect();
     // Zero-overhead centralized bound (the "Theoretical M/G/16/FCFS" line).
     let service = dist_for(dist_label, mean_us);
     let theory: Vec<(f64, f64)> = scale
         .loads
         .iter()
+        .filter(|&&load| load < 1.0)
         .map(|&load| {
             let mrps = load * 16.0 / mean_us;
             let p99 = theory_central_p99_us(&service, 16, load, 4.0, scale.theory_requests, 5);

@@ -1,7 +1,7 @@
 //! Figure 7: maximum load @ SLO (p99 ≤ 10·S̄) vs service time with ZygOS
 //! included; the X axis stops at 50µs (efficiency is stable beyond).
 
-use zygos_sysim::SystemKind;
+use zygos_lab::SimHost;
 
 use crate::fig03::{run_panel, Curve};
 use crate::Scale;
@@ -10,11 +10,11 @@ use crate::Scale;
 pub fn run(scale: &Scale) -> Vec<Curve> {
     let grid = [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0];
     let systems = [
-        SystemKind::LinuxPartitioned,
-        SystemKind::LinuxFloating,
-        SystemKind::Ix,
-        SystemKind::ZygosNoInterrupts,
-        SystemKind::Zygos,
+        SimHost::LinuxPartitioned,
+        SimHost::LinuxFloating,
+        SimHost::Ix,
+        SimHost::ZygosNoInterrupts,
+        SimHost::Zygos,
     ];
     let mut curves = Vec::new();
     for dist in ["deterministic", "exponential", "bimodal-1"] {

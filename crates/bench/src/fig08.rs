@@ -1,9 +1,10 @@
 //! Figure 8: normalized steal rate vs throughput for the exponential
 //! distribution with S̄ = 25µs, ZygOS with and without interrupts.
 
+use zygos_lab::{Case, SimHost};
 use zygos_sim::dist::ServiceDist;
-use zygos_sysim::{latency_throughput_sweep, SysConfig, SystemKind};
 
+use crate::fig03::label_of;
 use crate::Scale;
 
 /// One curve: `(throughput MRPS, steals per event %)`.
@@ -16,20 +17,19 @@ pub struct Curve {
 
 /// Runs both curves.
 pub fn run(scale: &Scale) -> Vec<Curve> {
-    [SystemKind::Zygos, SystemKind::ZygosNoInterrupts]
+    let mut builder = crate::scenario("fig08", scale)
+        .service(ServiceDist::exponential_us(25.0))
+        .loads(scale.loads.clone());
+    for host in [SimHost::Zygos, SimHost::ZygosNoInterrupts] {
+        builder = builder.case(Case::sim(label_of(host), host));
+    }
+    let sc = builder.build().expect("fig08 scenario");
+    crate::run(&sc)
+        .series
         .into_iter()
-        .map(|system| {
-            let mut cfg = SysConfig::paper(system, ServiceDist::exponential_us(25.0), 0.5);
-            cfg.requests = scale.requests;
-            cfg.warmup = scale.warmup;
-            let pts = latency_throughput_sweep(&cfg, &scale.loads);
-            Curve {
-                system: system.label().to_string(),
-                points: pts
-                    .iter()
-                    .map(|p| (p.mrps, 100.0 * p.steal_fraction))
-                    .collect(),
-            }
+        .map(|series| Curve {
+            system: series.label.clone(),
+            points: zygos_lab::xy(&series.points, |p| p.mrps, |p| 100.0 * p.steal_fraction),
         })
         .collect()
 }

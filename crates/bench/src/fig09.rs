@@ -2,11 +2,12 @@
 //! IX B=1, IX B=64 and ZygOS; SLO 500µs.
 //!
 //! The memcached substitute is `zygos-kv`; its USR/ETC workload models
-//! produce an empirical service-time distribution (<2µs mean) that drives
-//! the system simulator.
+//! produce an empirical service-time distribution (<2µs mean) that feeds
+//! a four-case scenario per panel (the RX batch bound is the only knob
+//! that differs between cases).
 
 use zygos_kv::workload::{KvWorkload, WorkloadKind};
-use zygos_sysim::{latency_throughput_sweep, SysConfig, SystemKind};
+use zygos_lab::{Case, SimHost};
 
 use crate::Scale;
 
@@ -23,30 +24,28 @@ pub struct Curve {
 /// Runs one panel.
 pub fn run_panel(scale: &Scale, kind: WorkloadKind) -> Vec<Curve> {
     let service = KvWorkload::new(kind).service_dist(50_000, 9);
-    let mut curves = Vec::new();
-    let configs = [
-        (SystemKind::LinuxFloating, 1u64, "Linux".to_string()),
-        (SystemKind::Ix, 1, "IX B=1".to_string()),
-        (SystemKind::Ix, 64, "IX B=64".to_string()),
-        (SystemKind::Zygos, 64, "ZygOS".to_string()),
-    ];
     // Linux saturates at a small fraction of the dataplanes' ideal load
     // (≈11µs kernel cost per ~1µs task), so extend the grid downward.
     let mut loads: Vec<f64> = vec![0.01, 0.02, 0.03, 0.045, 0.06, 0.08];
     loads.extend_from_slice(&scale.loads);
-    for (system, batch, label) in configs {
-        let mut cfg = SysConfig::paper(system, service.clone(), 0.5);
-        cfg.rx_batch = batch;
-        cfg.requests = scale.requests;
-        cfg.warmup = scale.warmup;
-        let pts = latency_throughput_sweep(&cfg, &loads);
-        curves.push(Curve {
+    let sc = crate::scenario("fig09", scale)
+        .service(service)
+        .loads(loads)
+        .case(Case::sim("Linux", SimHost::LinuxFloating).rx_batch(1))
+        .case(Case::sim("IX B=1", SimHost::Ix).rx_batch(1))
+        .case(Case::sim("IX B=64", SimHost::Ix).rx_batch(64))
+        .case(Case::sim("ZygOS", SimHost::Zygos).rx_batch(64))
+        .build()
+        .expect("fig09 scenario");
+    crate::run(&sc)
+        .series
+        .into_iter()
+        .map(|series| Curve {
             panel: kind.label(),
-            system: label,
-            points: pts.iter().map(|p| (p.mrps, p.p99_us)).collect(),
-        });
-    }
-    curves
+            system: series.label.clone(),
+            points: zygos_lab::xy(&series.points, |p| p.mrps, |p| p.p99_us),
+        })
+        .collect()
 }
 
 /// Both panels.

@@ -11,10 +11,10 @@
 
 use std::time::Instant;
 
+use zygos_lab::{Case, Scenario, SimHost};
 use zygos_silo::tpcc::{Tpcc, TpccConfig, TpccRng, TxnType};
 use zygos_sim::dist::ServiceDist;
 use zygos_sim::stats::LatencyHistogram;
-use zygos_sysim::{latency_throughput_sweep, max_load_at_slo, run_system, SysConfig, SystemKind};
 
 use crate::Scale;
 
@@ -92,17 +92,21 @@ pub fn print_fig10a(m: &SiloMeasurement) {
 }
 
 /// The three systems of Figure 10b / Table 1, paper legend order.
-pub const SYSTEMS: [(SystemKind, &str); 3] = [
-    (SystemKind::LinuxFloating, "Linux"),
-    (SystemKind::Ix, "IX"),
-    (SystemKind::Zygos, "ZygOS"),
+pub const SYSTEMS: [(SimHost, &str); 3] = [
+    (SimHost::LinuxFloating, "Linux"),
+    (SimHost::Ix, "IX"),
+    (SimHost::Zygos, "ZygOS"),
 ];
 
-fn silo_cfg(scale: &Scale, system: SystemKind, service: &ServiceDist) -> SysConfig {
-    let mut cfg = SysConfig::paper(system, service.clone(), 0.5);
-    cfg.requests = scale.requests;
-    cfg.warmup = scale.warmup;
-    cfg
+/// The three-case TPC-C scenario behind Figure 10b and Table 1.
+fn silo_scenario(scale: &Scale, service: &ServiceDist, loads: Vec<f64>) -> Scenario {
+    let mut builder = crate::scenario("fig10b", scale)
+        .service(service.clone())
+        .loads(loads);
+    for (host, label) in SYSTEMS {
+        builder = builder.case(Case::sim(label, host));
+    }
+    builder.build().expect("fig10 scenario")
 }
 
 /// One Figure-10b curve.
@@ -116,15 +120,14 @@ pub struct Curve {
 /// Runs Figure 10b from measured service samples.
 pub fn run_fig10b(scale: &Scale, mix_samples: Vec<f64>) -> Vec<Curve> {
     let service = ServiceDist::empirical_us(mix_samples);
-    SYSTEMS
+    let sc = silo_scenario(scale, &service, scale.loads.clone());
+    crate::run(&sc)
+        .series
         .iter()
-        .map(|&(system, label)| {
-            let cfg = silo_cfg(scale, system, &service);
-            let pts = latency_throughput_sweep(&cfg, &scale.loads);
-            Curve {
-                system: label,
-                points: pts.iter().map(|p| (p.mrps * 1_000.0, p.p99_us)).collect(),
-            }
+        .zip(SYSTEMS)
+        .map(|(series, (_, label))| Curve {
+            system: label,
+            points: zygos_lab::xy(&series.points, |p| p.mrps * 1_000.0, |p| p.p99_us),
         })
         .collect()
 }
@@ -158,24 +161,21 @@ pub fn run_table1(scale: &Scale, mix_samples: Vec<f64>, service_p99_us: f64) -> 
     let slo_us = 1_000.0;
     let mut rows = Vec::new();
     let mut linux_ktps = None;
-    for &(system, label) in &SYSTEMS {
-        let cfg = silo_cfg(scale, system, &service);
-        let max_load = max_load_at_slo(&cfg, slo_us, scale.resolution);
+    let sc = silo_scenario(scale, &service, vec![0.5]);
+    for (host, label) in SYSTEMS {
+        let max_load = zygos_lab::max_load_at_slo(&sc, label, slo_us, scale.resolution, false)
+            .expect("sim host");
         let saturation_ktps = 16.0 / service.mean_us() * 1_000.0;
         let max_ktps = max_load * saturation_ktps;
-        if system == SystemKind::LinuxFloating {
+        if host == SimHost::LinuxFloating {
             linux_ktps = Some(max_ktps);
         }
+        let case = sc.case(label).expect("case present");
         let mut at_fractions = [(0.0, 0.0, 0.0); 3];
         for (i, frac) in [0.5, 0.75, 0.9].iter().enumerate() {
-            let mut c = cfg.clone();
-            c.load = (max_load * frac).max(0.01);
-            let out = run_system(&c);
-            at_fractions[i] = (
-                out.p99_us(),
-                out.p99_us() / service_p99_us,
-                c.load * saturation_ktps,
-            );
+            let load = (max_load * frac).max(0.01);
+            let p = zygos_lab::run_point(&sc, case, load, false).expect("runs");
+            at_fractions[i] = (p.p99_us, p.p99_us / service_p99_us, load * saturation_ktps);
         }
         rows.push(Table1Row {
             system: label,

@@ -1,8 +1,8 @@
 //! Figure 11: the impact of the SLO choice — IX (B=1 and B=64) vs ZygOS
 //! for 10µs deterministic tasks under a 100µs and a 1000µs SLO.
 
+use zygos_lab::{Case, SimHost};
 use zygos_sim::dist::ServiceDist;
-use zygos_sysim::{latency_throughput_sweep, SysConfig, SystemKind};
 
 use crate::Scale;
 
@@ -21,31 +21,31 @@ pub struct Curve {
 
 /// Runs the figure.
 pub fn run(scale: &Scale) -> Vec<Curve> {
-    let service = ServiceDist::deterministic_us(10.0);
-    let configs = [
-        (SystemKind::Ix, 64u64, "IX B=64"),
-        (SystemKind::Ix, 1, "IX B=1"),
-        (SystemKind::Zygos, 64, "ZygOS"),
-    ];
-    configs
+    let sc = crate::scenario("fig11", scale)
+        .service(ServiceDist::deterministic_us(10.0))
+        .loads(scale.loads.clone())
+        .case(Case::sim("IX B=64", SimHost::Ix).rx_batch(64))
+        .case(Case::sim("IX B=1", SimHost::Ix).rx_batch(1))
+        .case(Case::sim("ZygOS", SimHost::Zygos).rx_batch(64))
+        .build()
+        .expect("fig11 scenario");
+    crate::run(&sc)
+        .series
         .into_iter()
-        .map(|(system, batch, label)| {
-            let mut cfg = SysConfig::paper(system, service.clone(), 0.5);
-            cfg.rx_batch = batch;
-            cfg.requests = scale.requests;
-            cfg.warmup = scale.warmup;
-            let pts = latency_throughput_sweep(&cfg, &scale.loads);
+        .map(|series| {
             let max_under = |slo: f64| {
-                pts.iter()
+                series
+                    .points
+                    .iter()
                     .filter(|p| p.p99_us <= slo)
                     .map(|p| p.mrps)
                     .fold(0.0, f64::max)
             };
             Curve {
-                system: label.to_string(),
-                points: pts.iter().map(|p| (p.mrps, p.p99_us)).collect(),
                 max_mrps_slo_100: max_under(100.0),
                 max_mrps_slo_1000: max_under(1_000.0),
+                points: zygos_lab::xy(&series.points, |p| p.mrps, |p| p.p99_us),
+                system: series.label,
             }
         })
         .collect()

@@ -17,35 +17,36 @@
 //!   — each of which has already burned a full wire RTT (request there,
 //!   reject back).
 //! * **ZygOS (client credits)** — the same pool consulted at the
-//!   **sender** ([`AdmissionMode::ClientSide`]): a creditless request is
-//!   never sent, so every shed costs zero wire time. Identical admitted
-//!   tail, identical goodput — the wasted-wire column is the entire
-//!   difference, and it is what Breakwater's credit distribution buys.
+//!   **sender**: a creditless request is never sent, so every shed costs
+//!   zero wire time. Identical admitted tail, identical goodput — the
+//!   wasted-wire column is the entire difference, and it is what
+//!   Breakwater's credit distribution buys.
+//! * **ZygOS (credits, tenants)** — a **two-tenant** configuration
+//!   (interactive p99 ≤ 100µs next to batch p99 ≤ 1000µs): the AIMD
+//!   target derives per class from the bounds and shedding is
+//!   weighted-fair with per-class occupancy caps — the batch class hits
+//!   its own cap (and sheds) first, while keeping a guaranteed floor of
+//!   admissions.
 //!
-//! A second panel sweeps a **two-tenant** configuration (interactive
-//! p99 ≤ 100µs next to batch p99 ≤ 1000µs) through the same overload:
-//! with [`SysConfig::slo`] set, the AIMD target is derived per class from
-//! the bounds and shedding is weighted-fair — the batch class, capped at
-//! half the pool, absorbs the overload first
-//! ([`run_tenant_shed`] / [`check_tenants`]).
+//! The experiment matrix is one [`Scenario`] ([`scenario`]) — the same
+//! description committed as `scenarios/fig13_overload.toml`, whose
+//! claims CI enforces through `lab run --smoke --check`. The claims the
+//! local `--check` mode (and `tests/overload.rs`) pin at offered load
+//! ≥ 1.2:
 //!
-//! The claims the `--check` mode (and `tests/overload.rs`) enforce at
-//! offered load ≥ 1.2:
-//!
-//! 1. both credit systems' **admitted p99 stays within 2× the SLO** while
+//! 1. all credit systems' **admitted p99 stays within 2× the SLO** while
 //!    the uncontrolled policies blow through it;
 //! 2. client-side credits **strictly reduce wasted wire RTT** versus
 //!    server-edge shedding (which burns one RTT per reject);
 //! 3. the **loosest tenant class sheds first** under weighted fair
-//!    shedding.
+//!    shedding — and, with per-class occupancy tracking, retains a
+//!    floor of admissions instead of starving.
 
+use zygos_lab::{Case, Claims, PointMetrics, Scenario, SimHost};
 use zygos_load::slo::{Slo, SloClass, TenantSlos};
 use zygos_sched::CreditConfig;
 use zygos_sim::dist::ServiceDist;
-use zygos_sysim::{
-    latency_throughput_sweep, run_system, AdmissionMode, SweepPoint, SysConfig, SystemKind,
-    CREDIT_HEADROOM,
-};
+use zygos_sysim::{AdmissionMode, CREDIT_HEADROOM};
 
 use crate::fig12_elastic::QUANTUM_US;
 use crate::Scale;
@@ -90,15 +91,59 @@ pub fn tenant_slos() -> TenantSlos {
     ])
 }
 
+/// The five-case overload scenario — the programmatic twin of
+/// `scenarios/fig13_overload.toml`.
+pub fn scenario(scale: &Scale, fast: bool) -> Scenario {
+    let claims = Claims {
+        admitted_p99_bound_us: Some(BOUND_US),
+        uncontrolled_diverge_past_us: Some(BOUND_US),
+        client_waste_below_server: true,
+        loose_sheds_first: true,
+        loose_floor_max_shed_rate: Some(0.95),
+        ..Claims::default()
+    };
+    crate::scenario("fig13-overload", scale)
+        .service(ServiceDist::exponential_us(10.0))
+        .loads(loads(fast))
+        .case(Case::sim("ZygOS (static)", SimHost::Zygos))
+        .case(
+            Case::sim(
+                format!("ZygOS (elastic, q={QUANTUM_US}us)"),
+                SimHost::Elastic,
+            )
+            .min_cores(2)
+            .quantum_us(QUANTUM_US),
+        )
+        .case(
+            Case::sim("ZygOS (credits)", SimHost::Zygos)
+                .admission(AdmissionMode::ServerEdge)
+                .credit_target_us(CREDIT_TARGET_US),
+        )
+        .case(
+            Case::sim("ZygOS (client credits)", SimHost::Zygos)
+                .admission(AdmissionMode::ClientSide)
+                .credit_target_us(CREDIT_TARGET_US),
+        )
+        .case(
+            Case::sim("ZygOS (credits, tenants)", SimHost::Zygos)
+                .admission(AdmissionMode::ServerEdge)
+                .credit_target_us(CREDIT_TARGET_US)
+                .slo(tenant_slos()),
+        )
+        .claims(claims)
+        .build()
+        .expect("fig13 scenario")
+}
+
 /// One system's overload curve.
 pub struct Curve {
     /// System label.
     pub system: String,
     /// Per-load measurements.
-    pub points: Vec<SweepPoint>,
+    pub points: Vec<PointMetrics>,
 }
 
-/// One load point of the two-tenant weighted-fair-shedding sweep.
+/// One load point of the two-tenant weighted-fair-shedding panel.
 pub struct TenantShedPoint {
     /// Offered load (fraction of ideal saturation).
     pub load: f64,
@@ -108,75 +153,42 @@ pub struct TenantShedPoint {
     pub strict_shed_share: f64,
     /// Share of all sheds falling on the loose (batch) class.
     pub loose_shed_share: f64,
+    /// The loose class's own shed rate (its floor guarantee: < 1).
+    pub loose_shed_rate: f64,
     /// Admitted p99 (µs).
     pub p99_us: f64,
 }
 
-fn base(scale: &Scale) -> SysConfig {
-    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.5);
-    cfg.requests = scale.requests;
-    cfg.warmup = scale.warmup;
-    cfg
-}
-
-/// Runs the four curves over the overload grid.
-pub fn run(scale: &Scale, fast: bool) -> Vec<Curve> {
-    let grid = loads(fast);
+/// Runs the scenario; returns the four single-tenant curves and the
+/// tenant panel.
+pub fn run(scale: &Scale, fast: bool) -> (Vec<Curve>, Vec<TenantShedPoint>) {
+    let sc = scenario(scale, fast);
+    let report = crate::run(&sc);
     let mut curves = Vec::new();
-
-    let stat = base(scale);
-    curves.push(Curve {
-        system: "ZygOS (static)".to_string(),
-        points: latency_throughput_sweep(&stat, &grid),
-    });
-
-    let mut elastic = base(scale);
-    elastic.system = SystemKind::Elastic { min_cores: 2 };
-    elastic.preemption_quantum_us = QUANTUM_US;
-    curves.push(Curve {
-        system: format!("ZygOS (elastic, q={QUANTUM_US}us)"),
-        points: latency_throughput_sweep(&elastic, &grid),
-    });
-
-    let mut credits = base(scale);
-    credits.admission = Some(credit_config(credits.cores));
-    curves.push(Curve {
-        system: "ZygOS (credits)".to_string(),
-        points: latency_throughput_sweep(&credits, &grid),
-    });
-
-    let mut client = base(scale);
-    client.admission = Some(credit_config(client.cores));
-    client.admission_mode = AdmissionMode::ClientSide;
-    curves.push(Curve {
-        system: "ZygOS (client credits)".to_string(),
-        points: latency_throughput_sweep(&client, &grid),
-    });
-
-    curves
-}
-
-/// Runs the two-tenant weighted-fair-shedding sweep at the overload
-/// points of the grid.
-pub fn run_tenant_shed(scale: &Scale, fast: bool) -> Vec<TenantShedPoint> {
-    loads(fast)
-        .into_iter()
-        .filter(|&l| l >= 1.19)
-        .map(|load| {
-            let mut cfg = base(scale);
-            cfg.load = load;
-            cfg.admission = Some(credit_config(cfg.cores));
-            cfg.slo = Some(tenant_slos());
-            let out = run_system(&cfg);
-            TenantShedPoint {
-                load,
-                shed_fraction: out.shed_fraction(),
-                strict_shed_share: out.shed_share_of_class(0),
-                loose_shed_share: out.shed_share_of_class(1),
-                p99_us: out.p99_us(),
-            }
-        })
-        .collect()
+    let mut tenants = Vec::new();
+    for series in report.series {
+        if series.label == "ZygOS (credits, tenants)" {
+            tenants = series
+                .points
+                .iter()
+                .filter(|p| p.load >= 1.19)
+                .map(|p| TenantShedPoint {
+                    load: p.load,
+                    shed_fraction: p.shed_fraction,
+                    strict_shed_share: p.shed_share_by_class.first().copied().unwrap_or(0.0),
+                    loose_shed_share: p.shed_share_by_class.get(1).copied().unwrap_or(0.0),
+                    loose_shed_rate: p.shed_rate_by_class.get(1).copied().unwrap_or(0.0),
+                    p99_us: p.p99_us,
+                })
+                .collect();
+        } else {
+            curves.push(Curve {
+                system: series.label,
+                points: series.points,
+            });
+        }
+    }
+    (curves, tenants)
 }
 
 /// Prints the figure: `p99`, `goodput`, `shed` and `wire-waste` series
@@ -187,36 +199,40 @@ pub fn print(curves: &[Curve], tenants: &[TenantShedPoint]) {
         "overload: admitted p99, goodput, shed fraction and wasted wire vs offered load (SLO 100us)",
     );
     for c in curves {
-        let p99: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.p99_us)).collect();
-        let goodput: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.mrps)).collect();
-        let shed: Vec<(f64, f64)> = c.points.iter().map(|p| (p.load, p.shed_fraction)).collect();
-        let waste: Vec<(f64, f64)> = c
-            .points
-            .iter()
-            .map(|p| (p.load, p.wasted_wire_us))
-            .collect();
-        crate::print_series("fig13", "exp-10us", &format!("{}/p99", c.system), &p99);
+        let xy = |f: fn(&PointMetrics) -> f64| zygos_lab::xy(&c.points, |p| p.load, f);
+        crate::print_series(
+            "fig13",
+            "exp-10us",
+            &format!("{}/p99", c.system),
+            &xy(|p| p.p99_us),
+        );
         crate::print_series(
             "fig13",
             "exp-10us",
             &format!("{}/goodput", c.system),
-            &goodput,
+            &xy(|p| p.mrps),
         );
-        crate::print_series("fig13", "exp-10us", &format!("{}/shed", c.system), &shed);
+        crate::print_series(
+            "fig13",
+            "exp-10us",
+            &format!("{}/shed", c.system),
+            &xy(|p| p.shed_fraction),
+        );
         crate::print_series(
             "fig13",
             "exp-10us",
             &format!("{}/wire-waste-us", c.system),
-            &waste,
+            &xy(|p| p.wasted_wire_us),
         );
     }
     for t in tenants {
         println!(
-            "# fig13 tenants: load {:.2}: shed {:.0}% (interactive share {:.0}%, batch share {:.0}%), admitted p99 {:.0}us",
+            "# fig13 tenants: load {:.2}: shed {:.0}% (interactive share {:.0}%, batch share {:.0}%, batch own rate {:.0}%), admitted p99 {:.0}us",
             t.load,
             100.0 * t.shed_fraction,
             100.0 * t.strict_shed_share,
             100.0 * t.loose_shed_share,
+            100.0 * t.loose_shed_rate,
             t.p99_us
         );
     }
@@ -326,7 +342,8 @@ pub fn check(curves: &[Curve]) -> Result<(), String> {
 
 /// CI gate over the two-tenant sweep: at every overload point the loose
 /// (batch) class must carry strictly more of the sheds than the strict
-/// (interactive) class, and the admitted tail must stay bounded
+/// (interactive) class **while retaining an admission floor** (its own
+/// shed rate stays below 95%), and the admitted tail must stay bounded
 /// (≤ [`BOUND_US`], judged against the strict class's SLO — the batch
 /// class's own bound is 10× looser).
 pub fn check_tenants(points: &[TenantShedPoint]) -> Result<(), String> {
@@ -341,6 +358,12 @@ pub fn check_tenants(points: &[TenantShedPoint]) -> Result<(), String> {
             return Err(format!(
                 "load {:.2}: loose class must shed first (loose {:.2} vs strict {:.2})",
                 t.load, t.loose_shed_share, t.strict_shed_share
+            ));
+        }
+        if t.loose_shed_rate >= 0.95 {
+            return Err(format!(
+                "load {:.2}: loose class lost its floor (own shed rate {:.2})",
+                t.load, t.loose_shed_rate
             ));
         }
         if t.p99_us > BOUND_US {

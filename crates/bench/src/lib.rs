@@ -6,6 +6,15 @@
 //! stdout rendering, shaped like the paper's series). The binaries run at
 //! [`Scale::from_env`] (set `ZYGOS_FAST=1` for a quick pass); `cargo bench`
 //! exercises each experiment at [`Scale::smoke`].
+//!
+//! Since PR 4 every module is a **thin wrapper over the scenario plane**
+//! (`zygos_lab`): a fig module *describes* its experiment matrix as a
+//! [`zygos_lab::Scenario`] (workload + cases + claims) and lets the lab
+//! runner execute it — no module constructs a `SysConfig` or
+//! `RuntimeConfig` by hand anymore, so the same matrices are available
+//! as TOML specs under `scenarios/` and the figure binaries and the
+//! `lab` CLI cannot drift apart. [`scenario`] is the shared preamble
+//! binding a [`Scale`] to a builder.
 
 pub mod ablation;
 pub mod fig02;
@@ -86,6 +95,22 @@ impl Scale {
             Scale::full()
         }
     }
+}
+
+/// Starts a scenario builder sized by a [`Scale`] — the shared preamble
+/// of every fig module. The figure's own load grid still comes from the
+/// module (panels differ); measurement windows and the seed are uniform.
+pub fn scenario(name: &str, scale: &Scale) -> zygos_lab::ScenarioBuilder {
+    zygos_lab::Scenario::builder(name)
+        .requests(scale.requests, scale.warmup)
+        .smoke(scale.requests, scale.warmup)
+}
+
+/// Runs a scenario that a fig module assembled, panicking on the spec
+/// errors a module must not produce (they are construction bugs, not
+/// runtime conditions).
+pub fn run(sc: &zygos_lab::Scenario) -> zygos_lab::Report {
+    zygos_lab::run_scenario(sc, false).expect("fig scenario runs")
 }
 
 /// Prints one labelled `(x, y)` series in a grep-friendly layout:

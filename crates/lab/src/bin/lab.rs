@@ -1,0 +1,218 @@
+//! `lab` — run declarative scenarios, check claims and baselines.
+//!
+//! ```text
+//! lab run <spec.toml>... [--smoke] [--check] [--baselines DIR] [--write-baselines] [--json]
+//! lab gen-trace [--out FILE]
+//! ```
+//!
+//! * `run` executes each scenario (every case × every load) and prints
+//!   the unified series in the workspace's grep-friendly layout. With
+//!   `--check` it evaluates the scenario's claims and diffs the report
+//!   against `DIR/<name>.json` (default `scenarios/baselines`), exiting
+//!   nonzero on any violation — the CI gate. `--write-baselines`
+//!   (re)writes the baseline files instead of comparing.
+//! * `gen-trace` regenerates the bundled diurnal trace file.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use zygos_lab::{check_baseline, check_claims, run_scenario, scenario_from_toml, Report, Scenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("gen-trace") => cmd_gen_trace(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: lab run <spec.toml>... [--smoke] [--check] [--baselines DIR] \
+                 [--write-baselines] [--json]\n       lab gen-trace [--out FILE]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_gen_trace(args: &[String]) -> ExitCode {
+    let mut out = PathBuf::from("crates/lab/traces/diurnal.trace");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let text = zygos_lab::traces::regenerate_diurnal();
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("writing {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "# wrote {} ({} arrivals, seed {:#x})",
+        out.display(),
+        zygos_lab::traces::DIURNAL_ARRIVALS,
+        zygos_lab::traces::DIURNAL_SEED
+    );
+    ExitCode::SUCCESS
+}
+
+struct RunFlags {
+    smoke: bool,
+    check: bool,
+    write_baselines: bool,
+    json: bool,
+    baselines: PathBuf,
+    specs: Vec<PathBuf>,
+}
+
+fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
+    let mut flags = RunFlags {
+        smoke: false,
+        check: false,
+        write_baselines: false,
+        json: false,
+        baselines: PathBuf::from("scenarios/baselines"),
+        specs: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => flags.smoke = true,
+            "--check" => flags.check = true,
+            "--write-baselines" => flags.write_baselines = true,
+            "--json" => flags.json = true,
+            "--baselines" => {
+                flags.baselines = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--baselines needs a dir".to_string())?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            spec => flags.specs.push(PathBuf::from(spec)),
+        }
+    }
+    if flags.specs.is_empty() {
+        return Err("no scenario files given".to_string());
+    }
+    Ok(flags)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let flags = match parse_run_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0usize;
+    for spec in &flags.specs {
+        match run_one(spec, &flags) {
+            Ok(errs) if errs.is_empty() => {}
+            Ok(errs) => {
+                failures += errs.len();
+                for e in errs {
+                    eprintln!("lab check FAILED [{}]: {e}", spec.display());
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("lab FAILED [{}]: {e}", spec.display());
+            }
+        }
+    }
+    if failures == 0 {
+        if flags.check {
+            println!("# lab check OK ({} scenario(s))", flags.specs.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs one scenario file; returns check violations (empty = pass).
+fn run_one(spec_path: &Path, flags: &RunFlags) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("reading {}: {e}", spec_path.display()))?;
+    let sc: Scenario = scenario_from_toml(&text).map_err(|e| e.to_string())?;
+    let report = run_scenario(&sc, flags.smoke).map_err(|e| e.to_string())?;
+
+    if flags.json {
+        print!("{}", report.to_json());
+    } else {
+        print_report(&sc, &report);
+    }
+
+    let mut errs = Vec::new();
+    if flags.check || flags.write_baselines {
+        errs.extend(check_claims(&sc, &report));
+    }
+    if flags.write_baselines {
+        let path = flags.baselines.join(format!("{}.json", sc.name));
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("# wrote baseline {}", path.display());
+    } else if flags.check {
+        let path = flags.baselines.join(format!("{}.json", sc.name));
+        let baseline_text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "no baseline {} ({e}); create it with --write-baselines",
+                path.display()
+            )
+        })?;
+        let baseline = Report::from_json(&baseline_text)
+            .map_err(|e| format!("parsing baseline {}: {e}", path.display()))?;
+        errs.extend(check_baseline(&sc, &report, &baseline));
+    }
+    Ok(errs)
+}
+
+/// Prints a report in the workspace's grep-friendly series layout.
+fn print_report(sc: &Scenario, report: &Report) {
+    println!(
+        "# scenario {} ({} mode): {} case(s), arrivals {}",
+        report.scenario,
+        if report.smoke { "smoke" } else { "full" },
+        report.series.len(),
+        sc.workload.arrivals.label(),
+    );
+    println!("# columns: scenario\tseries\tmetric\tload\tvalue");
+    for s in &report.series {
+        for p in &s.points {
+            let metrics: [(&str, f64); 7] = [
+                ("p99_us", p.p99_us),
+                ("p50_us", p.p50_us),
+                ("mrps", p.mrps),
+                ("shed", p.shed_fraction),
+                ("wire_waste_us", p.wasted_wire_us),
+                ("cores", p.avg_cores),
+                ("steal", p.steal_fraction),
+            ];
+            for (name, v) in metrics {
+                println!(
+                    "{}\t{}\t{}\t{:.4}\t{:.3}",
+                    report.scenario, s.label, name, p.load, v
+                );
+            }
+            for (c, share) in p.shed_share_by_class.iter().enumerate() {
+                println!(
+                    "{}\t{}\tshed_share_class{}\t{:.4}\t{:.3}",
+                    report.scenario, s.label, c, p.load, share
+                );
+            }
+        }
+    }
+}

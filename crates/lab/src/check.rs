@@ -1,0 +1,395 @@
+//! `lab --check`: acceptance claims and baseline regression diffs.
+//!
+//! Two independent gates, both driven from the scenario spec so a new
+//! scenario file automatically becomes a CI gate:
+//!
+//! * [`check_claims`] — semantic assertions ([`crate::spec::Claims`])
+//!   over the fresh report: bounded admitted tails at overload, diverging
+//!   uncontrolled baselines, client-side wire savings, weighted-fair shed
+//!   order and the per-class floor, elastic parking. These encode *what
+//!   the experiment is supposed to show*; a refactor that silently
+//!   changes the outcome fails here with a sentence naming the claim.
+//! * [`check_baseline`] — structural and numeric comparison against a
+//!   committed baseline JSON: same series, same grid, and (for
+//!   deterministic hosts) headline metrics within the scenario's
+//!   tolerance. This catches quiet drift that no claim covers.
+
+use crate::report::{PointMetrics, Report, Series};
+use crate::spec::{Case, HostSpec, Scenario};
+use zygos_sysim::AdmissionMode;
+
+/// Evaluates the scenario's claims over a report. Returns every
+/// violation (empty = pass).
+pub fn check_claims(sc: &Scenario, report: &Report) -> Vec<String> {
+    let claims = &sc.claims;
+    let mut errs = Vec::new();
+    fn claim(errs: &mut Vec<String>, ok: bool, msg: String) {
+        if !ok {
+            errs.push(msg);
+        }
+    }
+    fn overload(s: &Series, from: f64) -> Vec<&PointMetrics> {
+        s.points.iter().filter(|p| p.load >= from).collect()
+    }
+    let case_of = |s: &Series| sc.case(&s.label);
+    let gated = |c: &Case| c.policy.admission.is_some();
+
+    if let Some(bound) = claims.admitted_p99_bound_us {
+        for s in report
+            .series
+            .iter()
+            .filter(|s| case_of(s).is_some_and(gated))
+        {
+            for p in overload(s, claims.overload_from) {
+                claim(
+                    &mut errs,
+                    p.p99_us <= bound,
+                    format!(
+                        "[{}] load {:.2}: admitted p99 {:.0}us exceeds the {bound:.0}us bound",
+                        s.label, p.load, p.p99_us
+                    ),
+                );
+                claim(
+                    &mut errs,
+                    p.shed_fraction > 0.0,
+                    format!(
+                        "[{}] load {:.2}: an admission gate must shed at overload",
+                        s.label, p.load
+                    ),
+                );
+            }
+        }
+    }
+    if let Some(past) = claims.uncontrolled_diverge_past_us {
+        for s in report.series.iter().filter(|s| {
+            case_of(s).is_some_and(|c| !gated(c) && !matches!(c.host, HostSpec::Model(_)))
+        }) {
+            for p in overload(s, claims.overload_from) {
+                claim(
+                    &mut errs,
+                    p.p99_us > past,
+                    format!(
+                        "[{}] load {:.2}: ungated p99 {:.0}us should diverge past {past:.0}us — \
+                         overload too weak?",
+                        s.label, p.load, p.p99_us
+                    ),
+                );
+            }
+        }
+    }
+    if claims.client_waste_below_server {
+        let with_mode = |mode: AdmissionMode| {
+            report.series.iter().find(|s| {
+                case_of(s)
+                    .and_then(|c| c.policy.admission.as_ref())
+                    .is_some_and(|a| a.mode == mode)
+            })
+        };
+        match (
+            with_mode(AdmissionMode::ServerEdge),
+            with_mode(AdmissionMode::ClientSide),
+        ) {
+            (Some(server), Some(client)) => {
+                for (sp, cp) in overload(server, claims.overload_from)
+                    .iter()
+                    .zip(overload(client, claims.overload_from).iter())
+                {
+                    claim(
+                        &mut errs,
+                        sp.wasted_wire_us > 0.0,
+                        format!(
+                            "[{}] load {:.2}: server-edge shedding must burn wire RTT",
+                            server.label, sp.load
+                        ),
+                    );
+                    claim(
+                        &mut errs,
+                        cp.wasted_wire_us < sp.wasted_wire_us,
+                        format!(
+                            "load {:.2}: client-side waste {:.0}us must sit strictly below \
+                             server-edge {:.0}us",
+                            cp.load, cp.wasted_wire_us, sp.wasted_wire_us
+                        ),
+                    );
+                }
+            }
+            _ => errs.push(
+                "client_waste_below_server: missing a server-edge or client-side series".into(),
+            ),
+        }
+    }
+    if claims.loose_sheds_first || claims.loose_floor_max_shed_rate.is_some() {
+        for s in &report.series {
+            let Some(case) = case_of(s) else { continue };
+            let Some(slos) = &case.policy.slo else {
+                continue;
+            };
+            if !gated(case) || slos.classes().len() < 2 {
+                continue;
+            }
+            // Class ranks by bound: strictest = smallest bound.
+            let bounds: Vec<f64> = slos.classes().iter().map(|c| c.slo.bound_us).collect();
+            let strict = idx_min(&bounds);
+            let loose = idx_max(&bounds);
+            for p in overload(s, claims.overload_from) {
+                if p.shed_share_by_class.len() < 2 {
+                    // Hosts that do not report per-class metrics (live
+                    // series) cannot back these claims; validation
+                    // requires a sim case, so skipping is safe here.
+                    continue;
+                }
+                if claims.loose_sheds_first {
+                    let (ls, ss) = (
+                        p.shed_share_by_class.get(loose).copied().unwrap_or(0.0),
+                        p.shed_share_by_class.get(strict).copied().unwrap_or(0.0),
+                    );
+                    claim(
+                        &mut errs,
+                        ls > ss,
+                        format!(
+                            "[{}] load {:.2}: loosest class shed share {ls:.2} must exceed \
+                             strictest {ss:.2}",
+                            s.label, p.load
+                        ),
+                    );
+                }
+                if let Some(max_rate) = claims.loose_floor_max_shed_rate {
+                    let rate = p.shed_rate_by_class.get(loose).copied().unwrap_or(0.0);
+                    claim(
+                        &mut errs,
+                        rate <= max_rate,
+                        format!(
+                            "[{}] load {:.2}: loosest class shed rate {rate:.2} breaches its \
+                             occupancy floor (max {max_rate:.2})",
+                            s.label, p.load
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(below) = claims.elastic_parks_below_load {
+        for s in report
+            .series
+            .iter()
+            .filter(|s| case_of(s).is_some_and(|c| c.host.is_elastic()))
+        {
+            for p in s.points.iter().filter(|p| p.load <= below) {
+                claim(
+                    &mut errs,
+                    p.avg_cores < sc.workload.cores as f64,
+                    format!(
+                        "[{}] load {:.2}: an elastic host must park below load {below:.2} \
+                         (granted {:.2} of {})",
+                        s.label, p.load, p.avg_cores, sc.workload.cores
+                    ),
+                );
+            }
+        }
+    }
+    errs
+}
+
+/// Compares a fresh report against a committed baseline. Structure must
+/// match exactly; deterministic series additionally compare headline
+/// numbers within `sc.check_tolerance` (relative, with small absolute
+/// floors so near-zero metrics do not produce infinite ratios).
+pub fn check_baseline(sc: &Scenario, fresh: &Report, baseline: &Report) -> Vec<String> {
+    let mut errs = Vec::new();
+    if baseline.scenario != fresh.scenario {
+        errs.push(format!(
+            "baseline is for scenario {:?}, report is {:?}",
+            baseline.scenario, fresh.scenario
+        ));
+        return errs;
+    }
+    if baseline.smoke != fresh.smoke {
+        errs.push(format!(
+            "baseline was recorded at {} scale, this run is {} — rerun with the matching mode \
+             or regenerate with --write-baselines",
+            mode(baseline.smoke),
+            mode(fresh.smoke)
+        ));
+        return errs;
+    }
+    if baseline.series.len() != fresh.series.len() {
+        errs.push(format!(
+            "series count changed: baseline {}, report {} — regenerate the baseline",
+            baseline.series.len(),
+            fresh.series.len()
+        ));
+        return errs;
+    }
+    for (b, f) in baseline.series.iter().zip(&fresh.series) {
+        if b.label != f.label || b.host != f.host {
+            errs.push(format!(
+                "series changed: baseline {:?}@{} vs report {:?}@{}",
+                b.label, b.host, f.label, f.host
+            ));
+            continue;
+        }
+        if b.points.len() != f.points.len() {
+            errs.push(format!(
+                "[{}] grid changed: baseline {} points, report {}",
+                f.label,
+                b.points.len(),
+                f.points.len()
+            ));
+            continue;
+        }
+        for (bp, fp) in b.points.iter().zip(&f.points) {
+            if (bp.load - fp.load).abs() > 1e-9 {
+                errs.push(format!(
+                    "[{}] grid changed: baseline load {:.4}, report {:.4}",
+                    f.label, bp.load, fp.load
+                ));
+                continue;
+            }
+            if !(b.deterministic && f.deterministic) {
+                continue; // Wall-clock series: structural compare only.
+            }
+            // Headline metrics only: the point is catching regressions,
+            // not entombing every digit.
+            let label = f.label.clone();
+            let mut field = |name: &str, bv: f64, fv: f64, abs_floor: f64| {
+                let scale = bv.abs().max(fv.abs()).max(abs_floor);
+                if (bv - fv).abs() > sc.check_tolerance * scale {
+                    errs.push(format!(
+                        "[{label}] load {:.2}: {name} drifted from {bv:.3} to {fv:.3} \
+                         (tolerance {:.0}%)",
+                        bp.load,
+                        sc.check_tolerance * 100.0
+                    ));
+                }
+            };
+            field("p99_us", bp.p99_us, fp.p99_us, 5.0);
+            field("mrps", bp.mrps, fp.mrps, 0.01);
+            field("shed_fraction", bp.shed_fraction, fp.shed_fraction, 0.1);
+            field("avg_cores", bp.avg_cores, fp.avg_cores, 2.0);
+            if (bp.wasted_wire_us > 0.0) != (fp.wasted_wire_us > 0.0) {
+                errs.push(format!(
+                    "[{label}] load {:.2}: wasted_wire_us changed sign class \
+                     ({:.0} vs {:.0})",
+                    bp.load, bp.wasted_wire_us, fp.wasted_wire_us
+                ));
+            }
+        }
+    }
+    errs
+}
+
+fn mode(smoke: bool) -> &'static str {
+    if smoke {
+        "smoke"
+    } else {
+        "full"
+    }
+}
+
+fn idx_min(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn idx_max(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SCHEMA_VERSION;
+    use crate::spec::{Case, Claims, Scenario, SimHost};
+    use zygos_sim::dist::ServiceDist;
+
+    fn scenario() -> Scenario {
+        let claims = Claims {
+            admitted_p99_bound_us: Some(200.0),
+            uncontrolled_diverge_past_us: Some(200.0),
+            ..Claims::default()
+        };
+        Scenario::builder("chk")
+            .service(ServiceDist::exponential_us(10.0))
+            .loads(vec![1.2])
+            .case(Case::sim("static", SimHost::Zygos))
+            .case(
+                Case::sim("credits", SimHost::Zygos)
+                    .admission(AdmissionMode::ServerEdge)
+                    .credit_target_us(70.0),
+            )
+            .claims(claims)
+            .build()
+            .expect("valid")
+    }
+
+    fn report(static_p99: f64, credits_p99: f64, shed: f64) -> Report {
+        let point = |p99: f64, shed: f64| PointMetrics {
+            load: 1.2,
+            p99_us: p99,
+            shed_fraction: shed,
+            mrps: 1.0,
+            avg_cores: 16.0,
+            ..PointMetrics::default()
+        };
+        Report {
+            schema: SCHEMA_VERSION,
+            scenario: "chk".into(),
+            smoke: true,
+            series: vec![
+                Series {
+                    label: "static".into(),
+                    host: "sim:zygos".into(),
+                    deterministic: true,
+                    points: vec![point(static_p99, 0.0)],
+                },
+                Series {
+                    label: "credits".into(),
+                    host: "sim:zygos".into(),
+                    deterministic: true,
+                    points: vec![point(credits_p99, shed)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn claims_pass_and_fail_as_expected() {
+        let sc = scenario();
+        assert!(check_claims(&sc, &report(2_500.0, 90.0, 0.3)).is_empty());
+        let errs = check_claims(&sc, &report(2_500.0, 400.0, 0.3));
+        assert!(errs.iter().any(|e| e.contains("exceeds")), "{errs:?}");
+        let errs = check_claims(&sc, &report(150.0, 90.0, 0.3));
+        assert!(errs.iter().any(|e| e.contains("diverge")), "{errs:?}");
+        let errs = check_claims(&sc, &report(2_500.0, 90.0, 0.0));
+        assert!(errs.iter().any(|e| e.contains("must shed")), "{errs:?}");
+    }
+
+    #[test]
+    fn baseline_diff_tolerates_noise_but_not_drift() {
+        let sc = scenario();
+        let base = report(2_500.0, 90.0, 0.3);
+        // Within 50% tolerance.
+        assert!(check_baseline(&sc, &report(2_600.0, 100.0, 0.35), &base).is_empty());
+        // p99 doubled: drift.
+        let errs = check_baseline(&sc, &report(2_500.0, 190.0, 0.3), &base);
+        assert!(
+            errs.iter().any(|e| e.contains("p99_us drifted")),
+            "{errs:?}"
+        );
+        // Structural changes are loud.
+        let mut renamed = base.clone();
+        renamed.series[0].label = "renamed".into();
+        let errs = check_baseline(&sc, &base, &renamed);
+        assert!(
+            errs.iter().any(|e| e.contains("series changed")),
+            "{errs:?}"
+        );
+    }
+}

@@ -1,0 +1,606 @@
+//! TOML scenario specs → [`crate::spec::Scenario`].
+//!
+//! The file format (see `docs/SCENARIOS.md` for the full reference):
+//!
+//! ```toml
+//! name = "fig13-overload"
+//!
+//! [workload]
+//! service = "exponential"   # deterministic | bimodal-1 | bimodal-2 | two-point | lognormal
+//! mean_us = 10.0
+//! cores = 16
+//! conns = 2752
+//! loads = [0.8, 1.2, 1.4]
+//! arrivals = "poisson"      # or "diurnal" (bundled trace), or phases = [[dur_us, factor], ...]
+//!
+//! [scale]
+//! requests = 50_000
+//! warmup = 10_000
+//! smoke_requests = 8_000
+//! smoke_warmup = 2_000
+//!
+//! [[case]]
+//! label = "ZygOS (credits)"
+//! host = "sim:zygos"
+//! admission = true
+//! admission_mode = "server-edge"
+//! credit_target_us = 70.0
+//!
+//! [claims]
+//! admitted_p99_bound_us = 200.0
+//! ```
+//!
+//! Every key is checked: unknown keys, wrong types, and contradictory
+//! combinations (`admission_mode` without `admission = true`, a quantum
+//! on a host that cannot preempt, …) are errors. Everything funnels into
+//! [`crate::spec::ScenarioBuilder::build`], so TOML-built and
+//! programmatically-built scenarios pass the same validation.
+
+use std::sync::Arc;
+
+use zygos_load::slo::{Slo, SloClass, TenantSlos};
+use zygos_load::source::{ArrivalSpec, Phase, Trace};
+use zygos_sched::BackgroundOrder;
+use zygos_sim::dist::ServiceDist;
+use zygos_sysim::config::AllocKind;
+use zygos_sysim::AdmissionMode;
+
+use crate::spec::{Case, Claims, HostSpec, Scenario, SpecError};
+use crate::toml::{self, Table, Value};
+
+/// Parses a scenario from TOML text.
+pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
+    let doc = toml::parse(text).map_err(SpecError::new)?;
+    check_keys("top level", &doc.root, &["name"])?;
+    for table in doc.tables.keys() {
+        if !matches!(table.as_str(), "workload" | "scale" | "claims" | "check") {
+            return Err(SpecError::new(format!("unknown table [{table}]")));
+        }
+    }
+    for array in doc.arrays.keys() {
+        if array != "case" {
+            return Err(SpecError::new(format!("unknown array [[{array}]]")));
+        }
+    }
+    let name = req_str(&doc.root, "name", "top level")?;
+    let mut b = Scenario::builder(name);
+
+    let Some(w) = doc.tables.get("workload") else {
+        return Err(SpecError::new("missing [workload] table"));
+    };
+    check_keys(
+        "[workload]",
+        w,
+        &[
+            "service",
+            "mean_us",
+            "fast_us",
+            "slow_us",
+            "p_fast",
+            "cv2",
+            "cores",
+            "conns",
+            "loads",
+            "arrivals",
+            "trace_file",
+            "phases",
+        ],
+    )?;
+    b = b.service(parse_service(w)?);
+    b = b.arrivals(parse_arrivals(w)?);
+    if let Some(v) = opt_num(w, "cores", "[workload]")? {
+        b = b.cores(as_count(v, "cores")?);
+    }
+    if let Some(v) = opt_num(w, "conns", "[workload]")? {
+        b = b.conns(as_count(v, "conns")? as u32);
+    }
+    b = b.loads(req_num_array(w, "loads", "[workload]")?);
+
+    if let Some(s) = doc.tables.get("scale") {
+        check_keys(
+            "[scale]",
+            s,
+            &[
+                "requests",
+                "warmup",
+                "smoke_requests",
+                "smoke_warmup",
+                "smoke_loads",
+                "seed",
+            ],
+        )?;
+        let full_req = opt_num(s, "requests", "[scale]")?;
+        let full_warm = opt_num(s, "warmup", "[scale]")?;
+        if let (Some(r), Some(wu)) = (full_req, full_warm) {
+            b = b.requests(
+                as_count(r, "requests")? as u64,
+                as_count(wu, "warmup")? as u64,
+            );
+        } else if full_req.is_some() || full_warm.is_some() {
+            return Err(SpecError::new("[scale] requests and warmup come together"));
+        }
+        let sr = opt_num(s, "smoke_requests", "[scale]")?;
+        let sw = opt_num(s, "smoke_warmup", "[scale]")?;
+        if let (Some(r), Some(wu)) = (sr, sw) {
+            b = b.smoke(
+                as_count(r, "smoke_requests")? as u64,
+                as_count(wu, "smoke_warmup")? as u64,
+            );
+        } else if sr.is_some() || sw.is_some() {
+            return Err(SpecError::new(
+                "[scale] smoke_requests and smoke_warmup come together",
+            ));
+        }
+        if let Some(loads) = s.get("smoke_loads") {
+            b = b.smoke_loads(num_array(loads, "smoke_loads")?);
+        }
+        if let Some(seed) = opt_num(s, "seed", "[scale]")? {
+            b = b.seed(as_count(seed, "seed")? as u64);
+        }
+    }
+
+    let Some(cases) = doc.arrays.get("case") else {
+        return Err(SpecError::new("a scenario needs at least one [[case]]"));
+    };
+    for (i, t) in cases.iter().enumerate() {
+        b = b.case(parse_case(t, i)?);
+    }
+
+    if let Some(c) = doc.tables.get("claims") {
+        b = b.claims(parse_claims(c)?);
+    }
+    if let Some(c) = doc.tables.get("check") {
+        check_keys("[check]", c, &["tolerance"])?;
+        if let Some(t) = opt_num(c, "tolerance", "[check]")? {
+            b = b.check_tolerance(t);
+        }
+    }
+    b.build()
+}
+
+fn parse_service(w: &Table) -> Result<ServiceDist, SpecError> {
+    let kind = req_str(w, "service", "[workload]")?;
+    let mean = |key: &str| -> Result<f64, SpecError> {
+        opt_num(w, key, "[workload]")?
+            .ok_or_else(|| SpecError::new(format!("service {kind:?} needs {key}")))
+    };
+    Ok(match kind.as_str() {
+        "deterministic" => ServiceDist::deterministic_us(mean("mean_us")?),
+        "exponential" => ServiceDist::exponential_us(mean("mean_us")?),
+        "bimodal-1" => ServiceDist::bimodal1_us(mean("mean_us")?),
+        "bimodal-2" => ServiceDist::bimodal2_us(mean("mean_us")?),
+        "lognormal" => ServiceDist::lognormal_us(mean("mean_us")?, mean("cv2")?),
+        "two-point" => ServiceDist::TwoPoint {
+            fast_us: mean("fast_us")?,
+            slow_us: mean("slow_us")?,
+            p_fast: mean("p_fast")?,
+        },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown service distribution {other:?}"
+            )))
+        }
+    })
+}
+
+fn parse_arrivals(w: &Table) -> Result<ArrivalSpec, SpecError> {
+    let named = w
+        .get("arrivals")
+        .map(|v| str_of(v, "arrivals"))
+        .transpose()?;
+    let trace_file = w
+        .get("trace_file")
+        .map(|v| str_of(v, "trace_file"))
+        .transpose()?;
+    let phases = w.get("phases");
+    let armed = [named.is_some(), trace_file.is_some(), phases.is_some()]
+        .iter()
+        .filter(|&&b| b)
+        .count();
+    if armed > 1 {
+        return Err(SpecError::new("pick one of arrivals / trace_file / phases"));
+    }
+    if let Some(path) = trace_file {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| SpecError::new(format!("trace_file {path:?}: {e}")))?;
+        let trace = Trace::parse(&text).map_err(SpecError::new)?;
+        return Ok(ArrivalSpec::Trace(Arc::new(trace)));
+    }
+    if let Some(v) = phases {
+        let mut out = Vec::new();
+        for (i, item) in v
+            .as_arr()
+            .ok_or_else(|| SpecError::new("phases must be an array"))?
+            .iter()
+            .enumerate()
+        {
+            let pair = item.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                SpecError::new(format!("phases[{i}] must be [duration_us, factor]"))
+            })?;
+            out.push(Phase {
+                duration_us: pair[0]
+                    .as_num()
+                    .ok_or_else(|| SpecError::new("phase duration must be a number"))?,
+                rate_factor: pair[1]
+                    .as_num()
+                    .ok_or_else(|| SpecError::new("phase factor must be a number"))?,
+            });
+        }
+        return Ok(ArrivalSpec::Phased(out));
+    }
+    match named.as_deref() {
+        None | Some("poisson") => Ok(ArrivalSpec::Poisson),
+        Some("diurnal") => Ok(ArrivalSpec::Trace(crate::traces::diurnal())),
+        Some(other) => Err(SpecError::new(format!(
+            "unknown arrivals {other:?} (poisson, diurnal, or use trace_file/phases)"
+        ))),
+    }
+}
+
+fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
+    let ctx = format!("[[case]] #{}", index + 1);
+    check_keys(
+        &ctx,
+        t,
+        &[
+            "label",
+            "host",
+            "min_cores",
+            "alloc",
+            "quantum_us",
+            "quantum_events",
+            "background_order",
+            "rx_batch",
+            "randomize_steal_order",
+            "ipi_delivery_ns",
+            "steal_extra_ns",
+            "admission",
+            "admission_mode",
+            "credit_target_us",
+            "overcommit",
+            "slo_classes",
+            "slo_bound_us",
+        ],
+    )?;
+    let label = req_str(t, "label", &ctx)?;
+    let host = HostSpec::parse(&req_str(t, "host", &ctx)?)?;
+    let mut case = Case {
+        label,
+        host,
+        policy: Default::default(),
+    };
+
+    // Admission: `admission = true` arms the gate; `admission_mode`
+    // without it is the canonical contradictory spec and is rejected.
+    let armed = match t.get("admission") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| SpecError::new(format!("{ctx}: admission must be true/false")))?,
+    };
+    let mode = t
+        .get("admission_mode")
+        .map(|v| str_of(v, "admission_mode"))
+        .transpose()?;
+    let overcommit = match t.get("overcommit") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| SpecError::new(format!("{ctx}: overcommit must be true/false")))?,
+    };
+    if !armed {
+        if let Some(m) = &mode {
+            return Err(SpecError::new(format!(
+                "{ctx}: admission_mode = {m:?} with admission off — arm `admission = true` \
+                 or drop the mode"
+            )));
+        }
+        if t.get("credit_target_us").is_some() || overcommit {
+            return Err(SpecError::new(format!(
+                "{ctx}: credit knobs with admission off"
+            )));
+        }
+    } else {
+        let mode = match mode.as_deref() {
+            None | Some("server-edge") => AdmissionMode::ServerEdge,
+            Some("client-side") => AdmissionMode::ClientSide,
+            Some(other) => {
+                return Err(SpecError::new(format!(
+                    "{ctx}: unknown admission_mode {other:?}"
+                )))
+            }
+        };
+        case = case.admission(mode);
+        if let Some(target) = opt_num(t, "credit_target_us", &ctx)? {
+            case = case.credit_target_us(target);
+        }
+        if overcommit {
+            case = case.overcommit();
+            case = case.admission(mode); // overcommit() must not change the mode
+        }
+    }
+
+    if let Some(v) = opt_num(t, "min_cores", &ctx)? {
+        case = case.min_cores(as_count(v, "min_cores")?);
+    }
+    if let Some(v) = t.get("alloc") {
+        case = case.alloc(match str_of(v, "alloc")?.as_str() {
+            "utilization" => AllocKind::Utilization,
+            "slo-driven" => AllocKind::SloDriven,
+            other => return Err(SpecError::new(format!("{ctx}: unknown alloc {other:?}"))),
+        });
+    }
+    if let Some(v) = opt_num(t, "quantum_us", &ctx)? {
+        case = case.quantum_us(v);
+    }
+    if let Some(v) = opt_num(t, "quantum_events", &ctx)? {
+        case = case.quantum_events(as_count(v, "quantum_events")?);
+    }
+    if let Some(v) = t.get("background_order") {
+        case = case.background_order(match str_of(v, "background_order")?.as_str() {
+            "fcfs" => BackgroundOrder::Fcfs,
+            "srpt" => BackgroundOrder::Srpt,
+            other => {
+                return Err(SpecError::new(format!(
+                    "{ctx}: unknown background_order {other:?}"
+                )))
+            }
+        });
+    }
+    if let Some(v) = opt_num(t, "rx_batch", &ctx)? {
+        case = case.rx_batch(as_count(v, "rx_batch")? as u64);
+    }
+    if let Some(v) = t.get("randomize_steal_order") {
+        let randomize = v
+            .as_bool()
+            .ok_or_else(|| SpecError::new(format!("{ctx}: randomize_steal_order must be bool")))?;
+        if !randomize {
+            case = case.sequential_steal();
+        } else {
+            case.policy.randomize_steal_order = Some(true);
+        }
+    }
+    if let Some(v) = opt_num(t, "ipi_delivery_ns", &ctx)? {
+        case = case.ipi_delivery_ns(as_count(v, "ipi_delivery_ns")? as u64);
+    }
+    if let Some(v) = opt_num(t, "steal_extra_ns", &ctx)? {
+        case = case.steal_extra_ns(as_count(v, "steal_extra_ns")? as u64);
+    }
+
+    // SLO classes: either a full list or a uniform single-bound shortcut.
+    if t.get("slo_classes").is_some() && t.get("slo_bound_us").is_some() {
+        return Err(SpecError::new(format!(
+            "{ctx}: pick one of slo_classes / slo_bound_us"
+        )));
+    }
+    if let Some(v) = opt_num(t, "slo_bound_us", &ctx)? {
+        case = case.slo(TenantSlos::uniform(Slo::p99(v)));
+    }
+    if let Some(v) = t.get("slo_classes") {
+        let mut classes = Vec::new();
+        for (i, item) in v
+            .as_arr()
+            .ok_or_else(|| SpecError::new(format!("{ctx}: slo_classes must be an array")))?
+            .iter()
+            .enumerate()
+        {
+            let pair = item.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                SpecError::new(format!(
+                    "{ctx}: slo_classes[{i}] must be [name, p99_bound_us]"
+                ))
+            })?;
+            let name = pair[0]
+                .as_str()
+                .ok_or_else(|| SpecError::new(format!("{ctx}: class name must be a string")))?;
+            let bound = pair[1]
+                .as_num()
+                .ok_or_else(|| SpecError::new(format!("{ctx}: class bound must be a number")))?;
+            classes.push(SloClass::new(name, Slo::p99(bound)));
+        }
+        if classes.is_empty() {
+            return Err(SpecError::new(format!("{ctx}: slo_classes is empty")));
+        }
+        case = case.slo(TenantSlos::new(classes));
+    }
+    Ok(case)
+}
+
+fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
+    check_keys(
+        "[claims]",
+        c,
+        &[
+            "overload_from",
+            "admitted_p99_bound_us",
+            "uncontrolled_diverge_past_us",
+            "client_waste_below_server",
+            "loose_sheds_first",
+            "loose_floor_max_shed_rate",
+            "elastic_parks_below_load",
+        ],
+    )?;
+    let mut claims = Claims::default();
+    if let Some(v) = opt_num(c, "overload_from", "[claims]")? {
+        claims.overload_from = v;
+    }
+    claims.admitted_p99_bound_us = opt_num(c, "admitted_p99_bound_us", "[claims]")?;
+    claims.uncontrolled_diverge_past_us = opt_num(c, "uncontrolled_diverge_past_us", "[claims]")?;
+    claims.loose_floor_max_shed_rate = opt_num(c, "loose_floor_max_shed_rate", "[claims]")?;
+    claims.elastic_parks_below_load = opt_num(c, "elastic_parks_below_load", "[claims]")?;
+    for (key, slot) in [
+        (
+            "client_waste_below_server",
+            &mut claims.client_waste_below_server,
+        ),
+        ("loose_sheds_first", &mut claims.loose_sheds_first),
+    ] {
+        if let Some(v) = c.get(key) {
+            *slot = v
+                .as_bool()
+                .ok_or_else(|| SpecError::new(format!("[claims] {key} must be bool")))?;
+        }
+    }
+    Ok(claims)
+}
+
+// --- small typed readers -------------------------------------------------
+
+fn check_keys(ctx: &str, table: &Table, allowed: &[&str]) -> Result<(), SpecError> {
+    for key in table.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(SpecError::new(format!("{ctx}: unknown key {key:?}")));
+        }
+    }
+    Ok(())
+}
+
+fn str_of(v: &Value, what: &str) -> Result<String, SpecError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| SpecError::new(format!("{what} must be a string")))
+}
+
+fn req_str(t: &Table, key: &str, ctx: &str) -> Result<String, SpecError> {
+    t.get(key)
+        .ok_or_else(|| SpecError::new(format!("{ctx}: missing {key}")))
+        .and_then(|v| str_of(v, key))
+}
+
+fn opt_num(t: &Table, key: &str, ctx: &str) -> Result<Option<f64>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_num()
+            .map(Some)
+            .ok_or_else(|| SpecError::new(format!("{ctx}: {key} must be a number"))),
+    }
+}
+
+fn num_array(v: &Value, what: &str) -> Result<Vec<f64>, SpecError> {
+    v.as_arr()
+        .ok_or_else(|| SpecError::new(format!("{what} must be an array")))?
+        .iter()
+        .map(|x| {
+            x.as_num()
+                .ok_or_else(|| SpecError::new(format!("{what} must hold numbers")))
+        })
+        .collect()
+}
+
+fn req_num_array(t: &Table, key: &str, ctx: &str) -> Result<Vec<f64>, SpecError> {
+    num_array(
+        t.get(key)
+            .ok_or_else(|| SpecError::new(format!("{ctx}: missing {key}")))?,
+        key,
+    )
+}
+
+fn as_count(v: f64, what: &str) -> Result<usize, SpecError> {
+    if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 {
+        Ok(v as usize)
+    } else {
+        Err(SpecError::new(format!(
+            "{what} must be a non-negative integer, got {v}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+name = "mini"
+[workload]
+service = "exponential"
+mean_us = 10.0
+cores = 4
+conns = 32
+loads = [0.3, 0.6]
+[[case]]
+label = "ZygOS"
+host = "sim:zygos"
+"#;
+
+    #[test]
+    fn minimal_spec_parses() {
+        let s = scenario_from_toml(MINIMAL).expect("valid");
+        assert_eq!(s.name, "mini");
+        assert_eq!(s.workload.cores, 4);
+        assert_eq!(s.workload.loads, vec![0.3, 0.6]);
+        assert_eq!(s.cases[0].host.id(), "sim:zygos");
+    }
+
+    #[test]
+    fn admission_mode_without_admission_is_contradictory() {
+        let text = MINIMAL.replace(
+            "host = \"sim:zygos\"",
+            "host = \"sim:zygos\"\nadmission_mode = \"client-side\"",
+        );
+        let e = scenario_from_toml(&text).expect_err("reject");
+        assert!(e.to_string().contains("admission off"), "{e}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let text = MINIMAL.replace("mean_us = 10.0", "mean_us = 10.0\nfrobnicate = 3");
+        let e = scenario_from_toml(&text).expect_err("reject");
+        assert!(e.to_string().contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn full_featured_case_parses() {
+        let s = scenario_from_toml(
+            r#"
+name = "full"
+[workload]
+service = "two-point"
+fast_us = 0.5
+slow_us = 500.0
+p_fast = 0.995
+cores = 16
+conns = 2752
+loads = [0.3, 0.7, 1.2]
+arrivals = "diurnal"
+[scale]
+requests = 20_000
+warmup = 4_000
+smoke_requests = 2_000
+smoke_warmup = 500
+smoke_loads = [0.3, 1.2]
+seed = 7
+[[case]]
+label = "elastic srpt"
+host = "sim:elastic"
+min_cores = 2
+quantum_us = 25.0
+background_order = "srpt"
+alloc = "slo-driven"
+[[case]]
+label = "tenants"
+host = "sim:zygos"
+admission = true
+admission_mode = "server-edge"
+slo_classes = [["interactive", 100.0], ["batch", 1000.0]]
+[claims]
+overload_from = 1.19
+loose_sheds_first = true
+loose_floor_max_shed_rate = 0.95
+elastic_parks_below_load = 0.31
+[check]
+tolerance = 0.4
+"#,
+        )
+        .expect("valid");
+        assert_eq!(s.cases.len(), 2);
+        assert!(matches!(s.workload.arrivals, ArrivalSpec::Trace(_)));
+        assert_eq!(s.scale.seed, 7);
+        assert!(s.claims.loose_sheds_first);
+        assert_eq!(s.check_tolerance, 0.4);
+        let tenants = s.case("tenants").expect("present");
+        assert_eq!(
+            tenants.policy.slo.as_ref().map(|t| t.classes().len()),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! The unified result schema and its JSON round trip.
+//!
+//! Every host — simulator, live runtime, queueing model — reduces a run
+//! to the same [`PointMetrics`], so a [`Report`] is diffable across
+//! hosts and across commits (`lab --check` compares a freshly produced
+//! report against a committed baseline JSON). The JSON codec is
+//! hand-rolled (this workspace builds offline, without serde); it covers
+//! exactly the subset the schema needs, and the round trip is pinned by
+//! tests and by `tests/scenario.rs` at the workspace root.
+//!
+//! Metrics that a host cannot produce are `0` (e.g. `steal_fraction` for
+//! a queueing model, `wasted_wire_us` on the loopback live runtime) —
+//! the *schema* never changes shape across hosts; that is what makes a
+//! sim series and a live series of the same scenario directly
+//! comparable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One measured point (one case at one offered load).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PointMetrics {
+    /// Offered load (fraction of ideal saturation).
+    pub load: f64,
+    /// Measured goodput, MRPS.
+    pub mrps: f64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: f64,
+    /// Fraction of events executed by non-home cores.
+    pub steal_fraction: f64,
+    /// IPIs per measured request.
+    pub ipis_per_req: f64,
+    /// Quantum preemptions per measured request.
+    pub preemptions_per_req: f64,
+    /// Time-averaged granted cores.
+    pub avg_cores: f64,
+    /// Granted core-seconds over the measurement window.
+    pub core_seconds: f64,
+    /// Fraction of arrivals shed by the credit gate.
+    pub shed_fraction: f64,
+    /// Wire time burned by shed requests, µs.
+    pub wasted_wire_us: f64,
+    /// Each class's share of all sheds (empty without tenant classes).
+    pub shed_share_by_class: Vec<f64>,
+    /// Each class's own shed rate (empty without tenant classes).
+    pub shed_rate_by_class: Vec<f64>,
+}
+
+/// One case's sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Case label.
+    pub label: String,
+    /// Host id ([`crate::spec::HostSpec::id`]).
+    pub host: String,
+    /// Whether reruns reproduce the numbers exactly (sim and model hosts;
+    /// live wall-clock series are structural-compare only).
+    pub deterministic: bool,
+    /// One point per grid load.
+    pub points: Vec<PointMetrics>,
+}
+
+/// A full scenario result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Schema version (bump on shape changes so stale baselines fail
+    /// loudly instead of diffing garbage).
+    pub schema: u32,
+    /// Scenario name.
+    pub scenario: String,
+    /// Whether this ran at smoke scale.
+    pub smoke: bool,
+    /// One series per case, scenario order.
+    pub series: Vec<Series>,
+}
+
+/// Current schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl Report {
+    /// The series with `label`, if any.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Serializes to pretty JSON. `f64` values use Rust's shortest
+    /// round-trip formatting, so `parse(to_json(r)) == r` exactly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"scenario\": {},", quote(&self.scenario));
+        let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"label\": {},", quote(&s.label));
+            let _ = writeln!(out, "      \"host\": {},", quote(&s.host));
+            let _ = writeln!(out, "      \"deterministic\": {},", s.deterministic);
+            out.push_str("      \"points\": [\n");
+            for (j, p) in s.points.iter().enumerate() {
+                out.push_str("        {");
+                let fields = [
+                    ("load", p.load),
+                    ("mrps", p.mrps),
+                    ("p50_us", p.p50_us),
+                    ("p99_us", p.p99_us),
+                    ("p999_us", p.p999_us),
+                    ("steal_fraction", p.steal_fraction),
+                    ("ipis_per_req", p.ipis_per_req),
+                    ("preemptions_per_req", p.preemptions_per_req),
+                    ("avg_cores", p.avg_cores),
+                    ("core_seconds", p.core_seconds),
+                    ("shed_fraction", p.shed_fraction),
+                    ("wasted_wire_us", p.wasted_wire_us),
+                ];
+                for (name, v) in fields {
+                    let _ = write!(out, "\"{name}\": {}, ", num(v));
+                }
+                let _ = write!(
+                    out,
+                    "\"shed_share_by_class\": {}, \"shed_rate_by_class\": {}",
+                    num_array(&p.shed_share_by_class),
+                    num_array(&p.shed_rate_by_class)
+                );
+                out.push('}');
+                out.push_str(if j + 1 < s.points.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 < self.series.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the output of [`Report::to_json`] (any equivalent JSON,
+    /// really — the parser is a small general one).
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = Json::parse(text)?;
+        let top = v.object("report")?;
+        let schema = get(top, "schema")?.number("schema")? as u32;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema v{schema} does not match this binary's v{SCHEMA_VERSION}; \
+                 regenerate it with --write-baselines"
+            ));
+        }
+        let mut series = Vec::new();
+        for (i, sv) in get(top, "series")?.array("series")?.iter().enumerate() {
+            let so = sv.object(&format!("series[{i}]"))?;
+            let mut points = Vec::new();
+            for (j, pv) in get(so, "points")?.array("points")?.iter().enumerate() {
+                let po = pv.object(&format!("point[{j}]"))?;
+                let f = |k: &str| -> Result<f64, String> { get(po, k)?.number(k) };
+                let arr = |k: &str| -> Result<Vec<f64>, String> {
+                    get(po, k)?.array(k)?.iter().map(|x| x.number(k)).collect()
+                };
+                points.push(PointMetrics {
+                    load: f("load")?,
+                    mrps: f("mrps")?,
+                    p50_us: f("p50_us")?,
+                    p99_us: f("p99_us")?,
+                    p999_us: f("p999_us")?,
+                    steal_fraction: f("steal_fraction")?,
+                    ipis_per_req: f("ipis_per_req")?,
+                    preemptions_per_req: f("preemptions_per_req")?,
+                    avg_cores: f("avg_cores")?,
+                    core_seconds: f("core_seconds")?,
+                    shed_fraction: f("shed_fraction")?,
+                    wasted_wire_us: f("wasted_wire_us")?,
+                    shed_share_by_class: arr("shed_share_by_class")?,
+                    shed_rate_by_class: arr("shed_rate_by_class")?,
+                });
+            }
+            series.push(Series {
+                label: get(so, "label")?.string("label")?,
+                host: get(so, "host")?.string("host")?,
+                deterministic: get(so, "deterministic")?.boolean("deterministic")?,
+                points,
+            });
+        }
+        Ok(Report {
+            schema,
+            scenario: get(top, "scenario")?.string("scenario")?,
+            smoke: get(top, "smoke")?.boolean("smoke")?,
+            series,
+        })
+    }
+}
+
+fn get<'a>(map: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, String> {
+    map.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// JSON has no NaN/Inf; metrics are physical quantities, so clamp any
+/// non-finite slip-through to 0 rather than emitting invalid JSON.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn num_array(vs: &[f64]) -> String {
+    let inner: Vec<String> = vs.iter().map(|&v| num(v)).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A small JSON value tree (enough for the report schema).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn object(&self, what: &str) -> Result<&BTreeMap<String, Json>, String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn number(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+
+    fn string(&self, what: &str) -> Result<String, String> {
+        match self {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+
+    fn boolean(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("{what}: expected bool, got {other:?}")),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err("unexpected end of input".to_string());
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                let Some(&c) = b.get(*pos) else {
+                    return Err("unterminated string".to_string());
+                };
+                *pos += 1;
+                match c {
+                    b'"' => return Ok(Json::Str(out)),
+                    b'\\' => {
+                        let Some(&e) = b.get(*pos) else {
+                            return Err("unterminated escape".to_string());
+                        };
+                        *pos += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                if *pos + 4 > b.len() {
+                                    return Err("truncated \\u escape".to_string());
+                                }
+                                let hex = std::str::from_utf8(&b[*pos..*pos + 4])
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("unknown escape \\{}", other as char)),
+                        }
+                    }
+                    c => {
+                        // Multi-byte UTF-8: copy the full sequence.
+                        let len = utf8_len(c);
+                        if len == 1 {
+                            out.push(c as char);
+                        } else {
+                            let start = *pos - 1;
+                            let end = start + len;
+                            let s = std::str::from_utf8(b.get(start..end).unwrap_or_default())
+                                .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                            out.push_str(s);
+                            *pos = end;
+                        }
+                    }
+                }
+            }
+        }
+        b't' => expect_word(b, pos, "true", Json::Bool(true)),
+        b'f' => expect_word(b, pos, "false", Json::Bool(false)),
+        b'n' => expect_word(b, pos, "null", Json::Null),
+        _ => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).expect("ascii");
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn expect_word(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected {word:?} at byte {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            schema: SCHEMA_VERSION,
+            scenario: "fig13-overload".to_string(),
+            smoke: true,
+            series: vec![
+                Series {
+                    label: "ZygOS (static)".to_string(),
+                    host: "sim:zygos".to_string(),
+                    deterministic: true,
+                    points: vec![PointMetrics {
+                        load: 1.2,
+                        mrps: 1.52,
+                        p50_us: 21.5,
+                        p99_us: 2431.0,
+                        p999_us: 3000.25,
+                        avg_cores: 16.0,
+                        core_seconds: 0.81,
+                        ..PointMetrics::default()
+                    }],
+                },
+                Series {
+                    label: "ZygOS (credits)".to_string(),
+                    host: "sim:zygos".to_string(),
+                    deterministic: true,
+                    points: vec![PointMetrics {
+                        load: 1.2,
+                        mrps: 1.41,
+                        p99_us: 87.0,
+                        shed_fraction: 0.33,
+                        wasted_wire_us: 19_000.0,
+                        shed_share_by_class: vec![0.01, 0.99],
+                        shed_rate_by_class: vec![0.02, 0.61],
+                        ..PointMetrics::default()
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let r = sample();
+        let back = Report::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_loud() {
+        let mut r = sample();
+        r.schema = SCHEMA_VERSION + 1;
+        let e = Report::from_json(&r.to_json()).expect_err("must reject");
+        assert!(e.contains("schema"), "{e}");
+    }
+
+    #[test]
+    fn strings_with_specials_survive() {
+        let mut r = sample();
+        r.series[0].label = "weird \"label\" \\ with\nnewline — µs".to_string();
+        let back = Report::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back.series[0].label, r.series[0].label);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Report::from_json("").is_err());
+        assert!(Report::from_json("{\"schema\": 1").is_err());
+        assert!(Report::from_json("[1,2,3]").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("{\"a\": nope}").is_err());
+    }
+
+    #[test]
+    fn shortest_roundtrip_floats_are_exact() {
+        // The property the equality test rides on: Rust's f64 Display is
+        // shortest-round-trip.
+        for v in [0.1, 1.0 / 3.0, 2431.0, f64::MIN_POSITIVE, 1e300] {
+            let s = num(v);
+            assert_eq!(s.parse::<f64>().expect("parses"), v);
+        }
+        assert_eq!(num(f64::NAN), "0", "non-finite clamps");
+    }
+}

@@ -1,0 +1,588 @@
+//! Executing scenarios: the only place experiment descriptions become
+//! host configurations.
+//!
+//! * [`run_scenario`] sweeps every case over the load grid and returns
+//!   the unified [`Report`].
+//! * [`sys_config_for`] / [`runtime_config_for`] are the **single**
+//!   lowering points from a [`Scenario`] to `zygos_sysim::SysConfig` and
+//!   `zygos_runtime::RuntimeConfig` — fig binaries and examples no
+//!   longer assemble host configs by hand, which is what keeps sim/live
+//!   parity checkable (see `tests/scenario.rs`).
+//! * [`max_load_at_slo`] runs the paper's "maximum load @ SLO" search
+//!   over one case (simulator and model hosts).
+//!
+//! The live host runs the same scenario against a real multithreaded
+//! server: the replay thread pre-samples arrivals and service times
+//! (deterministic in the scenario seed), sends open-loop, and reduces
+//! client-observed latencies to the same [`PointMetrics`] schema. Wall
+//! clocks are not simulators: live series are marked
+//! non-deterministic and scenario authors should size live cases in the
+//! hundreds-of-µs service range (see `docs/SCENARIOS.md`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use zygos_net::flow::ConnId;
+use zygos_net::packet::RpcMessage;
+use zygos_runtime::server::REJECT_OPCODE;
+use zygos_runtime::{ClientPort, RuntimeConfig, SchedulerKind, Server};
+use zygos_sched::CreditConfig;
+use zygos_sim::queueing::{self, QueueConfig};
+use zygos_sim::rng::Xoshiro256;
+use zygos_sim::stats::LatencyHistogram;
+use zygos_sysim::{run_system, AdmissionMode, SysConfig, SysOutput, SystemKind};
+
+use crate::report::{PointMetrics, Report, Series, SCHEMA_VERSION};
+use crate::spec::{AdmissionSpec, Case, HostSpec, LiveHost, Scenario, SimHost, SpecError};
+
+/// Hard per-point completion cap for live cases: wall-clock experiments
+/// exist to prove parity and mechanism, not to soak a CI runner.
+pub const LIVE_POINT_CAP: u64 = 4_000;
+
+/// Deadline for one live point's drain (a hung server fails loudly).
+const LIVE_POINT_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Runs every case of a scenario over its load grid.
+pub fn run_scenario(sc: &Scenario, smoke: bool) -> Result<Report, SpecError> {
+    let mut series = Vec::with_capacity(sc.cases.len());
+    for case in &sc.cases {
+        series.push(run_case(sc, case, smoke)?);
+    }
+    Ok(Report {
+        schema: SCHEMA_VERSION,
+        scenario: sc.name.clone(),
+        smoke,
+        series,
+    })
+}
+
+/// Runs one case over the load grid.
+pub fn run_case(sc: &Scenario, case: &Case, smoke: bool) -> Result<Series, SpecError> {
+    let loads = sc.loads(smoke).to_vec();
+    let mut points = Vec::with_capacity(loads.len());
+    for &load in &loads {
+        points.push(run_point(sc, case, load, smoke)?);
+    }
+    Ok(Series {
+        label: case.label.clone(),
+        host: case.host.id(),
+        deterministic: !matches!(case.host, HostSpec::Live(_)),
+        points,
+    })
+}
+
+/// Runs one case at one load.
+pub fn run_point(
+    sc: &Scenario,
+    case: &Case,
+    load: f64,
+    smoke: bool,
+) -> Result<PointMetrics, SpecError> {
+    match case.host {
+        HostSpec::Sim(_) => {
+            let cfg = sys_config_for(sc, case, load, smoke)?;
+            Ok(sim_metrics(&cfg, run_system(&cfg), case))
+        }
+        HostSpec::Model(policy) => {
+            let (requests, warmup) = sc.scale.window(smoke);
+            let out = queueing::simulate(&QueueConfig {
+                servers: sc.workload.cores,
+                load,
+                service: sc.workload.service.clone(),
+                policy,
+                requests,
+                seed: sc.scale.seed,
+                warmup,
+            });
+            Ok(PointMetrics {
+                load,
+                mrps: if out.sim_time_us > 0.0 {
+                    out.completed as f64 / out.sim_time_us
+                } else {
+                    0.0
+                },
+                p50_us: out.latency.p50_us(),
+                p99_us: out.latency.p99_us(),
+                p999_us: out.latency.quantile_us(0.999),
+                avg_cores: sc.workload.cores as f64,
+                core_seconds: sc.workload.cores as f64 * out.sim_time_us / 1e6,
+                ..PointMetrics::default()
+            })
+        }
+        HostSpec::Live(_) => run_live_point(sc, case, load, smoke),
+    }
+}
+
+/// The paper's "maximum load @ SLO" metric over one case (simulator or
+/// model hosts; a wall-clock host cannot binary-search loads honestly).
+pub fn max_load_at_slo(
+    sc: &Scenario,
+    case_label: &str,
+    slo_us: f64,
+    resolution: usize,
+    smoke: bool,
+) -> Result<f64, SpecError> {
+    let case = sc
+        .case(case_label)
+        .ok_or_else(|| SpecError::new(format!("no case labelled {case_label:?}")))?;
+    match case.host {
+        HostSpec::Live(_) => Err(SpecError::new(
+            "max_load_at_slo needs a deterministic host (sim or model)",
+        )),
+        _ => Ok(queueing::max_load_at_slo(
+            |load| {
+                run_point(sc, case, load, smoke)
+                    .map(|p| p.p99_us)
+                    .unwrap_or(f64::INFINITY)
+            },
+            slo_us,
+            resolution,
+        )),
+    }
+}
+
+/// Lowers a simulator case at one load to a `SysConfig` — the single
+/// construction point for simulator experiments.
+pub fn sys_config_for(
+    sc: &Scenario,
+    case: &Case,
+    load: f64,
+    smoke: bool,
+) -> Result<SysConfig, SpecError> {
+    let HostSpec::Sim(host) = case.host else {
+        return Err(SpecError::new(format!(
+            "case {:?} does not run on the simulator",
+            case.label
+        )));
+    };
+    let p = &case.policy;
+    let system = match host {
+        SimHost::Zygos => SystemKind::Zygos,
+        SimHost::ZygosNoInterrupts => SystemKind::ZygosNoInterrupts,
+        SimHost::Elastic => SystemKind::Elastic {
+            min_cores: p.min_cores.unwrap_or(2),
+        },
+        SimHost::Ix => SystemKind::Ix,
+        SimHost::LinuxPartitioned => SystemKind::LinuxPartitioned,
+        SimHost::LinuxFloating => SystemKind::LinuxFloating,
+    };
+    let mut cfg = SysConfig::paper(system, sc.workload.service.clone(), load);
+    cfg.cores = sc.workload.cores;
+    cfg.conns = sc.workload.conns;
+    cfg.arrivals = sc.workload.arrivals.clone();
+    let (requests, warmup) = sc.scale.window(smoke);
+    cfg.requests = requests;
+    cfg.warmup = warmup;
+    cfg.seed = sc.scale.seed;
+    if let Some(b) = p.rx_batch {
+        cfg.rx_batch = b;
+    }
+    if let Some(q) = p.quantum_us {
+        cfg.preemption_quantum_us = q;
+    }
+    if let Some(o) = p.background_order {
+        cfg.background_order = o;
+    }
+    if let Some(k) = p.alloc {
+        cfg.elastic.alloc = k;
+    }
+    if let Some(r) = p.randomize_steal_order {
+        cfg.randomize_steal_order = r;
+    }
+    if let Some(ns) = p.ipi_delivery_ns {
+        cfg.cost.ipi_delivery_ns = ns;
+    }
+    if let Some(ns) = p.steal_extra_ns {
+        cfg.cost.steal_extra_ns = ns;
+    }
+    cfg.slo = p.slo.clone();
+    if let Some(a) = &p.admission {
+        cfg.admission = Some(credit_config_for(a, sc.workload.cores));
+        cfg.admission_mode = a.mode;
+    }
+    Ok(cfg)
+}
+
+/// Lowers a live case to a `RuntimeConfig` — the single construction
+/// point for live experiments.
+pub fn runtime_config_for(sc: &Scenario, case: &Case) -> Result<RuntimeConfig, SpecError> {
+    let HostSpec::Live(host) = case.host else {
+        return Err(SpecError::new(format!(
+            "case {:?} does not run on the live runtime",
+            case.label
+        )));
+    };
+    let p = &case.policy;
+    let scheduler = match host {
+        LiveHost::Zygos => SchedulerKind::Zygos { steal: true },
+        LiveHost::Partitioned => SchedulerKind::Zygos { steal: false },
+        LiveHost::Floating => SchedulerKind::Floating,
+        LiveHost::Elastic => SchedulerKind::Elastic {
+            steal: true,
+            quantum_events: p.quantum_events.unwrap_or(64),
+        },
+    };
+    let mut cfg = RuntimeConfig::zygos(sc.workload.cores, sc.workload.conns);
+    cfg.scheduler = scheduler;
+    cfg.slo = p.slo.clone();
+    if let Some(a) = &p.admission {
+        cfg.admission = Some(credit_config_for(a, sc.workload.cores));
+        if a.mode == AdmissionMode::ClientSide {
+            cfg.client_credits = true;
+        }
+        if a.overcommit {
+            cfg.client_credits = true;
+            cfg.credit_overcommit = true;
+        }
+    }
+    Ok(cfg)
+}
+
+/// The credit pool a case runs: an explicit override, or
+/// `CreditConfig::for_cores` at the case's target. With SLO classes
+/// configured the AIMD runs in ratio space and the µs target is
+/// irrelevant (any positive value); 1.0 is used then.
+fn credit_config_for(a: &AdmissionSpec, cores: usize) -> CreditConfig {
+    a.credits
+        .unwrap_or_else(|| CreditConfig::for_cores(cores, a.target_us.unwrap_or(1.0)))
+}
+
+/// Reduces a simulator run to the unified schema.
+fn sim_metrics(cfg: &SysConfig, out: SysOutput, case: &Case) -> PointMetrics {
+    let classes = classes_of(case);
+    let per_class = |f: &dyn Fn(usize) -> f64| -> Vec<f64> {
+        if classes >= 2 {
+            (0..classes).map(f).collect()
+        } else {
+            Vec::new()
+        }
+    };
+    PointMetrics {
+        load: cfg.load,
+        mrps: out.throughput_mrps(),
+        p50_us: out.latency.p50_us(),
+        p99_us: out.p99_us(),
+        p999_us: out.latency.quantile_us(0.999),
+        steal_fraction: out.steal_fraction(),
+        ipis_per_req: if out.completed == 0 {
+            0.0
+        } else {
+            out.ipis as f64 / out.completed as f64
+        },
+        preemptions_per_req: out.preemptions_per_req(),
+        avg_cores: out.avg_active_cores,
+        core_seconds: out.core_seconds_used(),
+        shed_fraction: out.shed_fraction(),
+        wasted_wire_us: out.wasted_wire_us(),
+        shed_share_by_class: per_class(&|c| out.shed_share_of_class(c)),
+        shed_rate_by_class: per_class(&|c| out.shed_rate_of_class(c)),
+    }
+}
+
+/// Tenant-class count of a case (1 without SLO classes).
+fn classes_of(case: &Case) -> usize {
+    case.policy.slo.as_ref().map_or(1, |t| t.classes().len())
+}
+
+/// One pre-sampled request of the live replay.
+struct PlannedReq {
+    at_us: f64,
+    conn: u32,
+    service_ns: u64,
+}
+
+/// Runs one live point: start the server, replay the arrival schedule
+/// open-loop, reduce client-observed latencies.
+fn run_live_point(
+    sc: &Scenario,
+    case: &Case,
+    load: f64,
+    smoke: bool,
+) -> Result<PointMetrics, SpecError> {
+    let cfg = runtime_config_for(sc, case)?;
+    let (requests, warmup) = sc.scale.window(smoke);
+    let total = requests.clamp(1, LIVE_POINT_CAP);
+    let warmup = warmup.min(total / 4);
+
+    // Pre-sample the open-loop schedule: deterministic in the seed, and
+    // the generator never slows down with the server (§3.1).
+    let rate_per_us = load * sc.workload.cores as f64 / sc.workload.service.mean_us();
+    let mut rng = Xoshiro256::new(sc.scale.seed);
+    let mut arrivals = sc.workload.arrivals.source(rate_per_us);
+    let mut plan = Vec::with_capacity(total as usize);
+    let mut t = 0.0f64;
+    for _ in 0..total {
+        t += arrivals.next_gap_us(&mut rng);
+        plan.push(PlannedReq {
+            at_us: t,
+            conn: rng.next_bounded(sc.workload.conns as u64) as u32,
+            service_ns: sc.workload.service.sample(&mut rng).as_nanos(),
+        });
+    }
+
+    // The app burns each request's pre-sampled service time (carried in
+    // the request body), so the live host serves the same workload the
+    // simulator models.
+    let app = |_c: ConnId, req: &RpcMessage| {
+        let ns = req
+            .body
+            .get(..8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .unwrap_or(0);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+        RpcMessage::new(0, req.header.req_id, Bytes::new())
+    };
+    let (server, client) = Server::start(cfg, Arc::new(app));
+
+    let mut sent_at: Vec<Option<Instant>> = vec![None; total as usize];
+    let mut latency = LatencyHistogram::new();
+    let mut completions = 0u64;
+    let mut wire_rejects = 0u64;
+    let mut sent = 0u64;
+    let mut core_samples = (0u64, 0.0f64);
+    let mut window: (Option<Instant>, Option<Instant>) = (None, None);
+    let start = Instant::now();
+    let mut next = 0usize;
+    let deadline = start + LIVE_POINT_DEADLINE;
+
+    let drain = |client: &ClientPort,
+                 sent_at: &mut [Option<Instant>],
+                 latency: &mut LatencyHistogram,
+                 completions: &mut u64,
+                 wire_rejects: &mut u64,
+                 window: &mut (Option<Instant>, Option<Instant>)| {
+        while let Some((_, resp)) = client.recv_timeout(Duration::ZERO) {
+            let id = resp.header.req_id as usize;
+            if resp.header.opcode == REJECT_OPCODE {
+                *wire_rejects += 1;
+                continue;
+            }
+            let now = Instant::now();
+            *completions += 1;
+            if *completions == warmup.max(1) {
+                window.0 = Some(now);
+            }
+            if *completions > warmup {
+                if let Some(sent) = sent_at.get(id).copied().flatten() {
+                    latency.record_nanos(now.duration_since(sent).as_nanos() as u64);
+                }
+                window.1 = Some(now);
+            }
+        }
+    };
+
+    // Send loop: dispatch due arrivals, harvest responses in the gaps.
+    while next < plan.len() && Instant::now() < deadline {
+        let due = start + Duration::from_nanos((plan[next].at_us * 1_000.0) as u64);
+        let now = Instant::now();
+        if now < due {
+            drain(
+                &client,
+                &mut sent_at,
+                &mut latency,
+                &mut completions,
+                &mut wire_rejects,
+                &mut window,
+            );
+            let still = due.saturating_duration_since(Instant::now());
+            if still > Duration::from_micros(200) {
+                std::thread::sleep(still / 2);
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        }
+        let req = &plan[next];
+        let msg = RpcMessage::new(
+            1,
+            next as u64,
+            Bytes::copy_from_slice(&req.service_ns.to_le_bytes()),
+        );
+        sent_at[next] = Some(Instant::now());
+        if client.try_send(ConnId(req.conn), &msg) {
+            sent += 1;
+        } else {
+            sent_at[next] = None; // Shed locally (zero-balance client credits).
+        }
+        next += 1;
+        if next.is_multiple_of(64) {
+            if let Some(active) = server.active_cores() {
+                core_samples.0 += 1;
+                core_samples.1 += active as f64;
+            }
+        }
+    }
+
+    // Drain until every sent request is answered (or the deadline).
+    while completions + wire_rejects < sent && Instant::now() < deadline {
+        drain(
+            &client,
+            &mut sent_at,
+            &mut latency,
+            &mut completions,
+            &mut wire_rejects,
+            &mut window,
+        );
+        if let Some(active) = server.active_cores() {
+            core_samples.0 += 1;
+            core_samples.1 += active as f64;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let local_sheds = client.local_sheds();
+    server.shutdown();
+
+    let window_us = match window {
+        (Some(a), Some(b)) if b > a => b.duration_since(a).as_nanos() as f64 / 1_000.0,
+        _ => start.elapsed().as_nanos() as f64 / 1_000.0,
+    };
+    let measured = completions.saturating_sub(warmup);
+    let avg_cores = if core_samples.0 > 0 {
+        core_samples.1 / core_samples.0 as f64
+    } else {
+        sc.workload.cores as f64
+    };
+    let offered = sent + local_sheds;
+    Ok(PointMetrics {
+        load,
+        mrps: if window_us > 0.0 {
+            measured as f64 / window_us
+        } else {
+            0.0
+        },
+        p50_us: if latency.is_empty() {
+            0.0
+        } else {
+            latency.p50_us()
+        },
+        p99_us: if latency.is_empty() {
+            0.0
+        } else {
+            latency.p99_us()
+        },
+        p999_us: if latency.is_empty() {
+            0.0
+        } else {
+            latency.quantile_us(0.999)
+        },
+        avg_cores,
+        core_seconds: avg_cores * window_us / 1e6,
+        shed_fraction: if offered == 0 {
+            0.0
+        } else {
+            (wire_rejects + local_sheds) as f64 / offered as f64
+        },
+        // The loopback wire has no modelled RTT: live rejects burn
+        // scheduling work but zero wire time by construction.
+        wasted_wire_us: 0.0,
+        ..PointMetrics::default()
+    })
+}
+
+/// Convenience: `(x, y)` pairs for printing a metric of a series.
+pub fn xy(
+    points: &[PointMetrics],
+    x: impl Fn(&PointMetrics) -> f64,
+    y: impl Fn(&PointMetrics) -> f64,
+) -> Vec<(f64, f64)> {
+    points.iter().map(|p| (x(p), y(p))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Case;
+    use zygos_sim::dist::ServiceDist;
+
+    fn tiny() -> Scenario {
+        Scenario::builder("tiny")
+            .service(ServiceDist::exponential_us(10.0))
+            .cores(4)
+            .conns(16)
+            .loads(vec![0.3])
+            .requests(4_000, 1_000)
+            .smoke(1_500, 300)
+            .case(Case::sim("zygos", SimHost::Zygos))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn sim_case_produces_schema_metrics() {
+        let sc = tiny();
+        let report = run_scenario(&sc, true).expect("runs");
+        assert_eq!(report.series.len(), 1);
+        let p = &report.series[0].points[0];
+        assert_eq!(p.load, 0.3);
+        assert!(
+            p.p99_us > 40.0,
+            "exp(10) p99 ≈ 46µs + overheads: {}",
+            p.p99_us
+        );
+        assert!(p.mrps > 0.0);
+        assert!(report.series[0].deterministic);
+    }
+
+    #[test]
+    fn sim_runs_are_reproducible() {
+        let sc = tiny();
+        let a = run_scenario(&sc, true).expect("runs");
+        let b = run_scenario(&sc, true).expect("runs");
+        assert_eq!(a, b, "same scenario, same seed, same report");
+    }
+
+    #[test]
+    fn model_case_runs_below_saturation() {
+        let sc = Scenario::builder("model")
+            .service(ServiceDist::exponential_us(1.0))
+            .cores(16)
+            .conns(16)
+            .loads(vec![0.5])
+            .requests(5_000, 1_000)
+            .smoke(2_000, 400)
+            .case(Case::model(
+                "M/G/16/FCFS",
+                zygos_sim::queueing::Policy::CentralFcfs,
+            ))
+            .build()
+            .expect("valid");
+        let report = run_scenario(&sc, true).expect("runs");
+        let p = &report.series[0].points[0];
+        assert!(p.p99_us > 4.0, "exp p99 ≥ 4.6·S̄: {}", p.p99_us);
+        assert_eq!(p.steal_fraction, 0.0, "models have no stealing");
+    }
+
+    #[test]
+    fn live_case_round_trips_the_same_schema() {
+        let sc = Scenario::builder("live")
+            .service(ServiceDist::deterministic_us(200.0))
+            .cores(2)
+            .conns(8)
+            .loads(vec![0.2])
+            .requests(400, 50)
+            .smoke(200, 25)
+            .case(Case::live("zygos", LiveHost::Zygos))
+            .build()
+            .expect("valid");
+        let report = run_scenario(&sc, true).expect("runs");
+        let s = &report.series[0];
+        assert!(!s.deterministic);
+        let p = &s.points[0];
+        assert!(
+            p.p99_us >= 200.0,
+            "latency at least the service time: {}",
+            p.p99_us
+        );
+        assert!(p.shed_fraction == 0.0, "no gate, no sheds");
+    }
+
+    #[test]
+    fn max_load_search_is_monotone_sane() {
+        let sc = tiny();
+        let l = max_load_at_slo(&sc, "zygos", 100.0, 8, true).expect("searches");
+        assert!((0.25..1.0).contains(&l), "load@SLO = {l}");
+    }
+}

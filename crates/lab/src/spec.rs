@@ -1,0 +1,1069 @@
+//! The declarative experiment model: what a scenario *is*.
+//!
+//! A [`Scenario`] is the single description of one experiment matrix:
+//!
+//! * a [`WorkloadSpec`] — service-time distribution, arrival process
+//!   ([`zygos_load::source::ArrivalSpec`]: Poisson, phases or trace
+//!   replay), connection count and the offered-load grid;
+//! * one or more [`Case`]s — each a host ([`HostSpec`]: the
+//!   discrete-event simulator, the live multithreaded runtime, or a
+//!   zero-overhead queueing model) plus a [`PolicySpec`] (allocation,
+//!   admission, SLO classes, dispatch knobs);
+//! * a [`ScaleSpec`] — full-size and smoke-size measurement windows;
+//! * optional [`Claims`] — the acceptance assertions `lab --check`
+//!   enforces, and a baseline tolerance for regression diffing.
+//!
+//! Construction goes through [`Scenario::builder`], and **every** way of
+//! building a scenario funnels through [`ScenarioBuilder::build`], which
+//! validates the spec as a whole: contradictory combinations (client-side
+//! admission with no admission gate, a preemption quantum on a host that
+//! cannot preempt, elastic knobs on a static host, claims over cases that
+//! do not exist…) are rejected with a [`SpecError`] instead of being
+//! silently ignored by whichever host happens not to read the field.
+
+use zygos_load::slo::TenantSlos;
+use zygos_load::source::ArrivalSpec;
+use zygos_sched::{BackgroundOrder, CreditConfig};
+use zygos_sim::dist::ServiceDist;
+use zygos_sim::queueing::Policy;
+use zygos_sysim::config::AllocKind;
+use zygos_sysim::AdmissionMode;
+
+/// Which simulator system model a [`HostSpec::Sim`] case runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimHost {
+    /// ZygOS with work stealing and IPIs.
+    Zygos,
+    /// ZygOS without IPIs (cooperative ablation).
+    ZygosNoInterrupts,
+    /// ZygOS under the elastic control plane (`min_cores` and the
+    /// preemption quantum come from the [`PolicySpec`]).
+    Elastic,
+    /// IX: shared-nothing run-to-completion.
+    Ix,
+    /// Linux, partitioned epoll sets.
+    LinuxPartitioned,
+    /// Linux, one floating epoll set.
+    LinuxFloating,
+}
+
+/// Which live-runtime scheduler a [`HostSpec::Live`] case runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LiveHost {
+    /// ZygOS with stealing.
+    Zygos,
+    /// Partitioned run-to-completion (stealing off).
+    Partitioned,
+    /// Shared floating queue.
+    Floating,
+    /// Elastic core gating (`quantum_events` from the [`PolicySpec`]).
+    Elastic,
+}
+
+/// Where a case runs. One scenario may mix hosts — that is the point:
+/// the same workload and policy run on the simulator and on the live
+/// runtime, and both emit the same [`crate::report::Report`] schema.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostSpec {
+    /// The full-system discrete-event simulator (`zygos-sysim`).
+    Sim(SimHost),
+    /// The live multithreaded runtime (`zygos-runtime`).
+    Live(LiveHost),
+    /// A zero-overhead idealized queueing model (`zygos_sim::queueing`).
+    Model(Policy),
+}
+
+impl HostSpec {
+    /// Stable string form (used in reports and TOML specs), e.g.
+    /// `"sim:zygos"`, `"live:elastic"`, `"model:central-fcfs"`.
+    pub fn id(&self) -> String {
+        match self {
+            HostSpec::Sim(h) => format!(
+                "sim:{}",
+                match h {
+                    SimHost::Zygos => "zygos",
+                    SimHost::ZygosNoInterrupts => "zygos-nointerrupts",
+                    SimHost::Elastic => "elastic",
+                    SimHost::Ix => "ix",
+                    SimHost::LinuxPartitioned => "linux-partitioned",
+                    SimHost::LinuxFloating => "linux-floating",
+                }
+            ),
+            HostSpec::Live(h) => format!(
+                "live:{}",
+                match h {
+                    LiveHost::Zygos => "zygos",
+                    LiveHost::Partitioned => "partitioned",
+                    LiveHost::Floating => "floating",
+                    LiveHost::Elastic => "elastic",
+                }
+            ),
+            HostSpec::Model(p) => format!(
+                "model:{}",
+                match p {
+                    Policy::CentralFcfs => "central-fcfs",
+                    Policy::PartitionedFcfs => "partitioned-fcfs",
+                    Policy::CentralPs => "central-ps",
+                    Policy::PartitionedPs => "partitioned-ps",
+                }
+            ),
+        }
+    }
+
+    /// Parses [`HostSpec::id`]'s format.
+    pub fn parse(s: &str) -> Result<HostSpec, SpecError> {
+        let host = match s {
+            "sim:zygos" => HostSpec::Sim(SimHost::Zygos),
+            "sim:zygos-nointerrupts" => HostSpec::Sim(SimHost::ZygosNoInterrupts),
+            "sim:elastic" => HostSpec::Sim(SimHost::Elastic),
+            "sim:ix" => HostSpec::Sim(SimHost::Ix),
+            "sim:linux-partitioned" => HostSpec::Sim(SimHost::LinuxPartitioned),
+            "sim:linux-floating" => HostSpec::Sim(SimHost::LinuxFloating),
+            "live:zygos" => HostSpec::Live(LiveHost::Zygos),
+            "live:partitioned" => HostSpec::Live(LiveHost::Partitioned),
+            "live:floating" => HostSpec::Live(LiveHost::Floating),
+            "live:elastic" => HostSpec::Live(LiveHost::Elastic),
+            "model:central-fcfs" => HostSpec::Model(Policy::CentralFcfs),
+            "model:partitioned-fcfs" => HostSpec::Model(Policy::PartitionedFcfs),
+            "model:central-ps" => HostSpec::Model(Policy::CentralPs),
+            "model:partitioned-ps" => HostSpec::Model(Policy::PartitionedPs),
+            other => return Err(SpecError::new(format!("unknown host {other:?}"))),
+        };
+        Ok(host)
+    }
+
+    /// True for elastic hosts (the only ones that read elastic knobs).
+    pub fn is_elastic(&self) -> bool {
+        matches!(
+            self,
+            HostSpec::Sim(SimHost::Elastic) | HostSpec::Live(LiveHost::Elastic)
+        )
+    }
+}
+
+/// The workload every case of a scenario runs.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Application service-time distribution.
+    pub service: ServiceDist,
+    /// Shape of the arrival process (mean rate comes from the load grid).
+    pub arrivals: ArrivalSpec,
+    /// Server cores / workers.
+    pub cores: usize,
+    /// Client connections.
+    pub conns: u32,
+    /// Offered loads to sweep (fractions of ideal saturation).
+    pub loads: Vec<f64>,
+}
+
+/// Admission-control selection for a case.
+#[derive(Clone, Debug)]
+pub struct AdmissionSpec {
+    /// Where a creditless request is shed.
+    pub mode: AdmissionMode,
+    /// AIMD latency target in µs (ignored when [`PolicySpec::slo`] is set
+    /// — per-class targets then derive from the bounds).
+    pub target_us: Option<f64>,
+    /// Full credit-pool override; defaults to
+    /// `CreditConfig::for_cores(cores, target)`.
+    pub credits: Option<CreditConfig>,
+    /// Demand-weighted sender-side shares (live hosts only).
+    pub overcommit: bool,
+}
+
+/// Per-case policy knobs. Host-specific knobs are `Option`s: leaving one
+/// `None` takes the host's default, *setting* one on a host that cannot
+/// honor it is a validation error — a scenario never silently drops a
+/// knob.
+#[derive(Clone, Debug, Default)]
+pub struct PolicySpec {
+    /// Elastic floor on granted cores (elastic hosts only; default 2).
+    pub min_cores: Option<usize>,
+    /// Which allocation policy staffs an elastic host (default
+    /// SLO-driven).
+    pub alloc: Option<AllocKind>,
+    /// Preemptive quantum in µs (simulator ZygOS-family hosts only).
+    pub quantum_us: Option<f64>,
+    /// Cooperative quantum in events (live elastic host only; default 64).
+    pub quantum_events: Option<usize>,
+    /// Background (preempted) queue order (requires `quantum_us`).
+    pub background_order: Option<BackgroundOrder>,
+    /// Credit-based admission control; `None` admits everything.
+    pub admission: Option<AdmissionSpec>,
+    /// Per-tenant SLO classes.
+    pub slo: Option<TenantSlos>,
+    /// RX batch bound override (simulator hosts only).
+    pub rx_batch: Option<u64>,
+    /// Steal-victim order randomization (simulator hosts only; default
+    /// true).
+    pub randomize_steal_order: Option<bool>,
+    /// IPI delivery latency override, ns (simulator hosts only).
+    pub ipi_delivery_ns: Option<u64>,
+    /// Per-steal cost override, ns (simulator hosts only).
+    pub steal_extra_ns: Option<u64>,
+}
+
+/// One case: a label, a host, and the policy it runs.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Series label in reports (unique within a scenario).
+    pub label: String,
+    /// Where it runs.
+    pub host: HostSpec,
+    /// What it runs.
+    pub policy: PolicySpec,
+}
+
+impl Case {
+    /// A simulator case.
+    pub fn sim(label: impl Into<String>, host: SimHost) -> Case {
+        Case {
+            label: label.into(),
+            host: HostSpec::Sim(host),
+            policy: PolicySpec::default(),
+        }
+    }
+
+    /// A live-runtime case.
+    pub fn live(label: impl Into<String>, host: LiveHost) -> Case {
+        Case {
+            label: label.into(),
+            host: HostSpec::Live(host),
+            policy: PolicySpec::default(),
+        }
+    }
+
+    /// A zero-overhead queueing-model case.
+    pub fn model(label: impl Into<String>, policy: Policy) -> Case {
+        Case {
+            label: label.into(),
+            host: HostSpec::Model(policy),
+            policy: PolicySpec::default(),
+        }
+    }
+
+    /// Sets the elastic floor on granted cores.
+    pub fn min_cores(mut self, n: usize) -> Case {
+        self.policy.min_cores = Some(n);
+        self
+    }
+
+    /// Selects the allocation policy of an elastic host.
+    pub fn alloc(mut self, kind: AllocKind) -> Case {
+        self.policy.alloc = Some(kind);
+        self
+    }
+
+    /// Arms the simulator's preemptive quantum.
+    pub fn quantum_us(mut self, q: f64) -> Case {
+        self.policy.quantum_us = Some(q);
+        self
+    }
+
+    /// Sets the live cooperative quantum (events per dequeue).
+    pub fn quantum_events(mut self, n: usize) -> Case {
+        self.policy.quantum_events = Some(n);
+        self
+    }
+
+    /// Orders the background (preempted) queue.
+    pub fn background_order(mut self, o: BackgroundOrder) -> Case {
+        self.policy.background_order = Some(o);
+        self
+    }
+
+    /// Arms credit-based admission control shedding in `mode`.
+    pub fn admission(mut self, mode: AdmissionMode) -> Case {
+        let spec = self.policy.admission.get_or_insert(AdmissionSpec {
+            mode,
+            target_us: None,
+            credits: None,
+            overcommit: false,
+        });
+        spec.mode = mode;
+        self
+    }
+
+    /// Sets the admission AIMD latency target (µs).
+    pub fn credit_target_us(mut self, t: f64) -> Case {
+        match &mut self.policy.admission {
+            Some(a) => a.target_us = Some(t),
+            None => {
+                self.policy.admission = Some(AdmissionSpec {
+                    mode: AdmissionMode::ServerEdge,
+                    target_us: Some(t),
+                    credits: None,
+                    overcommit: false,
+                })
+            }
+        }
+        self
+    }
+
+    /// Overrides the full credit-pool configuration.
+    pub fn credits(mut self, cfg: CreditConfig) -> Case {
+        match &mut self.policy.admission {
+            Some(a) => a.credits = Some(cfg),
+            None => {
+                self.policy.admission = Some(AdmissionSpec {
+                    mode: AdmissionMode::ServerEdge,
+                    target_us: None,
+                    credits: Some(cfg),
+                    overcommit: false,
+                })
+            }
+        }
+        self
+    }
+
+    /// Arms demand-weighted sender-side credit shares (live hosts).
+    pub fn overcommit(mut self) -> Case {
+        if let Some(a) = &mut self.policy.admission {
+            a.overcommit = true;
+        } else {
+            self.policy.admission = Some(AdmissionSpec {
+                mode: AdmissionMode::ClientSide,
+                target_us: None,
+                credits: None,
+                overcommit: true,
+            });
+        }
+        self
+    }
+
+    /// Attaches per-tenant SLO classes.
+    pub fn slo(mut self, slos: TenantSlos) -> Case {
+        self.policy.slo = Some(slos);
+        self
+    }
+
+    /// Overrides the RX batch bound.
+    pub fn rx_batch(mut self, b: u64) -> Case {
+        self.policy.rx_batch = Some(b);
+        self
+    }
+
+    /// Disables steal-victim randomization (ablation).
+    pub fn sequential_steal(mut self) -> Case {
+        self.policy.randomize_steal_order = Some(false);
+        self
+    }
+
+    /// Overrides the IPI delivery latency (ablation).
+    pub fn ipi_delivery_ns(mut self, ns: u64) -> Case {
+        self.policy.ipi_delivery_ns = Some(ns);
+        self
+    }
+
+    /// Overrides the per-steal cost (ablation).
+    pub fn steal_extra_ns(mut self, ns: u64) -> Case {
+        self.policy.steal_extra_ns = Some(ns);
+        self
+    }
+}
+
+/// Measurement sizing, full and smoke.
+#[derive(Clone, Debug)]
+pub struct ScaleSpec {
+    /// Completions measured per point (full mode).
+    pub requests: u64,
+    /// Warmup completions discarded per point (full mode).
+    pub warmup: u64,
+    /// Completions measured per point under `--smoke`.
+    pub smoke_requests: u64,
+    /// Warmup under `--smoke`.
+    pub smoke_warmup: u64,
+    /// Load grid override under `--smoke` (`None` keeps the full grid).
+    pub smoke_loads: Option<Vec<f64>>,
+    /// RNG seed (arrivals, service sampling, victim shuffles).
+    pub seed: u64,
+}
+
+impl Default for ScaleSpec {
+    fn default() -> Self {
+        ScaleSpec {
+            requests: 50_000,
+            warmup: 10_000,
+            smoke_requests: 8_000,
+            smoke_warmup: 2_000,
+            smoke_loads: None,
+            seed: 0x5A47,
+        }
+    }
+}
+
+impl ScaleSpec {
+    /// The `(requests, warmup)` pair for a mode.
+    pub fn window(&self, smoke: bool) -> (u64, u64) {
+        if smoke {
+            (self.smoke_requests, self.smoke_warmup)
+        } else {
+            (self.requests, self.warmup)
+        }
+    }
+}
+
+/// Acceptance claims `lab --check` enforces over a scenario's report.
+/// All off by default; [`ScenarioBuilder::build`] rejects claims that no
+/// case can back.
+#[derive(Clone, Debug)]
+pub struct Claims {
+    /// Loads at or above this are "overload points" (default 1.19).
+    pub overload_from: f64,
+    /// Every admission-gated case's p99 must stay at or below this at
+    /// overload points (and must shed there).
+    pub admitted_p99_bound_us: Option<f64>,
+    /// Every ungated case's p99 must exceed this at overload points.
+    pub uncontrolled_diverge_past_us: Option<f64>,
+    /// At overload points, the first client-side-admission case must
+    /// waste strictly less wire time than the first server-edge case
+    /// (which must waste some).
+    pub client_waste_below_server: bool,
+    /// At overload points, the loosest SLO class of every multi-tenant
+    /// admission case must carry a strictly larger shed share than the
+    /// strictest.
+    pub loose_sheds_first: bool,
+    /// Ceiling on the loosest class's own shed *rate* at overload — the
+    /// per-class-occupancy floor guarantee (e.g. 0.95: batch still admits
+    /// at least 5% of its arrivals while a strict tenant saturates).
+    pub loose_floor_max_shed_rate: Option<f64>,
+    /// At loads at or below this, every elastic case must grant fewer
+    /// cores than the configured fleet (it parks).
+    pub elastic_parks_below_load: Option<f64>,
+}
+
+impl Default for Claims {
+    fn default() -> Self {
+        Claims {
+            overload_from: 1.19,
+            admitted_p99_bound_us: None,
+            uncontrolled_diverge_past_us: None,
+            client_waste_below_server: false,
+            loose_sheds_first: false,
+            loose_floor_max_shed_rate: None,
+            elastic_parks_below_load: None,
+        }
+    }
+}
+
+impl Claims {
+    /// True when no claim is armed (check mode then only diffs the
+    /// baseline).
+    pub fn is_empty(&self) -> bool {
+        self.admitted_p99_bound_us.is_none()
+            && self.uncontrolled_diverge_past_us.is_none()
+            && !self.client_waste_below_server
+            && !self.loose_sheds_first
+            && self.loose_floor_max_shed_rate.is_none()
+            && self.elastic_parks_below_load.is_none()
+    }
+}
+
+/// A validated experiment description. Construct via
+/// [`Scenario::builder`] (or the TOML front end, which goes through the
+/// same builder).
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (also the baseline file stem).
+    pub name: String,
+    /// The shared workload.
+    pub workload: WorkloadSpec,
+    /// The cases (series) to run.
+    pub cases: Vec<Case>,
+    /// Measurement sizing.
+    pub scale: ScaleSpec,
+    /// Acceptance claims.
+    pub claims: Claims,
+    /// Relative tolerance for baseline diffs (default 0.5 — smoke
+    /// windows are deterministic but small, and the gate exists to catch
+    /// regressions, not formatting noise).
+    pub check_tolerance: f64,
+}
+
+impl Scenario {
+    /// Starts a builder.
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            service: None,
+            arrivals: ArrivalSpec::Poisson,
+            cores: 16,
+            conns: 2752,
+            loads: Vec::new(),
+            cases: Vec::new(),
+            scale: ScaleSpec::default(),
+            claims: Claims::default(),
+            check_tolerance: 0.5,
+        }
+    }
+
+    /// The case with `label`, if any.
+    pub fn case(&self, label: &str) -> Option<&Case> {
+        self.cases.iter().find(|c| c.label == label)
+    }
+
+    /// The load grid for a mode.
+    pub fn loads(&self, smoke: bool) -> &[f64] {
+        match (&self.scale.smoke_loads, smoke) {
+            (Some(l), true) => l,
+            _ => &self.workload.loads,
+        }
+    }
+}
+
+/// A rejected scenario: what contradicted what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    msg: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        SpecError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid scenario: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Builds and validates a [`Scenario`].
+pub struct ScenarioBuilder {
+    name: String,
+    service: Option<ServiceDist>,
+    arrivals: ArrivalSpec,
+    cores: usize,
+    conns: u32,
+    loads: Vec<f64>,
+    cases: Vec<Case>,
+    scale: ScaleSpec,
+    claims: Claims,
+    check_tolerance: f64,
+}
+
+impl ScenarioBuilder {
+    /// Sets the service-time distribution (required).
+    pub fn service(mut self, d: ServiceDist) -> Self {
+        self.service = Some(d);
+        self
+    }
+
+    /// Sets the arrival process (default Poisson).
+    pub fn arrivals(mut self, a: ArrivalSpec) -> Self {
+        self.arrivals = a;
+        self
+    }
+
+    /// Sets the core count (default 16, the paper's testbed).
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cores = n;
+        self
+    }
+
+    /// Sets the connection count (default 2752, the paper's testbed).
+    pub fn conns(mut self, n: u32) -> Self {
+        self.conns = n;
+        self
+    }
+
+    /// Sets the offered-load grid (required, non-empty).
+    pub fn loads(mut self, loads: Vec<f64>) -> Self {
+        self.loads = loads;
+        self
+    }
+
+    /// Adds a case.
+    pub fn case(mut self, case: Case) -> Self {
+        self.cases.push(case);
+        self
+    }
+
+    /// Sets full-mode measurement sizing.
+    pub fn requests(mut self, requests: u64, warmup: u64) -> Self {
+        self.scale.requests = requests;
+        self.scale.warmup = warmup;
+        self
+    }
+
+    /// Sets smoke-mode measurement sizing.
+    pub fn smoke(mut self, requests: u64, warmup: u64) -> Self {
+        self.scale.smoke_requests = requests;
+        self.scale.smoke_warmup = warmup;
+        self
+    }
+
+    /// Overrides the smoke-mode load grid.
+    pub fn smoke_loads(mut self, loads: Vec<f64>) -> Self {
+        self.scale.smoke_loads = Some(loads);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scale.seed = seed;
+        self
+    }
+
+    /// Replaces the claims block.
+    pub fn claims(mut self, claims: Claims) -> Self {
+        self.claims = claims;
+        self
+    }
+
+    /// Sets the baseline-diff tolerance.
+    pub fn check_tolerance(mut self, tol: f64) -> Self {
+        self.check_tolerance = tol;
+        self
+    }
+
+    /// Validates everything and returns the scenario.
+    pub fn build(self) -> Result<Scenario, SpecError> {
+        let err = |msg: String| Err(SpecError::new(msg));
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return err(format!(
+                "name {:?} must be non-empty [a-zA-Z0-9_-] (it names the baseline file)",
+                self.name
+            ));
+        }
+        let Some(service) = self.service else {
+            return err("a workload needs a service-time distribution".into());
+        };
+        if self.cores == 0 {
+            return err("cores must be >= 1".into());
+        }
+        if self.conns == 0 {
+            return err("conns must be >= 1".into());
+        }
+        if self.loads.is_empty() {
+            return err("the load grid is empty".into());
+        }
+        for grid in [Some(&self.loads), self.scale.smoke_loads.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            for &l in grid {
+                if !(l > 0.0 && l <= 4.0) {
+                    return err(format!("load {l} out of range (0, 4]"));
+                }
+            }
+        }
+        if self.scale.requests == 0 || self.scale.smoke_requests == 0 {
+            return err("requests must be >= 1 in both modes".into());
+        }
+        if self.cases.is_empty() {
+            return err("a scenario needs at least one case".into());
+        }
+        for (i, case) in self.cases.iter().enumerate() {
+            if case.label.is_empty() {
+                return err(format!("case {i} has an empty label"));
+            }
+            if self.cases[..i].iter().any(|c| c.label == case.label) {
+                return err(format!("duplicate case label {:?}", case.label));
+            }
+            validate_case(case, self.cores)?;
+        }
+        if self
+            .cases
+            .iter()
+            .any(|c| matches!(c.host, HostSpec::Model(_)))
+        {
+            for grid in [Some(&self.loads), self.scale.smoke_loads.as_ref()]
+                .into_iter()
+                .flatten()
+            {
+                if grid.iter().any(|&l| l >= 1.0) {
+                    return err(
+                        "zero-overhead queueing models are only stable below saturation: \
+                         a model case needs every load < 1.0"
+                            .into(),
+                    );
+                }
+            }
+        }
+        validate_claims(&self.claims, &self.cases, &self.loads, &self.scale)?;
+        if self.check_tolerance <= 0.0 {
+            return err("check tolerance must be positive".into());
+        }
+        Ok(Scenario {
+            name: self.name,
+            workload: WorkloadSpec {
+                service,
+                arrivals: self.arrivals,
+                cores: self.cores,
+                conns: self.conns,
+                loads: self.loads,
+            },
+            cases: self.cases,
+            scale: self.scale,
+            claims: self.claims,
+            check_tolerance: self.check_tolerance,
+        })
+    }
+}
+
+/// Per-case consistency: every knob must be readable by the chosen host.
+fn validate_case(case: &Case, cores: usize) -> Result<(), SpecError> {
+    let p = &case.policy;
+    let label = &case.label;
+    let fail = |msg: String| Err(SpecError::new(format!("case {label:?}: {msg}")));
+    let sim_family = matches!(
+        case.host,
+        HostSpec::Sim(SimHost::Zygos | SimHost::ZygosNoInterrupts | SimHost::Elastic)
+    );
+    match case.host {
+        HostSpec::Model(_) => {
+            // Zero-overhead models take no policy at all.
+            if p.admission.is_some()
+                || p.slo.is_some()
+                || p.min_cores.is_some()
+                || p.alloc.is_some()
+                || p.quantum_us.is_some()
+                || p.quantum_events.is_some()
+                || p.background_order.is_some()
+                || p.rx_batch.is_some()
+                || p.randomize_steal_order.is_some()
+                || p.ipi_delivery_ns.is_some()
+                || p.steal_extra_ns.is_some()
+            {
+                return fail("queueing models are zero-overhead; they take no policy knobs".into());
+            }
+        }
+        HostSpec::Sim(_) => {
+            if p.quantum_events.is_some() {
+                return fail(
+                    "quantum_events is the live cooperative quantum; \
+                     the simulator preempts via quantum_us"
+                        .into(),
+                );
+            }
+            if let Some(q) = p.quantum_us {
+                if q <= 0.0 {
+                    return fail(format!("quantum_us must be positive, got {q}"));
+                }
+                if !sim_family {
+                    return fail("a preemption quantum needs a ZygOS-family host".into());
+                }
+            }
+            if p.background_order.is_some() && p.quantum_us.is_none() {
+                return fail(
+                    "background_order orders the preempted queue; it needs quantum_us".into(),
+                );
+            }
+            if !case.host.is_elastic() {
+                if p.min_cores.is_some() {
+                    return fail("min_cores is an elastic knob; host is static".into());
+                }
+                if p.alloc.is_some() {
+                    return fail("alloc picks the elastic controller; host is static".into());
+                }
+            }
+            if let Some(m) = p.min_cores {
+                if m == 0 || m > cores {
+                    return fail(format!("min_cores {m} out of range [1, {cores}]"));
+                }
+            }
+            // The simulator models the credit gate and the SLO windows
+            // only in the ZygOS-family host (zygos.rs); IX/Linux would
+            // silently drop the knobs, so they are rejected instead.
+            if !sim_family && p.admission.is_some() {
+                return fail(
+                    "the simulator models the credit gate for ZygOS-family hosts only \
+                     (IX/Linux would silently ignore it)"
+                        .into(),
+                );
+            }
+            if !sim_family && p.slo.is_some() {
+                return fail(
+                    "the simulator collects SLO windows for ZygOS-family hosts only \
+                     (IX/Linux would silently ignore the classes)"
+                        .into(),
+                );
+            }
+            if let Some(a) = &p.admission {
+                if a.overcommit {
+                    return fail(
+                        "credit overcommitment is a live client mechanism; \
+                         the simulator models the converged distribution already"
+                            .into(),
+                    );
+                }
+            }
+        }
+        HostSpec::Live(host) => {
+            if p.quantum_us.is_some() {
+                return fail(
+                    "the live runtime cannot preempt a closure; \
+                     use quantum_events (cooperative) on live:elastic"
+                        .into(),
+                );
+            }
+            if p.background_order.is_some() {
+                return fail("the live runtime has no preempted background queue".into());
+            }
+            if p.rx_batch.is_some() || p.ipi_delivery_ns.is_some() || p.steal_extra_ns.is_some() {
+                return fail("cost-model knobs are simulator-only".into());
+            }
+            if p.randomize_steal_order.is_some() {
+                return fail("the live idle sweep always randomizes victims".into());
+            }
+            if host != LiveHost::Elastic {
+                if p.quantum_events.is_some() {
+                    return fail("quantum_events needs live:elastic".into());
+                }
+                if p.min_cores.is_some() || p.alloc.is_some() {
+                    return fail("elastic knobs on a static live host".into());
+                }
+            }
+            if let Some(q) = p.quantum_events {
+                if q == 0 {
+                    return fail("quantum_events must be >= 1".into());
+                }
+            }
+            if let Some(m) = p.min_cores {
+                if m == 0 || m > cores {
+                    return fail(format!("min_cores {m} out of range [1, {cores}]"));
+                }
+            }
+        }
+    }
+    // Host-independent admission consistency — the headline rejection:
+    // a shed location without a gate to shed from.
+    if let Some(a) = &p.admission {
+        if a.mode == AdmissionMode::ClientSide
+            && a.credits.is_none()
+            && a.target_us.is_none()
+            && p.slo.is_none()
+        {
+            return fail(
+                "client-side admission with no credit pool: set credit_target_us, \
+                 a credits override, or SLO classes to derive targets from"
+                    .into(),
+            );
+        }
+        if a.credits.is_none() && a.target_us.is_none() && p.slo.is_none() {
+            return fail(
+                "admission is armed but has no AIMD target: set credit_target_us, \
+                 a credits override, or SLO classes"
+                    .into(),
+            );
+        }
+        if let Some(t) = a.target_us {
+            if t <= 0.0 {
+                return fail(format!("credit_target_us must be positive, got {t}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Claims must be backed by cases that can produce their evidence.
+fn validate_claims(
+    claims: &Claims,
+    cases: &[Case],
+    loads: &[f64],
+    scale: &ScaleSpec,
+) -> Result<(), SpecError> {
+    let fail = |msg: &str| Err(SpecError::new(format!("claims: {msg}")));
+    let has_admission = |c: &Case| c.policy.admission.is_some();
+    let overload_in = |grid: &[f64]| grid.iter().any(|&l| l >= claims.overload_from);
+    let needs_overload = claims.admitted_p99_bound_us.is_some()
+        || claims.uncontrolled_diverge_past_us.is_some()
+        || claims.client_waste_below_server
+        || claims.loose_sheds_first
+        || claims.loose_floor_max_shed_rate.is_some();
+    if needs_overload {
+        if !overload_in(loads) {
+            return fail("an overload claim needs a load at or above overload_from in the grid");
+        }
+        if let Some(sl) = &scale.smoke_loads {
+            if !overload_in(sl) {
+                return fail(
+                    "overload claims also apply under --smoke: add an overload point \
+                             to smoke_loads",
+                );
+            }
+        }
+    }
+    if claims.admitted_p99_bound_us.is_some() && !cases.iter().any(has_admission) {
+        return fail("admitted_p99_bound_us needs at least one admission-gated case");
+    }
+    if claims.uncontrolled_diverge_past_us.is_some() && cases.iter().all(has_admission) {
+        return fail("uncontrolled_diverge_past_us needs at least one ungated case");
+    }
+    if claims.client_waste_below_server {
+        let mode_of = |c: &Case| c.policy.admission.as_ref().map(|a| a.mode);
+        let has = |m| cases.iter().any(|c| mode_of(c) == Some(m));
+        if !has(AdmissionMode::ServerEdge) || !has(AdmissionMode::ClientSide) {
+            return fail(
+                "client_waste_below_server needs one server-edge and one client-side case",
+            );
+        }
+    }
+    if claims.loose_sheds_first || claims.loose_floor_max_shed_rate.is_some() {
+        // Per-class shed metrics come from the simulator host; a live
+        // case cannot back these claims (its report carries no class
+        // vectors).
+        let multi_tenant = cases.iter().any(|c| {
+            matches!(c.host, HostSpec::Sim(_))
+                && has_admission(c)
+                && c.policy
+                    .slo
+                    .as_ref()
+                    .is_some_and(|s| s.classes().len() >= 2)
+        });
+        if !multi_tenant {
+            return fail(
+                "tenant-shedding claims need a simulator admission case with >= 2 SLO classes",
+            );
+        }
+    }
+    if claims.elastic_parks_below_load.is_some() && !cases.iter().any(|c| c.host.is_elastic()) {
+        return fail("elastic_parks_below_load needs an elastic case");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zygos_load::slo::Slo;
+
+    fn base() -> ScenarioBuilder {
+        Scenario::builder("t")
+            .service(ServiceDist::exponential_us(10.0))
+            .loads(vec![0.5])
+    }
+
+    #[test]
+    fn minimal_scenario_builds() {
+        let s = base().case(Case::sim("zygos", SimHost::Zygos)).build();
+        let s = s.expect("valid");
+        assert_eq!(s.cases.len(), 1);
+        assert_eq!(s.cases[0].host.id(), "sim:zygos");
+    }
+
+    #[test]
+    fn host_ids_round_trip() {
+        for host in [
+            HostSpec::Sim(SimHost::Zygos),
+            HostSpec::Sim(SimHost::Elastic),
+            HostSpec::Sim(SimHost::LinuxFloating),
+            HostSpec::Live(LiveHost::Elastic),
+            HostSpec::Live(LiveHost::Partitioned),
+            HostSpec::Model(Policy::CentralFcfs),
+            HostSpec::Model(Policy::PartitionedPs),
+        ] {
+            assert_eq!(HostSpec::parse(&host.id()).expect("parses"), host);
+        }
+        assert!(HostSpec::parse("sim:does-not-exist").is_err());
+    }
+
+    #[test]
+    fn contradictory_specs_are_rejected() {
+        // Client-side admission with no pool to draw credits from.
+        let e = base()
+            .case(Case::sim("c", SimHost::Zygos).admission(AdmissionMode::ClientSide))
+            .build()
+            .expect_err("must reject");
+        assert!(e.to_string().contains("no credit pool"), "{e}");
+        // A preemption quantum on a host that cannot preempt.
+        assert!(base()
+            .case(Case::sim("q", SimHost::Ix).quantum_us(25.0))
+            .build()
+            .is_err());
+        assert!(base()
+            .case(Case::live("lq", LiveHost::Zygos).quantum_us(25.0))
+            .build()
+            .is_err());
+        // Elastic knobs on a static host.
+        assert!(base()
+            .case(Case::sim("m", SimHost::Zygos).min_cores(2))
+            .build()
+            .is_err());
+        // Background order without a quantum.
+        assert!(base()
+            .case(Case::sim("b", SimHost::Zygos).background_order(BackgroundOrder::Srpt))
+            .build()
+            .is_err());
+        // Policy knobs on a zero-overhead model.
+        assert!(base()
+            .case(Case::model("p", Policy::CentralFcfs).rx_batch(64))
+            .build()
+            .is_err());
+        // Overcommitment in the simulator.
+        assert!(base()
+            .case(
+                Case::sim("o", SimHost::Zygos)
+                    .admission(AdmissionMode::ClientSide)
+                    .credit_target_us(70.0)
+                    .overcommit()
+            )
+            .build()
+            .is_err());
+        // Duplicate labels.
+        assert!(base()
+            .case(Case::sim("x", SimHost::Zygos))
+            .case(Case::sim("x", SimHost::Ix))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn claims_need_backing_cases() {
+        let claims = Claims {
+            loose_sheds_first: true,
+            ..Claims::default()
+        };
+        let e = Scenario::builder("t")
+            .service(ServiceDist::exponential_us(10.0))
+            .loads(vec![1.4])
+            .case(Case::sim("z", SimHost::Zygos))
+            .claims(claims.clone())
+            .build()
+            .expect_err("no multi-tenant case");
+        assert!(e.to_string().contains("SLO classes"), "{e}");
+        // With a backing case it builds.
+        let ok = Scenario::builder("t")
+            .service(ServiceDist::exponential_us(10.0))
+            .loads(vec![1.4])
+            .case(
+                Case::sim("z", SimHost::Zygos)
+                    .admission(AdmissionMode::ServerEdge)
+                    .credit_target_us(70.0)
+                    .slo(TenantSlos::new(vec![
+                        zygos_load::slo::SloClass::new("i", Slo::p99(100.0)),
+                        zygos_load::slo::SloClass::new("b", Slo::p99(1000.0)),
+                    ])),
+            )
+            .claims(claims)
+            .build();
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn overload_claims_need_overload_points() {
+        let claims = Claims {
+            admitted_p99_bound_us: Some(200.0),
+            ..Claims::default()
+        };
+        let e = base()
+            .case(
+                Case::sim("c", SimHost::Zygos)
+                    .admission(AdmissionMode::ServerEdge)
+                    .credit_target_us(70.0),
+            )
+            .claims(claims)
+            .build()
+            .expect_err("grid tops out at 0.5");
+        assert!(e.to_string().contains("overload"), "{e}");
+    }
+}

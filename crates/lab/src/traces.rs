@@ -1,0 +1,61 @@
+//! Bundled workload traces.
+//!
+//! The **diurnal** trace is a timestamped request log whose arrival rate
+//! follows one sinusoidal "day" (trough → peak → trough, factors
+//! 0.25–1.75 around a unit mean): the workload-replay input behind
+//! `fig12_elastic`'s trace panel and the `arrivals = "diurnal"` scenario
+//! key. It is committed at `crates/lab/traces/diurnal.trace` and embedded
+//! here, so scenarios replay it without caring about working directories.
+//!
+//! The file is *generated*, by the deterministic
+//! [`zygos_load::source::Trace::synthetic_diurnal`] generator —
+//! regenerate it with `lab gen-trace` after changing the generator, and
+//! the `bundled_trace_matches_generator` test will hold you to it.
+
+use std::sync::{Arc, OnceLock};
+
+use zygos_load::source::Trace;
+
+/// The committed trace text (timestamps in µs, one per line).
+pub const DIURNAL_TRACE_TEXT: &str = include_str!("../traces/diurnal.trace");
+
+/// Arrivals in the bundled diurnal trace.
+pub const DIURNAL_ARRIVALS: usize = 8192;
+
+/// Generator seed of the bundled diurnal trace.
+pub const DIURNAL_SEED: u64 = 0xD1A7;
+
+/// The bundled diurnal trace, parsed once.
+pub fn diurnal() -> Arc<Trace> {
+    static TRACE: OnceLock<Arc<Trace>> = OnceLock::new();
+    Arc::clone(TRACE.get_or_init(|| {
+        Arc::new(Trace::parse(DIURNAL_TRACE_TEXT).expect("bundled trace is well-formed"))
+    }))
+}
+
+/// Regenerates the bundled trace's text (what `lab gen-trace` writes).
+pub fn regenerate_diurnal() -> String {
+    Trace::synthetic_diurnal(DIURNAL_ARRIVALS, DIURNAL_SEED).to_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_trace_matches_generator() {
+        assert_eq!(
+            DIURNAL_TRACE_TEXT,
+            regenerate_diurnal(),
+            "crates/lab/traces/diurnal.trace is stale — regenerate with `lab gen-trace`"
+        );
+    }
+
+    #[test]
+    fn bundled_trace_parses_with_unit_mean_rate() {
+        let t = diurnal();
+        assert_eq!(t.len() + 1, DIURNAL_ARRIVALS);
+        let rate = t.mean_rate_per_us();
+        assert!((rate - 1.0).abs() < 0.1, "mean rate = {rate}");
+    }
+}

@@ -12,6 +12,11 @@
 //! * [`retry`] — reject-aware retry policies ([`retry::RetryPolicy`]:
 //!   drop / exponential backoff / hedge-to-deadline) for clients facing a
 //!   credit-gated server.
+//! * [`source`] — arrival processes behind one trait
+//!   ([`source::ArrivalSource`]): the paper's constant-rate Poisson,
+//!   piecewise-Poisson phases, and trace replay from a timestamped
+//!   request log ([`source::Trace`]) — the scenario plane's workload
+//!   input.
 //!
 //! Everything here is host-agnostic: the live runtime, the discrete-event
 //! simulator and the tests consume the same schedules, SLO arithmetic and
@@ -21,8 +26,10 @@ pub mod recorder;
 pub mod retry;
 pub mod schedule;
 pub mod slo;
+pub mod source;
 
 pub use recorder::SharedRecorder;
 pub use retry::{RetryDecision, RetryPolicy};
 pub use schedule::ArrivalSchedule;
 pub use slo::Slo;
+pub use source::{ArrivalSource, ArrivalSpec, Trace};

@@ -173,6 +173,11 @@ impl SloSignal {
         self.win[core].lock()[class].push(sojourn_ns);
     }
 
+    /// The tenant class of `conn`.
+    fn class_of(&self, conn: ConnId) -> usize {
+        self.slos.class_of(conn.0)
+    }
+
     /// The pool fraction of `conn`'s tenant class.
     fn fraction_of(&self, conn: ConnId) -> f64 {
         self.admit_fractions[self.slos.class_of(conn.0)]
@@ -278,8 +283,9 @@ impl Server {
             }
             _ => None,
         };
+        let classes = cfg.slo.as_ref().map_or(1, |t| t.classes().len());
         let credits = cfg.admission.map(|c| AdmissionCtl {
-            gate: CreditGate::new(c),
+            gate: CreditGate::with_classes(c, classes),
         });
         let slo = cfg.slo.clone().map(|slos| SloSignal::new(slos, cfg.cores));
         let ctl_tick = (elastic.is_some() || credits.is_some() || slo.is_some())
@@ -549,8 +555,9 @@ fn tcp_in(
             match framer.next_message() {
                 Ok(Some(msg)) => {
                     if let Some(gate) = &shared.credits {
+                        let class = shared.slo.as_ref().map_or(0, |s| s.class_of(conn));
                         let fraction = shared.slo.as_ref().map_or(1.0, |s| s.fraction_of(conn));
-                        if !gate.gate.try_admit_weighted(fraction) {
+                        if !gate.gate.try_admit_weighted(class, fraction) {
                             // Shed: explicit reject, nothing queued. The
                             // reject must return at least the credit the
                             // sender spent on it: grants ride only on
@@ -588,8 +595,9 @@ fn tcp_in(
 fn grant_credits(shared: &Shared, conn: ConnId, resp: RpcMessage) -> RpcMessage {
     match &shared.credits {
         Some(gate) if shared.cfg.client_credits => {
+            let class = shared.slo.as_ref().map_or(0, |s| s.class_of(conn));
             let fraction = shared.slo.as_ref().map_or(1.0, |s| s.fraction_of(conn));
-            resp.with_credits(gate.gate.grant_for_response_weighted(fraction))
+            resp.with_credits(gate.gate.grant_for_response_weighted(class, fraction))
         }
         _ => resp,
     }
@@ -600,17 +608,24 @@ fn grant_credits(shared: &Shared, conn: ConnId, resp: RpcMessage) -> RpcMessage 
 fn grant_min_one(shared: &Shared, conn: ConnId, resp: RpcMessage) -> RpcMessage {
     match &shared.credits {
         Some(gate) if shared.cfg.client_credits => {
+            let class = shared.slo.as_ref().map_or(0, |s| s.class_of(conn));
             let fraction = shared.slo.as_ref().map_or(1.0, |s| s.fraction_of(conn));
-            resp.with_credits(gate.gate.grant_for_response_weighted(fraction).max(1))
+            resp.with_credits(
+                gate.gate
+                    .grant_for_response_weighted(class, fraction)
+                    .max(1),
+            )
         }
         _ => resp,
     }
 }
 
-/// Returns an admitted request's credit after its response is produced.
-fn release_credit(shared: &Shared) {
+/// Returns an admitted request's credit (of `conn`'s tenant class) after
+/// its response is produced.
+fn release_credit(shared: &Shared, conn: ConnId) {
     if let Some(gate) = &shared.credits {
-        gate.gate.release();
+        let class = shared.slo.as_ref().map_or(0, |s| s.class_of(conn));
+        gate.gate.release_class(class);
     }
 }
 
@@ -634,7 +649,7 @@ fn exec_conn(
         // in-flight, the steady state under overload with a small pool)
         // every response would grant 0 and sender-side clients would
         // ratchet to zero balance and starve.
-        release_credit(shared);
+        release_credit(shared, conn);
         let wire = grant_credits(shared, conn, resp).to_bytes();
         // The sojourn sample: framed at ingress, response produced now.
         if let Some(sig) = &shared.slo {
@@ -741,7 +756,7 @@ fn rung_floating_claim(core: usize, shared: &Shared, app: &Arc<dyn RpcApp>) -> b
         return false;
     };
     let resp = app.handle(conn, &ev.msg);
-    release_credit(shared);
+    release_credit(shared, conn);
     if let Some(sig) = &shared.slo {
         sig.record(core, conn, ev.ingress.elapsed().as_nanos() as u64);
     }

@@ -31,15 +31,17 @@
 //! Two host-driven extensions ride on the same pool:
 //!
 //! * **Weighted fair shedding** ([`CreditPool::try_admit_weighted`]):
-//!   each tenant class is admitted against a *threshold fraction* of the
-//!   pool (derived from
-//!   `zygos_load::slo::TenantSlos::admit_fractions` — the loosest SLO
-//!   class gets the smallest threshold), trunk-reservation style: a
-//!   class is shed while pool-wide occupancy sits above its threshold,
-//!   so under overload the class with the most latency headroom sheds
-//!   first instead of FIFO-blind rejection across all tenants. The
-//!   reservation is on *global* occupancy — strict traffic can occupy a
-//!   loose class's share outright (strict outranks loose by design).
+//!   each tenant class is admitted against a *cap fraction* of the pool
+//!   (derived from `zygos_load::slo::TenantSlos::admit_fractions` — the
+//!   loosest SLO class gets the smallest cap). The pool tracks
+//!   **per-class in-flight occupancy** and admits a class-`c` request iff
+//!   `class_in_flight[c] < cap_c && total < capacity`: under overload the
+//!   class with the most latency headroom hits its own cap — and sheds —
+//!   first, while a capped class that is *not* the one causing the
+//!   pressure keeps a guaranteed floor of the pool (the pre-PR-4 rule
+//!   compared global occupancy against the class threshold, so sustained
+//!   strict traffic could starve a loose class outright even when the
+//!   loose class had nothing in flight).
 //! * **SLO-normalized AIMD** ([`CreditPool::update_ratio`]): hosts that
 //!   measure *per-class* tails against per-class targets feed the worst
 //!   `measured/target` ratio (1.0 = at target) instead of a raw latency,
@@ -111,17 +113,12 @@ impl CreditConfig {
         }
     }
 
-    /// The admission threshold for a tenant class admitted at `fraction`
-    /// of a pool of `capacity` credits — trunk-reservation semantics: the
-    /// class is shed while **pool-wide** occupancy sits at or above its
-    /// threshold, which reserves the headroom above it for stricter
-    /// classes. A fraction of 1.0 (the strictest class) is the whole
-    /// pool. Note the comparison is against global in-flight, not the
-    /// class's own: under sustained strict-class load that pins occupancy
-    /// above a loose class's threshold, the loose class is shed entirely
-    /// — that *is* the intended priority order (strict traffic outranks
-    /// loose), not an accident. The `max(1)` floor only guarantees a
-    /// capped class can admit when the pool is (nearly) empty.
+    /// The occupancy cap for a tenant class admitted at `fraction` of a
+    /// pool of `capacity` credits: the number of in-flight requests *of
+    /// that class* the pool tolerates. A fraction of 1.0 (the strictest
+    /// class) is the whole pool. The `max(1)` floor guarantees every
+    /// class can always admit from an empty pool, even after the AIMD
+    /// shrinks capacity to its minimum.
     fn class_cap(&self, capacity: u32, fraction: f64) -> u32 {
         if fraction >= 1.0 {
             capacity
@@ -137,35 +134,56 @@ pub struct CreditPool {
     cfg: CreditConfig,
     capacity: u32,
     in_flight: u32,
+    /// Per-tenant-class in-flight occupancy (one slot per class; a single
+    /// slot when the host has no tenant classes).
+    class_in_flight: Vec<u32>,
     admitted: u64,
     rejected: u64,
 }
 
 impl CreditPool {
-    /// Creates a pool at [`CreditConfig::initial_credits`].
+    /// Creates a single-class pool at [`CreditConfig::initial_credits`].
     pub fn new(cfg: CreditConfig) -> Self {
+        CreditPool::with_classes(cfg, 1)
+    }
+
+    /// Creates a pool tracking `classes` tenant classes' occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or the config is invalid.
+    pub fn with_classes(cfg: CreditConfig, classes: usize) -> Self {
         cfg.validate();
+        assert!(classes >= 1, "need at least one tenant class");
         CreditPool {
             capacity: cfg.clamp(cfg.initial_credits),
             cfg,
             in_flight: 0,
+            class_in_flight: vec![0; classes],
             admitted: 0,
             rejected: 0,
         }
     }
 
-    /// Spends a credit for an arriving request. `false` sheds the request
-    /// (no credit held; do not call [`CreditPool::release`] for it).
+    /// Spends a credit for an arriving request of the sole (or first)
+    /// class. `false` sheds the request (no credit held; do not call
+    /// [`CreditPool::release`] for it).
     pub fn try_admit(&mut self) -> bool {
-        self.try_admit_weighted(1.0)
+        self.try_admit_weighted(0, 1.0)
     }
 
-    /// Spends a credit for a request of a tenant class capped at
+    /// Spends a credit for a request of tenant `class`, capped at
     /// `fraction` of the pool (weighted fair shedding; see module docs).
-    /// `try_admit_weighted(1.0)` is exactly [`CreditPool::try_admit`].
-    pub fn try_admit_weighted(&mut self, fraction: f64) -> bool {
-        if self.in_flight < self.cfg.class_cap(self.capacity, fraction) {
+    /// The admit rule is `class_in_flight[class] < cap_c && total <
+    /// capacity`: the class cap bounds each class's own occupancy, and
+    /// the total bound keeps the pool's no-over-admission invariant.
+    /// `try_admit_weighted(0, 1.0)` is exactly [`CreditPool::try_admit`].
+    pub fn try_admit_weighted(&mut self, class: usize, fraction: f64) -> bool {
+        if self.class_in_flight[class] < self.cfg.class_cap(self.capacity, fraction)
+            && self.in_flight < self.capacity
+        {
             self.in_flight += 1;
+            self.class_in_flight[class] += 1;
             self.admitted += 1;
             true
         } else {
@@ -174,10 +192,18 @@ impl CreditPool {
         }
     }
 
-    /// Returns the credit of a completed (admitted) request.
+    /// Returns the credit of a completed (admitted) request of the sole
+    /// (or first) class.
     pub fn release(&mut self) {
+        self.release_class(0);
+    }
+
+    /// Returns the credit of a completed (admitted) request of `class`.
+    pub fn release_class(&mut self, class: usize) {
         debug_assert!(self.in_flight > 0, "release without matching admit");
+        debug_assert!(self.class_in_flight[class] > 0, "class release mismatch");
         self.in_flight = self.in_flight.saturating_sub(1);
+        self.class_in_flight[class] = self.class_in_flight[class].saturating_sub(1);
     }
 
     /// One AIMD control tick: `measured` is the congestion signal in the
@@ -203,6 +229,11 @@ impl CreditPool {
     /// Credits currently held by in-flight requests.
     pub fn in_flight(&self) -> u32 {
         self.in_flight
+    }
+
+    /// Credits currently held by in-flight requests of `class`.
+    pub fn class_in_flight(&self, class: usize) -> u32 {
+        self.class_in_flight[class]
     }
 
     /// Total requests admitted so far.
@@ -236,38 +267,62 @@ pub struct CreditGate {
     cfg: CreditConfig,
     capacity: std::sync::atomic::AtomicU32,
     in_flight: std::sync::atomic::AtomicU32,
+    /// Per-tenant-class occupancy. The pool-wide no-over-admission
+    /// invariant is exact (CAS on `in_flight`); the class counters are
+    /// checked-then-incremented, so a race can transiently overshoot a
+    /// class cap by the number of racing cores — fairness is advisory,
+    /// admission is not.
+    class_in_flight: Vec<std::sync::atomic::AtomicU32>,
     admitted: std::sync::atomic::AtomicU64,
     rejected: std::sync::atomic::AtomicU64,
 }
 
 impl CreditGate {
-    /// Creates a gate at [`CreditConfig::initial_credits`].
+    /// Creates a single-class gate at [`CreditConfig::initial_credits`].
     pub fn new(cfg: CreditConfig) -> Self {
+        CreditGate::with_classes(cfg, 1)
+    }
+
+    /// Creates a gate tracking `classes` tenant classes' occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or the config is invalid.
+    pub fn with_classes(cfg: CreditConfig, classes: usize) -> Self {
         use std::sync::atomic::{AtomicU32, AtomicU64};
         cfg.validate();
+        assert!(classes >= 1, "need at least one tenant class");
         CreditGate {
             capacity: AtomicU32::new(cfg.clamp(cfg.initial_credits)),
             cfg,
             in_flight: AtomicU32::new(0),
+            class_in_flight: (0..classes).map(|_| AtomicU32::new(0)).collect(),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
     }
 
-    /// Spends a credit for an arriving request (lock-free). `false` sheds
-    /// the request (no credit held; do not call [`CreditGate::release`]).
+    /// Spends a credit for an arriving request of the sole (or first)
+    /// class (lock-free). `false` sheds the request (no credit held; do
+    /// not call [`CreditGate::release`]).
     pub fn try_admit(&self) -> bool {
-        self.try_admit_weighted(1.0)
+        self.try_admit_weighted(0, 1.0)
     }
 
-    /// Spends a credit for a request of a tenant class capped at
+    /// Spends a credit for a request of tenant `class`, capped at
     /// `fraction` of the pool (lock-free weighted fair shedding; the
-    /// sibling of [`CreditPool::try_admit_weighted`]).
-    pub fn try_admit_weighted(&self, fraction: f64) -> bool {
+    /// sibling of [`CreditPool::try_admit_weighted`], same
+    /// `class_in_flight < cap_c && total < capacity` rule).
+    pub fn try_admit_weighted(&self, class: usize, fraction: f64) -> bool {
         use std::sync::atomic::Ordering::{Acquire, Relaxed};
+        let capacity = self.capacity.load(Acquire);
+        if self.class_in_flight[class].load(Relaxed) >= self.cfg.class_cap(capacity, fraction) {
+            self.rejected.fetch_add(1, Relaxed);
+            return false;
+        }
         let mut cur = self.in_flight.load(Relaxed);
         loop {
-            if cur >= self.cfg.class_cap(self.capacity.load(Acquire), fraction) {
+            if cur >= capacity {
                 self.rejected.fetch_add(1, Relaxed);
                 return false;
             }
@@ -276,6 +331,7 @@ impl CreditGate {
                 .compare_exchange_weak(cur, cur + 1, Relaxed, Relaxed)
             {
                 Ok(_) => {
+                    self.class_in_flight[class].fetch_add(1, Relaxed);
                     self.admitted.fetch_add(1, Relaxed);
                     return true;
                 }
@@ -284,11 +340,19 @@ impl CreditGate {
         }
     }
 
-    /// Returns the credit of a completed (admitted) request.
+    /// Returns the credit of a completed (admitted) request of the sole
+    /// (or first) class.
     pub fn release(&self) {
+        self.release_class(0);
+    }
+
+    /// Returns the credit of a completed (admitted) request of `class`.
+    pub fn release_class(&self, class: usize) {
         use std::sync::atomic::Ordering::Relaxed;
         let prev = self.in_flight.fetch_sub(1, Relaxed);
         debug_assert!(prev > 0, "release without matching admit");
+        let prev_c = self.class_in_flight[class].fetch_sub(1, Relaxed);
+        debug_assert!(prev_c > 0, "class release mismatch");
     }
 
     /// One AIMD control tick (single writer — the controller core).
@@ -314,18 +378,19 @@ impl CreditGate {
     /// only sends while its local balance is positive then converges to
     /// its share of the pool without a dedicated control channel.
     ///
-    /// Equivalent to [`CreditGate::grant_for_response_weighted`] at
-    /// fraction 1.0.
+    /// Equivalent to [`CreditGate::grant_for_response_weighted`] for the
+    /// sole (or first) class at fraction 1.0.
     pub fn grant_for_response(&self) -> u32 {
-        self.grant_for_response_weighted(1.0)
+        self.grant_for_response_weighted(0, 1.0)
     }
 
-    /// The grant for a response to a tenant class admitted at `fraction`
-    /// of the pool: occupancy is judged against the **class threshold**
-    /// (the same one [`CreditGate::try_admit_weighted`] sheds against),
-    /// not the whole pool — otherwise a capped class being shed at
-    /// moderate global occupancy would keep receiving growth grants and
-    /// its send window would never tighten.
+    /// The grant for a response to tenant `class` admitted at `fraction`
+    /// of the pool: headroom is judged against **both** admit conditions
+    /// (the class's own occupancy vs its cap, and the total vs capacity —
+    /// the same pair [`CreditGate::try_admit_weighted`] sheds on), and
+    /// the tighter of the two decides. Judging only the whole pool would
+    /// let a capped class being shed at moderate global occupancy keep
+    /// receiving growth grants, so its send window would never tighten.
     ///
     /// Grants only ride on responses, so a reject must still return the
     /// credit the sender spent on it (grant ≥ 1 at the caller): a
@@ -334,17 +399,22 @@ impl CreditGate {
     /// receive another grant. The resulting steady state for a shed
     /// sender is a flat balance — one slow retry per round trip, bounded
     /// backpressure rather than either starvation or unbounded retry.
-    pub fn grant_for_response_weighted(&self, fraction: f64) -> u32 {
+    pub fn grant_for_response_weighted(&self, class: usize, fraction: f64) -> u32 {
         use std::sync::atomic::Ordering::{Acquire, Relaxed};
-        let cap = self.cfg.class_cap(self.capacity.load(Acquire), fraction);
+        let capacity = self.capacity.load(Acquire);
+        let cap_c = self.cfg.class_cap(capacity, fraction);
+        let inf_c = self.class_in_flight[class].load(Relaxed);
         let inf = self.in_flight.load(Relaxed);
-        if inf.saturating_mul(2) < cap {
-            2
-        } else if inf < cap {
-            1
-        } else {
-            0
-        }
+        let headroom = |used: u32, cap: u32| {
+            if used.saturating_mul(2) < cap {
+                2
+            } else if used < cap {
+                1
+            } else {
+                0
+            }
+        };
+        headroom(inf_c, cap_c).min(headroom(inf, capacity))
     }
 
     /// Current capacity (total credits).
@@ -355,6 +425,11 @@ impl CreditGate {
     /// Credits currently held by in-flight requests.
     pub fn in_flight(&self) -> u32 {
         self.in_flight.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Credits currently held by in-flight requests of `class`.
+    pub fn class_in_flight(&self, class: usize) -> u32 {
+        self.class_in_flight[class].load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Total requests admitted so far.
@@ -518,42 +593,84 @@ mod tests {
 
     #[test]
     fn weighted_admission_caps_loose_classes_first() {
-        // Pool of 10; a loose class capped at 0.5 sheds once 5 credits are
-        // out, while the strict class (1.0) keeps admitting to 10.
-        let mut p = pool(10);
+        // Pool of 10, two classes (0 strict at 1.0, 1 loose at 0.5): the
+        // loose class sheds once *its own* occupancy reaches 5, while the
+        // strict class keeps admitting to the pool bound.
+        let mut p = CreditPool::with_classes(pool(10).cfg, 2);
         for _ in 0..5 {
-            assert!(p.try_admit_weighted(0.5));
+            assert!(p.try_admit_weighted(1, 0.5));
         }
-        assert!(!p.try_admit_weighted(0.5), "loose class at its cap");
+        assert!(!p.try_admit_weighted(1, 0.5), "loose class at its cap");
         for _ in 0..5 {
-            assert!(p.try_admit_weighted(1.0), "strict class unaffected");
+            assert!(p.try_admit_weighted(0, 1.0), "strict class unaffected");
         }
-        assert!(!p.try_admit_weighted(1.0), "pool exhausted");
-        // The threshold floor of 1: a capped class can admit from an
-        // empty pool even after the AIMD shrinks capacity to the minimum
-        // (with the pool occupied, trunk reservation sheds it — by
-        // design).
-        for _ in 0..10 {
-            p.release();
+        assert!(!p.try_admit_weighted(0, 1.0), "pool exhausted");
+        assert_eq!(p.class_in_flight(0), 5);
+        assert_eq!(p.class_in_flight(1), 5);
+        // The cap floor of 1: a capped class can admit from an empty pool
+        // even after the AIMD shrinks capacity to the minimum.
+        for _ in 0..5 {
+            p.release_class(0);
+            p.release_class(1);
         }
         for _ in 0..50 {
             p.update(1e9);
         }
         assert_eq!(p.capacity(), 1);
         assert!(
-            p.try_admit_weighted(0.1),
+            p.try_admit_weighted(1, 0.1),
             "empty pool admits any class at the floor"
         );
     }
 
     #[test]
+    fn strict_saturation_leaves_the_loose_class_a_floor() {
+        // The PR-4 occupancy rule: a strict tenant pinning the pool at
+        // high occupancy no longer starves an idle loose class. Strict
+        // fills 8 of 10 credits; the old global-occupancy rule shed every
+        // loose request past occupancy 5, the per-class rule admits them
+        // (loose occupancy 0 < 5) until the *pool* is full.
+        let mut p = CreditPool::with_classes(pool(10).cfg, 2);
+        for _ in 0..8 {
+            assert!(p.try_admit_weighted(0, 1.0));
+        }
+        assert!(
+            p.try_admit_weighted(1, 0.5),
+            "loose class keeps its floor under strict pressure"
+        );
+        assert!(p.try_admit_weighted(1, 0.5), "up to the pool bound");
+        assert!(!p.try_admit_weighted(1, 0.5), "pool full");
+        assert!(!p.try_admit_weighted(0, 1.0), "strict sheds at full too");
+        assert_eq!(p.class_in_flight(1), 2);
+        // Strict completions free slots the loose class can take, up to
+        // its own cap of 5.
+        for _ in 0..4 {
+            p.release_class(0);
+        }
+        for _ in 0..3 {
+            assert!(p.try_admit_weighted(1, 0.5));
+        }
+        assert!(!p.try_admit_weighted(1, 0.5), "loose cap (5) binds now");
+    }
+
+    #[test]
     fn gate_weighted_admission_matches_pool() {
         let cfg = credit_cfg_for_parity();
-        let mut pool = CreditPool::new(cfg);
-        let gate = CreditGate::new(cfg);
-        for &f in &[1.0, 0.5, 0.5, 0.34, 1.0, 0.5, 0.1, 1.0] {
-            assert_eq!(pool.try_admit_weighted(f), gate.try_admit_weighted(f));
+        let mut pool = CreditPool::with_classes(cfg, 2);
+        let gate = CreditGate::with_classes(cfg, 2);
+        for &(c, f) in &[
+            (0, 1.0),
+            (1, 0.5),
+            (1, 0.5),
+            (1, 0.34),
+            (0, 1.0),
+            (1, 0.5),
+            (1, 0.1),
+            (0, 1.0),
+        ] {
+            assert_eq!(pool.try_admit_weighted(c, f), gate.try_admit_weighted(c, f));
             assert_eq!(pool.in_flight(), gate.in_flight());
+            assert_eq!(pool.class_in_flight(c), gate.class_in_flight(c));
             assert_eq!(pool.rejected(), gate.rejected());
         }
     }

@@ -6,6 +6,7 @@
 //! home cores by the *real* RSS implementation (`zygos-net`), i.e. the same
 //! Toeplitz hash + indirection table a multi-queue NIC would apply.
 
+use zygos_load::source::ArrivalSource;
 use zygos_net::flow::FiveTuple;
 use zygos_net::rss::Rss;
 use zygos_sim::dist::ServiceDist;
@@ -28,12 +29,15 @@ pub struct Req {
     pub service: SimDuration,
 }
 
-/// The Poisson request source.
+/// The open-loop request source. Gap generation is delegated to the
+/// configured [`zygos_load::source::ArrivalSpec`] (Poisson by default;
+/// phases or trace replay modulate the instantaneous rate while keeping
+/// the long-run mean at `cfg.lambda_per_us()`).
 pub struct Source {
     rng: Xoshiro256,
     conn_home: Vec<u16>,
     service: ServiceDist,
-    inter_mean_us: f64,
+    arrivals: Box<dyn ArrivalSource>,
     /// One-way wire latency (half the configured RTT).
     pub half_rtt: SimDuration,
 }
@@ -49,7 +53,7 @@ impl Source {
             rng: Xoshiro256::new(cfg.seed),
             conn_home,
             service: cfg.service.clone(),
-            inter_mean_us: 1.0 / cfg.lambda_per_us(),
+            arrivals: cfg.arrivals.source(cfg.lambda_per_us()),
             half_rtt: SimDuration::from_nanos(cfg.cost.network_rtt_ns / 2),
         }
     }
@@ -61,7 +65,7 @@ impl Source {
 
     /// Time until the next arrival.
     pub fn next_gap(&mut self) -> SimDuration {
-        SimDuration::from_micros_f64(self.rng.next_exp(self.inter_mean_us))
+        SimDuration::from_micros_f64(self.arrivals.next_gap_us(&mut self.rng))
     }
 
     /// Generates the next request, stamped with send time `now`.

@@ -1,6 +1,7 @@
 //! Experiment configuration and output types.
 
 use zygos_load::slo::TenantSlos;
+use zygos_load::source::ArrivalSpec;
 use zygos_net::cost::CostModel;
 use zygos_sched::{BackgroundOrder, CreditConfig};
 use zygos_sim::dist::ServiceDist;
@@ -112,6 +113,11 @@ pub struct SysConfig {
     /// Offered load as a fraction of ideal saturation
     /// (`λ = load · cores / S̄`).
     pub load: f64,
+    /// Shape of the arrival process ([`ArrivalSpec::Poisson`] is the
+    /// paper's constant-rate process; phases and trace replay modulate
+    /// the instantaneous rate while preserving the long-run mean, so
+    /// [`SysConfig::load`] keeps meaning "fraction of ideal saturation").
+    pub arrivals: ArrivalSpec,
     /// Application service-time distribution.
     pub service: ServiceDist,
     /// Per-operation cost model.
@@ -188,6 +194,7 @@ impl SysConfig {
             cores: 16,
             conns: 2752,
             load,
+            arrivals: ArrivalSpec::Poisson,
             service,
             cost,
             rx_batch,
@@ -246,6 +253,12 @@ pub struct SysOutput {
     /// Requests shed per tenant SLO class (one slot per class; a single
     /// slot when no [`SysConfig::slo`] is configured).
     pub rejected_by_class: Vec<u64>,
+    /// Requests admitted per tenant SLO class (same shape as
+    /// [`SysOutput::rejected_by_class`]). With round-robin class
+    /// assignment every class is offered near-equal load, so
+    /// `admitted_c / (admitted_c + rejected_c)` is the class's admit
+    /// rate — what the per-class occupancy rule guarantees a floor for.
+    pub admitted_by_class: Vec<u64>,
 }
 
 impl SysOutput {
@@ -314,6 +327,20 @@ impl SysOutput {
             0.0
         } else {
             self.rejected_by_class[class] as f64 / total as f64
+        }
+    }
+
+    /// The fraction of one class's **own offered load** that was shed:
+    /// `rejected_c / (admitted_c + rejected_c)`. Unlike
+    /// [`SysOutput::shed_share_of_class`] this is a per-class rate, so it
+    /// can certify a floor ("the batch class still admits ≥ x% of its
+    /// arrivals under strict-tenant saturation").
+    pub fn shed_rate_of_class(&self, class: usize) -> f64 {
+        let offered = self.admitted_by_class[class] + self.rejected_by_class[class];
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected_by_class[class] as f64 / offered as f64
         }
     }
 

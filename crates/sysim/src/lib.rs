@@ -72,3 +72,4 @@ pub use driver::{
     latency_throughput_sweep, max_load_at_slo, run_system, theory_central_p99_us,
     theory_max_load_at_slo, SweepPoint,
 };
+pub use zygos_load::source::ArrivalSpec;

@@ -193,6 +193,7 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         wire_rejects: 0,
         rtt_us: cfg.cost.network_rtt_ns as f64 / 1_000.0,
         rejected_by_class: vec![0],
+        admitted_by_class: vec![0],
     }
 }
 

@@ -239,6 +239,8 @@ pub(crate) struct ZygosModel {
     credit_targets_us: Vec<f64>,
     /// Sheds per tenant class.
     rejected_by_class: Vec<u64>,
+    /// Admissions per tenant class.
+    admitted_by_class: Vec<u64>,
     /// Sheds that burned wire RTT (server-edge rejects).
     wire_rejects: u64,
     /// Per-SLO-class latency samples (ns) of the current control window.
@@ -314,8 +316,8 @@ impl ZygosModel {
             }
             _ => None,
         };
-        let admission = cfg.admission.map(CreditPool::new);
         let classes = cfg.slo.as_ref().map_or(1, |t| t.classes().len());
+        let admission = cfg.admission.map(|c| CreditPool::with_classes(c, classes));
         let collect_window = admission.is_some() || cfg.slo.is_some();
         let (admit_fractions, credit_targets_us) = match (&admission, &cfg.slo) {
             (Some(_), Some(slo)) => (slo.admit_fractions(), slo.aimd_targets_us(CREDIT_HEADROOM)),
@@ -353,6 +355,7 @@ impl ZygosModel {
             admit_fractions,
             credit_targets_us,
             rejected_by_class: vec![0; classes],
+            admitted_by_class: vec![0; classes],
             wire_rejects: 0,
             win: (0..classes).map(|_| Vec::new()).collect(),
             collect_window,
@@ -398,7 +401,8 @@ impl ZygosModel {
             return true;
         };
         let class = self.cfg.slo.as_ref().map_or(0, |t| t.class_of(conn));
-        if pool.try_admit_weighted(self.admit_fractions[class]) {
+        if pool.try_admit_weighted(class, self.admit_fractions[class]) {
+            self.admitted_by_class[class] += 1;
             true
         } else {
             self.rejected_by_class[class] += 1;
@@ -410,13 +414,13 @@ impl ZygosModel {
     /// control window's per-class latency sample.
     fn complete_req(&mut self, req: &Req, tx_time: SimTime) {
         self.rec.complete(req, tx_time);
+        let class = self.cfg.slo.as_ref().map_or(0, |t| t.class_of(req.conn));
         if let Some(pool) = &mut self.admission {
-            pool.release();
+            pool.release_class(class);
         }
         if self.collect_window {
             let client_rx = tx_time + self.source.half_rtt;
             let lat_ns = client_rx.duration_since(req.send).as_nanos();
-            let class = self.cfg.slo.as_ref().map_or(0, |t| t.class_of(req.conn));
             self.win[class].push(lat_ns);
         }
     }
@@ -1170,6 +1174,7 @@ impl ZygosModel {
             wire_rejects: self.wire_rejects,
             rtt_us: self.cfg.cost.network_rtt_ns as f64 / 1_000.0,
             rejected_by_class: self.rejected_by_class,
+            admitted_by_class: self.admitted_by_class,
         }
     }
 }

@@ -1,63 +1,65 @@
-//! Elastic core allocation over a diurnal load schedule.
+//! Elastic core allocation over the bundled diurnal trace.
 //!
-//! Drives `SystemKind::Elastic` (with the preemptive quantum) through a
-//! day-shaped sequence of load phases — trough, ramp, peak, ramp-down —
-//! and prints, per phase, the p99 and the cores actually granted, plus the
-//! core-seconds saved against a static 16-core allocation.
+//! Drives the elastic system (with the preemptive quantum) from the
+//! **recorded diurnal request trace** bundled with `zygos_lab` — a
+//! timestamped arrival log whose rate sweeps trough → peak → trough —
+//! replayed through the `ArrivalSource` trait, and prints the p99 and
+//! granted cores at two mean utilizations, plus the core-seconds saved
+//! against a static 16-core allocation. (Earlier revisions approximated
+//! the day with a hand-written phase list; the trace replaced it.)
 //!
 //! ```text
 //! cargo run --release --example elastic_cores
 //! ```
 
+use zygos::lab::{traces, Case, Scenario, SimHost};
+use zygos::load::source::ArrivalSpec;
 use zygos::sim::dist::ServiceDist;
-use zygos::sysim::{run_system, SysConfig, SystemKind};
 
 fn main() {
-    // A scaled day: each phase is one simulation at that phase's load.
-    let phases: &[(&str, f64)] = &[
-        ("night trough", 0.10),
-        ("morning ramp", 0.30),
-        ("midday", 0.50),
-        ("evening peak", 0.65),
-        ("wind-down", 0.30),
-        ("late night", 0.15),
-    ];
-    let service = ServiceDist::exponential_us(10.0);
-
-    println!("diurnal schedule over exponential(10us), 16-core server");
+    let trace = traces::diurnal();
     println!(
-        "{:<14} {:>6} {:>12} {:>12} {:>10} {:>10}",
-        "phase", "load", "static p99", "elastic p99", "cores", "saved"
+        "diurnal trace over exponential(10us), 16-core server ({} arrivals, trough 0.25x .. peak 1.75x)",
+        trace.len() + 1
+    );
+    let sc = Scenario::builder("elastic-cores")
+        .service(ServiceDist::exponential_us(10.0))
+        .arrivals(ArrivalSpec::Trace(trace))
+        .loads(vec![0.15, 0.3, 0.5, 0.65])
+        .requests(30_000, 5_000)
+        .case(Case::sim("ZygOS (static)", SimHost::Zygos))
+        .case(
+            Case::sim("ZygOS (elastic)", SimHost::Elastic)
+                .min_cores(2)
+                .quantum_us(25.0),
+        )
+        .build()
+        .expect("valid scenario");
+    let report = zygos::lab::run_scenario(&sc, false).expect("runs");
+    let stat = report.series("ZygOS (static)").expect("present");
+    let elastic = report.series("ZygOS (elastic)").expect("present");
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "mean load", "static p99", "elastic p99", "cores", "saved"
     );
     let mut static_core_secs = 0.0;
     let mut elastic_core_secs = 0.0;
-    for &(name, load) in phases {
-        let mut stat = SysConfig::paper(SystemKind::Zygos, service.clone(), load);
-        stat.requests = 30_000;
-        stat.warmup = 5_000;
-        let s = run_system(&stat);
-
-        let mut cfg = SysConfig::paper(SystemKind::Elastic { min_cores: 2 }, service.clone(), load);
-        cfg.requests = 30_000;
-        cfg.warmup = 5_000;
-        cfg.preemption_quantum_us = 25.0;
-        let e = run_system(&cfg);
-
-        static_core_secs += s.core_seconds_used();
-        elastic_core_secs += e.core_seconds_used();
+    for (s, e) in stat.points.iter().zip(&elastic.points) {
+        static_core_secs += s.core_seconds;
+        elastic_core_secs += e.core_seconds;
         println!(
-            "{:<14} {:>6.2} {:>10.1}us {:>10.1}us {:>10.2} {:>9.0}%",
-            name,
-            load,
-            s.p99_us(),
-            e.p99_us(),
-            e.avg_active_cores,
-            100.0 * (1.0 - e.avg_active_cores / 16.0),
+            "{:<10.2} {:>10.1}us {:>10.1}us {:>10.2} {:>9.0}%",
+            s.load,
+            s.p99_us,
+            e.p99_us,
+            e.avg_cores,
+            100.0 * (1.0 - e.avg_cores / 16.0),
         );
     }
     println!(
         "\ntotal core-seconds: static {static_core_secs:.3}, elastic {elastic_core_secs:.3} \
-         ({:.0}% saved over the day)",
+         ({:.0}% saved over the trace)",
         100.0 * (1.0 - elastic_core_secs / static_core_secs)
     );
 }

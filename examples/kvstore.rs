@@ -10,10 +10,12 @@ use std::time::{Duration, Instant};
 
 use zygos::kv::proto::{encode_get, encode_set, KvServer};
 use zygos::kv::workload::{KvWorkload, WorkloadKind};
+use zygos::lab::{Case, LiveHost, Scenario};
 use zygos::load::SharedRecorder;
 use zygos::net::flow::ConnId;
 use zygos::net::packet::RpcMessage;
-use zygos::runtime::{RpcApp, RuntimeConfig, Server};
+use zygos::runtime::{RpcApp, Server};
+use zygos::sim::dist::ServiceDist;
 use zygos::sim::rng::Xoshiro256;
 
 struct KvApp(KvServer);
@@ -31,7 +33,18 @@ fn key_bytes(index: u64) -> Vec<u8> {
 
 fn main() {
     let app = Arc::new(KvApp(KvServer::new(256)));
-    let (server, client) = Server::start(RuntimeConfig::zygos(4, 64), Arc::clone(&app) as _);
+    // Host configuration via the scenario plane (the example drives its
+    // own USR traffic below).
+    let sc = Scenario::builder("kvstore")
+        .service(ServiceDist::deterministic_us(2.0))
+        .cores(4)
+        .conns(64)
+        .loads(vec![0.5])
+        .case(Case::live("ZygOS", LiveHost::Zygos))
+        .build()
+        .expect("valid scenario");
+    let cfg = zygos::lab::runtime_config_for(&sc, &sc.cases[0]).expect("live case");
+    let (server, client) = Server::start(cfg, Arc::clone(&app) as _);
 
     let workload = KvWorkload::new(WorkloadKind::Usr);
     let mut rng = Xoshiro256::new(42);

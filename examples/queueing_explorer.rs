@@ -7,8 +7,9 @@
 //! cargo run --release --example queueing_explorer -- bimodal-2 0.6
 //! ```
 
+use zygos::lab::{Case, Scenario};
 use zygos::sim::dist::ServiceDist;
-use zygos::sim::queueing::{simulate, Policy, QueueConfig};
+use zygos::sim::queueing::Policy;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -33,24 +34,27 @@ fn main() {
     println!("n = 16 servers, S = 1, {dist_name} service times, load = {load:.2}");
     println!(
         "{:<18} {:>10} {:>10} {:>10}",
-        "model", "mean", "p99", "p99.9"
+        "model", "p50", "p99", "p99.9"
     );
+    // One scenario, four queueing-model cases — the same machinery that
+    // regenerates Figure 2.
+    let mut builder = Scenario::builder("queueing-explorer")
+        .service(service)
+        .cores(16)
+        .conns(16)
+        .loads(vec![load])
+        .requests(200_000, 20_000)
+        .seed(1);
     for policy in Policy::ALL {
-        let out = simulate(&QueueConfig {
-            servers: 16,
-            load,
-            service: service.clone(),
-            policy,
-            requests: 200_000,
-            seed: 1,
-            warmup: 20_000,
-        });
+        builder = builder.case(Case::model(policy.label(16), policy));
+    }
+    let sc = builder.build().expect("valid scenario");
+    let report = zygos::lab::run_scenario(&sc, false).expect("runs");
+    for series in &report.series {
+        let p = &series.points[0];
         println!(
             "{:<18} {:>10.2} {:>10.2} {:>10.2}",
-            policy.label(16),
-            out.latency.mean_us(),
-            out.latency.p99_us(),
-            out.latency.quantile_us(0.999),
+            series.label, p.p50_us, p.p99_us, p.p999_us,
         );
     }
     println!();

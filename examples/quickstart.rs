@@ -10,18 +10,33 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use zygos::core::stats::StatsSnapshot;
+use zygos::lab::{Case, LiveHost, Scenario};
 use zygos::load::SharedRecorder;
 use zygos::net::flow::ConnId;
 use zygos::net::packet::RpcMessage;
-use zygos::runtime::{app::EchoApp, RuntimeConfig, Server};
+use zygos::runtime::{app::EchoApp, Server};
+use zygos::sim::dist::ServiceDist;
 
 fn main() {
     let cores = 4;
     let conns = 64;
     let requests: u64 = 20_000;
 
+    // The host configuration comes from the scenario plane — the same
+    // lowering `lab run` and the fig binaries use — while this example
+    // drives its own closed-loop echo traffic.
+    let sc = Scenario::builder("quickstart")
+        .service(ServiceDist::deterministic_us(1.0))
+        .cores(cores)
+        .conns(conns)
+        .loads(vec![0.5])
+        .case(Case::live("ZygOS", LiveHost::Zygos))
+        .build()
+        .expect("valid scenario");
+    let cfg = zygos::lab::runtime_config_for(&sc, &sc.cases[0]).expect("live case");
+
     println!("starting ZygOS runtime: {cores} cores, {conns} connections");
-    let (server, client) = Server::start(RuntimeConfig::zygos(cores, conns), Arc::new(EchoApp));
+    let (server, client) = Server::start(cfg, Arc::new(EchoApp));
 
     let recorder = SharedRecorder::new();
     let started = Instant::now();

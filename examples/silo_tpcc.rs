@@ -10,11 +10,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use zygos::core::spinlock::SpinLock;
+use zygos::lab::{Case, LiveHost, Scenario};
 use zygos::load::SharedRecorder;
 use zygos::net::flow::ConnId;
 use zygos::net::packet::RpcMessage;
-use zygos::runtime::{RpcApp, RuntimeConfig, Server};
+use zygos::runtime::{RpcApp, Server};
 use zygos::silo::tpcc::{Tpcc, TpccConfig, TpccRng, TxnType};
+use zygos::sim::dist::ServiceDist;
 
 /// The networked Silo application: opcode selects the transaction type.
 struct SiloApp {
@@ -66,7 +68,16 @@ fn main() {
     });
 
     let cores = 4;
-    let (server, client) = Server::start(RuntimeConfig::zygos(cores, 32), app);
+    let sc = Scenario::builder("silo-tpcc")
+        .service(ServiceDist::deterministic_us(33.0)) // measured TPC-C mean
+        .cores(cores)
+        .conns(32)
+        .loads(vec![0.5])
+        .case(Case::live("ZygOS", LiveHost::Zygos))
+        .build()
+        .expect("valid scenario");
+    let cfg = zygos::lab::runtime_config_for(&sc, &sc.cases[0]).expect("live case");
+    let (server, client) = Server::start(cfg, app);
     println!("serving TPC-C on {cores} ZygOS cores");
 
     let mut mix_rng = TpccRng::new(5);

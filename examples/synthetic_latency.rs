@@ -1,54 +1,59 @@
 //! The paper's synthetic microbenchmark in miniature (Figure 6 shape):
 //! sweep offered load for 10µs exponential tasks on the 16-core system
-//! simulator and print p99 latency vs throughput for all four systems.
+//! simulator and print p99 latency vs throughput for all four systems —
+//! written as one declarative `zygos_lab` scenario.
 //!
 //! ```text
 //! cargo run --release --example synthetic_latency
 //! ```
 
+use zygos::lab::{Case, Scenario, SimHost};
 use zygos::sim::dist::ServiceDist;
-use zygos::sysim::{latency_throughput_sweep, SysConfig, SystemKind};
 
 fn main() {
-    let systems = [
-        SystemKind::LinuxFloating,
-        SystemKind::Ix,
-        SystemKind::ZygosNoInterrupts,
-        SystemKind::Zygos,
-    ];
     let loads: Vec<f64> = (1..=18).map(|i| i as f64 * 0.05).collect();
+    let mut builder = Scenario::builder("synthetic-latency")
+        .service(ServiceDist::exponential_us(10.0))
+        .loads(loads)
+        .requests(30_000, 6_000);
+    for (label, host) in [
+        ("Linux (floating connections)", SimHost::LinuxFloating),
+        ("IX", SimHost::Ix),
+        ("ZygOS (no interrupts)", SimHost::ZygosNoInterrupts),
+        ("ZygOS", SimHost::Zygos),
+    ] {
+        builder = builder.case(Case::sim(label, host));
+    }
+    let sc = builder.build().expect("valid scenario");
+    let report = zygos::lab::run_scenario(&sc, false).expect("runs");
+
     println!("synthetic RPC benchmark: 16 cores, exponential S = 10us, SLO = 100us (10x S)");
     println!(
         "{:<28} {:>10} {:>12} {:>10}",
         "system", "MRPS", "p99 (us)", "steals %"
     );
-    for system in systems {
-        let mut cfg = SysConfig::paper(system, ServiceDist::exponential_us(10.0), 0.5);
-        cfg.requests = 30_000;
-        cfg.warmup = 6_000;
-        let points = latency_throughput_sweep(&cfg, &loads);
+    for series in &report.series {
         // Report the highest load whose p99 meets the 100µs SLO.
-        let best = points
+        let best = series
+            .points
             .iter()
             .filter(|p| p.p99_us <= 100.0)
             .max_by(|a, b| a.mrps.total_cmp(&b.mrps));
         match best {
             Some(p) => println!(
                 "{:<28} {:>10.2} {:>12.1} {:>10.1}",
-                system.label(),
+                series.label,
                 p.mrps,
                 p.p99_us,
                 100.0 * p.steal_fraction
             ),
-            None => println!("{:<28} never meets the SLO", system.label()),
+            None => println!("{:<28} never meets the SLO", series.label),
         }
     }
     println!();
     println!("full sweep for ZygOS (throughput MRPS -> p99 us):");
-    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.5);
-    cfg.requests = 30_000;
-    cfg.warmup = 6_000;
-    for p in latency_throughput_sweep(&cfg, &loads) {
+    let zygos = report.series("ZygOS").expect("case present");
+    for p in &zygos.points {
         println!(
             "  {:>6.3} MRPS -> {:>8.1} us (steals {:>4.1}%)",
             p.mrps,

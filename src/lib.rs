@@ -40,14 +40,22 @@
 //!   scheduler (plus IX / Linux baselines) over a loopback transport,
 //!   running the same closed SLO loop as the simulator from a measured
 //!   (ingress-stamped) latency signal.
+//! * [`lab`] — the **scenario plane**: one declarative experiment API
+//!   over every host. A `Scenario` (workload incl. trace-replay
+//!   arrivals, cases over sim/live/model hosts, policy, claims) is the
+//!   single way experiments are described; `lab run scenarios/*.toml
+//!   --smoke --check` is the regression gate, and every fig binary is a
+//!   thin wrapper over a scenario.
 //!
 //! See `docs/ARCHITECTURE.md` for the crate map, the policy plane and
-//! the end-to-end SLO loop; `docs/FIGURES.md` maps every paper figure to
-//! its reproduction binary and expected numbers; `docs/OFFLINE_BUILDS.md`
-//! explains the offline dependency shims.
+//! the end-to-end SLO loop; `docs/SCENARIOS.md` for the scenario spec
+//! format and baseline-check workflow; `docs/FIGURES.md` maps every
+//! paper figure to its reproduction binary and expected numbers;
+//! `docs/OFFLINE_BUILDS.md` explains the offline dependency shims.
 
 pub use zygos_core as core;
 pub use zygos_kv as kv;
+pub use zygos_lab as lab;
 pub use zygos_load as load;
 pub use zygos_net as net;
 pub use zygos_runtime as runtime;

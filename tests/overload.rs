@@ -131,6 +131,50 @@ fn weighted_fair_shedding_sheds_the_loosest_class_first() {
 }
 
 #[test]
+fn strict_tenant_saturation_leaves_batch_its_floor() {
+    // The PR-4 per-class occupancy rule (`class_in_flight < cap_c &&
+    // total < capacity`): the strict class alone offers more than the
+    // whole machine's capacity, so under the old global-occupancy trunk
+    // reservation the pool sat permanently above the batch threshold and
+    // batch was shed almost entirely. Tracking per-class in-flight means
+    // batch is only shed by its *own* cap or a genuinely full pool — it
+    // retains a floor of admissions.
+    for load in [1.4, 2.0] {
+        let mut c = credit_cfg(load, AdmissionMode::ServerEdge);
+        c.slo = Some(tenant_slos());
+        let out = run_system(&c);
+        assert!(out.rejected > 0, "load {load}: overload must shed");
+        // Batch (class 1, capped at half the pool) still sheds more than
+        // interactive — the fairness order is unchanged...
+        assert!(
+            out.shed_rate_of_class(1) > out.shed_rate_of_class(0),
+            "load {load}: batch rate {:.2} must exceed interactive {:.2}",
+            out.shed_rate_of_class(1),
+            out.shed_rate_of_class(0)
+        );
+        // ...but it is no longer starved: it admits a real share of its
+        // own arrivals even while the strict class saturates the pool.
+        assert!(
+            out.shed_rate_of_class(1) < 0.95,
+            "load {load}: batch must keep a floor, shed rate {:.2}",
+            out.shed_rate_of_class(1)
+        );
+        assert!(
+            out.admitted_by_class[1] * 10 > out.admitted_by_class[0],
+            "load {load}: batch admissions {} vs interactive {}",
+            out.admitted_by_class[1],
+            out.admitted_by_class[0]
+        );
+        // The admitted tail still holds.
+        assert!(
+            out.p99_us() <= BOUND_US,
+            "load {load}: admitted p99 {} must stay bounded",
+            out.p99_us()
+        );
+    }
+}
+
+#[test]
 fn credit_gate_is_nearly_transparent_below_saturation() {
     // At 60% load the gate must not get in the way: negligible shedding
     // and an SLO-met tail, wherever the shed happens.
