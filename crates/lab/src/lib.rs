@@ -43,6 +43,7 @@
 //! assert!(report.series[0].points[0].p99_us > 40.0);
 //! ```
 
+pub mod bench;
 pub mod check;
 pub mod fromtoml;
 pub mod report;
@@ -51,11 +52,13 @@ pub mod spec;
 pub mod toml;
 pub mod traces;
 
+pub use bench::{check_bench, run_bench, BenchReport, BENCH_BASELINE, REGRESSION_TOLERANCE};
 pub use check::{check_baseline, check_claims};
 pub use fromtoml::scenario_from_toml;
 pub use report::{PointMetrics, Report, Series};
 pub use runner::{
-    max_load_at_slo, run_case, run_point, run_scenario, runtime_config_for, sys_config_for, xy,
+    max_load_at_slo, run_case, run_point, run_scenario, run_scenario_threads, runtime_config_for,
+    sys_config_for, xy,
 };
 pub use spec::{
     AdmissionSpec, Case, Claims, HostSpec, LiveHost, PolicySpec, ScaleSpec, Scenario,

@@ -19,7 +19,8 @@
 //! non-deterministic and scenario authors should size live cases in the
 //! hundreds-of-µs service range (see `docs/SCENARIOS.md`).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -43,11 +44,91 @@ pub const LIVE_POINT_CAP: u64 = 4_000;
 /// Deadline for one live point's drain (a hung server fails loudly).
 const LIVE_POINT_DEADLINE: Duration = Duration::from_secs(60);
 
+/// Worker threads for [`run_scenario`]: the host's parallelism, capped so
+/// a big machine does not oversubscribe itself against the OS.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
 /// Runs every case of a scenario over its load grid.
+///
+/// Simulator and model points are pure functions of `(config, seed)`, so
+/// they fan out across worker threads; results are reassembled in grid
+/// order, which makes the parallel run **byte-identical** to a sequential
+/// one (pinned by `parallel_report_matches_sequential`). Live points are
+/// wall-clock measurements and always run sequentially, after the
+/// deterministic points have finished — a saturated machine would distort
+/// their latencies.
 pub fn run_scenario(sc: &Scenario, smoke: bool) -> Result<Report, SpecError> {
+    run_scenario_threads(sc, smoke, default_parallelism())
+}
+
+/// [`run_scenario`] with an explicit worker count (`1` = sequential).
+pub fn run_scenario_threads(
+    sc: &Scenario,
+    smoke: bool,
+    threads: usize,
+) -> Result<Report, SpecError> {
+    let loads = sc.loads(smoke).to_vec();
+    // One slot per (case, load); live points are computed afterwards.
+    let jobs: Vec<(usize, usize, f64)> = sc
+        .cases
+        .iter()
+        .enumerate()
+        .filter(|(_, case)| !matches!(case.host, HostSpec::Live(_)))
+        .flat_map(|(ci, _)| loads.iter().enumerate().map(move |(li, &l)| (ci, li, l)))
+        .collect();
+    let threads = threads.clamp(1, jobs.len().max(1));
+    let results: Vec<Mutex<Option<Result<PointMetrics, SpecError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    if threads <= 1 {
+        for (slot, &(ci, _, load)) in jobs.iter().enumerate() {
+            *results[slot].lock().expect("poisoned") =
+                Some(run_point(sc, &sc.cases[ci], load, smoke));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(ci, _, load)) = jobs.get(slot) else {
+                        return;
+                    };
+                    let point = run_point(sc, &sc.cases[ci], load, smoke);
+                    *results[slot].lock().expect("poisoned") = Some(point);
+                });
+            }
+        });
+    }
+    let mut by_case: Vec<Vec<Option<PointMetrics>>> =
+        sc.cases.iter().map(|_| vec![None; loads.len()]).collect();
+    for (slot, &(ci, li, _)) in jobs.iter().enumerate() {
+        let point = results[slot]
+            .lock()
+            .expect("poisoned")
+            .take()
+            .expect("every job ran")?;
+        by_case[ci][li] = Some(point);
+    }
     let mut series = Vec::with_capacity(sc.cases.len());
-    for case in &sc.cases {
-        series.push(run_case(sc, case, smoke)?);
+    for (ci, case) in sc.cases.iter().enumerate() {
+        if matches!(case.host, HostSpec::Live(_)) {
+            series.push(run_case(sc, case, smoke)?);
+        } else {
+            series.push(Series {
+                label: case.label.clone(),
+                host: case.host.id(),
+                deterministic: true,
+                points: by_case[ci]
+                    .iter_mut()
+                    .map(|p| p.take().expect("deterministic point computed"))
+                    .collect(),
+            });
+        }
     }
     Ok(Report {
         schema: SCHEMA_VERSION,
@@ -532,6 +613,27 @@ mod tests {
         let a = run_scenario(&sc, true).expect("runs");
         let b = run_scenario(&sc, true).expect("runs");
         assert_eq!(a, b, "same scenario, same seed, same report");
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential() {
+        // Deterministic points are pure functions of (config, seed): the
+        // parallel fan-out must emit byte-identical report JSON.
+        let sc = Scenario::builder("par")
+            .service(ServiceDist::exponential_us(10.0))
+            .cores(4)
+            .conns(16)
+            .loads(vec![0.2, 0.5, 0.8])
+            .requests(4_000, 1_000)
+            .smoke(1_200, 240)
+            .case(Case::sim("zygos", SimHost::Zygos))
+            .case(Case::sim("ix", crate::spec::SimHost::Ix))
+            .case(Case::model("mg4", zygos_sim::queueing::Policy::CentralFcfs))
+            .build()
+            .expect("valid");
+        let seq = run_scenario_threads(&sc, true, 1).expect("runs");
+        let par = run_scenario_threads(&sc, true, 4).expect("runs");
+        assert_eq!(seq.to_json(), par.to_json(), "byte-identical JSON");
     }
 
     #[test]

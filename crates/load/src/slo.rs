@@ -40,7 +40,7 @@
 //! assert_eq!(slos.admit_fractions(), vec![1.0, 0.5]);
 //! ```
 
-use zygos_sim::stats::LatencyHistogram;
+use zygos_sim::stats::{LatencyHistogram, WindowHistogram};
 
 /// Headroom factor applied to each tenant class's SLO bound to obtain its
 /// credit-AIMD latency target ([`TenantSlos::aimd_targets_us`]): the
@@ -56,6 +56,22 @@ pub const CREDIT_HEADROOM: f64 = 0.7;
 /// of samples — too noisy to staff or shed on. Shared by both hosts'
 /// control ticks.
 pub const MIN_WINDOW_SAMPLES: usize = 8;
+
+/// Upper bound on a carried exact-quantile window (live runtime): a class
+/// stuck below [`MIN_WINDOW_SAMPLES`] stretches its window across ticks,
+/// and a class far *above* it has no use for more history — so windows
+/// are trimmed to the most recent this-many samples, bounding both the
+/// per-tick sort and the memory a slow tick can accumulate.
+pub const MAX_WINDOW_SAMPLES: usize = 4096;
+
+/// Trims an exact-quantile window to its most recent
+/// [`MAX_WINDOW_SAMPLES`] entries (drops the oldest first).
+pub fn trim_window(samples: &mut Vec<u64>) {
+    if samples.len() > MAX_WINDOW_SAMPLES {
+        let excess = samples.len() - MAX_WINDOW_SAMPLES;
+        samples.drain(..excess);
+    }
+}
 
 /// An SLO: `quantile(percentile) ≤ bound_us`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -169,6 +185,50 @@ impl TenantSlos {
             if samples.len() >= min_samples.max(1) {
                 let q = exact_quantile_us(samples, c.slo.percentile);
                 let r = q / c.slo.bound_us;
+                worst = Some(worst.map_or(r, |w: f64| w.max(r)));
+            }
+        }
+        worst
+    }
+
+    /// [`TenantSlos::worst_ratio`] over constant-memory
+    /// [`WindowHistogram`] windows instead of exact sample vectors — the
+    /// simulator's control tick records every completion, and sorting
+    /// those windows each tick was the dominant per-tick cost. Histogram
+    /// quantiles carry the bucket's ~0.1% relative error, which is far
+    /// below the noise floor of a window tail estimate.
+    pub fn worst_ratio_hist(
+        &self,
+        per_class: &mut [WindowHistogram],
+        min_samples: usize,
+    ) -> Option<f64> {
+        assert_eq!(per_class.len(), self.classes.len(), "one window per class");
+        let mut worst: Option<f64> = None;
+        for (c, win) in self.classes.iter().zip(per_class) {
+            if win.count() >= min_samples.max(1) as u64 {
+                let q = win.quantile_us(c.slo.percentile);
+                let r = q / c.slo.bound_us;
+                worst = Some(worst.map_or(r, |w: f64| w.max(r)));
+            }
+        }
+        worst
+    }
+
+    /// [`TenantSlos::worst_credit_ratio`] over [`WindowHistogram`]
+    /// windows (see [`TenantSlos::worst_ratio_hist`]).
+    pub fn worst_credit_ratio_hist(
+        &self,
+        per_class: &mut [WindowHistogram],
+        targets_us: &[f64],
+        min_samples: usize,
+    ) -> Option<f64> {
+        assert_eq!(per_class.len(), self.classes.len(), "one window per class");
+        assert_eq!(targets_us.len(), self.classes.len(), "one target per class");
+        let mut worst: Option<f64> = None;
+        for ((c, win), &target) in self.classes.iter().zip(per_class).zip(targets_us) {
+            if win.count() >= min_samples.max(1) as u64 && target > 0.0 {
+                let q = win.quantile_us(c.slo.percentile);
+                let r = q / target;
                 worst = Some(worst.map_or(r, |w: f64| w.max(r)));
             }
         }
@@ -352,6 +412,47 @@ mod tests {
         assert_eq!(exact_quantile_us(&mut w, 1.0), 100.0);
         let mut one = vec![7_000u64];
         assert_eq!(exact_quantile_us(&mut one, 0.99), 7.0);
+    }
+
+    #[test]
+    fn hist_ratios_agree_with_exact_windows() {
+        let t = TenantSlos::new(vec![
+            SloClass::new("interactive", Slo::p99(100.0)),
+            SloClass::new("batch", Slo::p99(1000.0)),
+        ]);
+        let targets = t.aimd_targets_us(0.7);
+        let mut exact = vec![vec![50_000u64; 100], vec![900_000u64; 100]];
+        let mut hists: Vec<WindowHistogram> = (0..2).map(|_| WindowHistogram::new()).collect();
+        for (c, w) in exact.iter().enumerate() {
+            for &v in w {
+                hists[c].record_nanos(v);
+            }
+        }
+        let re = t.worst_ratio(&mut exact, 10).expect("sampled");
+        let rh = t.worst_ratio_hist(&mut hists, 10).expect("sampled");
+        assert!((re - rh).abs() / re < 0.003, "exact {re} vs hist {rh}");
+        let ce = t
+            .worst_credit_ratio(&mut exact, &targets, 10)
+            .expect("sampled");
+        let ch = t
+            .worst_credit_ratio_hist(&mut hists, &targets, 10)
+            .expect("sampled");
+        assert!((ce - ch).abs() / ce < 0.003, "exact {ce} vs hist {ch}");
+        // Thin windows give no signal on either path.
+        let mut thin: Vec<WindowHistogram> = (0..2).map(|_| WindowHistogram::new()).collect();
+        thin[0].record_nanos(1);
+        assert_eq!(t.worst_ratio_hist(&mut thin, 10), None);
+    }
+
+    #[test]
+    fn trim_window_keeps_the_most_recent_samples() {
+        let mut w: Vec<u64> = (0..MAX_WINDOW_SAMPLES as u64 + 100).collect();
+        trim_window(&mut w);
+        assert_eq!(w.len(), MAX_WINDOW_SAMPLES);
+        assert_eq!(w[0], 100, "oldest samples dropped first");
+        let mut small = vec![1u64, 2, 3];
+        trim_window(&mut small);
+        assert_eq!(small, vec![1, 2, 3], "short windows untouched");
     }
 
     #[test]

@@ -46,9 +46,9 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
 use zygos_load::slo::{TenantSlos, CREDIT_HEADROOM, MIN_WINDOW_SAMPLES};
 use zygos_sched::{
-    AllocPolicy, AllocatorConfig, BackgroundOrder, CoreAllocator, CreditGate, DispatchPolicy,
-    ElasticGate, FcfsPolicy, PolicySignal, QuantumPolicy, Rung, SloController, SloTuning,
-    UtilizationPolicy, ZygosPolicy,
+    AllocPolicy, AllocatorConfig, BackgroundOrder, BuiltinDispatch, CoreAllocator, CreditGate,
+    DispatchPolicy, ElasticGate, FcfsPolicy, PolicySignal, QuantumPolicy, Rung, SloController,
+    SloTuning, UtilizationPolicy, ZygosPolicy,
 };
 
 use zygos_core::doorbell::{Doorbell, IpiReason};
@@ -95,8 +95,11 @@ pub(crate) struct Shared {
     /// Connection → home core (RSS).
     pub(crate) conn_home: Vec<u16>,
     /// The dispatch policy every worker's loop walks (rung order, steal
-    /// gating) — shared with the simulator by construction.
-    dispatch: Box<dyn DispatchPolicy>,
+    /// gating) — shared with the simulator by construction. Enum-dispatch
+    /// over the built-in policies: the walk runs on every dispatch, and a
+    /// virtual call per decision is pure overhead when the policy set is
+    /// closed.
+    dispatch: BuiltinDispatch,
     /// Elastic mode: published granted-core count plus the controller
     /// (driven by worker 0; the mutex is uncontended).
     elastic: Option<ElasticCtl>,
@@ -168,9 +171,19 @@ impl SloSignal {
     }
 
     /// Records one completed request's sojourn on the executing core.
+    /// The per-core window is capped near [`MAX_WINDOW_SAMPLES`] so a slow
+    /// control tick cannot make the next harvest sort an unbounded vector;
+    /// the trim runs only when the window doubles past the cap (amortized
+    /// O(1) per record — a per-record drain would shift the whole buffer
+    /// under the lock on every completion).
     fn record(&self, core: usize, conn: ConnId, sojourn_ns: u64) {
+        use zygos_load::slo::MAX_WINDOW_SAMPLES;
         let class = self.slos.class_of(conn.0);
-        self.win[core].lock()[class].push(sojourn_ns);
+        let mut w = self.win[core].lock();
+        w[class].push(sojourn_ns);
+        if w[class].len() >= 2 * MAX_WINDOW_SAMPLES {
+            zygos_load::slo::trim_window(&mut w[class]);
+        }
     }
 
     /// The tenant class of `conn`.
@@ -192,6 +205,10 @@ impl SloSignal {
     /// rather than produce a max-of-three "tail". Publishes the measured
     /// ratio to the gauge (held, not cleared, across thin windows).
     fn harvest(&self) -> (Option<f64>, Option<f64>) {
+        // No trim here: dropping the front of the *merged* vector would
+        // discard whole cores' samples (concatenation order, not time
+        // order) and bias the quantile. The per-core caps in `record`
+        // already bound the merged length to cores × 2 × the cap.
         let mut merged = self.carry.lock();
         for core_win in &self.win {
             let mut w = core_win.lock();
@@ -229,19 +246,19 @@ pub struct Server {
 /// no preemptive quantum (a Rust closure cannot be interrupted; the
 /// cooperative `quantum_events` bound stands in), so the quantum is always
 /// disabled here and the background rungs never appear.
-fn dispatch_for(kind: SchedulerKind) -> Box<dyn DispatchPolicy> {
+fn dispatch_for(kind: SchedulerKind) -> BuiltinDispatch {
     match kind {
-        SchedulerKind::Zygos { steal } | SchedulerKind::Elastic { steal, .. } => Box::new(
+        SchedulerKind::Zygos { steal } | SchedulerKind::Elastic { steal, .. } => {
             // The idle sweep both steals and IPIs, so the paper's two
             // ablation knobs collapse to one here.
-            ZygosPolicy::new(
+            BuiltinDispatch::Zygos(ZygosPolicy::new(
                 steal,
                 steal,
                 QuantumPolicy::disabled(),
                 BackgroundOrder::Fcfs,
-            ),
-        ),
-        SchedulerKind::Floating => Box::new(FcfsPolicy),
+            ))
+        }
+        SchedulerKind::Floating => BuiltinDispatch::Fcfs(FcfsPolicy),
     }
 }
 

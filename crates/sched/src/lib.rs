@@ -77,8 +77,8 @@ pub use alloc::{
 pub use credit::{CreditConfig, CreditGate, CreditPool};
 pub use gate::ElasticGate;
 pub use policy::{
-    AllocPolicy, BackgroundOrder, DispatchPolicy, FcfsPolicy, PolicySignal, RtcPolicy, Rung,
-    UtilizationPolicy, ZygosPolicy,
+    AllocPolicy, BackgroundOrder, BuiltinDispatch, DispatchPolicy, FcfsPolicy, PolicySignal,
+    RtcPolicy, Rung, UtilizationPolicy, ZygosPolicy,
 };
 pub use quantum::QuantumPolicy;
 pub use slo_ctl::{SloController, SloTuning};

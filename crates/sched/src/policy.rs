@@ -242,6 +242,72 @@ impl DispatchPolicy for ZygosPolicy {
     }
 }
 
+/// The three built-in dispatch policies as one enum: hosts that pick a
+/// policy at configuration time hold this instead of a
+/// `Box<dyn DispatchPolicy>`, so the per-dispatch ladder walk is a match
+/// over three inlinable arms rather than a virtual call per decision.
+/// (The trait stays — custom policies still box; the built-ins no longer
+/// pay for that generality on the hot path.)
+#[derive(Clone, Debug)]
+pub enum BuiltinDispatch {
+    /// The ZygOS priority loop ([`ZygosPolicy`]).
+    Zygos(ZygosPolicy),
+    /// Shared-nothing run-to-completion ([`RtcPolicy`]).
+    Rtc(RtcPolicy),
+    /// Single-queue FCFS ([`FcfsPolicy`]).
+    Fcfs(FcfsPolicy),
+}
+
+impl DispatchPolicy for BuiltinDispatch {
+    fn ladder(&self) -> &[Rung] {
+        match self {
+            BuiltinDispatch::Zygos(p) => p.ladder(),
+            BuiltinDispatch::Rtc(p) => p.ladder(),
+            BuiltinDispatch::Fcfs(p) => p.ladder(),
+        }
+    }
+
+    fn may_steal(&self, core_active: bool) -> bool {
+        match self {
+            BuiltinDispatch::Zygos(p) => p.may_steal(core_active),
+            BuiltinDispatch::Rtc(p) => p.may_steal(core_active),
+            BuiltinDispatch::Fcfs(p) => p.may_steal(core_active),
+        }
+    }
+
+    fn randomize_victims(&self) -> bool {
+        match self {
+            BuiltinDispatch::Zygos(p) => p.randomize_victims(),
+            BuiltinDispatch::Rtc(p) => p.randomize_victims(),
+            BuiltinDispatch::Fcfs(p) => p.randomize_victims(),
+        }
+    }
+
+    fn slice(&self, chunk_ns: u64) -> Option<Slice> {
+        match self {
+            BuiltinDispatch::Zygos(p) => p.slice(chunk_ns),
+            BuiltinDispatch::Rtc(p) => p.slice(chunk_ns),
+            BuiltinDispatch::Fcfs(p) => p.slice(chunk_ns),
+        }
+    }
+
+    fn background_order(&self) -> BackgroundOrder {
+        match self {
+            BuiltinDispatch::Zygos(p) => p.background_order(),
+            BuiltinDispatch::Rtc(p) => p.background_order(),
+            BuiltinDispatch::Fcfs(p) => p.background_order(),
+        }
+    }
+
+    fn background_aging_ns(&self) -> u64 {
+        match self {
+            BuiltinDispatch::Zygos(p) => p.background_aging_ns(),
+            BuiltinDispatch::Rtc(p) => p.background_aging_ns(),
+            BuiltinDispatch::Fcfs(p) => p.background_aging_ns(),
+        }
+    }
+}
+
 /// One control tick's observation of the data plane, as consumed by an
 /// [`AllocPolicy`]. Extends the utilization-rule [`LoadSignal`] with the
 /// measured tail-latency margin the SLO-driven policy staffs on.

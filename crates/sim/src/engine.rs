@@ -4,6 +4,27 @@
 //! values. Events scheduled for the same instant fire in FIFO order (stable
 //! tie-breaking by sequence number), which keeps simulations deterministic.
 //!
+//! # Event queues
+//!
+//! The queue behind the engine is pluggable through [`EventQueue`]:
+//!
+//! * [`WheelQueue`] (the default) — a hierarchical timing wheel: a
+//!   near-horizon wheel of 1ns buckets (65.5µs), a second-level wheel of
+//!   bucket pages behind it (~268ms), and a sorted overflow heap for the
+//!   far future. Push and pop are O(1) amortized instead of the heap's
+//!   O(log n) — and the event queue is touched several times per simulated
+//!   request, so this is the floor under the whole experiment plane's
+//!   events/sec.
+//! * [`HeapQueue`] — the original `BinaryHeap` engine, kept as the
+//!   differential-testing oracle (`crates/sim/tests/engine_diff.rs` drives
+//!   both through randomized schedules and asserts identical pop order).
+//!   Building with `--features heap-engine` swaps it back in as the
+//!   default for every simulation.
+//!
+//! Both queues implement the exact same ordering contract: pops come out
+//! in ascending `(time, seq)` order, so a simulation's outputs are
+//! bit-identical whichever queue runs it.
+//!
 //! # Example
 //!
 //! ```
@@ -51,6 +72,9 @@ pub trait Model {
 }
 
 /// Interface handed to event handlers for scheduling follow-up events.
+///
+/// The backing buffer is owned by the engine and recycled across events,
+/// so scheduling from a handler never allocates in steady state.
 pub struct Scheduler<E> {
     now: SimTime,
     pending: Vec<(SimTime, E)>,
@@ -83,6 +107,41 @@ impl<E> Scheduler<E> {
     }
 }
 
+/// The ordering contract every engine queue implements: pops come out in
+/// ascending `(time, seq)` order, FIFO among equal-time events.
+pub trait EventQueue<E>: Default {
+    /// Inserts an event. `at` never precedes the last pop (the engine
+    /// clamps to `now`), and `seq` strictly increases across pushes.
+    fn push(&mut self, at: SimTime, seq: u64, event: E);
+
+    /// Removes and returns the earliest `(time, seq, event)`.
+    fn pop(&mut self) -> Option<(SimTime, u64, E)>;
+
+    /// The timestamp the next pop would return (normalizes internal
+    /// cursors, hence `&mut`; the content is untouched).
+    fn peek_at(&mut self) -> Option<SimTime>;
+
+    /// Number of queued events.
+    fn len(&self) -> usize;
+
+    /// True when no events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The engine's default queue: the timing wheel, unless the `heap-engine`
+/// feature swaps the `BinaryHeap` oracle back in.
+#[cfg(not(feature = "heap-engine"))]
+pub type DefaultQueue<E> = WheelQueue<E>;
+/// The engine's default queue (heap oracle, `heap-engine` build).
+#[cfg(feature = "heap-engine")]
+pub type DefaultQueue<E> = HeapQueue<E>;
+
+// ---------------------------------------------------------------------------
+// Heap queue (the differential-testing oracle).
+// ---------------------------------------------------------------------------
+
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -111,35 +170,388 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// The discrete-event engine: an event heap plus the model under simulation.
-pub struct Engine<M: Model> {
-    heap: BinaryHeap<Entry<M::Event>>,
+/// The original `BinaryHeap` event queue: O(log n) push/pop.
+///
+/// Kept as the oracle for differential tests of [`WheelQueue`], and as the
+/// engine default under the `heap-engine` feature.
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<E> EventQueue<E> for HeapQueue<E> {
+    fn push(&mut self, at: SimTime, seq: u64, event: E) {
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap.pop().map(|e| (e.at, e.seq, e.event))
+    }
+
+    fn peek_at(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical timing wheel.
+// ---------------------------------------------------------------------------
+
+/// One level-0 page spans 2^16 ns = 65.5µs — service times, RTTs and
+/// control ticks all land inside the current page.
+const L0_BITS: u32 = 16;
+/// Level-0 buckets are 32ns wide (2048 per page): coarse enough that the
+/// bucket array stays cache-resident, fine enough that a bucket holds a
+/// handful of events — sorted by `(time, seq)` when the cursor reaches it.
+const GRAIN_BITS: u32 = 5;
+const L0_SLOT_BITS: u32 = L0_BITS - GRAIN_BITS;
+const L0_SLOTS: usize = 1 << L0_SLOT_BITS;
+/// Level-1 wheel: one slot per level-0 *page* (65.5µs each), covering a
+/// ~268ms horizon. Entries cascade into level 0 when their page opens.
+const L1_BITS: u32 = 12;
+const L1_SLOTS: usize = 1 << L1_BITS;
+
+/// Bit mask selecting bits at or above `bit` (all-zero past the word).
+#[inline]
+fn mask_from(bit: usize) -> u64 {
+    if bit >= 64 {
+        0
+    } else {
+        !0u64 << bit
+    }
+}
+
+/// A hierarchical timing-wheel event queue: O(1) push and amortized-O(1)
+/// pop, with a sorted overflow heap behind the wheel horizon.
+///
+/// Ordering is exact — pops come out in `(time, seq)` order, bit-identical
+/// to [`HeapQueue`]:
+///
+/// * a level-0 bucket spans 32ns; it is sorted by `(time, seq)` when the
+///   cursor reaches it (and re-sorted if pushes land on the in-progress
+///   bucket), so in-bucket order is total;
+/// * across structures, bucketing by page keeps time order: an event in a
+///   farther structure (overflow vs level 1 vs level 0) always belongs to
+///   a later page than anything nearer, and cascades re-bucket entries
+///   before they are eligible to pop.
+pub struct WheelQueue<E> {
+    /// Absolute page (`time >> L0_BITS`) the level-0 wheel currently maps.
+    page: u64,
+    /// Level-0 slot of the last pop; pushes never land on earlier times
+    /// (they rewind the cursor if they target an earlier slot).
+    cursor: usize,
+    /// Whether the cursor bucket is currently sorted.
+    cursor_sorted: bool,
+    /// Level-0 buckets: `(time_ns, seq, event)` per entry.
+    l0: Vec<Vec<(u64, u64, E)>>,
+    /// Level-0 occupancy bitmap, one bit per slot (`L0_SLOTS` ≤ 4096 bits,
+    /// a handful of words — no summary level needed).
+    l0_occ: [u64; L0_SLOTS / 64],
+    /// Level-1 slots: entries of one future page each (slot = absolute
+    /// page masked), in push order.
+    l1: Vec<Vec<(u64, u64, E)>>,
+    l1_occ: Vec<u64>,
+    /// Events beyond the level-1 horizon, sorted by `(time, seq)`.
+    overflow: BinaryHeap<Entry<E>>,
+    len: usize,
+    /// Events currently resident per level — lets a sparse queue skip the
+    /// bitmap scans of empty levels entirely.
+    l0_len: usize,
+    l1_len: usize,
+}
+
+impl<E> Default for WheelQueue<E> {
+    fn default() -> Self {
+        WheelQueue {
+            page: 0,
+            cursor: 0,
+            cursor_sorted: true,
+            l0: (0..L0_SLOTS).map(|_| Vec::new()).collect(),
+            l0_occ: [0; L0_SLOTS / 64],
+            l1: (0..L1_SLOTS).map(|_| Vec::new()).collect(),
+            l1_occ: vec![0; L1_SLOTS / 64],
+            overflow: BinaryHeap::new(),
+            len: 0,
+            l0_len: 0,
+            l1_len: 0,
+        }
+    }
+}
+
+impl<E> WheelQueue<E> {
+    #[inline]
+    fn l0_set(&mut self, slot: usize) {
+        self.l0_occ[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    #[inline]
+    fn l0_clear(&mut self, slot: usize) {
+        self.l0_occ[slot >> 6] &= !(1 << (slot & 63));
+    }
+
+    /// First occupied level-0 slot at or after `from`, if any.
+    fn l0_next(&self, from: usize) -> Option<usize> {
+        let mut w = from >> 6;
+        let mut bits = self.l0_occ[w] & mask_from(from & 63);
+        loop {
+            if bits != 0 {
+                return Some((w << 6) | bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.l0_occ.len() {
+                return None;
+            }
+            bits = self.l0_occ[w];
+        }
+    }
+
+    /// Sorts the cursor bucket if it may be out of order.
+    #[inline]
+    fn ensure_sorted(&mut self) {
+        if !self.cursor_sorted {
+            self.l0[self.cursor].sort_unstable_by_key(|e| (e.0, e.1));
+            self.cursor_sorted = true;
+        }
+    }
+
+    /// First occupied level-1 slot in circular order starting at `from`,
+    /// with its absolute page (recovered from its first entry's time).
+    fn l1_next(&self, from: usize) -> Option<(usize, u64)> {
+        let words = self.l1_occ.len();
+        let mut w = from >> 6;
+        let mut bits = self.l1_occ[w] & mask_from(from & 63);
+        for step in 0..=words {
+            if bits != 0 {
+                let slot = (w << 6) | bits.trailing_zeros() as usize;
+                let page = self.l1[slot].first().expect("occupied l1 slot").0 >> L0_BITS;
+                return Some((slot, page));
+            }
+            if step == words {
+                break;
+            }
+            w = (w + 1) % words;
+            bits = self.l1_occ[w];
+        }
+        None
+    }
+
+    /// Places an entry into level 0 of the current page.
+    #[inline]
+    fn l0_insert(&mut self, ns: u64, seq: u64, event: E) {
+        debug_assert_eq!(ns >> L0_BITS, self.page);
+        let slot = ((ns >> GRAIN_BITS) & (L0_SLOTS as u64 - 1)) as usize;
+        self.l0[slot].push((ns, seq, event));
+        self.l0_set(slot);
+        self.l0_len += 1;
+        if slot == self.cursor {
+            self.cursor_sorted = false;
+        }
+    }
+
+    /// Advances the wheel to the next page holding events, cascading
+    /// level-1 and overflow entries into level 0. Precondition: level 0 is
+    /// exhausted. Returns false when the whole queue is empty.
+    fn advance_page(&mut self) -> bool {
+        let next_l1 = if self.l1_len > 0 {
+            self.l1_next(((self.page + 1) & (L1_SLOTS as u64 - 1)) as usize)
+        } else {
+            None
+        };
+        let next_of = self.overflow.peek().map(|e| e.at.as_nanos() >> L0_BITS);
+        let target = match (next_l1, next_of) {
+            (Some((_, p1)), Some(p2)) => p1.min(p2),
+            (Some((_, p1)), None) => p1,
+            (None, Some(p2)) => p2,
+            (None, None) => return false,
+        };
+        self.page = target;
+        self.cursor = 0;
+        self.cursor_sorted = false;
+        while let Some(e) = self.overflow.peek() {
+            if e.at.as_nanos() >> L0_BITS != target {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            self.l0_insert(e.at.as_nanos(), e.seq, e.event);
+        }
+        if let Some((slot, p1)) = next_l1 {
+            if p1 == target {
+                let mut entries = std::mem::take(&mut self.l1[slot]);
+                self.l1_occ[slot >> 6] &= !(1 << (slot & 63));
+                self.l1_len -= entries.len();
+                for (ns, seq, event) in entries.drain(..) {
+                    self.l0_insert(ns, seq, event);
+                }
+                // Hand the spare buffer back so cascades stop allocating
+                // once the hottest page size has been seen.
+                self.l1[slot] = entries;
+            }
+        }
+        true
+    }
+
+    /// Moves the cursor onto the next occupied level-0 slot, advancing
+    /// pages as needed. Returns false when the queue is empty. Only `pop`
+    /// may cross pages: once a page is advanced, pushes at earlier times
+    /// (legal until the next pop raises `now`) could no longer be placed.
+    fn normalize(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        loop {
+            if self.l0_len > 0 {
+                if let Some(slot) = self.l0_next(self.cursor) {
+                    if slot != self.cursor {
+                        self.cursor = slot;
+                        self.cursor_sorted = false;
+                    }
+                    return true;
+                }
+            }
+            if !self.advance_page() {
+                return false;
+            }
+        }
+    }
+}
+
+impl<E> EventQueue<E> for WheelQueue<E> {
+    fn push(&mut self, at: SimTime, seq: u64, event: E) {
+        let ns = at.as_nanos();
+        let page = ns >> L0_BITS;
+        self.len += 1;
+        if page == self.page {
+            let slot = ((ns >> GRAIN_BITS) & (L0_SLOTS as u64 - 1)) as usize;
+            // `peek_at` may have advanced the cursor past a slot a later
+            // push targets (pushes clamp to the *popped* time, not the
+            // peeked one); rewinding only costs a rescan.
+            if slot < self.cursor {
+                self.cursor = slot;
+                self.cursor_sorted = false;
+            }
+            self.l0_insert(ns, seq, event);
+        } else if page.wrapping_sub(self.page) < L1_SLOTS as u64 {
+            let slot = (page & (L1_SLOTS as u64 - 1)) as usize;
+            self.l1[slot].push((ns, seq, event));
+            self.l1_occ[slot >> 6] |= 1 << (slot & 63);
+            self.l1_len += 1;
+        } else {
+            self.overflow.push(Entry { at, seq, event });
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        if !self.normalize() {
+            return None;
+        }
+        self.ensure_sorted();
+        let slot = &mut self.l0[self.cursor];
+        // A bucket holds a handful of near-simultaneous events, so the
+        // FIFO front-removal shift is a few entries at most.
+        let (ns, seq, event) = slot.remove(0);
+        if slot.is_empty() {
+            self.l0_clear(self.cursor);
+        }
+        self.len -= 1;
+        self.l0_len -= 1;
+        Some((SimTime::from_nanos(ns), seq, event))
+    }
+
+    fn peek_at(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        // Within the current page the cursor may advance (pushes that need
+        // an earlier slot rewind it). Across pages, only report the next
+        // time — cascading is pop's job: after a cascade the wheel can no
+        // longer place a push at an earlier, still-legal time.
+        if self.l0_len > 0 {
+            let _ = self.normalize();
+            self.ensure_sorted();
+            return Some(SimTime::from_nanos(self.l0[self.cursor][0].0));
+        }
+        let next_l1 = if self.l1_len > 0 {
+            self.l1_next(((self.page + 1) & (L1_SLOTS as u64 - 1)) as usize)
+                .map(|(slot, _)| {
+                    self.l1[slot]
+                        .iter()
+                        .map(|e| e.0)
+                        .min()
+                        .expect("occupied l1 slot")
+                })
+        } else {
+            None
+        };
+        let next_of = self.overflow.peek().map(|e| e.at.as_nanos());
+        match (next_l1, next_of) {
+            (Some(a), Some(b)) => Some(SimTime::from_nanos(a.min(b))),
+            (Some(a), None) => Some(SimTime::from_nanos(a)),
+            (None, Some(b)) => Some(SimTime::from_nanos(b)),
+            (None, None) => None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine.
+// ---------------------------------------------------------------------------
+
+/// The discrete-event engine: an event queue plus the model under
+/// simulation. Generic over the queue; defaults to the timing wheel.
+pub struct Engine<M: Model, Q: EventQueue<M::Event> = DefaultQueue<<M as Model>::Event>> {
+    queue: Q,
     seq: u64,
     now: SimTime,
     model: M,
     processed: u64,
+    /// Recycled buffer behind [`Scheduler`]: events scheduled by a handler
+    /// land here and are drained into the queue, allocation-free in steady
+    /// state.
+    scratch: Vec<(SimTime, M::Event)>,
 }
 
 impl<M: Model> Engine<M> {
-    /// Creates an engine at time zero with an empty event queue.
+    /// Creates an engine at time zero with an empty event queue (the
+    /// default queue kind).
     pub fn new(model: M) -> Self {
+        Self::with_queue(model)
+    }
+}
+
+impl<M: Model, Q: EventQueue<M::Event>> Engine<M, Q> {
+    /// Creates an engine backed by an explicit queue type — e.g.
+    /// `Engine::<MyModel, HeapQueue<_>>::with_queue(model)` for
+    /// differential testing against the heap oracle.
+    pub fn with_queue(model: M) -> Self {
         Engine {
-            heap: BinaryHeap::new(),
+            queue: Q::default(),
             seq: 0,
             now: SimTime::ZERO,
             model,
             processed: 0,
+            scratch: Vec::new(),
         }
     }
 
     /// Schedules an event at an absolute time (clamped to the current time).
     pub fn schedule(&mut self, at: SimTime, event: M::Event) {
         let at = at.max(self.now);
-        self.heap.push(Entry {
-            at,
-            seq: self.seq,
-            event,
-        });
+        self.queue.push(at, self.seq, event);
         self.seq += 1;
     }
 
@@ -180,29 +592,35 @@ impl<M: Model> Engine<M> {
     /// Events scheduled exactly at `deadline` are processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let start = self.processed;
-        while let Some(top) = self.heap.peek() {
-            if top.at > deadline {
-                break;
+        let unbounded = deadline == SimTime::MAX;
+        loop {
+            // Without a deadline, pop directly — the per-event peek would
+            // walk the queue's cursor twice for nothing.
+            if !unbounded {
+                match self.queue.peek_at() {
+                    Some(at) if at <= deadline => {}
+                    _ => break,
+                }
             }
-            let entry = self.heap.pop().expect("peeked entry must pop");
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
+            let Some((at, _seq, event)) = self.queue.pop() else {
+                break;
+            };
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
             let mut sched = Scheduler {
                 now: self.now,
-                pending: Vec::new(),
+                pending: std::mem::take(&mut self.scratch),
                 stopped: false,
             };
-            self.model.handle(self.now, entry.event, &mut sched);
+            self.model.handle(self.now, event, &mut sched);
             self.processed += 1;
             let stopped = sched.stopped;
-            for (at, ev) in sched.pending {
-                self.heap.push(Entry {
-                    at,
-                    seq: self.seq,
-                    event: ev,
-                });
+            let mut pending = sched.pending;
+            for (at, ev) in pending.drain(..) {
+                self.queue.push(at, self.seq, ev);
                 self.seq += 1;
             }
+            self.scratch = pending;
             if stopped {
                 break;
             }
@@ -212,7 +630,7 @@ impl<M: Model> Engine<M> {
 
     /// True if no events remain.
     pub fn is_idle(&self) -> bool {
-        self.heap.is_empty()
+        self.queue.is_empty()
     }
 }
 
@@ -309,5 +727,62 @@ mod tests {
         e.schedule(SimTime::from_nanos(10), Ev::Tag(2));
         e.run();
         assert_eq!(e.model().order, vec![(50, 1), (50, 2)]);
+    }
+
+    #[test]
+    fn wheel_crosses_pages_and_overflow_horizons() {
+        // Events on both sides of the level-0 page boundary (65.5µs), the
+        // level-1 horizon (~268ms) and far beyond, interleaved with
+        // same-time ties, must still pop in (time, seq) order.
+        let mut e = Engine::<Recorder, WheelQueue<Ev>>::with_queue(Recorder::default());
+        let times = [
+            3u64,
+            (1 << 16) - 1,
+            1 << 16,
+            (1 << 16) + 1,
+            (1 << 20) + 7,
+            (1 << 28) | 12345,
+            1 << 29,
+            1 << 29, // tie
+            (1 << 40) + 5,
+            u64::MAX >> 1,
+        ];
+        // Push in scrambled order.
+        for (i, &idx) in [7usize, 2, 9, 0, 4, 8, 1, 5, 3, 6].iter().enumerate() {
+            e.schedule(SimTime::from_nanos(times[idx]), Ev::Tag(i as u32));
+        }
+        e.run();
+        let popped: Vec<u64> = e.model().order.iter().map(|&(t, _)| t).collect();
+        let mut want = times.to_vec();
+        want.sort_unstable();
+        assert_eq!(popped, want);
+        // The tie at 1<<29 (times[7] then times[6] in the scramble): FIFO
+        // keeps the push order, Tag(0) before Tag(9).
+        let tie_ids: Vec<u32> = e
+            .model()
+            .order
+            .iter()
+            .filter(|&&(t, _)| t == 1 << 29)
+            .map(|&(_, id)| id)
+            .collect();
+        assert_eq!(tie_ids, vec![0, 9]);
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_a_dense_chain() {
+        fn run_on<Q: EventQueue<Ev>>() -> Vec<(u64, u32)> {
+            let mut e = Engine::<Recorder, Q>::with_queue(Recorder::default());
+            // A deterministic mix: chains, ties and far-future tags.
+            for i in 0..50u32 {
+                let t = (i as u64 * 7919) % 200_000;
+                e.schedule(SimTime::from_nanos(t), Ev::Tag(i));
+                e.schedule(SimTime::from_nanos(t), Ev::Tag(1000 + i));
+            }
+            e.schedule(SimTime::ZERO, Ev::Chain(30));
+            e.schedule(SimTime::from_nanos(1 << 34), Ev::Tag(9999));
+            e.run();
+            e.into_model().order
+        }
+        assert_eq!(run_on::<WheelQueue<Ev>>(), run_on::<HeapQueue<Ev>>());
     }
 }

@@ -16,6 +16,31 @@ const SUB_BUCKET_MASK: u64 = (SUB_BUCKET_COUNT - 1) as u64;
 const BUCKET_COUNT: usize = 64 - (SUB_BUCKET_HALF_COUNT_BITS as usize + 1) + 1; // 54
 const COUNTS_LEN: usize = (BUCKET_COUNT + 1) * SUB_BUCKET_HALF_COUNT;
 
+/// Index of the log-linear bucket `value` falls in (shared by
+/// [`LatencyHistogram`] and [`WindowHistogram`]).
+#[inline]
+fn counts_index_of(value: u64) -> usize {
+    let pow2 = 63 - (value | SUB_BUCKET_MASK).leading_zeros() as usize;
+    let bucket = pow2 - SUB_BUCKET_HALF_COUNT_BITS as usize;
+    let sub = (value >> bucket) as usize;
+    debug_assert!((SUB_BUCKET_HALF_COUNT..SUB_BUCKET_COUNT).contains(&sub) || bucket == 0);
+    bucket * SUB_BUCKET_HALF_COUNT + sub
+}
+
+/// Lowest value mapping to counts index `idx` (inverse of
+/// [`counts_index_of`] up to bucket precision).
+#[inline]
+fn lowest_of_index(idx: usize) -> u64 {
+    let bucket = idx / SUB_BUCKET_HALF_COUNT;
+    let sub = idx % SUB_BUCKET_HALF_COUNT;
+    let (b, s) = if bucket == 0 {
+        (0, sub)
+    } else {
+        (bucket - 1, sub + SUB_BUCKET_HALF_COUNT)
+    };
+    (s as u64) << b
+}
+
 /// A log-linear histogram of durations with ~0.1% value precision.
 #[derive(Clone)]
 pub struct LatencyHistogram {
@@ -51,17 +76,14 @@ impl LatencyHistogram {
     }
 
     fn counts_index(value: u64) -> usize {
-        let bucket = Self::bucket_index(value);
-        let sub = (value >> bucket) as usize;
-        debug_assert!((SUB_BUCKET_HALF_COUNT..SUB_BUCKET_COUNT).contains(&sub) || bucket == 0);
         // Bucket 0 owns indices [0, 2048) (its sub spans the full range);
         // bucket b ≥ 1 owns [(b+1)·1024, (b+2)·1024) with sub ∈ [1024, 2048).
         // Both collapse to `b·1024 + sub` without underflow.
-        bucket * SUB_BUCKET_HALF_COUNT + sub
+        counts_index_of(value)
     }
 
     /// Highest value that maps to the same bucket as `value`.
-    fn highest_equivalent(value: u64) -> u64 {
+    pub(crate) fn highest_equivalent(value: u64) -> u64 {
         let bucket = Self::bucket_index(value);
         let sub = value >> bucket;
         ((sub + 1) << bucket) - 1
@@ -151,14 +173,7 @@ impl LatencyHistogram {
             }
             seen += c;
             if seen >= rank {
-                let bucket = idx / SUB_BUCKET_HALF_COUNT;
-                let sub = idx % SUB_BUCKET_HALF_COUNT;
-                let (b, s) = if bucket == 0 {
-                    (0, sub)
-                } else {
-                    (bucket - 1, sub + SUB_BUCKET_HALF_COUNT)
-                };
-                let lowest = (s as u64) << b;
+                let lowest = lowest_of_index(idx);
                 return Self::highest_equivalent(lowest).min(self.max);
             }
         }
@@ -207,14 +222,7 @@ impl LatencyHistogram {
             if c == 0 {
                 continue;
             }
-            let bucket = idx / SUB_BUCKET_HALF_COUNT;
-            let sub = idx % SUB_BUCKET_HALF_COUNT;
-            let (b, s) = if bucket == 0 {
-                (0, sub)
-            } else {
-                (bucket - 1, sub + SUB_BUCKET_HALF_COUNT)
-            };
-            let lowest = (s as u64) << b;
+            let lowest = lowest_of_index(idx);
             out.push((
                 lowest as f64 / 1_000.0,
                 remaining as f64 / self.total as f64,
@@ -235,6 +243,105 @@ impl LatencyHistogram {
             self.quantile_us(0.999),
             self.max_nanos() as f64 / 1_000.0,
         )
+    }
+}
+
+/// A clearable latency *window* over the same log-linear buckets as
+/// [`LatencyHistogram`]: constant memory, O(distinct values) clear, and
+/// bounded-error (~0.1%) quantiles.
+///
+/// Built for control-tick windows — the per-tick signal a controller
+/// harvests and resets. The previous shape (a `Vec<u64>` flattened and
+/// `sort_unstable`d on every tick) costs O(n log n) per tick and an
+/// allocation per harvest; this records in O(1), clears in O(touched
+/// buckets), and quantiles by sorting only the *touched bucket indices*
+/// (bounded by the bucket count, in practice a few dozen).
+///
+/// Quantile semantics match [`LatencyHistogram::value_at_quantile`]: the
+/// rank is `ceil(q·n)` clamped to `[1, n]` and the reported value is the
+/// top of the selected bucket (never an underestimate beyond bucket
+/// precision), clamped to the observed maximum.
+#[derive(Clone)]
+pub struct WindowHistogram {
+    counts: Vec<u32>,
+    /// Indices with nonzero counts, unsorted until a quantile is taken.
+    touched: Vec<u32>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for WindowHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowHistogram {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        WindowHistogram {
+            counts: vec![0; COUNTS_LEN],
+            touched: Vec::new(),
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one duration expressed in nanoseconds.
+    #[inline]
+    pub fn record_nanos(&mut self, ns: u64) {
+        let idx = counts_index_of(ns);
+        if self.counts[idx] == 0 {
+            self.touched.push(idx as u32);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded values since the last [`WindowHistogram::clear`].
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Resets the window, touching only the buckets that were used.
+    pub fn clear(&mut self) {
+        for &i in &self.touched {
+            self.counts[i as usize] = 0;
+        }
+        self.touched.clear();
+        self.total = 0;
+        self.max = 0;
+    }
+
+    /// Value at quantile `q ∈ [0, 1]` in nanoseconds (0 when empty).
+    /// Sorts the touched-bucket list in place, hence `&mut`.
+    pub fn value_at_quantile(&mut self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        self.touched.sort_unstable();
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for &i in &self.touched {
+            seen += self.counts[i as usize] as u64;
+            if seen >= rank {
+                let lowest = lowest_of_index(i as usize);
+                return LatencyHistogram::highest_equivalent(lowest).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Value at quantile `q`, in microseconds.
+    pub fn quantile_us(&mut self, q: f64) -> f64 {
+        self.value_at_quantile(q) as f64 / 1_000.0
     }
 }
 
@@ -393,6 +500,48 @@ mod tests {
         // Rank clamps to [1, n]: q=0 selects the first recorded bucket.
         assert_eq!(h.value_at_quantile(0.0), 7);
         assert_eq!(h.value_at_quantile(1.0), 1_000);
+    }
+
+    #[test]
+    fn window_histogram_tracks_exact_quantiles_within_bucket_error() {
+        let mut rng = Xoshiro256::new(21);
+        let mut w = WindowHistogram::new();
+        let mut exact = LatencyHistogram::new();
+        let mut values = Vec::new();
+        for _ in 0..5_000 {
+            let v = rng.next_bounded(50_000_000) + 1_000;
+            w.record_nanos(v);
+            exact.record_nanos(v);
+            values.push(v);
+        }
+        assert_eq!(w.count(), 5_000);
+        // The window agrees with the full histogram exactly (same buckets,
+        // same rank rule).
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(w.value_at_quantile(q), exact.value_at_quantile(q), "q={q}");
+        }
+        // And with the true order statistics within bucket precision.
+        values.sort_unstable();
+        let rank = ((0.99 * values.len() as f64).ceil() as usize).max(1) - 1;
+        let truth = values[rank];
+        let est = w.value_at_quantile(0.99);
+        assert!(est >= truth && est as f64 <= truth as f64 * 1.002 + 2.0);
+    }
+
+    #[test]
+    fn window_histogram_clear_resets_and_reuses() {
+        let mut w = WindowHistogram::new();
+        for v in [5u64, 5, 7, 1 << 30] {
+            w.record_nanos(v);
+        }
+        assert_eq!(w.value_at_quantile(1.0), 1 << 30);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.value_at_quantile(0.99), 0, "empty window reports 0");
+        // Reuse after clear behaves like a fresh window.
+        w.record_nanos(42);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.value_at_quantile(0.5), 42);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Differential tests: the timing-wheel event queue against the
+//! `BinaryHeap` oracle.
+//!
+//! The wheel's ordering contract — pops in ascending `(time, seq)` order,
+//! FIFO among ties — is what makes every simulation's output bit-identical
+//! whichever queue runs it. These tests drive both queues through
+//! randomized schedules that cross every structural boundary (in-bucket
+//! ties, level-0 page turns, the level-1 horizon, the overflow heap, and
+//! interleaved push/pop with clamped re-pushes) and assert identical pop
+//! streams.
+
+use proptest::prelude::*;
+use zygos_sim::engine::{Engine, EventQueue, HeapQueue, Model, Scheduler, WheelQueue};
+use zygos_sim::time::{SimDuration, SimTime};
+
+/// Drains both queues after an identical push sequence, asserting equal
+/// `(time, seq, payload)` streams.
+fn assert_same_drain(pushes: &[(u64, u32)]) {
+    let mut wheel = WheelQueue::<u32>::default();
+    let mut heap = HeapQueue::<u32>::default();
+    for (seq, &(at, tag)) in pushes.iter().enumerate() {
+        wheel.push(SimTime::from_nanos(at), seq as u64, tag);
+        heap.push(SimTime::from_nanos(at), seq as u64, tag);
+    }
+    loop {
+        let a = wheel.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "wheel and heap diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(wheel.len(), 0);
+}
+
+proptest! {
+    /// Pure push-then-drain over times spanning all four structures.
+    #[test]
+    fn drain_matches_heap(
+        pushes in proptest::collection::vec((0u64..1u64 << 45, 0u32..1000), 1..300)
+    ) {
+        assert_same_drain(&pushes);
+    }
+
+    /// Times concentrated near page boundaries: multiples of the 65.5µs
+    /// page stride, off by -1/0/+1, with heavy tie probability.
+    #[test]
+    fn page_boundaries_match_heap(
+        pushes in proptest::collection::vec((0u64..64, 0u64..3, 0u32..100), 1..200)
+    ) {
+        let spread: Vec<(u64, u32)> = pushes
+            .iter()
+            .map(|&(page, off, tag)| ((page << 16).saturating_add(off).saturating_sub(1), tag))
+            .collect();
+        assert_same_drain(&spread);
+    }
+
+    /// Interleaved push/pop: pops raise the clamp floor, so later pushes
+    /// exercise the wheel's cursor-rewind and same-instant append paths.
+    #[test]
+    fn interleaved_ops_match_heap(
+        ops in proptest::collection::vec((0u64..1u64 << 34, 0u32..2), 1..300)
+    ) {
+        let mut wheel = WheelQueue::<u32>::default();
+        let mut heap = HeapQueue::<u32>::default();
+        let mut seq = 0u64;
+        let mut floor = 0u64; // Engine clamp: pushes never precede the last pop.
+        for &(at, is_pop) in &ops {
+            if is_pop == 1 {
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+                if let Some((t, _, _)) = a {
+                    floor = t.as_nanos();
+                }
+            } else {
+                let t = SimTime::from_nanos(at.max(floor));
+                wheel.push(t, seq, (seq % 997) as u32);
+                heap.push(t, seq, (seq % 997) as u32);
+                seq += 1;
+                prop_assert_eq!(wheel.peek_at(), heap.peek_at());
+            }
+        }
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// A model whose handler chains follow-ups at pseudo-random offsets —
+/// covering the engine-level path (scratch drain, seq assignment, stop).
+struct Chaos {
+    trace: Vec<(u64, u32)>,
+    budget: u32,
+}
+
+enum Ev {
+    Step(u32),
+}
+
+impl Model for Chaos {
+    type Event = Ev;
+    fn handle(&mut self, now: SimTime, Ev::Step(x): Ev, sched: &mut Scheduler<Ev>) {
+        self.trace.push((now.as_nanos(), x));
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        // Deterministic pseudo-random fan-out: 1–3 follow-ups at mixed
+        // horizons (same instant, in-page, next page, far future).
+        let h = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for k in 0..(1 + (h % 3)) {
+            let delay = match (h >> (8 * k)) % 5 {
+                0 => 0,
+                1 => (h >> 11) % 4_096,
+                2 => (h >> 13) % 70_000,
+                3 => (h >> 17) % (1 << 28),
+                _ => (h >> 19) % (1 << 35),
+            };
+            sched.after(
+                SimDuration::from_nanos(delay),
+                Ev::Step(x.wrapping_mul(31).wrapping_add(k as u32 + 1)),
+            );
+        }
+    }
+}
+
+#[test]
+fn full_engine_trace_is_identical_on_both_queues() {
+    fn run_on<Q: EventQueue<Ev>>() -> Vec<(u64, u32)> {
+        let mut e = Engine::<Chaos, Q>::with_queue(Chaos {
+            trace: Vec::new(),
+            budget: 3_000,
+        });
+        for i in 0..16 {
+            e.schedule(SimTime::from_nanos(i * 1_000), Ev::Step(i as u32 + 1));
+        }
+        e.run();
+        e.into_model().trace
+    }
+    let wheel = run_on::<WheelQueue<Ev>>();
+    let heap = run_on::<HeapQueue<Ev>>();
+    assert_eq!(wheel.len(), heap.len());
+    assert_eq!(wheel, heap);
+}

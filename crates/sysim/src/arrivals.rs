@@ -78,11 +78,6 @@ impl Source {
             service: self.service.sample(&mut self.rng),
         }
     }
-
-    /// Borrow of the internal RNG (victim-order shuffles etc.).
-    pub fn rng_mut(&mut self) -> &mut Xoshiro256 {
-        &mut self.rng
-    }
 }
 
 /// Completion recorder with warmup handling and a measurement window.

@@ -224,6 +224,10 @@ pub struct SysOutput {
     pub latency: LatencyHistogram,
     /// Completions measured (excludes warmup).
     pub completed: u64,
+    /// Discrete events the engine processed over the whole run (including
+    /// warmup) — the numerator of the experiment plane's events/sec, what
+    /// `lab bench` tracks across PRs.
+    pub events: u64,
     /// Simulated duration in microseconds (measurement window).
     pub sim_time_us: f64,
     /// Events executed on their home core.

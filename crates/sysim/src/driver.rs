@@ -47,14 +47,16 @@ pub struct SweepPoint {
 
 /// Sweeps offered load and reports `(throughput, p99)` points — the raw
 /// data behind Figures 6, 8, 9, 10b and 11.
+///
+/// One config is built and reused with a per-point load override: a
+/// `SysConfig` carries tenant/admission vectors and distribution tables,
+/// and cloning all of that per grid point was pure sweep overhead.
 pub fn latency_throughput_sweep(base: &SysConfig, loads: &[f64]) -> Vec<SweepPoint> {
+    let mut cfg = base.clone();
     loads
         .iter()
         .map(|&load| {
-            let cfg = SysConfig {
-                load,
-                ..base.clone()
-            };
+            cfg.load = load;
             let out = run_system(&cfg);
             SweepPoint {
                 load,
@@ -80,12 +82,10 @@ pub fn latency_throughput_sweep(base: &SysConfig, loads: &[f64]) -> Vec<SweepPoi
 /// `resolution` is the load grid (50 ⇒ 2% steps, the figures' visual
 /// granularity).
 pub fn max_load_at_slo(base: &SysConfig, slo_us: f64, resolution: usize) -> f64 {
+    let mut cfg = base.clone();
     queueing::max_load_at_slo(
         |load| {
-            let cfg = SysConfig {
-                load,
-                ..base.clone()
-            };
+            cfg.load = load;
             run_system(&cfg).p99_us()
         },
         slo_us,

@@ -30,7 +30,7 @@ enum Ev {
     /// Network processing of a batch finished.
     NetDone {
         core: usize,
-        batch: Vec<Req>,
+        batch: VecDeque<Req>,
     },
     /// One application event of the current batch finished.
     AppDone {
@@ -51,6 +51,9 @@ struct IxModel {
     cores: Vec<Core>,
     /// The shared dispatch policy: own-ring only, never steal.
     dispatch: RtcPolicy,
+    /// Free-list of batch buffers — the net/app alternation recycles one
+    /// per in-flight batch instead of allocating per RX batch.
+    batch_pool: Vec<VecDeque<Req>>,
     events_done: u64,
 }
 
@@ -69,6 +72,7 @@ impl IxModel {
             rec,
             cfg,
             dispatch: RtcPolicy,
+            batch_pool: Vec::new(),
             events_done: 0,
         }
     }
@@ -103,9 +107,8 @@ impl IxModel {
         }
         // Adaptive bounded batching: take min(B, available) — never wait.
         let k = (self.cores[core].ring.len() as u64).min(self.cfg.rx_batch.max(1));
-        let batch: Vec<Req> = (0..k)
-            .map(|_| self.cores[core].ring.pop_front().expect("non-empty"))
-            .collect();
+        let mut batch = self.batch_pool.pop().unwrap_or_default();
+        batch.extend(self.cores[core].ring.drain(..k as usize));
         let cost = &self.cfg.cost;
         let dur =
             cost.driver_batch_fixed_ns + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
@@ -137,7 +140,9 @@ impl IxModel {
                 sched.at(end, Ev::AppDone { core, rest });
             }
             None => {
-                // Batch complete; loop back to network processing.
+                // Batch complete; recycle its buffer and loop back to
+                // network processing.
+                self.batch_pool.push(rest);
                 self.cores[core].busy = false;
                 self.run_core(core, now, sched);
             }
@@ -166,7 +171,7 @@ impl Model for IxModel {
                 self.run_core(home, now, sched);
             }
             Ev::NetDone { core, batch } => {
-                self.next_app_event(core, batch.into(), now, sched);
+                self.next_app_event(core, batch, now, sched);
             }
             Ev::AppDone { core, rest } => {
                 self.next_app_event(core, rest, now, sched);
@@ -182,11 +187,13 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
     engine.schedule(SimTime::ZERO, Ev::Gen);
     engine.run();
     let now = engine.now();
+    let events = engine.processed();
     let model = engine.into_model();
     let window = model.rec.window_us();
     SysOutput {
         latency: model.rec.latency.clone(),
         completed: model.rec.measured(),
+        events,
         sim_time_us: if window > 0.0 {
             window
         } else {

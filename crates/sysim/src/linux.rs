@@ -173,11 +173,13 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
     engine.schedule(SimTime::ZERO, Ev::Gen);
     engine.run();
     let now = engine.now();
+    let events = engine.processed();
     let model = engine.into_model();
     let window = model.rec.window_us();
     SysOutput {
         latency: model.rec.latency.clone(),
         completed: model.rec.measured(),
+        events,
         sim_time_us: if window > 0.0 {
             window
         } else {

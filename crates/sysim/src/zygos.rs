@@ -78,6 +78,7 @@ use zygos_sched::{
     UtilizationPolicy, ZygosPolicy,
 };
 use zygos_sim::engine::{Engine, Model, Scheduler};
+use zygos_sim::stats::WindowHistogram;
 use zygos_sim::time::{SimDuration, SimTime};
 
 use crate::arrivals::{Recorder, Req, Source};
@@ -176,6 +177,72 @@ enum ConnSt {
     Busy,
 }
 
+/// A per-core occupancy bitmask. The scheduling loop's sweeps (steal,
+/// IPI scan, idle wakeups) are pure emptiness scans over all cores; these
+/// masks answer them from a word or two instead of walking sixteen `Core`
+/// structs' queue headers on every loop entry. The `Core` fields remain
+/// the source of truth — the masks are maintained at every queue/work
+/// transition and validated against them in debug builds.
+#[derive(Clone)]
+struct CoreMask {
+    w: Vec<u64>,
+}
+
+impl CoreMask {
+    fn new(cores: usize) -> Self {
+        CoreMask {
+            w: vec![0; cores.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.w[i >> 6] |= 1 << (i & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.w[i >> 6] &= !(1 << (i & 63));
+    }
+
+    #[inline]
+    fn put(&mut self, i: usize, v: bool) {
+        if v {
+            self.set(i)
+        } else {
+            self.clear(i)
+        }
+    }
+
+    #[inline]
+    fn test(&self, i: usize) -> bool {
+        self.w[i >> 6] & (1 << (i & 63)) != 0
+    }
+}
+
+/// True if `a ∧ ¬b` is non-empty.
+#[inline]
+fn any_and_not(a: &CoreMask, b: &CoreMask) -> bool {
+    a.w.iter().zip(&b.w).any(|(&aw, &bw)| aw & !bw != 0)
+}
+
+/// True if `a ∧ b` minus core `except` is non-empty — the word-level
+/// short-circuit for a steal sweep: when no other active core has matching
+/// occupancy, the whole victim walk is skipped.
+#[inline]
+fn any_other(a: &CoreMask, b: &CoreMask, except: usize) -> bool {
+    for (wi, (&aw, &bw)) in a.w.iter().zip(&b.w).enumerate() {
+        let mut bits = aw & bw;
+        if wi == except >> 6 {
+            bits &= !(1 << (except & 63));
+        }
+        if bits != 0 {
+            return true;
+        }
+    }
+    false
+}
+
 struct Conn {
     st: ConnSt,
     pending: VecDeque<Req>,
@@ -218,10 +285,18 @@ pub(crate) struct ZygosModel {
     conns: Vec<Conn>,
     /// Scratch buffer for randomized victim order.
     victims: Vec<usize>,
+    /// Dedicated RNG for victim-order shuffles. Keeping it off the
+    /// workload RNG means arrivals and service times are identical across
+    /// policies for a given seed (paired comparisons), and lets the loop
+    /// skip the shuffle entirely when a sweep's occupancy mask is empty —
+    /// each shuffle fully re-randomizes, so skipping no-op shuffles leaves
+    /// the victim-order distribution unchanged.
+    victims_rng: zygos_sim::rng::Xoshiro256,
     /// The shared dispatch policy: rung order, steal/preempt decisions,
     /// background discipline. The model owns the queues; this owns the
-    /// choices.
-    dispatch: Box<dyn DispatchPolicy>,
+    /// choices. Held concretely (not `Box<dyn DispatchPolicy>`) so every
+    /// per-dispatch decision is a direct, inlinable call.
+    dispatch: ZygosPolicy,
     /// Copy of the policy's ladder (iterating it while mutating the model
     /// must not borrow the policy).
     ladder: Vec<Rung>,
@@ -243,11 +318,33 @@ pub(crate) struct ZygosModel {
     admitted_by_class: Vec<u64>,
     /// Sheds that burned wire RTT (server-edge rejects).
     wire_rejects: u64,
-    /// Per-SLO-class latency samples (ns) of the current control window.
-    /// Single class when no tenant SLOs are configured.
-    win: Vec<Vec<u64>>,
+    /// Per-SLO-class latency window of the current control tick (single
+    /// class when no tenant SLOs are configured). Constant-memory
+    /// histograms: recording is O(1) and the per-tick harvest touches
+    /// only the used buckets, instead of flatten + `sort_unstable` over
+    /// every completion of the window.
+    win: Vec<WindowHistogram>,
     /// Whether completions are sampled into `win` at all.
     collect_window: bool,
+    /// Free-list of request-batch buffers (RX batches, remote-syscall
+    /// flushes): the hot loop recycles them instead of allocating a
+    /// `Vec<Req>` per batch.
+    batch_pool: Vec<Vec<Req>>,
+    /// Occupancy masks over cores (see [`CoreMask`]).
+    m_active: CoreMask,
+    m_busy: CoreMask,
+    m_inapp: CoreMask,
+    m_ring: CoreMask,
+    m_shuffle: CoreMask,
+    m_bg: CoreMask,
+    m_remote: CoreMask,
+    m_ipi: CoreMask,
+    /// Cores with a queued-but-unfired `Ev::Run`. A queued run re-reads
+    /// all queue state when it fires, so while one is in flight further
+    /// wakeups for the same core are redundant and are not scheduled —
+    /// this is what keeps a wake *storm* (every ready batch waking every
+    /// idle core) from flooding the event queue at low load.
+    m_run_pending: CoreMask,
     // Telemetry.
     local_events: u64,
     stolen_events: u64,
@@ -284,10 +381,8 @@ impl ZygosModel {
         let rec = Recorder::new(&cfg, source.half_rtt);
         let ipis_enabled = matches!(cfg.system, SystemKind::Zygos | SystemKind::Elastic { .. });
         let quantum = QuantumPolicy::from_us(cfg.preemption_quantum_us);
-        let dispatch: Box<dyn DispatchPolicy> = Box::new(
-            ZygosPolicy::new(true, ipis_enabled, quantum, cfg.background_order)
-                .with_randomized_victims(cfg.randomize_steal_order),
-        );
+        let dispatch = ZygosPolicy::new(true, ipis_enabled, quantum, cfg.background_order)
+            .with_randomized_victims(cfg.randomize_steal_order);
         let ladder = dispatch.ladder().to_vec();
         let elastic = match cfg.system {
             SystemKind::Elastic { min_cores } => {
@@ -345,6 +440,7 @@ impl ZygosModel {
                 })
                 .collect(),
             victims: (0..cfg.cores).collect(),
+            victims_rng: zygos_sim::rng::Xoshiro256::new(cfg.seed ^ 0x0056_4543_544F_5253), // "VECTORS"
             source,
             rec,
             dispatch,
@@ -357,8 +453,30 @@ impl ZygosModel {
             rejected_by_class: vec![0; classes],
             admitted_by_class: vec![0; classes],
             wire_rejects: 0,
-            win: (0..classes).map(|_| Vec::new()).collect(),
+            // The window buckets are ~¼MB per class: only materialized
+            // when a controller actually harvests them.
+            win: if collect_window {
+                (0..classes).map(|_| WindowHistogram::new()).collect()
+            } else {
+                Vec::new()
+            },
             collect_window,
+            batch_pool: Vec::new(),
+            m_active: {
+                let mut m = CoreMask::new(cfg.cores);
+                for i in 0..cfg.cores {
+                    m.set(i);
+                }
+                m
+            },
+            m_busy: CoreMask::new(cfg.cores),
+            m_inapp: CoreMask::new(cfg.cores),
+            m_ring: CoreMask::new(cfg.cores),
+            m_shuffle: CoreMask::new(cfg.cores),
+            m_bg: CoreMask::new(cfg.cores),
+            m_remote: CoreMask::new(cfg.cores),
+            m_ipi: CoreMask::new(cfg.cores),
+            m_run_pending: CoreMask::new(cfg.cores),
             cfg,
             local_events: 0,
             stolen_events: 0,
@@ -421,22 +539,29 @@ impl ZygosModel {
         if self.collect_window {
             let client_rx = tx_time + self.source.half_rtt;
             let lat_ns = client_rx.duration_since(req.send).as_nanos();
-            self.win[class].push(lat_ns);
+            self.win[class].record_nanos(lat_ns);
         }
     }
 
     /// Wakes every idle granted core (something steal-able appeared).
-    fn wake_idle(&self, sched: &mut Scheduler<Ev>) {
-        for (i, c) in self.cores.iter().enumerate() {
-            if c.active && c.is_idle() {
+    /// Cores with a run already queued are skipped (see `m_run_pending`).
+    fn wake_idle(&mut self, sched: &mut Scheduler<Ev>) {
+        for wi in 0..self.m_active.w.len() {
+            let mut bits = self.m_active.w[wi] & !self.m_busy.w[wi] & !self.m_run_pending.w[wi];
+            while bits != 0 {
+                let i = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                debug_assert!(self.cores[i].active && self.cores[i].is_idle());
+                self.m_run_pending.set(i);
                 sched.at(sched.now(), Ev::Run(i));
             }
         }
     }
 
-    /// Wakes one core if granted and idle.
-    fn wake(&self, core: usize, sched: &mut Scheduler<Ev>) {
-        if self.cores[core].active && self.cores[core].is_idle() {
+    /// Wakes one core if granted, idle, and not already woken.
+    fn wake(&mut self, core: usize, sched: &mut Scheduler<Ev>) {
+        if self.m_active.test(core) && !self.m_busy.test(core) && !self.m_run_pending.test(core) {
+            self.m_run_pending.set(core);
             sched.at(sched.now(), Ev::Run(core));
         }
     }
@@ -445,6 +570,7 @@ impl ZygosModel {
     fn send_ipi(&mut self, target: usize, sched: &mut Scheduler<Ev>) {
         if !self.cores[target].ipi_pending {
             self.cores[target].ipi_pending = true;
+            self.m_ipi.set(target);
             sched.after(ns(self.cfg.cost.ipi_delivery_ns), Ev::Ipi(target));
         }
     }
@@ -457,6 +583,7 @@ impl ZygosModel {
     /// Enqueues a preempted remainder on `home`'s background queue per the
     /// policy's ordering discipline.
     fn bg_enqueue(&mut self, home: usize, entry: BgEntry) {
+        self.m_bg.set(home);
         let q = &mut self.cores[home].bg;
         match self.dispatch.background_order() {
             BackgroundOrder::Fcfs => q.push_back(entry),
@@ -471,14 +598,15 @@ impl ZygosModel {
 
     /// Applies RX-batch effects: packets join their connections' event
     /// queues; idle connections become ready on this core's shuffle queue.
-    fn apply_net_batch(&mut self, core: usize, batch: Vec<Req>, sched: &mut Scheduler<Ev>) {
+    /// The batch buffer is drained and recycled through the pool.
+    fn apply_net_batch(&mut self, core: usize, mut batch: Vec<Req>, sched: &mut Scheduler<Ev>) {
         // In elastic mode the executing core may have been parked while
         // this net chunk was in flight (apply_allocation drains queues
         // only on the transition): enqueue on its serving core, or the
         // ready connections would be stranded on a queue nothing scans.
         let dst = self.serving_core(core);
         let mut newly_ready = false;
-        for req in batch {
+        for req in batch.drain(..) {
             let conn = &mut self.conns[req.conn as usize];
             conn.pending.push_back(req);
             if conn.st == ConnSt::Idle {
@@ -487,7 +615,9 @@ impl ZygosModel {
                 newly_ready = true;
             }
         }
+        self.batch_pool.push(batch);
         if newly_ready {
+            self.m_shuffle.set(dst);
             // Ready connections are steal-able: every idle core may act.
             self.wake_idle(sched);
         }
@@ -530,6 +660,8 @@ impl ZygosModel {
         sched: &mut Scheduler<Ev>,
     ) {
         self.note_busy(now, 1, !bg);
+        self.m_busy.set(core);
+        self.m_inapp.set(core);
         let slice = self.dispatch.slice(cur.service.as_nanos());
         let core_ref = &mut self.cores[core];
         core_ref.epoch += 1;
@@ -599,7 +731,9 @@ impl ZygosModel {
             return; // Busy; it will rerun at WorkDone.
         }
         // Victim order is (re)shuffled at most once per loop entry, by the
-        // first rung that scans other cores, and shared by the rest.
+        // first rung that actually scans other cores (sweeps whose
+        // occupancy mask is empty skip both the walk and the shuffle), and
+        // shared by the rest.
         let mut victims_ready = false;
         for i in 0..self.ladder.len() {
             let took = match self.ladder[i] {
@@ -607,18 +741,11 @@ impl ZygosModel {
                 Rung::AgedBackground => self.rung_aged_bg(core, now, sched),
                 Rung::LocalReady => self.rung_local_ready(core, now, sched),
                 Rung::LocalNet => self.rung_local_net(core, now, sched),
-                Rung::StealReady => {
-                    self.prepare_victims(&mut victims_ready);
-                    self.rung_steal_ready(core, now, sched)
-                }
+                Rung::StealReady => self.rung_steal_ready(core, now, sched, &mut victims_ready),
                 Rung::LocalBackground => self.rung_local_bg(core, now, sched),
-                Rung::StealBackground => {
-                    self.prepare_victims(&mut victims_ready);
-                    self.rung_steal_bg(core, now, sched)
-                }
+                Rung::StealBackground => self.rung_steal_bg(core, now, sched, &mut victims_ready),
                 Rung::IpiScan => {
-                    self.prepare_victims(&mut victims_ready);
-                    self.rung_ipi_scan(core, sched);
+                    self.rung_ipi_scan(core, sched, &mut victims_ready);
                     false // The scan kicks another core; this one stays idle.
                 }
             };
@@ -630,13 +757,12 @@ impl ZygosModel {
     }
 
     /// Shuffles the victim scan order once per scheduling-loop entry (when
-    /// the policy asks for randomization).
+    /// the policy asks for randomization). Runs on the dedicated
+    /// victim-order RNG, so the workload stream is untouched.
     fn prepare_victims(&mut self, ready: &mut bool) {
         if !*ready {
             if self.dispatch.randomize_victims() {
-                let mut v = std::mem::take(&mut self.victims);
-                self.source.rng_mut().shuffle(&mut v);
-                self.victims = v;
+                self.victims_rng.shuffle(&mut self.victims);
             }
             *ready = true;
         }
@@ -649,9 +775,12 @@ impl ZygosModel {
             return false;
         }
         let per_msg = self.cfg.cost.remote_syscall_ns + self.cfg.cost.stack_tx_per_msg_ns;
-        let batch = std::mem::take(&mut self.cores[core].remote_sys);
+        let spare = self.batch_pool.pop().unwrap_or_default();
+        let batch = std::mem::replace(&mut self.cores[core].remote_sys, spare);
+        self.m_remote.clear(core);
         let dur = per_msg * batch.len() as u64;
         self.note_busy(now, 1, true);
+        self.m_busy.set(core);
         let c = &mut self.cores[core];
         c.work = Some(Work::RemoteTx { batch });
         c.epoch += 1;
@@ -670,7 +799,7 @@ impl ZygosModel {
     /// aging bound outranks fresh work.
     fn rung_aged_bg(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
         let age_bound = self.dispatch.background_aging_ns();
-        if age_bound == u64::MAX {
+        if age_bound == u64::MAX || !self.m_bg.test(core) {
             return false;
         }
         let bound = ns(age_bound);
@@ -689,6 +818,9 @@ impl ZygosModel {
             return false;
         };
         let entry = self.cores[core].bg.remove(idx).expect("index valid");
+        if self.cores[core].bg.is_empty() {
+            self.m_bg.clear(core);
+        }
         debug_assert_eq!(self.conns[entry.conn as usize].st, ConnSt::Ready);
         self.conns[entry.conn as usize].st = ConnSt::Busy;
         // Promoted by aging: overdue work is foreground demand.
@@ -702,6 +834,9 @@ impl ZygosModel {
         let Some(conn) = self.cores[core].shuffle.pop_front() else {
             return false;
         };
+        if self.cores[core].shuffle.is_empty() {
+            self.m_shuffle.clear(core);
+        }
         debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
         self.conns[conn as usize].st = ConnSt::Busy;
         let extra = self.cfg.cost.shuffle_op_ns;
@@ -717,11 +852,14 @@ impl ZygosModel {
         let fixed = self.cfg.cost.driver_batch_fixed_ns;
         let per_pkt = self.cfg.cost.driver_per_pkt_ns + self.cfg.cost.stack_rx_per_pkt_ns;
         let k = (self.cores[core].ring.len() as u64).min(self.cfg.rx_batch.max(1));
-        let batch: Vec<Req> = (0..k)
-            .map(|_| self.cores[core].ring.pop_front().expect("non-empty ring"))
-            .collect();
+        let mut batch = self.batch_pool.pop().unwrap_or_default();
+        batch.extend(self.cores[core].ring.drain(..k as usize));
+        if self.cores[core].ring.is_empty() {
+            self.m_ring.clear(core);
+        }
         let dur = fixed + k * per_pkt;
         self.note_busy(now, 1, true);
+        self.m_busy.set(core);
         let c = &mut self.cores[core];
         c.work = Some(Work::Net { batch });
         c.epoch += 1;
@@ -737,20 +875,32 @@ impl ZygosModel {
     }
 
     /// Steal a ready connection from another core's shuffle queue.
-    fn rung_steal_ready(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+    fn rung_steal_ready(
+        &mut self,
+        core: usize,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        victims_ready: &mut bool,
+    ) -> bool {
         if !self.dispatch.may_steal(true) {
             return false;
         }
+        if !any_other(&self.m_active, &self.m_shuffle, core) {
+            return false; // Nothing stealable anywhere: skip the walk.
+        }
+        self.prepare_victims(victims_ready);
         let mut stolen_conn = None;
         for idx in 0..self.victims.len() {
             let v = self.victims[idx];
-            if v == core || !self.cores[v].active {
+            if v == core || !self.m_active.test(v) || !self.m_shuffle.test(v) {
                 continue;
             }
-            if let Some(conn) = self.cores[v].shuffle.pop_front() {
-                stolen_conn = Some(conn);
-                break;
+            let conn = self.cores[v].shuffle.pop_front().expect("mask says ready");
+            if self.cores[v].shuffle.is_empty() {
+                self.m_shuffle.clear(v);
             }
+            stolen_conn = Some(conn);
+            break;
         }
         let Some(conn) = stolen_conn else {
             return false;
@@ -770,6 +920,9 @@ impl ZygosModel {
         let Some(entry) = self.cores[core].bg.pop_front() else {
             return false;
         };
+        if self.cores[core].bg.is_empty() {
+            self.m_bg.clear(core);
+        }
         debug_assert_eq!(self.conns[entry.conn as usize].st, ConnSt::Ready);
         self.conns[entry.conn as usize].st = ConnSt::Busy;
         let extra = self.cfg.cost.shuffle_op_ns;
@@ -778,20 +931,32 @@ impl ZygosModel {
     }
 
     /// Steal a background entry from another core.
-    fn rung_steal_bg(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) -> bool {
+    fn rung_steal_bg(
+        &mut self,
+        core: usize,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        victims_ready: &mut bool,
+    ) -> bool {
         if !self.dispatch.may_steal(true) {
             return false;
         }
+        if !any_other(&self.m_active, &self.m_bg, core) {
+            return false; // Nothing stealable anywhere: skip the walk.
+        }
+        self.prepare_victims(victims_ready);
         let mut found = None;
         for idx in 0..self.victims.len() {
             let v = self.victims[idx];
-            if v == core || !self.cores[v].active {
+            if v == core || !self.m_active.test(v) || !self.m_bg.test(v) {
                 continue;
             }
-            if let Some(entry) = self.cores[v].bg.pop_front() {
-                found = Some(entry);
-                break;
+            let entry = self.cores[v].bg.pop_front().expect("mask says ready");
+            if self.cores[v].bg.is_empty() {
+                self.m_bg.clear(v);
             }
+            found = Some(entry);
+            break;
         }
         let Some(entry) = found else {
             return false;
@@ -807,17 +972,19 @@ impl ZygosModel {
     /// ("aggressively sends interrupts as soon as a remote core detects a
     /// pending packet in the hardware queue and the home core is executing
     /// at user-level", §5).
-    fn rung_ipi_scan(&mut self, core: usize, sched: &mut Scheduler<Ev>) {
+    fn rung_ipi_scan(&mut self, core: usize, sched: &mut Scheduler<Ev>, victims_ready: &mut bool) {
+        if !any_other(&self.m_ring, &self.m_inapp, core) {
+            return; // No undrained ring under an app chunk anywhere.
+        }
+        self.prepare_victims(victims_ready);
         let mut target = None;
         for idx in 0..self.victims.len() {
             let v = self.victims[idx];
-            if v == core || !self.cores[v].active {
+            if v == core || !self.m_active.test(v) {
                 continue;
             }
-            if !self.cores[v].ring.is_empty()
-                && self.cores[v].in_app()
-                && !self.cores[v].ipi_pending
-            {
+            if self.m_ring.test(v) && self.m_inapp.test(v) && !self.m_ipi.test(v) {
+                debug_assert!(!self.cores[v].ring.is_empty() && self.cores[v].in_app());
                 target = Some(v);
                 break;
             }
@@ -837,14 +1004,17 @@ impl ZygosModel {
             .expect("work present at WorkDone");
         let was_bg = matches!(work, Work::App { bg: true, .. });
         self.note_busy(now, -1, !was_bg);
+        self.m_busy.clear(core);
+        self.m_inapp.clear(core);
         match work {
             Work::Net { batch } => {
                 self.apply_net_batch(core, batch, sched);
             }
-            Work::RemoteTx { batch } => {
-                for req in batch {
+            Work::RemoteTx { mut batch } => {
+                for req in batch.drain(..) {
                     self.complete_req(&req, now);
                 }
+                self.batch_pool.push(batch);
             }
             Work::App {
                 conn,
@@ -860,6 +1030,7 @@ impl ZygosModel {
                     // transmits.
                     let home = self.serving_core(cur.home as usize);
                     self.cores[home].remote_sys.push(cur);
+                    self.m_remote.set(home);
                     if self.cores[home].is_idle() {
                         self.wake(home, sched);
                     } else if self.ipis_enabled() && self.cores[home].in_app() {
@@ -879,10 +1050,14 @@ impl ZygosModel {
                 let connref = &mut self.conns[conn as usize];
                 if connref.pending.is_empty() {
                     connref.st = ConnSt::Idle;
+                    // Recycle the exhausted batch buffer as the
+                    // connection's next pending queue.
+                    connref.pending = rest;
                 } else {
                     connref.st = ConnSt::Ready;
                     let home = self.serving_core(self.source.home_of(conn) as usize);
                     self.cores[home].shuffle.push_back(conn);
+                    self.m_shuffle.set(home);
                     self.wake_idle(sched);
                 }
             }
@@ -906,10 +1081,12 @@ impl ZygosModel {
             .expect("work present at Preempt");
         let was_bg = matches!(work, Work::App { bg: true, .. });
         self.note_busy(now, -1, !was_bg);
+        self.m_busy.clear(core);
+        self.m_inapp.clear(core);
         let Work::App {
             conn,
             mut cur,
-            rest,
+            mut rest,
             ..
         } = work
         else {
@@ -920,13 +1097,14 @@ impl ZygosModel {
         cur.service = SimDuration::from_nanos(remaining);
         // Requeue: the remainder stays the connection's oldest event (so
         // per-connection ordering holds), followed by the rest of the taken
-        // batch, then anything that arrived during the slice.
+        // batch, then anything that arrived during the slice. Reuses the
+        // taken batch's buffer as the new pending queue.
         let connref = &mut self.conns[conn as usize];
         debug_assert_eq!(connref.st, ConnSt::Busy);
         let arrived = std::mem::take(&mut connref.pending);
-        connref.pending.push_back(cur);
-        connref.pending.extend(rest);
-        connref.pending.extend(arrived);
+        rest.push_front(cur);
+        rest.extend(arrived);
+        connref.pending = rest;
         connref.st = ConnSt::Ready;
         let home = self.serving_core(self.source.home_of(conn) as usize);
         self.bg_enqueue(
@@ -953,7 +1131,7 @@ impl ZygosModel {
             .cfg
             .slo
             .as_ref()
-            .and_then(|slo| slo.worst_ratio(&mut self.win, MIN_WINDOW_SAMPLES));
+            .and_then(|slo| slo.worst_ratio_hist(&mut self.win, MIN_WINDOW_SAMPLES));
         let credit_ratio = if self.credit_targets_us.is_empty() {
             f64::NAN
         } else {
@@ -961,14 +1139,16 @@ impl ZygosModel {
                 .slo
                 .as_ref()
                 .expect("targets derive from slo")
-                .worst_credit_ratio(&mut self.win, &self.credit_targets_us, MIN_WINDOW_SAMPLES)
+                .worst_credit_ratio_hist(&mut self.win, &self.credit_targets_us, MIN_WINDOW_SAMPLES)
                 .unwrap_or(f64::NAN)
         };
-        let mut all: Vec<u64> = self.win.iter().flatten().copied().collect();
-        let tail_us = if all.len() >= MIN_WINDOW_SAMPLES {
-            zygos_load::slo::exact_quantile_us(&mut all, 0.99)
-        } else {
-            f64::NAN
+        // The untargeted window tail. Only the single-class configuration
+        // consumes it (with tenant SLOs the AIMD runs on `credit_ratio`),
+        // so the multi-class merge the old exact-sort path paid for is
+        // gone.
+        let tail_us = match &mut self.win[..] {
+            [only] if only.count() >= MIN_WINDOW_SAMPLES as u64 => only.quantile_us(0.99),
+            _ => f64::NAN,
         };
         for w in &mut self.win {
             w.clear();
@@ -976,9 +1156,39 @@ impl ZygosModel {
         (ratio, tail_us, credit_ratio)
     }
 
+    /// Debug-build invariant: every occupancy mask mirrors the core state
+    /// it accelerates. Cheap enough to run per control tick in tests.
+    #[cfg(debug_assertions)]
+    fn debug_check_masks(&self) {
+        for (i, c) in self.cores.iter().enumerate() {
+            debug_assert_eq!(self.m_active.test(i), c.active, "active mask, core {i}");
+            debug_assert_eq!(self.m_busy.test(i), c.work.is_some(), "busy mask, core {i}");
+            debug_assert_eq!(self.m_inapp.test(i), c.in_app(), "in-app mask, core {i}");
+            debug_assert_eq!(self.m_ipi.test(i), c.ipi_pending, "ipi mask, core {i}");
+            debug_assert_eq!(
+                self.m_ring.test(i),
+                !c.ring.is_empty(),
+                "ring mask, core {i}"
+            );
+            debug_assert_eq!(
+                self.m_shuffle.test(i),
+                !c.shuffle.is_empty(),
+                "shuffle mask, core {i}"
+            );
+            debug_assert_eq!(self.m_bg.test(i), !c.bg.is_empty(), "bg mask, core {i}");
+            debug_assert_eq!(
+                self.m_remote.test(i),
+                !c.remote_sys.is_empty(),
+                "remote mask, core {i}"
+            );
+        }
+    }
+
     /// Control tick: harvest the window, drive the allocation policy (if
     /// elastic) and the credit AIMD (if admitting), reschedule.
     fn control(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        #[cfg(debug_assertions)]
+        self.debug_check_masks();
         let (slo_ratio, tail_us, credit_ratio) = self.window_signal();
         let slo_targeted = !self.credit_targets_us.is_empty();
         if let Some(pool) = &mut self.admission {
@@ -1059,6 +1269,7 @@ impl ZygosModel {
         for i in 0..n {
             let was = self.cores[i].active;
             self.cores[i].active = i < target;
+            self.m_active.put(i, i < target);
             if was && !self.cores[i].active {
                 // Drain a newly parked core into its redirect target.
                 let dst = i % target;
@@ -1066,6 +1277,19 @@ impl ZygosModel {
                 let shuffle: Vec<u32> = self.cores[i].shuffle.drain(..).collect();
                 let bg: Vec<BgEntry> = self.cores[i].bg.drain(..).collect();
                 let remote: Vec<Req> = self.cores[i].remote_sys.drain(..).collect();
+                self.m_ring.clear(i);
+                self.m_shuffle.clear(i);
+                self.m_bg.clear(i);
+                self.m_remote.clear(i);
+                if !ring.is_empty() {
+                    self.m_ring.set(dst);
+                }
+                if !shuffle.is_empty() {
+                    self.m_shuffle.set(dst);
+                }
+                if !remote.is_empty() {
+                    self.m_remote.set(dst);
+                }
                 self.cores[dst].ring.extend(ring);
                 self.cores[dst].shuffle.extend(shuffle);
                 for entry in bg {
@@ -1087,6 +1311,7 @@ impl ZygosModel {
 
     fn ipi(&mut self, core: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
         self.cores[core].ipi_pending = false;
+        self.m_ipi.clear(core);
         self.ipis_delivered += 1;
         if !self.cores[core].in_app() {
             // Not in user code: the loop will find the work itself.
@@ -1098,21 +1323,26 @@ impl ZygosModel {
         // Handler duty 1: replenish the shuffle queue if it ran dry.
         if self.cores[core].shuffle.is_empty() && !self.cores[core].ring.is_empty() {
             let k = (self.cores[core].ring.len() as u64).min(self.cfg.rx_batch.max(1));
-            let batch: Vec<Req> = (0..k)
-                .map(|_| self.cores[core].ring.pop_front().expect("non-empty"))
-                .collect();
+            let mut batch = self.batch_pool.pop().unwrap_or_default();
+            batch.extend(self.cores[core].ring.drain(..k as usize));
+            if self.cores[core].ring.is_empty() {
+                self.m_ring.clear(core);
+            }
             ext_ns += cost.driver_batch_fixed_ns
                 + k * (cost.driver_per_pkt_ns + cost.stack_rx_per_pkt_ns);
             self.apply_net_batch(core, batch, sched);
         }
         // Handler duty 2: flush remote syscalls / transmit.
         if !self.cores[core].remote_sys.is_empty() {
-            let batch = std::mem::take(&mut self.cores[core].remote_sys);
+            let spare = self.batch_pool.pop().unwrap_or_default();
+            let mut batch = std::mem::replace(&mut self.cores[core].remote_sys, spare);
+            self.m_remote.clear(core);
             ext_ns += (cost.remote_syscall_ns + cost.stack_tx_per_msg_ns) * batch.len() as u64;
             let tx_at = now + ns(cost.ipi_handler_ns);
-            for req in batch {
+            for req in batch.drain(..) {
                 self.complete_req(&req, tx_at);
             }
+            self.batch_pool.push(batch);
         }
         // The interrupted application event finishes later by the handler's
         // execution time: invalidate and reschedule its completion (or its
@@ -1129,7 +1359,7 @@ impl ZygosModel {
         }
     }
 
-    pub(crate) fn into_output(mut self, final_time: SimTime) -> SysOutput {
+    pub(crate) fn into_output(mut self, final_time: SimTime, events: u64) -> SysOutput {
         self.note_busy(final_time, 0, true);
         if std::env::var_os("ZYGOS_ELASTIC_TRACE").is_some() {
             eprintln!(
@@ -1163,6 +1393,7 @@ impl ZygosModel {
         SysOutput {
             latency: self.rec.latency.clone(),
             completed: self.rec.measured(),
+            events,
             sim_time_us,
             local_events: self.local_events,
             stolen_events: self.stolen_events,
@@ -1219,18 +1450,22 @@ impl Model for ZygosModel {
                 }
                 let home = self.serving_core(req.home as usize);
                 self.cores[home].ring.push_back(req);
-                if self.cores[home].is_idle() {
+                self.m_ring.set(home);
+                if !self.m_busy.test(home) {
                     self.wake(home, sched);
                 } else if self.ipis_enabled()
-                    && self.cores[home].in_app()
-                    && self.cores.iter().any(|c| c.active && c.is_idle())
+                    && self.m_inapp.test(home)
+                    && any_and_not(&self.m_active, &self.m_busy)
                 {
                     // An idle core's poll sweep (steps c–d) would spot this
                     // packet almost immediately and interrupt the home core.
                     self.send_ipi(home, sched);
                 }
             }
-            Ev::Run(core) => self.run_core(core, now, sched),
+            Ev::Run(core) => {
+                self.m_run_pending.clear(core);
+                self.run_core(core, now, sched);
+            }
             Ev::WorkDone { core, epoch } => self.work_done(core, epoch, now, sched),
             Ev::Ipi(core) => self.ipi(core, now, sched),
             Ev::Preempt { core, epoch } => self.preempt(core, epoch, now, sched),
@@ -1255,7 +1490,8 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
     }
     engine.run();
     let now = engine.now();
-    engine.into_model().into_output(now)
+    let events = engine.processed();
+    engine.into_model().into_output(now, events)
 }
 
 #[cfg(test)]
