@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use zygos_sim::dist::ServiceDist;
-use zygos_sysim::{run_system, SysConfig, SystemKind};
+use zygos_sysim::{run_system, SysConfig, SystemKind, TelemetryConfig};
 
 use crate::report::Json;
 use crate::runner::run_scenario_threads;
@@ -28,6 +28,26 @@ pub const BENCH_BASELINE: &str = "BENCH_expplane.json";
 
 /// Maximum tolerated relative rate regression against the baseline.
 pub const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// The untraced/traced twin workloads the telemetry overhead gate
+/// compares *within one bench run* (same binary, same machine, back to
+/// back — so the comparison is noise-correlated in a way cross-run
+/// baseline diffs cannot be). The untraced twin runs with telemetry
+/// `None`, which is also the state a scenario without a `[telemetry]`
+/// block runs in: its cost over the pre-telemetry engine is one
+/// predictable `Option` branch per lifecycle point, gated by the
+/// committed baseline ratchet (see `docs/PERFORMANCE.md`).
+pub const TRACE_PAIR: (&str, &str) = ("engine-zygos-0.8", "engine-zygos-0.8-traced");
+
+/// Documented bound on full-fidelity tracing overhead: with every
+/// request's whole lifecycle recorded (`sample_period = 1`, the worst
+/// case — ~7 ring stores per request plus the deterministic merge-sort
+/// of the full event stream at collection), the traced twin's events/sec
+/// must stay within this fraction of the untraced twin. Measured
+/// ~42-45% on the reference machine (see `docs/PERFORMANCE.md`); the
+/// bound leaves shared-runner headroom. Production-style tracing uses
+/// `sample_period > 1`, which divides the cost by the period.
+pub const TRACE_ON_MAX_OVERHEAD: f64 = 0.60;
 
 /// Baseline schema version.
 pub const BENCH_SCHEMA: u32 = 1;
@@ -93,6 +113,13 @@ fn engine_workloads(smoke: bool) -> Vec<(&'static str, SysConfig)> {
     (cfg.requests, cfg.warmup) = scale(120_000, 12_000, smoke);
     cfg.admission = Some(zygos_sched::CreditConfig::for_cores(cfg.cores, 70.0));
     out.push(("engine-credits-1.3", cfg));
+
+    // The traced twin of engine-zygos-0.8: identical workload with the
+    // lifecycle tracer at full fidelity. check_bench compares the pair.
+    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.8);
+    (cfg.requests, cfg.warmup) = scale(200_000, 20_000, smoke);
+    cfg.telemetry = Some(TelemetryConfig::full_trace());
+    out.push(("engine-zygos-0.8-traced", cfg));
 
     let mut cfg = SysConfig::paper(SystemKind::Ix, ServiceDist::exponential_us(10.0), 0.8);
     (cfg.requests, cfg.warmup) = scale(200_000, 20_000, smoke);
@@ -208,6 +235,23 @@ pub fn check_bench(fresh: &BenchReport, baseline: &BenchReport, tolerance: f64) 
                 bv,
                 fv,
                 bv * (1.0 - tolerance),
+            ));
+        }
+    }
+    // The telemetry overhead gate rides the same fresh run: full-fidelity
+    // tracing must stay within its documented bound of the untraced twin.
+    let entry = |name: &str| fresh.entries.iter().find(|e| e.name == name);
+    if let (Some(off), Some(on)) = (entry(TRACE_PAIR.0), entry(TRACE_PAIR.1)) {
+        let floor = off.events_per_sec * (1.0 - TRACE_ON_MAX_OVERHEAD);
+        if on.events_per_sec < floor {
+            errs.push(format!(
+                "[{}] full-fidelity tracing overhead breaches its documented bound: \
+                 traced {:.0} events/sec vs untraced {:.0} (floor {:.0}, bound {:.0}%)",
+                TRACE_PAIR.1,
+                on.events_per_sec,
+                off.events_per_sec,
+                floor,
+                TRACE_ON_MAX_OVERHEAD * 100.0,
             ));
         }
     }
@@ -376,9 +420,36 @@ mod tests {
     }
 
     #[test]
+    fn trace_overhead_gate_compares_the_twin_pair() {
+        let pair = |on_rate: f64| {
+            let mut r = sample();
+            r.entries.push(BenchEntry {
+                name: TRACE_PAIR.1.into(),
+                wall_ms: 100.0,
+                events: 1_000_000,
+                events_per_sec: on_rate,
+                points: 0,
+                points_per_sec: 0.0,
+            });
+            r
+        };
+        // Traced twin 50% slower than the untraced run: within the bound.
+        let fresh = pair(5_000_000.0);
+        assert!(check_bench(&fresh, &fresh, REGRESSION_TOLERANCE).is_empty());
+        // Traced twin 65% slower: the overhead gate fires.
+        let fresh = pair(3_500_000.0);
+        let errs = check_bench(&fresh, &fresh, REGRESSION_TOLERANCE);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("tracing overhead"), "{errs:?}");
+        // Without the traced twin in the run, the gate stays silent.
+        let fresh = sample();
+        assert!(check_bench(&fresh, &fresh, REGRESSION_TOLERANCE).is_empty());
+    }
+
+    #[test]
     fn smoke_bench_produces_all_entries() {
         let r = run_bench(true);
-        assert_eq!(r.entries.len(), 7);
+        assert_eq!(r.entries.len(), 8);
         for e in &r.entries {
             assert!(
                 e.events_per_sec > 0.0 || e.points_per_sec > 0.0,

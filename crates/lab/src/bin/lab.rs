@@ -3,6 +3,7 @@
 //! ```text
 //! lab run <spec.toml>... [--smoke] [--check] [--baselines DIR] [--write-baselines] [--json]
 //! lab bench [--smoke] [--check] [--write] [--out FILE]
+//! lab trace <spec.toml> [--smoke] [--chrome FILE]
 //! lab gen-trace [--out FILE]
 //! ```
 //!
@@ -16,31 +17,162 @@
 //!   points/sec). With `--check` it compares rates against the committed
 //!   `BENCH_expplane.json` baseline and fails on a >30% regression;
 //!   `--write` (re)writes that baseline. See `docs/PERFORMANCE.md`.
+//! * `trace` re-runs the scenario's ZygOS-family simulator cases with
+//!   the lifecycle tracer at full fidelity and prints the p50/p99
+//!   sojourn decomposition (queueing vs service vs steal/IPI vs
+//!   preemption) per case × load. `--chrome FILE` additionally writes
+//!   the raw lifecycle events in Chrome trace-event format — load the
+//!   file in `chrome://tracing` or Perfetto. See `docs/OBSERVABILITY.md`.
 //! * `gen-trace` regenerates the bundled diurnal trace file.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use zygos_lab::{
-    check_baseline, check_bench, check_claims, run_bench, run_scenario, scenario_from_toml,
-    BenchReport, Report, Scenario, BENCH_BASELINE, REGRESSION_TOLERANCE,
+    check_baseline, check_bench, check_claims, check_telemetry, run_bench, run_scenario,
+    scenario_from_toml, sys_config_for, BenchReport, Report, Scenario, BENCH_BASELINE,
+    REGRESSION_TOLERANCE,
 };
+use zygos_sysim::{run_system, TelemetryConfig};
+use zygos_telemetry::{decompose, decomposition_at_quantile, ChromeTrace};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("gen-trace") => cmd_gen_trace(&args[1..]),
         _ => {
             eprintln!(
                 "usage: lab run <spec.toml>... [--smoke] [--check] [--baselines DIR] \
                  [--write-baselines] [--json]\n       lab bench [--smoke] [--check] [--write] \
-                 [--out FILE]\n       lab gen-trace [--out FILE]"
+                 [--out FILE]\n       lab trace <spec.toml> [--smoke] [--chrome FILE]\n       \
+                 lab gen-trace [--out FILE]"
             );
             ExitCode::from(2)
         }
     }
+}
+
+/// `lab trace`: full-fidelity lifecycle tracing of a scenario's
+/// simulator cases, independent of whatever `[telemetry]` block the
+/// spec carries (tracing here is forced on, series stay off so the
+/// engine event stream is untouched).
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut chrome: Option<PathBuf> = None;
+    let mut spec: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--chrome" => match it.next() {
+                Some(p) => chrome = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--chrome needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path if spec.is_none() => spec = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("lab trace takes one scenario file (got extra {extra:?})");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(spec) = spec else {
+        eprintln!("no scenario file given");
+        return ExitCode::from(2);
+    };
+    match run_trace(&spec, smoke, chrome.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lab trace FAILED [{}]: {e}", spec.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_trace(spec_path: &Path, smoke: bool, chrome: Option<&Path>) -> Result<(), String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("reading {}: {e}", spec_path.display()))?;
+    let sc: Scenario = scenario_from_toml(&text).map_err(|e| e.to_string())?;
+    println!(
+        "# lab trace {} ({} scale)",
+        sc.name,
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "# columns: scenario\tseries\tload\tquantile\ttotal_us\tqueue_us\tservice_us\t\
+         steal_us\tpreempt_us"
+    );
+    let mut ct = ChromeTrace::new();
+    let mut pid = 0u32;
+    let mut traced = 0usize;
+    for case in &sc.cases {
+        if !Scenario::host_is_traced(case.host) {
+            continue;
+        }
+        for &load in sc.loads(smoke) {
+            let mut cfg = sys_config_for(&sc, case, load, smoke).map_err(|e| e.to_string())?;
+            cfg.telemetry = Some(TelemetryConfig::full_trace());
+            let out = run_system(&cfg);
+            let tel = out
+                .telemetry
+                .ok_or_else(|| format!("case {:?} produced no telemetry", case.label))?;
+            if tel.dropped > 0 {
+                eprintln!(
+                    "# note: {} @ load {:.2} dropped {} lifecycle events (ring full)",
+                    case.label, load, tel.dropped
+                );
+            }
+            let mut decomps = decompose(&tel.events);
+            for q in [0.50, 0.99] {
+                if let Some(d) = decomposition_at_quantile(&mut decomps, q) {
+                    let (queue_us, service_us, steal_us, preempt_us) = d.as_us();
+                    println!(
+                        "{}\t{}\t{:.4}\tp{:.0}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+                        sc.name,
+                        case.label,
+                        load,
+                        q * 100.0,
+                        d.total_ns as f64 / 1_000.0,
+                        queue_us,
+                        service_us,
+                        steal_us,
+                        preempt_us,
+                    );
+                }
+            }
+            if chrome.is_some() {
+                pid += 1;
+                ct.add_process(pid, &format!("{} @ load {:.2}", case.label, load));
+                ct.add_events(pid, &tel.events);
+            }
+            traced += 1;
+        }
+    }
+    if traced == 0 {
+        return Err(
+            "no ZygOS-family simulator case to trace (IX/Linux hosts are not instrumented)"
+                .to_string(),
+        );
+    }
+    if let Some(path) = chrome {
+        std::fs::write(path, ct.finish())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "# wrote chrome trace {} ({} process(es))",
+            path.display(),
+            pid
+        );
+    }
+    Ok(())
 }
 
 fn cmd_bench(args: &[String]) -> ExitCode {
@@ -246,6 +378,7 @@ fn run_one(spec_path: &Path, flags: &RunFlags) -> Result<Vec<String>, String> {
     let mut errs = Vec::new();
     if flags.check || flags.write_baselines {
         errs.extend(check_claims(&sc, &report));
+        errs.extend(check_telemetry(&sc, &report));
     }
     if flags.write_baselines {
         let path = flags.baselines.join(format!("{}.json", sc.name));
@@ -301,6 +434,33 @@ fn print_report(sc: &Scenario, report: &Report) {
                 println!(
                     "{}\t{}\tshed_share_class{}\t{:.4}\t{:.3}",
                     report.scenario, s.label, c, p.load, share
+                );
+            }
+            // Decomposition rows only when the point was actually traced
+            // (untraced points carry honest zeros, not measurements).
+            let decomp: [(&str, f64); 4] = [
+                ("p99_queue_us", p.p99_queue_us),
+                ("p99_service_us", p.p99_service_us),
+                ("p99_steal_us", p.p99_steal_us),
+                ("p99_preempt_us", p.p99_preempt_us),
+            ];
+            if decomp.iter().any(|(_, v)| *v > 0.0) {
+                for (name, v) in decomp {
+                    println!(
+                        "{}\t{}\t{}\t{:.4}\t{:.3}",
+                        report.scenario, s.label, name, p.load, v
+                    );
+                }
+            }
+            for ts in &p.timeseries {
+                println!(
+                    "{}\t{}\tseries:{}\t{:.4}\t{} point(s), last {:.3}",
+                    report.scenario,
+                    s.label,
+                    ts.name,
+                    p.load,
+                    ts.points.len(),
+                    ts.points.last().map_or(0.0, |&(_, v)| v),
                 );
             }
         }

@@ -190,6 +190,55 @@ pub fn check_claims(sc: &Scenario, report: &Report) -> Vec<String> {
     errs
 }
 
+/// Pins the telemetry the scenario requested: every ZygOS-family sim
+/// series must carry the p99 sojourn decomposition (components summing
+/// to the measured p99 within 1% — the attribution is an exact
+/// partition, so the bound only absorbs histogram bucketing) and one
+/// non-empty time-series per requested kind. Returns every violation.
+pub fn check_telemetry(sc: &Scenario, report: &Report) -> Vec<String> {
+    let Some(tel) = &sc.telemetry else {
+        return Vec::new();
+    };
+    let mut errs = Vec::new();
+    for s in &report.series {
+        let Some(case) = sc.case(&s.label) else {
+            continue;
+        };
+        if !Scenario::host_is_traced(case.host) {
+            continue;
+        }
+        for p in &s.points {
+            if tel.trace && p.p99_us > 0.0 {
+                let sum = p.p99_queue_us + p.p99_service_us + p.p99_steal_us + p.p99_preempt_us;
+                if (sum - p.p99_us).abs() > 0.01 * p.p99_us {
+                    errs.push(format!(
+                        "[{}] load {:.2}: decomposition sum {sum:.2}us does not match the \
+                         measured p99 {:.2}us (must agree within 1%)",
+                        s.label, p.load, p.p99_us
+                    ));
+                }
+            }
+            for kind in &tel.series {
+                // Per-class kinds register one series per class; a name
+                // prefix match covers both spellings.
+                let present = p
+                    .timeseries
+                    .iter()
+                    .any(|ts| ts.name.starts_with(kind.name()) && !ts.points.is_empty());
+                if !present {
+                    errs.push(format!(
+                        "[{}] load {:.2}: requested series {:?} is missing or empty",
+                        s.label,
+                        p.load,
+                        kind.name()
+                    ));
+                }
+            }
+        }
+    }
+    errs
+}
+
 /// Compares a fresh report against a committed baseline. Structure must
 /// match exactly; deterministic series additionally compare headline
 /// numbers within `sc.check_tolerance` (relative, with small absolute
@@ -369,6 +418,39 @@ mod tests {
         assert!(errs.iter().any(|e| e.contains("diverge")), "{errs:?}");
         let errs = check_claims(&sc, &report(2_500.0, 90.0, 0.0));
         assert!(errs.iter().any(|e| e.contains("must shed")), "{errs:?}");
+    }
+
+    #[test]
+    fn telemetry_pins_catch_bad_decomposition_and_missing_series() {
+        use crate::report::TraceSeries;
+        use crate::spec::TelemetrySpec;
+        use zygos_sysim::SeriesKind;
+        let mut sc = scenario();
+        sc.telemetry = Some(TelemetrySpec {
+            series: vec![SeriesKind::AdmittedRate],
+            ..TelemetrySpec::default()
+        });
+        // Bare points: no decomposition, no series — both pins fire.
+        let bare = report(2_500.0, 90.0, 0.3);
+        let errs = check_telemetry(&sc, &bare);
+        assert!(errs.iter().any(|e| e.contains("decomposition")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("admitted_rate")), "{errs:?}");
+        // Faithful points: components partition the p99, series present.
+        let mut good = bare.clone();
+        for s in &mut good.series {
+            for p in &mut s.points {
+                p.p99_queue_us = 0.6 * p.p99_us;
+                p.p99_service_us = 0.4 * p.p99_us;
+                p.timeseries = vec![TraceSeries {
+                    name: "admitted_rate".into(),
+                    points: vec![(25.0, 1.2)],
+                }];
+            }
+        }
+        assert!(check_telemetry(&sc, &good).is_empty());
+        // A scenario without telemetry pins nothing.
+        let plain = scenario();
+        assert!(check_telemetry(&plain, &bare).is_empty());
     }
 
     #[test]

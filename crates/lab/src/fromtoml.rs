@@ -45,7 +45,9 @@ use zygos_sim::dist::ServiceDist;
 use zygos_sysim::config::AllocKind;
 use zygos_sysim::AdmissionMode;
 
-use crate::spec::{Case, Claims, HostSpec, Scenario, SpecError};
+use zygos_sysim::SeriesKind;
+
+use crate::spec::{Case, Claims, HostSpec, Scenario, SpecError, TelemetrySpec};
 use crate::toml::{self, Table, Value};
 
 /// Parses a scenario from TOML text.
@@ -53,7 +55,10 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
     let doc = toml::parse(text).map_err(SpecError::new)?;
     check_keys("top level", &doc.root, &["name"])?;
     for table in doc.tables.keys() {
-        if !matches!(table.as_str(), "workload" | "scale" | "claims" | "check") {
+        if !matches!(
+            table.as_str(),
+            "workload" | "scale" | "telemetry" | "claims" | "check"
+        ) {
             return Err(SpecError::new(format!("unknown table [{table}]")));
         }
     }
@@ -146,6 +151,9 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
         b = b.case(parse_case(t, i)?);
     }
 
+    if let Some(t) = doc.tables.get("telemetry") {
+        b = b.telemetry(parse_telemetry(t)?);
+    }
     if let Some(c) = doc.tables.get("claims") {
         b = b.claims(parse_claims(c)?);
     }
@@ -405,6 +413,56 @@ fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
     Ok(case)
 }
 
+/// `[telemetry]`: `trace` (default true — writing the block means you
+/// want the decomposition), `sample_period`, `series` (registry names),
+/// `series_every`, `max_series_points`.
+fn parse_telemetry(t: &Table) -> Result<TelemetrySpec, SpecError> {
+    check_keys(
+        "[telemetry]",
+        t,
+        &[
+            "trace",
+            "sample_period",
+            "series",
+            "series_every",
+            "max_series_points",
+        ],
+    )?;
+    let mut spec = TelemetrySpec::default();
+    if let Some(v) = t.get("trace") {
+        spec.trace = v
+            .as_bool()
+            .ok_or_else(|| SpecError::new("[telemetry] trace must be true/false"))?;
+    }
+    if let Some(v) = opt_num(t, "sample_period", "[telemetry]")? {
+        spec.sample_period = as_count(v, "sample_period")? as u32;
+    }
+    if let Some(v) = opt_num(t, "series_every", "[telemetry]")? {
+        spec.series_every = as_count(v, "series_every")? as u32;
+    }
+    if let Some(v) = opt_num(t, "max_series_points", "[telemetry]")? {
+        spec.max_series_points = as_count(v, "max_series_points")?;
+    }
+    if let Some(v) = t.get("series") {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| SpecError::new("[telemetry] series must be an array of strings"))?;
+        for item in items {
+            let name = item
+                .as_str()
+                .ok_or_else(|| SpecError::new("[telemetry] series must hold strings"))?;
+            let kind = SeriesKind::parse(name).ok_or_else(|| {
+                SpecError::new(format!(
+                    "[telemetry] unknown series {name:?} (admitted_rate, credit_capacity, \
+                     active_cores, shed_by_class)"
+                ))
+            })?;
+            spec.series.push(kind);
+        }
+    }
+    Ok(spec)
+}
+
 fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
     check_keys(
         "[claims]",
@@ -546,6 +604,33 @@ host = "sim:zygos"
         let text = MINIMAL.replace("mean_us = 10.0", "mean_us = 10.0\nfrobnicate = 3");
         let e = scenario_from_toml(&text).expect_err("reject");
         assert!(e.to_string().contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn telemetry_block_parses_and_rejects_unknown_series() {
+        let text = MINIMAL.to_string()
+            + r#"
+[telemetry]
+series = ["admitted_rate", "active_cores", "shed_by_class"]
+series_every = 8
+sample_period = 2
+"#;
+        let s = scenario_from_toml(&text).expect("valid");
+        let t = s.telemetry.as_ref().expect("armed");
+        assert!(t.trace, "block present defaults the tracer on");
+        assert_eq!(t.sample_period, 2);
+        assert_eq!(t.series_every, 8);
+        assert_eq!(
+            t.series,
+            vec![
+                SeriesKind::AdmittedRate,
+                SeriesKind::ActiveCores,
+                SeriesKind::ShedByClass
+            ]
+        );
+        let bad = text.replace("\"active_cores\"", "\"warp_factor\"");
+        let e = scenario_from_toml(&bad).expect_err("reject");
+        assert!(e.to_string().contains("warp_factor"), "{e}");
     }
 
     #[test]

@@ -52,15 +52,18 @@ pub mod spec;
 pub mod toml;
 pub mod traces;
 
-pub use bench::{check_bench, run_bench, BenchReport, BENCH_BASELINE, REGRESSION_TOLERANCE};
-pub use check::{check_baseline, check_claims};
+pub use bench::{
+    check_bench, run_bench, BenchReport, BENCH_BASELINE, REGRESSION_TOLERANCE,
+    TRACE_ON_MAX_OVERHEAD, TRACE_PAIR,
+};
+pub use check::{check_baseline, check_claims, check_telemetry};
 pub use fromtoml::scenario_from_toml;
-pub use report::{PointMetrics, Report, Series};
+pub use report::{PointMetrics, Report, Series, TraceSeries};
 pub use runner::{
     max_load_at_slo, run_case, run_point, run_scenario, run_scenario_threads, runtime_config_for,
     sys_config_for, xy,
 };
 pub use spec::{
     AdmissionSpec, Case, Claims, HostSpec, LiveHost, PolicySpec, ScaleSpec, Scenario,
-    ScenarioBuilder, SimHost, SpecError, WorkloadSpec,
+    ScenarioBuilder, SimHost, SpecError, TelemetrySpec, WorkloadSpec,
 };

@@ -48,6 +48,32 @@ pub struct PointMetrics {
     pub shed_share_by_class: Vec<f64>,
     /// Each class's own shed rate (empty without tenant classes).
     pub shed_rate_by_class: Vec<f64>,
+    /// p99 sojourn decomposition, µs: time the p99 request spent queued
+    /// (wire ingress + HoL blocking). Zero when tracing is off or the
+    /// host records nothing. The four components sum to the p99 sojourn
+    /// (within histogram bucket precision, checked by `lab --check`).
+    pub p99_queue_us: f64,
+    /// p99 decomposition: application execution + response TX + egress.
+    pub p99_service_us: f64,
+    /// p99 decomposition: steal grab + the stolen result's ride home.
+    pub p99_steal_us: f64,
+    /// p99 decomposition: background-queue wait after preemptions.
+    pub p99_preempt_us: f64,
+    /// Control-tick time-series harvested at this point (empty when the
+    /// scenario requests none): admitted rate, credit capacity, active
+    /// cores, per-class shed rate — one entry per registered series.
+    pub timeseries: Vec<TraceSeries>,
+}
+
+/// One named time-series of a point: `(t_us, value)` samples in time
+/// order, as harvested from the host's telemetry registry.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TraceSeries {
+    /// Registry name (`admitted_rate`, `credit_capacity`, `active_cores`,
+    /// `shed_rate_class<i>`).
+    pub name: String,
+    /// `(time µs since run start, value)` samples.
+    pub points: Vec<(f64, f64)>,
 }
 
 /// One case's sweep.
@@ -78,8 +104,9 @@ pub struct Report {
     pub series: Vec<Series>,
 }
 
-/// Current schema version.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Current schema version. v2 added the p99 sojourn decomposition and
+/// per-point telemetry time-series.
+pub const SCHEMA_VERSION: u32 = 2;
 
 impl Report {
     /// The series with `label`, if any.
@@ -117,15 +144,21 @@ impl Report {
                     ("core_seconds", p.core_seconds),
                     ("shed_fraction", p.shed_fraction),
                     ("wasted_wire_us", p.wasted_wire_us),
+                    ("p99_queue_us", p.p99_queue_us),
+                    ("p99_service_us", p.p99_service_us),
+                    ("p99_steal_us", p.p99_steal_us),
+                    ("p99_preempt_us", p.p99_preempt_us),
                 ];
                 for (name, v) in fields {
                     let _ = write!(out, "\"{name}\": {}, ", num(v));
                 }
                 let _ = write!(
                     out,
-                    "\"shed_share_by_class\": {}, \"shed_rate_by_class\": {}",
+                    "\"shed_share_by_class\": {}, \"shed_rate_by_class\": {}, \
+                     \"timeseries\": {}",
                     num_array(&p.shed_share_by_class),
-                    num_array(&p.shed_rate_by_class)
+                    num_array(&p.shed_rate_by_class),
+                    series_array(&p.timeseries)
                 );
                 out.push('}');
                 out.push_str(if j + 1 < s.points.len() { ",\n" } else { "\n" });
@@ -163,6 +196,26 @@ impl Report {
                 let arr = |k: &str| -> Result<Vec<f64>, String> {
                     get(po, k)?.array(k)?.iter().map(|x| x.number(k)).collect()
                 };
+                let mut timeseries = Vec::new();
+                for (k, tv) in get(po, "timeseries")?
+                    .array("timeseries")?
+                    .iter()
+                    .enumerate()
+                {
+                    let to = tv.object(&format!("timeseries[{k}]"))?;
+                    let mut pts = Vec::new();
+                    for pair in get(to, "points")?.array("points")? {
+                        let pair = pair.array("series point")?;
+                        if pair.len() != 2 {
+                            return Err("series point must be [t_us, value]".into());
+                        }
+                        pts.push((pair[0].number("t_us")?, pair[1].number("value")?));
+                    }
+                    timeseries.push(TraceSeries {
+                        name: get(to, "name")?.string("name")?,
+                        points: pts,
+                    });
+                }
                 points.push(PointMetrics {
                     load: f("load")?,
                     mrps: f("mrps")?,
@@ -178,6 +231,11 @@ impl Report {
                     wasted_wire_us: f("wasted_wire_us")?,
                     shed_share_by_class: arr("shed_share_by_class")?,
                     shed_rate_by_class: arr("shed_rate_by_class")?,
+                    p99_queue_us: f("p99_queue_us")?,
+                    p99_service_us: f("p99_service_us")?,
+                    p99_steal_us: f("p99_steal_us")?,
+                    p99_preempt_us: f("p99_preempt_us")?,
+                    timeseries,
                 });
             }
             series.push(Series {
@@ -212,6 +270,25 @@ fn num(v: f64) -> String {
 
 fn num_array(vs: &[f64]) -> String {
     let inner: Vec<String> = vs.iter().map(|&v| num(v)).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn series_array(series: &[TraceSeries]) -> String {
+    let inner: Vec<String> = series
+        .iter()
+        .map(|s| {
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(t, v)| format!("[{}, {}]", num(t), num(v)))
+                .collect();
+            format!(
+                "{{\"name\": {}, \"points\": [{}]}}",
+                quote(&s.name),
+                pts.join(", ")
+            )
+        })
+        .collect();
     format!("[{}]", inner.join(", "))
 }
 
@@ -484,6 +561,14 @@ mod tests {
                         wasted_wire_us: 19_000.0,
                         shed_share_by_class: vec![0.01, 0.99],
                         shed_rate_by_class: vec![0.02, 0.61],
+                        p99_queue_us: 61.5,
+                        p99_service_us: 24.25,
+                        p99_steal_us: 1.0,
+                        p99_preempt_us: 0.25,
+                        timeseries: vec![TraceSeries {
+                            name: "admitted_rate".to_string(),
+                            points: vec![(25.0, 1.4), (50.0, 1.38)],
+                        }],
                         ..PointMetrics::default()
                     }],
                 },

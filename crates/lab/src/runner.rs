@@ -33,8 +33,9 @@ use zygos_sim::queueing::{self, QueueConfig};
 use zygos_sim::rng::Xoshiro256;
 use zygos_sim::stats::LatencyHistogram;
 use zygos_sysim::{run_system, AdmissionMode, SysConfig, SysOutput, SystemKind};
+use zygos_telemetry::{decompose, decomposition_at_quantile};
 
-use crate::report::{PointMetrics, Report, Series, SCHEMA_VERSION};
+use crate::report::{PointMetrics, Report, Series, TraceSeries, SCHEMA_VERSION};
 use crate::spec::{AdmissionSpec, Case, HostSpec, LiveHost, Scenario, SimHost, SpecError};
 
 /// Hard per-point completion cap for live cases: wall-clock experiments
@@ -282,6 +283,14 @@ pub fn sys_config_for(
         cfg.admission = Some(credit_config_for(a, sc.workload.cores));
         cfg.admission_mode = a.mode;
     }
+    if let Some(t) = &sc.telemetry {
+        // Only the ZygOS-family models record; leaving IX/Linux configs
+        // off keeps their report zeros honest rather than silently
+        // requested-and-dropped.
+        if Scenario::host_is_traced(case.host) {
+            cfg.telemetry = Some(t.to_config());
+        }
+    }
     Ok(cfg)
 }
 
@@ -339,6 +348,27 @@ fn sim_metrics(cfg: &SysConfig, out: SysOutput, case: &Case) -> PointMetrics {
             Vec::new()
         }
     };
+    let (p99_queue_us, p99_service_us, p99_steal_us, p99_preempt_us) = out
+        .telemetry
+        .as_ref()
+        .and_then(|t| {
+            let mut decomps = decompose(&t.events);
+            decomposition_at_quantile(&mut decomps, 0.99).map(|d| d.as_us())
+        })
+        .unwrap_or_default();
+    let timeseries = out
+        .telemetry
+        .as_ref()
+        .map(|t| {
+            t.series
+                .iter()
+                .map(|s| TraceSeries {
+                    name: s.name.clone(),
+                    points: s.points.clone(),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     PointMetrics {
         load: cfg.load,
         mrps: out.throughput_mrps(),
@@ -358,6 +388,11 @@ fn sim_metrics(cfg: &SysConfig, out: SysOutput, case: &Case) -> PointMetrics {
         wasted_wire_us: out.wasted_wire_us(),
         shed_share_by_class: per_class(&|c| out.shed_share_of_class(c)),
         shed_rate_by_class: per_class(&|c| out.shed_rate_of_class(c)),
+        p99_queue_us,
+        p99_service_us,
+        p99_steal_us,
+        p99_preempt_us,
+        timeseries,
     }
 }
 
@@ -679,6 +714,81 @@ mod tests {
             p.p99_us
         );
         assert!(p.shed_fraction == 0.0, "no gate, no sheds");
+    }
+
+    #[test]
+    fn telemetry_decomposes_the_tail_and_carries_series() {
+        use crate::spec::TelemetrySpec;
+        use zygos_sysim::SeriesKind;
+        let sc = Scenario::builder("telem")
+            .service(ServiceDist::exponential_us(10.0))
+            .cores(4)
+            .conns(64)
+            .loads(vec![1.3])
+            .requests(6_000, 1_200)
+            .smoke(3_000, 600)
+            .case(
+                Case::sim("credits", SimHost::Zygos)
+                    .admission(AdmissionMode::ServerEdge)
+                    .credit_target_us(70.0),
+            )
+            .telemetry(TelemetrySpec {
+                series: vec![SeriesKind::AdmittedRate, SeriesKind::CreditCapacity],
+                ..TelemetrySpec::default()
+            })
+            .build()
+            .expect("valid");
+        let report = run_scenario(&sc, true).expect("runs");
+        let p = &report.series[0].points[0];
+        // The decomposition is an exact partition of the tail sojourn:
+        // components sum to the measured p99 within bucket precision.
+        let sum = p.p99_queue_us + p.p99_service_us + p.p99_steal_us + p.p99_preempt_us;
+        assert!(
+            (sum - p.p99_us).abs() <= 0.01 * p.p99_us,
+            "decomposition {sum:.2} vs p99 {:.2}",
+            p.p99_us
+        );
+        assert!(p.p99_queue_us > 0.0 && p.p99_service_us > 0.0);
+        for want in ["admitted_rate", "credit_capacity"] {
+            assert!(
+                p.timeseries
+                    .iter()
+                    .any(|s| s.name == want && !s.points.is_empty()),
+                "series {want} missing from the report point"
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_leaves_base_report_metrics_bit_identical() {
+        use crate::spec::TelemetrySpec;
+        // The same scenario with and without the tracer: every base
+        // metric must match bit-for-bit (tracing only observes), and the
+        // traced run additionally carries the decomposition.
+        let plain = tiny();
+        let mut traced = tiny();
+        traced.telemetry = Some(TelemetrySpec::default()); // trace, no series
+        let a = run_scenario(&plain, true).expect("runs");
+        let b = run_scenario(&traced, true).expect("runs");
+        let (pa, pb) = (&a.series[0].points[0], &b.series[0].points[0]);
+        for (x, y, name) in [
+            (pa.mrps, pb.mrps, "mrps"),
+            (pa.p50_us, pb.p50_us, "p50"),
+            (pa.p99_us, pb.p99_us, "p99"),
+            (pa.p999_us, pb.p999_us, "p999"),
+            (pa.steal_fraction, pb.steal_fraction, "steal"),
+            (pa.avg_cores, pb.avg_cores, "cores"),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name} perturbed by tracing");
+        }
+        assert_eq!(
+            pa.p99_queue_us, 0.0,
+            "untraced run carries no decomposition"
+        );
+        assert!(
+            pb.p99_queue_us + pb.p99_service_us > 0.0,
+            "traced run decomposes"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use zygos_sched::{BackgroundOrder, CreditConfig};
 use zygos_sim::dist::ServiceDist;
 use zygos_sim::queueing::Policy;
 use zygos_sysim::config::AllocKind;
-use zygos_sysim::AdmissionMode;
+use zygos_sysim::{AdmissionMode, SeriesKind, TelemetryConfig};
 
 /// Which simulator system model a [`HostSpec::Sim`] case runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -362,6 +362,51 @@ impl Case {
     }
 }
 
+/// Telemetry requested for a scenario's simulator cases: lifecycle
+/// tracing (which puts the p99 sojourn decomposition into the report)
+/// and/or control-tick time-series. The simulator instruments the
+/// ZygOS-family hosts; IX/Linux and live cases carry empty telemetry, so
+/// validation requires at least one case that can actually record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetrySpec {
+    /// Arm the lifecycle tracer (decomposition fields in the report).
+    pub trace: bool,
+    /// Record every `sample_period`-th request (1 = every request).
+    pub sample_period: u32,
+    /// Time-series to harvest on the control tick.
+    pub series: Vec<SeriesKind>,
+    /// Harvest one point every `series_every` control ticks.
+    pub series_every: u32,
+    /// Cap on stored points per series (excess is counted, not kept).
+    pub max_series_points: usize,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        let d = TelemetryConfig::default();
+        TelemetrySpec {
+            trace: true,
+            sample_period: d.sample_period,
+            series: Vec::new(),
+            series_every: d.series_every,
+            max_series_points: d.max_series_points,
+        }
+    }
+}
+
+impl TelemetrySpec {
+    /// The host-side config this spec lowers to.
+    pub fn to_config(&self) -> TelemetryConfig {
+        TelemetryConfig {
+            trace: self.trace,
+            sample_period: self.sample_period,
+            series: self.series.clone(),
+            series_every: self.series_every,
+            max_series_points: self.max_series_points,
+        }
+    }
+}
+
 /// Measurement sizing, full and smoke.
 #[derive(Clone, Debug)]
 pub struct ScaleSpec {
@@ -472,6 +517,8 @@ pub struct Scenario {
     pub cases: Vec<Case>,
     /// Measurement sizing.
     pub scale: ScaleSpec,
+    /// Telemetry recorded by simulator cases (`None` records nothing).
+    pub telemetry: Option<TelemetrySpec>,
     /// Acceptance claims.
     pub claims: Claims,
     /// Relative tolerance for baseline diffs (default 0.5 — smoke
@@ -492,6 +539,7 @@ impl Scenario {
             loads: Vec::new(),
             cases: Vec::new(),
             scale: ScaleSpec::default(),
+            telemetry: None,
             claims: Claims::default(),
             check_tolerance: 0.5,
         }
@@ -500,6 +548,15 @@ impl Scenario {
     /// The case with `label`, if any.
     pub fn case(&self, label: &str) -> Option<&Case> {
         self.cases.iter().find(|c| c.label == label)
+    }
+
+    /// True for hosts the simulator's tracer instruments (the
+    /// ZygOS-family models; IX/Linux and live hosts record nothing).
+    pub fn host_is_traced(host: HostSpec) -> bool {
+        matches!(
+            host,
+            HostSpec::Sim(SimHost::Zygos | SimHost::ZygosNoInterrupts | SimHost::Elastic)
+        )
     }
 
     /// The load grid for a mode.
@@ -541,6 +598,7 @@ pub struct ScenarioBuilder {
     loads: Vec<f64>,
     cases: Vec<Case>,
     scale: ScaleSpec,
+    telemetry: Option<TelemetrySpec>,
     claims: Claims,
     check_tolerance: f64,
 }
@@ -605,6 +663,12 @@ impl ScenarioBuilder {
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.scale.seed = seed;
+        self
+    }
+
+    /// Arms scenario-wide telemetry (simulator cases).
+    pub fn telemetry(mut self, t: TelemetrySpec) -> Self {
+        self.telemetry = Some(t);
         self
     }
 
@@ -689,6 +753,23 @@ impl ScenarioBuilder {
                 }
             }
         }
+        if let Some(t) = &self.telemetry {
+            if t.to_config().is_off() {
+                return err(
+                    "a [telemetry] block that records nothing: arm `trace` or list series".into(),
+                );
+            }
+            if t.sample_period == 0 || t.series_every == 0 || t.max_series_points == 0 {
+                return err("telemetry periods and caps must be >= 1".into());
+            }
+            if !self.cases.iter().any(|c| Scenario::host_is_traced(c.host)) {
+                return err(
+                    "telemetry is recorded by ZygOS-family simulator hosts only; \
+                     every case here would silently record nothing"
+                        .into(),
+                );
+            }
+        }
         validate_claims(&self.claims, &self.cases, &self.loads, &self.scale)?;
         if self.check_tolerance <= 0.0 {
             return err("check tolerance must be positive".into());
@@ -704,6 +785,7 @@ impl ScenarioBuilder {
             },
             cases: self.cases,
             scale: self.scale,
+            telemetry: self.telemetry,
             claims: self.claims,
             check_tolerance: self.check_tolerance,
         })
@@ -1047,6 +1129,43 @@ mod tests {
             .claims(claims)
             .build();
         assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn telemetry_needs_a_host_that_records() {
+        // An all-off block is contradictory.
+        let off = TelemetrySpec {
+            trace: false,
+            series: Vec::new(),
+            ..TelemetrySpec::default()
+        };
+        let e = base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .telemetry(off)
+            .build()
+            .expect_err("records nothing");
+        assert!(e.to_string().contains("records nothing"), "{e}");
+        // Telemetry over hosts the tracer does not instrument.
+        let e = base()
+            .case(Case::sim("ix", SimHost::Ix))
+            .telemetry(TelemetrySpec::default())
+            .build()
+            .expect_err("no traced host");
+        assert!(e.to_string().contains("ZygOS-family"), "{e}");
+        // With a ZygOS-family case it builds and lowers faithfully.
+        let sc = base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .telemetry(TelemetrySpec {
+                series: vec![SeriesKind::ActiveCores],
+                series_every: 4,
+                ..TelemetrySpec::default()
+            })
+            .build()
+            .expect("valid");
+        let cfg = sc.telemetry.as_ref().expect("kept").to_config();
+        assert!(cfg.trace && !cfg.is_off());
+        assert_eq!(cfg.series, vec![SeriesKind::ActiveCores]);
+        assert_eq!(cfg.series_every, 4);
     }
 
     #[test]

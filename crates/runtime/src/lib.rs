@@ -38,3 +38,6 @@ pub use app::RpcApp;
 pub use client::ClientPort;
 pub use config::{RuntimeConfig, SchedulerKind};
 pub use server::Server;
+// What [`Server::metric_series`] returns — re-exported so callers need
+// not depend on `zygos-telemetry` directly.
+pub use zygos_telemetry::TimeSeries;

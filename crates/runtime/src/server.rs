@@ -62,6 +62,7 @@ use zygos_net::packet::{Packet, RpcMessage};
 use zygos_net::ring::MpscRing;
 use zygos_net::rss::Rss;
 use zygos_net::wire::Framer;
+use zygos_telemetry::{Registry, SeriesId, TimeSeries};
 
 use crate::app::RpcApp;
 use crate::client::ClientPort;
@@ -111,7 +112,30 @@ pub(crate) struct Shared {
     /// Control-tick gate shared by all of worker 0's controller duties
     /// (present when any controller is armed).
     ctl_tick: Option<SpinLock<Instant>>,
+    /// Control-tick metrics registry: worker 0 publishes each tick's
+    /// staffing and admission signals here as bounded time-series, and
+    /// [`Server::metric_series`] snapshots them without consuming —
+    /// the fix for the old read-once-and-lost control-tick gauges.
+    telem: SpinLock<RuntimeTelem>,
 }
+
+/// The runtime's registry plus the handles worker 0 publishes through.
+/// Series are registered at startup for the controllers actually armed;
+/// the rest stay `None` and cost one untaken branch per tick.
+struct RuntimeTelem {
+    reg: Registry,
+    start: Instant,
+    s_ratio: Option<SeriesId>,
+    s_active: Option<SeriesId>,
+    s_credits: Option<SeriesId>,
+    s_admitted: Option<SeriesId>,
+    /// Admitted-counter snapshot at the previous tick (for the rate).
+    last_admitted: u64,
+}
+
+/// Points kept per control-tick series (1ms ticks → ~8s of history; the
+/// registry refuses, counts and never reallocates past the cap).
+const RUNTIME_SERIES_CAP: usize = 8_192;
 
 struct ElasticCtl {
     gate: ElasticGate,
@@ -307,6 +331,30 @@ impl Server {
         let slo = cfg.slo.clone().map(|slos| SloSignal::new(slos, cfg.cores));
         let ctl_tick = (elastic.is_some() || credits.is_some() || slo.is_some())
             .then(|| SpinLock::new(Instant::now()));
+        let telem = {
+            let mut reg = Registry::new();
+            let s_ratio = slo
+                .is_some()
+                .then(|| reg.register_series("slo_ratio", RUNTIME_SERIES_CAP));
+            let s_active = elastic
+                .is_some()
+                .then(|| reg.register_series("active_cores", RUNTIME_SERIES_CAP));
+            let s_credits = credits
+                .is_some()
+                .then(|| reg.register_series("credit_capacity", RUNTIME_SERIES_CAP));
+            let s_admitted = credits
+                .is_some()
+                .then(|| reg.register_series("admitted_rate", RUNTIME_SERIES_CAP));
+            SpinLock::new(RuntimeTelem {
+                reg,
+                start: Instant::now(),
+                s_ratio,
+                s_active,
+                s_credits,
+                s_admitted,
+                last_admitted: 0,
+            })
+        };
         let shared = Arc::new(Shared {
             rings: (0..cfg.cores)
                 .map(|_| MpscRing::with_capacity(cfg.ring_capacity))
@@ -326,6 +374,7 @@ impl Server {
             credits,
             slo,
             ctl_tick,
+            telem,
             cfg: cfg.clone(),
         });
         let workers = (0..cfg.cores)
@@ -375,6 +424,21 @@ impl Server {
             .load(Ordering::Relaxed);
         let r = f64::from_bits(bits);
         r.is_finite().then_some(r)
+    }
+
+    /// Snapshot of one named control-tick time-series (`"slo_ratio"`,
+    /// `"active_cores"`, `"credit_capacity"`, `"admitted_rate"` — see
+    /// `docs/OBSERVABILITY.md` for the naming scheme). `None` when the
+    /// corresponding controller is not armed. Reading does not consume:
+    /// unlike the old read-once gauges, the full trajectory stays
+    /// available — e.g. the staffing signal's history across a load step.
+    pub fn metric_series(&self, name: &str) -> Option<TimeSeries> {
+        self.shared.telem.lock().reg.series(name).cloned()
+    }
+
+    /// Snapshot of every control-tick time-series (registration order).
+    pub fn metric_series_all(&self) -> Vec<TimeSeries> {
+        self.shared.telem.lock().reg.take_series()
     }
 
     /// The home core of a connection (RSS).
@@ -539,6 +603,28 @@ fn control_tick(shared: &Shared) {
             // No latency signal configured: AIMD on aggregate queue depth
             // (the PR-2 congestion proxy).
             None => gate.gate.update(backlog as f64),
+        }
+    }
+    // Publish this tick's signals into the registry: the same decision
+    // inputs the controllers just consumed, now re-readable as bounded
+    // time-series instead of read-once gauges.
+    let mut t = shared.telem.lock();
+    let t_us = t.start.elapsed().as_micros() as f64;
+    if let (Some(id), Some(r)) = (t.s_ratio, slo_ratio) {
+        t.reg.push(id, t_us, r);
+    }
+    if let (Some(id), Some(ctl)) = (t.s_active, shared.elastic.as_ref()) {
+        t.reg.push(id, t_us, ctl.gate.active() as f64);
+    }
+    if let Some(gate) = &shared.credits {
+        if let Some(id) = t.s_credits {
+            t.reg.push(id, t_us, gate.gate.capacity() as f64);
+        }
+        if let Some(id) = t.s_admitted {
+            let total = gate.gate.admitted();
+            let rate = (total - t.last_admitted) as f64 / elapsed.as_secs_f64().max(1e-9);
+            t.reg.push(id, t_us, rate);
+            t.last_admitted = total;
         }
     }
 }

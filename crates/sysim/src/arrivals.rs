@@ -21,6 +21,10 @@ use crate::config::SysConfig;
 pub struct Req {
     /// Connection index.
     pub conn: u32,
+    /// Monotonic request sequence number (generation order) — the
+    /// telemetry plane's correlation key and sampling gate. Stamped from
+    /// a counter, never an RNG, so tracing cannot perturb the workload.
+    pub seq: u32,
     /// Home core of the connection (RSS).
     pub home: u16,
     /// Client send timestamp.
@@ -38,6 +42,7 @@ pub struct Source {
     conn_home: Vec<u16>,
     service: ServiceDist,
     arrivals: Box<dyn ArrivalSource>,
+    next_seq: u32,
     /// One-way wire latency (half the configured RTT).
     pub half_rtt: SimDuration,
 }
@@ -54,6 +59,7 @@ impl Source {
             conn_home,
             service: cfg.service.clone(),
             arrivals: cfg.arrivals.source(cfg.lambda_per_us()),
+            next_seq: 0,
             half_rtt: SimDuration::from_nanos(cfg.cost.network_rtt_ns / 2),
         }
     }
@@ -71,8 +77,11 @@ impl Source {
     /// Generates the next request, stamped with send time `now`.
     pub fn next_req(&mut self, now: SimTime) -> Req {
         let conn = self.rng.next_bounded(self.conn_home.len() as u64) as u32;
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
         Req {
             conn,
+            seq,
             home: self.conn_home[conn as usize],
             send: now,
             service: self.service.sample(&mut self.rng),
@@ -110,10 +119,13 @@ impl Recorder {
 
     /// Records that `req`'s response left the server at `tx_time`.
     ///
-    /// The client observes it half an RTT later.
-    pub fn complete(&mut self, req: &Req, tx_time: SimTime) {
+    /// The client observes it half an RTT later. Returns `true` when the
+    /// completion landed in the measurement window (i.e. the latency
+    /// histogram recorded it) — the telemetry plane uses this to trace
+    /// exactly the histogram's population, no more, no less.
+    pub fn complete(&mut self, req: &Req, tx_time: SimTime) -> bool {
         if self.done {
-            return;
+            return false;
         }
         self.completed += 1;
         if self.completed == self.warmup {
@@ -126,7 +138,9 @@ impl Recorder {
                 self.done = true;
                 self.meas_end = tx_time;
             }
+            return true;
         }
+        false
     }
 
     /// True once the target completion count is reached.
@@ -189,6 +203,7 @@ mod tests {
         let mut r = Recorder::new(&c, SimDuration::from_micros(2));
         let req = Req {
             conn: 0,
+            seq: 0,
             home: 0,
             send: SimTime::ZERO,
             service: SimDuration::from_micros(1),
@@ -216,6 +231,7 @@ mod tests {
         let mut r = Recorder::new(&c, SimDuration::ZERO);
         let req = Req {
             conn: 0,
+            seq: 0,
             home: 0,
             send: SimTime::ZERO,
             service: SimDuration::from_micros(1),

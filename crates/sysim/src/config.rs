@@ -6,6 +6,7 @@ use zygos_net::cost::CostModel;
 use zygos_sched::{BackgroundOrder, CreditConfig};
 use zygos_sim::dist::ServiceDist;
 use zygos_sim::stats::LatencyHistogram;
+use zygos_telemetry::{TelemetryConfig, TelemetryOut};
 
 /// Which system model to simulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +170,13 @@ pub struct SysConfig {
     /// and, with [`SysConfig::admission`], the per-class credit targets
     /// and weighted-fair shed order.
     pub slo: Option<TenantSlos>,
+    /// Telemetry plane: lifecycle tracing and control-tick time-series
+    /// (see `zygos_telemetry::TelemetryConfig`). `None` — the default —
+    /// compiles the whole plane down to one untaken branch per lifecycle
+    /// point, keeping the hot loop inside its bench gate. Tracing only
+    /// *records*: it never touches an RNG or reorders an event, so every
+    /// other [`SysOutput`] field is bit-identical traced or not.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl SysConfig {
@@ -208,6 +216,7 @@ impl SysConfig {
             admission: None,
             admission_mode: AdmissionMode::default(),
             slo: None,
+            telemetry: None,
         }
     }
 
@@ -263,6 +272,11 @@ pub struct SysOutput {
     /// `admitted_c / (admitted_c + rejected_c)` is the class's admit
     /// rate — what the per-class occupancy rule guarantees a floor for.
     pub admitted_by_class: Vec<u64>,
+    /// Telemetry harvest: the merged lifecycle event stream and the
+    /// control-tick time-series. `None` unless [`SysConfig::telemetry`]
+    /// armed the plane (the IX/Linux models do not trace yet and always
+    /// report `None`).
+    pub telemetry: Option<TelemetryOut>,
 }
 
 impl SysOutput {

@@ -191,6 +191,9 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
     let model = engine.into_model();
     let window = model.rec.window_us();
     SysOutput {
+        // The IX model exists as a batching baseline; the lifecycle
+        // tracer instruments the ZygOS-family path only.
+        telemetry: None,
         latency: model.rec.latency.clone(),
         completed: model.rec.measured(),
         events,

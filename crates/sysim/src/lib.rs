@@ -73,3 +73,6 @@ pub use driver::{
     theory_max_load_at_slo, SweepPoint,
 };
 pub use zygos_load::source::ArrivalSpec;
+// The telemetry vocabulary callers need to arm [`SysConfig::telemetry`]
+// and to read [`SysOutput::telemetry`].
+pub use zygos_telemetry::{SeriesKind, TelemetryConfig, TelemetryOut, TraceEvent, TraceKind};

@@ -177,6 +177,9 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
     let model = engine.into_model();
     let window = model.rec.window_us();
     SysOutput {
+        // The Linux models exist as latency/throughput baselines; the
+        // lifecycle tracer instruments the ZygOS-family path only.
+        telemetry: None,
         latency: model.rec.latency.clone(),
         completed: model.rec.measured(),
         events,

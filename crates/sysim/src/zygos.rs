@@ -80,6 +80,7 @@ use zygos_sched::{
 use zygos_sim::engine::{Engine, Model, Scheduler};
 use zygos_sim::stats::WindowHistogram;
 use zygos_sim::time::{SimDuration, SimTime};
+use zygos_telemetry::{Registry, SeriesId, SeriesKind, TelemetryOut, TraceKind, Tracer};
 
 use crate::arrivals::{Recorder, Req, Source};
 use crate::config::{AdmissionMode, AllocKind, SysConfig, SysOutput, SystemKind, CREDIT_HEADROOM};
@@ -277,10 +278,38 @@ struct Elastic {
     trace: bool,
 }
 
+/// The model's telemetry plane: the per-core lifecycle tracer plus the
+/// metrics registry the control tick harvests time-series into. `None`
+/// (the default) costs each hook site one untaken branch on the `Option`
+/// discriminant — the PR-5 zero-alloc hot loop is otherwise untouched.
+struct SimTelemetry {
+    /// Per-core ring tracer; `trace_on == false` leaves it empty (the
+    /// config asked only for series).
+    tracer: Tracer,
+    trace_on: bool,
+    /// Named counter/gauge/series store, harvested on the control tick.
+    reg: Registry,
+    /// Which series the scenario asked to record.
+    harvest: Vec<SeriesKind>,
+    /// Record a series point every N control ticks.
+    series_every: u32,
+    tick: u32,
+    s_admitted: Option<SeriesId>,
+    s_credits: Option<SeriesId>,
+    s_active: Option<SeriesId>,
+    s_shed: Vec<SeriesId>,
+    /// Counter snapshots at the previous harvested tick, for rates.
+    last_admitted: u64,
+    last_rejected: Vec<u64>,
+    last_t_ns: u64,
+}
+
 pub(crate) struct ZygosModel {
     cfg: SysConfig,
     source: Source,
     rec: Recorder,
+    /// Lifecycle tracer + metrics registry (`None` = telemetry off).
+    telem: Option<SimTelemetry>,
     cores: Vec<Core>,
     conns: Vec<Conn>,
     /// Scratch buffer for randomized victim order.
@@ -418,7 +447,63 @@ impl ZygosModel {
             (Some(_), Some(slo)) => (slo.admit_fractions(), slo.aimd_targets_us(CREDIT_HEADROOM)),
             _ => (vec![1.0; classes], Vec::new()),
         };
+        let telem = cfg.telemetry.as_ref().filter(|t| !t.is_off()).map(|t| {
+            // Ring capacity: every completed lifecycle has ≤ 8 points plus
+            // preempt slices, and under overload each *shed* arrival adds
+            // two more (Arrival, Shed) — at offered load L the gate turns
+            // away ~(L-1)/L of arrivals, so budget 16 points per completed
+            // lifecycle (covers sheds up to ~4x the completion count).
+            // A wrapped ring tears the *oldest* lifecycles, which skews any
+            // trace-derived quantile; size to hold the full run so drops
+            // only happen under pathological preemption/overload storms.
+            let lifecycles = (cfg.requests + cfg.warmup) / t.sample_period.max(1) as u64 + 1;
+            let per_core = (lifecycles as usize * 16 / cfg.cores.max(1)).clamp(4_096, 1 << 21);
+            let mut reg = Registry::default();
+            let mut s_admitted = None;
+            let mut s_credits = None;
+            let mut s_active = None;
+            let mut s_shed = Vec::new();
+            for kind in &t.series {
+                match kind {
+                    SeriesKind::AdmittedRate => {
+                        s_admitted = Some(reg.register_series(kind.name(), t.max_series_points));
+                    }
+                    SeriesKind::CreditCapacity => {
+                        s_credits = Some(reg.register_series(kind.name(), t.max_series_points));
+                    }
+                    SeriesKind::ActiveCores => {
+                        s_active = Some(reg.register_series(kind.name(), t.max_series_points));
+                    }
+                    SeriesKind::ShedByClass => {
+                        s_shed = (0..classes)
+                            .map(|c| {
+                                reg.register_series(
+                                    &format!("{}{c}", kind.name()),
+                                    t.max_series_points,
+                                )
+                            })
+                            .collect();
+                    }
+                }
+            }
+            SimTelemetry {
+                tracer: Tracer::new(cfg.cores, per_core, t.sample_period),
+                trace_on: t.trace,
+                reg,
+                harvest: t.series.clone(),
+                series_every: t.series_every.max(1),
+                tick: 0,
+                s_admitted,
+                s_credits,
+                s_active,
+                s_shed,
+                last_admitted: 0,
+                last_rejected: vec![0; classes],
+                last_t_ns: 0,
+            }
+        });
         ZygosModel {
+            telem,
             cores: (0..cfg.cores)
                 .map(|_| Core {
                     ring: VecDeque::new(),
@@ -492,6 +577,53 @@ impl ZygosModel {
         self.elastic.is_some() || self.admission.is_some()
     }
 
+    /// True when the periodic `Control` tick must be armed: a control
+    /// plane is present, or the telemetry config asked for time-series
+    /// (the harvest rides the same tick, so telemetry alone arms it).
+    pub(crate) fn wants_control_tick(&self) -> bool {
+        self.has_control_plane() || self.telem.as_ref().is_some_and(|t| !t.harvest.is_empty())
+    }
+
+    /// Publishes the requested time-series into the registry. Rides the
+    /// control tick; rate series are deltas over the harvest interval.
+    fn telem_harvest(&mut self, now: SimTime) {
+        let Some(tl) = &mut self.telem else { return };
+        if tl.harvest.is_empty() {
+            return;
+        }
+        tl.tick += 1;
+        if tl.tick % tl.series_every != 0 {
+            return;
+        }
+        let t_us = now.as_micros_f64();
+        let dt_s = (now.as_nanos() - tl.last_t_ns) as f64 / 1e9;
+        if dt_s <= 0.0 {
+            return;
+        }
+        if let Some(id) = tl.s_admitted {
+            let total: u64 = self.admitted_by_class.iter().sum();
+            tl.reg
+                .push(id, t_us, (total - tl.last_admitted) as f64 / dt_s);
+            tl.last_admitted = total;
+        }
+        if let Some(id) = tl.s_credits {
+            let cap = self.admission.as_ref().map_or(0.0, |p| p.capacity() as f64);
+            tl.reg.push(id, t_us, cap);
+        }
+        if let Some(id) = tl.s_active {
+            let active: u32 = self.m_active.w.iter().map(|w| w.count_ones()).sum();
+            tl.reg.push(id, t_us, active as f64);
+        }
+        for c in 0..tl.s_shed.len() {
+            let id = tl.s_shed[c];
+            let total = self.rejected_by_class[c];
+            tl.reg
+                .push(id, t_us, (total - tl.last_rejected[c]) as f64 / dt_s);
+            tl.last_rejected[c] = total;
+        }
+        tl.last_t_ns = now.as_nanos();
+    }
+
     /// Accounts a `Core::work` presence transition at `now` (`delta` is +1
     /// for install, −1 for removal, 0 to flush the integrals; `fg` is
     /// false only for background application chunks).
@@ -528,10 +660,28 @@ impl ZygosModel {
         }
     }
 
+    /// Records one lifecycle trace point (one untaken branch when
+    /// telemetry is off or tracing was not requested).
+    #[inline]
+    fn trace(&mut self, core: u16, seq: u32, kind: TraceKind, t: SimTime) {
+        if let Some(tl) = &mut self.telem {
+            if tl.trace_on {
+                tl.tracer.record(core, seq, kind, t.as_nanos());
+            }
+        }
+    }
+
     /// Records a completed request: recorder, credit return, and the
     /// control window's per-class latency sample.
     fn complete_req(&mut self, req: &Req, tx_time: SimTime) {
-        self.rec.complete(req, tx_time);
+        let measured = self.rec.complete(req, tx_time);
+        if measured {
+            // Trace exactly the histogram's population, timestamped at the
+            // client's observation (send → client_rx = the recorded
+            // latency), so trace-derived tails match the report's.
+            let client_rx = tx_time + self.source.half_rtt;
+            self.trace(req.home, req.seq, TraceKind::Completion, client_rx);
+        }
         let class = self.cfg.slo.as_ref().map_or(0, |t| t.class_of(req.conn));
         if let Some(pool) = &mut self.admission {
             pool.release_class(class);
@@ -659,6 +809,7 @@ impl ZygosModel {
         now: SimTime,
         sched: &mut Scheduler<Ev>,
     ) {
+        self.trace(core as u16, cur.seq, TraceKind::Dispatch, now);
         self.note_busy(now, 1, !bg);
         self.m_busy.set(core);
         self.m_inapp.set(core);
@@ -907,6 +1058,12 @@ impl ZygosModel {
         };
         debug_assert_eq!(self.conns[conn as usize].st, ConnSt::Ready);
         self.conns[conn as usize].st = ConnSt::Busy;
+        if self.telem.is_some() {
+            // The stolen batch's first request (`begin_app` pops it next).
+            if let Some(seq) = self.conns[conn as usize].pending.front().map(|r| r.seq) {
+                self.trace(core as u16, seq, TraceKind::Steal, now);
+            }
+        }
         let extra = self.cfg.cost.shuffle_op_ns + self.cfg.cost.steal_extra_ns;
         self.begin_app(core, conn, extra, true, false, now, sched);
         true
@@ -963,6 +1120,15 @@ impl ZygosModel {
         };
         debug_assert_eq!(self.conns[entry.conn as usize].st, ConnSt::Ready);
         self.conns[entry.conn as usize].st = ConnSt::Busy;
+        if self.telem.is_some() {
+            if let Some(seq) = self.conns[entry.conn as usize]
+                .pending
+                .front()
+                .map(|r| r.seq)
+            {
+                self.trace(core as u16, seq, TraceKind::Steal, now);
+            }
+        }
         let extra = self.cfg.cost.shuffle_op_ns + self.cfg.cost.steal_extra_ns;
         self.begin_app(core, entry.conn, extra, true, true, now, sched);
         true
@@ -1025,6 +1191,7 @@ impl ZygosModel {
             } => {
                 if stolen {
                     self.stolen_events += 1;
+                    self.trace(core as u16, cur.seq, TraceKind::StolenDone, now);
                     // Ship the response home; the home core (or, in
                     // elastic mode, whichever core serves its queues)
                     // transmits.
@@ -1094,11 +1261,13 @@ impl ZygosModel {
         };
         debug_assert!(remaining > 0, "preempted chunk must have a remainder");
         self.preemptions += 1;
+        self.trace(core as u16, cur.seq, TraceKind::Preempt, now);
         cur.service = SimDuration::from_nanos(remaining);
         // Requeue: the remainder stays the connection's oldest event (so
         // per-connection ordering holds), followed by the rest of the taken
         // batch, then anything that arrived during the slice. Reuses the
         // taken batch's buffer as the new pending queue.
+        let seq = cur.seq;
         let connref = &mut self.conns[conn as usize];
         debug_assert_eq!(connref.st, ConnSt::Busy);
         let arrived = std::mem::take(&mut connref.pending);
@@ -1107,6 +1276,7 @@ impl ZygosModel {
         connref.pending = rest;
         connref.st = ConnSt::Ready;
         let home = self.serving_core(self.source.home_of(conn) as usize);
+        self.trace(home as u16, seq, TraceKind::BgRequeue, now);
         self.bg_enqueue(
             home,
             BgEntry {
@@ -1257,6 +1427,7 @@ impl ZygosModel {
                 self.apply_allocation(target, now, sched);
             }
         }
+        self.telem_harvest(now);
         sched.after(self.ctl_period, Ev::Control);
     }
 
@@ -1390,7 +1561,13 @@ impl ZygosModel {
             .admission
             .as_ref()
             .map_or((0, 0), |p| (p.admitted(), p.rejected()));
+        let telemetry = self.telem.as_ref().map(|tl| TelemetryOut {
+            events: tl.tracer.collect(),
+            dropped: tl.tracer.dropped(),
+            series: tl.reg.take_series(),
+        });
         SysOutput {
+            telemetry,
             latency: self.rec.latency.clone(),
             completed: self.rec.measured(),
             events,
@@ -1426,13 +1603,19 @@ impl Model for ZygosModel {
         match ev {
             Ev::Gen => {
                 let req = self.source.next_req(now);
+                self.trace(req.home, req.seq, TraceKind::Arrival, now);
                 // Client-side credits: a creditless request is never sent —
                 // the shed costs zero wire RTT (the sender-side half of
                 // Breakwater, modelled at its converged state).
-                let send = self.cfg.admission_mode == AdmissionMode::ServerEdge
-                    || self.gate_admit(req.conn);
+                let client_gated = self.cfg.admission_mode != AdmissionMode::ServerEdge;
+                let send = !client_gated || self.gate_admit(req.conn);
                 if send {
+                    if client_gated && self.admission.is_some() {
+                        self.trace(req.home, req.seq, TraceKind::Admit, now);
+                    }
                     sched.after(self.source.half_rtt, Ev::Packet(req));
+                } else {
+                    self.trace(req.home, req.seq, TraceKind::Shed, now);
                 }
                 let gap = self.source.next_gap();
                 sched.after(gap, Ev::Gen);
@@ -1442,13 +1625,18 @@ impl Model for ZygosModel {
                 // an RTT getting here, and its explicit reject burns the
                 // other half going back — but it never touches a ring, a
                 // queue, or a core.
-                if self.cfg.admission_mode == AdmissionMode::ServerEdge
-                    && !self.gate_admit(req.conn)
-                {
-                    self.wire_rejects += 1;
-                    return;
+                if self.cfg.admission_mode == AdmissionMode::ServerEdge {
+                    if !self.gate_admit(req.conn) {
+                        self.wire_rejects += 1;
+                        self.trace(req.home, req.seq, TraceKind::Shed, now);
+                        return;
+                    }
+                    if self.admission.is_some() {
+                        self.trace(req.home, req.seq, TraceKind::Admit, now);
+                    }
                 }
                 let home = self.serving_core(req.home as usize);
+                self.trace(home as u16, req.seq, TraceKind::Enqueue, now);
                 self.cores[home].ring.push_back(req);
                 self.m_ring.set(home);
                 if !self.m_busy.test(home) {
@@ -1482,7 +1670,7 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. }
     ));
     let model = ZygosModel::new(cfg.clone());
-    let control = model.has_control_plane();
+    let control = model.wants_control_tick();
     let mut engine = Engine::new(model);
     engine.schedule(SimTime::ZERO, Ev::Gen);
     if control {
@@ -1621,6 +1809,133 @@ mod tests {
         let out = run(&cfg);
         assert_eq!(out.completed, 15_000);
         assert!(out.preemptions > 0, "quantum must fire");
+    }
+
+    #[test]
+    fn tracing_leaves_metrics_and_event_counts_bit_identical() {
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.6);
+        cfg.requests = 10_000;
+        cfg.warmup = 2_000;
+        let base = run(&cfg);
+        cfg.telemetry = Some(zygos_telemetry::TelemetryConfig::full_trace());
+        let traced = run(&cfg);
+        // Tracing must be a pure observer: same engine-event count, same
+        // completions, same histogram — bit-identical, not merely close.
+        assert_eq!(base.events, traced.events);
+        assert_eq!(base.completed, traced.completed);
+        assert_eq!(base.latency.count(), traced.latency.count());
+        assert_eq!(base.p99_us(), traced.p99_us());
+        assert_eq!(base.throughput_mrps(), traced.throughput_mrps());
+        let t = traced.telemetry.expect("telemetry armed");
+        assert_eq!(t.dropped, 0, "rings sized for a full-run trace");
+        // The trace's completion population is exactly the histogram's.
+        let completions = t
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Completion)
+            .count() as u64;
+        assert_eq!(completions, traced.latency.count());
+    }
+
+    #[test]
+    fn trace_is_byte_identical_across_runs() {
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.7);
+        cfg.requests = 8_000;
+        cfg.warmup = 1_000;
+        cfg.telemetry = Some(zygos_telemetry::TelemetryConfig::full_trace());
+        let a = run(&cfg).telemetry.expect("armed");
+        let b = run(&cfg).telemetry.expect("armed");
+        assert_eq!(a, b, "same seed + policy must give the same trace");
+    }
+
+    #[test]
+    fn decomposition_sums_match_the_measured_tail() {
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.7);
+        cfg.requests = 10_000;
+        cfg.warmup = 2_000;
+        cfg.telemetry = Some(zygos_telemetry::TelemetryConfig::full_trace());
+        let out = run(&cfg);
+        let t = out.telemetry.as_ref().expect("armed");
+        let mut decomps = zygos_telemetry::decompose(&t.events);
+        assert_eq!(
+            decomps.len() as u64,
+            out.latency.count(),
+            "one decomposition per measured completion"
+        );
+        // Exact partition: components sum to the total on every lifecycle.
+        for d in &decomps {
+            assert_eq!(d.sum_ns(), d.total_ns);
+        }
+        // The p99 total matches the histogram's p99 to its bucket
+        // precision (~0.1%, both sides use the same rank rule).
+        let p99 = zygos_telemetry::decomposition_at_quantile(&mut decomps, 0.99)
+            .expect("non-empty")
+            .total_ns as f64
+            / 1_000.0;
+        let hist_p99 = out.p99_us();
+        assert!(
+            (p99 - hist_p99).abs() / hist_p99 < 0.01,
+            "decomposed p99 {p99} vs histogram p99 {hist_p99}"
+        );
+    }
+
+    #[test]
+    fn telemetry_series_arm_the_control_tick_without_a_control_plane() {
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.5);
+        cfg.requests = 8_000;
+        cfg.warmup = 1_000;
+        cfg.telemetry = Some(zygos_telemetry::TelemetryConfig {
+            trace: false,
+            series: vec![
+                zygos_telemetry::SeriesKind::AdmittedRate,
+                zygos_telemetry::SeriesKind::ActiveCores,
+            ],
+            ..Default::default()
+        });
+        let out = run(&cfg);
+        let t = out.telemetry.expect("armed");
+        assert!(t.events.is_empty(), "series-only config records no trace");
+        let active = t
+            .series
+            .iter()
+            .find(|s| s.name == "active_cores")
+            .expect("requested series present");
+        assert!(active.points.len() > 10, "harvested on the control tick");
+        assert!(active.points.iter().all(|&(_, v)| v == 16.0));
+    }
+
+    #[test]
+    fn credit_series_track_the_gate_under_overload() {
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 1.3);
+        cfg.requests = 10_000;
+        cfg.warmup = 2_000;
+        cfg.admission = Some(CreditConfig::for_cores(cfg.cores, 80.0));
+        cfg.telemetry = Some(zygos_telemetry::TelemetryConfig {
+            trace: false,
+            series: vec![
+                zygos_telemetry::SeriesKind::AdmittedRate,
+                zygos_telemetry::SeriesKind::CreditCapacity,
+                zygos_telemetry::SeriesKind::ShedByClass,
+            ],
+            ..Default::default()
+        });
+        let out = run(&cfg);
+        let t = out.telemetry.expect("armed");
+        let credits = t.series.iter().find(|s| s.name == "credit_capacity");
+        let admitted = t.series.iter().find(|s| s.name == "admitted_rate");
+        let shed = t.series.iter().find(|s| s.name == "shed_rate_class0");
+        let credits = credits.expect("credit series");
+        let admitted = admitted.expect("admitted series");
+        let shed = shed.expect("per-class shed series");
+        assert!(credits.points.iter().all(|&(_, v)| v >= 1.0));
+        assert!(
+            admitted.points.iter().any(|&(_, v)| v > 0.0),
+            "admissions flow through the gate"
+        );
+        assert!(
+            shed.points.iter().any(|&(_, v)| v > 0.0),
+            "overload must show up in the shed series"
+        );
     }
 
     #[test]

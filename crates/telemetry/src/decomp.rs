@@ -1,0 +1,231 @@
+//! Tail-latency decomposition: from a lifecycle event stream back to
+//! *where the microseconds went*.
+//!
+//! Each completed request's sojourn is partitioned exactly — the
+//! interval between consecutive lifecycle points is billed to the state
+//! the *earlier* point entered:
+//!
+//! | state entered at      | billed to |
+//! |-----------------------|-----------|
+//! | Arrival/Admit/Enqueue | `queue_ns` (wire ingress + HoL blocking)   |
+//! | Steal / StolenDone    | `steal_ns` (shuffle-op + remote-TX / IPI)  |
+//! | Dispatch              | `service_ns` (incl. TX + egress wire)      |
+//! | Preempt / BgRequeue   | `preempt_ns` (background-queue wait)       |
+//!
+//! Because every nanosecond between `Arrival` and `Completion` lands in
+//! exactly one bucket, `queue + service + steal + preempt == total` *by
+//! construction* — the "components sum to the measured p99" acceptance
+//! bound only has to absorb histogram bucketing (~0.1%), never
+//! attribution error.
+
+use crate::trace::{TraceEvent, TraceKind};
+
+/// One request's sojourn, exactly partitioned.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Decomposition {
+    /// End-to-end sojourn: client send → client receive.
+    pub total_ns: u64,
+    /// Wire ingress + time queued behind other work (HoL blocking).
+    pub queue_ns: u64,
+    /// Application execution, response TX and egress wire time.
+    pub service_ns: u64,
+    /// Steal overhead: shuffle-queue grab plus the stolen result's
+    /// remote-syscall-batch / IPI ride back to the home core.
+    pub steal_ns: u64,
+    /// Preemption-induced delay: time parked in the background queue
+    /// between an interrupted chunk and its next dispatch.
+    pub preempt_ns: u64,
+}
+
+impl Decomposition {
+    /// Sum of the four components — equal to `total_ns` by construction.
+    pub fn sum_ns(&self) -> u64 {
+        self.queue_ns + self.service_ns + self.steal_ns + self.preempt_ns
+    }
+
+    /// A component-wise µs view `(queue, service, steal, preempt)`.
+    pub fn as_us(&self) -> (f64, f64, f64, f64) {
+        (
+            self.queue_ns as f64 / 1_000.0,
+            self.service_ns as f64 / 1_000.0,
+            self.steal_ns as f64 / 1_000.0,
+            self.preempt_ns as f64 / 1_000.0,
+        )
+    }
+}
+
+/// Bucket an interval is billed to, by the state its start entered.
+fn bucket(kind: TraceKind) -> fn(&mut Decomposition) -> &mut u64 {
+    match kind {
+        TraceKind::Arrival | TraceKind::Admit | TraceKind::Enqueue => |d| &mut d.queue_ns,
+        TraceKind::Steal | TraceKind::StolenDone => |d| &mut d.steal_ns,
+        TraceKind::Dispatch => |d| &mut d.service_ns,
+        TraceKind::Preempt | TraceKind::BgRequeue => |d| &mut d.preempt_ns,
+        // Terminal states start no interval; unreachable in the walk.
+        TraceKind::Shed | TraceKind::Completion => |d| &mut d.queue_ns,
+    }
+}
+
+/// Decomposes every complete lifecycle in `events` (any order; shed and
+/// torn lifecycles — no `Arrival`, or no `Completion` — are skipped).
+///
+/// Output order follows each request's completion, i.e. sorting the
+/// input by time yields completion order — deterministic for a
+/// deterministic host.
+pub fn decompose(events: &[TraceEvent]) -> Vec<Decomposition> {
+    // Group by seq: sort a copy by (seq, t, kind) and walk runs.
+    let mut evs = events.to_vec();
+    evs.sort_by_key(|e| (e.seq, e.t_ns, e.kind));
+    let mut tagged: Vec<(u64, Decomposition)> = Vec::new();
+    let mut i = 0;
+    while i < evs.len() {
+        let j = (i..evs.len())
+            .find(|&k| evs[k].seq != evs[i].seq)
+            .unwrap_or(evs.len());
+        if let Some(d) = decompose_one(&evs[i..j]) {
+            tagged.push((evs[j - 1].t_ns, d));
+        }
+        i = j;
+    }
+    // Completion order: the report's decomposition must not depend on
+    // seq assignment order.
+    tagged.sort_by_key(|&(t, _)| t);
+    tagged.into_iter().map(|(_, d)| d).collect()
+}
+
+/// Decomposes one request's (time-sorted) lifecycle; `None` when torn
+/// or shed.
+fn decompose_one(evs: &[TraceEvent]) -> Option<Decomposition> {
+    if evs.first()?.kind != TraceKind::Arrival || evs.last()?.kind != TraceKind::Completion {
+        return None;
+    }
+    if evs.iter().any(|e| e.kind == TraceKind::Shed) {
+        return None;
+    }
+    let mut d = Decomposition {
+        total_ns: evs.last()?.t_ns - evs.first()?.t_ns,
+        ..Decomposition::default()
+    };
+    for w in evs.windows(2) {
+        *bucket(w[0].kind)(&mut d) += w[1].t_ns - w[0].t_ns;
+    }
+    debug_assert_eq!(d.sum_ns(), d.total_ns, "decomposition must partition");
+    Some(d)
+}
+
+/// The decomposition of the request at quantile `q` by total sojourn.
+///
+/// Rank rule mirrors `zygos_sim::stats::LatencyHistogram`
+/// (`ceil(q·n)` clamped to `[1, n]`), so against a histogram quantile of
+/// the same population the totals differ only by bucket precision
+/// (~0.1%). Sorts in place; returns `None` when empty.
+pub fn decomposition_at_quantile(decomps: &mut [Decomposition], q: f64) -> Option<Decomposition> {
+    if decomps.is_empty() {
+        return None;
+    }
+    decomps.sort_by_key(|d| d.total_ns);
+    let n = decomps.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    Some(decomps[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u32, core: u16, kind: TraceKind, t_ns: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            seq,
+            core,
+            kind,
+        }
+    }
+
+    /// The contrived two-flow HoL scenario: one core, a long job (1000ns
+    /// service) dispatched first, a short job (100ns) arriving behind
+    /// it. The short job's queueing delay is analytically the long job's
+    /// residual service — the decomposition must attribute exactly that.
+    #[test]
+    fn hol_blocking_is_attributed_to_queueing() {
+        let evs = vec![
+            // Long job: arrives, dispatches immediately, runs 1000ns.
+            ev(0, 0, TraceKind::Arrival, 0),
+            ev(0, 0, TraceKind::Enqueue, 0),
+            ev(0, 0, TraceKind::Dispatch, 0),
+            ev(0, 0, TraceKind::Completion, 1000),
+            // Short job: arrives at 100, must wait for the head of line.
+            ev(1, 0, TraceKind::Arrival, 100),
+            ev(1, 0, TraceKind::Enqueue, 100),
+            ev(1, 0, TraceKind::Dispatch, 1000),
+            ev(1, 0, TraceKind::Completion, 1100),
+        ];
+        let d = decompose(&evs);
+        assert_eq!(d.len(), 2);
+        // Long job: pure service.
+        assert_eq!(d[0].queue_ns, 0);
+        assert_eq!(d[0].service_ns, 1000);
+        // Short job: 900ns HoL (the long job's residual) + 100ns service.
+        assert_eq!(d[1].total_ns, 1000);
+        assert_eq!(d[1].queue_ns, 900);
+        assert_eq!(d[1].service_ns, 100);
+        assert_eq!(d[1].sum_ns(), d[1].total_ns);
+    }
+
+    #[test]
+    fn steal_and_preempt_intervals_land_in_their_buckets() {
+        let evs = vec![
+            ev(7, 0, TraceKind::Arrival, 0),
+            ev(7, 0, TraceKind::Enqueue, 200),
+            // Stolen at 300, dispatch on the thief at 350 (50ns grab).
+            ev(7, 1, TraceKind::Steal, 300),
+            ev(7, 1, TraceKind::Dispatch, 350),
+            // Quantum expires at 450; remainder requeued, redispatched.
+            ev(7, 1, TraceKind::Preempt, 450),
+            ev(7, 1, TraceKind::BgRequeue, 450),
+            ev(7, 1, TraceKind::Dispatch, 600),
+            // Work done on the thief at 700; home TX + wire until 780.
+            ev(7, 1, TraceKind::StolenDone, 700),
+            ev(7, 0, TraceKind::Completion, 780),
+        ];
+        let d = decompose(&evs);
+        assert_eq!(d.len(), 1);
+        let d = d[0];
+        assert_eq!(d.total_ns, 780);
+        assert_eq!(d.queue_ns, 300); // arrival→steal
+        assert_eq!(d.steal_ns, 50 + 80); // grab + return ride
+        assert_eq!(d.service_ns, 100 + 100); // two dispatched chunks
+        assert_eq!(d.preempt_ns, 150); // bg-queue wait
+        assert_eq!(d.sum_ns(), d.total_ns);
+    }
+
+    #[test]
+    fn shed_and_torn_lifecycles_are_skipped() {
+        let evs = vec![
+            ev(1, 0, TraceKind::Arrival, 0),
+            ev(1, 0, TraceKind::Shed, 10),
+            ev(2, 0, TraceKind::Dispatch, 0), // no arrival (ring wrap)
+            ev(2, 0, TraceKind::Completion, 50),
+            ev(3, 0, TraceKind::Arrival, 0), // never completed
+            ev(3, 0, TraceKind::Dispatch, 20),
+        ];
+        assert!(decompose(&evs).is_empty());
+    }
+
+    #[test]
+    fn quantile_rank_matches_histogram_rule() {
+        let mut ds: Vec<Decomposition> = (1..=100u64)
+            .map(|i| Decomposition {
+                total_ns: i * 1_000,
+                service_ns: i * 1_000,
+                ..Decomposition::default()
+            })
+            .collect();
+        // ceil(0.99·100) = 99 ⇒ the 99th order statistic.
+        let p99 = decomposition_at_quantile(&mut ds, 0.99).unwrap();
+        assert_eq!(p99.total_ns, 99_000);
+        let p50 = decomposition_at_quantile(&mut ds, 0.50).unwrap();
+        assert_eq!(p50.total_ns, 50_000);
+        assert!(decomposition_at_quantile(&mut [], 0.99).is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! The unified metrics registry.
+//!
+//! Named counters, gauges and bounded time-series. Registration (by
+//! name) happens once at setup and returns an index-typed handle;
+//! updates through the handle are array stores — no hashing, no
+//! allocation — so a control tick can publish a dozen points without
+//! perturbing the host it is observing.
+//!
+//! Both hosts publish into this vocabulary: the simulator's `Ev::Control`
+//! tick and the live runtime's worker-0 control tick. A reader takes a
+//! point-in-time snapshot (`series`, `counter_value`, `gauge_value`) —
+//! nothing is consumed, which is the fix for the read-once-and-lost
+//! control-tick gauges this registry replaces.
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered time-series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// One named, bounded time-series (time in µs, value dimensionless).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    /// Registry name (see `docs/OBSERVABILITY.md` for the scheme).
+    pub name: String,
+    /// `(t_us, value)` points in push order.
+    pub points: Vec<(f64, f64)>,
+    /// Points refused once the cap was hit (the series keeps its head).
+    pub truncated: u64,
+    cap: usize,
+}
+
+impl TimeSeries {
+    /// Latest pushed value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+/// The registry: registration by name, updates by handle.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    series: Vec<TimeSeries>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or re-finds) a counter named `name`.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or re-finds) a gauge named `name`.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or re-finds) a time-series named `name`, holding at
+    /// most `cap` points (preallocated; pushes past the cap are counted
+    /// and refused, never reallocated).
+    pub fn register_series(&mut self, name: &str, cap: usize) -> SeriesId {
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            return SeriesId(i);
+        }
+        self.series.push(TimeSeries {
+            name: name.to_string(),
+            points: Vec::with_capacity(cap),
+            truncated: 0,
+            cap: cap.max(1),
+        });
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Adds `by` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Appends a `(t_us, value)` point to a series (no-op past the cap).
+    #[inline]
+    pub fn push(&mut self, id: SeriesId, t_us: f64, v: f64) {
+        let s = &mut self.series[id.0];
+        if s.points.len() < s.cap {
+            s.points.push((t_us, v));
+        } else {
+            s.truncated += 1;
+        }
+    }
+
+    /// Current counter value by name.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Current gauge value by name.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A series by name.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// All series, in registration order.
+    pub fn all_series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Clones the series out (registration order) — the harvest path
+    /// from a host into a report.
+    pub fn take_series(&self) -> Vec<TimeSeries> {
+        self.series.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_updates_are_visible() {
+        let mut r = Registry::new();
+        let c = r.counter("admitted");
+        assert_eq!(r.counter("admitted"), c);
+        r.inc(c, 3);
+        r.inc(c, 4);
+        assert_eq!(r.counter_value("admitted"), Some(7));
+
+        let g = r.gauge("slo_ratio");
+        r.set(g, 1.25);
+        r.set(g, 0.75);
+        // Re-readable, not read-once: both reads see the latest value.
+        assert_eq!(r.gauge_value("slo_ratio"), Some(0.75));
+        assert_eq!(r.gauge_value("slo_ratio"), Some(0.75));
+        assert_eq!(r.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn series_caps_without_reallocating() {
+        let mut r = Registry::new();
+        let s = r.register_series("active_cores", 3);
+        for i in 0..5 {
+            r.push(s, i as f64, 16.0 - i as f64);
+        }
+        let ts = r.series("active_cores").expect("registered");
+        assert_eq!(ts.points.len(), 3);
+        assert_eq!(ts.truncated, 2);
+        assert_eq!(ts.last(), Some(14.0));
+    }
+}

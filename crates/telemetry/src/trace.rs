@@ -1,0 +1,215 @@
+//! The zero-alloc lifecycle tracer.
+//!
+//! One fixed-capacity ring per core; recording is an indexed store plus a
+//! head bump. The rings never allocate after construction, so a tracer in
+//! the simulator's hot loop (or a live worker's dispatch path) adds a
+//! sampling branch and a 16-byte store, nothing else.
+
+/// A request lifecycle point.
+///
+/// The catalog mirrors the paper's request path: client send, the credit
+/// gate's verdict, the home ring, dispatch (local or stolen), preemption
+/// and background requeue under a quantum, and the client-observed
+/// completion. `StolenDone` marks a stolen request's work finishing on
+/// the thief — the interval from there to `Completion` is the remote-TX /
+/// IPI return cost the decomposition bills as steal delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// Client stamped the request and put it on the wire.
+    Arrival = 0,
+    /// Credit gate admitted it (server edge or client side).
+    Admit = 1,
+    /// Credit gate shed it; the lifecycle ends here.
+    Shed = 2,
+    /// Pushed onto its home core's ring.
+    Enqueue = 3,
+    /// A thief grabbed it from a shuffle queue (dispatch follows after
+    /// the steal overhead).
+    Steal = 4,
+    /// An application chunk started executing.
+    Dispatch = 5,
+    /// The quantum expired mid-request; the remainder was interrupted.
+    Preempt = 6,
+    /// The remainder entered the background queue.
+    BgRequeue = 7,
+    /// A stolen request's work finished on the thief; the result now
+    /// rides the remote-syscall batch (or an IPI) back to the home core.
+    StolenDone = 8,
+    /// The client observed the response (send-to-receive = the measured
+    /// latency).
+    Completion = 9,
+}
+
+/// One trace record: 16 bytes, `Copy`, no payload indirection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Timestamp in nanoseconds (sim time, or since run start).
+    pub t_ns: u64,
+    /// Request sequence number (stamped at generation, sampling key).
+    pub seq: u32,
+    /// Core the event happened on (the home core for client-side points).
+    pub core: u16,
+    /// Lifecycle point.
+    pub kind: TraceKind,
+}
+
+/// A fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next slot to overwrite once full.
+    head: usize,
+    /// Events overwritten (lost) to wrap-around.
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap: cap.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            // Within the preallocated capacity: push never reallocates.
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in recording order (oldest first).
+    fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+/// Per-core ring-buffer tracer with per-N request sampling.
+///
+/// `sample_period = 1` records every request; `p > 1` records requests
+/// whose sequence number is a multiple of `p` — the whole lifecycle of a
+/// sampled request is kept, so decomposition never sees torn records.
+pub struct Tracer {
+    sample_period: u32,
+    rings: Vec<Ring>,
+}
+
+impl Tracer {
+    /// A tracer for `cores` cores, `per_core_capacity` events per ring.
+    pub fn new(cores: usize, per_core_capacity: usize, sample_period: u32) -> Self {
+        Tracer {
+            sample_period: sample_period.max(1),
+            rings: (0..cores.max(1))
+                .map(|_| Ring::new(per_core_capacity))
+                .collect(),
+        }
+    }
+
+    /// True when request `seq` is in the sample. Call once per lifecycle
+    /// point (cheap) or latch per request — both give the same answer.
+    #[inline]
+    pub fn sampled(&self, seq: u32) -> bool {
+        self.sample_period == 1 || seq.is_multiple_of(self.sample_period)
+    }
+
+    /// Records one lifecycle point for request `seq` on `core`,
+    /// applying the sampling gate.
+    #[inline]
+    pub fn record(&mut self, core: u16, seq: u32, kind: TraceKind, t_ns: u64) {
+        if !self.sampled(seq) {
+            return;
+        }
+        // Fast path avoids an integer divide: `core` is in range for
+        // every well-formed caller; the modulo only guards foreign cores.
+        let n = self.rings.len();
+        let idx = core as usize;
+        let ring = &mut self.rings[if idx < n { idx } else { idx % n }];
+        ring.record(TraceEvent {
+            t_ns,
+            seq,
+            core,
+            kind,
+        });
+    }
+
+    /// Total events lost to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Merges every ring into one deterministic, time-sorted stream.
+    ///
+    /// Ties (equal `t_ns`) order by `(seq, kind, core)` so the output is
+    /// a pure function of the recorded events — the byte-identical-trace
+    /// determinism pin rests on this.
+    pub fn collect(&self) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self.rings.iter().flat_map(|r| r.iter().copied()).collect();
+        out.sort_by_key(|e| (e.t_ns, e.seq, e.kind, e.core));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut t = Tracer::new(1, 4, 1);
+        for i in 0..6u64 {
+            t.record(0, i as u32, TraceKind::Arrival, i * 10);
+        }
+        assert_eq!(t.dropped(), 2);
+        let evs = t.collect();
+        assert_eq!(evs.len(), 4);
+        // Oldest two were overwritten.
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[3].seq, 5);
+    }
+
+    #[test]
+    fn sampling_keeps_whole_lifecycles() {
+        let mut t = Tracer::new(2, 64, 3);
+        for seq in 0..9u32 {
+            t.record(0, seq, TraceKind::Arrival, seq as u64 * 100);
+            t.record(1, seq, TraceKind::Completion, seq as u64 * 100 + 50);
+        }
+        let evs = t.collect();
+        // Only seq 0, 3, 6 sampled — both events each.
+        assert_eq!(evs.len(), 6);
+        for e in &evs {
+            assert_eq!(e.seq % 3, 0);
+        }
+    }
+
+    #[test]
+    fn collect_is_deterministic_and_time_sorted() {
+        let record = || {
+            let mut t = Tracer::new(4, 16, 1);
+            t.record(3, 1, TraceKind::Dispatch, 500);
+            t.record(0, 0, TraceKind::Arrival, 0);
+            t.record(2, 1, TraceKind::Arrival, 100);
+            t.record(0, 0, TraceKind::Completion, 500);
+            t.collect()
+        };
+        let a = record();
+        assert_eq!(a, record());
+        for w in a.windows(2) {
+            assert!(w[0].t_ns <= w[1].t_ns);
+        }
+        // Equal timestamps tie-break by seq: seq 0's completion before
+        // seq 1's dispatch.
+        assert_eq!(a[2].seq, 0);
+        assert_eq!(a[3].seq, 1);
+    }
+}

@@ -97,6 +97,38 @@ fn slo_controller_staffs_up_on_an_induced_latency_step() {
         ratio > 1.0,
         "the published ratio must show the breach: {ratio}"
     );
+
+    // The registry holds the whole staffing-signal *trajectory*, not a
+    // read-once gauge: the ratio series must show both regimes (healthy
+    // margin below 1, breach above 1), and the active-core series must
+    // record the park and the re-staff the gauges above only implied.
+    let ratio_series = server
+        .metric_series("slo_ratio")
+        .expect("slo controller registers its series");
+    assert!(
+        ratio_series.points.iter().any(|&(_, r)| r < 1.0),
+        "phase 1's healthy margin must be in the trajectory"
+    );
+    assert!(
+        ratio_series.points.iter().any(|&(_, r)| r > 1.0),
+        "phase 2's breach must be in the trajectory"
+    );
+    let active_series = server
+        .metric_series("active_cores")
+        .expect("elastic mode registers its series");
+    assert!(
+        active_series.points.iter().any(|&(_, a)| a < 4.0),
+        "the park must be in the trajectory"
+    );
+    assert_eq!(
+        active_series.last(),
+        Some(4.0),
+        "the re-staffed fleet is the latest point"
+    );
+    // Reading twice returns the same snapshot — the fix over the old
+    // harvest-and-clear behavior.
+    let again = server.metric_series("slo_ratio").expect("still there");
+    assert!(again.points.len() >= ratio_series.points.len());
     server.shutdown();
 }
 
