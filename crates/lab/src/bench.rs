@@ -17,7 +17,10 @@
 use std::time::Instant;
 
 use zygos_sim::dist::ServiceDist;
-use zygos_sysim::{run_system, SysConfig, SystemKind, TelemetryConfig};
+use zygos_sysim::{
+    latency_throughput_sweep, latency_throughput_sweep_cold, run_system, SysConfig, SystemKind,
+    TelemetryConfig,
+};
 
 use crate::report::Json;
 use crate::runner::run_scenario_threads;
@@ -49,8 +52,30 @@ pub const TRACE_PAIR: (&str, &str) = ("engine-zygos-0.8", "engine-zygos-0.8-trac
 /// `sample_period > 1`, which divides the cost by the period.
 pub const TRACE_ON_MAX_OVERHEAD: f64 = 0.60;
 
-/// Baseline schema version.
-pub const BENCH_SCHEMA: u32 = 1;
+/// The cold/warm twin sweeps the warm-start gate compares within one
+/// bench run: the same deep-warmup ascending grid, run once point by
+/// point from scratch and once as a checkpoint warm-start chain. Like
+/// [`TRACE_PAIR`], the comparison is a same-run ratio, so it is immune
+/// to machine-class drift.
+pub const WARM_PAIR: (&str, &str) = ("sweep-cold", "sweep-warm");
+
+/// Required points/sec speedup of the warm twin over the cold twin. The
+/// chain re-simulates only `warmup/8` requests per point instead of the
+/// full warmup, worth ~2.8x on the canonical deep-warmup grid (see
+/// `docs/TAIL.md`); the gate leaves headroom for scheduler noise.
+pub const WARM_MIN_SPEEDUP: f64 = 2.0;
+
+/// The sequential/parallel twin sweeps of the canonical scenario.
+pub const PAR_PAIR: (&str, &str) = ("lab-sweep-seq", "lab-sweep-par");
+
+/// Required points/sec ratio of the parallel sweep over the sequential
+/// one. On a single-core runner the fan-out degrades to sequential plus
+/// scheduling overhead, so the floor only guards against a pathological
+/// slowdown, not a parallelism win.
+pub const PAR_MIN_RATIO: f64 = 0.8;
+
+/// Baseline schema version. v2 added the [`WARM_PAIR`] twin sweeps.
+pub const BENCH_SCHEMA: u32 = 2;
 
 /// One timed workload.
 #[derive(Clone, Debug, PartialEq)]
@@ -172,8 +197,42 @@ pub fn run_bench(smoke: bool) -> BenchReport {
             points_per_sec: 0.0,
         });
     }
+    // The warm-start twin sweeps: a deliberately deep warmup (the regime
+    // the checkpoint chain exists for) over an ascending grid. Cold runs
+    // pay convergence + measurement at every point; warm chains pay only
+    // warmup/8 re-equilibration plus the measurement window. Smoke only
+    // halves this pair (not /5): the warm side's wall time must stay
+    // large enough that its rate — and the warm/cold ratio the
+    // [`WARM_MIN_SPEEDUP`] gate reads — is not scheduler-jitter noise.
+    let (requests, warmup) = if smoke {
+        (2_500, 30_000)
+    } else {
+        (5_000, 60_000)
+    };
+    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.3);
+    cfg.requests = requests;
+    cfg.warmup = warmup;
+    let loads = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    for (name, warm) in [(WARM_PAIR.0, false), (WARM_PAIR.1, true)] {
+        let start = Instant::now();
+        let pts = if warm {
+            latency_throughput_sweep(&cfg, &loads)
+        } else {
+            latency_throughput_sweep_cold(&cfg, &loads)
+        };
+        let wall = start.elapsed();
+        let secs = wall.as_secs_f64().max(1e-9);
+        entries.push(BenchEntry {
+            name: name.to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            events: 0,
+            events_per_sec: 0.0,
+            points: pts.len() as u64,
+            points_per_sec: pts.len() as f64 / secs,
+        });
+    }
     let sc = sweep_scenario();
-    for (name, threads) in [("lab-sweep-seq", 1usize), ("lab-sweep-par", 0usize)] {
+    for (name, threads) in [(PAR_PAIR.0, 1usize), (PAR_PAIR.1, 0usize)] {
         let start = Instant::now();
         let report = if threads == 1 {
             run_scenario_threads(&sc, smoke, 1)
@@ -252,6 +311,31 @@ pub fn check_bench(fresh: &BenchReport, baseline: &BenchReport, tolerance: f64) 
                 off.events_per_sec,
                 floor,
                 TRACE_ON_MAX_OVERHEAD * 100.0,
+            ));
+        }
+    }
+    // The warm-start gate rides the same fresh run: the chained sweep
+    // must actually deliver its speedup over the cold twin, or the
+    // tail-acceleration machinery has silently stopped warming.
+    if let (Some(cold), Some(warm)) = (entry(WARM_PAIR.0), entry(WARM_PAIR.1)) {
+        let floor = cold.points_per_sec * WARM_MIN_SPEEDUP;
+        if warm.points_per_sec < floor {
+            errs.push(format!(
+                "[{}] warm-start sweep lost its speedup: warm {:.1} points/sec vs \
+                 cold {:.1} (required >= {:.1}x, floor {:.1})",
+                WARM_PAIR.1, warm.points_per_sec, cold.points_per_sec, WARM_MIN_SPEEDUP, floor,
+            ));
+        }
+    }
+    // The parallel sweep must not fall meaningfully behind the
+    // sequential twin (it may not beat it on a one-core runner).
+    if let (Some(seq), Some(par)) = (entry(PAR_PAIR.0), entry(PAR_PAIR.1)) {
+        let floor = seq.points_per_sec * PAR_MIN_RATIO;
+        if par.points_per_sec < floor {
+            errs.push(format!(
+                "[{}] parallel sweep fell behind the sequential twin: {:.1} points/sec \
+                 vs {:.1} (floor {:.1})",
+                PAR_PAIR.1, par.points_per_sec, seq.points_per_sec, floor,
             ));
         }
     }
@@ -447,14 +531,74 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_gate_compares_the_twin_sweeps() {
+        let pair = |cold_rate: f64, warm_rate: f64| {
+            let mut r = sample();
+            for (name, rate) in [(WARM_PAIR.0, cold_rate), (WARM_PAIR.1, warm_rate)] {
+                r.entries.push(BenchEntry {
+                    name: name.into(),
+                    wall_ms: 100.0,
+                    events: 0,
+                    events_per_sec: 0.0,
+                    points: 6,
+                    points_per_sec: rate,
+                });
+            }
+            r
+        };
+        // 2.5x speedup: comfortably above the 2x floor.
+        let fresh = pair(10.0, 25.0);
+        assert!(check_bench(&fresh, &fresh, REGRESSION_TOLERANCE).is_empty());
+        // 1.5x: the warm-start machinery has stopped paying for itself.
+        let fresh = pair(10.0, 15.0);
+        let errs = check_bench(&fresh, &fresh, REGRESSION_TOLERANCE);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("warm-start sweep"), "{errs:?}");
+        // Without the pair in the run, the gate stays silent.
+        let fresh = sample();
+        assert!(check_bench(&fresh, &fresh, REGRESSION_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn parallel_ratio_gate_compares_the_twin_sweeps() {
+        let pair = |par_rate: f64| {
+            let mut r = sample();
+            // sample() already carries lab-sweep-seq at 60 points/sec.
+            r.entries.push(BenchEntry {
+                name: PAR_PAIR.1.into(),
+                wall_ms: 100.0,
+                events: 0,
+                events_per_sec: 0.0,
+                points: 12,
+                points_per_sec: par_rate,
+            });
+            r
+        };
+        // Parallel at 90% of sequential: a one-core runner, fine.
+        let fresh = pair(54.0);
+        assert!(check_bench(&fresh, &fresh, REGRESSION_TOLERANCE).is_empty());
+        // Parallel at half the sequential rate: pathological, flagged.
+        let fresh = pair(30.0);
+        let errs = check_bench(&fresh, &fresh, REGRESSION_TOLERANCE);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("parallel sweep"), "{errs:?}");
+    }
+
+    #[test]
     fn smoke_bench_produces_all_entries() {
         let r = run_bench(true);
-        assert_eq!(r.entries.len(), 8);
+        assert_eq!(r.entries.len(), 10);
         for e in &r.entries {
             assert!(
                 e.events_per_sec > 0.0 || e.points_per_sec > 0.0,
                 "{} has no rate",
                 e.name
+            );
+        }
+        for name in [WARM_PAIR.0, WARM_PAIR.1, PAR_PAIR.0, PAR_PAIR.1] {
+            assert!(
+                r.entries.iter().any(|e| e.name == name),
+                "{name} missing from the bench run"
             );
         }
     }

@@ -414,6 +414,42 @@ fn print_report(sc: &Scenario, report: &Report) {
     );
     println!("# columns: scenario\tseries\tmetric\tload\tvalue");
     for s in &report.series {
+        // The [search] and [tail] headline rows: load-free metrics, so
+        // the load column carries the search answer / studied load.
+        if let Some(sr) = &s.search {
+            println!(
+                "{}\t{}\tmax_load_at_slo(p{}<={:.0}us)\t{:.4}\t{} probe(s), {} cold",
+                report.scenario,
+                s.label,
+                sr.quantile * 100.0,
+                sr.bound_us,
+                sr.max_load,
+                sr.probes,
+                sr.cold_probes,
+            );
+        }
+        if let Some(t) = &s.tail {
+            println!(
+                "{}\t{}\ttail_p{}_us\t{:.4}\t{:.3}",
+                report.scenario,
+                s.label,
+                t.quantile * 100.0,
+                t.load,
+                t.value_us,
+            );
+            println!(
+                "{}\t{}\ttail_p{}_brute_us\t{:.4}\t{:.3}",
+                report.scenario,
+                s.label,
+                t.quantile * 100.0,
+                t.load,
+                t.brute_value_us,
+            );
+            println!(
+                "{}\t{}\ttail_clones\t{:.4}\t{} ({} truncated), {} clone event(s)",
+                report.scenario, s.label, t.load, t.clones, t.truncated, t.clone_events,
+            );
+        }
         for p in &s.points {
             let metrics: [(&str, f64); 7] = [
                 ("p99_us", p.p99_us),

@@ -323,6 +323,45 @@ pub fn check_baseline(sc: &Scenario, fresh: &Report, baseline: &Report) -> Vec<S
                 ));
             }
         }
+        // Search and tail results: presence is structural; values compare
+        // within the same tolerance. Probe counts are deliberately not
+        // compared — they are pinned by unit tests, not baselines.
+        if b.search.is_some() != f.search.is_some() {
+            errs.push(format!(
+                "[{}] search result presence changed — regenerate the baseline",
+                f.label
+            ));
+        }
+        if b.tail.is_some() != f.tail.is_some() {
+            errs.push(format!(
+                "[{}] tail result presence changed — regenerate the baseline",
+                f.label
+            ));
+        }
+        if b.deterministic && f.deterministic {
+            let label = f.label.clone();
+            let mut field = |name: &str, bv: f64, fv: f64, abs_floor: f64| {
+                let scale = bv.abs().max(fv.abs()).max(abs_floor);
+                if (bv - fv).abs() > sc.check_tolerance * scale {
+                    errs.push(format!(
+                        "[{label}] {name} drifted from {bv:.3} to {fv:.3} (tolerance {:.0}%)",
+                        sc.check_tolerance * 100.0
+                    ));
+                }
+            };
+            if let (Some(bs), Some(fs)) = (&b.search, &f.search) {
+                field("search.max_load", bs.max_load, fs.max_load, 0.05);
+            }
+            if let (Some(bt), Some(ft)) = (&b.tail, &f.tail) {
+                field("tail.value_us", bt.value_us, ft.value_us, 5.0);
+                field(
+                    "tail.brute_value_us",
+                    bt.brute_value_us,
+                    ft.brute_value_us,
+                    5.0,
+                );
+            }
+        }
     }
     errs
 }
@@ -397,12 +436,16 @@ mod tests {
                     host: "sim:zygos".into(),
                     deterministic: true,
                     points: vec![point(static_p99, 0.0)],
+                    search: None,
+                    tail: None,
                 },
                 Series {
                     label: "credits".into(),
                     host: "sim:zygos".into(),
                     deterministic: true,
                     points: vec![point(credits_p99, shed)],
+                    search: None,
+                    tail: None,
                 },
             ],
         }
@@ -471,6 +514,58 @@ mod tests {
         let errs = check_baseline(&sc, &base, &renamed);
         assert!(
             errs.iter().any(|e| e.contains("series changed")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_gates_search_and_tail_results() {
+        use crate::report::{SearchResult, TailResult};
+        let sc = scenario();
+        let mut base = report(2_500.0, 90.0, 0.3);
+        base.series[0].search = Some(SearchResult {
+            quantile: 0.99,
+            bound_us: 100.0,
+            resolution: 16,
+            max_load: 0.8125,
+            probes: 5,
+            cold_probes: 1,
+        });
+        base.series[0].tail = Some(TailResult {
+            load: 0.8,
+            quantile: 0.999,
+            value_us: 200.0,
+            brute_value_us: 195.0,
+            samples: 10_000,
+            total_weight: 9_000.0,
+            clones: 40,
+            truncated: 0,
+            master_events: 80_000,
+            clone_events: 20_000,
+            max_backlog: 50,
+        });
+        // Identical results pass; probe counts are free to differ.
+        let mut fresh = base.clone();
+        fresh.series[0].search.as_mut().expect("set").probes = 7;
+        assert!(check_baseline(&sc, &fresh, &base).is_empty());
+        // A drifted search load or tail estimate fails.
+        let mut drifted = base.clone();
+        drifted.series[0].search.as_mut().expect("set").max_load = 0.25;
+        let errs = check_baseline(&sc, &drifted, &base);
+        assert!(
+            errs.iter().any(|e| e.contains("search.max_load")),
+            "{errs:?}"
+        );
+        let mut drifted = base.clone();
+        drifted.series[0].tail.as_mut().expect("set").value_us = 900.0;
+        let errs = check_baseline(&sc, &drifted, &base);
+        assert!(errs.iter().any(|e| e.contains("tail.value_us")), "{errs:?}");
+        // Dropping a result entirely is structural.
+        let mut missing = base.clone();
+        missing.series[0].search = None;
+        let errs = check_baseline(&sc, &missing, &base);
+        assert!(
+            errs.iter().any(|e| e.contains("search result presence")),
             "{errs:?}"
         );
     }

@@ -47,7 +47,9 @@ use zygos_sysim::AdmissionMode;
 
 use zygos_sysim::SeriesKind;
 
-use crate::spec::{Case, Claims, HostSpec, Scenario, SpecError, TelemetrySpec};
+use crate::spec::{
+    Case, Claims, HostSpec, Scenario, SearchSpec, SpecError, TailSpec, TelemetrySpec,
+};
 use crate::toml::{self, Table, Value};
 
 /// Parses a scenario from TOML text.
@@ -57,7 +59,7 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
     for table in doc.tables.keys() {
         if !matches!(
             table.as_str(),
-            "workload" | "scale" | "telemetry" | "claims" | "check"
+            "workload" | "scale" | "telemetry" | "search" | "tail" | "claims" | "check"
         ) {
             return Err(SpecError::new(format!("unknown table [{table}]")));
         }
@@ -153,6 +155,12 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
 
     if let Some(t) = doc.tables.get("telemetry") {
         b = b.telemetry(parse_telemetry(t)?);
+    }
+    if let Some(t) = doc.tables.get("search") {
+        b = b.search(parse_search(t)?);
+    }
+    if let Some(t) = doc.tables.get("tail") {
+        b = b.tail(parse_tail(t)?);
     }
     if let Some(c) = doc.tables.get("claims") {
         b = b.claims(parse_claims(c)?);
@@ -463,6 +471,73 @@ fn parse_telemetry(t: &Table) -> Result<TelemetrySpec, SpecError> {
     Ok(spec)
 }
 
+/// `[search]`: `metric` (`"p50"` / `"p99"` / `"p999"`, default p99),
+/// `bound_us` (required), `resolution` (default 16).
+fn parse_search(t: &Table) -> Result<SearchSpec, SpecError> {
+    check_keys("[search]", t, &["metric", "bound_us", "resolution"])?;
+    let mut spec = SearchSpec::default();
+    if let Some(v) = t.get("metric") {
+        spec.quantile = match str_of(v, "metric")?.as_str() {
+            "p50" => 0.50,
+            "p99" => 0.99,
+            "p999" => 0.999,
+            other => {
+                return Err(SpecError::new(format!(
+                    "[search] unknown metric {other:?} (p50, p99, p999)"
+                )))
+            }
+        };
+    }
+    spec.bound_us = opt_num(t, "bound_us", "[search]")?
+        .ok_or_else(|| SpecError::new("[search] needs bound_us"))?;
+    if let Some(v) = opt_num(t, "resolution", "[search]")? {
+        spec.resolution = as_count(v, "resolution")?;
+    }
+    Ok(spec)
+}
+
+/// `[tail]`: `load` (required), `quantile`, `levels`, `splits`,
+/// `check_every`, `clone_budget` — see `docs/TAIL.md` for how to pick
+/// the levels.
+fn parse_tail(t: &Table) -> Result<TailSpec, SpecError> {
+    check_keys(
+        "[tail]",
+        t,
+        &[
+            "load",
+            "quantile",
+            "levels",
+            "splits",
+            "check_every",
+            "clone_budget",
+        ],
+    )?;
+    let mut spec = TailSpec {
+        load: opt_num(t, "load", "[tail]")?
+            .ok_or_else(|| SpecError::new("[tail] needs a load to study"))?,
+        ..TailSpec::default()
+    };
+    if let Some(v) = opt_num(t, "quantile", "[tail]")? {
+        spec.quantile = v;
+    }
+    if let Some(v) = t.get("levels") {
+        spec.levels = num_array(v, "levels")?
+            .into_iter()
+            .map(|l| as_count(l, "levels"))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = opt_num(t, "splits", "[tail]")? {
+        spec.splits = as_count(v, "splits")?;
+    }
+    if let Some(v) = opt_num(t, "check_every", "[tail]")? {
+        spec.check_every = as_count(v, "check_every")? as u64;
+    }
+    if let Some(v) = opt_num(t, "clone_budget", "[tail]")? {
+        spec.clone_budget = as_count(v, "clone_budget")? as u64;
+    }
+    Ok(spec)
+}
+
 fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
     check_keys(
         "[claims]",
@@ -631,6 +706,42 @@ sample_period = 2
         let bad = text.replace("\"active_cores\"", "\"warp_factor\"");
         let e = scenario_from_toml(&bad).expect_err("reject");
         assert!(e.to_string().contains("warp_factor"), "{e}");
+    }
+
+    #[test]
+    fn search_and_tail_tables_parse() {
+        let text = MINIMAL.to_string()
+            + r#"
+[search]
+metric = "p999"
+bound_us = 250.0
+resolution = 32
+[tail]
+load = 0.6
+quantile = 0.9995
+levels = [24, 48, 96]
+splits = 8
+check_every = 32
+clone_budget = 500_000
+"#;
+        let s = scenario_from_toml(&text).expect("valid");
+        let search = s.search.as_ref().expect("armed");
+        assert_eq!(search.quantile, 0.999);
+        assert_eq!(search.bound_us, 250.0);
+        assert_eq!(search.resolution, 32);
+        let tail = s.tail.as_ref().expect("armed");
+        assert_eq!(tail.load, 0.6);
+        assert_eq!(tail.levels, vec![24, 48, 96]);
+        assert_eq!(tail.splits, 8);
+        assert_eq!(tail.check_every, 32);
+        assert_eq!(tail.clone_budget, 500_000);
+        // Unknown metrics and missing required keys are loud.
+        let e = scenario_from_toml(&text.replace("\"p999\"", "\"p42\"")).expect_err("reject");
+        assert!(e.to_string().contains("p42"), "{e}");
+        let e = scenario_from_toml(&text.replace("bound_us = 250.0", "")).expect_err("reject");
+        assert!(e.to_string().contains("bound_us"), "{e}");
+        let e = scenario_from_toml(&text.replace("load = 0.6", "")).expect_err("reject");
+        assert!(e.to_string().contains("load"), "{e}");
     }
 
     #[test]

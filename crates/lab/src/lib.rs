@@ -53,17 +53,17 @@ pub mod toml;
 pub mod traces;
 
 pub use bench::{
-    check_bench, run_bench, BenchReport, BENCH_BASELINE, REGRESSION_TOLERANCE,
-    TRACE_ON_MAX_OVERHEAD, TRACE_PAIR,
+    check_bench, run_bench, BenchReport, BENCH_BASELINE, PAR_MIN_RATIO, PAR_PAIR,
+    REGRESSION_TOLERANCE, TRACE_ON_MAX_OVERHEAD, TRACE_PAIR, WARM_MIN_SPEEDUP, WARM_PAIR,
 };
 pub use check::{check_baseline, check_claims, check_telemetry};
 pub use fromtoml::scenario_from_toml;
-pub use report::{PointMetrics, Report, Series, TraceSeries};
+pub use report::{PointMetrics, Report, SearchResult, Series, TailResult, TraceSeries};
 pub use runner::{
     max_load_at_slo, run_case, run_point, run_scenario, run_scenario_threads, runtime_config_for,
     sys_config_for, xy,
 };
 pub use spec::{
     AdmissionSpec, Case, Claims, HostSpec, LiveHost, PolicySpec, ScaleSpec, Scenario,
-    ScenarioBuilder, SimHost, SpecError, TelemetrySpec, WorkloadSpec,
+    ScenarioBuilder, SearchSpec, SimHost, SpecError, TailSpec, TelemetrySpec, WorkloadSpec,
 };

@@ -76,6 +76,56 @@ pub struct TraceSeries {
     pub points: Vec<(f64, f64)>,
 }
 
+/// The outcome of a `[search]` block for one case: the paper's
+/// "maximum load @ SLO" metric plus the probe accounting that pins the
+/// checkpoint-prefix-reuse win (`cold_probes` stays 1 for warmable
+/// cases).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResult {
+    /// The latency quantile the SLO binds.
+    pub quantile: f64,
+    /// The SLO bound, µs.
+    pub bound_us: f64,
+    /// Bisection grid resolution.
+    pub resolution: u32,
+    /// Highest load meeting the bound (0 when even the lowest fails).
+    pub max_load: f64,
+    /// Total bisection probes run.
+    pub probes: u32,
+    /// Probes that paid a full cold warmup.
+    pub cold_probes: u32,
+}
+
+/// The outcome of a `[tail]` block for one case: the
+/// importance-splitting deep-tail estimate next to the brute-force
+/// estimate from the bit-identical master trajectory (see
+/// `docs/TAIL.md` for the estimator).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailResult {
+    /// The load studied.
+    pub load: f64,
+    /// The deep quantile estimated.
+    pub quantile: f64,
+    /// Splitting (weighted) estimate of that quantile, µs.
+    pub value_us: f64,
+    /// Brute-force estimate from the master trajectory alone, µs.
+    pub brute_value_us: f64,
+    /// Weighted samples collected (master + clones).
+    pub samples: u64,
+    /// Total sample weight (≈ master completions when unbiased).
+    pub total_weight: f64,
+    /// Trajectory clones spawned.
+    pub clones: u64,
+    /// Clone spawns suppressed by the budget (nonzero ⇒ biased low).
+    pub truncated: u64,
+    /// Events run by the master trajectory.
+    pub master_events: u64,
+    /// Events run by all clones together.
+    pub clone_events: u64,
+    /// Deepest backlog level observed.
+    pub max_backlog: u64,
+}
+
 /// One case's sweep.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Series {
@@ -88,6 +138,12 @@ pub struct Series {
     pub deterministic: bool,
     /// One point per grid load.
     pub points: Vec<PointMetrics>,
+    /// Max-load@SLO search result (`None` when the scenario has no
+    /// `[search]` block or the host cannot run one).
+    pub search: Option<SearchResult>,
+    /// Importance-splitting result (`None` without a `[tail]` block or
+    /// on non-ZygOS-family hosts).
+    pub tail: Option<TailResult>,
 }
 
 /// A full scenario result.
@@ -105,8 +161,9 @@ pub struct Report {
 }
 
 /// Current schema version. v2 added the p99 sojourn decomposition and
-/// per-point telemetry time-series.
-pub const SCHEMA_VERSION: u32 = 2;
+/// per-point telemetry time-series; v3 added per-series `search` and
+/// `tail` results.
+pub const SCHEMA_VERSION: u32 = 3;
 
 impl Report {
     /// The series with `label`, if any.
@@ -163,7 +220,9 @@ impl Report {
                 out.push('}');
                 out.push_str(if j + 1 < s.points.len() { ",\n" } else { "\n" });
             }
-            out.push_str("      ]\n");
+            out.push_str("      ],\n");
+            let _ = writeln!(out, "      \"search\": {},", search_json(&s.search));
+            let _ = writeln!(out, "      \"tail\": {}", tail_json(&s.tail));
             out.push_str(if i + 1 < self.series.len() {
                 "    },\n"
             } else {
@@ -238,11 +297,48 @@ impl Report {
                     timeseries,
                 });
             }
+            let search = match get(so, "search")? {
+                Json::Null => None,
+                v => {
+                    let o = v.object("search")?;
+                    let f = |k: &str| -> Result<f64, String> { get(o, k)?.number(k) };
+                    Some(SearchResult {
+                        quantile: f("quantile")?,
+                        bound_us: f("bound_us")?,
+                        resolution: f("resolution")? as u32,
+                        max_load: f("max_load")?,
+                        probes: f("probes")? as u32,
+                        cold_probes: f("cold_probes")? as u32,
+                    })
+                }
+            };
+            let tail = match get(so, "tail")? {
+                Json::Null => None,
+                v => {
+                    let o = v.object("tail")?;
+                    let f = |k: &str| -> Result<f64, String> { get(o, k)?.number(k) };
+                    Some(TailResult {
+                        load: f("load")?,
+                        quantile: f("quantile")?,
+                        value_us: f("value_us")?,
+                        brute_value_us: f("brute_value_us")?,
+                        samples: f("samples")? as u64,
+                        total_weight: f("total_weight")?,
+                        clones: f("clones")? as u64,
+                        truncated: f("truncated")? as u64,
+                        master_events: f("master_events")? as u64,
+                        clone_events: f("clone_events")? as u64,
+                        max_backlog: f("max_backlog")? as u64,
+                    })
+                }
+            };
             series.push(Series {
                 label: get(so, "label")?.string("label")?,
                 host: get(so, "host")?.string("host")?,
                 deterministic: get(so, "deterministic")?.boolean("deterministic")?,
                 points,
+                search,
+                tail,
             });
         }
         Ok(Report {
@@ -271,6 +367,45 @@ fn num(v: f64) -> String {
 fn num_array(vs: &[f64]) -> String {
     let inner: Vec<String> = vs.iter().map(|&v| num(v)).collect();
     format!("[{}]", inner.join(", "))
+}
+
+fn search_json(s: &Option<SearchResult>) -> String {
+    match s {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{\"quantile\": {}, \"bound_us\": {}, \"resolution\": {}, \
+             \"max_load\": {}, \"probes\": {}, \"cold_probes\": {}}}",
+            num(s.quantile),
+            num(s.bound_us),
+            s.resolution,
+            num(s.max_load),
+            s.probes,
+            s.cold_probes
+        ),
+    }
+}
+
+fn tail_json(t: &Option<TailResult>) -> String {
+    match t {
+        None => "null".to_string(),
+        Some(t) => format!(
+            "{{\"load\": {}, \"quantile\": {}, \"value_us\": {}, \
+             \"brute_value_us\": {}, \"samples\": {}, \"total_weight\": {}, \
+             \"clones\": {}, \"truncated\": {}, \"master_events\": {}, \
+             \"clone_events\": {}, \"max_backlog\": {}}}",
+            num(t.load),
+            num(t.quantile),
+            num(t.value_us),
+            num(t.brute_value_us),
+            t.samples,
+            num(t.total_weight),
+            t.clones,
+            t.truncated,
+            t.master_events,
+            t.clone_events,
+            t.max_backlog
+        ),
+    }
 }
 
 fn series_array(series: &[TraceSeries]) -> String {
@@ -548,6 +683,27 @@ mod tests {
                         core_seconds: 0.81,
                         ..PointMetrics::default()
                     }],
+                    search: Some(SearchResult {
+                        quantile: 0.99,
+                        bound_us: 100.0,
+                        resolution: 16,
+                        max_load: 0.8125,
+                        probes: 5,
+                        cold_probes: 1,
+                    }),
+                    tail: Some(TailResult {
+                        load: 0.8,
+                        quantile: 0.999,
+                        value_us: 212.5,
+                        brute_value_us: 208.0,
+                        samples: 41_000,
+                        total_weight: 12_000.25,
+                        clones: 96,
+                        truncated: 0,
+                        master_events: 150_000,
+                        clone_events: 42_000,
+                        max_backlog: 71,
+                    }),
                 },
                 Series {
                     label: "ZygOS (credits)".to_string(),
@@ -571,6 +727,8 @@ mod tests {
                         }],
                         ..PointMetrics::default()
                     }],
+                    search: None,
+                    tail: None,
                 },
             ],
         }

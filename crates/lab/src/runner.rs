@@ -32,10 +32,15 @@ use zygos_sched::CreditConfig;
 use zygos_sim::queueing::{self, QueueConfig};
 use zygos_sim::rng::Xoshiro256;
 use zygos_sim::stats::LatencyHistogram;
-use zygos_sysim::{run_system, AdmissionMode, SysConfig, SysOutput, SystemKind};
+use zygos_sysim::{
+    max_load_at_quantile_slo_counting, run_restart, run_system, run_system_chain, warmable,
+    AdmissionMode, SysConfig, SysOutput, SystemKind, TailConfig, WARM_MAX_LOAD,
+};
 use zygos_telemetry::{decompose, decomposition_at_quantile};
 
-use crate::report::{PointMetrics, Report, Series, TraceSeries, SCHEMA_VERSION};
+use crate::report::{
+    PointMetrics, Report, SearchResult, Series, TailResult, TraceSeries, SCHEMA_VERSION,
+};
 use crate::spec::{AdmissionSpec, Case, HostSpec, LiveHost, Scenario, SimHost, SpecError};
 
 /// Hard per-point completion cap for live cases: wall-clock experiments
@@ -56,8 +61,8 @@ fn default_parallelism() -> usize {
 
 /// Runs every case of a scenario over its load grid.
 ///
-/// Simulator and model points are pure functions of `(config, seed)`, so
-/// they fan out across worker threads; results are reassembled in grid
+/// Simulator and model work is a pure function of `(config, seed)`, so
+/// it fans out across worker threads; results are reassembled in grid
 /// order, which makes the parallel run **byte-identical** to a sequential
 /// one (pinned by `parallel_report_matches_sequential`). Live points are
 /// wall-clock measurements and always run sequentially, after the
@@ -67,6 +72,94 @@ pub fn run_scenario(sc: &Scenario, smoke: bool) -> Result<Report, SpecError> {
     run_scenario_threads(sc, smoke, default_parallelism())
 }
 
+/// One deterministic work item. The job list is a pure function of the
+/// scenario and its load grid — never of thread timing — which is what
+/// keeps the parallel fan-out byte-identical to a sequential run even
+/// though warm-start chains couple consecutive grid points.
+enum Job {
+    /// Consecutive grid indices of one case, run as one warm-start chain
+    /// (singleton for hosts that cannot warm-start).
+    Chain { ci: usize, lis: Vec<usize> },
+    /// The case's `[search]` bisection.
+    Search { ci: usize },
+    /// The case's `[tail]` importance-splitting run.
+    Tail { ci: usize },
+}
+
+enum JobOut {
+    Points(Vec<PointMetrics>),
+    Search(SearchResult),
+    Tail(TailResult),
+}
+
+fn run_job(sc: &Scenario, job: &Job, loads: &[f64], smoke: bool) -> Result<JobOut, SpecError> {
+    match job {
+        Job::Chain { ci, lis } => {
+            let chain: Vec<f64> = lis.iter().map(|&li| loads[li]).collect();
+            run_chain(sc, &sc.cases[*ci], &chain, smoke).map(JobOut::Points)
+        }
+        Job::Search { ci } => run_search(sc, &sc.cases[*ci], smoke).map(JobOut::Search),
+        Job::Tail { ci } => run_tail(sc, &sc.cases[*ci], smoke).map(JobOut::Tail),
+    }
+}
+
+/// The deterministic job list: one [`Job::Chain`] per warm-start chain
+/// (per grid point for hosts that cannot warm), plus the case's
+/// `[search]` and `[tail]` work.
+fn jobs_for(sc: &Scenario, loads: &[f64], smoke: bool) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (ci, case) in sc.cases.iter().enumerate() {
+        if matches!(case.host, HostSpec::Live(_)) {
+            continue;
+        }
+        if case_is_warmable(sc, case, loads, smoke) {
+            jobs.extend(
+                warm_chains(loads)
+                    .into_iter()
+                    .map(|lis| Job::Chain { ci, lis }),
+            );
+        } else {
+            jobs.extend((0..loads.len()).map(|li| Job::Chain { ci, lis: vec![li] }));
+        }
+        if sc.search.is_some() {
+            jobs.push(Job::Search { ci });
+        }
+        if sc.tail.is_some() && Scenario::host_is_traced(case.host) {
+            jobs.push(Job::Tail { ci });
+        }
+    }
+    jobs
+}
+
+/// Whether a case's lowered config can warm-start from a checkpoint
+/// (ZygOS-family simulator, no tracing armed — see
+/// `zygos_sysim::warmable` and `docs/TAIL.md`).
+fn case_is_warmable(sc: &Scenario, case: &Case, loads: &[f64], smoke: bool) -> bool {
+    matches!(case.host, HostSpec::Sim(_))
+        && !loads.is_empty()
+        && sys_config_for(sc, case, loads[0], smoke).is_ok_and(|cfg| warmable(&cfg))
+}
+
+/// Splits a load grid into maximal strictly-ascending runs at or below
+/// [`WARM_MAX_LOAD`] — exactly the spans `run_system_chain` will
+/// warm-start end to end. A pure function of the grid, so parallel
+/// workers and a sequential run carve up identical chains.
+fn warm_chains(loads: &[f64]) -> Vec<Vec<usize>> {
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    for i in 0..loads.len() {
+        let chainable = i > 0
+            && loads[i - 1] < loads[i]
+            && loads[i - 1] <= WARM_MAX_LOAD
+            && loads[i] <= WARM_MAX_LOAD;
+        if chainable {
+            chains.last_mut().expect("i > 0 has a chain").push(i);
+        } else {
+            chains.push(vec![i]);
+        }
+    }
+    chains
+}
+
 /// [`run_scenario`] with an explicit worker count (`1` = sequential).
 pub fn run_scenario_threads(
     sc: &Scenario,
@@ -74,21 +167,14 @@ pub fn run_scenario_threads(
     threads: usize,
 ) -> Result<Report, SpecError> {
     let loads = sc.loads(smoke).to_vec();
-    // One slot per (case, load); live points are computed afterwards.
-    let jobs: Vec<(usize, usize, f64)> = sc
-        .cases
-        .iter()
-        .enumerate()
-        .filter(|(_, case)| !matches!(case.host, HostSpec::Live(_)))
-        .flat_map(|(ci, _)| loads.iter().enumerate().map(move |(li, &l)| (ci, li, l)))
-        .collect();
+    // One slot per deterministic job; live points are computed afterwards.
+    let jobs = jobs_for(sc, &loads, smoke);
     let threads = threads.clamp(1, jobs.len().max(1));
-    let results: Vec<Mutex<Option<Result<PointMetrics, SpecError>>>> =
+    let results: Vec<Mutex<Option<Result<JobOut, SpecError>>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
     if threads <= 1 {
-        for (slot, &(ci, _, load)) in jobs.iter().enumerate() {
-            *results[slot].lock().expect("poisoned") =
-                Some(run_point(sc, &sc.cases[ci], load, smoke));
+        for (slot, job) in jobs.iter().enumerate() {
+            *results[slot].lock().expect("poisoned") = Some(run_job(sc, job, &loads, smoke));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -96,24 +182,35 @@ pub fn run_scenario_threads(
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let slot = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(ci, _, load)) = jobs.get(slot) else {
+                    let Some(job) = jobs.get(slot) else {
                         return;
                     };
-                    let point = run_point(sc, &sc.cases[ci], load, smoke);
-                    *results[slot].lock().expect("poisoned") = Some(point);
+                    let out = run_job(sc, job, &loads, smoke);
+                    *results[slot].lock().expect("poisoned") = Some(out);
                 });
             }
         });
     }
     let mut by_case: Vec<Vec<Option<PointMetrics>>> =
         sc.cases.iter().map(|_| vec![None; loads.len()]).collect();
-    for (slot, &(ci, li, _)) in jobs.iter().enumerate() {
-        let point = results[slot]
+    let mut searches: Vec<Option<SearchResult>> = vec![None; sc.cases.len()];
+    let mut tails: Vec<Option<TailResult>> = vec![None; sc.cases.len()];
+    for (slot, job) in jobs.iter().enumerate() {
+        let out = results[slot]
             .lock()
             .expect("poisoned")
             .take()
             .expect("every job ran")?;
-        by_case[ci][li] = Some(point);
+        match (job, out) {
+            (Job::Chain { ci, lis }, JobOut::Points(points)) => {
+                for (&li, p) in lis.iter().zip(points) {
+                    by_case[*ci][li] = Some(p);
+                }
+            }
+            (Job::Search { ci }, JobOut::Search(s)) => searches[*ci] = Some(s),
+            (Job::Tail { ci }, JobOut::Tail(t)) => tails[*ci] = Some(t),
+            _ => unreachable!("job and result kinds always agree"),
+        }
     }
     let mut series = Vec::with_capacity(sc.cases.len());
     for (ci, case) in sc.cases.iter().enumerate() {
@@ -128,6 +225,8 @@ pub fn run_scenario_threads(
                     .iter_mut()
                     .map(|p| p.take().expect("deterministic point computed"))
                     .collect(),
+                search: searches[ci].take(),
+                tail: tails[ci].take(),
             });
         }
     }
@@ -139,18 +238,174 @@ pub fn run_scenario_threads(
     })
 }
 
-/// Runs one case over the load grid.
+/// Runs one case over the load grid. Deterministic hosts run the same
+/// warm-start chains and `[search]`/`[tail]` work as [`run_scenario`], so
+/// a directly-run case reproduces its series in the full report exactly.
 pub fn run_case(sc: &Scenario, case: &Case, smoke: bool) -> Result<Series, SpecError> {
     let loads = sc.loads(smoke).to_vec();
-    let mut points = Vec::with_capacity(loads.len());
-    for &load in &loads {
-        points.push(run_point(sc, case, load, smoke)?);
+    if matches!(case.host, HostSpec::Live(_)) {
+        let mut points = Vec::with_capacity(loads.len());
+        for &load in &loads {
+            points.push(run_point(sc, case, load, smoke)?);
+        }
+        return Ok(Series {
+            label: case.label.clone(),
+            host: case.host.id(),
+            deterministic: false,
+            points,
+            search: None,
+            tail: None,
+        });
     }
+    let chains = if case_is_warmable(sc, case, &loads, smoke) {
+        warm_chains(&loads)
+    } else {
+        (0..loads.len()).map(|li| vec![li]).collect()
+    };
+    let mut slots: Vec<Option<PointMetrics>> = vec![None; loads.len()];
+    for lis in chains {
+        let chain: Vec<f64> = lis.iter().map(|&li| loads[li]).collect();
+        for (&li, p) in lis.iter().zip(run_chain(sc, case, &chain, smoke)?) {
+            slots[li] = Some(p);
+        }
+    }
+    let search = match sc.search {
+        Some(_) => Some(run_search(sc, case, smoke)?),
+        None => None,
+    };
+    let tail = match &sc.tail {
+        Some(_) if Scenario::host_is_traced(case.host) => Some(run_tail(sc, case, smoke)?),
+        _ => None,
+    };
     Ok(Series {
         label: case.label.clone(),
         host: case.host.id(),
-        deterministic: !matches!(case.host, HostSpec::Live(_)),
-        points,
+        deterministic: true,
+        points: slots
+            .into_iter()
+            .map(|p| p.expect("chains cover the grid"))
+            .collect(),
+        search,
+        tail,
+    })
+}
+
+/// Runs one case over consecutive grid loads as a warm-start chain
+/// (simulator hosts; model points are independent anyway). The first
+/// point of a chain is bit-identical to a cold run, so splitting a grid
+/// into chains never changes which numbers are possible — only how much
+/// warmup is re-simulated.
+fn run_chain(
+    sc: &Scenario,
+    case: &Case,
+    chain: &[f64],
+    smoke: bool,
+) -> Result<Vec<PointMetrics>, SpecError> {
+    match case.host {
+        HostSpec::Sim(_) => {
+            let base = sys_config_for(sc, case, chain.first().copied().unwrap_or(0.5), smoke)?;
+            Ok(run_system_chain(&base, chain)
+                .into_iter()
+                .zip(chain)
+                .map(|(out, &load)| sim_metrics(load, out, case))
+                .collect())
+        }
+        _ => chain
+            .iter()
+            .map(|&load| run_point(sc, case, load, smoke))
+            .collect(),
+    }
+}
+
+/// Runs the `[search]` block for one deterministic case: the paper's
+/// "maximum load @ SLO" bisection. Simulator cases warm-start every
+/// probe above the first from a checkpoint prefix (`cold_probes` stays
+/// 1); model probes are cheap and always cold.
+fn run_search(sc: &Scenario, case: &Case, smoke: bool) -> Result<SearchResult, SpecError> {
+    let sp = sc
+        .search
+        .as_ref()
+        .ok_or_else(|| SpecError::new("run_search needs a [search] block"))?;
+    let (max_load, probes, cold_probes) = match case.host {
+        HostSpec::Sim(_) => {
+            // The lowering load is irrelevant: the bisection overwrites
+            // `cfg.load` per probe.
+            let base = sys_config_for(sc, case, 0.5, smoke)?;
+            max_load_at_quantile_slo_counting(&base, sp.quantile, sp.bound_us, sp.resolution)
+        }
+        HostSpec::Model(policy) => {
+            let (requests, warmup) = sc.scale.window(smoke);
+            let mut probes = 0u32;
+            let max_load = queueing::max_load_at_slo(
+                |load| {
+                    probes += 1;
+                    queueing::simulate(&QueueConfig {
+                        servers: sc.workload.cores,
+                        load,
+                        service: sc.workload.service.clone(),
+                        policy,
+                        requests,
+                        seed: sc.scale.seed,
+                        warmup,
+                    })
+                    .latency
+                    .quantile_us(sp.quantile)
+                },
+                sp.bound_us,
+                sp.resolution,
+            );
+            (max_load, probes, probes)
+        }
+        HostSpec::Live(_) => {
+            return Err(SpecError::new(
+                "a [search] block cannot run on a wall-clock host",
+            ));
+        }
+    };
+    Ok(SearchResult {
+        quantile: sp.quantile,
+        bound_us: sp.bound_us,
+        resolution: sp.resolution as u32,
+        max_load,
+        probes,
+        cold_probes,
+    })
+}
+
+/// Runs the `[tail]` block for one ZygOS-family simulator case: RESTART
+/// importance splitting next to the brute-force estimate from the same
+/// master trajectory. The splitting engine owns the clone trajectories
+/// and per-event tracing cannot splice across clones, so tail runs
+/// always go untraced.
+fn run_tail(sc: &Scenario, case: &Case, smoke: bool) -> Result<TailResult, SpecError> {
+    let tp = sc
+        .tail
+        .as_ref()
+        .ok_or_else(|| SpecError::new("run_tail needs a [tail] block"))?;
+    let mut cfg = sys_config_for(sc, case, tp.load, smoke)?;
+    cfg.telemetry = None;
+    let (_, t) = run_restart(
+        &cfg,
+        &TailConfig {
+            quantile: tp.quantile,
+            levels: tp.levels.clone(),
+            splits: tp.splits,
+            check_every: tp.check_every,
+            clone_budget: tp.clone_budget,
+        },
+    );
+    Ok(TailResult {
+        load: tp.load,
+        quantile: t.quantile,
+        value_us: t.value_us,
+        brute_value_us: t.brute_value_us,
+        samples: t.samples as u64,
+        total_weight: t.total_weight,
+        clones: t.clones,
+        truncated: t.truncated,
+        master_events: t.master_events,
+        clone_events: t.clone_events,
+        max_backlog: t.max_backlog as u64,
     })
 }
 
@@ -164,7 +419,7 @@ pub fn run_point(
     match case.host {
         HostSpec::Sim(_) => {
             let cfg = sys_config_for(sc, case, load, smoke)?;
-            Ok(sim_metrics(&cfg, run_system(&cfg), case))
+            Ok(sim_metrics(load, run_system(&cfg), case))
         }
         HostSpec::Model(policy) => {
             let (requests, warmup) = sc.scale.window(smoke);
@@ -339,7 +594,7 @@ fn credit_config_for(a: &AdmissionSpec, cores: usize) -> CreditConfig {
 }
 
 /// Reduces a simulator run to the unified schema.
-fn sim_metrics(cfg: &SysConfig, out: SysOutput, case: &Case) -> PointMetrics {
+fn sim_metrics(load: f64, out: SysOutput, case: &Case) -> PointMetrics {
     let classes = classes_of(case);
     let per_class = |f: &dyn Fn(usize) -> f64| -> Vec<f64> {
         if classes >= 2 {
@@ -370,7 +625,7 @@ fn sim_metrics(cfg: &SysConfig, out: SysOutput, case: &Case) -> PointMetrics {
         })
         .unwrap_or_default();
     PointMetrics {
-        load: cfg.load,
+        load,
         mrps: out.throughput_mrps(),
         p50_us: out.latency.p50_us(),
         p99_us: out.p99_us(),
@@ -652,8 +907,11 @@ mod tests {
 
     #[test]
     fn parallel_report_matches_sequential() {
-        // Deterministic points are pure functions of (config, seed): the
-        // parallel fan-out must emit byte-identical report JSON.
+        // Deterministic work is a pure function of (config, seed): the
+        // parallel fan-out must emit byte-identical report JSON even
+        // though warm-start chains couple consecutive grid points and
+        // [search]/[tail] jobs interleave with them.
+        use crate::spec::{SearchSpec, TailSpec};
         let sc = Scenario::builder("par")
             .service(ServiceDist::exponential_us(10.0))
             .cores(4)
@@ -664,11 +922,96 @@ mod tests {
             .case(Case::sim("zygos", SimHost::Zygos))
             .case(Case::sim("ix", crate::spec::SimHost::Ix))
             .case(Case::model("mg4", zygos_sim::queueing::Policy::CentralFcfs))
+            .search(SearchSpec {
+                bound_us: 120.0,
+                resolution: 8,
+                ..SearchSpec::default()
+            })
+            .tail(TailSpec {
+                load: 0.8,
+                quantile: 0.99,
+                levels: vec![8, 16],
+                ..TailSpec::default()
+            })
             .build()
             .expect("valid");
         let seq = run_scenario_threads(&sc, true, 1).expect("runs");
         let par = run_scenario_threads(&sc, true, 4).expect("runs");
         assert_eq!(seq.to_json(), par.to_json(), "byte-identical JSON");
+    }
+
+    #[test]
+    fn search_and_tail_populate_the_report() {
+        use crate::spec::{SearchSpec, TailSpec};
+        let sc = Scenario::builder("st")
+            .service(ServiceDist::exponential_us(10.0))
+            .cores(4)
+            .conns(16)
+            .loads(vec![0.3, 0.6])
+            .requests(4_000, 1_000)
+            .smoke(1_500, 300)
+            .case(Case::sim("zygos", SimHost::Zygos))
+            .case(Case::sim("ix", crate::spec::SimHost::Ix))
+            .search(SearchSpec {
+                quantile: 0.99,
+                bound_us: 100.0,
+                resolution: 8,
+            })
+            .tail(TailSpec {
+                load: 0.7,
+                quantile: 0.99,
+                levels: vec![8, 16],
+                ..TailSpec::default()
+            })
+            .build()
+            .expect("valid");
+        let a = run_scenario(&sc, true).expect("runs");
+        let b = run_scenario(&sc, true).expect("runs");
+        assert_eq!(a, b, "search and tail results are deterministic");
+        let zygos = a.series("zygos").expect("series");
+        let ix = a.series("ix").expect("series");
+        // Every deterministic case carries a search result; warm-start
+        // prefix reuse leaves exactly one cold probe on the ZygOS case.
+        let zs = zygos.search.as_ref().expect("zygos searches");
+        assert!(zs.max_load > 0.0 && zs.max_load < 1.0, "{zs:?}");
+        assert_eq!(zs.cold_probes, 1, "{zs:?}");
+        assert!(zs.probes > zs.cold_probes, "{zs:?}");
+        let ixs = ix.search.as_ref().expect("ix searches");
+        assert_eq!(ixs.cold_probes, ixs.probes, "IX cannot warm-start");
+        // [tail] runs only on the ZygOS-family case, and its brute
+        // estimate comes from the same master trajectory.
+        let zt = zygos.tail.as_ref().expect("zygos has a tail result");
+        assert!(
+            ix.tail.is_none(),
+            "IX hosts cannot run the splitting engine"
+        );
+        assert!(zt.value_us > 0.0 && zt.brute_value_us > 0.0, "{zt:?}");
+        assert!(zt.samples > 0 && zt.total_weight > 0.0, "{zt:?}");
+        // run_case reproduces the full-report series exactly.
+        let direct = run_case(&sc, sc.case("zygos").expect("case"), true).expect("runs");
+        assert_eq!(&direct, zygos);
+    }
+
+    #[test]
+    fn warm_chains_are_a_pure_function_of_the_grid() {
+        // Ascending spans chain; descents, repeats and beyond-cap loads
+        // break them.
+        assert_eq!(
+            warm_chains(&[0.2, 0.5, 0.8]),
+            vec![vec![0, 1, 2]],
+            "ascending grid is one chain"
+        );
+        assert_eq!(
+            warm_chains(&[0.5, 0.3, 0.6]),
+            vec![vec![0], vec![1, 2]],
+            "a descent starts a new chain"
+        );
+        assert_eq!(
+            warm_chains(&[0.9, 1.2, 1.4]),
+            vec![vec![0], vec![1], vec![2]],
+            "beyond WARM_MAX_LOAD every point is cold"
+        );
+        assert_eq!(warm_chains(&[]), Vec::<Vec<usize>>::new());
     }
 
     #[test]

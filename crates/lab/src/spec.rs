@@ -407,6 +407,71 @@ impl TelemetrySpec {
     }
 }
 
+/// A `[search]` block: the paper's "maximum load @ SLO" metric as a
+/// committed gate. Every deterministic (sim or model) case bisects the
+/// load axis for the highest load whose latency quantile meets the
+/// bound; warmable simulator cases reuse checkpoint prefixes across the
+/// probes (see `docs/TAIL.md`), so only the first probe pays a cold
+/// warmup. Live cases carry no search result — a wall clock cannot
+/// binary-search loads honestly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchSpec {
+    /// Which latency quantile the SLO binds (0.5, 0.99, 0.999, …).
+    pub quantile: f64,
+    /// The SLO bound on that quantile, µs.
+    pub bound_us: f64,
+    /// Load-grid resolution of the bisection (16 ⇒ 1/16-load steps).
+    pub resolution: usize,
+}
+
+impl Default for SearchSpec {
+    fn default() -> Self {
+        SearchSpec {
+            quantile: 0.99,
+            bound_us: 100.0,
+            resolution: 16,
+        }
+    }
+}
+
+/// A `[tail]` block: RESTART importance splitting for deep-tail
+/// quantiles at one load. Trajectories entering rare high-backlog
+/// states are cloned (weights divided by the split factor), so tail
+/// mass is sampled 10–100× more often than brute force at matched base
+/// cost; the master trajectory stays bit-identical to the brute-force
+/// run, so every result carries both estimates. ZygOS-family simulator
+/// cases only, always untraced (checkpoints drop the observer plane).
+/// Estimator math and bias caveats live in `docs/TAIL.md`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailSpec {
+    /// The offered load to study (usually the interesting knee).
+    pub load: f64,
+    /// Which deep quantile to estimate (default 0.999).
+    pub quantile: f64,
+    /// Ascending backlog thresholds; crossing level `i` splits the
+    /// trajectory.
+    pub levels: Vec<usize>,
+    /// Clones per level crossing (weight divides by this).
+    pub splits: usize,
+    /// Events between backlog-level checks.
+    pub check_every: u64,
+    /// Cap on total clone events (truncation is counted and reported).
+    pub clone_budget: u64,
+}
+
+impl Default for TailSpec {
+    fn default() -> Self {
+        TailSpec {
+            load: 0.8,
+            quantile: 0.999,
+            levels: vec![32, 64],
+            splits: 4,
+            check_every: 64,
+            clone_budget: 2_000_000,
+        }
+    }
+}
+
 /// Measurement sizing, full and smoke.
 #[derive(Clone, Debug)]
 pub struct ScaleSpec {
@@ -519,6 +584,10 @@ pub struct Scenario {
     pub scale: ScaleSpec,
     /// Telemetry recorded by simulator cases (`None` records nothing).
     pub telemetry: Option<TelemetrySpec>,
+    /// Max-load@SLO search over every deterministic case.
+    pub search: Option<SearchSpec>,
+    /// RESTART importance splitting over ZygOS-family simulator cases.
+    pub tail: Option<TailSpec>,
     /// Acceptance claims.
     pub claims: Claims,
     /// Relative tolerance for baseline diffs (default 0.5 — smoke
@@ -540,6 +609,8 @@ impl Scenario {
             cases: Vec::new(),
             scale: ScaleSpec::default(),
             telemetry: None,
+            search: None,
+            tail: None,
             claims: Claims::default(),
             check_tolerance: 0.5,
         }
@@ -599,6 +670,8 @@ pub struct ScenarioBuilder {
     cases: Vec<Case>,
     scale: ScaleSpec,
     telemetry: Option<TelemetrySpec>,
+    search: Option<SearchSpec>,
+    tail: Option<TailSpec>,
     claims: Claims,
     check_tolerance: f64,
 }
@@ -669,6 +742,18 @@ impl ScenarioBuilder {
     /// Arms scenario-wide telemetry (simulator cases).
     pub fn telemetry(mut self, t: TelemetrySpec) -> Self {
         self.telemetry = Some(t);
+        self
+    }
+
+    /// Arms the max-load@SLO search over deterministic cases.
+    pub fn search(mut self, s: SearchSpec) -> Self {
+        self.search = Some(s);
+        self
+    }
+
+    /// Arms RESTART importance splitting over ZygOS-family sim cases.
+    pub fn tail(mut self, t: TailSpec) -> Self {
+        self.tail = Some(t);
         self
     }
 
@@ -770,6 +855,59 @@ impl ScenarioBuilder {
                 );
             }
         }
+        if let Some(s) = &self.search {
+            if !(s.quantile > 0.0 && s.quantile < 1.0) {
+                return err(format!(
+                    "search quantile {} out of range (0, 1)",
+                    s.quantile
+                ));
+            }
+            if !s.bound_us.is_finite() || s.bound_us <= 0.0 {
+                return err(format!(
+                    "search bound_us must be positive, got {}",
+                    s.bound_us
+                ));
+            }
+            if !(2..=1000).contains(&s.resolution) {
+                return err(format!(
+                    "search resolution {} out of range [2, 1000]",
+                    s.resolution
+                ));
+            }
+            if self
+                .cases
+                .iter()
+                .all(|c| matches!(c.host, HostSpec::Live(_)))
+            {
+                return err(
+                    "a [search] block needs a deterministic (sim or model) case; \
+                     a wall clock cannot binary-search loads honestly"
+                        .into(),
+                );
+            }
+        }
+        if let Some(t) = &self.tail {
+            if !(t.load > 0.0 && t.load <= 4.0) {
+                return err(format!("tail load {} out of range (0, 4]", t.load));
+            }
+            if !(t.quantile > 0.0 && t.quantile < 1.0) {
+                return err(format!("tail quantile {} out of range (0, 1)", t.quantile));
+            }
+            if t.levels.is_empty() || !t.levels.windows(2).all(|w| w[0] < w[1]) {
+                return err("tail levels must be non-empty and strictly ascending".into());
+            }
+            if t.splits < 2 {
+                return err(format!("tail splits must be >= 2, got {}", t.splits));
+            }
+            if t.check_every == 0 {
+                return err("tail check_every must be >= 1".into());
+            }
+            if !self.cases.iter().any(|c| Scenario::host_is_traced(c.host)) {
+                return err("a [tail] block needs a ZygOS-family simulator case; \
+                     only those worlds are checkpoint-cloneable"
+                    .into());
+            }
+        }
         validate_claims(&self.claims, &self.cases, &self.loads, &self.scale)?;
         if self.check_tolerance <= 0.0 {
             return err("check tolerance must be positive".into());
@@ -786,6 +924,8 @@ impl ScenarioBuilder {
             cases: self.cases,
             scale: self.scale,
             telemetry: self.telemetry,
+            search: self.search,
+            tail: self.tail,
             claims: self.claims,
             check_tolerance: self.check_tolerance,
         })
@@ -1184,5 +1324,66 @@ mod tests {
             .build()
             .expect_err("grid tops out at 0.5");
         assert!(e.to_string().contains("overload"), "{e}");
+    }
+
+    #[test]
+    fn search_and_tail_blocks_validate() {
+        // A valid pair of blocks builds and is carried through.
+        let sc = base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .search(SearchSpec {
+                quantile: 0.99,
+                bound_us: 100.0,
+                resolution: 16,
+            })
+            .tail(TailSpec {
+                load: 0.8,
+                ..TailSpec::default()
+            })
+            .build()
+            .expect("valid");
+        assert_eq!(sc.search.as_ref().map(|s| s.resolution), Some(16));
+        assert_eq!(sc.tail.as_ref().map(|t| t.splits), Some(4));
+        // A search over live-only cases has nothing honest to bisect.
+        let e = Scenario::builder("t")
+            .service(ServiceDist::exponential_us(200.0))
+            .loads(vec![0.2])
+            .case(Case::live("l", LiveHost::Zygos))
+            .search(SearchSpec::default())
+            .build()
+            .expect_err("live only");
+        assert!(e.to_string().contains("deterministic"), "{e}");
+        // Tail splitting needs a checkpoint-cloneable (ZygOS-family) case.
+        let e = base()
+            .case(Case::sim("ix", SimHost::Ix))
+            .tail(TailSpec::default())
+            .build()
+            .expect_err("no zygos-family case");
+        assert!(e.to_string().contains("ZygOS-family"), "{e}");
+        // Degenerate knobs are rejected.
+        assert!(base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .search(SearchSpec {
+                resolution: 1,
+                ..SearchSpec::default()
+            })
+            .build()
+            .is_err());
+        assert!(base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .tail(TailSpec {
+                levels: vec![40, 40],
+                ..TailSpec::default()
+            })
+            .build()
+            .is_err());
+        assert!(base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .tail(TailSpec {
+                splits: 1,
+                ..TailSpec::default()
+            })
+            .build()
+            .is_err());
     }
 }

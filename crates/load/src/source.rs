@@ -251,8 +251,21 @@ impl ArrivalSpec {
 pub trait ArrivalSource: Send {
     /// Time from the previous arrival to the next one, in microseconds.
     fn next_gap_us(&mut self, rng: &mut Xoshiro256) -> f64;
+
+    /// Snapshots the generator, preserving its internal position (current
+    /// phase, trace cursor). Part of the deterministic-checkpoint
+    /// contract: a cloned source must emit the identical gap stream its
+    /// original would, given the identical RNG stream.
+    fn clone_box(&self) -> Box<dyn ArrivalSource>;
 }
 
+impl Clone for Box<dyn ArrivalSource> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[derive(Clone)]
 struct PoissonArrivals {
     mean_gap_us: f64,
 }
@@ -261,8 +274,13 @@ impl ArrivalSource for PoissonArrivals {
     fn next_gap_us(&mut self, rng: &mut Xoshiro256) -> f64 {
         rng.next_exp(self.mean_gap_us)
     }
+
+    fn clone_box(&self) -> Box<dyn ArrivalSource> {
+        Box::new(self.clone())
+    }
 }
 
+#[derive(Clone)]
 struct PhasedArrivals {
     phases: Vec<Phase>,
     rate_scale: f64,
@@ -290,8 +308,13 @@ impl ArrivalSource for PhasedArrivals {
             self.left_us = self.phases[self.phase].duration_us;
         }
     }
+
+    fn clone_box(&self) -> Box<dyn ArrivalSource> {
+        Box::new(self.clone())
+    }
 }
 
+#[derive(Clone)]
 struct TraceArrivals {
     trace: Arc<Trace>,
     gap_scale: f64,
@@ -304,6 +327,10 @@ impl ArrivalSource for TraceArrivals {
         let gap_ns = self.trace.gaps_ns[self.next];
         self.next = (self.next + 1) % self.trace.gaps_ns.len();
         (gap_ns as f64 / 1_000.0 * self.gap_scale).max(1e-3)
+    }
+
+    fn clone_box(&self) -> Box<dyn ArrivalSource> {
+        Box::new(self.clone())
     }
 }
 

@@ -246,6 +246,15 @@ impl CreditPool {
         self.rejected
     }
 
+    /// Zeroes the admitted/rejected counters while keeping the converged
+    /// control state (capacity, in-flight occupancy). Warm-started runs
+    /// splice a fresh measurement window onto a converged pool; the
+    /// counters are window statistics, the capacity is world state.
+    pub fn reset_stats(&mut self) {
+        self.admitted = 0;
+        self.rejected = 0;
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &CreditConfig {
         &self.cfg

@@ -348,6 +348,18 @@ pub trait AllocPolicy: Send {
 
     /// One-line state description for trace output.
     fn describe(&self) -> String;
+
+    /// Snapshots the policy, including its learned state (EWMAs,
+    /// hysteresis counters, granted count). Part of the deterministic-
+    /// checkpoint contract: the clone must make the identical decisions
+    /// its original would, given the identical observation stream.
+    fn clone_box(&self) -> Box<dyn AllocPolicy>;
+}
+
+impl Clone for Box<dyn AllocPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The PR-1 utilization rule (`util + β·√util` square-root staffing with
@@ -385,6 +397,10 @@ impl AllocPolicy for UtilizationPolicy {
             self.inner.util_ewma(),
             self.inner.press_ewma()
         )
+    }
+
+    fn clone_box(&self) -> Box<dyn AllocPolicy> {
+        Box::new(self.clone())
     }
 }
 

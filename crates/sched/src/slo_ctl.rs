@@ -202,6 +202,10 @@ impl AllocPolicy for SloController {
             self.inner.press_ewma()
         )
     }
+
+    fn clone_box(&self) -> Box<dyn AllocPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

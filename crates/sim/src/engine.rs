@@ -148,6 +148,16 @@ struct Entry<E> {
     event: E,
 }
 
+impl<E: Clone> Clone for Entry<E> {
+    fn clone(&self) -> Self {
+        Entry {
+            at: self.at,
+            seq: self.seq,
+            event: self.event.clone(),
+        }
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -176,6 +186,14 @@ impl<E> Ord for Entry<E> {
 /// engine default under the `heap-engine` feature.
 pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E: Clone> Clone for HeapQueue<E> {
+    fn clone(&self) -> Self {
+        HeapQueue {
+            heap: self.heap.clone(),
+        }
+    }
 }
 
 impl<E> Default for HeapQueue<E> {
@@ -269,6 +287,28 @@ pub struct WheelQueue<E> {
     /// bitmap scans of empty levels entirely.
     l0_len: usize,
     l1_len: usize,
+}
+
+/// A cloned wheel is an exact snapshot: the page, cursor and per-level
+/// contents round-trip verbatim, so a checkpoint taken mid-page (cursor
+/// inside level 0, cascades pending in level 1 / overflow) resumes with
+/// the identical pop stream. Pinned by `tests/checkpoint.rs`.
+impl<E: Clone> Clone for WheelQueue<E> {
+    fn clone(&self) -> Self {
+        WheelQueue {
+            page: self.page,
+            cursor: self.cursor,
+            cursor_sorted: self.cursor_sorted,
+            l0: self.l0.clone(),
+            l0_occ: self.l0_occ,
+            l1: self.l1.clone(),
+            l1_occ: self.l1_occ.clone(),
+            overflow: self.overflow.clone(),
+            len: self.len,
+            l0_len: self.l0_len,
+            l1_len: self.l1_len,
+        }
+    }
 }
 
 impl<E> Default for WheelQueue<E> {
@@ -628,9 +668,73 @@ impl<M: Model, Q: EventQueue<M::Event>> Engine<M, Q> {
         self.processed - start
     }
 
+    /// Processes exactly one event. Returns `false` (with no state change)
+    /// when the queue is empty; a handler calling [`Scheduler::stop`] still
+    /// counts as one processed event and returns `true`. Interleaving
+    /// `step` with [`Engine::run_until`] is exact: the engine has no
+    /// between-events state beyond `(queue, seq, now, processed)`.
+    pub fn step(&mut self) -> bool {
+        let Some((at, _seq, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        let mut sched = Scheduler {
+            now: self.now,
+            pending: std::mem::take(&mut self.scratch),
+            stopped: false,
+        };
+        self.model.handle(self.now, event, &mut sched);
+        self.processed += 1;
+        let mut pending = sched.pending;
+        for (at, ev) in pending.drain(..) {
+            self.queue.push(at, self.seq, ev);
+            self.seq += 1;
+        }
+        self.scratch = pending;
+        true
+    }
+
     /// True if no events remain.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Takes a deterministic checkpoint: a full snapshot of the engine's
+    /// event plane (queue contents, sequence counter, clock, processed
+    /// count) plus the model's world state via its `Clone`.
+    ///
+    /// The exact-resume guarantee: resuming the checkpoint and processing
+    /// N events is bit-identical to processing those N events on the
+    /// original — same pop order, same model trajectory — because the
+    /// engine holds no state outside the snapshot (the scratch buffer is
+    /// empty between events). Pinned by `tests/checkpoint.rs` on both
+    /// queue backends, including checkpoints taken mid-page on the wheel.
+    pub fn checkpoint(&self) -> Self
+    where
+        Self: Clone,
+    {
+        self.clone()
+    }
+}
+
+/// See [`Engine::checkpoint`]: a clone is an exact snapshot.
+impl<M, Q> Clone for Engine<M, Q>
+where
+    M: Model + Clone,
+    M::Event: Clone,
+    Q: EventQueue<M::Event> + Clone,
+{
+    fn clone(&self) -> Self {
+        Engine {
+            queue: self.queue.clone(),
+            seq: self.seq,
+            now: self.now,
+            model: self.model.clone(),
+            processed: self.processed,
+            // Drained back after every event; empty between events.
+            scratch: Vec::new(),
+        }
     }
 }
 

@@ -37,6 +37,12 @@ pub struct Req {
 /// configured [`zygos_load::source::ArrivalSpec`] (Poisson by default;
 /// phases or trace replay modulate the instantaneous rate while keeping
 /// the long-run mean at `cfg.lambda_per_us()`).
+///
+/// `Clone` duplicates the full client state — RNG position, sequence
+/// counter, arrival-process cursor — so a cloned source emits exactly the
+/// request stream the original would have (the checkpoint plane's
+/// exact-resume guarantee; see `docs/TAIL.md`).
+#[derive(Clone)]
 pub struct Source {
     rng: Xoshiro256,
     conn_home: Vec<u16>,
@@ -62,6 +68,23 @@ impl Source {
             next_seq: 0,
             half_rtt: SimDuration::from_nanos(cfg.cost.network_rtt_ns / 2),
         }
+    }
+
+    /// Re-rates a converged source for a warm-started neighbor run: the
+    /// arrival process is rebuilt at `cfg`'s offered load while the RNG
+    /// position, RSS map, and sequence counter carry over. A memoryless
+    /// (Poisson) process has no cursor to lose; phased/trace processes
+    /// restart their schedule exactly as a cold run at the new load would.
+    pub fn retarget(&mut self, cfg: &SysConfig) {
+        self.service = cfg.service.clone();
+        self.arrivals = cfg.arrivals.source(cfg.lambda_per_us());
+    }
+
+    /// Forks the workload RNG onto an independent stream (importance
+    /// splitting gives each cloned trajectory its own arrival/service
+    /// randomness; the master keeps the original stream).
+    pub fn fork_rng(&mut self, stream: u64) {
+        self.rng = self.rng.fork(stream);
     }
 
     /// Home core of connection `conn`.
@@ -90,6 +113,7 @@ impl Source {
 }
 
 /// Completion recorder with warmup handling and a measurement window.
+#[derive(Clone)]
 pub struct Recorder {
     /// End-to-end latency histogram (measured completions only).
     pub latency: LatencyHistogram,
@@ -100,21 +124,46 @@ pub struct Recorder {
     meas_start: SimTime,
     meas_end: SimTime,
     done: bool,
+    /// Per-completion latency samples (ns), kept only when armed: the
+    /// importance-splitting estimator needs individual samples to weight,
+    /// not the aggregate histogram. Drained between splitting segments.
+    tail: Option<Vec<u64>>,
 }
 
 impl Recorder {
     /// Creates a recorder for `cfg`.
     pub fn new(cfg: &SysConfig, half_rtt: SimDuration) -> Self {
+        Recorder::warm(cfg.requests, cfg.warmup, half_rtt, SimTime::ZERO)
+    }
+
+    /// Creates a recorder whose measurement window opens no earlier than
+    /// `start` — the warm-start splice point. A cold run passes
+    /// [`SimTime::ZERO`]; a warm-started run passes the checkpoint time so
+    /// a zero-warmup window cannot reach back before the splice.
+    pub fn warm(target: u64, warmup: u64, half_rtt: SimDuration, start: SimTime) -> Self {
         Recorder {
             latency: LatencyHistogram::new(),
             half_rtt,
             completed: 0,
-            warmup: cfg.warmup,
-            target: cfg.requests,
-            meas_start: SimTime::ZERO,
-            meas_end: SimTime::ZERO,
+            warmup,
+            target,
+            meas_start: start,
+            meas_end: start,
             done: false,
+            tail: None,
         }
+    }
+
+    /// Arms per-completion sample collection (importance splitting).
+    pub fn arm_tail_sampling(&mut self) {
+        if self.tail.is_none() {
+            self.tail = Some(Vec::new());
+        }
+    }
+
+    /// Takes the per-completion samples collected since the last drain.
+    pub fn drain_tail(&mut self) -> Vec<u64> {
+        self.tail.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Records that `req`'s response left the server at `tx_time`.
@@ -133,7 +182,11 @@ impl Recorder {
         }
         if self.completed > self.warmup {
             let client_rx = tx_time + self.half_rtt;
-            self.latency.record(client_rx.duration_since(req.send));
+            let lat = client_rx.duration_since(req.send);
+            self.latency.record(lat);
+            if let Some(buf) = &mut self.tail {
+                buf.push(lat.as_nanos());
+            }
             if self.completed - self.warmup >= self.target {
                 self.done = true;
                 self.meas_end = tx_time;

@@ -7,7 +7,35 @@ use zygos_sim::dist::ServiceDist;
 use zygos_sim::queueing::{self, Policy, QueueConfig};
 
 use crate::config::{SysConfig, SysOutput, SystemKind};
+use crate::zygos::WarmState;
 use crate::{ix, linux, zygos};
+
+/// Divisor on the cold warmup for a warm-started point: a spliced run
+/// starts from a converged neighbor, so it only needs to re-equilibrate
+/// across the load step, not converge from an empty system.
+pub const WARM_WARMUP_DIV: u64 = 8;
+
+/// Floor on warm re-equilibration completions (a small load step still
+/// needs a few hundred completions to settle; capped at the cold warmup).
+pub const WARM_WARMUP_MIN: u64 = 500;
+
+/// Loads above this always run cold: past saturation the backlog diverges
+/// with run length, so a spliced world's queue depth depends on how long
+/// the previous point ran — not a state a measurement may inherit.
+pub const WARM_MAX_LOAD: f64 = 0.98;
+
+/// Re-equilibration completions for a warm-started run of `cfg`.
+fn warm_warmup(cfg: &SysConfig) -> u64 {
+    (cfg.warmup / WARM_WARMUP_DIV)
+        .max(WARM_WARMUP_MIN)
+        .min(cfg.warmup)
+}
+
+/// True when `cfg` can be warm-started: a checkpointable ZygOS-family
+/// model with telemetry off (checkpoints drop the observer plane).
+pub fn warmable(cfg: &SysConfig) -> bool {
+    zygos::is_zygos_family(cfg) && cfg.telemetry.is_none()
+}
 
 /// Runs one system-simulation experiment.
 pub fn run_system(cfg: &SysConfig) -> SysOutput {
@@ -45,33 +73,87 @@ pub struct SweepPoint {
     pub wasted_wire_us: f64,
 }
 
+fn sweep_point(load: f64, out: &SysOutput) -> SweepPoint {
+    SweepPoint {
+        load,
+        mrps: out.throughput_mrps(),
+        p99_us: out.p99_us(),
+        steal_fraction: out.steal_fraction(),
+        ipis_per_req: if out.completed == 0 {
+            0.0
+        } else {
+            out.ipis as f64 / out.completed as f64
+        },
+        avg_active_cores: out.avg_active_cores,
+        shed_fraction: out.shed_fraction(),
+        wasted_wire_us: out.wasted_wire_us(),
+    }
+}
+
 /// Sweeps offered load and reports `(throughput, p99)` points — the raw
 /// data behind Figures 6, 8, 9, 10b and 11.
 ///
-/// One config is built and reused with a per-point load override: a
-/// `SysConfig` carries tenant/admission vectors and distribution tables,
-/// and cloning all of that per grid point was pure sweep overhead.
+/// ZygOS-family, telemetry-off sweeps **warm-start**: each point whose
+/// load sits above its predecessor's (and below [`WARM_MAX_LOAD`]) is
+/// spliced onto the previous point's converged checkpoint instead of
+/// re-converging from an empty system, spending `warm_warmup` instead
+/// of the full cold warmup. Other hosts, overload points, and descending
+/// steps fall back to cold runs — see `docs/TAIL.md` for the policy.
 pub fn latency_throughput_sweep(base: &SysConfig, loads: &[f64]) -> Vec<SweepPoint> {
+    run_system_chain(base, loads)
+        .iter()
+        .zip(loads)
+        .map(|(out, &load)| sweep_point(load, out))
+        .collect()
+}
+
+/// Runs `loads` as one warm chain and returns the full [`SysOutput`] per
+/// load — the raw form of [`latency_throughput_sweep`], for callers (the
+/// lab runner) that reduce outputs to their own schema. Non-warmable
+/// configs, overload points, and descending steps run cold; the chain
+/// head is bit-identical to a cold run.
+pub fn run_system_chain(base: &SysConfig, loads: &[f64]) -> Vec<SysOutput> {
+    if !warmable(base) {
+        let mut cfg = base.clone();
+        return loads
+            .iter()
+            .map(|&load| {
+                cfg.load = load;
+                run_system(&cfg)
+            })
+            .collect();
+    }
+    let mut cfg = base.clone();
+    let mut prev: Option<(f64, WarmState)> = None;
+    loads
+        .iter()
+        .map(|&load| {
+            cfg.load = load;
+            let warm_from = prev
+                .as_ref()
+                .filter(|(pl, _)| *pl < load && *pl <= WARM_MAX_LOAD && load <= WARM_MAX_LOAD);
+            let (out, state) = match warm_from {
+                Some((_, w)) => zygos::run_warm(w, &cfg, warm_warmup(&cfg)),
+                None => zygos::run_keep(&cfg),
+            };
+            prev = Some((load, state));
+            out
+        })
+        .collect()
+}
+
+/// The pre-warm-start sweep: every grid point pays the full cold
+/// convergence. Kept as the baseline side of the `sweep-warm` vs
+/// `sweep-cold` benchmark pair and for callers that need fully
+/// independent points.
+pub fn latency_throughput_sweep_cold(base: &SysConfig, loads: &[f64]) -> Vec<SweepPoint> {
     let mut cfg = base.clone();
     loads
         .iter()
         .map(|&load| {
             cfg.load = load;
             let out = run_system(&cfg);
-            SweepPoint {
-                load,
-                mrps: out.throughput_mrps(),
-                p99_us: out.p99_us(),
-                steal_fraction: out.steal_fraction(),
-                ipis_per_req: if out.completed == 0 {
-                    0.0
-                } else {
-                    out.ipis as f64 / out.completed as f64
-                },
-                avg_active_cores: out.avg_active_cores,
-                shed_fraction: out.shed_fraction(),
-                wasted_wire_us: out.wasted_wire_us(),
-            }
+            sweep_point(load, &out)
         })
         .collect()
 }
@@ -81,16 +163,75 @@ pub fn latency_throughput_sweep(base: &SysConfig, loads: &[f64]) -> Vec<SweepPoi
 ///
 /// `resolution` is the load grid (50 ⇒ 2% steps, the figures' visual
 /// granularity).
+///
+/// Warmable configs reuse checkpoint prefixes across bisection probes:
+/// each probe warm-starts from the converged world of the highest
+/// already-probed load below it, so only the first probe pays the cold
+/// warmup (previously *every* probe re-converged from an empty system —
+/// the bisection ran the warmup `O(log resolution)` times).
 pub fn max_load_at_slo(base: &SysConfig, slo_us: f64, resolution: usize) -> f64 {
+    max_load_at_slo_counting(base, slo_us, resolution).0
+}
+
+/// As [`max_load_at_slo`], also reporting `(probes, cold_probes)` — the
+/// probe-count pin for the checkpoint-prefix-reuse fix lives on this.
+pub fn max_load_at_slo_counting(
+    base: &SysConfig,
+    slo_us: f64,
+    resolution: usize,
+) -> (f64, u32, u32) {
+    max_load_at_quantile_slo_counting(base, 0.99, slo_us, resolution)
+}
+
+/// [`max_load_at_slo_counting`] generalized to any latency quantile —
+/// the scenario plane's `[search]` block picks p50/p99/p999 here.
+pub fn max_load_at_quantile_slo_counting(
+    base: &SysConfig,
+    quantile: f64,
+    slo_us: f64,
+    resolution: usize,
+) -> (f64, u32, u32) {
     let mut cfg = base.clone();
-    queueing::max_load_at_slo(
+    let mut probes = 0u32;
+    let mut cold = 0u32;
+    if !warmable(base) {
+        let load = queueing::max_load_at_slo(
+            |load| {
+                probes += 1;
+                cold += 1;
+                cfg.load = load;
+                run_system(&cfg).latency.quantile_us(quantile)
+            },
+            slo_us,
+            resolution,
+        );
+        return (load, probes, cold);
+    }
+    let mut cache: Vec<(f64, WarmState)> = Vec::new();
+    let load = queueing::max_load_at_slo(
         |load| {
+            probes += 1;
             cfg.load = load;
-            run_system(&cfg).p99_us()
+            let warm_from = cache
+                .iter()
+                .filter(|(l, _)| *l < load && *l <= WARM_MAX_LOAD)
+                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("grid loads are finite"));
+            let (out, state) = match warm_from {
+                Some((_, w)) if load <= WARM_MAX_LOAD => {
+                    zygos::run_warm(w, &cfg, warm_warmup(&cfg))
+                }
+                _ => {
+                    cold += 1;
+                    zygos::run_keep(&cfg)
+                }
+            };
+            cache.push((load, state));
+            out.latency.quantile_us(quantile)
         },
         slo_us,
         resolution,
-    )
+    );
+    (load, probes, cold)
 }
 
 /// p99 of the zero-overhead **centralized** FCFS bound (M/G/n/FCFS) at a
@@ -187,6 +328,68 @@ mod tests {
         // Systems fall below their bound.
         let zygos = max_load_at_slo(&small(SystemKind::Zygos, 10.0), 100.0, 20);
         assert!(zygos < central + 0.05);
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_within_tolerance() {
+        // The warm-started sweep must be statistically equivalent to the
+        // cold sweep: same distribution, different (shorter) warmup.
+        let base = small(SystemKind::Zygos, 10.0);
+        let loads = [0.3, 0.5, 0.7, 0.85];
+        let warm = latency_throughput_sweep(&base, &loads);
+        let cold = latency_throughput_sweep_cold(&base, &loads);
+        for (w, c) in warm.iter().zip(&cold) {
+            assert!(
+                (w.mrps - c.mrps).abs() / c.mrps < 0.05,
+                "load {}: warm mrps {} vs cold {}",
+                w.load,
+                w.mrps,
+                c.mrps
+            );
+            assert!(
+                (w.p99_us - c.p99_us).abs() / c.p99_us < 0.30,
+                "load {}: warm p99 {} vs cold {}",
+                w.load,
+                w.p99_us,
+                c.p99_us
+            );
+        }
+    }
+
+    #[test]
+    fn warm_sweep_is_deterministic() {
+        let base = small(SystemKind::Zygos, 10.0);
+        let loads = [0.4, 0.6, 0.8];
+        let a = latency_throughput_sweep(&base, &loads);
+        let b = latency_throughput_sweep(&base, &loads);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.p99_us, y.p99_us);
+            assert_eq!(x.mrps, y.mrps);
+        }
+    }
+
+    #[test]
+    fn first_sweep_point_is_bit_identical_to_cold() {
+        // The chain head always runs cold, and `run_keep` must not change
+        // its output: point 0 of warm and cold sweeps agree exactly.
+        let base = small(SystemKind::Zygos, 10.0);
+        let warm = latency_throughput_sweep(&base, &[0.5, 0.7]);
+        let cold = latency_throughput_sweep_cold(&base, &[0.5, 0.7]);
+        assert_eq!(warm[0].p99_us, cold[0].p99_us);
+        assert_eq!(warm[0].mrps, cold[0].mrps);
+    }
+
+    #[test]
+    fn bisection_probe_count_is_pinned_and_reuses_prefixes() {
+        // Resolution 16 ⇒ 1 edge probe + ⌈log2(15)⌉ = 4 bisection probes.
+        // Prefix reuse means exactly one of them (the first) runs cold —
+        // this pins the double-warm-up fix: before it, every probe paid
+        // the cold warmup.
+        let (load, probes, cold) =
+            max_load_at_slo_counting(&small(SystemKind::Zygos, 10.0), 100.0, 16);
+        assert!(load > 0.5, "sane search result, got {load}");
+        assert_eq!(probes, 5, "bisection probe count changed");
+        assert_eq!(cold, 1, "only the first probe may run cold");
     }
 
     #[test]

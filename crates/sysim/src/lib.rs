@@ -65,13 +65,17 @@ pub mod config;
 pub mod driver;
 mod ix;
 mod linux;
+pub mod tail;
 mod zygos;
 
 pub use config::{AdmissionMode, SysConfig, SysOutput, SystemKind, CREDIT_HEADROOM};
 pub use driver::{
-    latency_throughput_sweep, max_load_at_slo, run_system, theory_central_p99_us,
-    theory_max_load_at_slo, SweepPoint,
+    latency_throughput_sweep, latency_throughput_sweep_cold, max_load_at_quantile_slo_counting,
+    max_load_at_slo, max_load_at_slo_counting, run_system, run_system_chain, theory_central_p99_us,
+    theory_max_load_at_slo, warmable, SweepPoint, WARM_MAX_LOAD,
 };
+pub use tail::{run_restart, TailConfig, TailOutput};
+pub use zygos::WarmState;
 pub use zygos_load::source::ArrivalSpec;
 // The telemetry vocabulary callers need to arm [`SysConfig::telemetry`]
 // and to read [`SysOutput::telemetry`].

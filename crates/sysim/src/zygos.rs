@@ -85,6 +85,7 @@ use zygos_telemetry::{Registry, SeriesId, SeriesKind, TelemetryOut, TraceKind, T
 use crate::arrivals::{Recorder, Req, Source};
 use crate::config::{AdmissionMode, AllocKind, SysConfig, SysOutput, SystemKind, CREDIT_HEADROOM};
 
+#[derive(Clone)]
 pub(crate) enum Ev {
     /// Generate the next client request.
     Gen,
@@ -103,6 +104,7 @@ pub(crate) enum Ev {
     Control,
 }
 
+#[derive(Clone)]
 enum Work {
     /// Running the network stack over an RX batch.
     Net { batch: Vec<Req> },
@@ -126,6 +128,7 @@ enum Work {
 /// *known long*, so it only runs when no fresh work is visible anywhere —
 /// and it carries its remaining-time stamp, which is what makes SRPT
 /// ordering free.
+#[derive(Clone)]
 struct BgEntry {
     conn: u32,
     /// Enqueue time, for the aging promotion.
@@ -135,6 +138,7 @@ struct BgEntry {
     remaining_ns: u64,
 }
 
+#[derive(Clone)]
 struct Core {
     ring: VecDeque<Req>,
     shuffle: VecDeque<u32>,
@@ -244,6 +248,7 @@ fn any_other(a: &CoreMask, b: &CoreMask, except: usize) -> bool {
     false
 }
 
+#[derive(Clone)]
 struct Conn {
     st: ConnSt,
     pending: VecDeque<Req>,
@@ -260,6 +265,7 @@ fn ns(v: u64) -> SimDuration {
 use zygos_load::slo::MIN_WINDOW_SAMPLES;
 
 /// Elastic-mode control-plane state.
+#[derive(Clone)]
 struct Elastic {
     allocator: Box<dyn AllocPolicy>,
     meter: CoreSecondsMeter,
@@ -388,7 +394,7 @@ pub(crate) struct ZygosModel {
 }
 
 /// Integrates a core-count signal over simulated time.
-#[derive(Default)]
+#[derive(Clone, Copy, Default)]
 struct BusyMeter {
     count: usize,
     integral_ns: u128,
@@ -401,6 +407,58 @@ impl BusyMeter {
         self.integral_ns += ns.saturating_sub(self.last_ns) as u128 * self.count as u128;
         self.last_ns = self.last_ns.max(ns);
         self.count = (self.count as i64 + delta) as usize;
+    }
+}
+
+/// Checkpoint semantics: a clone is the *entire simulated world* — every
+/// queue, connection state, RNG position, credit, allocator EWMA, and
+/// occupancy mask — with one deliberate exception: the telemetry plane.
+/// Telemetry is a pure observer (pinned bit-identical by
+/// `tracing_leaves_metrics_and_event_counts_bit_identical`), so dropping
+/// it cannot perturb the trajectory; cloning a multi-megabyte trace ring
+/// per checkpoint would make warm-start sweeps pay for a plane they are
+/// required to run without (the drivers only warm-start telemetry-off
+/// configs).
+impl Clone for ZygosModel {
+    fn clone(&self) -> Self {
+        ZygosModel {
+            cfg: self.cfg.clone(),
+            source: self.source.clone(),
+            rec: self.rec.clone(),
+            telem: None,
+            cores: self.cores.clone(),
+            conns: self.conns.clone(),
+            victims: self.victims.clone(),
+            victims_rng: self.victims_rng.clone(),
+            dispatch: self.dispatch.clone(),
+            ladder: self.ladder.clone(),
+            elastic: self.elastic.clone(),
+            ctl_period: self.ctl_period,
+            admission: self.admission.clone(),
+            admit_fractions: self.admit_fractions.clone(),
+            credit_targets_us: self.credit_targets_us.clone(),
+            rejected_by_class: self.rejected_by_class.clone(),
+            admitted_by_class: self.admitted_by_class.clone(),
+            wire_rejects: self.wire_rejects,
+            win: self.win.clone(),
+            collect_window: self.collect_window,
+            batch_pool: self.batch_pool.clone(),
+            m_active: self.m_active.clone(),
+            m_busy: self.m_busy.clone(),
+            m_inapp: self.m_inapp.clone(),
+            m_ring: self.m_ring.clone(),
+            m_shuffle: self.m_shuffle.clone(),
+            m_bg: self.m_bg.clone(),
+            m_remote: self.m_remote.clone(),
+            m_ipi: self.m_ipi.clone(),
+            m_run_pending: self.m_run_pending.clone(),
+            local_events: self.local_events,
+            stolen_events: self.stolen_events,
+            ipis_delivered: self.ipis_delivered,
+            preemptions: self.preemptions,
+            busy: self.busy,
+            fg_busy: self.fg_busy,
+        }
     }
 }
 
@@ -1530,6 +1588,92 @@ impl ZygosModel {
         }
     }
 
+    /// Total queued requests over the active cores: NIC rings, ready
+    /// connections on shuffle queues, preempted background entries, and
+    /// pending remote syscalls. This is the importance-splitting level
+    /// function — a trajectory's backlog crossing a threshold is the
+    /// rare-event precursor the RESTART estimator splits on (see
+    /// `docs/TAIL.md`).
+    /// The configuration this model was built (or last retargeted) with.
+    pub(crate) fn cfg(&self) -> &SysConfig {
+        &self.cfg
+    }
+
+    /// True once the recorder reached its completion target.
+    pub(crate) fn is_done(&self) -> bool {
+        self.rec.is_done()
+    }
+
+    pub(crate) fn backlog(&self) -> usize {
+        self.cores
+            .iter()
+            .filter(|c| c.active)
+            .map(|c| c.ring.len() + c.shuffle.len() + c.bg.len() + c.remote_sys.len())
+            .sum()
+    }
+
+    /// Arms per-completion sample collection on the recorder (importance
+    /// splitting weights individual samples; the histogram cannot).
+    pub(crate) fn arm_tail_sampling(&mut self) {
+        self.rec.arm_tail_sampling();
+    }
+
+    /// Drains the per-completion samples collected since the last drain.
+    pub(crate) fn drain_tail(&mut self) -> Vec<u64> {
+        self.rec.drain_tail()
+    }
+
+    /// Forks the stochastic streams onto an independent substream:
+    /// importance-splitting clones diverge from the master trajectory at
+    /// the split point, while the master keeps the original streams (so
+    /// the master's own path is identical to the brute-force run's).
+    pub(crate) fn fork_streams(&mut self, stream: u64) {
+        self.source.fork_rng(stream);
+        self.victims_rng = self.victims_rng.fork(stream ^ 0x0054_4149_4C53_504C);
+        // "TAILSPL"
+    }
+
+    /// Splices a fresh measurement run onto this converged world: the new
+    /// `cfg` (typically the same workload at a neighboring load) replaces
+    /// the arrival rate and the recorder, and every *window statistic* —
+    /// event counters, shed counts, latency windows, the core-seconds
+    /// snapshot — is rewound to zero at `now`. Everything that is *world
+    /// state* (queues, connection FSMs, RNG positions, credit capacity,
+    /// allocator EWMAs, busy-time integrals the control plane diffs)
+    /// carries over untouched: that converged state is exactly what the
+    /// warm start is buying.
+    pub(crate) fn retarget(&mut self, cfg: &SysConfig, now: SimTime, warmup: u64) {
+        debug_assert_eq!(self.cfg.cores, cfg.cores, "warm start cannot restaff");
+        debug_assert_eq!(self.cfg.conns, cfg.conns, "warm start cannot re-home");
+        debug_assert!(cfg.telemetry.is_none(), "warm runs are telemetry-off");
+        self.source.retarget(cfg);
+        self.rec = Recorder::warm(cfg.requests, warmup, self.source.half_rtt, now);
+        self.cfg = cfg.clone();
+        self.local_events = 0;
+        self.stolen_events = 0;
+        self.ipis_delivered = 0;
+        self.preemptions = 0;
+        self.wire_rejects = 0;
+        for v in &mut self.rejected_by_class {
+            *v = 0;
+        }
+        for v in &mut self.admitted_by_class {
+            *v = 0;
+        }
+        if let Some(pool) = &mut self.admission {
+            pool.reset_stats();
+        }
+        for w in &mut self.win {
+            w.clear();
+        }
+        if let Some(e) = &mut self.elastic {
+            // Re-snapshot when the new window opens; the meter itself and
+            // the busy-integral diff base stay continuous across the
+            // splice (the control loop keeps running through it).
+            e.meas_snapshot = None;
+        }
+    }
+
     pub(crate) fn into_output(mut self, final_time: SimTime, events: u64) -> SysOutput {
         self.note_busy(final_time, 0, true);
         if std::env::var_os("ZYGOS_ELASTIC_TRACE").is_some() {
@@ -1592,6 +1736,10 @@ impl Model for ZygosModel {
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
         if self.rec.is_done() {
+            // Defensive: the bottom-of-handler stop below fires on the
+            // event that reached the target, so a running engine should
+            // never pop another event — but a resumed engine whose
+            // recorder was not replaced would.
             sched.stop();
             return;
         }
@@ -1659,6 +1807,14 @@ impl Model for ZygosModel {
             Ev::Preempt { core, epoch } => self.preempt(core, epoch, now, sched),
             Ev::Control => self.control(now, sched),
         }
+        if self.rec.is_done() {
+            // Stop on the event that reached the completion target rather
+            // than consuming (and losing) the next queued event. The event
+            // queue stays intact — self-perpetuating chains (`Gen`,
+            // `Control`) and in-flight work included — which is what makes
+            // a post-run checkpoint resumable without re-arming anything.
+            sched.stop();
+        }
     }
 }
 
@@ -1680,6 +1836,72 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
     let now = engine.now();
     let events = engine.processed();
     engine.into_model().into_output(now, events)
+}
+
+/// A converged simulated world, checkpointed at the end of a completed
+/// run: the engine's full event queue (in-flight packets, work
+/// completions, the self-perpetuating `Gen`/`Control` chains) plus the
+/// entire `ZygosModel` state. `run_warm` splices the next measurement
+/// run onto it; the handle itself is immutable, so one converged point can
+/// seed several neighbors (the bisection cache does exactly that).
+pub struct WarmState {
+    engine: Engine<ZygosModel>,
+}
+
+impl WarmState {
+    /// The offered load this world converged at.
+    pub fn load(&self) -> f64 {
+        self.engine.model().cfg().load
+    }
+}
+
+/// True when `cfg` runs on the ZygOS-family model — the only systems with
+/// a checkpointable world (`ix`/`linux` hosts always run cold).
+pub(crate) fn is_zygos_family(cfg: &SysConfig) -> bool {
+    matches!(
+        cfg.system,
+        SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. }
+    )
+}
+
+/// As [`run`], but also checkpoints the finished world for warm-starting
+/// a neighboring run. The returned output is bit-identical to `run(cfg)`.
+pub(crate) fn run_keep(cfg: &SysConfig) -> (SysOutput, WarmState) {
+    debug_assert!(is_zygos_family(cfg));
+    let model = ZygosModel::new(cfg.clone());
+    let control = model.wants_control_tick();
+    let mut engine = Engine::new(model);
+    engine.schedule(SimTime::ZERO, Ev::Gen);
+    if control {
+        engine.schedule(SimTime::ZERO, Ev::Control);
+    }
+    engine.run();
+    let now = engine.now();
+    let events = engine.processed();
+    let keep = engine.checkpoint();
+    let out = engine.into_model().into_output(now, events);
+    (out, WarmState { engine: keep })
+}
+
+/// Resumes a checkpointed world under a new config (same machine, new
+/// offered load): the arrival process is re-rated in place, a fresh
+/// recorder opens its measurement window at the splice point (after
+/// `warmup` re-equilibration completions), and the run continues from the
+/// checkpoint's event queue — skipping the cold-start convergence the
+/// previous point already paid for. See `docs/TAIL.md` for the
+/// measurement-window reset rule.
+pub(crate) fn run_warm(warm: &WarmState, cfg: &SysConfig, warmup: u64) -> (SysOutput, WarmState) {
+    debug_assert!(is_zygos_family(cfg));
+    let mut engine = warm.engine.clone();
+    let now = engine.now();
+    let before = engine.processed();
+    engine.model_mut().retarget(cfg, now, warmup);
+    engine.run();
+    let end = engine.now();
+    let events = engine.processed() - before;
+    let keep = engine.checkpoint();
+    let out = engine.into_model().into_output(end, events);
+    (out, WarmState { engine: keep })
 }
 
 #[cfg(test)]
@@ -1809,6 +2031,47 @@ mod tests {
         let out = run(&cfg);
         assert_eq!(out.completed, 15_000);
         assert!(out.preemptions > 0, "quantum must fire");
+    }
+
+    #[test]
+    fn world_checkpoint_resume_is_bit_identical() {
+        // Checkpoint the full simulated world mid-run and finish both the
+        // original and the resumed clone: every output — histogram,
+        // counters, event count, window — must equal the straight-through
+        // run's exactly. This is the exact-resume guarantee the warm-start
+        // sweeps and the importance splitter are built on.
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.7);
+        cfg.requests = 8_000;
+        cfg.warmup = 1_000;
+        let straight = run(&cfg);
+
+        let model = ZygosModel::new(cfg.clone());
+        let mut engine = Engine::new(model);
+        engine.schedule(SimTime::ZERO, Ev::Gen);
+        for _ in 0..37_123 {
+            assert!(engine.step(), "run must outlast the checkpoint offset");
+        }
+        let mut resumed = engine.checkpoint();
+        engine.run();
+        resumed.run();
+        for out in [
+            {
+                let (now, ev) = (engine.now(), engine.processed());
+                engine.into_model().into_output(now, ev)
+            },
+            {
+                let (now, ev) = (resumed.now(), resumed.processed());
+                resumed.into_model().into_output(now, ev)
+            },
+        ] {
+            assert_eq!(out.completed, straight.completed);
+            assert_eq!(out.events, straight.events);
+            assert_eq!(out.latency.count(), straight.latency.count());
+            assert_eq!(out.p99_us(), straight.p99_us());
+            assert_eq!(out.throughput_mrps(), straight.throughput_mrps());
+            assert_eq!(out.stolen_events, straight.stolen_events);
+            assert_eq!(out.ipis, straight.ipis);
+        }
     }
 
     #[test]
