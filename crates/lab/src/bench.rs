@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use zygos_sim::dist::ServiceDist;
 use zygos_sysim::{
-    latency_throughput_sweep, latency_throughput_sweep_cold, run_system, SysConfig, SystemKind,
-    TelemetryConfig,
+    latency_throughput_sweep, latency_throughput_sweep_cold, run_fleet, run_system, FleetConfig,
+    RoutePolicy, SysConfig, SystemKind, TelemetryConfig,
 };
 
 use crate::report::Json;
@@ -197,6 +197,27 @@ pub fn run_bench(smoke: bool) -> BenchReport {
             points_per_sec: 0.0,
         });
     }
+    // The fleet engine: four 4-core ZygOS shards behind a po2c balancer
+    // with one shard serving at 3x cost — the scenario plane's `fleet:*`
+    // hot path, including the degraded-capacity lowering.
+    let mut base = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 0.75);
+    base.cores = 4;
+    base.conns = 256;
+    (base.requests, base.warmup) = scale(120_000, 12_000, smoke);
+    let mut fc = FleetConfig::new(base, 4, RoutePolicy::PowerOfTwoChoices);
+    fc.degraded = vec![(0, 3.0)];
+    let start = Instant::now();
+    let out = run_fleet(&fc);
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    entries.push(BenchEntry {
+        name: "engine-fleet-po2c".to_string(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events: out.events(),
+        events_per_sec: out.events() as f64 / secs,
+        points: 0,
+        points_per_sec: 0.0,
+    });
     // The warm-start twin sweeps: a deliberately deep warmup (the regime
     // the checkpoint chain exists for) over an ascending grid. Cold runs
     // pay convergence + measurement at every point; warm chains pay only
@@ -587,7 +608,7 @@ mod tests {
     #[test]
     fn smoke_bench_produces_all_entries() {
         let r = run_bench(true);
-        assert_eq!(r.entries.len(), 10);
+        assert_eq!(r.entries.len(), 11);
         for e in &r.entries {
             assert!(
                 e.events_per_sec > 0.0 || e.points_per_sec > 0.0,

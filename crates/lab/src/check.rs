@@ -187,6 +187,40 @@ pub fn check_claims(sc: &Scenario, report: &Report) -> Vec<String> {
             }
         }
     }
+    if let Some(g) = &claims.fleet_tail_gap {
+        let find = |label: &str| report.series.iter().find(|s| s.label == label);
+        match (find(&g.healthy), find(&g.degraded), find(&g.recovered)) {
+            (Some(h), Some(d), Some(r)) => {
+                for ((hp, dp), rp) in h.points.iter().zip(&d.points).zip(&r.points) {
+                    claim(
+                        &mut errs,
+                        dp.p99_us >= g.min_ratio * hp.p99_us,
+                        format!(
+                            "[{}] load {:.2}: degraded fleet p99 {:.1}us is under {}x the \
+                             healthy p99 {:.1}us",
+                            d.label, dp.load, dp.p99_us, g.min_ratio, hp.p99_us
+                        ),
+                    );
+                    let gap = dp.p99_us - hp.p99_us;
+                    claim(
+                        &mut errs,
+                        dp.p99_us - rp.p99_us >= g.min_recovery * gap,
+                        format!(
+                            "[{}] load {:.2}: load-aware routing recovered only {:.1}us of the \
+                             {gap:.1}us degraded-vs-healthy p99 gap (claimed at least {:.0}%)",
+                            r.label,
+                            rp.load,
+                            dp.p99_us - rp.p99_us,
+                            g.min_recovery * 100.0
+                        ),
+                    );
+                }
+            }
+            _ => {
+                errs.push("fleet_tail_gap names a case that is missing from the report".to_string())
+            }
+        }
+    }
     errs
 }
 

@@ -47,8 +47,12 @@ use zygos_sysim::AdmissionMode;
 
 use zygos_sysim::SeriesKind;
 
+use zygos_sysim::fleet::AdmissionTopology;
+use zygos_sysim::RoutePolicy;
+
 use crate::spec::{
-    Case, Claims, HostSpec, Scenario, SearchSpec, SpecError, TailSpec, TelemetrySpec,
+    Case, Claims, FleetGapClaim, FleetSpec, HostSpec, Scenario, SearchSpec, SpecError, TailSpec,
+    TelemetrySpec,
 };
 use crate::toml::{self, Table, Value};
 
@@ -59,7 +63,7 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
     for table in doc.tables.keys() {
         if !matches!(
             table.as_str(),
-            "workload" | "scale" | "telemetry" | "search" | "tail" | "claims" | "check"
+            "workload" | "scale" | "fleet" | "telemetry" | "search" | "tail" | "claims" | "check"
         ) {
             return Err(SpecError::new(format!("unknown table [{table}]")));
         }
@@ -153,6 +157,14 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
         b = b.case(parse_case(t, i)?);
     }
 
+    if let Some(f) = doc.tables.get("fleet") {
+        check_keys("[fleet]", f, &["shards"])?;
+        let shards = opt_num(f, "shards", "[fleet]")?
+            .ok_or_else(|| SpecError::new("[fleet] needs shards"))?;
+        b = b.fleet(FleetSpec {
+            shards: as_count(shards, "shards")?,
+        });
+    }
     if let Some(t) = doc.tables.get("telemetry") {
         b = b.telemetry(parse_telemetry(t)?);
     }
@@ -276,6 +288,10 @@ fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
             "overcommit",
             "slo_classes",
             "slo_bound_us",
+            "routing",
+            "fleet_admission",
+            "degraded",
+            "loss",
         ],
     )?;
     let label = req_str(t, "label", &ctx)?;
@@ -381,6 +397,62 @@ fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
     }
     if let Some(v) = opt_num(t, "steal_extra_ns", &ctx)? {
         case = case.steal_extra_ns(as_count(v, "steal_extra_ns")? as u64);
+    }
+
+    // Fleet knobs: balancer policy, admission topology, and the injected
+    // shard faults. Host/topology consistency is the builder's job.
+    if let Some(v) = t.get("routing") {
+        let name = str_of(v, "routing")?;
+        case = case
+            .routing(RoutePolicy::parse(&name).map_err(|e| SpecError::new(format!("{ctx}: {e}")))?);
+    }
+    if let Some(v) = t.get("fleet_admission") {
+        case = case.fleet_admission(match str_of(v, "fleet_admission")?.as_str() {
+            "per-shard" => AdmissionTopology::PerShard,
+            "fleet-wide" => AdmissionTopology::FleetWide,
+            other => {
+                return Err(SpecError::new(format!(
+                    "{ctx}: unknown fleet_admission {other:?} (per-shard, fleet-wide)"
+                )))
+            }
+        });
+    }
+    if let Some(v) = t.get("degraded") {
+        let mut out = Vec::new();
+        for (i, item) in v
+            .as_arr()
+            .ok_or_else(|| SpecError::new(format!("{ctx}: degraded must be an array")))?
+            .iter()
+            .enumerate()
+        {
+            let pair = item.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                SpecError::new(format!("{ctx}: degraded[{i}] must be [shard, factor]"))
+            })?;
+            let shard = pair[0]
+                .as_num()
+                .ok_or_else(|| SpecError::new(format!("{ctx}: degraded shard must be a number")))?;
+            let factor = pair[1].as_num().ok_or_else(|| {
+                SpecError::new(format!("{ctx}: degradation factor must be a number"))
+            })?;
+            out.push((as_count(shard, "degraded shard")?, factor));
+        }
+        if out.is_empty() {
+            return Err(SpecError::new(format!("{ctx}: degraded is empty")));
+        }
+        case = case.degraded(out);
+    }
+    if let Some(v) = t.get("loss") {
+        let pair = v
+            .as_arr()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| SpecError::new(format!("{ctx}: loss must be [shard, at_us]")))?;
+        let shard = pair[0]
+            .as_num()
+            .ok_or_else(|| SpecError::new(format!("{ctx}: lost shard must be a number")))?;
+        let at_us = pair[1]
+            .as_num()
+            .ok_or_else(|| SpecError::new(format!("{ctx}: loss time must be a number")))?;
+        case = case.loss(as_count(shard, "lost shard")?, at_us);
     }
 
     // SLO classes: either a full list or a uniform single-bound shortcut.
@@ -550,6 +622,7 @@ fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
             "loose_sheds_first",
             "loose_floor_max_shed_rate",
             "elastic_parks_below_load",
+            "fleet_tail_gap",
         ],
     )?;
     let mut claims = Claims::default();
@@ -572,6 +645,32 @@ fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
                 .as_bool()
                 .ok_or_else(|| SpecError::new(format!("[claims] {key} must be bool")))?;
         }
+    }
+    if let Some(v) = c.get("fleet_tail_gap") {
+        let items = v.as_arr().filter(|a| a.len() == 5).ok_or_else(|| {
+            SpecError::new(
+                "[claims] fleet_tail_gap must be \
+                 [healthy, degraded, recovered, min_ratio, min_recovery]",
+            )
+        })?;
+        let label = |i: usize, what: &str| {
+            items[i]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| SpecError::new(format!("fleet_tail_gap {what} must be a label")))
+        };
+        let num = |i: usize, what: &str| {
+            items[i]
+                .as_num()
+                .ok_or_else(|| SpecError::new(format!("fleet_tail_gap {what} must be a number")))
+        };
+        claims.fleet_tail_gap = Some(FleetGapClaim {
+            healthy: label(0, "healthy")?,
+            degraded: label(1, "degraded")?,
+            recovered: label(2, "recovered")?,
+            min_ratio: num(3, "min_ratio")?,
+            min_recovery: num(4, "min_recovery")?,
+        });
     }
     Ok(claims)
 }

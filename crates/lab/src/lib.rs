@@ -60,10 +60,11 @@ pub use check::{check_baseline, check_claims, check_telemetry};
 pub use fromtoml::scenario_from_toml;
 pub use report::{PointMetrics, Report, SearchResult, Series, TailResult, TraceSeries};
 pub use runner::{
-    max_load_at_slo, run_case, run_point, run_scenario, run_scenario_threads, runtime_config_for,
-    sys_config_for, xy,
+    fleet_config_for, max_load_at_slo, run_case, run_point, run_scenario, run_scenario_threads,
+    runtime_config_for, sys_config_for, xy,
 };
 pub use spec::{
-    AdmissionSpec, Case, Claims, HostSpec, LiveHost, PolicySpec, ScaleSpec, Scenario,
-    ScenarioBuilder, SearchSpec, SimHost, SpecError, TailSpec, TelemetrySpec, WorkloadSpec,
+    AdmissionSpec, Case, Claims, FleetGapClaim, FleetSpec, HostSpec, LiveHost, PolicySpec,
+    ScaleSpec, Scenario, ScenarioBuilder, SearchSpec, SimHost, SpecError, TailSpec, TelemetrySpec,
+    WorkloadSpec,
 };

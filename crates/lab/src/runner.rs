@@ -33,8 +33,9 @@ use zygos_sim::queueing::{self, QueueConfig};
 use zygos_sim::rng::Xoshiro256;
 use zygos_sim::stats::LatencyHistogram;
 use zygos_sysim::{
-    max_load_at_quantile_slo_counting, run_restart, run_system, run_system_chain, warmable,
-    AdmissionMode, SysConfig, SysOutput, SystemKind, TailConfig, WARM_MAX_LOAD,
+    max_load_at_quantile_slo_counting, run_fleet, run_restart, run_system, run_system_chain,
+    warmable, AdmissionMode, AdmissionTopology, FleetConfig, FleetOutput, RoutePolicy, SysConfig,
+    SysOutput, SystemKind, TailConfig, WARM_MAX_LOAD,
 };
 use zygos_telemetry::{decompose, decomposition_at_quantile};
 
@@ -356,6 +357,23 @@ fn run_search(sc: &Scenario, case: &Case, smoke: bool) -> Result<SearchResult, S
             );
             (max_load, probes, probes)
         }
+        HostSpec::Fleet(_) => {
+            // The bisection overwrites the fleet-level load knob per
+            // probe; everything else in the lowering is load-independent.
+            let base = fleet_config_for(sc, case, 0.5, smoke)?;
+            let mut probes = 0u32;
+            let max_load = queueing::max_load_at_slo(
+                |load| {
+                    probes += 1;
+                    let mut fc = base.clone();
+                    fc.base.load = load;
+                    run_fleet(&fc).latency.quantile_us(sp.quantile)
+                },
+                sp.bound_us,
+                sp.resolution,
+            );
+            (max_load, probes, probes)
+        }
         HostSpec::Live(_) => {
             return Err(SpecError::new(
                 "a [search] block cannot run on a wall-clock host",
@@ -447,6 +465,10 @@ pub fn run_point(
                 ..PointMetrics::default()
             })
         }
+        HostSpec::Fleet(_) => {
+            let fc = fleet_config_for(sc, case, load, smoke)?;
+            Ok(fleet_metrics(load, run_fleet(&fc), case))
+        }
         HostSpec::Live(_) => run_live_point(sc, case, load, smoke),
     }
 }
@@ -493,6 +515,22 @@ pub fn sys_config_for(
             case.label
         )));
     };
+    let mut cfg = lower_sim(sc, case, host, load, smoke);
+    if let Some(t) = &sc.telemetry {
+        // Only the ZygOS-family models record; leaving IX/Linux configs
+        // off keeps their report zeros honest rather than silently
+        // requested-and-dropped.
+        if Scenario::host_is_traced(case.host) {
+            cfg.telemetry = Some(t.to_config());
+        }
+    }
+    Ok(cfg)
+}
+
+/// The shared sim-world lowering behind [`sys_config_for`] and
+/// [`fleet_config_for`]: everything except telemetry (whose rules differ
+/// between a single traced world and a series-only fleet shard).
+fn lower_sim(sc: &Scenario, case: &Case, host: SimHost, load: f64, smoke: bool) -> SysConfig {
     let p = &case.policy;
     let system = match host {
         SimHost::Zygos => SystemKind::Zygos,
@@ -538,15 +576,67 @@ pub fn sys_config_for(
         cfg.admission = Some(credit_config_for(a, sc.workload.cores));
         cfg.admission_mode = a.mode;
     }
+    cfg
+}
+
+/// Lowers a fleet case at one load to a `FleetConfig` — the single
+/// construction point for fleet experiments. The base world is lowered
+/// exactly like a `sim:*` case ([`lower_sim`]); only the credit-pool
+/// sizing and the telemetry rules differ:
+///
+/// * With [`AdmissionTopology::FleetWide`] the derived pool is sized for
+///   the whole fleet (`shards × cores`) and split across shards by the
+///   engine; per-shard topology sizes it for one shard's cores, same as
+///   a single world. An explicit `credits` override always passes
+///   through verbatim — it *is* the pool at whichever scope the topology
+///   names.
+/// * Fleet worlds harvest time-series only (shard-namespaced by the
+///   engine); lifecycle tracing is forced off because correlation keys
+///   collide across shards.
+pub fn fleet_config_for(
+    sc: &Scenario,
+    case: &Case,
+    load: f64,
+    smoke: bool,
+) -> Result<FleetConfig, SpecError> {
+    let HostSpec::Fleet(host) = case.host else {
+        return Err(SpecError::new(format!(
+            "case {:?} does not run on the fleet host",
+            case.label
+        )));
+    };
+    let Some(f) = &sc.fleet else {
+        return Err(SpecError::new(format!(
+            "case {:?} needs a [fleet] block",
+            case.label
+        )));
+    };
+    let p = &case.policy;
+    let mut base = lower_sim(sc, case, host, load, smoke);
+    let topology = p.fleet_admission.unwrap_or(AdmissionTopology::PerShard);
+    if let Some(a) = &p.admission {
+        let pool_cores = match topology {
+            AdmissionTopology::FleetWide => sc.workload.cores * f.shards,
+            AdmissionTopology::PerShard => sc.workload.cores,
+        };
+        base.admission = Some(credit_config_for(a, pool_cores));
+    }
     if let Some(t) = &sc.telemetry {
-        // Only the ZygOS-family models record; leaving IX/Linux configs
-        // off keeps their report zeros honest rather than silently
-        // requested-and-dropped.
-        if Scenario::host_is_traced(case.host) {
-            cfg.telemetry = Some(t.to_config());
+        let mut tc = t.to_config();
+        tc.trace = false;
+        if !tc.is_off() {
+            base.telemetry = Some(tc);
         }
     }
-    Ok(cfg)
+    let mut fc = FleetConfig::new(
+        base,
+        f.shards,
+        p.routing.unwrap_or(RoutePolicy::ConsistentHash),
+    );
+    fc.admission = topology;
+    fc.degraded = p.degraded.clone().unwrap_or_default();
+    fc.loss = p.loss;
+    Ok(fc)
 }
 
 /// Lowers a live case to a `RuntimeConfig` — the single construction
@@ -647,6 +737,95 @@ fn sim_metrics(load: f64, out: SysOutput, case: &Case) -> PointMetrics {
         p99_service_us,
         p99_steal_us,
         p99_preempt_us,
+        timeseries,
+    }
+}
+
+/// Reduces a fleet run to the unified schema. Every reduction is the
+/// Σ-across-shards form of the matching [`sim_metrics`] formula, so for a
+/// single shard each collapses to the identical floating-point operations
+/// — that is what keeps the N=1 pass-through fleet **bit-identical** to
+/// its `sim:*` base case (pinned by `tests/fleet_differential.rs`).
+fn fleet_metrics(load: f64, out: FleetOutput, case: &Case) -> PointMetrics {
+    let classes = classes_of(case);
+    let sum = |f: &dyn Fn(&SysOutput) -> u64| -> u64 { out.shards.iter().map(f).sum() };
+    let sumf = |f: &dyn Fn(&SysOutput) -> f64| -> f64 { out.shards.iter().map(f).sum() };
+    let completed = sum(&|s| s.completed);
+    let per_req = |n: u64| {
+        if completed == 0 {
+            0.0
+        } else {
+            n as f64 / completed as f64
+        }
+    };
+    let local = sum(&|s| s.local_events);
+    let stolen = sum(&|s| s.stolen_events);
+    let offered = sum(&|s| s.admitted) + sum(&|s| s.rejected);
+    let rejected_total: u64 = sum(&|s| s.rejected_by_class.iter().sum());
+    let per_class = |f: &dyn Fn(usize) -> f64| -> Vec<f64> {
+        if classes >= 2 {
+            (0..classes).map(f).collect()
+        } else {
+            Vec::new()
+        }
+    };
+    let timeseries = out
+        .telemetry
+        .as_ref()
+        .map(|t| {
+            t.series
+                .iter()
+                .map(|s| TraceSeries {
+                    name: s.name.clone(),
+                    points: s.points.clone(),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    PointMetrics {
+        load,
+        mrps: sumf(&|s| s.throughput_mrps()),
+        p50_us: out.latency.p50_us(),
+        p99_us: out.latency.p99_us(),
+        p999_us: out.latency.quantile_us(0.999),
+        steal_fraction: if local + stolen == 0 {
+            0.0
+        } else {
+            stolen as f64 / (local + stolen) as f64
+        },
+        ipis_per_req: per_req(sum(&|s| s.ipis)),
+        preemptions_per_req: per_req(sum(&|s| s.preemptions)),
+        // Fleet-wide granted cores: the sum of each shard's average grant
+        // (a 4-shard × 4-core healthy fleet reads 16).
+        avg_cores: sumf(&|s| s.avg_active_cores),
+        core_seconds: sumf(&|s| s.core_seconds_used()),
+        shed_fraction: if offered == 0 {
+            0.0
+        } else {
+            sum(&|s| s.rejected) as f64 / offered as f64
+        },
+        wasted_wire_us: sumf(&|s| s.wasted_wire_us()),
+        shed_share_by_class: per_class(&|c| {
+            if rejected_total == 0 {
+                0.0
+            } else {
+                sum(&|s| s.rejected_by_class[c]) as f64 / rejected_total as f64
+            }
+        }),
+        shed_rate_by_class: per_class(&|c| {
+            let offered_c = sum(&|s| s.admitted_by_class[c]) + sum(&|s| s.rejected_by_class[c]);
+            if offered_c == 0 {
+                0.0
+            } else {
+                sum(&|s| s.rejected_by_class[c]) as f64 / offered_c as f64
+            }
+        }),
+        // Fleet worlds never trace, so the p99 decomposition stays zero —
+        // same as an untraced sim case.
+        p99_queue_us: 0.0,
+        p99_service_us: 0.0,
+        p99_steal_us: 0.0,
+        p99_preempt_us: 0.0,
         timeseries,
     }
 }
@@ -911,7 +1090,7 @@ mod tests {
         // parallel fan-out must emit byte-identical report JSON even
         // though warm-start chains couple consecutive grid points and
         // [search]/[tail] jobs interleave with them.
-        use crate::spec::{SearchSpec, TailSpec};
+        use crate::spec::{FleetSpec, SearchSpec, TailSpec};
         let sc = Scenario::builder("par")
             .service(ServiceDist::exponential_us(10.0))
             .cores(4)
@@ -922,6 +1101,13 @@ mod tests {
             .case(Case::sim("zygos", SimHost::Zygos))
             .case(Case::sim("ix", crate::spec::SimHost::Ix))
             .case(Case::model("mg4", zygos_sim::queueing::Policy::CentralFcfs))
+            .fleet(FleetSpec { shards: 3 })
+            .case(Case::fleet("fleet-ch", SimHost::Zygos))
+            .case(
+                Case::fleet("fleet-po2c-degraded", SimHost::Zygos)
+                    .routing(RoutePolicy::PowerOfTwoChoices)
+                    .degraded(vec![(1, 2.0)]),
+            )
             .search(SearchSpec {
                 bound_us: 120.0,
                 resolution: 8,

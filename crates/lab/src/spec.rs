@@ -27,7 +27,8 @@ use zygos_sched::{BackgroundOrder, CreditConfig};
 use zygos_sim::dist::ServiceDist;
 use zygos_sim::queueing::Policy;
 use zygos_sysim::config::AllocKind;
-use zygos_sysim::{AdmissionMode, SeriesKind, TelemetryConfig};
+use zygos_sysim::fleet::AdmissionTopology;
+use zygos_sysim::{AdmissionMode, RoutePolicy, SeriesKind, TelemetryConfig};
 
 /// Which simulator system model a [`HostSpec::Sim`] case runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,24 +72,29 @@ pub enum HostSpec {
     Live(LiveHost),
     /// A zero-overhead idealized queueing model (`zygos_sim::queueing`).
     Model(Policy),
+    /// A sharded fleet of simulator worlds behind an L4 balancer
+    /// (`zygos_sysim::fleet`); the inner host is the per-shard model
+    /// (ZygOS family only — validated). Needs a `[fleet]` block.
+    Fleet(SimHost),
 }
 
 impl HostSpec {
     /// Stable string form (used in reports and TOML specs), e.g.
     /// `"sim:zygos"`, `"live:elastic"`, `"model:central-fcfs"`.
     pub fn id(&self) -> String {
+        fn sim_name(h: &SimHost) -> &'static str {
+            match h {
+                SimHost::Zygos => "zygos",
+                SimHost::ZygosNoInterrupts => "zygos-nointerrupts",
+                SimHost::Elastic => "elastic",
+                SimHost::Ix => "ix",
+                SimHost::LinuxPartitioned => "linux-partitioned",
+                SimHost::LinuxFloating => "linux-floating",
+            }
+        }
         match self {
-            HostSpec::Sim(h) => format!(
-                "sim:{}",
-                match h {
-                    SimHost::Zygos => "zygos",
-                    SimHost::ZygosNoInterrupts => "zygos-nointerrupts",
-                    SimHost::Elastic => "elastic",
-                    SimHost::Ix => "ix",
-                    SimHost::LinuxPartitioned => "linux-partitioned",
-                    SimHost::LinuxFloating => "linux-floating",
-                }
-            ),
+            HostSpec::Sim(h) => format!("sim:{}", sim_name(h)),
+            HostSpec::Fleet(h) => format!("fleet:{}", sim_name(h)),
             HostSpec::Live(h) => format!(
                 "live:{}",
                 match h {
@@ -127,6 +133,12 @@ impl HostSpec {
             "model:partitioned-fcfs" => HostSpec::Model(Policy::PartitionedFcfs),
             "model:central-ps" => HostSpec::Model(Policy::CentralPs),
             "model:partitioned-ps" => HostSpec::Model(Policy::PartitionedPs),
+            // Fleet shards must be ZygOS-family worlds (the policy plane
+            // the fleet exists to study); IX/Linux shards are rejected at
+            // the parse, not silently accepted.
+            "fleet:zygos" => HostSpec::Fleet(SimHost::Zygos),
+            "fleet:zygos-nointerrupts" => HostSpec::Fleet(SimHost::ZygosNoInterrupts),
+            "fleet:elastic" => HostSpec::Fleet(SimHost::Elastic),
             other => return Err(SpecError::new(format!("unknown host {other:?}"))),
         };
         Ok(host)
@@ -136,8 +148,15 @@ impl HostSpec {
     pub fn is_elastic(&self) -> bool {
         matches!(
             self,
-            HostSpec::Sim(SimHost::Elastic) | HostSpec::Live(LiveHost::Elastic)
+            HostSpec::Sim(SimHost::Elastic)
+                | HostSpec::Live(LiveHost::Elastic)
+                | HostSpec::Fleet(SimHost::Elastic)
         )
+    }
+
+    /// True for fleet hosts (the only ones that read fleet knobs).
+    pub fn is_fleet(&self) -> bool {
+        matches!(self, HostSpec::Fleet(_))
     }
 }
 
@@ -201,6 +220,17 @@ pub struct PolicySpec {
     pub ipi_delivery_ns: Option<u64>,
     /// Per-steal cost override, ns (simulator hosts only).
     pub steal_extra_ns: Option<u64>,
+    /// L4 connection-routing policy (fleet hosts only; default
+    /// consistent-hash; pass-through requires a single shard).
+    pub routing: Option<RoutePolicy>,
+    /// Credit-admission topology (fleet hosts with admission armed only;
+    /// default per-shard pools).
+    pub fleet_admission: Option<AdmissionTopology>,
+    /// Degraded shards as `(shard, service factor)` (fleet hosts only).
+    pub degraded: Option<Vec<(usize, f64)>>,
+    /// Shard loss as `(shard, at_us)` (fleet hosts only; needs Poisson
+    /// arrivals and >= 2 shards).
+    pub loss: Option<(usize, f64)>,
 }
 
 /// One case: a label, a host, and the policy it runs.
@@ -240,6 +270,42 @@ impl Case {
             host: HostSpec::Model(policy),
             policy: PolicySpec::default(),
         }
+    }
+
+    /// A fleet case: `host` is the per-shard simulator model (ZygOS
+    /// family only); the shard count comes from the scenario's `[fleet]`
+    /// block.
+    pub fn fleet(label: impl Into<String>, host: SimHost) -> Case {
+        Case {
+            label: label.into(),
+            host: HostSpec::Fleet(host),
+            policy: PolicySpec::default(),
+        }
+    }
+
+    /// Selects the fleet's L4 routing policy.
+    pub fn routing(mut self, r: RoutePolicy) -> Case {
+        self.policy.routing = Some(r);
+        self
+    }
+
+    /// Selects the fleet's credit-admission topology.
+    pub fn fleet_admission(mut self, t: AdmissionTopology) -> Case {
+        self.policy.fleet_admission = Some(t);
+        self
+    }
+
+    /// Degrades shards: each `(shard, factor)` serves at `factor ×` its
+    /// healthy cost.
+    pub fn degraded(mut self, d: Vec<(usize, f64)>) -> Case {
+        self.policy.degraded = Some(d);
+        self
+    }
+
+    /// Loses a shard mid-run: `(shard, at_us)`.
+    pub fn loss(mut self, shard: usize, at_us: f64) -> Case {
+        self.policy.loss = Some((shard, at_us));
+        self
     }
 
     /// Sets the elastic floor on granted cores.
@@ -513,6 +579,38 @@ impl ScaleSpec {
     }
 }
 
+/// The fleet topology shared by a scenario's `fleet:*` cases: N
+/// independent shards, each `workload.cores` wide, behind the L4
+/// balancer. `workload.conns` is the fleet-wide connection count the
+/// routing policy partitions; `workload.loads` are fractions of the
+/// *fleet's* ideal saturation (`shards × cores` healthy cores); the
+/// `[scale]` windows are fleet totals, divided by connection share.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Number of server shards.
+    pub shards: usize,
+}
+
+/// The `fleet_tail_gap` claim: a degraded shard must drag the fleet p99
+/// under affinity routing, and load-aware routing must claw most of it
+/// back. Checked at every grid point by label triple.
+#[derive(Clone, Debug)]
+pub struct FleetGapClaim {
+    /// Label of the healthy reference case.
+    pub healthy: String,
+    /// Label of the degraded case under affinity (e.g. consistent-hash)
+    /// routing.
+    pub degraded: String,
+    /// Label of the degraded case under load-aware (e.g. po2c) routing.
+    pub recovered: String,
+    /// The degraded case's p99 must be at least this multiple of the
+    /// healthy case's.
+    pub min_ratio: f64,
+    /// The recovered case must close at least this fraction of the
+    /// degraded−healthy p99 gap.
+    pub min_recovery: f64,
+}
+
 /// Acceptance claims `lab --check` enforces over a scenario's report.
 /// All off by default; [`ScenarioBuilder::build`] rejects claims that no
 /// case can back.
@@ -540,6 +638,9 @@ pub struct Claims {
     /// At loads at or below this, every elastic case must grant fewer
     /// cores than the configured fleet (it parks).
     pub elastic_parks_below_load: Option<f64>,
+    /// Degraded-shard tail claim over a fleet label triple (see
+    /// [`FleetGapClaim`]).
+    pub fleet_tail_gap: Option<FleetGapClaim>,
 }
 
 impl Default for Claims {
@@ -552,6 +653,7 @@ impl Default for Claims {
             loose_sheds_first: false,
             loose_floor_max_shed_rate: None,
             elastic_parks_below_load: None,
+            fleet_tail_gap: None,
         }
     }
 }
@@ -566,6 +668,7 @@ impl Claims {
             && !self.loose_sheds_first
             && self.loose_floor_max_shed_rate.is_none()
             && self.elastic_parks_below_load.is_none()
+            && self.fleet_tail_gap.is_none()
     }
 }
 
@@ -582,6 +685,9 @@ pub struct Scenario {
     pub cases: Vec<Case>,
     /// Measurement sizing.
     pub scale: ScaleSpec,
+    /// Fleet topology shared by the scenario's `fleet:*` cases (required
+    /// exactly when such a case exists).
+    pub fleet: Option<FleetSpec>,
     /// Telemetry recorded by simulator cases (`None` records nothing).
     pub telemetry: Option<TelemetrySpec>,
     /// Max-load@SLO search over every deterministic case.
@@ -608,6 +714,7 @@ impl Scenario {
             loads: Vec::new(),
             cases: Vec::new(),
             scale: ScaleSpec::default(),
+            fleet: None,
             telemetry: None,
             search: None,
             tail: None,
@@ -669,6 +776,7 @@ pub struct ScenarioBuilder {
     loads: Vec<f64>,
     cases: Vec<Case>,
     scale: ScaleSpec,
+    fleet: Option<FleetSpec>,
     telemetry: Option<TelemetrySpec>,
     search: Option<SearchSpec>,
     tail: Option<TailSpec>,
@@ -736,6 +844,12 @@ impl ScenarioBuilder {
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.scale.seed = seed;
+        self
+    }
+
+    /// Sets the fleet topology for `fleet:*` cases.
+    pub fn fleet(mut self, f: FleetSpec) -> Self {
+        self.fleet = Some(f);
         self
     }
 
@@ -820,6 +934,69 @@ impl ScenarioBuilder {
             }
             validate_case(case, self.cores)?;
         }
+        let fleet_cases: Vec<&Case> = self.cases.iter().filter(|c| c.host.is_fleet()).collect();
+        match (&self.fleet, fleet_cases.is_empty()) {
+            (None, false) => {
+                return err("fleet:* cases need a [fleet] block naming the shard count".into())
+            }
+            (Some(_), true) => {
+                return err("a [fleet] block with no fleet:* case to shard".into());
+            }
+            _ => {}
+        }
+        if let Some(f) = &self.fleet {
+            if f.shards == 0 {
+                return err("fleet shards must be >= 1".into());
+            }
+            for case in &fleet_cases {
+                let fail =
+                    |msg: String| Err(SpecError::new(format!("case {:?}: {msg}", case.label)));
+                let p = &case.policy;
+                if p.routing == Some(RoutePolicy::PassThrough) && f.shards != 1 {
+                    return fail(format!(
+                        "pass-through routing is the 1-shard differential wire; \
+                         this fleet has {} shards",
+                        f.shards
+                    ));
+                }
+                if let Some(degraded) = &p.degraded {
+                    for &(shard, factor) in degraded {
+                        if shard >= f.shards {
+                            return fail(format!(
+                                "degraded shard {shard} out of range [0, {})",
+                                f.shards
+                            ));
+                        }
+                        if !(factor.is_finite() && factor > 0.0) {
+                            return fail(format!(
+                                "degradation factor must be positive, got {factor}"
+                            ));
+                        }
+                        if degraded.iter().filter(|d| d.0 == shard).count() > 1 {
+                            return fail(format!("shard {shard} degraded twice"));
+                        }
+                    }
+                }
+                if let Some((shard, at_us)) = p.loss {
+                    if shard >= f.shards {
+                        return fail(format!("lost shard {shard} out of range [0, {})", f.shards));
+                    }
+                    if f.shards < 2 {
+                        return fail("shard loss needs >= 2 shards (someone must survive)".into());
+                    }
+                    if !(at_us.is_finite() && at_us > 0.0) {
+                        return fail(format!("loss time must be positive, got {at_us}"));
+                    }
+                    if !matches!(self.arrivals, ArrivalSpec::Poisson) {
+                        return fail(
+                            "shard loss re-plans survivor arrivals as phased Poisson; \
+                             it needs the Poisson arrival process"
+                                .into(),
+                        );
+                    }
+                }
+            }
+        }
         if self
             .cases
             .iter()
@@ -847,7 +1024,19 @@ impl ScenarioBuilder {
             if t.sample_period == 0 || t.series_every == 0 || t.max_series_points == 0 {
                 return err("telemetry periods and caps must be >= 1".into());
             }
-            if !self.cases.iter().any(|c| Scenario::host_is_traced(c.host)) {
+            // Fleet worlds harvest (shard-namespaced) series but never
+            // trace: lifecycle correlation keys collide across shards.
+            let any_traced = self.cases.iter().any(|c| Scenario::host_is_traced(c.host));
+            let any_fleet = self.cases.iter().any(|c| c.host.is_fleet());
+            if t.trace && !any_traced {
+                return err(
+                    "lifecycle tracing is recorded by ZygOS-family simulator hosts only \
+                     (fleet worlds harvest series, never traces); \
+                     every case here would silently record nothing"
+                        .into(),
+                );
+            }
+            if !any_traced && !any_fleet {
                 return err(
                     "telemetry is recorded by ZygOS-family simulator hosts only; \
                      every case here would silently record nothing"
@@ -923,6 +1112,7 @@ impl ScenarioBuilder {
             },
             cases: self.cases,
             scale: self.scale,
+            fleet: self.fleet,
             telemetry: self.telemetry,
             search: self.search,
             tail: self.tail,
@@ -1020,6 +1210,57 @@ fn validate_case(case: &Case, cores: usize) -> Result<(), SpecError> {
                 }
             }
         }
+        HostSpec::Fleet(_) => {
+            // Every fleet base is a ZygOS-family simulator world, so the
+            // sim-family knobs (admission, SLO classes, quantum_us) all
+            // lower onto each shard unchanged.
+            if p.quantum_events.is_some() {
+                return fail(
+                    "quantum_events is the live cooperative quantum; \
+                     the simulator preempts via quantum_us"
+                        .into(),
+                );
+            }
+            if let Some(q) = p.quantum_us {
+                if q <= 0.0 {
+                    return fail(format!("quantum_us must be positive, got {q}"));
+                }
+            }
+            if p.background_order.is_some() && p.quantum_us.is_none() {
+                return fail(
+                    "background_order orders the preempted queue; it needs quantum_us".into(),
+                );
+            }
+            if !case.host.is_elastic() {
+                if p.min_cores.is_some() {
+                    return fail("min_cores is an elastic knob; host is static".into());
+                }
+                if p.alloc.is_some() {
+                    return fail("alloc picks the elastic controller; host is static".into());
+                }
+            }
+            if let Some(m) = p.min_cores {
+                if m == 0 || m > cores {
+                    return fail(format!("min_cores {m} out of range [1, {cores}]"));
+                }
+            }
+            if let Some(a) = &p.admission {
+                if a.overcommit {
+                    return fail(
+                        "credit overcommitment is a live client mechanism; \
+                         the simulator models the converged distribution already"
+                            .into(),
+                    );
+                }
+            }
+            if p.fleet_admission.is_some() && p.admission.is_none() {
+                return fail(
+                    "fleet_admission places the credit pool but no [cases.admission] \
+                     gate is armed"
+                        .into(),
+                );
+            }
+        }
         HostSpec::Live(host) => {
             if p.quantum_us.is_some() {
                 return fail(
@@ -1056,6 +1297,16 @@ fn validate_case(case: &Case, cores: usize) -> Result<(), SpecError> {
                 }
             }
         }
+    }
+    // Fleet knobs parameterize the balancer and the shard topology;
+    // on a single-world host they would silently do nothing.
+    if !case.host.is_fleet()
+        && (p.routing.is_some()
+            || p.fleet_admission.is_some()
+            || p.degraded.is_some()
+            || p.loss.is_some())
+    {
+        return fail("routing/fleet_admission/degraded/loss need a fleet:* host".into());
     }
     // Host-independent admission consistency — the headline rejection:
     // a shed location without a gate to shed from.
@@ -1150,6 +1401,35 @@ fn validate_claims(
     }
     if claims.elastic_parks_below_load.is_some() && !cases.iter().any(|c| c.host.is_elastic()) {
         return fail("elastic_parks_below_load needs an elastic case");
+    }
+    if let Some(g) = &claims.fleet_tail_gap {
+        let labels = [&g.healthy, &g.degraded, &g.recovered];
+        for pair in [(0, 1), (0, 2), (1, 2)] {
+            if labels[pair.0] == labels[pair.1] {
+                return fail("fleet_tail_gap needs three distinct case labels");
+            }
+        }
+        for label in labels {
+            match cases.iter().find(|c| &c.label == label) {
+                None => {
+                    return Err(SpecError::new(format!(
+                        "claims: fleet_tail_gap names unknown case {label:?}"
+                    )))
+                }
+                Some(c) if !c.host.is_fleet() => {
+                    return Err(SpecError::new(format!(
+                        "claims: fleet_tail_gap case {label:?} is not a fleet:* host"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        if !(g.min_ratio.is_finite() && g.min_ratio >= 1.0) {
+            return fail("fleet_tail_gap min_ratio must be >= 1");
+        }
+        if !(g.min_recovery > 0.0 && g.min_recovery <= 1.0) {
+            return fail("fleet_tail_gap min_recovery must be in (0, 1]");
+        }
     }
     Ok(())
 }

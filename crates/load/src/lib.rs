@@ -12,6 +12,11 @@
 //! * [`retry`] — reject-aware retry policies ([`retry::RetryPolicy`]:
 //!   drop / exponential backoff / hedge-to-deadline) for clients facing a
 //!   credit-gated server.
+//! * [`route`] — L4 connection routing for the fleet host
+//!   ([`route::Balancer`]): pluggable policies (pass-through,
+//!   consistent-hash, least-loaded, power-of-two-choices) mapping client
+//!   connections onto server shards, with capacity weights and
+//!   shard-loss remap.
 //! * [`source`] — arrival processes behind one trait
 //!   ([`source::ArrivalSource`]): the paper's constant-rate Poisson,
 //!   piecewise-Poisson phases, and trace replay from a timestamped
@@ -24,12 +29,14 @@
 
 pub mod recorder;
 pub mod retry;
+pub mod route;
 pub mod schedule;
 pub mod slo;
 pub mod source;
 
 pub use recorder::SharedRecorder;
 pub use retry::{RetryDecision, RetryPolicy};
+pub use route::{Balancer, RoutePolicy};
 pub use schedule::ArrivalSchedule;
 pub use slo::Slo;
 pub use source::{ArrivalSource, ArrivalSpec, Trace};

@@ -1,0 +1,402 @@
+//! L4 connection routing for the fleet host: pluggable policies mapping
+//! client connections onto server shards.
+//!
+//! The fleet plane models an L4 balancer the way real ones work: it pins
+//! *flows* (connections), not individual requests, to backends. Routing a
+//! connection is therefore a one-time decision plus a re-decision when a
+//! shard is lost — between decisions the shards are fully independent,
+//! which is what lets the fleet harness run each shard as an unmodified
+//! `sysim` world (Poisson thinning makes each shard's arrival substream
+//! exactly Poisson at its connection share of the fleet rate).
+//!
+//! Four policies:
+//!
+//! * [`RoutePolicy::PassThrough`] — everything to shard 0. Degenerate by
+//!   design: with one shard it wires the fleet layer to the underlying
+//!   host as a bit-identical differential oracle.
+//! * [`RoutePolicy::ConsistentHash`] — classic ring with
+//!   [`VNODES`] virtual nodes per shard. Connection-key affinity across
+//!   shard loss: only the keys owned by the lost shard move (the
+//!   *consistency* property, tested exactly), and the lost shard owns at
+//!   most `ceil(K/N) + remap_slack(K, N)` keys (the *balance* envelope of
+//!   the vnode count).
+//! * [`RoutePolicy::LeastLoaded`] — greedy: each connection goes to the
+//!   live shard with the smallest capacity-weighted backlog.
+//! * [`RoutePolicy::PowerOfTwoChoices`] — two candidates sampled by hash,
+//!   the less (capacity-weighted) backlogged one wins. The classic
+//!   load/knowledge trade-off; never picks a shard strictly more
+//!   backlogged than both candidates at decision time.
+//!
+//! Capacity weights make the load-aware policies degradation-aware: a
+//! shard serving at `f ×` its healthy cost has capacity `1/f`, so
+//! `least-loaded` and `po2c` steer connections away from it in proportion
+//! — the mechanism behind the `fleet_tail` scenario's recovery claim.
+//! Everything here is hash-driven and deterministic: no RNG, no clocks.
+
+/// Virtual nodes per shard on the consistent-hash ring. 128 keeps the
+/// worst observed shard share within ~1.5× of the mean across the tested
+/// fleet sizes (2–16 shards) — see [`remap_slack`].
+pub const VNODES: usize = 128;
+
+/// A connection-routing policy for the fleet's L4 balancer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Every connection to shard 0 (differential-testing wire).
+    PassThrough,
+    /// Hash ring with [`VNODES`] virtual nodes per shard.
+    ConsistentHash,
+    /// Greedy: the live shard with the least capacity-weighted backlog.
+    LeastLoaded,
+    /// Two hashed candidates, the less backlogged one wins.
+    PowerOfTwoChoices,
+}
+
+impl RoutePolicy {
+    /// Stable identifier used by the scenario TOML and reports.
+    pub fn id(&self) -> &'static str {
+        match self {
+            RoutePolicy::PassThrough => "pass-through",
+            RoutePolicy::ConsistentHash => "consistent-hash",
+            RoutePolicy::LeastLoaded => "least-loaded",
+            RoutePolicy::PowerOfTwoChoices => "po2c",
+        }
+    }
+
+    /// Parses the identifiers accepted by [`RoutePolicy::id`] (plus the
+    /// spelled-out `power-of-two-choices` alias).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "pass-through" => Ok(RoutePolicy::PassThrough),
+            "consistent-hash" => Ok(RoutePolicy::ConsistentHash),
+            "least-loaded" => Ok(RoutePolicy::LeastLoaded),
+            "po2c" | "power-of-two-choices" => Ok(RoutePolicy::PowerOfTwoChoices),
+            other => Err(format!(
+                "unknown routing policy {other:?} (expected pass-through, \
+                 consistent-hash, least-loaded or po2c)"
+            )),
+        }
+    }
+}
+
+/// SplitMix64: the avalanche mixer behind every hash decision here.
+/// Deterministic, seedable, and good enough that ring balance is a
+/// function of [`VNODES`] rather than of input structure.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Slack on the consistent-hash remap bound: with [`VNODES`] virtual
+/// nodes the lost shard owns at most `ceil(K/N) + remap_slack(K, N)`
+/// of `K` connection keys — the mean share plus the ring's balance
+/// envelope (≤ ~1.5× mean plus a small-K constant).
+pub fn remap_slack(conns: usize, shards: usize) -> usize {
+    conns / shards.max(1) / 2 + 16
+}
+
+/// One routing decision, with enough context to audit it.
+#[derive(Clone, Copy, Debug)]
+pub struct Decision {
+    /// The shard the connection was routed to.
+    pub shard: usize,
+    /// The two candidates po2c sampled (`None` for other policies).
+    pub candidates: Option<(usize, usize)>,
+}
+
+/// The L4 balancer: routes connection keys onto live shards and tracks
+/// the capacity-weighted backlog each decision feeds on.
+///
+/// Backlog here is *assigned connections / capacity* — the balancer's
+/// a-priori load signal. It deliberately does not observe the shards'
+/// queues: a real L4 tier routes on what it assigned, not on server
+/// internals it cannot see at line rate.
+#[derive(Clone, Debug)]
+pub struct Balancer {
+    policy: RoutePolicy,
+    seed: u64,
+    /// Relative serving capacity per shard (1.0 = healthy; a shard
+    /// degraded to `f ×` service cost has capacity `1/f`).
+    capacity: Vec<f64>,
+    live: Vec<bool>,
+    /// Connections currently assigned per shard.
+    assigned: Vec<u32>,
+    /// Consistent-hash ring: (vnode hash, shard), sorted by hash.
+    ring: Vec<(u64, u16)>,
+}
+
+impl Balancer {
+    /// A balancer over `shards` healthy shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or exceeds `u16::MAX` ring labels.
+    pub fn new(policy: RoutePolicy, shards: usize, seed: u64) -> Self {
+        assert!(shards >= 1, "a fleet needs at least one shard");
+        assert!(shards <= u16::MAX as usize, "ring labels are u16");
+        let mut ring = Vec::with_capacity(shards * VNODES);
+        for s in 0..shards {
+            for v in 0..VNODES {
+                ring.push((mix(seed ^ mix((s as u64) << 32 | v as u64)), s as u16));
+            }
+        }
+        ring.sort_unstable();
+        Balancer {
+            policy,
+            seed,
+            capacity: vec![1.0; shards],
+            live: vec![true; shards],
+            assigned: vec![0; shards],
+            ring,
+        }
+    }
+
+    /// Number of shards (live or not).
+    pub fn shards(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Declares a shard's relative capacity (degradation signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard or non-positive capacity.
+    pub fn set_capacity(&mut self, shard: usize, capacity: f64) {
+        assert!(shard < self.shards(), "shard out of range");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
+        self.capacity[shard] = capacity;
+    }
+
+    /// The capacity-weighted backlog the next decision would observe for
+    /// `shard` (assigned connections / capacity).
+    pub fn backlog(&self, shard: usize) -> f64 {
+        self.assigned[shard] as f64 / self.capacity[shard]
+    }
+
+    /// Connections currently assigned to `shard`.
+    pub fn assigned(&self, shard: usize) -> u32 {
+        self.assigned[shard]
+    }
+
+    /// Routes one connection key, recording the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shard is live.
+    pub fn route(&mut self, key: u64) -> Decision {
+        let d = self.pick(key);
+        self.assigned[d.shard] += 1;
+        d
+    }
+
+    /// Routes connections `0..conns` (key = hashed index) in index order,
+    /// returning the connection→shard map.
+    pub fn assign(&mut self, conns: usize) -> Vec<u16> {
+        (0..conns)
+            .map(|c| self.route(conn_key(self.seed, c)).shard as u16)
+            .collect()
+    }
+
+    /// Marks `shard` dead and re-routes its connections in `map`
+    /// (produced by [`Balancer::assign`]) onto the survivors, in
+    /// connection order. Returns how many connections moved. Connections
+    /// on other shards are untouched — consistent hashing's defining
+    /// property, and an invariant the fleet proptests pin for every
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, already dead, or the last live
+    /// shard.
+    pub fn lose_shard(&mut self, shard: usize, map: &mut [u16]) -> usize {
+        assert!(shard < self.shards(), "shard out of range");
+        assert!(self.live[shard], "shard already lost");
+        self.live[shard] = false;
+        assert!(
+            self.live.iter().any(|&l| l),
+            "cannot lose the last live shard"
+        );
+        let mut moved = 0;
+        for (c, slot) in map.iter_mut().enumerate() {
+            if *slot as usize != shard {
+                continue;
+            }
+            self.assigned[shard] -= 1;
+            let d = self.route(conn_key(self.seed, c));
+            *slot = d.shard as u16;
+            moved += 1;
+        }
+        moved
+    }
+
+    /// The decision [`Balancer::route`] would make for `key`, without
+    /// recording it.
+    pub fn pick(&self, key: u64) -> Decision {
+        assert!(self.live.iter().any(|&l| l), "no live shard to route to");
+        match self.policy {
+            RoutePolicy::PassThrough => {
+                // The degenerate wire: shard 0 while it lives, else the
+                // lowest live shard (keeps the policy total).
+                let shard = (0..self.shards()).find(|&s| self.live[s]).unwrap();
+                Decision {
+                    shard,
+                    candidates: None,
+                }
+            }
+            RoutePolicy::ConsistentHash => Decision {
+                shard: self.ring_lookup(mix(key)),
+                candidates: None,
+            },
+            RoutePolicy::LeastLoaded => {
+                let shard = (0..self.shards())
+                    .filter(|&s| self.live[s])
+                    .min_by(|&a, &b| {
+                        self.backlog(a)
+                            .partial_cmp(&self.backlog(b))
+                            .expect("backlogs are finite")
+                            .then(a.cmp(&b))
+                    })
+                    .unwrap();
+                Decision {
+                    shard,
+                    candidates: None,
+                }
+            }
+            RoutePolicy::PowerOfTwoChoices => {
+                let alive: Vec<usize> = (0..self.shards()).filter(|&s| self.live[s]).collect();
+                let a = alive[(mix(key) % alive.len() as u64) as usize];
+                let b = alive[(mix(key ^ 0xA5A5_A5A5_5A5A_5A5A) % alive.len() as u64) as usize];
+                // The less-backlogged candidate wins; ties go low-index.
+                let shard = if self.backlog(b) < self.backlog(a) {
+                    b
+                } else if self.backlog(a) < self.backlog(b) {
+                    a
+                } else {
+                    a.min(b)
+                };
+                Decision {
+                    shard,
+                    candidates: Some((a, b)),
+                }
+            }
+        }
+    }
+
+    /// First live vnode clockwise from `h` on the ring.
+    fn ring_lookup(&self, h: u64) -> usize {
+        let start = self.ring.partition_point(|&(vh, _)| vh < h);
+        let n = self.ring.len();
+        for i in 0..n {
+            let (_, s) = self.ring[(start + i) % n];
+            if self.live[s as usize] {
+                return s as usize;
+            }
+        }
+        unreachable!("at least one live shard");
+    }
+}
+
+/// The hash key for connection index `c` under balancer seed `seed`.
+pub fn conn_key(seed: u64, c: usize) -> u64 {
+    mix(seed ^ mix(c as u64 ^ 0x5EED_C0DE_F1EE_7000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_through_routes_everything_to_shard_zero() {
+        let mut b = Balancer::new(RoutePolicy::PassThrough, 1, 7);
+        let map = b.assign(64);
+        assert!(map.iter().all(|&s| s == 0));
+        assert_eq!(b.assigned(0), 64);
+    }
+
+    #[test]
+    fn consistent_hash_only_moves_lost_shards_keys() {
+        for seed in 0..20u64 {
+            let mut b = Balancer::new(RoutePolicy::ConsistentHash, 5, seed);
+            let mut map = b.assign(200);
+            let before = map.clone();
+            let owned = before.iter().filter(|&&s| s == 2).count();
+            let moved = b.lose_shard(2, &mut map);
+            assert_eq!(moved, owned, "exactly the lost shard's keys move");
+            for (c, (&old, &new)) in before.iter().zip(map.iter()).enumerate() {
+                if old != 2 {
+                    assert_eq!(old, new, "conn {c} moved without losing its shard");
+                }
+                assert_ne!(new, 2, "conn {c} still routed to the dead shard");
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_hash_balance_within_slack() {
+        for &(conns, shards) in &[(64usize, 2usize), (200, 5), (512, 8), (300, 10), (1000, 16)] {
+            for seed in 0..30u64 {
+                let mut b = Balancer::new(RoutePolicy::ConsistentHash, shards, seed);
+                let map = b.assign(conns);
+                let bound = conns.div_ceil(shards) + remap_slack(conns, shards);
+                for s in 0..shards {
+                    let owned = map.iter().filter(|&&m| m as usize == s).count();
+                    assert!(
+                        owned <= bound,
+                        "shard {s} owns {owned} of {conns} conns over {shards} \
+                         shards (bound {bound}, seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_respects_capacity_weights() {
+        let mut b = Balancer::new(RoutePolicy::LeastLoaded, 4, 1);
+        b.set_capacity(0, 1.0 / 3.0); // Shard 0 serves at 3× cost.
+        let map = b.assign(100);
+        let slow = map.iter().filter(|&&s| s == 0).count();
+        let healthy = map.iter().filter(|&&s| s == 1).count();
+        // Weighted balance: slow shard gets ~1/3 of a healthy shard's share.
+        assert!(slow < healthy, "slow={slow} healthy={healthy}");
+        assert!(slow >= 5, "slow shard is not starved: {slow}");
+    }
+
+    #[test]
+    fn po2c_chosen_is_never_worse_than_both_candidates() {
+        let mut b = Balancer::new(RoutePolicy::PowerOfTwoChoices, 6, 3);
+        b.set_capacity(4, 0.5);
+        for c in 0..500 {
+            let key = conn_key(3, c);
+            let d = b.pick(key);
+            let (a, bb) = d.candidates.expect("po2c samples candidates");
+            let chosen = b.backlog(d.shard);
+            assert!(
+                !(chosen > b.backlog(a) && chosen > b.backlog(bb)),
+                "conn {c}: chose backlog {chosen} over candidates \
+                 ({}, {})",
+                b.backlog(a),
+                b.backlog(bb)
+            );
+            assert!(d.shard == a || d.shard == bb);
+            b.route(key);
+        }
+    }
+
+    #[test]
+    fn lose_shard_rebalances_onto_survivors() {
+        let mut b = Balancer::new(RoutePolicy::LeastLoaded, 3, 9);
+        let mut map = b.assign(90);
+        let moved = b.lose_shard(1, &mut map);
+        assert!(moved > 0);
+        assert!(map.iter().all(|&s| s != 1));
+        let c0 = map.iter().filter(|&&s| s == 0).count();
+        let c2 = map.iter().filter(|&&s| s == 2).count();
+        assert_eq!(c0 + c2, 90);
+        assert!((c0 as i64 - c2 as i64).abs() <= 1, "c0={c0} c2={c2}");
+    }
+}

@@ -85,6 +85,48 @@ impl ServiceDist {
         }
     }
 
+    /// The same distribution with every service time multiplied by
+    /// `factor` — shape (and `cv²`) preserved, mean scaled. A `factor` of
+    /// exactly 1.0 returns a structural clone, so scaling by unity is an
+    /// identity even at the bit level. Models a uniformly slower (or
+    /// faster) server: a degraded fleet shard serves the same request mix
+    /// at `factor ×` its healthy cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "service scale factor must be positive and finite"
+        );
+        if factor == 1.0 {
+            return self.clone();
+        }
+        match self {
+            ServiceDist::Deterministic { us } => ServiceDist::Deterministic { us: us * factor },
+            ServiceDist::Exponential { mean_us } => ServiceDist::Exponential {
+                mean_us: mean_us * factor,
+            },
+            ServiceDist::TwoPoint {
+                fast_us,
+                slow_us,
+                p_fast,
+            } => ServiceDist::TwoPoint {
+                fast_us: fast_us * factor,
+                slow_us: slow_us * factor,
+                p_fast: *p_fast,
+            },
+            ServiceDist::LogNormal { mean_us, cv2 } => ServiceDist::LogNormal {
+                mean_us: mean_us * factor,
+                cv2: *cv2,
+            },
+            ServiceDist::Empirical { samples } => ServiceDist::Empirical {
+                samples: std::sync::Arc::new(samples.iter().map(|s| s * factor).collect()),
+            },
+        }
+    }
+
     /// The theoretical mean of the distribution, in microseconds.
     pub fn mean_us(&self) -> f64 {
         match self {

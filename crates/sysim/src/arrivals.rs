@@ -110,6 +110,12 @@ impl Source {
             service: self.service.sample(&mut self.rng),
         }
     }
+
+    /// Requests emitted by [`Source::next_req`] so far — the `generated`
+    /// side of the conservation identity the fleet proptests pin.
+    pub fn emitted(&self) -> u64 {
+        self.next_seq as u64
+    }
 }
 
 /// Completion recorder with warmup handling and a measurement window.
@@ -209,6 +215,12 @@ impl Recorder {
     /// Measured completions (excluding warmup).
     pub fn measured(&self) -> u64 {
         self.completed.saturating_sub(self.warmup)
+    }
+
+    /// All completions, warmup included — the `completed_total` side of
+    /// the conservation identity.
+    pub fn completed_total(&self) -> u64 {
+        self.completed
     }
 
     /// Length of the measurement window in microseconds.

@@ -233,6 +233,19 @@ pub struct SysOutput {
     pub latency: LatencyHistogram,
     /// Completions measured (excludes warmup).
     pub completed: u64,
+    /// Requests generated by the arrival source over the whole run
+    /// (including warmup and shed requests). With
+    /// [`SysOutput::completed_total`] and [`SysOutput::rejected`] this
+    /// closes the conservation identity a cold run obeys at drain:
+    /// `generated == completed_total + rejected + in_flight`, with
+    /// `in_flight >= 0` the requests still queued or in service when the
+    /// completion target stopped the engine. (Warm-started segments
+    /// inherit a source mid-stream, so the identity is per-chain there,
+    /// not per-segment.)
+    pub generated: u64,
+    /// Completions over the whole run, warmup included (the measured
+    /// window is [`SysOutput::completed`]).
+    pub completed_total: u64,
     /// Discrete events the engine processed over the whole run (including
     /// warmup) — the numerator of the experiment plane's events/sec, what
     /// `lab bench` tracks across PRs.

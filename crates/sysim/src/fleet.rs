@@ -1,0 +1,549 @@
+//! Fleet harness: N independent `sysim` shards behind a simulated L4
+//! balancer.
+//!
+//! The paper bounds tail latency *inside* one server by keeping the
+//! queue→core indirection work-conserving; this module lifts the same
+//! indirection one level, to request→server across a sharded fleet. The
+//! balancer ([`zygos_load::route::Balancer`]) pins *connections* to
+//! shards — the way a real L4 tier pins flows — so by Poisson thinning
+//! each shard's arrival substream is exactly Poisson at its connection
+//! share of the fleet rate. Between routing decisions the shards share
+//! nothing, which buys three things at once:
+//!
+//! 1. **Fidelity** — every shard is a full, unmodified ZygOS-family
+//!    world with its own policy-plane instance (work stealing, IPIs,
+//!    credit admission, elastic control), not a fluid approximation.
+//! 2. **Scale** — shards fan out over scoped threads with
+//!    shard-index-ordered reassembly, so a 16-shard fleet at 10⁷–10⁸
+//!    aggregate users costs one shard's wall-clock per core.
+//! 3. **Trust** — with one shard and [`RoutePolicy::PassThrough`]
+//!    routing, the fleet layer lowers to the base [`SysConfig`]
+//!    *verbatim*: the aggregation is pinned bit-identical to
+//!    [`crate::run_system`] by a differential test, the fleet analogue
+//!    of the WheelQueue/HeapQueue engine oracle.
+//!
+//! Two fault injections come from the scenario spec:
+//!
+//! * **Degradation** — shard `i` serves at `f×` its healthy cost
+//!   ([`zygos_sim::dist::ServiceDist::scaled`]); its arrival rate is
+//!   unchanged (clients
+//!   don't know), so its *effective* load multiplies by `f`. Load-aware
+//!   routing sees capacity `1/f` and assigns the shard proportionally
+//!   fewer connections; consistent-hash does not — the `fleet_tail`
+//!   scenario's claim.
+//! * **Loss** — shard `l` disappears at `t_loss`: its connections remap
+//!   onto survivors (only *its* keys move under consistent hashing), and
+//!   each survivor's arrival process becomes piecewise-Poisson — its
+//!   pre-loss rate for `t_loss`, then its post-remap rate — via
+//!   [`ArrivalSpec::Phased`]. The lost shard runs its pre-loss
+//!   configuration with a completion target sized to drain before
+//!   `t_loss`.
+//!
+//! Request conservation is observable end to end: every shard reports
+//! `generated`, `completed_total` and `rejected`, and
+//! [`FleetOutput::in_flight`] closes the identity
+//! `generated == completed_total + rejected + in_flight` at drain — a
+//! fleet-wide property test pins it for arbitrary shard counts and
+//! seeds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use zygos_load::route::{Balancer, RoutePolicy};
+use zygos_load::source::{ArrivalSpec, Phase};
+use zygos_sim::stats::LatencyHistogram;
+use zygos_telemetry::TelemetryOut;
+
+use crate::config::{SysConfig, SysOutput};
+use crate::driver::run_system;
+
+/// Seed stride between shards: shard `i` runs at
+/// `base.seed + i · FLEET_SEED_STRIDE` (shard 0 keeps the base seed, so
+/// the single-shard fleet is seed-identical to the base world).
+pub const FLEET_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Where the credit-admission budget lives in a fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionTopology {
+    /// Each shard runs the base pool as its own (the default: admission
+    /// provisioned where the queues are).
+    PerShard,
+    /// The base pool is one fleet-wide budget, split evenly across the
+    /// shards ([`zygos_sched::CreditConfig::split`]). Observable because
+    /// pool sizing is not linear in cores: a split fleet budget starts
+    /// tighter and probes more gently than shard-local provisioning.
+    FleetWide,
+}
+
+/// A fleet experiment: `shards` copies of `base` behind a balancer.
+///
+/// `base` is read as the *fleet-level* description: `base.conns` is the
+/// fleet's connection count (partitioned by routing), `base.load` the
+/// offered load as a fraction of fleet-wide ideal saturation
+/// (`shards × cores` healthy cores), and `base.requests`/`base.warmup`
+/// fleet-total completion windows (divided by connection share).
+/// `base.cores` is per shard.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Per-shard world template and fleet-level workload knobs.
+    pub base: SysConfig,
+    /// Number of server shards.
+    pub shards: usize,
+    /// Connection-routing policy at the balancer.
+    pub routing: RoutePolicy,
+    /// Credit-admission topology (ignored when `base.admission` is off).
+    pub admission: AdmissionTopology,
+    /// Degraded shards as `(shard, service factor)`: shard `i` serves at
+    /// `factor ×` its healthy cost.
+    pub degraded: Vec<(usize, f64)>,
+    /// Shard loss as `(shard, at_us)`: the shard disappears at `at_us`
+    /// and its connections remap onto the survivors. Requires Poisson
+    /// base arrivals (survivor rewiring is expressed as phases).
+    pub loss: Option<(usize, f64)>,
+}
+
+impl FleetConfig {
+    /// A healthy fleet of `shards` copies of `base` under `routing`.
+    pub fn new(base: SysConfig, shards: usize, routing: RoutePolicy) -> Self {
+        FleetConfig {
+            base,
+            shards,
+            routing,
+            admission: AdmissionTopology::PerShard,
+            degraded: Vec::new(),
+            loss: None,
+        }
+    }
+
+    /// Service-cost factor of `shard` (1.0 unless degraded).
+    fn factor(&self, shard: usize) -> f64 {
+        self.degraded
+            .iter()
+            .find(|&&(s, _)| s == shard)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
+    /// Fleet-wide offered arrival rate in requests/µs: `load` of the
+    /// healthy fleet's ideal saturation.
+    fn fleet_rate_per_us(&self) -> f64 {
+        self.base.load * (self.shards * self.base.cores) as f64 / self.base.service.mean_us()
+    }
+}
+
+/// One shard's lowered world, or `None` for a shard that has nothing to
+/// run (no connections, or lost before it could complete anything).
+type ShardPlan = Option<SysConfig>;
+
+/// The deterministic lowering of a [`FleetConfig`]: per-shard configs
+/// plus the balancer's connection ledger.
+struct FleetPlan {
+    configs: Vec<ShardPlan>,
+    /// Connections assigned per shard (pre-loss).
+    assigned: Vec<u32>,
+    /// Connections remapped by the loss event (0 without one).
+    moved: u64,
+}
+
+/// Aggregated result of a fleet run: the per-shard worlds' outputs in
+/// shard order, plus fleet-level reductions.
+#[derive(Clone)]
+pub struct FleetOutput {
+    /// Per-shard outputs, indexed by shard (idle shards report zeros).
+    pub shards: Vec<SysOutput>,
+    /// Connections assigned per shard at t=0.
+    pub assigned: Vec<u32>,
+    /// Connections remapped by the loss event (0 without one).
+    pub moved: u64,
+    /// Merged measured-window latency histogram across all shards.
+    pub latency: LatencyHistogram,
+    /// Merged per-shard time-series, names prefixed `shard<i>/`.
+    /// `None` unless the base config armed telemetry. Lifecycle traces
+    /// are not merged: their correlation keys are per-world sequence
+    /// numbers, which collide across shards.
+    pub telemetry: Option<TelemetryOut>,
+}
+
+impl FleetOutput {
+    /// Requests generated across the fleet (warmup and sheds included).
+    pub fn generated(&self) -> u64 {
+        self.shards.iter().map(|s| s.generated).sum()
+    }
+
+    /// Completions across the fleet, warmup included.
+    pub fn completed_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed_total).sum()
+    }
+
+    /// Measured completions across the fleet (warmup excluded).
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Requests shed by credit gates across the fleet.
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Requests admitted past credit gates across the fleet.
+    pub fn admitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.admitted).sum()
+    }
+
+    /// Engine events processed across the fleet — the `lab bench`
+    /// numerator for the fleet workload.
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Requests generated but neither completed nor shed when the
+    /// completion targets stopped the shard engines: still queued, in
+    /// service, or on the wire. Closes the conservation identity
+    /// `generated == completed_total + rejected + in_flight`; never
+    /// negative for cold runs (the fleet always runs cold).
+    pub fn in_flight(&self) -> i64 {
+        self.generated() as i64 - self.completed_total() as i64 - self.rejected() as i64
+    }
+
+    /// Aggregate fleet throughput in requests/µs: the sum of per-shard
+    /// measured rates (each over its own window).
+    pub fn throughput_mrps(&self) -> f64 {
+        self.shards.iter().map(|s| s.throughput_mrps()).sum()
+    }
+
+    /// Fleet 99th-percentile latency over the merged histogram.
+    pub fn p99_us(&self) -> f64 {
+        self.latency.p99_us()
+    }
+}
+
+/// Lowers a [`FleetConfig`] to per-shard worlds.
+///
+/// # Panics
+///
+/// Panics on structural misuse: zero shards, out-of-range degradation or
+/// loss indices, non-positive factors, a loss with non-Poisson base
+/// arrivals, or a single-shard loss (nothing would remain).
+fn plan_fleet(cfg: &FleetConfig) -> FleetPlan {
+    assert!(cfg.shards >= 1, "a fleet needs at least one shard");
+    assert!(cfg.base.conns >= 1, "a fleet needs connections to route");
+    for &(s, f) in &cfg.degraded {
+        assert!(s < cfg.shards, "degraded shard {s} out of range");
+        assert!(
+            f.is_finite() && f > 0.0,
+            "degradation factor must be positive"
+        );
+    }
+    if let Some((l, at)) = cfg.loss {
+        assert!(l < cfg.shards, "lost shard {l} out of range");
+        assert!(cfg.shards >= 2, "losing the only shard ends the fleet");
+        assert!(at.is_finite() && at > 0.0, "loss time must be positive");
+        assert!(
+            matches!(cfg.base.arrivals, ArrivalSpec::Poisson),
+            "shard loss rewires survivor arrivals as phases and needs \
+             Poisson base arrivals"
+        );
+    }
+
+    // The differential wire: one shard, nothing injected — the base
+    // world verbatim, so aggregation is the only fleet code in the loop.
+    if cfg.shards == 1 && cfg.degraded.is_empty() && cfg.loss.is_none() {
+        return FleetPlan {
+            configs: vec![Some(cfg.base.clone())],
+            assigned: vec![cfg.base.conns],
+            moved: 0,
+        };
+    }
+
+    let conns = cfg.base.conns as usize;
+    let mut bal = Balancer::new(cfg.routing, cfg.shards, cfg.base.seed);
+    for &(s, f) in &cfg.degraded {
+        bal.set_capacity(s, 1.0 / f);
+    }
+    let mut map = bal.assign(conns);
+    let mut pre = vec![0u32; cfg.shards];
+    for &s in &map {
+        pre[s as usize] += 1;
+    }
+    let (post, moved) = match cfg.loss {
+        Some((l, _)) => {
+            let moved = bal.lose_shard(l, &mut map) as u64;
+            let mut post = vec![0u32; cfg.shards];
+            for &s in &map {
+                post[s as usize] += 1;
+            }
+            (post, moved)
+        }
+        None => (pre.clone(), 0),
+    };
+
+    let fleet_rate = cfg.fleet_rate_per_us();
+    let mean_us = cfg.base.service.mean_us();
+    let configs = (0..cfg.shards)
+        .map(|i| {
+            let factor = cfg.factor(i);
+            let lost_here = cfg.loss.map(|(l, _)| l == i).unwrap_or(false);
+            let (n_pre, n_post) = (pre[i] as f64, post[i] as f64);
+            if pre[i] == 0 {
+                return None; // Never offered traffic: nothing to run.
+            }
+            let mut shard = cfg.base.clone();
+            shard.seed = cfg
+                .base
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(FLEET_SEED_STRIDE));
+            shard.service = cfg.base.service.scaled(factor);
+            if let (AdmissionTopology::FleetWide, Some(pool)) = (cfg.admission, cfg.base.admission)
+            {
+                shard.admission = Some(pool.split(cfg.shards));
+            }
+            if let Some(t) = &mut shard.telemetry {
+                // Series only: lifecycle correlation keys collide across
+                // shards, so fleet worlds never trace.
+                t.trace = false;
+                if t.is_off() {
+                    shard.telemetry = None;
+                }
+            }
+            let share_pre = n_pre / conns as f64;
+            // `load` is calibrated so the shard's arrival rate is its
+            // connection share of the fleet rate *at its scaled service
+            // cost*: λ_i = load_i · cores / (mean · f) must equal
+            // share · λ_fleet, hence the `factor` term — degradation
+            // slows serving, never arrivals.
+            let load_for = |rate: f64| rate * mean_us * factor / cfg.base.cores as f64;
+            match cfg.loss {
+                Some((_, at_us)) if lost_here => {
+                    shard.conns = pre[i];
+                    shard.load = load_for(share_pre * fleet_rate);
+                    // Drain before the loss: target the completions the
+                    // shard can plausibly reach by t_loss at its offered
+                    // rate, halved for shedding/queueing headroom.
+                    let cap = (share_pre * fleet_rate * at_us * 0.5) as u64;
+                    if cap < 2 {
+                        return None; // Lost too early to measure anything.
+                    }
+                    let warm = ((cfg.base.warmup as f64 * share_pre).round() as u64).min(cap / 2);
+                    shard.warmup = warm;
+                    shard.requests = (cap - warm).max(1);
+                    Some(shard)
+                }
+                Some((_, at_us)) => {
+                    // Survivor: pre-loss rate for t_loss, post-remap rate
+                    // after. Factors are exact — the load knob carries the
+                    // phase-weighted mean rate, so normalization cancels.
+                    let r_pre = share_pre * fleet_rate;
+                    let r_post = (n_post / conns as f64) * fleet_rate;
+                    shard.conns = post[i];
+                    let share_post = n_post / conns as f64;
+                    shard.requests =
+                        ((cfg.base.requests as f64 * share_post).round() as u64).max(1);
+                    shard.warmup = (cfg.base.warmup as f64 * share_post).round() as u64;
+                    if r_post != r_pre {
+                        // Horizon: generously past the longest plausible
+                        // run so the phase cycle never wraps.
+                        let est_us = (shard.requests + shard.warmup) as f64 / r_pre.min(r_post);
+                        let horizon = 8.0 * est_us + at_us;
+                        let m = (r_pre * at_us + r_post * horizon) / (at_us + horizon);
+                        shard.load = load_for(m);
+                        shard.arrivals = ArrivalSpec::Phased(vec![
+                            Phase {
+                                duration_us: at_us,
+                                rate_factor: r_pre / m,
+                            },
+                            Phase {
+                                duration_us: horizon,
+                                rate_factor: r_post / m,
+                            },
+                        ]);
+                    } else {
+                        shard.load = load_for(r_pre);
+                    }
+                    Some(shard)
+                }
+                None => {
+                    shard.conns = pre[i];
+                    shard.load = load_for(share_pre * fleet_rate);
+                    shard.requests = ((cfg.base.requests as f64 * share_pre).round() as u64).max(1);
+                    shard.warmup = (cfg.base.warmup as f64 * share_pre).round() as u64;
+                    Some(shard)
+                }
+            }
+        })
+        .collect();
+
+    FleetPlan {
+        configs,
+        assigned: pre,
+        moved,
+    }
+}
+
+/// A zeroed output for a shard that had nothing to run, shaped like the
+/// real ones (class vectors sized from the base SLO config) so fleet
+/// reductions never special-case it.
+fn idle_output(base: &SysConfig) -> SysOutput {
+    let classes = base.slo.as_ref().map_or(1, |t| t.classes().len());
+    SysOutput {
+        latency: LatencyHistogram::new(),
+        completed: 0,
+        generated: 0,
+        completed_total: 0,
+        events: 0,
+        sim_time_us: 0.0,
+        local_events: 0,
+        stolen_events: 0,
+        ipis: 0,
+        preemptions: 0,
+        avg_active_cores: 0.0,
+        admitted: 0,
+        rejected: 0,
+        wire_rejects: 0,
+        rtt_us: base.cost.network_rtt_ns as f64 / 1_000.0,
+        rejected_by_class: vec![0; classes],
+        admitted_by_class: vec![0; classes],
+        telemetry: None,
+    }
+}
+
+/// Runs a fleet with one worker thread per available core.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetOutput {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_fleet_threads(cfg, threads)
+}
+
+/// Runs a fleet on `threads` workers (1 = fully sequential), reassembling
+/// shard outputs in shard-index order. The result is bit-identical for
+/// any thread count: shards share nothing and each lands in its own slot.
+pub fn run_fleet_threads(cfg: &FleetConfig, threads: usize) -> FleetOutput {
+    let plan = plan_fleet(cfg);
+    let n = plan.configs.len();
+    let threads = threads.clamp(1, n.max(1));
+    let mut outs: Vec<Option<SysOutput>> = Vec::with_capacity(n);
+    if threads == 1 {
+        for c in &plan.configs {
+            outs.push(c.as_ref().map(run_system));
+        }
+    } else {
+        let slots: Vec<Mutex<Option<SysOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if let Some(c) = &plan.configs[i] {
+                        let out = run_system(c);
+                        *slots[i].lock().expect("fleet slot poisoned") = Some(out);
+                    }
+                });
+            }
+        });
+        for slot in slots {
+            outs.push(slot.into_inner().expect("fleet slot poisoned"));
+        }
+    }
+
+    let shards: Vec<SysOutput> = outs
+        .into_iter()
+        .map(|o| o.unwrap_or_else(|| idle_output(&cfg.base)))
+        .collect();
+    let mut latency = LatencyHistogram::new();
+    for s in &shards {
+        latency.merge(&s.latency);
+    }
+    let telemetry = if cfg.base.telemetry.is_some() {
+        let mut merged = TelemetryOut::default();
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(t) = &s.telemetry {
+                let mut t = t.clone();
+                t.namespace_series(&format!("shard{i}/"));
+                merged.series.extend(t.series);
+                merged.dropped += t.dropped;
+            }
+        }
+        Some(merged)
+    } else {
+        None
+    };
+    FleetOutput {
+        shards,
+        assigned: plan.assigned,
+        moved: plan.moved,
+        latency,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+    use zygos_sim::dist::ServiceDist;
+
+    fn small_base(load: f64) -> SysConfig {
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), load);
+        cfg.cores = 4;
+        cfg.conns = 64;
+        cfg.requests = 2_000;
+        cfg.warmup = 400;
+        cfg.seed = 0xF1EE7;
+        cfg
+    }
+
+    #[test]
+    fn single_shard_pass_through_is_the_base_world() {
+        let base = small_base(0.6);
+        let fleet = FleetConfig::new(base.clone(), 1, RoutePolicy::PassThrough);
+        let f = run_fleet_threads(&fleet, 1);
+        let s = run_system(&base);
+        assert_eq!(f.shards.len(), 1);
+        assert_eq!(f.shards[0].completed, s.completed);
+        assert_eq!(f.shards[0].events, s.events);
+        assert_eq!(f.p99_us().to_bits(), s.p99_us().to_bits());
+        assert_eq!(f.throughput_mrps().to_bits(), s.throughput_mrps().to_bits());
+    }
+
+    #[test]
+    fn parallel_and_sequential_fleets_agree_bitwise() {
+        let mut fleet = FleetConfig::new(small_base(0.7), 4, RoutePolicy::ConsistentHash);
+        fleet.degraded = vec![(1, 2.0)];
+        let a = run_fleet_threads(&fleet, 1);
+        let b = run_fleet_threads(&fleet, 4);
+        assert_eq!(a.generated(), b.generated());
+        assert_eq!(a.completed_total(), b.completed_total());
+        assert_eq!(a.p99_us().to_bits(), b.p99_us().to_bits());
+        assert_eq!(a.throughput_mrps().to_bits(), b.throughput_mrps().to_bits());
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.events, y.events);
+            assert_eq!(x.generated, y.generated);
+        }
+    }
+
+    #[test]
+    fn conservation_holds_at_drain() {
+        let mut fleet = FleetConfig::new(small_base(0.8), 3, RoutePolicy::LeastLoaded);
+        fleet.base.admission = Some(zygos_sched::CreditConfig::for_cores(4, 60.0));
+        let out = run_fleet_threads(&fleet, 2);
+        assert_eq!(
+            out.generated() as i64,
+            out.completed_total() as i64 + out.rejected() as i64 + out.in_flight()
+        );
+        assert!(out.in_flight() >= 0, "in_flight = {}", out.in_flight());
+        let total: u32 = out.assigned.iter().sum();
+        assert_eq!(total, fleet.base.conns);
+    }
+
+    #[test]
+    fn shard_loss_shifts_load_to_survivors() {
+        let mut fleet = FleetConfig::new(small_base(0.5), 3, RoutePolicy::ConsistentHash);
+        fleet.loss = Some((2, 2_000.0));
+        let out = run_fleet_threads(&fleet, 2);
+        assert!(out.moved > 0, "loss must remap connections");
+        assert_eq!(out.assigned.iter().sum::<u32>(), fleet.base.conns);
+        // The lost shard drains early: far fewer completions than the
+        // survivors.
+        assert!(out.shards[2].completed_total < out.shards[0].completed_total);
+    }
+}

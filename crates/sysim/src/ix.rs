@@ -196,6 +196,8 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         telemetry: None,
         latency: model.rec.latency.clone(),
         completed: model.rec.measured(),
+        generated: model.source.emitted(),
+        completed_total: model.rec.completed_total(),
         events,
         sim_time_us: if window > 0.0 {
             window

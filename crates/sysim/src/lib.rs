@@ -63,6 +63,7 @@
 mod arrivals;
 pub mod config;
 pub mod driver;
+pub mod fleet;
 mod ix;
 mod linux;
 pub mod tail;
@@ -74,8 +75,12 @@ pub use driver::{
     max_load_at_slo, max_load_at_slo_counting, run_system, run_system_chain, theory_central_p99_us,
     theory_max_load_at_slo, warmable, SweepPoint, WARM_MAX_LOAD,
 };
+pub use fleet::{
+    run_fleet, run_fleet_threads, AdmissionTopology, FleetConfig, FleetOutput, FLEET_SEED_STRIDE,
+};
 pub use tail::{run_restart, TailConfig, TailOutput};
 pub use zygos::WarmState;
+pub use zygos_load::route::RoutePolicy;
 pub use zygos_load::source::ArrivalSpec;
 // The telemetry vocabulary callers need to arm [`SysConfig::telemetry`]
 // and to read [`SysOutput::telemetry`].

@@ -1714,6 +1714,8 @@ impl ZygosModel {
             telemetry,
             latency: self.rec.latency.clone(),
             completed: self.rec.measured(),
+            generated: self.source.emitted(),
+            completed_total: self.rec.completed_total(),
             events,
             sim_time_us,
             local_events: self.local_events,

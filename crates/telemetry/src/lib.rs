@@ -148,3 +148,17 @@ pub struct TelemetryOut {
     /// Harvested time-series (time in µs since run start).
     pub series: Vec<TimeSeries>,
 }
+
+impl TelemetryOut {
+    /// Prefixes every series name with `prefix` — the fleet plane's
+    /// per-shard namespacing (`shard3/credit.capacity`), applied before
+    /// shard harvests are merged into one fleet-level report so the
+    /// registry's flat names stay unambiguous. Lifecycle events are left
+    /// untouched: their correlation keys are per-world sequence numbers,
+    /// which collide across shards — the fleet host merges series only.
+    pub fn namespace_series(&mut self, prefix: &str) {
+        for s in &mut self.series {
+            s.name = format!("{prefix}{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the fleet plane: conservation of requests across
+//! arbitrary shardings, the consistent-hash remap bound on shard loss,
+//! and the po2c no-worse-choice guarantee. These pin the *invariants*
+//! the scenario-level fleet experiments rely on, over randomized
+//! topologies the committed scenarios never enumerate.
+
+use proptest::prelude::*;
+
+use zygos::load::route::{conn_key, remap_slack, Balancer};
+use zygos::sim::dist::ServiceDist;
+use zygos::sysim::{run_fleet_threads, FleetConfig, RoutePolicy, SysConfig, SystemKind};
+
+/// A small fleet-base world: 2-core shards, tiny windows, fast to run
+/// under 64 generated cases.
+fn fleet_base(load: f64, conns: u32, seed: u64) -> SysConfig {
+    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), load);
+    cfg.cores = 2;
+    cfg.conns = conns;
+    cfg.requests = 800;
+    cfg.warmup = 150;
+    cfg.seed = seed;
+    cfg
+}
+
+const POLICIES: [RoutePolicy; 3] = [
+    RoutePolicy::ConsistentHash,
+    RoutePolicy::LeastLoaded,
+    RoutePolicy::PowerOfTwoChoices,
+];
+
+proptest! {
+    /// Request conservation at drain: everything the fleet's sources
+    /// generated is accounted for as a completion, a shed, or a request
+    /// still in flight when the run stopped — never negative, for any
+    /// shard count, routing policy, degradation, or seed.
+    #[test]
+    fn fleet_conserves_requests_at_drain(
+        shards in 1usize..5,
+        policy_ix in 0usize..3,
+        load in 0.3f64..1.1,
+        seed in 0u64..1_000_000,
+        degrade in 0usize..3,
+    ) {
+        let mut fc = FleetConfig::new(fleet_base(load, 48, seed), shards, POLICIES[policy_ix]);
+        if degrade > 0 {
+            fc.degraded = vec![(0, 1.0 + degrade as f64)];
+        }
+        let out = run_fleet_threads(&fc, 1);
+        let accounted = out.completed_total() + out.rejected();
+        prop_assert!(out.generated() >= accounted,
+            "phantom completions: generated {} < completed+shed {}", out.generated(), accounted);
+        prop_assert_eq!(out.in_flight(), (out.generated() - accounted) as i64);
+        prop_assert!(out.completed() <= out.completed_total(),
+            "measured completions exceed total completions");
+        prop_assert!(out.completed() > 0, "the fleet completed nothing");
+    }
+
+    /// Consistent hashing's defining property under single-shard loss:
+    /// only the lost shard's connections move (everyone else's pinning
+    /// survives), every moved connection lands on a live shard, and the
+    /// move count stays within `ceil(K/N) + slack` of the ideal.
+    #[test]
+    fn consistent_hash_remap_is_minimal_and_bounded(
+        conns in 32usize..512,
+        shards in 2usize..10,
+        lost_pick in 0usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let lost = lost_pick % shards;
+        let mut bal = Balancer::new(RoutePolicy::ConsistentHash, shards, seed);
+        let before = bal.assign(conns);
+        let mut after = before.clone();
+        let moved = bal.lose_shard(lost, &mut after);
+        let lost_count = before.iter().filter(|&&s| s as usize == lost).count();
+        prop_assert_eq!(moved, lost_count, "exactly the lost shard's connections move");
+        for (c, (b, a)) in before.iter().zip(&after).enumerate() {
+            if *b as usize == lost {
+                prop_assert!(*a as usize != lost, "conn {c} still on the dead shard");
+            } else {
+                prop_assert_eq!(b, a, "conn {} moved although its shard survived", c);
+            }
+        }
+        prop_assert!(
+            moved <= conns.div_ceil(shards) + remap_slack(conns, shards),
+            "lost shard held {moved} of {conns} connections across {shards} shards \
+             (bound {})", conns.div_ceil(shards) + remap_slack(conns, shards)
+        );
+    }
+
+    /// Power-of-two-choices never routes a connection to a candidate
+    /// strictly more backlogged (capacity-weighted) than the other
+    /// sampled candidate — the whole point of the second choice.
+    #[test]
+    fn po2c_never_picks_the_strictly_worse_candidate(
+        conns in 16usize..256,
+        shards in 2usize..8,
+        seed in 0u64..1_000_000,
+        degrade in 0usize..3,
+    ) {
+        let mut bal = Balancer::new(RoutePolicy::PowerOfTwoChoices, shards, seed);
+        if degrade > 0 {
+            // A degraded shard 0: its backlog is weighted up, so po2c
+            // should shy away from it at equal connection counts too.
+            bal.set_capacity(0, 1.0 / (1.0 + degrade as f64));
+        }
+        for c in 0..conns {
+            let pre: Vec<f64> = (0..shards).map(|s| bal.backlog(s)).collect();
+            let d = bal.route(conn_key(seed, c));
+            let (a, b) = d.candidates.expect("po2c always samples two candidates");
+            prop_assert!(d.shard == a || d.shard == b, "routed outside its candidates");
+            let other = if d.shard == a { b } else { a };
+            prop_assert!(
+                pre[d.shard] <= pre[other],
+                "conn {c} routed to backlog {} over candidate at {}",
+                pre[d.shard], pre[other]
+            );
+        }
+    }
+}

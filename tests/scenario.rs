@@ -12,6 +12,8 @@ use zygos::sysim::{AdmissionMode, ArrivalSpec, SysConfig, SystemKind};
 const FIG13_TOML: &str = include_str!("../scenarios/fig13_overload.toml");
 const PARITY_TOML: &str = include_str!("../scenarios/parity_echo.toml");
 const DIURNAL_TOML: &str = include_str!("../scenarios/fig12_diurnal.toml");
+const FLEET_TAIL_TOML: &str = include_str!("../scenarios/fleet_tail.toml");
+const FLEET_REBALANCE_TOML: &str = include_str!("../scenarios/fleet_rebalance.toml");
 
 /// Shrinks a parsed scenario to test size without touching its meaning.
 fn shrink(mut sc: Scenario, loads: Vec<f64>, requests: u64, warmup: u64) -> Scenario {
@@ -27,6 +29,8 @@ fn committed_specs_parse() {
         ("fig13_overload", FIG13_TOML),
         ("parity_echo", PARITY_TOML),
         ("fig12_diurnal", DIURNAL_TOML),
+        ("fleet_tail", FLEET_TAIL_TOML),
+        ("fleet_rebalance", FLEET_REBALANCE_TOML),
     ] {
         let sc = scenario_from_toml(text)
             .unwrap_or_else(|e| panic!("scenarios/{name}.toml must parse: {e}"));
