@@ -113,6 +113,7 @@ pub fn label_of(host: SimHost) -> &'static str {
         SimHost::Ix => "IX",
         SimHost::LinuxPartitioned => "Linux (partitioned connections)",
         SimHost::LinuxFloating => "Linux (floating connections)",
+        SimHost::Staged => "ZygOS (staged pipeline)",
     }
 }
 

@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use zygos_sim::dist::ServiceDist;
 use zygos_sysim::{
-    latency_throughput_sweep, latency_throughput_sweep_cold, run_fleet, run_system, FleetConfig,
-    RoutePolicy, SysConfig, SystemKind, TelemetryConfig,
+    latency_throughput_sweep, latency_throughput_sweep_cold, run_fleet, run_system, CoreLayout,
+    FleetConfig, RoutePolicy, StagedConfig, SysConfig, SystemKind, TelemetryConfig,
 };
 
 use crate::report::Json;
@@ -74,8 +74,9 @@ pub const PAR_PAIR: (&str, &str) = ("lab-sweep-seq", "lab-sweep-par");
 /// slowdown, not a parallelism win.
 pub const PAR_MIN_RATIO: f64 = 0.8;
 
-/// Baseline schema version. v2 added the [`WARM_PAIR`] twin sweeps.
-pub const BENCH_SCHEMA: u32 = 2;
+/// Baseline schema version. v2 added the [`WARM_PAIR`] twin sweeps; v3
+/// added the `engine-staged-split` workload.
+pub const BENCH_SCHEMA: u32 = 3;
 
 /// One timed workload.
 #[derive(Clone, Debug, PartialEq)]
@@ -150,6 +151,16 @@ fn engine_workloads(smoke: bool) -> Vec<(&'static str, SysConfig)> {
     (cfg.requests, cfg.warmup) = scale(200_000, 20_000, smoke);
     cfg.rx_batch = 16;
     out.push(("engine-ix-batch16", cfg));
+
+    // The staged pipeline engine: the paper's three-stage decomposition
+    // on a split-net layout — the staged plane's hot path (per-stage
+    // queues, segment handoff events, per-stage wait telemetry).
+    let mut cfg = SysConfig::paper(SystemKind::Staged, ServiceDist::exponential_us(10.0), 0.8);
+    (cfg.requests, cfg.warmup) = scale(150_000, 15_000, smoke);
+    let mut plan = StagedConfig::paper_pipeline(&cfg.cost);
+    plan.layout = CoreLayout::SplitNet { net_cores: 2 };
+    cfg.staged = Some(plan);
+    out.push(("engine-staged-split", cfg));
 
     let mut cfg = SysConfig::paper(
         SystemKind::LinuxFloating,
@@ -608,7 +619,11 @@ mod tests {
     #[test]
     fn smoke_bench_produces_all_entries() {
         let r = run_bench(true);
-        assert_eq!(r.entries.len(), 11);
+        assert_eq!(r.entries.len(), 12);
+        assert!(
+            r.entries.iter().any(|e| e.name == "engine-staged-split"),
+            "the staged engine workload is part of the canonical set"
+        );
         for e in &r.entries {
             assert!(
                 e.events_per_sec > 0.0 || e.points_per_sec > 0.0,

@@ -472,6 +472,19 @@ fn print_report(sc: &Scenario, report: &Report) {
                     report.scenario, s.label, c, p.load, share
                 );
             }
+            // Staged hosts: the per-stage queueing decomposition, named
+            // by the pipeline's own stage names.
+            for (i, wait) in p.stage_p99_wait_us.iter().enumerate() {
+                let stage = sc
+                    .stages
+                    .as_ref()
+                    .and_then(|st| st.get(i))
+                    .map_or_else(|| format!("stage{i}"), |st| st.name.clone());
+                println!(
+                    "{}\t{}\tstage_p99_wait_us:{}\t{:.4}\t{:.3}",
+                    report.scenario, s.label, stage, p.load, wait
+                );
+            }
             // Decomposition rows only when the point was actually traced
             // (untraced points carry honest zeros, not measurements).
             let decomp: [(&str, f64); 4] = [

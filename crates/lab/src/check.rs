@@ -221,6 +221,39 @@ pub fn check_claims(sc: &Scenario, report: &Report) -> Vec<String> {
             }
         }
     }
+    if let Some(g) = &claims.staged_crossover {
+        let find = |label: &str| report.series.iter().find(|s| s.label == label);
+        match (find(&g.unified), find(&g.split)) {
+            (Some(u), Some(s)) if !u.points.is_empty() && u.points.len() == s.points.len() => {
+                // The crossover claim reads the grid's extremes: pooling
+                // wins the light tail, splitting wins the heavy tail.
+                let lo = idx_min(&u.points.iter().map(|p| p.load).collect::<Vec<_>>());
+                let hi = idx_max(&u.points.iter().map(|p| p.load).collect::<Vec<_>>());
+                let (ul, sl) = (&u.points[lo], &s.points[lo]);
+                claim(
+                    &mut errs,
+                    sl.p99_us >= g.low_ratio * ul.p99_us,
+                    format!(
+                        "load {:.2}: split p99 {:.1}us undercuts {}x the unified p99 {:.1}us — \
+                         pooling should win the light tail",
+                        sl.load, sl.p99_us, g.low_ratio, ul.p99_us
+                    ),
+                );
+                let (uh, sh) = (&u.points[hi], &s.points[hi]);
+                claim(
+                    &mut errs,
+                    uh.p99_us >= g.high_ratio * sh.p99_us,
+                    format!(
+                        "load {:.2}: unified p99 {:.1}us is under {}x the split p99 {:.1}us — \
+                         the HoL-blocking crossover did not appear",
+                        uh.load, uh.p99_us, g.high_ratio, sh.p99_us
+                    ),
+                );
+            }
+            _ => errs
+                .push("staged_crossover names a case that is missing from the report".to_string()),
+        }
+    }
     errs
 }
 
@@ -495,6 +528,63 @@ mod tests {
         assert!(errs.iter().any(|e| e.contains("diverge")), "{errs:?}");
         let errs = check_claims(&sc, &report(2_500.0, 90.0, 0.0));
         assert!(errs.iter().any(|e| e.contains("must shed")), "{errs:?}");
+    }
+
+    #[test]
+    fn staged_crossover_claim_reads_grid_extremes() {
+        use crate::spec::StagedCrossoverClaim;
+        use zygos_net::cost::CostModel;
+        use zygos_sysim::{CoreLayout, StagedConfig};
+        let plan = StagedConfig::paper_pipeline(&CostModel::zygos());
+        let mut sc = Scenario::builder("xover")
+            .service(ServiceDist::exponential_us(10.0))
+            .loads(vec![0.5, 0.8])
+            .stages(plan.stages.clone())
+            .case(Case::sim("unified", SimHost::Staged))
+            .case(Case::sim("split", SimHost::Staged).layout(CoreLayout::SplitNet { net_cores: 1 }))
+            .build()
+            .expect("valid");
+        sc.claims.staged_crossover = Some(StagedCrossoverClaim {
+            unified: "unified".into(),
+            split: "split".into(),
+            low_ratio: 1.0,
+            high_ratio: 1.1,
+        });
+        let mk = |label: &str, p99s: [f64; 2]| Series {
+            label: label.into(),
+            host: "sim:staged".into(),
+            deterministic: true,
+            points: p99s
+                .iter()
+                .zip([0.5, 0.8])
+                .map(|(&p99, load)| PointMetrics {
+                    load,
+                    p99_us: p99,
+                    ..PointMetrics::default()
+                })
+                .collect(),
+            search: None,
+            tail: None,
+        };
+        let report = |u: [f64; 2], s: [f64; 2]| Report {
+            schema: SCHEMA_VERSION,
+            scenario: "xover".into(),
+            smoke: true,
+            series: vec![mk("unified", u), mk("split", s)],
+        };
+        // Unified wins low, loses high by >1.1x: the claimed crossover.
+        assert!(check_claims(&sc, &report([200.0, 550.0], [210.0, 450.0])).is_empty());
+        // Split beats unified at low load: pooling claim fires.
+        let errs = check_claims(&sc, &report([200.0, 550.0], [180.0, 450.0]));
+        assert!(errs.iter().any(|e| e.contains("light tail")), "{errs:?}");
+        // No high-load gap: crossover claim fires.
+        let errs = check_claims(&sc, &report([200.0, 460.0], [210.0, 450.0]));
+        assert!(errs.iter().any(|e| e.contains("crossover")), "{errs:?}");
+        // A renamed series is loud, not silently skipped.
+        let mut r = report([200.0, 550.0], [210.0, 450.0]);
+        r.series[1].label = "renamed".into();
+        let errs = check_claims(&sc, &r);
+        assert!(errs.iter().any(|e| e.contains("missing")), "{errs:?}");
     }
 
     #[test]

@@ -50,9 +50,11 @@ use zygos_sysim::SeriesKind;
 use zygos_sysim::fleet::AdmissionTopology;
 use zygos_sysim::RoutePolicy;
 
+use zygos_sysim::{CoreLayout, QueueDiscipline, StageSpec};
+
 use crate::spec::{
-    Case, Claims, FleetGapClaim, FleetSpec, HostSpec, Scenario, SearchSpec, SpecError, TailSpec,
-    TelemetrySpec,
+    Case, Claims, FleetGapClaim, FleetSpec, HostSpec, Scenario, SearchSpec, SpecError,
+    StagedCrossoverClaim, TailSpec, TelemetrySpec,
 };
 use crate::toml::{self, Table, Value};
 
@@ -69,7 +71,7 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
         }
     }
     for array in doc.arrays.keys() {
-        if array != "case" {
+        if !matches!(array.as_str(), "case" | "stages") {
             return Err(SpecError::new(format!("unknown array [[{array}]]")));
         }
     }
@@ -155,6 +157,35 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
     };
     for (i, t) in cases.iter().enumerate() {
         b = b.case(parse_case(t, i)?);
+    }
+
+    if let Some(stages) = doc.arrays.get("stages") {
+        let mut out = Vec::new();
+        for (i, t) in stages.iter().enumerate() {
+            let ctx = format!("[[stages]] #{}", i + 1);
+            check_keys(
+                &ctx,
+                t,
+                &["name", "batch_fixed_ns", "fixed_ns", "discipline"],
+            )?;
+            let mut spec = StageSpec {
+                name: req_str(t, "name", &ctx)?,
+                batch_fixed_ns: 0,
+                fixed_ns: 0,
+                discipline: QueueDiscipline::default(),
+            };
+            if let Some(v) = opt_num(t, "batch_fixed_ns", &ctx)? {
+                spec.batch_fixed_ns = as_count(v, "batch_fixed_ns")? as u64;
+            }
+            if let Some(v) = opt_num(t, "fixed_ns", &ctx)? {
+                spec.fixed_ns = as_count(v, "fixed_ns")? as u64;
+            }
+            if let Some(v) = t.get("discipline") {
+                spec.discipline = parse_discipline(&str_of(v, "discipline")?, &ctx)?;
+            }
+            out.push(spec);
+        }
+        b = b.stages(out);
     }
 
     if let Some(f) = doc.tables.get("fleet") {
@@ -292,6 +323,11 @@ fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
             "fleet_admission",
             "degraded",
             "loss",
+            "layout",
+            "net_cores",
+            "poll_cores",
+            "stack_cores",
+            "discipline",
         ],
     )?;
     let label = req_str(t, "label", &ctx)?;
@@ -455,6 +491,68 @@ fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
         case = case.loss(as_count(shard, "lost shard")?, at_us);
     }
 
+    // Staged-pipeline knobs: the layout plus the core counts that size
+    // it, and the whole-pipeline discipline override.
+    let net_cores = opt_num(t, "net_cores", &ctx)?;
+    let poll_cores = opt_num(t, "poll_cores", &ctx)?;
+    let stack_cores = opt_num(t, "stack_cores", &ctx)?;
+    let layout = t.get("layout").map(|v| str_of(v, "layout")).transpose()?;
+    match layout.as_deref() {
+        None => {
+            if net_cores.is_some() || poll_cores.is_some() || stack_cores.is_some() {
+                return Err(SpecError::new(format!(
+                    "{ctx}: net_cores/poll_cores/stack_cores size a layout; set `layout` first"
+                )));
+            }
+        }
+        Some("unified") => {
+            if net_cores.is_some() || poll_cores.is_some() || stack_cores.is_some() {
+                return Err(SpecError::new(format!(
+                    "{ctx}: the unified layout takes no core counts"
+                )));
+            }
+            case = case.layout(CoreLayout::Unified);
+        }
+        Some("split-net") => {
+            if poll_cores.is_some() || stack_cores.is_some() {
+                return Err(SpecError::new(format!(
+                    "{ctx}: poll_cores/stack_cores size the split-full layout"
+                )));
+            }
+            let n = net_cores.ok_or_else(|| {
+                SpecError::new(format!("{ctx}: layout \"split-net\" needs net_cores"))
+            })?;
+            case = case.layout(CoreLayout::SplitNet {
+                net_cores: as_count(n, "net_cores")?,
+            });
+        }
+        Some("split-full") => {
+            if net_cores.is_some() {
+                return Err(SpecError::new(format!(
+                    "{ctx}: net_cores sizes the split-net layout"
+                )));
+            }
+            let p = poll_cores.ok_or_else(|| {
+                SpecError::new(format!("{ctx}: layout \"split-full\" needs poll_cores"))
+            })?;
+            let s = stack_cores.ok_or_else(|| {
+                SpecError::new(format!("{ctx}: layout \"split-full\" needs stack_cores"))
+            })?;
+            case = case.layout(CoreLayout::SplitFull {
+                poll_cores: as_count(p, "poll_cores")?,
+                stack_cores: as_count(s, "stack_cores")?,
+            });
+        }
+        Some(other) => {
+            return Err(SpecError::new(format!(
+                "{ctx}: unknown layout {other:?} (unified, split-net, split-full)"
+            )))
+        }
+    }
+    if let Some(v) = t.get("discipline") {
+        case = case.discipline(parse_discipline(&str_of(v, "discipline")?, &ctx)?);
+    }
+
     // SLO classes: either a full list or a uniform single-bound shortcut.
     if t.get("slo_classes").is_some() && t.get("slo_bound_us").is_some() {
         return Err(SpecError::new(format!(
@@ -491,6 +589,14 @@ fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
         case = case.slo(TenantSlos::new(classes));
     }
     Ok(case)
+}
+
+fn parse_discipline(name: &str, ctx: &str) -> Result<QueueDiscipline, SpecError> {
+    QueueDiscipline::parse(name).ok_or_else(|| {
+        SpecError::new(format!(
+            "{ctx}: unknown discipline {name:?} (cfcfs, dfcfs, dfcfs-steal)"
+        ))
+    })
 }
 
 /// `[telemetry]`: `trace` (default true — writing the block means you
@@ -623,6 +729,7 @@ fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
             "loose_floor_max_shed_rate",
             "elastic_parks_below_load",
             "fleet_tail_gap",
+            "staged_crossover",
         ],
     )?;
     let mut claims = Claims::default();
@@ -670,6 +777,31 @@ fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
             recovered: label(2, "recovered")?,
             min_ratio: num(3, "min_ratio")?,
             min_recovery: num(4, "min_recovery")?,
+        });
+    }
+    if let Some(v) = c.get("staged_crossover") {
+        let items = v.as_arr().filter(|a| a.len() == 4).ok_or_else(|| {
+            SpecError::new(
+                "[claims] staged_crossover must be \
+                 [unified, split, low_ratio, high_ratio]",
+            )
+        })?;
+        let label = |i: usize, what: &str| {
+            items[i]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| SpecError::new(format!("staged_crossover {what} must be a label")))
+        };
+        let num = |i: usize, what: &str| {
+            items[i]
+                .as_num()
+                .ok_or_else(|| SpecError::new(format!("staged_crossover {what} must be a number")))
+        };
+        claims.staged_crossover = Some(StagedCrossoverClaim {
+            unified: label(0, "unified")?,
+            split: label(1, "split")?,
+            low_ratio: num(2, "low_ratio")?,
+            high_ratio: num(3, "high_ratio")?,
         });
     }
     Ok(claims)
@@ -841,6 +973,80 @@ clone_budget = 500_000
         assert!(e.to_string().contains("bound_us"), "{e}");
         let e = scenario_from_toml(&text.replace("load = 0.6", "")).expect_err("reject");
         assert!(e.to_string().contains("load"), "{e}");
+    }
+
+    #[test]
+    fn staged_blocks_parse() {
+        let text = r#"
+name = "staged"
+[workload]
+service = "two-point"
+fast_us = 2.0
+slow_us = 200.0
+p_fast = 0.95
+cores = 16
+conns = 256
+loads = [0.5, 0.8]
+[[stages]]
+name = "net_poll"
+batch_fixed_ns = 500
+fixed_ns = 120
+discipline = "dfcfs"
+[[stages]]
+name = "net_stack"
+fixed_ns = 450
+discipline = "dfcfs"
+[[stages]]
+name = "app"
+fixed_ns = 830
+[[case]]
+label = "unified"
+host = "sim:staged"
+layout = "unified"
+discipline = "cfcfs"
+[[case]]
+label = "split"
+host = "sim:staged"
+layout = "split-net"
+net_cores = 1
+[claims]
+staged_crossover = ["unified", "split", 1.0, 1.1]
+"#;
+        let s = scenario_from_toml(text).expect("valid");
+        let stages = s.stages.as_ref().expect("parsed");
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0].name, "net_poll");
+        assert_eq!(stages[0].batch_fixed_ns, 500);
+        assert_eq!(stages[1].discipline, QueueDiscipline::Dfcfs);
+        assert_eq!(stages[2].discipline, QueueDiscipline::DfcfsSteal);
+        let unified = s.case("unified").expect("present");
+        assert_eq!(unified.policy.layout, Some(CoreLayout::Unified));
+        assert_eq!(unified.policy.discipline, Some(QueueDiscipline::Cfcfs));
+        let split = s.case("split").expect("present");
+        assert_eq!(
+            split.policy.layout,
+            Some(CoreLayout::SplitNet { net_cores: 1 })
+        );
+        let claim = s.claims.staged_crossover.as_ref().expect("armed");
+        assert_eq!(claim.unified, "unified");
+        assert_eq!(claim.high_ratio, 1.1);
+        // Contradictions stay loud: core counts without a layout, counts
+        // of the wrong layout, unknown discipline names.
+        let e = scenario_from_toml(
+            &text.replace("layout = \"split-net\"\nnet_cores = 1", "net_cores = 1"),
+        )
+        .expect_err("counts without layout");
+        assert!(e.to_string().contains("set `layout` first"), "{e}");
+        let e = scenario_from_toml(&text.replace(
+            "layout = \"split-net\"\nnet_cores = 1",
+            "layout = \"split-net\"\npoll_cores = 1",
+        ))
+        .expect_err("wrong counts");
+        assert!(e.to_string().contains("split-full"), "{e}");
+        let e =
+            scenario_from_toml(&text.replace("discipline = \"cfcfs\"", "discipline = \"lifo\""))
+                .expect_err("unknown discipline");
+        assert!(e.to_string().contains("lifo"), "{e}");
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use runner::{
     runtime_config_for, sys_config_for, xy,
 };
 pub use spec::{
-    AdmissionSpec, Case, Claims, FleetGapClaim, FleetSpec, HostSpec, LiveHost, PolicySpec,
-    ScaleSpec, Scenario, ScenarioBuilder, SearchSpec, SimHost, SpecError, TailSpec, TelemetrySpec,
-    WorkloadSpec,
+    staged_plan, AdmissionSpec, Case, Claims, FleetGapClaim, FleetSpec, HostSpec, LiveHost,
+    PolicySpec, ScaleSpec, Scenario, ScenarioBuilder, SearchSpec, SimHost, SpecError,
+    StagedCrossoverClaim, TailSpec, TelemetrySpec, WorkloadSpec,
 };

@@ -59,6 +59,10 @@ pub struct PointMetrics {
     pub p99_steal_us: f64,
     /// p99 decomposition: background-queue wait after preemptions.
     pub p99_preempt_us: f64,
+    /// Staged hosts only: p99 queue wait ahead of each pipeline stage,
+    /// µs, pipeline order (empty on every other host). This is the
+    /// per-stage tail decomposition the layout crossover is read from.
+    pub stage_p99_wait_us: Vec<f64>,
     /// Control-tick time-series harvested at this point (empty when the
     /// scenario requests none): admitted rate, credit capacity, active
     /// cores, per-class shed rate — one entry per registered series.
@@ -162,8 +166,9 @@ pub struct Report {
 
 /// Current schema version. v2 added the p99 sojourn decomposition and
 /// per-point telemetry time-series; v3 added per-series `search` and
-/// `tail` results.
-pub const SCHEMA_VERSION: u32 = 3;
+/// `tail` results; v4 added per-point `stage_p99_wait_us` (staged
+/// hosts).
+pub const SCHEMA_VERSION: u32 = 4;
 
 impl Report {
     /// The series with `label`, if any.
@@ -212,9 +217,10 @@ impl Report {
                 let _ = write!(
                     out,
                     "\"shed_share_by_class\": {}, \"shed_rate_by_class\": {}, \
-                     \"timeseries\": {}",
+                     \"stage_p99_wait_us\": {}, \"timeseries\": {}",
                     num_array(&p.shed_share_by_class),
                     num_array(&p.shed_rate_by_class),
+                    num_array(&p.stage_p99_wait_us),
                     series_array(&p.timeseries)
                 );
                 out.push('}');
@@ -294,6 +300,7 @@ impl Report {
                     p99_service_us: f("p99_service_us")?,
                     p99_steal_us: f("p99_steal_us")?,
                     p99_preempt_us: f("p99_preempt_us")?,
+                    stage_p99_wait_us: arr("stage_p99_wait_us")?,
                     timeseries,
                 });
             }
@@ -721,6 +728,7 @@ mod tests {
                         p99_service_us: 24.25,
                         p99_steal_us: 1.0,
                         p99_preempt_us: 0.25,
+                        stage_p99_wait_us: vec![12.5, 0.0, 87.25],
                         timeseries: vec![TraceSeries {
                             name: "admitted_rate".to_string(),
                             points: vec![(25.0, 1.4), (50.0, 1.38)],

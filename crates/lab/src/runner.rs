@@ -541,8 +541,16 @@ fn lower_sim(sc: &Scenario, case: &Case, host: SimHost, load: f64, smoke: bool) 
         SimHost::Ix => SystemKind::Ix,
         SimHost::LinuxPartitioned => SystemKind::LinuxPartitioned,
         SimHost::LinuxFloating => SystemKind::LinuxFloating,
+        SimHost::Staged => SystemKind::Staged,
     };
     let mut cfg = SysConfig::paper(system, sc.workload.service.clone(), load);
+    if host == SimHost::Staged {
+        // Build validation pairs every staged case with a [[stages]]
+        // block, so the plan is always present here.
+        if let Some(stages) = &sc.stages {
+            cfg.staged = Some(crate::spec::staged_plan(stages, p));
+        }
+    }
     cfg.cores = sc.workload.cores;
     cfg.conns = sc.workload.conns;
     cfg.arrivals = sc.workload.arrivals.clone();
@@ -737,6 +745,7 @@ fn sim_metrics(load: f64, out: SysOutput, case: &Case) -> PointMetrics {
         p99_service_us,
         p99_steal_us,
         p99_preempt_us,
+        stage_p99_wait_us: out.stage_p99_wait_us.clone(),
         timeseries,
     }
 }
@@ -821,11 +830,13 @@ fn fleet_metrics(load: f64, out: FleetOutput, case: &Case) -> PointMetrics {
             }
         }),
         // Fleet worlds never trace, so the p99 decomposition stays zero —
-        // same as an untraced sim case.
+        // same as an untraced sim case. Staged hosts cannot shard, so
+        // the per-stage waits stay empty too.
         p99_queue_us: 0.0,
         p99_service_us: 0.0,
         p99_steal_us: 0.0,
         p99_preempt_us: 0.0,
+        stage_p99_wait_us: Vec::new(),
         timeseries,
     }
 }

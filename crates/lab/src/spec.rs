@@ -28,7 +28,10 @@ use zygos_sim::dist::ServiceDist;
 use zygos_sim::queueing::Policy;
 use zygos_sysim::config::AllocKind;
 use zygos_sysim::fleet::AdmissionTopology;
-use zygos_sysim::{AdmissionMode, RoutePolicy, SeriesKind, TelemetryConfig};
+use zygos_sysim::{
+    AdmissionMode, CoreLayout, QueueDiscipline, RoutePolicy, SeriesKind, StageSpec, StagedConfig,
+    TelemetryConfig,
+};
 
 /// Which simulator system model a [`HostSpec::Sim`] case runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +49,10 @@ pub enum SimHost {
     LinuxPartitioned,
     /// Linux, one floating epoll set.
     LinuxFloating,
+    /// Staged multi-phase pipeline (`net_poll → … → app`) with a core
+    /// layout; the pipeline comes from the scenario's `[[stages]]` block,
+    /// the layout and discipline from the [`PolicySpec`].
+    Staged,
 }
 
 /// Which live-runtime scheduler a [`HostSpec::Live`] case runs.
@@ -90,6 +97,7 @@ impl HostSpec {
                 SimHost::Ix => "ix",
                 SimHost::LinuxPartitioned => "linux-partitioned",
                 SimHost::LinuxFloating => "linux-floating",
+                SimHost::Staged => "staged",
             }
         }
         match self {
@@ -125,6 +133,7 @@ impl HostSpec {
             "sim:ix" => HostSpec::Sim(SimHost::Ix),
             "sim:linux-partitioned" => HostSpec::Sim(SimHost::LinuxPartitioned),
             "sim:linux-floating" => HostSpec::Sim(SimHost::LinuxFloating),
+            "sim:staged" => HostSpec::Sim(SimHost::Staged),
             "live:zygos" => HostSpec::Live(LiveHost::Zygos),
             "live:partitioned" => HostSpec::Live(LiveHost::Partitioned),
             "live:floating" => HostSpec::Live(LiveHost::Floating),
@@ -231,6 +240,30 @@ pub struct PolicySpec {
     /// Shard loss as `(shard, at_us)` (fleet hosts only; needs Poisson
     /// arrivals and >= 2 shards).
     pub loss: Option<(usize, f64)>,
+    /// Core layout of a staged pipeline (`sim:staged` only; default
+    /// unified).
+    pub layout: Option<CoreLayout>,
+    /// Queue-discipline override applied to every stage of a staged
+    /// pipeline (`sim:staged` only; default: each stage keeps the
+    /// discipline its `[[stages]]` entry declares).
+    pub discipline: Option<QueueDiscipline>,
+}
+
+/// Assembles the pipeline a `sim:staged` case runs: the scenario's shared
+/// `[[stages]]` table with the case's layout and discipline overrides
+/// applied. Lowering and validation both go through here, so a scenario
+/// that builds is exactly a scenario whose every staged case runs.
+pub fn staged_plan(stages: &[StageSpec], policy: &PolicySpec) -> StagedConfig {
+    let mut stages = stages.to_vec();
+    if let Some(d) = policy.discipline {
+        for s in &mut stages {
+            s.discipline = d;
+        }
+    }
+    StagedConfig {
+        stages,
+        layout: policy.layout.unwrap_or_default(),
+    }
 }
 
 /// One case: a label, a host, and the policy it runs.
@@ -305,6 +338,18 @@ impl Case {
     /// Loses a shard mid-run: `(shard, at_us)`.
     pub fn loss(mut self, shard: usize, at_us: f64) -> Case {
         self.policy.loss = Some((shard, at_us));
+        self
+    }
+
+    /// Selects the staged pipeline's core layout (`sim:staged` only).
+    pub fn layout(mut self, l: CoreLayout) -> Case {
+        self.policy.layout = Some(l);
+        self
+    }
+
+    /// Overrides every stage's queue discipline (`sim:staged` only).
+    pub fn discipline(mut self, d: QueueDiscipline) -> Case {
+        self.policy.discipline = Some(d);
         self
     }
 
@@ -611,6 +656,25 @@ pub struct FleetGapClaim {
     pub min_recovery: f64,
 }
 
+/// The `staged_crossover` claim: at the lowest grid load, pooling every
+/// core must pay — the unified case's p99 must win or tie
+/// (`split >= low_ratio × unified`); at the highest grid load, batch
+/// commitment must cost the unified case its tail
+/// (`unified >= high_ratio × split`).
+#[derive(Clone, Debug)]
+pub struct StagedCrossoverClaim {
+    /// Label of the unified-layout case.
+    pub unified: String,
+    /// Label of the split-layout case.
+    pub split: String,
+    /// At the lowest load: split p99 must be at least this multiple of
+    /// unified p99.
+    pub low_ratio: f64,
+    /// At the highest load: unified p99 must be at least this multiple of
+    /// split p99.
+    pub high_ratio: f64,
+}
+
 /// Acceptance claims `lab --check` enforces over a scenario's report.
 /// All off by default; [`ScenarioBuilder::build`] rejects claims that no
 /// case can back.
@@ -641,6 +705,9 @@ pub struct Claims {
     /// Degraded-shard tail claim over a fleet label triple (see
     /// [`FleetGapClaim`]).
     pub fleet_tail_gap: Option<FleetGapClaim>,
+    /// Layout-crossover claim over a staged label pair (see
+    /// [`StagedCrossoverClaim`]).
+    pub staged_crossover: Option<StagedCrossoverClaim>,
 }
 
 impl Default for Claims {
@@ -654,6 +721,7 @@ impl Default for Claims {
             loose_floor_max_shed_rate: None,
             elastic_parks_below_load: None,
             fleet_tail_gap: None,
+            staged_crossover: None,
         }
     }
 }
@@ -669,6 +737,7 @@ impl Claims {
             && self.loose_floor_max_shed_rate.is_none()
             && self.elastic_parks_below_load.is_none()
             && self.fleet_tail_gap.is_none()
+            && self.staged_crossover.is_none()
     }
 }
 
@@ -688,6 +757,10 @@ pub struct Scenario {
     /// Fleet topology shared by the scenario's `fleet:*` cases (required
     /// exactly when such a case exists).
     pub fleet: Option<FleetSpec>,
+    /// The pipeline shared by the scenario's `sim:staged` cases (required
+    /// exactly when such a case exists); cases reshape it via their
+    /// layout/discipline knobs, see [`staged_plan`].
+    pub stages: Option<Vec<StageSpec>>,
     /// Telemetry recorded by simulator cases (`None` records nothing).
     pub telemetry: Option<TelemetrySpec>,
     /// Max-load@SLO search over every deterministic case.
@@ -715,6 +788,7 @@ impl Scenario {
             cases: Vec::new(),
             scale: ScaleSpec::default(),
             fleet: None,
+            stages: None,
             telemetry: None,
             search: None,
             tail: None,
@@ -777,6 +851,7 @@ pub struct ScenarioBuilder {
     cases: Vec<Case>,
     scale: ScaleSpec,
     fleet: Option<FleetSpec>,
+    stages: Option<Vec<StageSpec>>,
     telemetry: Option<TelemetrySpec>,
     search: Option<SearchSpec>,
     tail: Option<TailSpec>,
@@ -850,6 +925,12 @@ impl ScenarioBuilder {
     /// Sets the fleet topology for `fleet:*` cases.
     pub fn fleet(mut self, f: FleetSpec) -> Self {
         self.fleet = Some(f);
+        self
+    }
+
+    /// Sets the pipeline for `sim:staged` cases.
+    pub fn stages(mut self, s: Vec<StageSpec>) -> Self {
+        self.stages = Some(s);
         self
     }
 
@@ -997,6 +1078,27 @@ impl ScenarioBuilder {
                 }
             }
         }
+        let staged_cases: Vec<&Case> = self
+            .cases
+            .iter()
+            .filter(|c| c.host == HostSpec::Sim(SimHost::Staged))
+            .collect();
+        match (&self.stages, staged_cases.is_empty()) {
+            (None, false) => {
+                return err("sim:staged cases need a [[stages]] block naming the pipeline".into())
+            }
+            (Some(_), true) => {
+                return err("a [[stages]] block with no sim:staged case to run it".into());
+            }
+            _ => {}
+        }
+        if let Some(stages) = &self.stages {
+            for case in &staged_cases {
+                if let Err(msg) = staged_plan(stages, &case.policy).validate(self.cores) {
+                    return err(format!("case {:?}: {msg}", case.label));
+                }
+            }
+        }
         if self
             .cases
             .iter()
@@ -1113,6 +1215,7 @@ impl ScenarioBuilder {
             cases: self.cases,
             scale: self.scale,
             fleet: self.fleet,
+            stages: self.stages,
             telemetry: self.telemetry,
             search: self.search,
             tail: self.tail,
@@ -1213,7 +1316,19 @@ fn validate_case(case: &Case, cores: usize) -> Result<(), SpecError> {
         HostSpec::Fleet(_) => {
             // Every fleet base is a ZygOS-family simulator world, so the
             // sim-family knobs (admission, SLO classes, quantum_us) all
-            // lower onto each shard unchanged.
+            // lower onto each shard unchanged. Parsing already rejects
+            // non-family shard ids; this catches programmatic builds.
+            if matches!(
+                case.host,
+                HostSpec::Fleet(
+                    SimHost::Staged
+                        | SimHost::Ix
+                        | SimHost::LinuxPartitioned
+                        | SimHost::LinuxFloating
+                )
+            ) {
+                return fail("fleet shards must be ZygOS-family worlds".into());
+            }
             if p.quantum_events.is_some() {
                 return fail(
                     "quantum_events is the live cooperative quantum; \
@@ -1297,6 +1412,12 @@ fn validate_case(case: &Case, cores: usize) -> Result<(), SpecError> {
                 }
             }
         }
+    }
+    // Layout and discipline shape a staged pipeline; every other host
+    // would silently ignore them.
+    if case.host != HostSpec::Sim(SimHost::Staged) && (p.layout.is_some() || p.discipline.is_some())
+    {
+        return fail("layout/discipline shape a staged pipeline; they need sim:staged".into());
     }
     // Fleet knobs parameterize the balancer and the shard topology;
     // on a single-world host they would silently do nothing.
@@ -1431,6 +1552,47 @@ fn validate_claims(
             return fail("fleet_tail_gap min_recovery must be in (0, 1]");
         }
     }
+    if let Some(g) = &claims.staged_crossover {
+        if g.unified == g.split {
+            return fail("staged_crossover needs two distinct case labels");
+        }
+        for label in [&g.unified, &g.split] {
+            match cases.iter().find(|c| &c.label == label) {
+                None => {
+                    return Err(SpecError::new(format!(
+                        "claims: staged_crossover names unknown case {label:?}"
+                    )))
+                }
+                Some(c) if c.host != HostSpec::Sim(SimHost::Staged) => {
+                    return Err(SpecError::new(format!(
+                        "claims: staged_crossover case {label:?} is not a sim:staged host"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        if !(g.low_ratio.is_finite() && g.low_ratio > 0.0) {
+            return fail("staged_crossover low_ratio must be positive");
+        }
+        if !(g.high_ratio.is_finite() && g.high_ratio >= 1.0) {
+            return fail("staged_crossover high_ratio must be >= 1");
+        }
+        // A crossover needs two distinct loads to cross between — in
+        // every grid the check will actually see.
+        for grid in [Some(loads), scale.smoke_loads.as_deref()]
+            .into_iter()
+            .flatten()
+        {
+            let (min, max) = grid
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &l| {
+                    (lo.min(l), hi.max(l))
+                });
+            if min >= max {
+                return fail("staged_crossover needs a grid with two distinct loads");
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1459,6 +1621,7 @@ mod tests {
             HostSpec::Sim(SimHost::Zygos),
             HostSpec::Sim(SimHost::Elastic),
             HostSpec::Sim(SimHost::LinuxFloating),
+            HostSpec::Sim(SimHost::Staged),
             HostSpec::Live(LiveHost::Elastic),
             HostSpec::Live(LiveHost::Partitioned),
             HostSpec::Model(Policy::CentralFcfs),
@@ -1517,6 +1680,115 @@ mod tests {
             .case(Case::sim("x", SimHost::Ix))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn staged_specs_validate() {
+        let stages = || StagedConfig::zygos_equivalent().stages;
+        // A staged case with no [[stages]] block to lower.
+        let e = base()
+            .case(Case::sim("s", SimHost::Staged))
+            .build()
+            .expect_err("no stages");
+        assert!(e.to_string().contains("[[stages]]"), "{e}");
+        // A [[stages]] block with no staged case to run it.
+        let e = base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .stages(stages())
+            .build()
+            .expect_err("no staged case");
+        assert!(e.to_string().contains("no sim:staged case"), "{e}");
+        // Staged knobs on hosts that would silently drop them.
+        let e = base()
+            .case(Case::sim("z", SimHost::Zygos).layout(CoreLayout::Unified))
+            .build()
+            .expect_err("layout on zygos");
+        assert!(e.to_string().contains("sim:staged"), "{e}");
+        assert!(base()
+            .case(Case::sim("ix", SimHost::Ix).discipline(QueueDiscipline::Cfcfs))
+            .build()
+            .is_err());
+        // A layout the pipeline cannot satisfy (split of a 1-stage plan).
+        let e = base()
+            .case(Case::sim("s", SimHost::Staged).layout(CoreLayout::SplitNet { net_cores: 2 }))
+            .stages(stages())
+            .build()
+            .expect_err("split of single stage");
+        assert!(e.to_string().contains("case \"s\""), "{e}");
+        // Fleet shards cannot be staged worlds.
+        assert!(base()
+            .case(Case::fleet("f", SimHost::Staged))
+            .fleet(FleetSpec { shards: 2 })
+            .build()
+            .is_err());
+        // A valid staged pair builds, and overrides flow into the plan.
+        let sc = base()
+            .case(Case::sim("unified", SimHost::Staged).discipline(QueueDiscipline::Cfcfs))
+            .case(Case::sim("split", SimHost::Staged).layout(CoreLayout::SplitNet { net_cores: 1 }))
+            .stages(StagedConfig::paper_pipeline(&zygos_net::cost::CostModel::zygos()).stages)
+            .build()
+            .expect("valid");
+        let plan = staged_plan(
+            sc.stages.as_ref().expect("kept"),
+            &sc.case("unified").expect("exists").policy,
+        );
+        assert!(plan
+            .stages
+            .iter()
+            .all(|s| s.discipline == QueueDiscipline::Cfcfs));
+        assert_eq!(plan.layout, CoreLayout::Unified);
+    }
+
+    #[test]
+    fn staged_crossover_claim_needs_staged_pair() {
+        let stages = StagedConfig::zygos_equivalent().stages;
+        let claim = |unified: &str, split: &str| Claims {
+            staged_crossover: Some(StagedCrossoverClaim {
+                unified: unified.into(),
+                split: split.into(),
+                low_ratio: 1.0,
+                high_ratio: 1.1,
+            }),
+            ..Claims::default()
+        };
+        let two_loads = || {
+            Scenario::builder("t")
+                .service(ServiceDist::exponential_us(10.0))
+                .loads(vec![0.3, 0.8])
+        };
+        // Names must exist and be staged hosts.
+        let e = two_loads()
+            .case(Case::sim("u", SimHost::Staged))
+            .stages(stages.clone())
+            .claims(claim("u", "missing"))
+            .build()
+            .expect_err("unknown label");
+        assert!(e.to_string().contains("unknown case"), "{e}");
+        let e = two_loads()
+            .case(Case::sim("u", SimHost::Staged))
+            .case(Case::sim("z", SimHost::Zygos))
+            .stages(stages.clone())
+            .claims(claim("u", "z"))
+            .build()
+            .expect_err("non-staged label");
+        assert!(e.to_string().contains("not a sim:staged"), "{e}");
+        // A single-load grid has nothing to cross between.
+        let e = base()
+            .case(Case::sim("u", SimHost::Staged))
+            .case(Case::sim("s", SimHost::Staged))
+            .stages(stages.clone())
+            .claims(claim("u", "s"))
+            .build()
+            .expect_err("one load");
+        assert!(e.to_string().contains("two distinct loads"), "{e}");
+        // The valid shape builds.
+        assert!(two_loads()
+            .case(Case::sim("u", SimHost::Staged))
+            .case(Case::sim("s", SimHost::Staged))
+            .stages(stages)
+            .claims(claim("u", "s"))
+            .build()
+            .is_ok());
     }
 
     #[test]

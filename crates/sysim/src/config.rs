@@ -8,6 +8,8 @@ use zygos_sim::dist::ServiceDist;
 use zygos_sim::stats::LatencyHistogram;
 use zygos_telemetry::{TelemetryConfig, TelemetryOut};
 
+use crate::staged::StagedConfig;
+
 /// Which system model to simulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SystemKind {
@@ -31,6 +33,12 @@ pub enum SystemKind {
     LinuxPartitioned,
     /// Linux, one shared (floating) epoll set behind a lock.
     LinuxFloating,
+    /// The staged service plane: a request as an explicit multi-phase
+    /// pipeline (`net_poll → net_stack → app`) with per-stage queues and
+    /// a core layout, described by [`SysConfig::staged`]. The degenerate
+    /// single-stage pipeline runs as plain [`SystemKind::Zygos`],
+    /// bit-for-bit (see `crate::staged`).
+    Staged,
 }
 
 impl SystemKind {
@@ -43,6 +51,7 @@ impl SystemKind {
             SystemKind::Ix => "IX",
             SystemKind::LinuxPartitioned => "Linux (partitioned connections)",
             SystemKind::LinuxFloating => "Linux (floating connections)",
+            SystemKind::Staged => "Staged pipeline",
         }
     }
 }
@@ -170,6 +179,12 @@ pub struct SysConfig {
     /// and, with [`SysConfig::admission`], the per-class credit targets
     /// and weighted-fair shed order.
     pub slo: Option<TenantSlos>,
+    /// Staged-pipeline description (stage table + core layout); consulted
+    /// only by [`SystemKind::Staged`]. `None` on a staged run falls back
+    /// to [`StagedConfig::paper_pipeline`]; every other system kind
+    /// ignores it (and keeps it `None`, which is what the degenerate
+    /// staged host's bit-identity to plain ZygOS rides on).
+    pub staged: Option<StagedConfig>,
     /// Telemetry plane: lifecycle tracing and control-tick time-series
     /// (see `zygos_telemetry::TelemetryConfig`). `None` — the default —
     /// compiles the whole plane down to one untaken branch per lifecycle
@@ -184,18 +199,27 @@ impl SysConfig {
     /// testbed, with defaults suitable for figure regeneration.
     pub fn paper(system: SystemKind, service: ServiceDist, load: f64) -> Self {
         let cost = match system {
-            SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. } => {
-                CostModel::zygos()
-            }
+            SystemKind::Zygos
+            | SystemKind::ZygosNoInterrupts
+            | SystemKind::Elastic { .. }
+            | SystemKind::Staged => CostModel::zygos(),
             SystemKind::Ix => CostModel::ix(),
             SystemKind::LinuxPartitioned | SystemKind::LinuxFloating => CostModel::linux(),
         };
         let rx_batch = match system {
             // IX is evaluated with batching disabled unless stated (§3.3).
             SystemKind::Ix => 1,
-            // ZygOS batches adaptively on the RX path only (§6.2).
-            SystemKind::Zygos | SystemKind::ZygosNoInterrupts | SystemKind::Elastic { .. } => 64,
+            // ZygOS batches adaptively on the RX path only (§6.2); the
+            // staged plane batches at the pipeline head the same way.
+            SystemKind::Zygos
+            | SystemKind::ZygosNoInterrupts
+            | SystemKind::Elastic { .. }
+            | SystemKind::Staged => 64,
             _ => 1,
+        };
+        let staged = match system {
+            SystemKind::Staged => Some(StagedConfig::paper_pipeline(&cost)),
+            _ => None,
         };
         SysConfig {
             system,
@@ -216,6 +240,7 @@ impl SysConfig {
             admission: None,
             admission_mode: AdmissionMode::default(),
             slo: None,
+            staged,
             telemetry: None,
         }
     }
@@ -285,6 +310,17 @@ pub struct SysOutput {
     /// `admitted_c / (admitted_c + rejected_c)` is the class's admit
     /// rate — what the per-class occupancy rule guarantees a floor for.
     pub admitted_by_class: Vec<u64>,
+    /// Items that finished each pipeline stage's processing, in stage
+    /// order — the staged plane's conservation ledger (non-increasing
+    /// along the pipeline; the final entry equals
+    /// [`SysOutput::completed_total`]). Empty on every non-staged run and
+    /// on the degenerate staged run delegated to the ZygOS model.
+    pub stage_counts: Vec<u64>,
+    /// p99 queue wait (µs) ahead of each pipeline stage over the
+    /// measurement window — the staged plane's tail-decomposition
+    /// buckets. `0` for stages that run back-to-back inside a segment
+    /// (they have no queue); empty on non-staged runs.
+    pub stage_p99_wait_us: Vec<f64>,
     /// Telemetry harvest: the merged lifecycle event stream and the
     /// control-tick time-series. `None` unless [`SysConfig::telemetry`]
     /// armed the plane (the IX/Linux models do not trace yet and always

@@ -8,7 +8,7 @@ use zygos_sim::queueing::{self, Policy, QueueConfig};
 
 use crate::config::{SysConfig, SysOutput, SystemKind};
 use crate::zygos::WarmState;
-use crate::{ix, linux, zygos};
+use crate::{ix, linux, staged, zygos};
 
 /// Divisor on the cold warmup for a warm-started point: a spliced run
 /// starts from a converged neighbor, so it only needs to re-equilibrate
@@ -45,6 +45,7 @@ pub fn run_system(cfg: &SysConfig) -> SysOutput {
         }
         SystemKind::Ix => ix::run(cfg),
         SystemKind::LinuxPartitioned | SystemKind::LinuxFloating => linux::run(cfg),
+        SystemKind::Staged => staged::run(cfg),
     }
 }
 

@@ -401,6 +401,8 @@ fn idle_output(base: &SysConfig) -> SysOutput {
         rtt_us: base.cost.network_rtt_ns as f64 / 1_000.0,
         rejected_by_class: vec![0; classes],
         admitted_by_class: vec![0; classes],
+        stage_counts: Vec::new(),
+        stage_p99_wait_us: Vec::new(),
         telemetry: None,
     }
 }

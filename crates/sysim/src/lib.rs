@@ -24,6 +24,11 @@
 //!   queue ordered FCFS-with-aging or SRPT
 //!   ([`SysConfig::background_order`]). `fig12_elastic` sweeps both
 //!   against the static systems.
+//! * [`config::SystemKind::Staged`] — the staged service plane: a request
+//!   as an explicit `net_poll → net_stack → app` pipeline with per-stage
+//!   queues and disciplines (cFCFS / dFCFS / dFCFS+steal) and a
+//!   [`staged::CoreLayout`] assigning core roles (unified run-to-completion
+//!   vs dedicated net/app core splits); see [`staged`].
 //!
 //! Every model routes its queue-pick decisions through the shared
 //! `zygos_sched::DispatchPolicy` ladder (the same objects the live
@@ -66,6 +71,7 @@ pub mod driver;
 pub mod fleet;
 mod ix;
 mod linux;
+pub mod staged;
 pub mod tail;
 mod zygos;
 
@@ -78,6 +84,7 @@ pub use driver::{
 pub use fleet::{
     run_fleet, run_fleet_threads, AdmissionTopology, FleetConfig, FleetOutput, FLEET_SEED_STRIDE,
 };
+pub use staged::{CoreLayout, QueueDiscipline, StageSpec, StagedConfig};
 pub use tail::{run_restart, TailConfig, TailOutput};
 pub use zygos::WarmState;
 pub use zygos_load::route::RoutePolicy;

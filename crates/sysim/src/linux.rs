@@ -201,6 +201,8 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         rtt_us: cfg.cost.network_rtt_ns as f64 / 1_000.0,
         rejected_by_class: vec![0],
         admitted_by_class: vec![0],
+        stage_counts: Vec::new(),
+        stage_p99_wait_us: Vec::new(),
     }
 }
 

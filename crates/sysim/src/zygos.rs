@@ -1729,6 +1729,8 @@ impl ZygosModel {
             rtt_us: self.cfg.cost.network_rtt_ns as f64 / 1_000.0,
             rejected_by_class: self.rejected_by_class,
             admitted_by_class: self.admitted_by_class,
+            stage_counts: Vec::new(),
+            stage_p99_wait_us: Vec::new(),
         }
     }
 }

@@ -1,0 +1,80 @@
+//! Property tests of the staged service plane: per-stage completion
+//! conservation across arbitrary layouts, disciplines, loads and seeds.
+//! A request completes stage *k* before it can enter stage *k+1*, so
+//! the per-stage completion counts must be non-increasing along the
+//! pipeline, and the final (app) count is exactly the number of
+//! requests the run completed end to end. These pin the invariant the
+//! scenario-level crossover experiments rely on, over parameter
+//! combinations the committed scenarios never enumerate.
+
+use proptest::prelude::*;
+
+use zygos::sim::dist::ServiceDist;
+use zygos::sysim::{run_system, CoreLayout, QueueDiscipline, StagedConfig, SysConfig, SystemKind};
+
+/// A small staged world: 4 cores, tiny windows, fast to run under the
+/// generated case count.
+fn staged_base(load: f64, seed: u64, plan: StagedConfig) -> SysConfig {
+    let mut cfg = SysConfig::paper(SystemKind::Staged, ServiceDist::exponential_us(10.0), load);
+    cfg.cores = 4;
+    cfg.conns = 48;
+    cfg.requests = 800;
+    cfg.warmup = 150;
+    cfg.seed = seed;
+    cfg.staged = Some(plan);
+    cfg
+}
+
+const LAYOUTS: [CoreLayout; 3] = [
+    CoreLayout::Unified,
+    CoreLayout::SplitNet { net_cores: 1 },
+    CoreLayout::SplitFull {
+        poll_cores: 1,
+        stack_cores: 1,
+    },
+];
+
+const DISCIPLINES: [QueueDiscipline; 3] = [
+    QueueDiscipline::Cfcfs,
+    QueueDiscipline::Dfcfs,
+    QueueDiscipline::DfcfsSteal,
+];
+
+proptest! {
+    /// Pipeline conservation: stage completion counts never increase
+    /// along the pipeline, the app stage's count equals the end-to-end
+    /// completion count, and the per-stage wait telemetry is present
+    /// and finite — for every layout × discipline × load × seed.
+    #[test]
+    fn stages_conserve_completions(
+        layout_ix in 0usize..3,
+        discipline_ix in 0usize..3,
+        load in 0.3f64..1.1,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut plan = StagedConfig::paper_pipeline(&zygos::net::cost::CostModel::zygos());
+        plan.layout = LAYOUTS[layout_ix];
+        for s in &mut plan.stages {
+            s.discipline = DISCIPLINES[discipline_ix];
+        }
+        let cfg = staged_base(load, seed, plan.clone());
+        prop_assert!(plan.validate(cfg.cores).is_ok());
+        let out = run_system(&cfg);
+        prop_assert!(out.completed > 0, "the staged host completed nothing");
+        prop_assert_eq!(out.stage_counts.len(), plan.stages.len());
+        for w in out.stage_counts.windows(2) {
+            prop_assert!(w[0] >= w[1],
+                "a later stage completed more than an earlier one: {:?}", out.stage_counts);
+        }
+        prop_assert_eq!(
+            *out.stage_counts.last().expect("non-empty pipeline"),
+            out.completed_total,
+            "app-stage completions must equal end-to-end completions"
+        );
+        prop_assert_eq!(out.stage_p99_wait_us.len(), plan.stages.len());
+        for (i, w) in out.stage_p99_wait_us.iter().enumerate() {
+            prop_assert!(w.is_finite() && *w >= 0.0,
+                "stage {i} p99 wait {w} is not a finite non-negative time");
+        }
+    }
+}
