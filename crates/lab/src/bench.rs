@@ -75,8 +75,9 @@ pub const PAR_PAIR: (&str, &str) = ("lab-sweep-seq", "lab-sweep-par");
 pub const PAR_MIN_RATIO: f64 = 0.8;
 
 /// Baseline schema version. v2 added the [`WARM_PAIR`] twin sweeps; v3
-/// added the `engine-staged-split` workload.
-pub const BENCH_SCHEMA: u32 = 3;
+/// added the `engine-staged-split` workload; v4 added
+/// `engine-retry-storm`.
+pub const BENCH_SCHEMA: u32 = 4;
 
 /// One timed workload.
 #[derive(Clone, Debug, PartialEq)]
@@ -169,6 +170,21 @@ fn engine_workloads(smoke: bool) -> Vec<(&'static str, SysConfig)> {
     );
     (cfg.requests, cfg.warmup) = scale(100_000, 10_000, smoke);
     out.push(("engine-linux-floating", cfg));
+
+    // The closed-loop retry plane's hot path: credit admission under
+    // overload with every rejection feeding the jittered-backoff retry
+    // queue — the adversarial-workload machinery (retry scheduling,
+    // give-up accounting, wheel traffic from retry timers) on top of
+    // the AIMD loop engine-credits-1.3 already times.
+    let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 1.3);
+    (cfg.requests, cfg.warmup) = scale(120_000, 12_000, smoke);
+    cfg.admission = Some(zygos_sched::CreditConfig::for_cores(cfg.cores, 70.0));
+    cfg.retry = Some(zygos_load::retry::RetryPolicy::Backoff {
+        base_us: 50,
+        factor: 2.0,
+        max_attempts: 4,
+    });
+    out.push(("engine-retry-storm", cfg));
 
     out
 }
@@ -619,10 +635,14 @@ mod tests {
     #[test]
     fn smoke_bench_produces_all_entries() {
         let r = run_bench(true);
-        assert_eq!(r.entries.len(), 12);
+        assert_eq!(r.entries.len(), 13);
         assert!(
             r.entries.iter().any(|e| e.name == "engine-staged-split"),
             "the staged engine workload is part of the canonical set"
+        );
+        assert!(
+            r.entries.iter().any(|e| e.name == "engine-retry-storm"),
+            "the closed-loop retry workload is part of the canonical set"
         );
         for e in &r.entries {
             assert!(

@@ -472,6 +472,21 @@ fn print_report(sc: &Scenario, report: &Report) {
                     report.scenario, s.label, c, p.load, share
                 );
             }
+            // Retry-plane rows only when the client plane actually
+            // re-issued or abandoned (open-loop points stay 7 rows).
+            if p.retry_rate > 0.0 || p.give_up_rate > 0.0 {
+                let retry: [(&str, f64); 3] = [
+                    ("retry_rate", p.retry_rate),
+                    ("give_up_rate", p.give_up_rate),
+                    ("goodput", p.goodput),
+                ];
+                for (name, v) in retry {
+                    println!(
+                        "{}\t{}\t{}\t{:.4}\t{:.3}",
+                        report.scenario, s.label, name, p.load, v
+                    );
+                }
+            }
             // Staged hosts: the per-stage queueing decomposition, named
             // by the pipeline's own stage names.
             for (i, wait) in p.stage_p99_wait_us.iter().enumerate() {

@@ -254,6 +254,198 @@ pub fn check_claims(sc: &Scenario, report: &Report) -> Vec<String> {
                 .push("staged_crossover names a case that is missing from the report".to_string()),
         }
     }
+    if let Some(g) = &claims.retry_storm {
+        let find = |label: &str| report.series.iter().find(|s| s.label == label);
+        match (find(&g.backoff), find(&g.drop), find(&g.naive)) {
+            (Some(b), Some(d), Some(n)) => {
+                for ((bp, dp), np) in overload(b, claims.overload_from)
+                    .iter()
+                    .zip(overload(d, claims.overload_from))
+                    .zip(overload(n, claims.overload_from))
+                {
+                    claim(
+                        &mut errs,
+                        bp.p99_us <= g.bound_us,
+                        format!(
+                            "[{}] load {:.2}: backoff-retry p99 {:.0}us exceeds the {:.0}us \
+                             storm bound",
+                            b.label, bp.load, bp.p99_us, g.bound_us
+                        ),
+                    );
+                    claim(
+                        &mut errs,
+                        bp.goodput >= g.min_goodput_ratio * dp.goodput,
+                        format!(
+                            "[{}] load {:.2}: backoff goodput {:.3} fell under {:.0}% of the \
+                             drop baseline's {:.3}",
+                            b.label,
+                            bp.load,
+                            bp.goodput,
+                            g.min_goodput_ratio * 100.0,
+                            dp.goodput
+                        ),
+                    );
+                    claim(
+                        &mut errs,
+                        np.p99_us > g.bound_us,
+                        format!(
+                            "[{}] load {:.2}: naive-retry p99 {:.0}us should diverge past \
+                             {:.0}us — storm too weak?",
+                            n.label, np.load, np.p99_us, g.bound_us
+                        ),
+                    );
+                    claim(
+                        &mut errs,
+                        np.retry_rate > bp.retry_rate,
+                        format!(
+                            "[{}] load {:.2}: naive retry rate {:.2} should exceed backoff's \
+                             {:.2} — the storm is what backoff is supposed to damp",
+                            n.label, np.load, np.retry_rate, bp.retry_rate
+                        ),
+                    );
+                }
+            }
+            _ => errs.push("retry_storm names a case that is missing from the report".to_string()),
+        }
+    }
+    if let Some(g) = &claims.metastable_recovery {
+        let find = |label: &str| report.series.iter().find(|s| s.label == label);
+        let burst = sc.faults.as_ref().and_then(|f| f.burst);
+        match (find(&g.gated), find(&g.ungated), burst) {
+            (Some(gs), Some(us), Some((at_us, duration_us, _))) => {
+                let end_us = at_us + duration_us;
+                for (gp, up) in gs.points.iter().zip(&us.points) {
+                    // The recovery deadline is `windows` series intervals
+                    // past burst end, with the interval read off the
+                    // harvested series itself.
+                    let Some(wp) = series_of(gp, "window_p99_us") else {
+                        errs.push(format!(
+                            "[{}] load {:.2}: metastable_recovery needs a non-empty \
+                             window_p99_us series",
+                            gs.label, gp.load
+                        ));
+                        continue;
+                    };
+                    let Some(dt) = series_dt(wp) else {
+                        errs.push(format!(
+                            "[{}] load {:.2}: window_p99_us has too few points to define \
+                             a recovery window",
+                            gs.label, gp.load
+                        ));
+                        continue;
+                    };
+                    let deadline_us = end_us + g.windows as f64 * dt;
+                    let tol = sc.check_tolerance;
+                    match (
+                        mean_where(wp, |t| t < at_us),
+                        mean_where(wp, |t| t >= deadline_us),
+                    ) {
+                        (Some(pre), Some(post)) => claim(
+                            &mut errs,
+                            post <= (1.0 + tol) * pre,
+                            format!(
+                                "[{}] load {:.2}: gated window p99 {post:.1}us after the \
+                                 recovery deadline never returned to the pre-burst \
+                                 {pre:.1}us — admission did not break the metastable state",
+                                gs.label, gp.load
+                            ),
+                        ),
+                        _ => errs.push(format!(
+                            "[{}] load {:.2}: window_p99_us has no pre-burst or \
+                             post-deadline samples (burst at {at_us:.0}us, deadline \
+                             {deadline_us:.0}us)",
+                            gs.label, gp.load
+                        )),
+                    }
+                    match series_of(gp, "credit_capacity").map(|cs| {
+                        (
+                            mean_where(cs, |t| t < at_us),
+                            mean_where(cs, |t| t >= deadline_us),
+                        )
+                    }) {
+                        Some((Some(pre), Some(post))) => claim(
+                            &mut errs,
+                            post >= (1.0 - tol) * pre,
+                            format!(
+                                "[{}] load {:.2}: credit capacity {post:.1} after the \
+                                 recovery deadline never re-opened to the pre-burst \
+                                 {pre:.1} — AIMD stayed clamped",
+                                gs.label, gp.load
+                            ),
+                        ),
+                        _ => errs.push(format!(
+                            "[{}] load {:.2}: metastable_recovery needs a credit_capacity \
+                             series spanning the burst",
+                            gs.label, gp.load
+                        )),
+                    }
+                    // The ungated twin must stay degraded: the closed
+                    // retry loop sustains the overload the burst started.
+                    match series_of(up, "window_p99_us").map(|uw| {
+                        (
+                            mean_where(uw, |t| t < at_us),
+                            mean_where(uw, |t| t >= deadline_us),
+                        )
+                    }) {
+                        Some((Some(pre), Some(post))) => claim(
+                            &mut errs,
+                            post >= 2.0 * pre,
+                            format!(
+                                "[{}] load {:.2}: ungated window p99 {post:.1}us settled back \
+                                 near the pre-burst {pre:.1}us — the metastable state did \
+                                 not persist (burst too weak or retries too gentle?)",
+                                us.label, up.load
+                            ),
+                        ),
+                        _ => errs.push(format!(
+                            "[{}] load {:.2}: metastable_recovery needs the ungated twin's \
+                             window_p99_us series spanning the burst",
+                            us.label, up.load
+                        )),
+                    }
+                }
+            }
+            (_, _, None) => errs
+                .push("metastable_recovery needs the [faults] burst in the scenario".to_string()),
+            _ => errs.push(
+                "metastable_recovery names a case that is missing from the report".to_string(),
+            ),
+        }
+    }
+    if let Some(g) = &claims.scatter_gather {
+        let find = |label: &str| report.series.iter().find(|s| s.label == label);
+        match (find(&g.base), find(&g.fanned), find(&g.recovered)) {
+            (Some(b), Some(f), Some(r)) => {
+                for ((bp, fp), rp) in b.points.iter().zip(&f.points).zip(&r.points) {
+                    claim(
+                        &mut errs,
+                        fp.p99_us >= g.min_amplification * bp.p99_us,
+                        format!(
+                            "[{}] load {:.2}: fanned p99 {:.1}us is under {}x the fan-out-1 \
+                             p99 {:.1}us — no tail-at-scale amplification",
+                            f.label, fp.load, fp.p99_us, g.min_amplification, bp.p99_us
+                        ),
+                    );
+                    let gap = fp.p99_us - bp.p99_us;
+                    claim(
+                        &mut errs,
+                        fp.p99_us - rp.p99_us >= g.min_recovery * gap,
+                        format!(
+                            "[{}] load {:.2}: recovered only {:.1}us of the {gap:.1}us \
+                             fan-out p99 gap (claimed at least {:.0}%)",
+                            r.label,
+                            rp.load,
+                            fp.p99_us - rp.p99_us,
+                            g.min_recovery * 100.0
+                        ),
+                    );
+                }
+            }
+            _ => {
+                errs.push("scatter_gather names a case that is missing from the report".to_string())
+            }
+        }
+    }
     errs
 }
 
@@ -382,6 +574,8 @@ pub fn check_baseline(sc: &Scenario, fresh: &Report, baseline: &Report) -> Vec<S
             field("mrps", bp.mrps, fp.mrps, 0.01);
             field("shed_fraction", bp.shed_fraction, fp.shed_fraction, 0.1);
             field("avg_cores", bp.avg_cores, fp.avg_cores, 2.0);
+            field("goodput", bp.goodput, fp.goodput, 0.1);
+            field("retry_rate", bp.retry_rate, fp.retry_rate, 0.1);
             if (bp.wasted_wire_us > 0.0) != (fp.wasted_wire_us > 0.0) {
                 errs.push(format!(
                     "[{label}] load {:.2}: wasted_wire_us changed sign class \
@@ -455,6 +649,41 @@ fn idx_max(xs: &[f64]) -> usize {
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
+}
+
+/// The named time-series of a point, if present and non-empty.
+fn series_of<'a>(p: &'a PointMetrics, name: &str) -> Option<&'a [(f64, f64)]> {
+    p.timeseries
+        .iter()
+        .find(|ts| ts.name == name && !ts.points.is_empty())
+        .map(|ts| ts.points.as_slice())
+}
+
+/// Median spacing between consecutive series samples, µs. Median rather
+/// than mean: the window-p99 harvest skips empty windows, so gaps can be
+/// multiples of the tick interval.
+fn series_dt(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut gaps: Vec<f64> = points.windows(2).map(|w| w[1].0 - w[0].0).collect();
+    gaps.sort_by(f64::total_cmp);
+    Some(gaps[gaps.len() / 2])
+}
+
+/// Mean of series values at times satisfying `pred` (`None` if no sample
+/// does).
+fn mean_where(points: &[(f64, f64)], pred: impl Fn(f64) -> bool) -> Option<f64> {
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|(t, _)| pred(*t))
+        .map(|&(_, v)| v)
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
 }
 
 #[cfg(test)]

@@ -52,9 +52,12 @@ use zygos_sysim::RoutePolicy;
 
 use zygos_sysim::{CoreLayout, QueueDiscipline, StageSpec};
 
+use zygos_load::retry::RetryPolicy;
+
 use crate::spec::{
-    Case, Claims, FleetGapClaim, FleetSpec, HostSpec, Scenario, SearchSpec, SpecError,
-    StagedCrossoverClaim, TailSpec, TelemetrySpec,
+    Case, Claims, FaultsSpec, FleetGapClaim, FleetSpec, HostSpec, MetastableRecoveryClaim,
+    RetryStormClaim, ScatterGatherClaim, Scenario, SearchSpec, SpecError, StagedCrossoverClaim,
+    TailSpec, TelemetrySpec,
 };
 use crate::toml::{self, Table, Value};
 
@@ -65,7 +68,15 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
     for table in doc.tables.keys() {
         if !matches!(
             table.as_str(),
-            "workload" | "scale" | "fleet" | "telemetry" | "search" | "tail" | "claims" | "check"
+            "workload"
+                | "scale"
+                | "fleet"
+                | "faults"
+                | "telemetry"
+                | "search"
+                | "tail"
+                | "claims"
+                | "check"
         ) {
             return Err(SpecError::new(format!("unknown table [{table}]")));
         }
@@ -196,6 +207,9 @@ pub fn scenario_from_toml(text: &str) -> Result<Scenario, SpecError> {
             shards: as_count(shards, "shards")?,
         });
     }
+    if let Some(t) = doc.tables.get("faults") {
+        b = b.faults(parse_faults(t)?);
+    }
     if let Some(t) = doc.tables.get("telemetry") {
         b = b.telemetry(parse_telemetry(t)?);
     }
@@ -323,6 +337,10 @@ fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
             "fleet_admission",
             "degraded",
             "loss",
+            "fanout",
+            "retry",
+            "retry_jitter",
+            "retry_timeout_us",
             "layout",
             "net_cores",
             "poll_cores",
@@ -489,6 +507,24 @@ fn parse_case(t: &Table, index: usize) -> Result<Case, SpecError> {
             .as_num()
             .ok_or_else(|| SpecError::new(format!("{ctx}: loss time must be a number")))?;
         case = case.loss(as_count(shard, "lost shard")?, at_us);
+    }
+    if let Some(v) = opt_num(t, "fanout", &ctx)? {
+        case = case.fanout(as_count(v, "fanout")?);
+    }
+
+    // Retry-plane knobs: the closed feedback loop, its jitter, and the
+    // client timeout that feeds it.
+    if let Some(v) = t.get("retry") {
+        case = case.retry(parse_retry(v, &ctx)?);
+    }
+    if let Some(v) = t.get("retry_jitter") {
+        let on = v
+            .as_bool()
+            .ok_or_else(|| SpecError::new(format!("{ctx}: retry_jitter must be true/false")))?;
+        case = case.retry_jitter(on);
+    }
+    if let Some(v) = opt_num(t, "retry_timeout_us", &ctx)? {
+        case = case.retry_timeout_us(v);
     }
 
     // Staged-pipeline knobs: the layout plus the core counts that size
@@ -730,6 +766,9 @@ fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
             "elastic_parks_below_load",
             "fleet_tail_gap",
             "staged_crossover",
+            "retry_storm",
+            "metastable_recovery",
+            "scatter_gather",
         ],
     )?;
     let mut claims = Claims::default();
@@ -804,7 +843,159 @@ fn parse_claims(c: &Table) -> Result<Claims, SpecError> {
             high_ratio: num(3, "high_ratio")?,
         });
     }
+    if let Some(v) = c.get("retry_storm") {
+        let items = v.as_arr().filter(|a| a.len() == 5).ok_or_else(|| {
+            SpecError::new(
+                "[claims] retry_storm must be \
+                 [backoff, drop, naive, bound_us, min_goodput_ratio]",
+            )
+        })?;
+        let label = |i: usize, what: &str| {
+            items[i]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| SpecError::new(format!("retry_storm {what} must be a label")))
+        };
+        let num = |i: usize, what: &str| {
+            items[i]
+                .as_num()
+                .ok_or_else(|| SpecError::new(format!("retry_storm {what} must be a number")))
+        };
+        claims.retry_storm = Some(RetryStormClaim {
+            backoff: label(0, "backoff")?,
+            drop: label(1, "drop")?,
+            naive: label(2, "naive")?,
+            bound_us: num(3, "bound_us")?,
+            min_goodput_ratio: num(4, "min_goodput_ratio")?,
+        });
+    }
+    if let Some(v) = c.get("metastable_recovery") {
+        let items = v.as_arr().filter(|a| a.len() == 3).ok_or_else(|| {
+            SpecError::new("[claims] metastable_recovery must be [gated, ungated, windows]")
+        })?;
+        let label = |i: usize, what: &str| {
+            items[i].as_str().map(str::to_string).ok_or_else(|| {
+                SpecError::new(format!("metastable_recovery {what} must be a label"))
+            })
+        };
+        let windows = items[2]
+            .as_num()
+            .ok_or_else(|| SpecError::new("metastable_recovery windows must be a number"))?;
+        claims.metastable_recovery = Some(MetastableRecoveryClaim {
+            gated: label(0, "gated")?,
+            ungated: label(1, "ungated")?,
+            windows: as_count(windows, "metastable_recovery windows")?,
+        });
+    }
+    if let Some(v) = c.get("scatter_gather") {
+        let items = v.as_arr().filter(|a| a.len() == 5).ok_or_else(|| {
+            SpecError::new(
+                "[claims] scatter_gather must be \
+                 [base, fanned, recovered, min_amplification, min_recovery]",
+            )
+        })?;
+        let label = |i: usize, what: &str| {
+            items[i]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| SpecError::new(format!("scatter_gather {what} must be a label")))
+        };
+        let num = |i: usize, what: &str| {
+            items[i]
+                .as_num()
+                .ok_or_else(|| SpecError::new(format!("scatter_gather {what} must be a number")))
+        };
+        claims.scatter_gather = Some(ScatterGatherClaim {
+            base: label(0, "base")?,
+            fanned: label(1, "fanned")?,
+            recovered: label(2, "recovered")?,
+            min_amplification: num(3, "min_amplification")?,
+            min_recovery: num(4, "min_recovery")?,
+        });
+    }
     Ok(claims)
+}
+
+/// `[faults]`: scenario-wide adversarial injections — `burst`
+/// `[at_us, duration_us, factor]`, `churn` `[interval_us, spike_us,
+/// factor]`, `slow_clients` `[fraction, stall_us]`, `slowdown`
+/// `[shard, factor]`.
+fn parse_faults(t: &Table) -> Result<FaultsSpec, SpecError> {
+    check_keys(
+        "[faults]",
+        t,
+        &["burst", "churn", "slow_clients", "slowdown"],
+    )?;
+    let nums = |v: &Value, n: usize, what: &str, shape: &str| -> Result<Vec<f64>, SpecError> {
+        let items = v
+            .as_arr()
+            .filter(|a| a.len() == n)
+            .ok_or_else(|| SpecError::new(format!("[faults] {what} must be {shape}")))?;
+        items
+            .iter()
+            .map(|x| {
+                x.as_num()
+                    .ok_or_else(|| SpecError::new(format!("[faults] {what} must hold numbers")))
+            })
+            .collect()
+    };
+    let mut spec = FaultsSpec::default();
+    if let Some(v) = t.get("burst") {
+        let p = nums(v, 3, "burst", "[at_us, duration_us, factor]")?;
+        spec.burst = Some((p[0], p[1], p[2]));
+    }
+    if let Some(v) = t.get("churn") {
+        let p = nums(v, 3, "churn", "[interval_us, spike_us, factor]")?;
+        spec.churn = Some((p[0], p[1], p[2]));
+    }
+    if let Some(v) = t.get("slow_clients") {
+        let p = nums(v, 2, "slow_clients", "[fraction, stall_us]")?;
+        spec.slow_clients = Some((p[0], p[1]));
+    }
+    if let Some(v) = t.get("slowdown") {
+        let p = nums(v, 2, "slowdown", "[shard, factor]")?;
+        spec.slowdown = Some((as_count(p[0], "slowdown shard")?, p[1]));
+    }
+    Ok(spec)
+}
+
+/// `retry = "drop"`, `["backoff", base_us, factor, max_attempts]`, or
+/// `["hedge", deadline_us]`.
+fn parse_retry(v: &Value, ctx: &str) -> Result<RetryPolicy, SpecError> {
+    let shapes = "\"drop\", [\"backoff\", base_us, factor, max_attempts], \
+                  or [\"hedge\", deadline_us]";
+    if let Some(s) = v.as_str() {
+        return match s {
+            "drop" => Ok(RetryPolicy::Drop),
+            other => Err(SpecError::new(format!(
+                "{ctx}: unknown retry {other:?} ({shapes})"
+            ))),
+        };
+    }
+    let items = v
+        .as_arr()
+        .ok_or_else(|| SpecError::new(format!("{ctx}: retry must be {shapes}")))?;
+    let kind = items
+        .first()
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| SpecError::new(format!("{ctx}: retry must be {shapes}")))?;
+    let num = |i: usize, what: &str| -> Result<f64, SpecError> {
+        items
+            .get(i)
+            .and_then(|x| x.as_num())
+            .ok_or_else(|| SpecError::new(format!("{ctx}: retry {what} must be a number")))
+    };
+    match kind {
+        "backoff" if items.len() == 4 => Ok(RetryPolicy::Backoff {
+            base_us: as_count(num(1, "base_us")?, "retry base_us")? as u64,
+            factor: num(2, "factor")?,
+            max_attempts: as_count(num(3, "max_attempts")?, "retry max_attempts")? as u32,
+        }),
+        "hedge" if items.len() == 2 => Ok(RetryPolicy::HedgeToDeadline {
+            deadline_us: as_count(num(1, "deadline_us")?, "retry deadline_us")? as u64,
+        }),
+        _ => Err(SpecError::new(format!("{ctx}: retry must be {shapes}"))),
+    }
 }
 
 // --- small typed readers -------------------------------------------------
@@ -1047,6 +1238,125 @@ staged_crossover = ["unified", "split", 1.0, 1.1]
             scenario_from_toml(&text.replace("discipline = \"cfcfs\"", "discipline = \"lifo\""))
                 .expect_err("unknown discipline");
         assert!(e.to_string().contains("lifo"), "{e}");
+    }
+
+    #[test]
+    fn faults_retry_and_adversarial_claims_parse() {
+        let text = r#"
+name = "storm"
+[workload]
+service = "exponential"
+mean_us = 10.0
+cores = 4
+conns = 64
+loads = [0.5, 1.4]
+[faults]
+burst = [2000.0, 1000.0, 1.5]
+slow_clients = [0.1, 200.0]
+[telemetry]
+series = ["window_p99_us", "credit_capacity"]
+[[case]]
+label = "backoff"
+host = "sim:zygos"
+admission = true
+credit_target_us = 70.0
+retry = ["backoff", 20, 2.0, 4]
+retry_jitter = false
+[[case]]
+label = "drop"
+host = "sim:zygos"
+admission = true
+credit_target_us = 70.0
+retry = "drop"
+[[case]]
+label = "naive"
+host = "sim:zygos"
+retry = ["backoff", 1, 1.0, 8]
+retry_timeout_us = 400.0
+[claims]
+retry_storm = ["backoff", "drop", "naive", 400.0, 0.8]
+metastable_recovery = ["backoff", "naive", 4]
+"#;
+        let s = scenario_from_toml(text).expect("valid");
+        let faults = s.faults.as_ref().expect("armed");
+        assert_eq!(faults.burst, Some((2_000.0, 1_000.0, 1.5)));
+        assert_eq!(faults.slow_clients, Some((0.1, 200.0)));
+        let backoff = s.case("backoff").expect("present");
+        assert_eq!(
+            backoff.policy.retry,
+            Some(RetryPolicy::Backoff {
+                base_us: 20,
+                factor: 2.0,
+                max_attempts: 4
+            })
+        );
+        assert_eq!(backoff.policy.retry_jitter, Some(false));
+        assert_eq!(
+            s.case("drop").unwrap().policy.retry,
+            Some(RetryPolicy::Drop)
+        );
+        assert_eq!(
+            s.case("naive").unwrap().policy.retry_timeout_us,
+            Some(400.0)
+        );
+        let storm = s.claims.retry_storm.as_ref().expect("armed");
+        assert_eq!(storm.naive, "naive");
+        assert_eq!(storm.bound_us, 400.0);
+        assert_eq!(storm.min_goodput_ratio, 0.8);
+        let meta = s.claims.metastable_recovery.as_ref().expect("armed");
+        assert_eq!(meta.gated, "backoff");
+        assert_eq!(meta.windows, 4);
+        // Unknown policy spellings and malformed shapes stay loud.
+        let e = scenario_from_toml(&text.replace("\"drop\"", "\"shrug\"")).expect_err("reject");
+        assert!(e.to_string().contains("shrug"), "{e}");
+        let e = scenario_from_toml(&text.replace("[\"backoff\", 20, 2.0, 4]", "[\"backoff\", 20]"))
+            .expect_err("reject");
+        assert!(e.to_string().contains("backoff"), "{e}");
+        let e =
+            scenario_from_toml(&text.replace("burst = [2000.0, 1000.0, 1.5]", "burst = [2000.0]"))
+                .expect_err("reject");
+        assert!(e.to_string().contains("burst"), "{e}");
+    }
+
+    #[test]
+    fn fanout_and_scatter_gather_parse() {
+        let text = r#"
+name = "sg"
+[workload]
+service = "exponential"
+mean_us = 10.0
+cores = 4
+conns = 64
+loads = [0.5]
+[fleet]
+shards = 8
+[[case]]
+label = "m1"
+host = "fleet:zygos"
+routing = "least-loaded"
+[[case]]
+label = "m4"
+host = "fleet:zygos"
+routing = "least-loaded"
+fanout = 4
+[[case]]
+label = "m4r"
+host = "fleet:zygos"
+routing = "po2c"
+fanout = 4
+[claims]
+scatter_gather = ["m1", "m4", "m4r", 1.2, 0.3]
+"#;
+        let s = scenario_from_toml(text).expect("valid");
+        assert_eq!(s.case("m1").unwrap().policy.fanout, None);
+        assert_eq!(s.case("m4").unwrap().policy.fanout, Some(4));
+        let sg = s.claims.scatter_gather.as_ref().expect("armed");
+        assert_eq!(sg.recovered, "m4r");
+        assert_eq!(sg.min_amplification, 1.2);
+        assert_eq!(sg.min_recovery, 0.3);
+        let e = scenario_from_toml(&text.replace("fanout = 4\n[claims]", "fanout = 9\n[claims]"))
+            .expect_err("reject");
+        assert!(e.to_string().contains("exceeds"), "{e}");
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub struct PointMetrics {
     pub shed_fraction: f64,
     /// Wire time burned by shed requests, µs.
     pub wasted_wire_us: f64,
+    /// Retry re-issues per generated request (0 without a retry policy;
+    /// hosts that do not model the retry loop report 0).
+    pub retry_rate: f64,
+    /// Permanent client abandons per generated request.
+    pub give_up_rate: f64,
+    /// Fraction of generated requests not abandoned (`1 − give_up_rate`
+    /// on hosts that model the retry loop; 0 on hosts that do not).
+    pub goodput: f64,
     /// Each class's share of all sheds (empty without tenant classes).
     pub shed_share_by_class: Vec<f64>,
     /// Each class's own shed rate (empty without tenant classes).
@@ -167,8 +175,9 @@ pub struct Report {
 /// Current schema version. v2 added the p99 sojourn decomposition and
 /// per-point telemetry time-series; v3 added per-series `search` and
 /// `tail` results; v4 added per-point `stage_p99_wait_us` (staged
-/// hosts).
-pub const SCHEMA_VERSION: u32 = 4;
+/// hosts); v5 added the retry plane (`retry_rate`, `give_up_rate`,
+/// `goodput`).
+pub const SCHEMA_VERSION: u32 = 5;
 
 impl Report {
     /// The series with `label`, if any.
@@ -206,6 +215,9 @@ impl Report {
                     ("core_seconds", p.core_seconds),
                     ("shed_fraction", p.shed_fraction),
                     ("wasted_wire_us", p.wasted_wire_us),
+                    ("retry_rate", p.retry_rate),
+                    ("give_up_rate", p.give_up_rate),
+                    ("goodput", p.goodput),
                     ("p99_queue_us", p.p99_queue_us),
                     ("p99_service_us", p.p99_service_us),
                     ("p99_steal_us", p.p99_steal_us),
@@ -294,6 +306,9 @@ impl Report {
                     core_seconds: f("core_seconds")?,
                     shed_fraction: f("shed_fraction")?,
                     wasted_wire_us: f("wasted_wire_us")?,
+                    retry_rate: f("retry_rate")?,
+                    give_up_rate: f("give_up_rate")?,
+                    goodput: f("goodput")?,
                     shed_share_by_class: arr("shed_share_by_class")?,
                     shed_rate_by_class: arr("shed_rate_by_class")?,
                     p99_queue_us: f("p99_queue_us")?,
@@ -722,6 +737,9 @@ mod tests {
                         p99_us: 87.0,
                         shed_fraction: 0.33,
                         wasted_wire_us: 19_000.0,
+                        retry_rate: 0.41,
+                        give_up_rate: 0.05,
+                        goodput: 0.95,
                         shed_share_by_class: vec![0.01, 0.99],
                         shed_rate_by_class: vec![0.02, 0.61],
                         p99_queue_us: 61.5,

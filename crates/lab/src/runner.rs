@@ -42,7 +42,11 @@ use zygos_telemetry::{decompose, decomposition_at_quantile};
 use crate::report::{
     PointMetrics, Report, SearchResult, Series, TailResult, TraceSeries, SCHEMA_VERSION,
 };
-use crate::spec::{AdmissionSpec, Case, HostSpec, LiveHost, Scenario, SimHost, SpecError};
+use zygos_load::source::{ArrivalSpec, Phase};
+
+use crate::spec::{
+    AdmissionSpec, Case, FaultsSpec, HostSpec, LiveHost, Scenario, SimHost, SpecError,
+};
 
 /// Hard per-point completion cap for live cases: wall-clock experiments
 /// exist to prove parity and mechanism, not to soak a CI runner.
@@ -584,7 +588,65 @@ fn lower_sim(sc: &Scenario, case: &Case, host: SimHost, load: f64, smoke: bool) 
         cfg.admission = Some(credit_config_for(a, sc.workload.cores));
         cfg.admission_mode = a.mode;
     }
+    cfg.retry = p.retry;
+    if let Some(j) = p.retry_jitter {
+        cfg.retry_jitter = j;
+    }
+    cfg.retry_timeout_us = p.retry_timeout_us;
+    if let Some(fl) = &sc.faults {
+        apply_faults(&mut cfg, fl);
+    }
     cfg
+}
+
+/// Lowers the scenario's `[faults]` block onto one sim world: burst and
+/// churn re-plan the arrival process as phased Poisson, slow clients
+/// inflate the service distribution mean-field. The shard `slowdown`
+/// lowers in [`fleet_config_for`] instead — it needs the fleet topology.
+fn apply_faults(cfg: &mut SysConfig, fl: &FaultsSpec) {
+    if let Some((at_us, duration_us, factor)) = fl.burst {
+        // Phased arrivals cycle, so the burst gets a tail phase sized to
+        // outlive any plausible run — the cycle must never wrap into a
+        // second burst. The base rate is NOT renormalized: `load` keeps
+        // its steady-state meaning and the burst is extra offered work.
+        let est_us = (cfg.warmup + cfg.requests) as f64 / cfg.lambda_per_us();
+        let horizon_us = 8.0 * est_us.max(1.0) + at_us + duration_us;
+        cfg.arrivals = ArrivalSpec::Phased(vec![
+            Phase {
+                duration_us: at_us,
+                rate_factor: 1.0,
+            },
+            Phase {
+                duration_us,
+                rate_factor: factor,
+            },
+            Phase {
+                duration_us: horizon_us,
+                rate_factor: 1.0,
+            },
+        ]);
+    }
+    if let Some((interval_us, spike_us, factor)) = fl.churn {
+        // Churn is the cyclic twin: a reconnect stampede every interval.
+        cfg.arrivals = ArrivalSpec::Phased(vec![
+            Phase {
+                duration_us: interval_us,
+                rate_factor: 1.0,
+            },
+            Phase {
+                duration_us: spike_us,
+                rate_factor: factor,
+            },
+        ]);
+    }
+    if let Some((fraction, stall_us)) = fl.slow_clients {
+        // Mean-field lowering: a `fraction` of responses stalling the
+        // drain path for `stall_us` inflates expected per-request service
+        // by `fraction × stall`; scaled() keeps the shape (cv²) so only
+        // the mean moves.
+        let mean = cfg.service.mean_us();
+        cfg.service = cfg.service.scaled((mean + fraction * stall_us) / mean);
+    }
 }
 
 /// Lowers a fleet case at one load to a `FleetConfig` — the single
@@ -644,6 +706,15 @@ pub fn fleet_config_for(
     fc.admission = topology;
     fc.degraded = p.degraded.clone().unwrap_or_default();
     fc.loss = p.loss;
+    fc.fanout = p.fanout.unwrap_or(1);
+    // The [faults] shard slowdown composes with the case's own degraded
+    // list: factors multiply on an already-degraded shard.
+    if let Some((shard, factor)) = sc.faults.as_ref().and_then(|fl| fl.slowdown) {
+        match fc.degraded.iter_mut().find(|d| d.0 == shard) {
+            Some(d) => d.1 *= factor,
+            None => fc.degraded.push((shard, factor)),
+        }
+    }
     Ok(fc)
 }
 
@@ -739,6 +810,9 @@ fn sim_metrics(load: f64, out: SysOutput, case: &Case) -> PointMetrics {
         core_seconds: out.core_seconds_used(),
         shed_fraction: out.shed_fraction(),
         wasted_wire_us: out.wasted_wire_us(),
+        retry_rate: out.retry_rate(),
+        give_up_rate: out.give_up_rate(),
+        goodput: out.goodput_fraction(),
         shed_share_by_class: per_class(&|c| out.shed_share_of_class(c)),
         shed_rate_by_class: per_class(&|c| out.shed_rate_of_class(c)),
         p99_queue_us,
@@ -791,11 +865,23 @@ fn fleet_metrics(load: f64, out: FleetOutput, case: &Case) -> PointMetrics {
                 .collect()
         })
         .unwrap_or_default();
+    let generated = out.generated();
+    let per_generated = |n: u64| {
+        if generated == 0 {
+            0.0
+        } else {
+            n as f64 / generated as f64
+        }
+    };
     PointMetrics {
         load,
-        mrps: sumf(&|s| s.throughput_mrps()),
+        // User-request throughput and tail: sub-request sums over the
+        // fan-out, and the max-of-M quantile transform. Both collapse to
+        // the plain merged reductions at fanout = 1 (exactly — ÷1.0 is
+        // an IEEE 754 identity), preserving the N=1 bit-identity.
+        mrps: out.throughput_mrps(),
         p50_us: out.latency.p50_us(),
-        p99_us: out.latency.p99_us(),
+        p99_us: out.p99_us(),
         p999_us: out.latency.quantile_us(0.999),
         steal_fraction: if local + stolen == 0 {
             0.0
@@ -814,6 +900,13 @@ fn fleet_metrics(load: f64, out: FleetOutput, case: &Case) -> PointMetrics {
             sum(&|s| s.rejected) as f64 / offered as f64
         },
         wasted_wire_us: sumf(&|s| s.wasted_wire_us()),
+        retry_rate: per_generated(out.retries()),
+        give_up_rate: per_generated(out.give_ups()),
+        goodput: if generated == 0 {
+            1.0
+        } else {
+            1.0 - out.give_ups() as f64 / generated as f64
+        },
         shed_share_by_class: per_class(&|c| {
             if rejected_total == 0 {
                 0.0

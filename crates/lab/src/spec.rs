@@ -21,6 +21,7 @@
 //! do not exist…) are rejected with a [`SpecError`] instead of being
 //! silently ignored by whichever host happens not to read the field.
 
+use zygos_load::retry::RetryPolicy;
 use zygos_load::slo::TenantSlos;
 use zygos_load::source::ArrivalSpec;
 use zygos_sched::{BackgroundOrder, CreditConfig};
@@ -240,6 +241,21 @@ pub struct PolicySpec {
     /// Shard loss as `(shard, at_us)` (fleet hosts only; needs Poisson
     /// arrivals and >= 2 shards).
     pub loss: Option<(usize, f64)>,
+    /// Closed-loop retry: sheds and timeouts re-enter the arrival stream
+    /// under this policy (ZygOS-family sim and fleet hosts only; `None`
+    /// keeps the open-loop client).
+    pub retry: Option<RetryPolicy>,
+    /// Deterministic per-connection equal jitter on backoff retry delays
+    /// (requires `retry`; default true).
+    pub retry_jitter: Option<bool>,
+    /// Client-side timeout feeding the retry policy, µs (requires
+    /// `retry`). Timed-out work is *not* recalled from the server — the
+    /// wasted service is what sustains a metastable failure.
+    pub retry_timeout_us: Option<f64>,
+    /// Scatter-gather fan-out: every user request fans to this many
+    /// distinct shards and completes at the slowest sub-request (fleet
+    /// hosts only; default 1; incompatible with shard loss).
+    pub fanout: Option<usize>,
     /// Core layout of a staged pipeline (`sim:staged` only; default
     /// unified).
     pub layout: Option<CoreLayout>,
@@ -338,6 +354,31 @@ impl Case {
     /// Loses a shard mid-run: `(shard, at_us)`.
     pub fn loss(mut self, shard: usize, at_us: f64) -> Case {
         self.policy.loss = Some((shard, at_us));
+        self
+    }
+
+    /// Arms the closed retry loop: sheds and timeouts re-enter the
+    /// arrival stream under `policy`.
+    pub fn retry(mut self, policy: RetryPolicy) -> Case {
+        self.policy.retry = Some(policy);
+        self
+    }
+
+    /// Toggles deterministic equal jitter on backoff retry delays.
+    pub fn retry_jitter(mut self, on: bool) -> Case {
+        self.policy.retry_jitter = Some(on);
+        self
+    }
+
+    /// Arms the client-side timeout that feeds the retry policy (µs).
+    pub fn retry_timeout_us(mut self, t: f64) -> Case {
+        self.policy.retry_timeout_us = Some(t);
+        self
+    }
+
+    /// Sets the scatter-gather fan-out of a fleet case.
+    pub fn fanout(mut self, m: usize) -> Case {
+        self.policy.fanout = Some(m);
         self
     }
 
@@ -636,6 +677,43 @@ pub struct FleetSpec {
     pub shards: usize,
 }
 
+/// A `[faults]` block: scenario-wide adversarial injections, lowered by
+/// the runner onto the arrival/service machinery every host already
+/// models (no fault-specific code paths in the hosts — see
+/// `docs/FAULTS.md`). All entries are optional but at least one must be
+/// armed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultsSpec {
+    /// Overload burst `(at_us, duration_us, factor)`: the arrival rate
+    /// multiplies by `factor` from `at_us` for `duration_us`, then
+    /// returns to the configured load — the metastable-failure probe.
+    /// Needs Poisson arrivals (lowered as phased Poisson).
+    pub burst: Option<(f64, f64, f64)>,
+    /// Connection churn `(interval_us, spike_us, factor)`: a cyclic
+    /// arrival spike of `spike_us` every `interval_us` — reconnect
+    /// stampedes. Mutually exclusive with `burst`; needs Poisson
+    /// arrivals.
+    pub churn: Option<(f64, f64, f64)>,
+    /// Slow-client drain stalls `(fraction, stall_us)`: a `fraction` of
+    /// responses stall in the client's drain path for `stall_us`,
+    /// modelled mean-field as a uniform service inflation of
+    /// `(mean + fraction × stall) / mean`.
+    pub slow_clients: Option<(f64, f64)>,
+    /// Transient shard slowdown `(shard, factor)`, applied to every
+    /// fleet case on top of its own `degraded` list.
+    pub slowdown: Option<(usize, f64)>,
+}
+
+impl FaultsSpec {
+    /// True when nothing is armed (a contradictory empty block).
+    pub fn is_empty(&self) -> bool {
+        self.burst.is_none()
+            && self.churn.is_none()
+            && self.slow_clients.is_none()
+            && self.slowdown.is_none()
+    }
+}
+
 /// The `fleet_tail_gap` claim: a degraded shard must drag the fleet p99
 /// under affinity routing, and load-aware routing must claw most of it
 /// back. Checked at every grid point by label triple.
@@ -675,6 +753,62 @@ pub struct StagedCrossoverClaim {
     pub high_ratio: f64,
 }
 
+/// The `retry_storm` claim: at overload points, backoff-with-jitter
+/// keeps the admitted tail bounded and its goodput within a claimed
+/// fraction of the drop baseline, while naive immediate retry feeds the
+/// storm and diverges past the same bound. Checked at every overload
+/// grid point by label triple.
+#[derive(Clone, Debug)]
+pub struct RetryStormClaim {
+    /// Label of the backoff-retry case (stays bounded).
+    pub backoff: String,
+    /// Label of the no-retry baseline case.
+    pub drop: String,
+    /// Label of the naive immediate-retry case (diverges).
+    pub naive: String,
+    /// The p99 bound the backoff case must stay at or below, µs.
+    pub bound_us: f64,
+    /// Backoff goodput must be at least this fraction of drop goodput.
+    pub min_goodput_ratio: f64,
+}
+
+/// The `metastable_recovery` claim: after the `[faults]` burst ends,
+/// the admission-gated case's windowed p99 and credit capacity must
+/// return to their pre-burst levels within `windows` series intervals,
+/// while the ungated twin's windowed p99 stays degraded for the rest of
+/// the run — the retry loop sustains the overload the trigger started.
+/// Read from the `window_p99_us` and `credit_capacity` series.
+#[derive(Clone, Debug)]
+pub struct MetastableRecoveryClaim {
+    /// Label of the admission-gated case (recovers).
+    pub gated: String,
+    /// Label of the ungated twin (stays metastable).
+    pub ungated: String,
+    /// Recovery deadline after burst end, in series intervals.
+    pub windows: usize,
+}
+
+/// The `scatter_gather` claim: fanning every request over M shards must
+/// amplify the user-level p99 (completion at the slowest replica), and
+/// load-aware routing with fleet-wide credits must claw a claimed
+/// fraction of that amplification back. Checked at every grid point by
+/// label triple.
+#[derive(Clone, Debug)]
+pub struct ScatterGatherClaim {
+    /// Label of the fan-out-1 reference case.
+    pub base: String,
+    /// Label of the fanned (fan-out > 1) case.
+    pub fanned: String,
+    /// Label of the fanned case under load-aware routing and fleet-wide
+    /// credits.
+    pub recovered: String,
+    /// The fanned p99 must be at least this multiple of the base p99.
+    pub min_amplification: f64,
+    /// The recovered case must close at least this fraction of the
+    /// fanned−base p99 gap.
+    pub min_recovery: f64,
+}
+
 /// Acceptance claims `lab --check` enforces over a scenario's report.
 /// All off by default; [`ScenarioBuilder::build`] rejects claims that no
 /// case can back.
@@ -708,6 +842,15 @@ pub struct Claims {
     /// Layout-crossover claim over a staged label pair (see
     /// [`StagedCrossoverClaim`]).
     pub staged_crossover: Option<StagedCrossoverClaim>,
+    /// Retry-storm containment claim over a label triple (see
+    /// [`RetryStormClaim`]).
+    pub retry_storm: Option<RetryStormClaim>,
+    /// Metastable-failure recovery claim over a gated/ungated pair (see
+    /// [`MetastableRecoveryClaim`]).
+    pub metastable_recovery: Option<MetastableRecoveryClaim>,
+    /// Scatter-gather tail-at-scale claim over a fleet label triple (see
+    /// [`ScatterGatherClaim`]).
+    pub scatter_gather: Option<ScatterGatherClaim>,
 }
 
 impl Default for Claims {
@@ -722,6 +865,9 @@ impl Default for Claims {
             elastic_parks_below_load: None,
             fleet_tail_gap: None,
             staged_crossover: None,
+            retry_storm: None,
+            metastable_recovery: None,
+            scatter_gather: None,
         }
     }
 }
@@ -738,6 +884,9 @@ impl Claims {
             && self.elastic_parks_below_load.is_none()
             && self.fleet_tail_gap.is_none()
             && self.staged_crossover.is_none()
+            && self.retry_storm.is_none()
+            && self.metastable_recovery.is_none()
+            && self.scatter_gather.is_none()
     }
 }
 
@@ -761,6 +910,9 @@ pub struct Scenario {
     /// exactly when such a case exists); cases reshape it via their
     /// layout/discipline knobs, see [`staged_plan`].
     pub stages: Option<Vec<StageSpec>>,
+    /// Adversarial fault injections shared by every case (`None` injects
+    /// nothing).
+    pub faults: Option<FaultsSpec>,
     /// Telemetry recorded by simulator cases (`None` records nothing).
     pub telemetry: Option<TelemetrySpec>,
     /// Max-load@SLO search over every deterministic case.
@@ -789,6 +941,7 @@ impl Scenario {
             scale: ScaleSpec::default(),
             fleet: None,
             stages: None,
+            faults: None,
             telemetry: None,
             search: None,
             tail: None,
@@ -852,6 +1005,7 @@ pub struct ScenarioBuilder {
     scale: ScaleSpec,
     fleet: Option<FleetSpec>,
     stages: Option<Vec<StageSpec>>,
+    faults: Option<FaultsSpec>,
     telemetry: Option<TelemetrySpec>,
     search: Option<SearchSpec>,
     tail: Option<TailSpec>,
@@ -931,6 +1085,12 @@ impl ScenarioBuilder {
     /// Sets the pipeline for `sim:staged` cases.
     pub fn stages(mut self, s: Vec<StageSpec>) -> Self {
         self.stages = Some(s);
+        self
+    }
+
+    /// Arms scenario-wide adversarial fault injections.
+    pub fn faults(mut self, f: FaultsSpec) -> Self {
+        self.faults = Some(f);
         self
     }
 
@@ -1076,6 +1236,101 @@ impl ScenarioBuilder {
                         );
                     }
                 }
+                if let Some(m) = p.fanout {
+                    if m < 1 {
+                        return fail("fanout must be >= 1".into());
+                    }
+                    if m > f.shards {
+                        return fail(format!(
+                            "fan-out {m} exceeds {} shards (replica sets are distinct)",
+                            f.shards
+                        ));
+                    }
+                    if m > 1 && p.loss.is_some() {
+                        return fail(
+                            "scatter-gather is incompatible with shard loss \
+                             (a fanned request has no survivor re-plan)"
+                                .into(),
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(fl) = &self.faults {
+            if fl.is_empty() {
+                return err("a [faults] block that injects nothing: \
+                     arm burst, churn, slow_clients or slowdown"
+                    .into());
+            }
+            if fl.burst.is_some() && fl.churn.is_some() {
+                return err(
+                    "[faults] burst and churn both re-plan the arrival process; pick one".into(),
+                );
+            }
+            if fl.burst.is_some() || fl.churn.is_some() {
+                if !matches!(self.arrivals, ArrivalSpec::Poisson) {
+                    return err("[faults] burst/churn lower onto phased Poisson; \
+                         they need the Poisson arrival process"
+                        .into());
+                }
+                if self.cases.iter().any(|c| c.policy.loss.is_some()) {
+                    return err(
+                        "[faults] burst/churn and shard loss both re-plan arrivals; pick one"
+                            .into(),
+                    );
+                }
+            }
+            if let Some((at_us, duration_us, factor)) = fl.burst {
+                for (v, what) in [
+                    (at_us, "at_us"),
+                    (duration_us, "duration_us"),
+                    (factor, "factor"),
+                ] {
+                    if !(v.is_finite() && v > 0.0) {
+                        return err(format!("[faults] burst {what} must be positive, got {v}"));
+                    }
+                }
+            }
+            if let Some((interval_us, spike_us, factor)) = fl.churn {
+                for (v, what) in [
+                    (interval_us, "interval_us"),
+                    (spike_us, "spike_us"),
+                    (factor, "factor"),
+                ] {
+                    if !(v.is_finite() && v > 0.0) {
+                        return err(format!("[faults] churn {what} must be positive, got {v}"));
+                    }
+                }
+            }
+            if let Some((fraction, stall_us)) = fl.slow_clients {
+                if !(fraction > 0.0 && fraction < 1.0) {
+                    return err(format!(
+                        "[faults] slow_clients fraction {fraction} out of range (0, 1)"
+                    ));
+                }
+                if !(stall_us.is_finite() && stall_us > 0.0) {
+                    return err(format!(
+                        "[faults] slow_clients stall must be positive, got {stall_us}"
+                    ));
+                }
+            }
+            if let Some((shard, factor)) = fl.slowdown {
+                let Some(f) = &self.fleet else {
+                    return err(
+                        "[faults] slowdown degrades a shard; it needs a [fleet] block".into(),
+                    );
+                };
+                if shard >= f.shards {
+                    return err(format!(
+                        "[faults] slowdown shard {shard} out of range [0, {})",
+                        f.shards
+                    ));
+                }
+                if !(factor.is_finite() && factor > 0.0) {
+                    return err(format!(
+                        "[faults] slowdown factor must be positive, got {factor}"
+                    ));
+                }
             }
         }
         let staged_cases: Vec<&Case> = self
@@ -1199,7 +1454,14 @@ impl ScenarioBuilder {
                     .into());
             }
         }
-        validate_claims(&self.claims, &self.cases, &self.loads, &self.scale)?;
+        validate_claims(
+            &self.claims,
+            &self.cases,
+            &self.loads,
+            &self.scale,
+            self.faults.as_ref(),
+            self.telemetry.as_ref(),
+        )?;
         if self.check_tolerance <= 0.0 {
             return err("check tolerance must be positive".into());
         }
@@ -1216,6 +1478,7 @@ impl ScenarioBuilder {
             scale: self.scale,
             fleet: self.fleet,
             stages: self.stages,
+            faults: self.faults,
             telemetry: self.telemetry,
             search: self.search,
             tail: self.tail,
@@ -1425,9 +1688,60 @@ fn validate_case(case: &Case, cores: usize) -> Result<(), SpecError> {
         && (p.routing.is_some()
             || p.fleet_admission.is_some()
             || p.degraded.is_some()
-            || p.loss.is_some())
+            || p.loss.is_some()
+            || p.fanout.is_some())
     {
-        return fail("routing/fleet_admission/degraded/loss need a fleet:* host".into());
+        return fail("routing/fleet_admission/degraded/loss/fanout need a fleet:* host".into());
+    }
+    // The closed retry loop is modelled by the ZygOS-family simulator
+    // worlds (single-shard or fleeted); every other host is open-loop.
+    if p.retry.is_some() && !sim_family && !case.host.is_fleet() {
+        return fail(
+            "the closed retry loop is modelled by ZygOS-family simulator worlds only \
+             (sim:zygos* / elastic / fleet:*)"
+                .into(),
+        );
+    }
+    if p.retry.is_none() && (p.retry_jitter.is_some() || p.retry_timeout_us.is_some()) {
+        return fail(
+            "retry_jitter/retry_timeout_us shape the retry loop; arm `retry` first".into(),
+        );
+    }
+    if let Some(r) = &p.retry {
+        // A policy with nothing to feed it never fires: retries are
+        // triggered by sheds (admission) or client timeouts.
+        if p.admission.is_none() && p.retry_timeout_us.is_none() {
+            return fail(
+                "a retry policy with nothing to feed it: arm admission (sheds) \
+                 or retry_timeout_us (timeouts)"
+                    .into(),
+            );
+        }
+        if let Some(t) = p.retry_timeout_us {
+            if !(t.is_finite() && t > 0.0) {
+                return fail(format!("retry_timeout_us must be positive, got {t}"));
+            }
+        }
+        match r {
+            RetryPolicy::Drop => {}
+            RetryPolicy::Backoff {
+                factor,
+                max_attempts,
+                ..
+            } => {
+                if !(factor.is_finite() && *factor >= 1.0) {
+                    return fail(format!("backoff factor must be >= 1, got {factor}"));
+                }
+                if *max_attempts == 0 {
+                    return fail("backoff max_attempts must be >= 1".into());
+                }
+            }
+            RetryPolicy::HedgeToDeadline { deadline_us } => {
+                if *deadline_us == 0 {
+                    return fail("hedge deadline_us must be >= 1".into());
+                }
+            }
+        }
     }
     // Host-independent admission consistency — the headline rejection:
     // a shed location without a gate to shed from.
@@ -1465,6 +1779,8 @@ fn validate_claims(
     cases: &[Case],
     loads: &[f64],
     scale: &ScaleSpec,
+    faults: Option<&FaultsSpec>,
+    telemetry: Option<&TelemetrySpec>,
 ) -> Result<(), SpecError> {
     let fail = |msg: &str| Err(SpecError::new(format!("claims: {msg}")));
     let has_admission = |c: &Case| c.policy.admission.is_some();
@@ -1593,6 +1909,129 @@ fn validate_claims(
             }
         }
     }
+    if let Some(g) = &claims.retry_storm {
+        let labels = [&g.backoff, &g.drop, &g.naive];
+        for pair in [(0, 1), (0, 2), (1, 2)] {
+            if labels[pair.0] == labels[pair.1] {
+                return fail("retry_storm needs three distinct case labels");
+            }
+        }
+        let case_of = |label: &String| -> Result<&Case, SpecError> {
+            cases.iter().find(|c| &c.label == label).ok_or_else(|| {
+                SpecError::new(format!("claims: retry_storm names unknown case {label:?}"))
+            })
+        };
+        let backoff = case_of(&g.backoff)?;
+        if !matches!(backoff.policy.retry, Some(RetryPolicy::Backoff { .. })) {
+            return fail("retry_storm backoff case must arm a backoff retry policy");
+        }
+        let drop = case_of(&g.drop)?;
+        if !matches!(drop.policy.retry, None | Some(RetryPolicy::Drop)) {
+            return fail("retry_storm drop case must not re-issue (no retry, or \"drop\")");
+        }
+        let naive = case_of(&g.naive)?;
+        if !matches!(
+            naive.policy.retry,
+            Some(RetryPolicy::Backoff { .. } | RetryPolicy::HedgeToDeadline { .. })
+        ) {
+            return fail("retry_storm naive case must arm a re-issuing retry policy");
+        }
+        if !(g.bound_us.is_finite() && g.bound_us > 0.0) {
+            return fail("retry_storm bound_us must be positive");
+        }
+        if !(g.min_goodput_ratio > 0.0 && g.min_goodput_ratio <= 1.0) {
+            return fail("retry_storm min_goodput_ratio must be in (0, 1]");
+        }
+        if !overload_in(loads) {
+            return fail("retry_storm is an overload claim: add a load at or above overload_from");
+        }
+        if let Some(sl) = &scale.smoke_loads {
+            if !overload_in(sl) {
+                return fail(
+                    "retry_storm also applies under --smoke: add an overload point to smoke_loads",
+                );
+            }
+        }
+    }
+    if let Some(g) = &claims.metastable_recovery {
+        if g.gated == g.ungated {
+            return fail("metastable_recovery needs two distinct case labels");
+        }
+        for (label, wants_gate) in [(&g.gated, true), (&g.ungated, false)] {
+            match cases.iter().find(|c| &c.label == label) {
+                None => {
+                    return Err(SpecError::new(format!(
+                        "claims: metastable_recovery names unknown case {label:?}"
+                    )))
+                }
+                Some(c) if !Scenario::host_is_traced(c.host) => {
+                    return Err(SpecError::new(format!(
+                        "claims: metastable_recovery case {label:?} must be a ZygOS-family \
+                         simulator host (the claim reads its control-tick series)"
+                    )))
+                }
+                Some(c) if c.policy.admission.is_some() != wants_gate => {
+                    return Err(SpecError::new(format!(
+                        "claims: metastable_recovery {} case {label:?} must {} admission",
+                        if wants_gate { "gated" } else { "ungated" },
+                        if wants_gate { "arm" } else { "run without" },
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        if g.windows == 0 {
+            return fail("metastable_recovery windows must be >= 1");
+        }
+        if faults.and_then(|f| f.burst).is_none() {
+            return fail("metastable_recovery recovers from the [faults] burst; arm one");
+        }
+        let series_ok = telemetry.is_some_and(|t| {
+            t.series.contains(&SeriesKind::WindowP99)
+                && t.series.contains(&SeriesKind::CreditCapacity)
+        });
+        if !series_ok {
+            return fail(
+                "metastable_recovery reads the window_p99_us and credit_capacity series; \
+                 list both in [telemetry]",
+            );
+        }
+    }
+    if let Some(g) = &claims.scatter_gather {
+        let labels = [&g.base, &g.fanned, &g.recovered];
+        for pair in [(0, 1), (0, 2), (1, 2)] {
+            if labels[pair.0] == labels[pair.1] {
+                return fail("scatter_gather needs three distinct case labels");
+            }
+        }
+        let case_of = |label: &String| -> Result<&Case, SpecError> {
+            match cases.iter().find(|c| &c.label == label) {
+                None => Err(SpecError::new(format!(
+                    "claims: scatter_gather names unknown case {label:?}"
+                ))),
+                Some(c) if !c.host.is_fleet() => Err(SpecError::new(format!(
+                    "claims: scatter_gather case {label:?} is not a fleet:* host"
+                ))),
+                Some(c) => Ok(c),
+            }
+        };
+        if case_of(&g.base)?.policy.fanout.unwrap_or(1) != 1 {
+            return fail("scatter_gather base case must run fan-out 1");
+        }
+        for label in [&g.fanned, &g.recovered] {
+            if case_of(label)?.policy.fanout.unwrap_or(1) < 2 {
+                return Err(SpecError::new(format!(
+                    "claims: scatter_gather case {label:?} must fan out (fanout >= 2)"
+                )));
+            }
+        }
+        if !(g.min_amplification.is_finite() && g.min_amplification >= 1.0) {
+            return fail("scatter_gather min_amplification must be >= 1");
+        }
+        if !(g.min_recovery > 0.0 && g.min_recovery <= 1.0) {
+            return fail("scatter_gather min_recovery must be in (0, 1]");
+        }
+    }
     Ok(())
 }
 
@@ -1600,6 +2039,7 @@ fn validate_claims(
 mod tests {
     use super::*;
     use zygos_load::slo::Slo;
+    use zygos_load::source::Phase;
 
     fn base() -> ScenarioBuilder {
         Scenario::builder("t")
@@ -1680,6 +2120,332 @@ mod tests {
             .case(Case::sim("x", SimHost::Ix))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn retry_specs_validate() {
+        let backoff = RetryPolicy::Backoff {
+            base_us: 20,
+            factor: 2.0,
+            max_attempts: 4,
+        };
+        // A retry policy with nothing to feed it (no sheds, no timeouts).
+        let e = base()
+            .case(Case::sim("r", SimHost::Zygos).retry(backoff))
+            .build()
+            .expect_err("nothing feeds it");
+        assert!(e.to_string().contains("nothing to feed"), "{e}");
+        // Retry on hosts that do not model the closed loop.
+        for c in [
+            Case::sim("ix", SimHost::Ix)
+                .retry(backoff)
+                .retry_timeout_us(500.0),
+            Case::live("lv", LiveHost::Zygos)
+                .retry(backoff)
+                .retry_timeout_us(500.0),
+        ] {
+            assert!(base().case(c).build().is_err());
+        }
+        // Jitter/timeout without a policy to shape.
+        assert!(base()
+            .case(Case::sim("j", SimHost::Zygos).retry_jitter(false))
+            .build()
+            .is_err());
+        assert!(base()
+            .case(Case::sim("t", SimHost::Zygos).retry_timeout_us(500.0))
+            .build()
+            .is_err());
+        // Degenerate policy parameters.
+        assert!(base()
+            .case(
+                Case::sim("f", SimHost::Zygos)
+                    .retry(RetryPolicy::Backoff {
+                        base_us: 20,
+                        factor: 0.5,
+                        max_attempts: 4,
+                    })
+                    .retry_timeout_us(500.0)
+            )
+            .build()
+            .is_err());
+        assert!(base()
+            .case(
+                Case::sim("h", SimHost::Zygos)
+                    .retry(RetryPolicy::HedgeToDeadline { deadline_us: 0 })
+                    .retry_timeout_us(500.0)
+            )
+            .build()
+            .is_err());
+        // Timeout-fed retry on a plain sim host builds.
+        base()
+            .case(
+                Case::sim("ok", SimHost::Zygos)
+                    .retry(backoff)
+                    .retry_timeout_us(500.0),
+            )
+            .build()
+            .expect("valid");
+    }
+
+    #[test]
+    fn adversarial_claims_validate() {
+        let backoff = RetryPolicy::Backoff {
+            base_us: 20,
+            factor: 2.0,
+            max_attempts: 4,
+        };
+        let storm = |b: ScenarioBuilder| {
+            b.loads(vec![0.5, 1.4])
+                .case(
+                    Case::sim("backoff", SimHost::Zygos)
+                        .admission(AdmissionMode::ServerEdge)
+                        .credit_target_us(70.0)
+                        .retry(backoff),
+                )
+                .case(
+                    Case::sim("drop", SimHost::Zygos)
+                        .admission(AdmissionMode::ServerEdge)
+                        .credit_target_us(70.0),
+                )
+                .case(
+                    Case::sim("naive", SimHost::Zygos)
+                        .retry(RetryPolicy::Backoff {
+                            base_us: 1,
+                            factor: 1.0,
+                            max_attempts: 8,
+                        })
+                        .retry_timeout_us(400.0),
+                )
+        };
+        let claim = |backoff: &str, drop: &str, naive: &str| RetryStormClaim {
+            backoff: backoff.into(),
+            drop: drop.into(),
+            naive: naive.into(),
+            bound_us: 400.0,
+            min_goodput_ratio: 0.8,
+        };
+        storm(base())
+            .claims(Claims {
+                retry_storm: Some(claim("backoff", "drop", "naive")),
+                ..Claims::default()
+            })
+            .build()
+            .expect("valid");
+        // Role mismatches: the drop case re-issues, the naive one drops.
+        let e = storm(base())
+            .claims(Claims {
+                retry_storm: Some(claim("drop", "backoff", "naive")),
+                ..Claims::default()
+            })
+            .build()
+            .expect_err("roles swapped");
+        assert!(e.to_string().contains("backoff retry policy"), "{e}");
+        // No overload point to read the storm at.
+        assert!(storm(base())
+            .smoke_loads(vec![0.5])
+            .claims(Claims {
+                retry_storm: Some(claim("backoff", "drop", "naive")),
+                ..Claims::default()
+            })
+            .build()
+            .is_err());
+
+        let meta_claim = MetastableRecoveryClaim {
+            gated: "gated".into(),
+            ungated: "ungated".into(),
+            windows: 4,
+        };
+        let twins = |b: ScenarioBuilder| {
+            b.case(
+                Case::sim("gated", SimHost::Zygos)
+                    .admission(AdmissionMode::ServerEdge)
+                    .credit_target_us(70.0)
+                    .retry(backoff),
+            )
+            .case(
+                Case::sim("ungated", SimHost::Zygos)
+                    .retry(backoff)
+                    .retry_timeout_us(400.0),
+            )
+            .faults(FaultsSpec {
+                burst: Some((2_000.0, 1_000.0, 1.5)),
+                ..FaultsSpec::default()
+            })
+        };
+        let series = TelemetrySpec {
+            trace: false,
+            series: vec![SeriesKind::WindowP99, SeriesKind::CreditCapacity],
+            ..TelemetrySpec::default()
+        };
+        twins(base())
+            .telemetry(series.clone())
+            .claims(Claims {
+                metastable_recovery: Some(meta_claim.clone()),
+                ..Claims::default()
+            })
+            .build()
+            .expect("valid");
+        // Without the burst there is nothing to recover from; without the
+        // series there is nothing to read recovery off.
+        let e = twins(base())
+            .telemetry(series.clone())
+            .faults(FaultsSpec {
+                slow_clients: Some((0.1, 200.0)),
+                ..FaultsSpec::default()
+            })
+            .claims(Claims {
+                metastable_recovery: Some(meta_claim.clone()),
+                ..Claims::default()
+            })
+            .build()
+            .expect_err("no burst");
+        assert!(e.to_string().contains("burst"), "{e}");
+        assert!(twins(base())
+            .claims(Claims {
+                metastable_recovery: Some(meta_claim),
+                ..Claims::default()
+            })
+            .build()
+            .is_err());
+
+        let sg_claim = ScatterGatherClaim {
+            base: "m1".into(),
+            fanned: "m4".into(),
+            recovered: "m4r".into(),
+            min_amplification: 1.2,
+            min_recovery: 0.3,
+        };
+        let fanned = |b: ScenarioBuilder| {
+            b.case(Case::fleet("m1", SimHost::Zygos))
+                .case(Case::fleet("m4", SimHost::Zygos).fanout(4))
+                .case(
+                    Case::fleet("m4r", SimHost::Zygos)
+                        .fanout(4)
+                        .routing(RoutePolicy::PowerOfTwoChoices),
+                )
+                .fleet(FleetSpec { shards: 8 })
+        };
+        fanned(base())
+            .claims(Claims {
+                scatter_gather: Some(sg_claim.clone()),
+                ..Claims::default()
+            })
+            .build()
+            .expect("valid");
+        // The base case must not fan out.
+        assert!(fanned(base())
+            .claims(Claims {
+                scatter_gather: Some(ScatterGatherClaim {
+                    base: "m4".into(),
+                    fanned: "m1".into(),
+                    ..sg_claim
+                }),
+                ..Claims::default()
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn fanout_specs_validate() {
+        // Fan-out on a non-fleet host.
+        assert!(base()
+            .case(Case::sim("z", SimHost::Zygos).fanout(2))
+            .build()
+            .is_err());
+        // Fan-out wider than the fleet.
+        let e = base()
+            .case(Case::fleet("f", SimHost::Zygos).fanout(5))
+            .fleet(FleetSpec { shards: 4 })
+            .build()
+            .expect_err("wider than fleet");
+        assert!(e.to_string().contains("exceeds"), "{e}");
+        // Fan-out with shard loss.
+        assert!(base()
+            .case(Case::fleet("f", SimHost::Zygos).fanout(2).loss(0, 500.0))
+            .fleet(FleetSpec { shards: 4 })
+            .build()
+            .is_err());
+        base()
+            .case(Case::fleet("f", SimHost::Zygos).fanout(4))
+            .fleet(FleetSpec { shards: 4 })
+            .build()
+            .expect("valid");
+    }
+
+    #[test]
+    fn faults_specs_validate() {
+        let burst = FaultsSpec {
+            burst: Some((2_000.0, 1_000.0, 1.5)),
+            ..FaultsSpec::default()
+        };
+        // An empty block injects nothing.
+        let e = base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .faults(FaultsSpec::default())
+            .build()
+            .expect_err("empty faults");
+        assert!(e.to_string().contains("injects nothing"), "{e}");
+        // Burst and churn both re-plan arrivals.
+        assert!(base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .faults(FaultsSpec {
+                churn: Some((5_000.0, 500.0, 3.0)),
+                ..burst.clone()
+            })
+            .build()
+            .is_err());
+        // Burst needs Poisson arrivals.
+        assert!(base()
+            .arrivals(ArrivalSpec::Phased(vec![Phase {
+                duration_us: 1_000.0,
+                rate_factor: 1.0,
+            }]))
+            .case(Case::sim("z", SimHost::Zygos))
+            .faults(burst.clone())
+            .build()
+            .is_err());
+        // Burst and shard loss both re-plan arrivals.
+        assert!(base()
+            .case(Case::fleet("f", SimHost::Zygos).loss(0, 500.0))
+            .fleet(FleetSpec { shards: 2 })
+            .faults(burst.clone())
+            .build()
+            .is_err());
+        // Slowdown without a fleet to degrade, and out of range.
+        assert!(base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .faults(FaultsSpec {
+                slowdown: Some((0, 3.0)),
+                ..FaultsSpec::default()
+            })
+            .build()
+            .is_err());
+        assert!(base()
+            .case(Case::fleet("f", SimHost::Zygos))
+            .fleet(FleetSpec { shards: 2 })
+            .faults(FaultsSpec {
+                slowdown: Some((2, 3.0)),
+                ..FaultsSpec::default()
+            })
+            .build()
+            .is_err());
+        // Slow-client fraction outside (0, 1).
+        assert!(base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .faults(FaultsSpec {
+                slow_clients: Some((1.5, 200.0)),
+                ..FaultsSpec::default()
+            })
+            .build()
+            .is_err());
+        // A valid burst rides along untouched.
+        let sc = base()
+            .case(Case::sim("z", SimHost::Zygos))
+            .faults(burst.clone())
+            .build()
+            .expect("valid");
+        assert_eq!(sc.faults, Some(burst));
     }
 
     #[test]

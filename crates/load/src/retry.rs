@@ -42,6 +42,16 @@
 //! // Drop never retries.
 //! assert_eq!(RetryPolicy::Drop.on_shed(0, 0), RetryDecision::GiveUp);
 //! ```
+//!
+//! # Jitter
+//!
+//! A fleet of clients sharing one backoff schedule retries in lockstep:
+//! every request shed by the same burst comes back `base_us` later as the
+//! *same* burst, and the gate sheds it again — synchronized retry waves
+//! defeat backoff by construction. [`RetryPolicy::on_shed_jittered`]
+//! spreads each connection's retries across the backoff window with a
+//! delay derived deterministically from a per-connection key, so runs
+//! stay reproducible while the waves decohere.
 
 /// What a client should do with a shed (locally refused or explicitly
 /// rejected) request.
@@ -72,11 +82,29 @@ pub enum RetryPolicy {
         max_attempts: u32,
     },
     /// Immediate retries while the request can still meet its end-to-end
-    /// deadline; abandoned the moment the elapsed time crosses it.
+    /// deadline; abandoned the moment the elapsed time crosses it, or
+    /// after [`MAX_HEDGES`] attempts, whichever comes first.
     HedgeToDeadline {
         /// The request's end-to-end latency budget, µs.
         deadline_us: u64,
     },
+}
+
+/// Hard cap on hedged attempts. A hedge decision fires *immediately*, so
+/// bounding it only by the deadline lets a zero-elapsed loop (a local
+/// shed that costs no simulated or wall time) issue unbounded retries
+/// inside one instant. Eight attempts is past the point where any
+/// realistic hedge still pays: each one re-enters the same gate that
+/// just shed its predecessor.
+pub const MAX_HEDGES: u32 = 8;
+
+/// SplitMix64 finalizer — the avalanche step shared with the routing
+/// plane, duplicated here so the retry table stays dependency-free.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl RetryPolicy {
@@ -98,12 +126,34 @@ impl RetryPolicy {
                 }
             }
             RetryPolicy::HedgeToDeadline { deadline_us } => {
-                if elapsed_us < deadline_us {
+                if attempt < MAX_HEDGES && elapsed_us < deadline_us {
                     RetryDecision::RetryNow
                 } else {
                     RetryDecision::GiveUp
                 }
             }
+        }
+    }
+
+    /// [`Self::on_shed`] with deterministic equal-jitter applied to
+    /// [`RetryPolicy::Backoff`] delays: attempt `n` waits somewhere in
+    /// `[d/2, d)` where `d = base_us × factor^n`, the exact offset a pure
+    /// function of `(key, attempt)`. Use a stable per-connection key (the
+    /// routing plane's `conn_key` is a good choice) so each connection
+    /// lands at its own reproducible phase and retry waves decohere.
+    /// `Drop` and `HedgeToDeadline` are unchanged — neither schedules a
+    /// delay to jitter.
+    pub fn on_shed_jittered(&self, attempt: u32, elapsed_us: u64, key: u64) -> RetryDecision {
+        match self.on_shed(attempt, elapsed_us) {
+            RetryDecision::RetryAfterUs(d) if matches!(self, RetryPolicy::Backoff { .. }) => {
+                // 53-bit mantissa fraction in [0, 1), avalanche-mixed so
+                // consecutive attempts of one connection and equal
+                // attempts of different connections are uncorrelated.
+                let frac = (mix(key ^ mix(attempt as u64)) >> 11) as f64 / (1u64 << 53) as f64;
+                let jittered = d / 2 + ((d as f64 / 2.0) * frac) as u64;
+                RetryDecision::RetryAfterUs(jittered.max(1))
+            }
+            other => other,
         }
     }
 }
@@ -149,10 +199,82 @@ mod tests {
         let h = RetryPolicy::HedgeToDeadline { deadline_us: 500 };
         assert_eq!(h.on_shed(0, 499), RetryDecision::RetryNow);
         assert_eq!(h.on_shed(0, 500), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn runaway_hedge_is_bounded_by_attempts_inside_a_live_deadline() {
+        // A local shed costs no elapsed time, so elapsed_us stays 0 and
+        // the deadline alone would never stop the loop. The attempt cap
+        // must.
+        let h = RetryPolicy::HedgeToDeadline { deadline_us: 500 };
+        for attempt in 0..MAX_HEDGES {
+            assert_eq!(h.on_shed(attempt, 0), RetryDecision::RetryNow);
+        }
+        assert_eq!(h.on_shed(MAX_HEDGES, 0), RetryDecision::GiveUp);
+        assert_eq!(h.on_shed(MAX_HEDGES + 1, 0), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn jittered_backoff_is_reproducible_and_stays_in_the_half_open_window() {
+        let p = RetryPolicy::Backoff {
+            base_us: 100,
+            factor: 2.0,
+            max_attempts: 3,
+        };
+        for attempt in 0..3u32 {
+            let d = match p.on_shed(attempt, 0) {
+                RetryDecision::RetryAfterUs(d) => d,
+                other => panic!("expected a delay, got {other:?}"),
+            };
+            for key in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+                let a = p.on_shed_jittered(attempt, 0, key);
+                let b = p.on_shed_jittered(attempt, 0, key);
+                assert_eq!(a, b, "same (key, attempt) must give the same delay");
+                match a {
+                    RetryDecision::RetryAfterUs(j) => {
+                        assert!(j >= d / 2 && j < d, "jitter {j} outside [{}, {d})", d / 2)
+                    }
+                    other => panic!("expected a delay, got {other:?}"),
+                }
+            }
+        }
+        // Past the attempt cap jitter has nothing to perturb.
+        assert_eq!(p.on_shed_jittered(3, 0, 7), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn jitter_desynchronizes_connections_sharing_one_schedule() {
+        // 64 connections shed by the same burst: unjittered they all come
+        // back 100µs later as the same wave. Jittered, their first-retry
+        // delays must spread across the window instead of colliding.
+        let p = RetryPolicy::Backoff {
+            base_us: 100,
+            factor: 2.0,
+            max_attempts: 3,
+        };
+        let delays: Vec<u64> = (0..64u64)
+            .map(|conn| match p.on_shed_jittered(0, 0, conn) {
+                RetryDecision::RetryAfterUs(d) => d,
+                other => panic!("expected a delay, got {other:?}"),
+            })
+            .collect();
+        let mut distinct = delays.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 16,
+            "64 connections collapsed onto {} retry instants",
+            distinct.len()
+        );
+
+        // Drop and Hedge pass through untouched.
         assert_eq!(
-            h.on_shed(9, 0),
-            RetryDecision::RetryNow,
-            "attempts unbounded"
+            RetryPolicy::Drop.on_shed_jittered(0, 0, 42),
+            RetryDecision::GiveUp
+        );
+        assert_eq!(
+            RetryPolicy::HedgeToDeadline { deadline_us: 500 }.on_shed_jittered(0, 100, 42),
+            RetryDecision::RetryNow
         );
     }
 }

@@ -233,6 +233,94 @@ impl Balancer {
         moved
     }
 
+    /// Routes one connection key onto `m` *distinct* live shards — the
+    /// scatter-gather replica set. A fanned-out request completes at the
+    /// max over its replicas, so the fleet plane pins each connection to
+    /// a stable set of `m` shards the same way [`Balancer::route`] pins
+    /// it to one. Per policy:
+    ///
+    /// * `pass-through` — the `m` lowest-indexed live shards.
+    /// * `consistent-hash` — the first `m` distinct live shards walking
+    ///   the ring clockwise from the key's position (classic replica
+    ///   placement: losing an unrelated shard leaves the set intact).
+    /// * `least-loaded` — the `m` least capacity-weighted-backlogged.
+    /// * `po2c` — each replica slot samples two candidates among the
+    ///   not-yet-chosen live shards and keeps the less backlogged.
+    ///
+    /// All `m` assignments are recorded, so backlog-aware policies see
+    /// fan-out as the real load multiplier it is. `m == 1` is exactly
+    /// [`Balancer::route`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or exceeds the live shard count.
+    pub fn route_multi(&mut self, key: u64, m: usize) -> Vec<usize> {
+        assert!(m >= 1, "fan-out must be at least 1");
+        if m == 1 {
+            return vec![self.route(key).shard];
+        }
+        let alive: Vec<usize> = (0..self.shards()).filter(|&s| self.live[s]).collect();
+        assert!(
+            m <= alive.len(),
+            "fan-out {m} exceeds {} live shards",
+            alive.len()
+        );
+        let chosen: Vec<usize> = match self.policy {
+            RoutePolicy::PassThrough => alive[..m].to_vec(),
+            RoutePolicy::ConsistentHash => {
+                let h = mix(key);
+                let start = self.ring.partition_point(|&(vh, _)| vh < h);
+                let n = self.ring.len();
+                let mut set = Vec::with_capacity(m);
+                for i in 0..n {
+                    let (_, s) = self.ring[(start + i) % n];
+                    let s = s as usize;
+                    if self.live[s] && !set.contains(&s) {
+                        set.push(s);
+                        if set.len() == m {
+                            break;
+                        }
+                    }
+                }
+                set
+            }
+            RoutePolicy::LeastLoaded => {
+                let mut by_backlog = alive.clone();
+                by_backlog.sort_by(|&a, &b| {
+                    self.backlog(a)
+                        .partial_cmp(&self.backlog(b))
+                        .expect("backlogs are finite")
+                        .then(a.cmp(&b))
+                });
+                by_backlog[..m].to_vec()
+            }
+            RoutePolicy::PowerOfTwoChoices => {
+                let mut set: Vec<usize> = Vec::with_capacity(m);
+                for r in 0..m as u64 {
+                    let pool: Vec<usize> =
+                        alive.iter().copied().filter(|s| !set.contains(s)).collect();
+                    let a = pool[(mix(key ^ mix(2 * r)) % pool.len() as u64) as usize];
+                    let b = pool[(mix(key ^ 0xA5A5_A5A5_5A5A_5A5A ^ mix(2 * r + 1))
+                        % pool.len() as u64) as usize];
+                    let win = if self.backlog(b) < self.backlog(a) {
+                        b
+                    } else if self.backlog(a) < self.backlog(b) {
+                        a
+                    } else {
+                        a.min(b)
+                    };
+                    set.push(win);
+                }
+                set
+            }
+        };
+        debug_assert_eq!(chosen.len(), m);
+        for &s in &chosen {
+            self.assigned[s] += 1;
+        }
+        chosen
+    }
+
     /// The decision [`Balancer::route`] would make for `key`, without
     /// recording it.
     pub fn pick(&self, key: u64) -> Decision {
@@ -384,6 +472,65 @@ mod tests {
             );
             assert!(d.shard == a || d.shard == bb);
             b.route(key);
+        }
+    }
+
+    #[test]
+    fn route_multi_yields_distinct_live_shards_for_every_policy() {
+        for policy in [
+            RoutePolicy::PassThrough,
+            RoutePolicy::ConsistentHash,
+            RoutePolicy::LeastLoaded,
+            RoutePolicy::PowerOfTwoChoices,
+        ] {
+            let mut b = Balancer::new(policy, 6, 11);
+            for c in 0..128usize {
+                let set = b.route_multi(conn_key(11, c), 3);
+                assert_eq!(set.len(), 3, "{policy:?}");
+                let mut sorted = set.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 3, "{policy:?}: replicas collide: {set:?}");
+            }
+            // All 3 × 128 assignments recorded.
+            let total: u32 = (0..6).map(|s| b.assigned(s)).sum();
+            assert_eq!(total, 384, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn route_multi_of_one_matches_route_exactly() {
+        for policy in [
+            RoutePolicy::PassThrough,
+            RoutePolicy::ConsistentHash,
+            RoutePolicy::LeastLoaded,
+            RoutePolicy::PowerOfTwoChoices,
+        ] {
+            let mut a = Balancer::new(policy, 5, 23);
+            let mut b = Balancer::new(policy, 5, 23);
+            for c in 0..200usize {
+                let key = conn_key(23, c);
+                assert_eq!(a.route_multi(key, 1), vec![b.route(key).shard]);
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_hash_replica_sets_survive_unrelated_loss() {
+        // Ring-walk replication: losing a shard outside a connection's
+        // replica set leaves the set unchanged (modulo recording).
+        let mut before = Balancer::new(RoutePolicy::ConsistentHash, 6, 41);
+        let sets: Vec<Vec<usize>> = (0..100)
+            .map(|c| before.route_multi(conn_key(41, c), 2))
+            .collect();
+        let mut after = Balancer::new(RoutePolicy::ConsistentHash, 6, 41);
+        let mut dummy = after.assign(0);
+        after.lose_shard(5, &mut dummy);
+        for (c, set) in sets.iter().enumerate() {
+            if !set.contains(&5) {
+                let moved = after.route_multi(conn_key(41, c), 2);
+                assert_eq!(*set, moved, "conn {c} replica set moved without cause");
+            }
         }
     }
 

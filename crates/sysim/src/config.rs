@@ -1,5 +1,6 @@
 //! Experiment configuration and output types.
 
+use zygos_load::retry::RetryPolicy;
 use zygos_load::slo::TenantSlos;
 use zygos_load::source::ArrivalSpec;
 use zygos_net::cost::CostModel;
@@ -174,6 +175,27 @@ pub struct SysConfig {
     /// per reject) or at the client (creditless requests are never sent).
     /// Ignored unless [`SysConfig::admission`] is set.
     pub admission_mode: AdmissionMode,
+    /// Closed-loop retry feedback in the ZygOS-family models: a shed
+    /// request (client-side credit refusal or server-edge reject) and a
+    /// timed-out request ([`SysConfig::retry_timeout_us`]) re-enter the
+    /// arrival stream through this policy instead of vanishing — the
+    /// adversarial-client behaviour that turns overload into retry storms
+    /// and, unchecked, into metastable failure. `None` (the default)
+    /// keeps the pure open-loop world: sheds are final, and every other
+    /// output is bit-identical to the pre-retry engine.
+    pub retry: Option<RetryPolicy>,
+    /// Apply deterministic per-connection jitter to
+    /// [`RetryPolicy::Backoff`] delays
+    /// ([`RetryPolicy::on_shed_jittered`]). Ignored without
+    /// [`SysConfig::retry`].
+    pub retry_jitter: bool,
+    /// Client request timeout in microseconds: a request not completed
+    /// within this budget is abandoned by the client and fed to the
+    /// retry policy (the server still finishes the stale work — that
+    /// wasted service is exactly the metastable-failure fuel). `None`
+    /// disables timeouts; requires [`SysConfig::retry`] to have any
+    /// effect.
+    pub retry_timeout_us: Option<f64>,
     /// Per-tenant SLO classes (connection → class round-robin). Feeds the
     /// worst p99-vs-bound ratio to the [`AllocKind::SloDriven`] controller
     /// and, with [`SysConfig::admission`], the per-class credit targets
@@ -239,6 +261,9 @@ impl SysConfig {
             elastic: ElasticKnobs::default(),
             admission: None,
             admission_mode: AdmissionMode::default(),
+            retry: None,
+            retry_jitter: true,
+            retry_timeout_us: None,
             slo: None,
             staged,
             telemetry: None,
@@ -262,11 +287,13 @@ pub struct SysOutput {
     /// (including warmup and shed requests). With
     /// [`SysOutput::completed_total`] and [`SysOutput::rejected`] this
     /// closes the conservation identity a cold run obeys at drain:
-    /// `generated == completed_total + rejected + in_flight`, with
-    /// `in_flight >= 0` the requests still queued or in service when the
-    /// completion target stopped the engine. (Warm-started segments
-    /// inherit a source mid-stream, so the identity is per-chain there,
-    /// not per-segment.)
+    /// `generated + retries == completed_total + rejected + in_flight`,
+    /// with `in_flight >= 0` the requests still queued, in service, or
+    /// waiting out a backoff delay when the completion target stopped
+    /// the engine ([`SysOutput::retries`] is zero without a retry
+    /// policy, recovering the pre-retry identity). (Warm-started
+    /// segments inherit a source mid-stream, so the identity is
+    /// per-chain there, not per-segment.)
     pub generated: u64,
     /// Completions over the whole run, warmup included (the measured
     /// window is [`SysOutput::completed`]).
@@ -301,6 +328,18 @@ pub struct SysOutput {
     pub wire_rejects: u64,
     /// Round-trip wire latency (µs) charged per wire-travelling reject.
     pub rtt_us: f64,
+    /// Retry re-issues the closed feedback loop put back into the
+    /// arrival stream (0 without [`SysConfig::retry`]) — each one is an
+    /// extra offered request the open-loop source never emitted, so
+    /// `(generated + retries) / generated` is the retry amplification
+    /// the clients inflicted on themselves.
+    pub retries: u64,
+    /// Logical requests the retry policy permanently abandoned after at
+    /// least one shed or timeout (0 without [`SysConfig::retry`]).
+    pub give_ups: u64,
+    /// Client-side timeout expiries that fed the retry policy (0 unless
+    /// [`SysConfig::retry_timeout_us`] is armed).
+    pub timeouts: u64,
     /// Requests shed per tenant SLO class (one slot per class; a single
     /// slot when no [`SysConfig::slo`] is configured).
     pub rejected_by_class: Vec<u64>,
@@ -408,6 +447,51 @@ impl SysOutput {
             0.0
         } else {
             self.rejected_by_class[class] as f64 / offered as f64
+        }
+    }
+
+    /// How many offered requests each generated request turned into:
+    /// `(generated + retries) / generated`. 1.0 with retries off; the
+    /// divergence signal of a retry storm — naive immediate retry under
+    /// sustained overload pushes it toward `1 + max_attempts`.
+    pub fn retry_amplification(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            (self.generated + self.retries) as f64 / self.generated as f64
+        }
+    }
+
+    /// Fraction of generated (logical) requests the client did *not*
+    /// abandon: `1 - give_ups / generated`. The retry plane's goodput
+    /// reading — with retries off nothing is ever given up and this is
+    /// 1.0, even though the gate may still be shedding (those sheds are
+    /// final but counted in [`SysOutput::shed_fraction`]).
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            1.0 - self.give_ups as f64 / self.generated as f64
+        }
+    }
+
+    /// Retry re-issues per generated request — the per-request feedback
+    /// rate (`retry_amplification() - 1`).
+    pub fn retry_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.generated as f64
+        }
+    }
+
+    /// Permanent client abandons per generated request
+    /// (`1 - goodput_fraction()`).
+    pub fn give_up_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.give_ups as f64 / self.generated as f64
         }
     }
 

@@ -22,6 +22,19 @@
 //!    [`crate::run_system`] by a differential test, the fleet analogue
 //!    of the WheelQueue/HeapQueue engine oracle.
 //!
+//! **Scatter-gather** lifts the tail one more level: with
+//! [`FleetConfig::fanout`] `M > 1` every user request fans out to `M`
+//! distinct shards (its connection's replica set, chosen by
+//! [`zygos_load::route::Balancer::route_multi`]) and completes when the
+//! *slowest* sub-request does. The shards stay independent worlds — each
+//! runs its Poisson substream of sub-requests exactly as before — and the
+//! max-of-M completion is applied at aggregation: for iid sub-request
+//! latencies `P(max ≤ x) = F(x)^M`, so the user p99 is the merged
+//! histogram's `0.99^(1/M)` quantile and user throughput is sub-request
+//! throughput over `M`. That one TOML key reproduces tail-at-scale
+//! amplification (Dean & Barroso): a per-shard p99 hiccup that touches 1%
+//! of sub-requests touches `1-0.99^M` of fanned user requests.
+//!
 //! Two fault injections come from the scenario spec:
 //!
 //! * **Degradation** — shard `i` serves at `f×` its healthy cost
@@ -49,7 +62,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use zygos_load::route::{Balancer, RoutePolicy};
+use zygos_load::route::{conn_key, Balancer, RoutePolicy};
 use zygos_load::source::{ArrivalSpec, Phase};
 use zygos_sim::stats::LatencyHistogram;
 use zygos_telemetry::TelemetryOut;
@@ -100,6 +113,16 @@ pub struct FleetConfig {
     /// and its connections remap onto the survivors. Requires Poisson
     /// base arrivals (survivor rewiring is expressed as phases).
     pub loss: Option<(usize, f64)>,
+    /// Scatter-gather fan-out: every user request becomes `fanout`
+    /// sub-requests on distinct shards and completes at the slowest
+    /// (1 = plain routing, the default). `base.load` keeps its
+    /// sub-request meaning — it is the *sub-request* fraction of fleet
+    /// saturation — so the same load compares fairly across fan-outs;
+    /// user-facing throughput and p99 are fan-out-adjusted at
+    /// aggregation ([`FleetOutput::throughput_mrps`],
+    /// [`FleetOutput::p99_us`]). Incompatible with shard loss: a lost
+    /// shard would strand every replica set that includes it.
+    pub fanout: usize,
 }
 
 impl FleetConfig {
@@ -112,6 +135,7 @@ impl FleetConfig {
             admission: AdmissionTopology::PerShard,
             degraded: Vec::new(),
             loss: None,
+            fanout: 1,
         }
     }
 
@@ -150,11 +174,16 @@ struct FleetPlan {
 pub struct FleetOutput {
     /// Per-shard outputs, indexed by shard (idle shards report zeros).
     pub shards: Vec<SysOutput>,
-    /// Connections assigned per shard at t=0.
+    /// Connections assigned per shard at t=0 (replica-set slots when
+    /// `fanout > 1`: each connection counts once per replica).
     pub assigned: Vec<u32>,
     /// Connections remapped by the loss event (0 without one).
     pub moved: u64,
+    /// Scatter-gather fan-out the fleet ran with (1 = plain routing).
+    pub fanout: usize,
     /// Merged measured-window latency histogram across all shards.
+    /// Sub-request latencies when `fanout > 1`; [`Self::p99_us`] applies
+    /// the max-of-M adjustment.
     pub latency: LatencyHistogram,
     /// Merged per-shard time-series, names prefixed `shard<i>/`.
     /// `None` unless the base config armed telemetry. Lifecycle traces
@@ -189,6 +218,21 @@ impl FleetOutput {
         self.shards.iter().map(|s| s.admitted).sum()
     }
 
+    /// Retry re-issues across the fleet (closed-loop feedback volume).
+    pub fn retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.retries).sum()
+    }
+
+    /// Requests abandoned by their retry policy across the fleet.
+    pub fn give_ups(&self) -> u64 {
+        self.shards.iter().map(|s| s.give_ups).sum()
+    }
+
+    /// Client timeouts fired across the fleet.
+    pub fn timeouts(&self) -> u64 {
+        self.shards.iter().map(|s| s.timeouts).sum()
+    }
+
     /// Engine events processed across the fleet — the `lab bench`
     /// numerator for the fleet workload.
     pub fn events(&self) -> u64 {
@@ -197,22 +241,39 @@ impl FleetOutput {
 
     /// Requests generated but neither completed nor shed when the
     /// completion targets stopped the shard engines: still queued, in
-    /// service, or on the wire. Closes the conservation identity
-    /// `generated == completed_total + rejected + in_flight`; never
-    /// negative for cold runs (the fleet always runs cold).
+    /// service, or on the wire. Closes the retry-extended conservation
+    /// identity
+    /// `generated + retries == completed_total + rejected + in_flight`
+    /// (with retries off it collapses to the original); never negative
+    /// for cold runs (the fleet always runs cold).
     pub fn in_flight(&self) -> i64 {
-        self.generated() as i64 - self.completed_total() as i64 - self.rejected() as i64
+        self.generated() as i64 + self.retries() as i64
+            - self.completed_total() as i64
+            - self.rejected() as i64
     }
 
-    /// Aggregate fleet throughput in requests/µs: the sum of per-shard
-    /// measured rates (each over its own window).
+    /// Aggregate fleet throughput in requests/µs of *user* requests: the
+    /// sum of per-shard measured sub-request rates, over the fan-out (a
+    /// fanned user request only completes when all its sub-requests do).
     pub fn throughput_mrps(&self) -> f64 {
-        self.shards.iter().map(|s| s.throughput_mrps()).sum()
+        let sub: f64 = self.shards.iter().map(|s| s.throughput_mrps()).sum();
+        sub / self.fanout as f64
     }
 
-    /// Fleet 99th-percentile latency over the merged histogram.
+    /// Fleet 99th-percentile *user* latency. With `fanout == 1` this is
+    /// the merged histogram's p99 verbatim (bit-identical to the base
+    /// world in the single-shard differential). With `fanout = M` a user
+    /// request completes at the max of `M` iid sub-requests, so
+    /// `P(max ≤ x) = F(x)^M` and the user p99 is the sub-request
+    /// distribution's `0.99^(1/M)` quantile — for `M = 4` that is the
+    /// sub-request p99.75, the tail-at-scale amplification in one line.
     pub fn p99_us(&self) -> f64 {
-        self.latency.p99_us()
+        if self.fanout == 1 {
+            self.latency.p99_us()
+        } else {
+            self.latency
+                .quantile_us(0.99f64.powf(1.0 / self.fanout as f64))
+        }
     }
 }
 
@@ -233,6 +294,18 @@ fn plan_fleet(cfg: &FleetConfig) -> FleetPlan {
             "degradation factor must be positive"
         );
     }
+    assert!(cfg.fanout >= 1, "fan-out must be at least 1");
+    assert!(
+        cfg.fanout <= cfg.shards,
+        "fan-out {} exceeds {} shards (replica sets are distinct)",
+        cfg.fanout,
+        cfg.shards
+    );
+    assert!(
+        cfg.fanout == 1 || cfg.loss.is_none(),
+        "scatter-gather is incompatible with shard loss: a lost shard \
+         strands every replica set that includes it"
+    );
     if let Some((l, at)) = cfg.loss {
         assert!(l < cfg.shards, "lost shard {l} out of range");
         assert!(cfg.shards >= 2, "losing the only shard ends the fleet");
@@ -259,10 +332,24 @@ fn plan_fleet(cfg: &FleetConfig) -> FleetPlan {
     for &(s, f) in &cfg.degraded {
         bal.set_capacity(s, 1.0 / f);
     }
-    let mut map = bal.assign(conns);
+    // With fan-out M each connection claims a replica *set* of M distinct
+    // shards; `pre` counts substream slots per shard (M slots per
+    // connection, one with plain routing), and every shard's arrival
+    // share is its slot share of `conns × M` total slots.
+    let slots = conns * cfg.fanout;
+    let mut map = Vec::new();
     let mut pre = vec![0u32; cfg.shards];
-    for &s in &map {
-        pre[s as usize] += 1;
+    if cfg.fanout == 1 {
+        map = bal.assign(conns);
+        for &s in &map {
+            pre[s as usize] += 1;
+        }
+    } else {
+        for c in 0..conns {
+            for s in bal.route_multi(conn_key(cfg.base.seed, c), cfg.fanout) {
+                pre[s] += 1;
+            }
+        }
     }
     let (post, moved) = match cfg.loss {
         Some((l, _)) => {
@@ -304,7 +391,7 @@ fn plan_fleet(cfg: &FleetConfig) -> FleetPlan {
                     shard.telemetry = None;
                 }
             }
-            let share_pre = n_pre / conns as f64;
+            let share_pre = n_pre / slots as f64;
             // `load` is calibrated so the shard's arrival rate is its
             // connection share of the fleet rate *at its scaled service
             // cost*: λ_i = load_i · cores / (mean · f) must equal
@@ -363,8 +450,12 @@ fn plan_fleet(cfg: &FleetConfig) -> FleetPlan {
                 None => {
                     shard.conns = pre[i];
                     shard.load = load_for(share_pre * fleet_rate);
-                    shard.requests = ((cfg.base.requests as f64 * share_pre).round() as u64).max(1);
-                    shard.warmup = (cfg.base.warmup as f64 * share_pre).round() as u64;
+                    // Completion windows are user-request counts at the
+                    // fleet level; each user request is `fanout`
+                    // sub-requests, split by slot share.
+                    let sub_share = cfg.fanout as f64 * share_pre;
+                    shard.requests = ((cfg.base.requests as f64 * sub_share).round() as u64).max(1);
+                    shard.warmup = (cfg.base.warmup as f64 * sub_share).round() as u64;
                     Some(shard)
                 }
             }
@@ -398,6 +489,9 @@ fn idle_output(base: &SysConfig) -> SysOutput {
         admitted: 0,
         rejected: 0,
         wire_rejects: 0,
+        retries: 0,
+        give_ups: 0,
+        timeouts: 0,
         rtt_us: base.cost.network_rtt_ns as f64 / 1_000.0,
         rejected_by_class: vec![0; classes],
         admitted_by_class: vec![0; classes],
@@ -473,6 +567,7 @@ pub fn run_fleet_threads(cfg: &FleetConfig, threads: usize) -> FleetOutput {
         shards,
         assigned: plan.assigned,
         moved: plan.moved,
+        fanout: cfg.fanout,
         latency,
         telemetry,
     }
@@ -535,6 +630,90 @@ mod tests {
         assert!(out.in_flight() >= 0, "in_flight = {}", out.in_flight());
         let total: u32 = out.assigned.iter().sum();
         assert_eq!(total, fleet.base.conns);
+    }
+
+    #[test]
+    fn scatter_gather_amplifies_the_tail_with_fanout() {
+        // Same sub-request load, same shards, balanced routing (so every
+        // shard runs at the same load in both worlds): the only
+        // difference is that a user request waits for the max of 4
+        // sub-requests instead of 1, so the user p99 must grow.
+        let base = small_base(0.6);
+        let mut m1 = FleetConfig::new(base.clone(), 8, RoutePolicy::LeastLoaded);
+        m1.base.conns = 128;
+        let mut m4 = m1.clone();
+        m4.fanout = 4;
+        let a = run_fleet_threads(&m1, 2);
+        let b = run_fleet_threads(&m4, 2);
+        assert_eq!(a.fanout, 1);
+        assert_eq!(b.fanout, 4);
+        assert_eq!(b.assigned.iter().sum::<u32>(), 128 * 4);
+        assert!(
+            b.p99_us() > a.p99_us(),
+            "fan-out 4 p99 {} must exceed fan-out 1 p99 {}",
+            b.p99_us(),
+            a.p99_us()
+        );
+        // User throughput is sub-request throughput over M: with the same
+        // sub-request load it lands near the fan-out-1 rate over 4.
+        let ratio = b.throughput_mrps() / a.throughput_mrps();
+        assert!(
+            (0.15..0.45).contains(&ratio),
+            "user throughput ratio {ratio} should sit near 1/4"
+        );
+    }
+
+    #[test]
+    fn scatter_gather_of_one_changes_nothing() {
+        // fanout = 1 must lower through the exact same code path bits as
+        // the un-fanned fleet: the knob's default is free.
+        let mut fleet = FleetConfig::new(small_base(0.7), 4, RoutePolicy::PowerOfTwoChoices);
+        fleet.degraded = vec![(2, 1.5)];
+        let a = run_fleet_threads(&fleet, 1);
+        fleet.fanout = 1;
+        let b = run_fleet_threads(&fleet, 1);
+        assert_eq!(a.p99_us().to_bits(), b.p99_us().to_bits());
+        assert_eq!(a.throughput_mrps().to_bits(), b.throughput_mrps().to_bits());
+        assert_eq!(a.generated(), b.generated());
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn fanout_beyond_the_shard_count_is_rejected() {
+        let mut fleet = FleetConfig::new(small_base(0.5), 2, RoutePolicy::ConsistentHash);
+        fleet.fanout = 3;
+        run_fleet_threads(&fleet, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with shard loss")]
+    fn fanout_with_loss_is_rejected() {
+        let mut fleet = FleetConfig::new(small_base(0.5), 4, RoutePolicy::ConsistentHash);
+        fleet.fanout = 2;
+        fleet.loss = Some((1, 2_000.0));
+        run_fleet_threads(&fleet, 1);
+    }
+
+    #[test]
+    fn retry_conservation_holds_fleet_wide() {
+        // Retrying shards under fleet-wide credits: the retry-extended
+        // identity must close through the fleet reductions.
+        let mut fleet = FleetConfig::new(small_base(1.2), 3, RoutePolicy::LeastLoaded);
+        fleet.base.admission = Some(zygos_sched::CreditConfig::for_cores(4, 60.0));
+        fleet.admission = AdmissionTopology::FleetWide;
+        fleet.base.retry = Some(zygos_load::retry::RetryPolicy::Backoff {
+            base_us: 30,
+            factor: 2.0,
+            max_attempts: 3,
+        });
+        let out = run_fleet_threads(&fleet, 2);
+        assert!(out.retries() > 0, "overload with backoff must retry");
+        assert!(out.give_ups() > 0, "capped backoff must abandon some");
+        assert_eq!(
+            out.generated() as i64 + out.retries() as i64,
+            out.completed_total() as i64 + out.rejected() as i64 + out.in_flight()
+        );
+        assert!(out.in_flight() >= 0, "in_flight = {}", out.in_flight());
     }
 
     #[test]

@@ -662,6 +662,9 @@ pub(crate) fn run(cfg: &SysConfig) -> SysOutput {
         admitted: 0,
         rejected: 0,
         wire_rejects: 0,
+        retries: 0,
+        give_ups: 0,
+        timeouts: 0,
         rtt_us: cfg.cost.network_rtt_ns as f64 / 1_000.0,
         rejected_by_class: vec![0],
         admitted_by_class: vec![0],

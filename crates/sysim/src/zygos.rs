@@ -70,8 +70,10 @@
 //!   the loosest class, so the tenants with the most latency headroom
 //!   absorb the overload first.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
+use zygos_load::retry::RetryDecision;
+use zygos_load::route::conn_key;
 use zygos_sched::{
     AllocPolicy, AllocatorConfig, BackgroundOrder, CoreAllocator, CoreSecondsMeter, CreditPool,
     Decision, DispatchPolicy, PolicySignal, QuantumPolicy, Rung, SloController, SloTuning,
@@ -89,8 +91,17 @@ use crate::config::{AdmissionMode, AllocKind, SysConfig, SysOutput, SystemKind, 
 pub(crate) enum Ev {
     /// Generate the next client request.
     Gen,
-    /// A request packet reaches its home core's NIC ring.
-    Packet(Req),
+    /// A request packet reaches its home core's NIC ring; the `u32` is
+    /// which transmission attempt this is (0 = the original send, >0 =
+    /// a retry re-issue fed back by the retry policy).
+    Packet(Req, u32),
+    /// The retry policy's backoff delay expired: the client re-issues
+    /// the request (attempt number carried), re-entering the same
+    /// admission path the original took.
+    Retry { req: Req, attempt: u32 },
+    /// The client's per-request timeout fired for this attempt; stale
+    /// (and ignored) unless the attempt is still the live one.
+    Timeout { req: Req, attempt: u32 },
     /// Core scheduling-loop entry.
     Run(usize),
     /// The core's current work chunk completes (stale if epoch mismatches).
@@ -304,10 +315,17 @@ struct SimTelemetry {
     s_credits: Option<SeriesId>,
     s_active: Option<SeriesId>,
     s_shed: Vec<SeriesId>,
+    s_window_p99: Option<SeriesId>,
+    s_retry: Option<SeriesId>,
     /// Counter snapshots at the previous harvested tick, for rates.
     last_admitted: u64,
     last_rejected: Vec<u64>,
+    last_retries: u64,
     last_t_ns: u64,
+    /// The most recent control-tick window tail (µs), stashed by
+    /// `control()` before the window is cleared so the harvest can
+    /// publish it (NaN when the window had too few samples).
+    last_window_tail: f64,
 }
 
 pub(crate) struct ZygosModel {
@@ -353,6 +371,22 @@ pub(crate) struct ZygosModel {
     admitted_by_class: Vec<u64>,
     /// Sheds that burned wire RTT (server-edge rejects).
     wire_rejects: u64,
+    /// The closed-loop retry plane (all dormant when [`SysConfig::retry`]
+    /// is `None`, which keeps the open-loop engine bit-identical):
+    /// retry re-issues scheduled, logical requests abandoned, and
+    /// client-timeout expiries.
+    retries: u64,
+    give_ups: u64,
+    timeouts_fired: u64,
+    /// Live attempt number per in-flight request sequence, maintained
+    /// only when a client timeout is armed: a `Timeout` event is stale —
+    /// the attempt was superseded or the logical request completed —
+    /// unless its attempt matches this map. World state (clones and
+    /// warm-retargets carry it), touched only off the completion fast
+    /// path when timeouts are off.
+    retry_live: HashMap<u32, u32>,
+    /// Precomputed `retry_timeout_us` (`None` = timeouts off).
+    timeout_dur: Option<SimDuration>,
     /// Per-SLO-class latency window of the current control tick (single
     /// class when no tenant SLOs are configured). Constant-memory
     /// histograms: recording is O(1) and the per-tick harvest touches
@@ -440,6 +474,11 @@ impl Clone for ZygosModel {
             rejected_by_class: self.rejected_by_class.clone(),
             admitted_by_class: self.admitted_by_class.clone(),
             wire_rejects: self.wire_rejects,
+            retries: self.retries,
+            give_ups: self.give_ups,
+            timeouts_fired: self.timeouts_fired,
+            retry_live: self.retry_live.clone(),
+            timeout_dur: self.timeout_dur,
             win: self.win.clone(),
             collect_window: self.collect_window,
             batch_pool: self.batch_pool.clone(),
@@ -500,7 +539,15 @@ impl ZygosModel {
         };
         let classes = cfg.slo.as_ref().map_or(1, |t| t.classes().len());
         let admission = cfg.admission.map(|c| CreditPool::with_classes(c, classes));
-        let collect_window = admission.is_some() || cfg.slo.is_some();
+        // The window histograms feed the AIMD/SLO controllers, and also
+        // the `window_p99_us` series when a scenario asks for it with no
+        // controller armed (the metastable gates read the *ungated* twin
+        // through exactly that series).
+        let wants_window_p99 = cfg
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.series.contains(&SeriesKind::WindowP99));
+        let collect_window = admission.is_some() || cfg.slo.is_some() || wants_window_p99;
         let (admit_fractions, credit_targets_us) = match (&admission, &cfg.slo) {
             (Some(_), Some(slo)) => (slo.admit_fractions(), slo.aimd_targets_us(CREDIT_HEADROOM)),
             _ => (vec![1.0; classes], Vec::new()),
@@ -521,6 +568,8 @@ impl ZygosModel {
             let mut s_credits = None;
             let mut s_active = None;
             let mut s_shed = Vec::new();
+            let mut s_window_p99 = None;
+            let mut s_retry = None;
             for kind in &t.series {
                 match kind {
                     SeriesKind::AdmittedRate => {
@@ -542,6 +591,12 @@ impl ZygosModel {
                             })
                             .collect();
                     }
+                    SeriesKind::WindowP99 => {
+                        s_window_p99 = Some(reg.register_series(kind.name(), t.max_series_points));
+                    }
+                    SeriesKind::RetryRate => {
+                        s_retry = Some(reg.register_series(kind.name(), t.max_series_points));
+                    }
                 }
             }
             SimTelemetry {
@@ -555,9 +610,13 @@ impl ZygosModel {
                 s_credits,
                 s_active,
                 s_shed,
+                s_window_p99,
+                s_retry,
                 last_admitted: 0,
                 last_rejected: vec![0; classes],
+                last_retries: 0,
                 last_t_ns: 0,
+                last_window_tail: f64::NAN,
             }
         });
         ZygosModel {
@@ -596,6 +655,14 @@ impl ZygosModel {
             rejected_by_class: vec![0; classes],
             admitted_by_class: vec![0; classes],
             wire_rejects: 0,
+            retries: 0,
+            give_ups: 0,
+            timeouts_fired: 0,
+            retry_live: HashMap::new(),
+            timeout_dur: match (cfg.retry, cfg.retry_timeout_us) {
+                (Some(_), Some(t)) if t > 0.0 => Some(SimDuration::from_micros_f64(t)),
+                _ => None,
+            },
             // The window buckets are ~¼MB per class: only materialized
             // when a controller actually harvests them.
             win: if collect_window {
@@ -679,6 +746,18 @@ impl ZygosModel {
                 .push(id, t_us, (total - tl.last_rejected[c]) as f64 / dt_s);
             tl.last_rejected[c] = total;
         }
+        if let Some(id) = tl.s_window_p99 {
+            // NaN windows (too few samples to call a tail) are skipped
+            // rather than recorded: a gap is honest, a zero is a lie.
+            if tl.last_window_tail.is_finite() {
+                tl.reg.push(id, t_us, tl.last_window_tail);
+            }
+        }
+        if let Some(id) = tl.s_retry {
+            tl.reg
+                .push(id, t_us, (self.retries - tl.last_retries) as f64 / dt_s);
+            tl.last_retries = self.retries;
+        }
         tl.last_t_ns = now.as_nanos();
     }
 
@@ -718,6 +797,81 @@ impl ZygosModel {
         }
     }
 
+    /// Arms the client timeout for `attempt` of `req` at its send time
+    /// (no-op unless both a retry policy and a timeout are configured).
+    /// The map entry makes this the request's *live* attempt; any older
+    /// `Timeout` event still in the queue is thereby stale.
+    fn arm_timeout(&mut self, req: Req, attempt: u32, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if let Some(t) = self.timeout_dur {
+            self.retry_live.insert(req.seq, attempt);
+            sched.at(now + t, Ev::Timeout { req, attempt });
+        }
+    }
+
+    /// Feeds one shed or timed-out attempt to the retry policy — the
+    /// closed loop's single entry point. `notify_delay` is how long the
+    /// *client* takes to learn of the failure (zero for a local shed or
+    /// timeout, half an RTT for a server-edge reject); the re-issue, if
+    /// any, fires `notify_delay + backoff` from `now` and re-enters the
+    /// full admission path via [`Ev::Retry`]. Does nothing (and touches
+    /// no counter) when no policy is armed, keeping the open-loop world
+    /// bit-identical.
+    fn feed_retry(
+        &mut self,
+        req: Req,
+        attempt: u32,
+        now: SimTime,
+        notify_delay: SimDuration,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let Some(policy) = self.cfg.retry else { return };
+        let noticed = now + notify_delay;
+        let elapsed_us = noticed.duration_since(req.send).as_micros_f64() as u64;
+        let decision = if self.cfg.retry_jitter {
+            policy.on_shed_jittered(
+                attempt,
+                elapsed_us,
+                conn_key(self.cfg.seed, req.conn as usize),
+            )
+        } else {
+            policy.on_shed(attempt, elapsed_us)
+        };
+        let delay_us = match decision {
+            RetryDecision::GiveUp => {
+                self.give_ups += 1;
+                return;
+            }
+            RetryDecision::RetryNow => 0,
+            RetryDecision::RetryAfterUs(d) => d,
+        };
+        self.retries += 1;
+        let at = noticed + SimDuration::from_micros_f64(delay_us as f64);
+        sched.at(
+            at,
+            Ev::Retry {
+                req,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    /// Issues (or re-issues) `req` as transmission `attempt`: the same
+    /// client-side gating the original send went through, plus timeout
+    /// arming. A client-side shed feeds straight back into the policy.
+    fn issue(&mut self, req: Req, attempt: u32, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let client_gated = self.cfg.admission_mode != AdmissionMode::ServerEdge;
+        if !client_gated || self.gate_admit(req.conn) {
+            if client_gated && self.admission.is_some() {
+                self.trace(req.home, req.seq, TraceKind::Admit, now);
+            }
+            self.arm_timeout(req, attempt, now, sched);
+            sched.after(self.source.half_rtt, Ev::Packet(req, attempt));
+        } else {
+            self.trace(req.home, req.seq, TraceKind::Shed, now);
+            self.feed_retry(req, attempt, now, SimDuration::ZERO, sched);
+        }
+    }
+
     /// Records one lifecycle trace point (one untaken branch when
     /// telemetry is off or tracing was not requested).
     #[inline]
@@ -732,6 +886,11 @@ impl ZygosModel {
     /// Records a completed request: recorder, credit return, and the
     /// control window's per-class latency sample.
     fn complete_req(&mut self, req: &Req, tx_time: SimTime) {
+        if self.timeout_dur.is_some() {
+            // The logical request is answered (by whichever attempt got
+            // here first): any pending timeout for it becomes stale.
+            self.retry_live.remove(&req.seq);
+        }
         let measured = self.rec.complete(req, tx_time);
         if measured {
             // Trace exactly the histogram's population, timestamped at the
@@ -1418,6 +1577,9 @@ impl ZygosModel {
         #[cfg(debug_assertions)]
         self.debug_check_masks();
         let (slo_ratio, tail_us, credit_ratio) = self.window_signal();
+        if let Some(tl) = &mut self.telem {
+            tl.last_window_tail = tail_us;
+        }
         let slo_targeted = !self.credit_targets_us.is_empty();
         if let Some(pool) = &mut self.admission {
             if slo_targeted {
@@ -1649,11 +1811,19 @@ impl ZygosModel {
         self.source.retarget(cfg);
         self.rec = Recorder::warm(cfg.requests, warmup, self.source.half_rtt, now);
         self.cfg = cfg.clone();
+        self.timeout_dur = match (self.cfg.retry, self.cfg.retry_timeout_us) {
+            (Some(_), Some(t)) if t > 0.0 => Some(SimDuration::from_micros_f64(t)),
+            _ => None,
+        };
         self.local_events = 0;
         self.stolen_events = 0;
         self.ipis_delivered = 0;
         self.preemptions = 0;
         self.wire_rejects = 0;
+        // Window statistics; `retry_live` is world state and carries over.
+        self.retries = 0;
+        self.give_ups = 0;
+        self.timeouts_fired = 0;
         for v in &mut self.rejected_by_class {
             *v = 0;
         }
@@ -1727,6 +1897,9 @@ impl ZygosModel {
             rejected,
             wire_rejects: self.wire_rejects,
             rtt_us: self.cfg.cost.network_rtt_ns as f64 / 1_000.0,
+            retries: self.retries,
+            give_ups: self.give_ups,
+            timeouts: self.timeouts_fired,
             rejected_by_class: self.rejected_by_class,
             admitted_by_class: self.admitted_by_class,
             stage_counts: Vec::new(),
@@ -1758,21 +1931,32 @@ impl Model for ZygosModel {
                 self.trace(req.home, req.seq, TraceKind::Arrival, now);
                 // Client-side credits: a creditless request is never sent —
                 // the shed costs zero wire RTT (the sender-side half of
-                // Breakwater, modelled at its converged state).
-                let client_gated = self.cfg.admission_mode != AdmissionMode::ServerEdge;
-                let send = !client_gated || self.gate_admit(req.conn);
-                if send {
-                    if client_gated && self.admission.is_some() {
-                        self.trace(req.home, req.seq, TraceKind::Admit, now);
-                    }
-                    sched.after(self.source.half_rtt, Ev::Packet(req));
-                } else {
-                    self.trace(req.home, req.seq, TraceKind::Shed, now);
-                }
+                // Breakwater, modelled at its converged state). A shed
+                // feeds the retry policy (a no-op without one).
+                self.issue(req, 0, now, sched);
                 let gap = self.source.next_gap();
                 sched.after(gap, Ev::Gen);
             }
-            Ev::Packet(req) => {
+            Ev::Retry { req, attempt } => {
+                // The backoff delay expired: the client re-issues the shed
+                // or timed-out request through the full admission path.
+                self.issue(req, attempt, now, sched);
+            }
+            Ev::Timeout { req, attempt } => {
+                // Stale unless this attempt is still the live one (it was
+                // neither completed nor superseded by a later re-issue).
+                if self.retry_live.get(&req.seq) != Some(&attempt) {
+                    return;
+                }
+                self.retry_live.remove(&req.seq);
+                self.timeouts_fired += 1;
+                // The abandoned attempt is *not* recalled from the server:
+                // whatever work it queued still runs to completion — the
+                // wasted service that lets timeout-retry loops sustain
+                // overload after the triggering burst ends.
+                self.feed_retry(req, attempt, now, SimDuration::ZERO, sched);
+            }
+            Ev::Packet(req, attempt) => {
                 // Server-edge credits: the shed request already burned half
                 // an RTT getting here, and its explicit reject burns the
                 // other half going back — but it never touches a ring, a
@@ -1781,6 +1965,15 @@ impl Model for ZygosModel {
                     if !self.gate_admit(req.conn) {
                         self.wire_rejects += 1;
                         self.trace(req.home, req.seq, TraceKind::Shed, now);
+                        // The reject travels back before the client can
+                        // react: it learns half an RTT from now, and the
+                        // superseded attempt's timeout must not also fire.
+                        if self.timeout_dur.is_some()
+                            && self.retry_live.get(&req.seq) == Some(&attempt)
+                        {
+                            self.retry_live.remove(&req.seq);
+                        }
+                        self.feed_retry(req, attempt, now, self.source.half_rtt, sched);
                         return;
                     }
                     if self.admission.is_some() {
@@ -2015,6 +2208,120 @@ mod tests {
             "admitted p99 must stay bounded, got {}",
             out.p99_us()
         );
+    }
+
+    #[test]
+    fn retry_feedback_reissues_shed_requests_and_keeps_conservation() {
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 1.3);
+        cfg.requests = 15_000;
+        cfg.warmup = 3_000;
+        cfg.admission = Some(CreditConfig::for_cores(cfg.cores, 80.0));
+        cfg.retry = Some(zygos_load::retry::RetryPolicy::Backoff {
+            base_us: 50,
+            factor: 2.0,
+            max_attempts: 3,
+        });
+        let out = run(&cfg);
+        assert_eq!(out.completed, 15_000);
+        assert!(out.retries > 0, "overload sheds must feed retries back");
+        assert!(out.give_ups > 0, "a 3-attempt cap must abandon some");
+        assert!(
+            out.retry_amplification() > 1.0,
+            "amplification = {}",
+            out.retry_amplification()
+        );
+        let goodput = out.goodput_fraction();
+        assert!(
+            (0.0..1.0).contains(&goodput),
+            "give-ups must dent goodput: {goodput}"
+        );
+        // Every attempt (generated or retried) terminates at most once:
+        // completed, rejected, or still in flight at drain.
+        assert!(
+            out.generated + out.retries >= out.completed_total + out.rejected,
+            "conservation violated: gen {} + retries {} < done {} + rej {}",
+            out.generated,
+            out.retries,
+            out.completed_total,
+            out.rejected
+        );
+        // The admitted tail stays gate-bounded even with the loop closed.
+        assert!(out.p99_us() < 400.0, "admitted p99 = {}", out.p99_us());
+    }
+
+    #[test]
+    fn timeout_retries_fire_without_any_admission_gate() {
+        // No gate, load past saturation: nothing is ever shed, so only
+        // the client timeout can trigger the policy — the naive-retry
+        // configuration whose feedback sustains metastable overload.
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 1.15);
+        cfg.requests = 12_000;
+        cfg.warmup = 2_000;
+        cfg.retry = Some(zygos_load::retry::RetryPolicy::Backoff {
+            base_us: 1,
+            factor: 1.0,
+            max_attempts: 2,
+        });
+        cfg.retry_jitter = false;
+        cfg.retry_timeout_us = Some(300.0);
+        let out = run(&cfg);
+        assert_eq!(out.completed, 12_000);
+        assert_eq!(out.rejected, 0, "no gate, no sheds");
+        assert!(out.timeouts > 0, "saturated queues must blow timeouts");
+        assert!(out.retries > 0, "timeouts must re-issue");
+        assert!(
+            out.retry_amplification() > 1.01,
+            "amplification = {}",
+            out.retry_amplification()
+        );
+    }
+
+    #[test]
+    fn retry_world_checkpoint_resume_is_bit_identical() {
+        // The retry plane (live-attempt map, pending Retry/Timeout
+        // events, counters) is world state: a clone resumed mid-storm
+        // must land exactly where the straight run does.
+        let mut cfg = SysConfig::paper(SystemKind::Zygos, ServiceDist::exponential_us(10.0), 1.25);
+        cfg.requests = 6_000;
+        cfg.warmup = 1_000;
+        cfg.admission = Some(CreditConfig::for_cores(cfg.cores, 80.0));
+        cfg.retry = Some(zygos_load::retry::RetryPolicy::Backoff {
+            base_us: 25,
+            factor: 2.0,
+            max_attempts: 4,
+        });
+        cfg.retry_timeout_us = Some(500.0);
+        let straight = run(&cfg);
+        assert!(straight.retries > 0, "the storm must actually fire");
+
+        let model = ZygosModel::new(cfg.clone());
+        let mut engine = Engine::new(model);
+        engine.schedule(SimTime::ZERO, Ev::Gen);
+        engine.schedule(SimTime::ZERO, Ev::Control);
+        for _ in 0..30_000 {
+            assert!(engine.step(), "run must outlast the checkpoint offset");
+        }
+        let mut resumed = engine.checkpoint();
+        engine.run();
+        resumed.run();
+        for out in [
+            {
+                let (now, ev) = (engine.now(), engine.processed());
+                engine.into_model().into_output(now, ev)
+            },
+            {
+                let (now, ev) = (resumed.now(), resumed.processed());
+                resumed.into_model().into_output(now, ev)
+            },
+        ] {
+            assert_eq!(out.events, straight.events);
+            assert_eq!(out.retries, straight.retries);
+            assert_eq!(out.give_ups, straight.give_ups);
+            assert_eq!(out.timeouts, straight.timeouts);
+            assert_eq!(out.rejected, straight.rejected);
+            assert_eq!(out.p99_us(), straight.p99_us());
+            assert_eq!(out.latency.count(), straight.latency.count());
+        }
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub enum SeriesKind {
     ActiveCores,
     /// Per-class shed rate over the tick window (one series per class).
     ShedByClass,
+    /// p99 of completions inside the tick window (µs) — the signal the
+    /// metastable-recovery gates read: unlike the whole-run histogram it
+    /// forgets the burst once the burst is over.
+    WindowP99,
+    /// Retry re-issues over the tick window (MRPS of retried sends) —
+    /// how hard the closed retry loop is feeding back.
+    RetryRate,
 }
 
 impl SeriesKind {
@@ -74,6 +81,8 @@ impl SeriesKind {
             SeriesKind::CreditCapacity => "credit_capacity",
             SeriesKind::ActiveCores => "active_cores",
             SeriesKind::ShedByClass => "shed_rate_class",
+            SeriesKind::WindowP99 => "window_p99_us",
+            SeriesKind::RetryRate => "retry_rate",
         }
     }
 
@@ -84,6 +93,8 @@ impl SeriesKind {
             "credit_capacity" => SeriesKind::CreditCapacity,
             "active_cores" => SeriesKind::ActiveCores,
             "shed_by_class" => SeriesKind::ShedByClass,
+            "window_p99_us" => SeriesKind::WindowP99,
+            "retry_rate" => SeriesKind::RetryRate,
             _ => return None,
         })
     }

@@ -205,3 +205,120 @@ fn goodput_holds_near_capacity_under_overload() {
         "admitted goodput {goodput} MRPS collapsed under overload"
     );
 }
+
+#[test]
+fn aimd_pool_reopens_after_the_overload_clears() {
+    // The recovery half of the AIMD loop, at the pool level: a burst of
+    // over-target windows clamps the capacity to the floor; once the
+    // congestion signal clears, additive increase must walk it back. A
+    // twin pool that never saw the burst is the uncontended reference —
+    // after the same quiet horizon the recovered pool must be within 90%
+    // of it (both saturate at max_credits, so the additive lag the burst
+    // cost has washed out by then).
+    use zygos::sched::{CreditConfig, CreditPool};
+    let cfg = CreditConfig::for_cores(16, 70.0);
+    let mut burst = CreditPool::new(cfg);
+    let mut quiet = CreditPool::new(cfg);
+    for _ in 0..16 {
+        burst.update(300.0); // far over target: multiplicative decrease
+        quiet.update(50.0);
+    }
+    assert_eq!(
+        burst.capacity(),
+        cfg.min_credits,
+        "sustained overload must clamp to the floor"
+    );
+    // Quiet period: both pools see the same below-target signal.
+    let (mut reopened_by, mut ticks) = (None, 0u32);
+    for t in 0..400 {
+        burst.update(50.0);
+        quiet.update(50.0);
+        if reopened_by.is_none() && burst.capacity() >= cfg.initial_credits {
+            reopened_by = Some(t + 1);
+        }
+        ticks = t + 1;
+    }
+    // Additive re-opening is linear: (initial - min) / additive ticks,
+    // plus one for integer clamping slack.
+    let linear = (cfg.initial_credits - cfg.min_credits).div_ceil(cfg.additive) + 1;
+    let by = reopened_by.expect("the clamped pool never re-opened");
+    assert!(
+        by <= linear,
+        "re-opening took {by} ticks (additive walk should need <= {linear})"
+    );
+    assert!(
+        burst.capacity() as f64 >= 0.9 * quiet.capacity() as f64,
+        "after {ticks} quiet ticks the recovered pool ({}) is still far \
+         below the uncontended twin ({})",
+        burst.capacity(),
+        quiet.capacity()
+    );
+}
+
+#[test]
+fn credit_capacity_recovers_after_a_phased_burst() {
+    // The same recovery, end to end through the simulator: a 1.4-load
+    // burst in the middle of a 0.5-load run clamps the credit window
+    // (visible in the harvested `credit_capacity` series); after the
+    // burst passes, the tail of the series must be back within 90% of
+    // what an unbursted twin run settles at over the same window.
+    use zygos::load::source::Phase;
+    use zygos::sysim::{ArrivalSpec, SeriesKind, TelemetryConfig};
+    let telem = TelemetryConfig {
+        series: vec![SeriesKind::CreditCapacity],
+        series_every: 4,
+        ..TelemetryConfig::default()
+    };
+    let mut quiet = credit_cfg(0.5, AdmissionMode::ServerEdge);
+    quiet.telemetry = Some(telem.clone());
+    let mut burst = quiet.clone();
+    // 2.8x of load 0.5 = offered 1.4 for 4ms, 8ms in; the long final
+    // phase outlives the run so the cycle never wraps back into it.
+    burst.arrivals = ArrivalSpec::Phased(vec![
+        Phase {
+            duration_us: 8_000.0,
+            rate_factor: 1.0,
+        },
+        Phase {
+            duration_us: 4_000.0,
+            rate_factor: 2.8,
+        },
+        Phase {
+            duration_us: 1_000_000.0,
+            rate_factor: 1.0,
+        },
+    ]);
+    let capacity_series = |cfg: &SysConfig| {
+        let out = run_system(cfg);
+        let tel = out.telemetry.expect("series armed");
+        tel.series
+            .into_iter()
+            .find(|s| s.name == SeriesKind::CreditCapacity.name())
+            .expect("credit_capacity harvested")
+            .points
+    };
+    let (b, q) = (capacity_series(&burst), capacity_series(&quiet));
+    let clamped = b
+        .iter()
+        .filter(|&&(t, _)| (8_000.0..12_000.0).contains(&t))
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    let tail_mean = |pts: &[(f64, f64)]| {
+        // The last 25% of the harvested window, by timestamp.
+        let t0 = pts.last().expect("non-empty series").0 * 0.75;
+        let tail: Vec<f64> = pts.iter().filter(|p| p.0 >= t0).map(|p| p.1).collect();
+        assert!(!tail.is_empty());
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
+    let (recovered, uncontended) = (tail_mean(&b), tail_mean(&q));
+    assert!(
+        clamped < 0.5 * uncontended,
+        "the burst never clamped the credit window (min {clamped} during \
+         the burst vs uncontended {uncontended})"
+    );
+    assert!(
+        recovered >= 0.9 * uncontended,
+        "credit capacity never re-opened: post-burst tail mean {recovered} \
+         vs uncontended {uncontended}"
+    );
+}

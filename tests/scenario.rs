@@ -14,6 +14,9 @@ const PARITY_TOML: &str = include_str!("../scenarios/parity_echo.toml");
 const DIURNAL_TOML: &str = include_str!("../scenarios/fig12_diurnal.toml");
 const FLEET_TAIL_TOML: &str = include_str!("../scenarios/fleet_tail.toml");
 const FLEET_REBALANCE_TOML: &str = include_str!("../scenarios/fleet_rebalance.toml");
+const RETRY_STORM_TOML: &str = include_str!("../scenarios/retry_storm.toml");
+const METASTABLE_TOML: &str = include_str!("../scenarios/metastable_recovery.toml");
+const SCATTER_GATHER_TOML: &str = include_str!("../scenarios/fleet_scatter_gather.toml");
 
 /// Shrinks a parsed scenario to test size without touching its meaning.
 fn shrink(mut sc: Scenario, loads: Vec<f64>, requests: u64, warmup: u64) -> Scenario {
@@ -31,6 +34,9 @@ fn committed_specs_parse() {
         ("fig12_diurnal", DIURNAL_TOML),
         ("fleet_tail", FLEET_TAIL_TOML),
         ("fleet_rebalance", FLEET_REBALANCE_TOML),
+        ("retry_storm", RETRY_STORM_TOML),
+        ("metastable_recovery", METASTABLE_TOML),
+        ("fleet_scatter_gather", SCATTER_GATHER_TOML),
     ] {
         let sc = scenario_from_toml(text)
             .unwrap_or_else(|e| panic!("scenarios/{name}.toml must parse: {e}"));
@@ -55,6 +61,51 @@ fn toml_spec_runs_and_report_json_round_trips() {
     // And the run is reproducible (deterministic hosts, fixed seed).
     let again = zygos::lab::run_scenario(&sc, true).expect("runs");
     assert_eq!(again, report);
+}
+
+#[test]
+fn retry_storm_scenario_populates_the_retry_plane() {
+    // A shrunk run of the committed storm spec: the closed-loop retry
+    // metrics must land in the report (and round-trip), and the naive
+    // re-issue twin must already look worse than the backoff twin.
+    // Large enough for the naive twin's queue to cross the 400us client
+    // timeout and start storming (a few hundred microseconds of virtual
+    // time is not): ~3ms of overload at this scale.
+    let sc = shrink(
+        scenario_from_toml(RETRY_STORM_TOML).expect("parses"),
+        vec![1.4],
+        6_000,
+        1_200,
+    );
+    let report = zygos::lab::run_scenario(&sc, true).expect("runs");
+    let back = Report::from_json(&report.to_json()).expect("round trips");
+    assert_eq!(back, report);
+    let point = |label: &str| {
+        &report
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("case {label} in report"))
+            .points[0]
+    };
+    let (backoff, drop, naive) = (point("backoff"), point("drop"), point("naive"));
+    assert!(backoff.retry_rate > 0.0, "rejections must feed retries");
+    assert!(
+        naive.retry_rate > backoff.retry_rate,
+        "naive {} vs backoff {}",
+        naive.retry_rate,
+        backoff.retry_rate
+    );
+    assert_eq!(drop.retry_rate, 0.0, "the drop twin never re-issues");
+    assert!(
+        naive.p99_us > backoff.p99_us,
+        "the storm must hurt: naive {} vs backoff {}",
+        naive.p99_us,
+        backoff.p99_us
+    );
+    for p in [backoff, drop, naive] {
+        assert!((0.0..=1.0).contains(&p.goodput), "goodput {}", p.goodput);
+    }
 }
 
 /// The pre-migration fig13 construction, copied verbatim from the old
